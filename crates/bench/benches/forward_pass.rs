@@ -1,0 +1,67 @@
+//! Criterion bench: cost of evaluating the analytical forward-pass model for every
+//! prefill strategy.  This is the inner loop of the serving simulation, the JCT
+//! profiling grid and the MIL search, so it must stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use executor::{Executor, ExecutorConfig, PrefillStrategy};
+use gpu::GpuKind;
+use model::llama3_1_8b;
+
+fn executors() -> Vec<(&'static str, Executor)> {
+    vec![
+        (
+            "full",
+            Executor::new(ExecutorConfig::single_gpu(
+                llama3_1_8b(),
+                GpuKind::H100_80G.spec(),
+                PrefillStrategy::Full,
+            )),
+        ),
+        (
+            "chunked",
+            Executor::new(ExecutorConfig::single_gpu(
+                llama3_1_8b(),
+                GpuKind::H100_80G.spec(),
+                PrefillStrategy::chunked_default(),
+            )),
+        ),
+        (
+            "hybrid",
+            Executor::new(ExecutorConfig::single_gpu(
+                llama3_1_8b(),
+                GpuKind::H100_80G.spec(),
+                PrefillStrategy::hybrid_default(),
+            )),
+        ),
+    ]
+}
+
+fn bench_forward_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_time");
+    for (name, executor) in executors() {
+        group.bench_with_input(BenchmarkId::new("32k_tokens", name), &executor, |b, e| {
+            b.iter(|| std::hint::black_box(e.forward_time(32_768, 0).total));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cached_prefix", name),
+            &executor,
+            |b, e| {
+                b.iter(|| std::hint::black_box(e.forward_time(2_048, 30_000).total));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_peak_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peak_activation_bytes");
+    for (name, executor) in executors() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &executor, |b, e| {
+            b.iter(|| std::hint::black_box(e.peak_activation_bytes(65_536)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_time, bench_peak_memory);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion bench: KV-cache manager operations — block hashing, prefix lookup,
+//! allocate/commit cycles and eviction-heavy allocation under cache pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvcache::{hash_token_blocks, KvCacheManager, RetentionPolicy};
+use simcore::SimTime;
+
+const BLOCK_SIZE: usize = 16;
+
+fn tokens(start: u32, len: usize) -> Vec<u32> {
+    (start..start + len as u32).collect()
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_token_blocks");
+    for len in [1_000usize, 16_000, 60_000] {
+        let toks = tokens(0, len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &toks, |b, t| {
+            b.iter(|| std::hint::black_box(hash_token_blocks(t, BLOCK_SIZE)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    // Warm a manager with one long prefix, then probe with requests sharing it.
+    let mut manager = KvCacheManager::new(8_192, BLOCK_SIZE);
+    let profile = tokens(0, 16_000);
+    let alloc = manager
+        .allocate(&profile, SimTime::ZERO, RetentionPolicy::FullResidency)
+        .expect("pool is large enough");
+    manager.commit(alloc, SimTime::ZERO);
+    let mut probe_tokens = profile.clone();
+    probe_tokens.extend(tokens(1_000_000, 150));
+    let hashes = hash_token_blocks(&probe_tokens, BLOCK_SIZE);
+
+    let mut group = c.benchmark_group("prefix_lookup");
+    group.bench_function("hit_16k_prefix", |b| {
+        b.iter(|| std::hint::black_box(manager.lookup_cached_tokens_from_hashes(&hashes)))
+    });
+    let cold = hash_token_blocks(&tokens(5_000_000, 16_000), BLOCK_SIZE);
+    group.bench_function("miss_first_block", |b| {
+        b.iter(|| std::hint::black_box(manager.lookup_cached_tokens_from_hashes(&cold)))
+    });
+    group.finish();
+}
+
+fn bench_allocate_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate_commit");
+    group.bench_function("cold_16k_request", |b| {
+        b.iter_with_setup(
+            || (KvCacheManager::new(4_096, BLOCK_SIZE), tokens(0, 16_000)),
+            |(mut manager, toks)| {
+                let alloc = manager
+                    .allocate(&toks, SimTime::ZERO, RetentionPolicy::FullResidency)
+                    .expect("fits");
+                manager.commit(alloc, SimTime::ZERO);
+                std::hint::black_box(manager.cached_blocks())
+            },
+        )
+    });
+    group.bench_function("eviction_pressure", |b| {
+        b.iter_with_setup(
+            || {
+                // Pool holds ~2 requests; committing a third forces a large LRU batch
+                // eviction.
+                let mut manager = KvCacheManager::new(2_200, BLOCK_SIZE);
+                for (i, start) in [(0u64, 0u32), (1, 1_000_000)] {
+                    let alloc = manager
+                        .allocate(
+                            &tokens(start, 16_000),
+                            SimTime::from_secs(i),
+                            RetentionPolicy::FullResidency,
+                        )
+                        .expect("fits");
+                    manager.commit(alloc, SimTime::from_secs(i));
+                }
+                manager
+            },
+            |mut manager| {
+                let alloc = manager
+                    .allocate(
+                        &tokens(2_000_000, 16_000),
+                        SimTime::from_secs(10),
+                        RetentionPolicy::FullResidency,
+                    )
+                    .expect("evicts and fits");
+                manager.commit(alloc, SimTime::from_secs(10));
+                std::hint::black_box(manager.stats().evicted_blocks)
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_lookup, bench_allocate_commit);
+criterion_main!(benches);

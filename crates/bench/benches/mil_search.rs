@@ -1,0 +1,35 @@
+//! Criterion bench: maximum-input-length binary search (the computation behind Table 2
+//! and Fig. 10) for each evaluated model / GPU pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use executor::{max_input_length, Executor, ExecutorConfig, PrefillStrategy};
+use gpu::GpuKind;
+use model::{llama3_1_8b, llama3_3_70b_fp8, qwen2_5_32b_fp8, ModelConfig};
+
+fn bench_mil(c: &mut Criterion) {
+    let cases: Vec<(&str, ModelConfig, GpuKind)> = vec![
+        ("llama8b_l4", llama3_1_8b(), GpuKind::L4),
+        ("qwen32b_a100", qwen2_5_32b_fp8(), GpuKind::A100_40G),
+        ("llama70b_h100", llama3_3_70b_fp8(), GpuKind::H100_80G),
+    ];
+    let mut group = c.benchmark_group("mil_search");
+    for (name, model, gpu) in cases {
+        for (strategy_name, strategy) in [
+            ("paged", PrefillStrategy::Full),
+            ("hybrid", PrefillStrategy::hybrid_default()),
+        ] {
+            let executor = Executor::new(ExecutorConfig::single_gpu(
+                model.clone(),
+                gpu.spec(),
+                strategy,
+            ));
+            group.bench_with_input(BenchmarkId::new(strategy_name, name), &executor, |b, e| {
+                b.iter(|| std::hint::black_box(max_input_length(e, 1_000)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mil);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: one scheduling step (Algorithm 1) as a function of the waiting-
+//! queue depth.  Continuous JCT calibration re-scores every waiting request per step,
+//! so its cost must stay linear and small even with hundreds of queued requests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scheduler::{
+    CacheProbe, FcfsPolicy, JctEstimator, SchedulingPolicy, SrjfPolicy, WaitingRequest,
+};
+use simcore::SimTime;
+
+/// A probe with a fixed per-request answer; its cost approximates a hash-chain walk
+/// that misses on the first block.
+struct ConstantProbe;
+
+impl CacheProbe for ConstantProbe {
+    fn cached_tokens(&self, request: &WaitingRequest) -> u64 {
+        if request.id.is_multiple_of(3) {
+            request.total_tokens / 2
+        } else {
+            0
+        }
+    }
+}
+
+fn queue(depth: usize) -> Vec<WaitingRequest> {
+    (0..depth as u64)
+        .map(|id| WaitingRequest {
+            id,
+            arrival: SimTime::from_millis(id * 7),
+            total_tokens: 4_000 + (id % 40) * 500,
+            cached_tokens_at_arrival: 0,
+        })
+        .collect()
+}
+
+fn bench_select(c: &mut Criterion) {
+    let estimator = JctEstimator::proxy(1.5e-4, 0.02);
+    let fcfs = FcfsPolicy;
+    let srjf = SrjfPolicy::classic(estimator);
+    let calibrated = SrjfPolicy::with_calibration(estimator, 500.0);
+    let now = SimTime::from_secs(30);
+    let probe = ConstantProbe;
+
+    let mut group = c.benchmark_group("scheduler_select");
+    for depth in [16usize, 128, 1024] {
+        let q = queue(depth);
+        group.bench_with_input(BenchmarkId::new("fcfs", depth), &q, |b, q| {
+            b.iter(|| std::hint::black_box(fcfs.select(q, now, &probe)))
+        });
+        group.bench_with_input(BenchmarkId::new("srjf", depth), &q, |b, q| {
+            b.iter(|| std::hint::black_box(srjf.select(q, now, &probe)))
+        });
+        group.bench_with_input(BenchmarkId::new("srjf_calibrated", depth), &q, |b, q| {
+            b.iter(|| std::hint::black_box(calibrated.select(q, now, &probe)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench: end-to-end serving simulation of a small post-recommendation trace
+//! (dataset generation, cluster construction with its profile run, and the full
+//! discrete-event replay) for PrefillOnly and the PagedAttention baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use prefillonly::{Cluster, EngineConfig, EngineKind};
+use simcore::SimRng;
+use workload::{assign_poisson_arrivals, Dataset, PostRecommendationSpec};
+
+fn small_trace() -> (Dataset, Vec<workload::ArrivalPattern>) {
+    let spec = PostRecommendationSpec {
+        num_users: 4,
+        posts_per_user: 10,
+        profile_mean_tokens: 6_000.0,
+        profile_std_tokens: 800.0,
+        profile_min_tokens: 5_000,
+        profile_max_tokens: 7_000,
+        ..PostRecommendationSpec::default()
+    };
+    let mut rng = SimRng::seed_from_u64(77);
+    let dataset = Dataset::post_recommendation(&spec, &mut rng);
+    let arrivals = assign_poisson_arrivals(&dataset, 8.0, &mut rng);
+    (dataset, arrivals)
+}
+
+fn bench_cluster_replay(c: &mut Criterion) {
+    let (dataset, arrivals) = small_trace();
+    let mut group = c.benchmark_group("cluster_replay_40_requests");
+    group.sample_size(20);
+    for (name, kind) in [
+        ("prefillonly", EngineKind::prefillonly_default()),
+        ("paged_attention", EngineKind::PagedAttention),
+    ] {
+        let config = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            kind,
+            dataset.max_request_tokens(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(cfg);
+                let report = cluster.run(&arrivals, 8.0).expect("feasible");
+                std::hint::black_box(report.records.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance_profile_run");
+    group.sample_size(20);
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        60_000,
+    );
+    group.bench_function("prefillonly_l4_60k", |b| {
+        b.iter(|| std::hint::black_box(Cluster::new(&config).max_input_length()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_replay, bench_profile_run);
+criterion_main!(benches);

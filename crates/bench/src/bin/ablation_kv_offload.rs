@@ -1,0 +1,115 @@
+//! Extension ablation (§9, "Offloading the KV caches to CPU"): discard vs offload.
+//!
+//! PrefillOnly discards the suffix KV it cannot keep on the GPU; §9 notes the same
+//! blocks could instead be offloaded to CPU memory and reloaded over PCIe when a later
+//! request shares the prefix.  This ablation quantifies the trade-off for the
+//! post-recommendation scenario on each hardware tier: for a request whose profile
+//! prefix exceeds the GPU prefix pool, is it cheaper to (a) recompute the overflow
+//! tokens (discarding, the paper's default) or (b) reload their KV from CPU memory?
+
+use executor::{Executor, ExecutorConfig, PrefillStrategy};
+use gpu::{GpuKind, Interconnect, LinkKind};
+use kvcache::{hash_token_blocks, CpuKvPool};
+use model::{llama3_1_8b, llama3_3_70b_fp8, qwen2_5_32b_fp8, ModelConfig};
+use prefillonly_bench::{print_table, write_json};
+use serde::Serialize;
+use simcore::SimTime;
+
+const BLOCK_TOKENS: u64 = 16;
+
+#[derive(Debug, Serialize)]
+struct OffloadRow {
+    hardware: String,
+    overflow_tokens: u64,
+    recompute_secs: f64,
+    reload_secs: f64,
+    offload_wins: bool,
+}
+
+fn main() {
+    println!("Extension ablation: suffix KV discarding vs CPU offloading (post recommendation)\n");
+    println!("For a 14,000-token user profile whose tail does not fit in the GPU prefix pool,");
+    println!("compare recomputing the overflow tokens against reloading their KV over PCIe.\n");
+
+    let tiers: Vec<(&str, ModelConfig, GpuKind)> = vec![
+        ("L4 / Llama-8B", llama3_1_8b(), GpuKind::L4),
+        ("A100 / Qwen-32B FP8", qwen2_5_32b_fp8(), GpuKind::A100_40G),
+        (
+            "H100 / Llama-70B FP8",
+            llama3_3_70b_fp8(),
+            GpuKind::H100_80G,
+        ),
+    ];
+    let profile_tokens: u64 = 14_000;
+    let overflow_fractions = [0.25, 0.5, 1.0];
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for (name, model, gpu) in tiers {
+        let executor = Executor::new(ExecutorConfig::single_gpu(
+            model.clone(),
+            gpu.spec(),
+            PrefillStrategy::hybrid_default(),
+        ));
+        // CPU pool: 64 GiB of host memory dedicated to offloaded KV.
+        let block_bytes = model.kv_bytes_per_token() * BLOCK_TOKENS;
+        let mut cpu_pool = CpuKvPool::new(64 << 30, block_bytes);
+        let link = Interconnect::new(LinkKind::PcieGen4, 2);
+
+        for fraction in overflow_fractions {
+            let overflow_tokens = (profile_tokens as f64 * fraction) as u64;
+            // The overflow suffix was offloaded when the profile was first computed.
+            let suffix: Vec<u32> = (0..overflow_tokens as u32).collect();
+            let hashes = hash_token_blocks(&suffix, BLOCK_TOKENS as usize);
+            cpu_pool.offload(&hashes, SimTime::ZERO);
+
+            // Option (a): recompute the overflow tokens on the GPU (they follow a
+            // cached prefix of `profile_tokens - overflow_tokens`).
+            let recompute = executor
+                .forward_time(overflow_tokens, profile_tokens - overflow_tokens)
+                .total
+                .as_secs_f64();
+            // Option (b): reload their KV from CPU memory over PCIe.
+            let blocks = cpu_pool.lookup_prefix_blocks(&hashes);
+            let bytes = cpu_pool.reload_prefix(&hashes, blocks, SimTime::from_secs(1));
+            let reload = link.point_to_point(bytes).as_secs_f64();
+
+            rows.push(vec![
+                name.to_string(),
+                overflow_tokens.to_string(),
+                format!("{recompute:.3}"),
+                format!("{reload:.3}"),
+                if reload < recompute {
+                    "offload"
+                } else {
+                    "recompute"
+                }
+                .to_string(),
+            ]);
+            json_rows.push(OffloadRow {
+                hardware: name.to_string(),
+                overflow_tokens,
+                recompute_secs: recompute,
+                reload_secs: reload,
+                offload_wins: reload < recompute,
+            });
+        }
+    }
+
+    print_table(
+        &[
+            "hardware / model",
+            "overflow tokens",
+            "recompute (s)",
+            "PCIe reload (s)",
+            "cheaper",
+        ],
+        &rows,
+    );
+    write_json("ablation_kv_offload", &json_rows);
+
+    println!();
+    println!("Reading: recomputation cost grows with model size (FLOPs per token) while the");
+    println!("reload cost grows with KV bytes per token, so offloading pays off most for the");
+    println!("large models whose per-token compute dwarfs their per-token KV footprint.");
+}

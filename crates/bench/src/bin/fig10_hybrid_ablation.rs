@@ -1,0 +1,88 @@
+//! Figure 10 — how each hybrid-prefilling optimisation contributes to the maximum input
+//! length, on a Qwen-2.5-32B (FP8) model and a single A100.
+//!
+//! The paper's bars: vanilla vLLM, chunked prefill, then hybrid prefilling in three
+//! stages (chunking only, + output preallocation, + in-place computation), reaching a
+//! 7.9× MIL improvement over vanilla without hurting throughput.
+
+use executor::{max_input_length, Executor, ExecutorConfig, HybridOptions, PrefillStrategy};
+use gpu::GpuKind;
+use model::qwen2_5_32b_fp8;
+use prefillonly_bench::{print_table, write_json};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct AblationRow {
+    configuration: String,
+    mil_tokens: u64,
+    relative_to_vanilla: f64,
+    forward_time_20k_secs: f64,
+}
+
+fn main() {
+    println!("Figure 10: MIL ablation of hybrid prefilling (Qwen-2.5-32B FP8, 1x A100)\n");
+
+    let configs: Vec<(&str, PrefillStrategy)> = vec![
+        ("Vanilla vLLM (full prefill)", PrefillStrategy::Full),
+        (
+            "Chunked prefill (chunk 512)",
+            PrefillStrategy::chunked_default(),
+        ),
+        (
+            "Hybrid: chunking only",
+            PrefillStrategy::Hybrid(HybridOptions::chunking_only()),
+        ),
+        (
+            "Hybrid: + output preallocation",
+            PrefillStrategy::Hybrid(HybridOptions::with_preallocation()),
+        ),
+        (
+            "Hybrid: + in-place computation",
+            PrefillStrategy::Hybrid(HybridOptions::default()),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut vanilla_mil = 0u64;
+    for (label, strategy) in configs {
+        let executor = Executor::new(ExecutorConfig::single_gpu(
+            qwen2_5_32b_fp8(),
+            GpuKind::A100_40G.spec(),
+            strategy,
+        ));
+        let mil = max_input_length(&executor, 1_000);
+        if vanilla_mil == 0 {
+            vanilla_mil = mil.max(1);
+        }
+        let forward_20k = executor.forward_time(20_000, 0).total.as_secs_f64();
+        rows.push(vec![
+            label.to_string(),
+            mil.to_string(),
+            format!("{:.1}x", mil as f64 / vanilla_mil as f64),
+            format!("{forward_20k:.2}"),
+        ]);
+        json_rows.push(AblationRow {
+            configuration: label.to_string(),
+            mil_tokens: mil,
+            relative_to_vanilla: mil as f64 / vanilla_mil as f64,
+            forward_time_20k_secs: forward_20k,
+        });
+    }
+
+    print_table(
+        &[
+            "configuration",
+            "MIL (tokens)",
+            "vs vanilla",
+            "20k-token prefill (s)",
+        ],
+        &rows,
+    );
+    write_json("fig10_hybrid_ablation", &json_rows);
+
+    println!();
+    println!("expected shape (paper Fig. 10): chunked prefill only roughly doubles the MIL and");
+    println!("slows the forward pass; the hybrid stages raise MIL by several times over vanilla");
+    println!("while keeping the 20k-token prefill as fast as full prefilling.");
+}

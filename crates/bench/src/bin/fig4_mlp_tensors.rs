@@ -1,0 +1,88 @@
+//! Figure 4 — tensor sizes of the MLP module of Llama-3.1-8B for a 32,768-token pass.
+//!
+//! Reproduces the annotated sizes: the input/output tensors (32768 × 4096), the gate+up
+//! intermediate (32768 × 28672, "14× larger than one-layer KV") and the SwiGLU output
+//! (32768 × 14336, "7× larger than one-layer KV").
+
+use model::{llama3_1_8b, TensorSizing};
+use prefillonly_bench::{print_table, write_json};
+use serde::Serialize;
+
+const TOKENS: u64 = 32_768;
+const MIB: f64 = (1u64 << 20) as f64;
+
+#[derive(Debug, Serialize)]
+struct TensorRow {
+    tensor: String,
+    shape: String,
+    size_mib: f64,
+    ratio_to_one_layer_kv: f64,
+}
+
+fn main() {
+    let model = llama3_1_8b();
+    let sizing = TensorSizing::new(model.clone());
+    let one_layer_kv = sizing.kv_bytes(TOKENS, 1) as f64;
+
+    println!(
+        "Figure 4: MLP-module tensor sizes for a {TOKENS}-token forward pass of {}\n",
+        model.name
+    );
+
+    let rows_data = [
+        (
+            "MLP input (residual stream)",
+            format!("{TOKENS} x {}", model.hidden_size),
+            sizing.residual_bytes(TOKENS) as f64,
+        ),
+        (
+            "Intermediate 1 (gate+up projections)",
+            format!("{TOKENS} x {}", 2 * model.intermediate_size),
+            sizing.mlp_gate_up_bytes(TOKENS) as f64,
+        ),
+        (
+            "Intermediate 2 (SwiGLU output)",
+            format!("{TOKENS} x {}", model.intermediate_size),
+            sizing.mlp_down_input_bytes(TOKENS) as f64,
+        ),
+        (
+            "MLP output (residual stream)",
+            format!("{TOKENS} x {}", model.hidden_size),
+            sizing.residual_bytes(TOKENS) as f64,
+        ),
+        (
+            "KV cache of one layer (reference)",
+            format!("{TOKENS} x {}", model.kv_dim()),
+            one_layer_kv,
+        ),
+    ];
+
+    let mut json_rows = Vec::new();
+    let table: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|(name, shape, bytes)| {
+            let ratio = bytes / one_layer_kv;
+            json_rows.push(TensorRow {
+                tensor: name.to_string(),
+                shape: shape.clone(),
+                size_mib: bytes / MIB,
+                ratio_to_one_layer_kv: ratio,
+            });
+            vec![
+                name.to_string(),
+                shape.clone(),
+                format!("{:.0} MiB", bytes / MIB),
+                format!("{ratio:.1}x"),
+            ]
+        })
+        .collect();
+
+    print_table(
+        &["tensor", "shape (bf16)", "size", "vs one-layer KV"],
+        &table,
+    );
+    println!();
+    println!("paper annotations: intermediate 1 is 14x and intermediate 2 is 7x the one-layer KV");
+
+    write_json("fig4_mlp_tensors", &json_rows);
+}

@@ -1,0 +1,51 @@
+//! Figure 7 — QPS vs P99 latency, same grid as Figure 6.
+//!
+//! The paper's point: PrefillOnly's JCT-based scheduling does not hurt tail latency
+//! because of the queueing-time fairness offset (§6.3); its P99 stays below the
+//! baselines' at high QPS.
+
+use prefillonly_bench::{print_table, sweep_all_engines, write_json, EvalScenario};
+
+fn main() {
+    let mut all_points = Vec::new();
+    for scenario in EvalScenario::all() {
+        println!("== Figure 7 panel: {} ==", scenario.name);
+        let points = sweep_all_engines(&scenario, 43);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                if p.feasible {
+                    vec![
+                        p.engine.clone(),
+                        format!("{:.2}", p.qps),
+                        format!("{:.2}", p.p99_latency_secs),
+                        format!("{:.2}", p.mean_latency_secs),
+                    ]
+                } else {
+                    vec![
+                        p.engine.clone(),
+                        "-".into(),
+                        "infeasible".into(),
+                        "-".into(),
+                    ]
+                }
+            })
+            .collect();
+        print_table(
+            &[
+                "engine",
+                "offered QPS",
+                "p99 latency (s)",
+                "mean latency (s)",
+            ],
+            &rows,
+        );
+        println!();
+        all_points.push((scenario.name.to_string(), points));
+    }
+    write_json("fig7_qps_p99", &all_points);
+
+    println!("series written to results/fig7_qps_p99.json");
+    println!("expected shape (paper Fig. 7): PrefillOnly's P99 latency is the lowest at high QPS;");
+    println!("the fairness offset keeps JCT-based scheduling from starving long requests.");
+}

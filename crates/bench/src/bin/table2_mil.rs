@@ -1,0 +1,111 @@
+//! Table 2 — maximum input length (MIL) of every engine configuration.
+//!
+//! For each hardware tier (L4 / A100 / H100, with the model fixed per tier as in
+//! Table 3) and each of the five engines, this binary searches the largest request that
+//! fits in GPU memory and marks whether the two evaluation workloads (WL1 = post
+//! recommendation, needs ~17k tokens; WL2 = credit verification, needs ~60k tokens) can
+//! run.
+
+use executor::{max_input_length, Executor};
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use prefillonly::{all_engine_kinds, engine_display_name, EngineConfig};
+use prefillonly_bench::{print_table, write_json};
+use serde::Serialize;
+
+/// Longest request of the post-recommendation workload (17k profile + 150-token post).
+const WL1_MAX_TOKENS: u64 = 17_150;
+/// Longest request of the credit-verification workload.
+const WL2_MAX_TOKENS: u64 = 60_000;
+
+#[derive(Debug, Serialize)]
+struct MilRow {
+    engine: String,
+    hardware: String,
+    mil_tokens: u64,
+    wl1_feasible: bool,
+    wl2_feasible: bool,
+}
+
+fn main() {
+    let tiers = [
+        (ModelPreset::Llama31_8b, HardwareSetup::l4_pair(), "L4"),
+        (
+            ModelPreset::Qwen25_32bFp8,
+            HardwareSetup::a100_pair(),
+            "A100",
+        ),
+        (
+            ModelPreset::Llama33_70bFp8,
+            HardwareSetup::h100_pair_pcie(),
+            "H100",
+        ),
+    ];
+    // Paper values for side-by-side comparison (Table 2).
+    let paper: &[(&str, [u64; 3])] = &[
+        ("PagedAttention", [24_000, 11_000, 15_000]),
+        ("Chunked Prefill", [46_000, 17_000, 25_000]),
+        ("Pipeline Parallel", [72_000, 38_000, 183_000]),
+        ("Tensor Parallel", [195_000, 77_000, 238_000]),
+        ("PrefillOnly", [130_000, 87_000, 97_000]),
+    ];
+
+    println!("Table 2: maximum input length (tokens) per engine and hardware tier");
+    println!("WL1 = post recommendation (needs {WL1_MAX_TOKENS} tokens),");
+    println!("WL2 = credit verification (needs {WL2_MAX_TOKENS} tokens)\n");
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for kind in all_engine_kinds() {
+        for (model, hardware, tier) in tiers {
+            let config = EngineConfig::new(model, hardware, kind, WL2_MAX_TOKENS);
+            let executor = Executor::new(config.executor_config());
+            let mil = max_input_length(&executor, 1_000);
+            let paper_value = paper
+                .iter()
+                .find(|(name, _)| *name == engine_display_name(kind))
+                .map(|(_, values)| match tier {
+                    "L4" => values[0],
+                    "A100" => values[1],
+                    _ => values[2],
+                })
+                .unwrap_or(0);
+            rows.push(vec![
+                engine_display_name(kind).to_string(),
+                tier.to_string(),
+                mil.to_string(),
+                paper_value.to_string(),
+                tick(mil >= WL1_MAX_TOKENS),
+                tick(mil >= WL2_MAX_TOKENS),
+            ]);
+            json_rows.push(MilRow {
+                engine: engine_display_name(kind).to_string(),
+                hardware: tier.to_string(),
+                mil_tokens: mil,
+                wl1_feasible: mil >= WL1_MAX_TOKENS,
+                wl2_feasible: mil >= WL2_MAX_TOKENS,
+            });
+        }
+    }
+
+    print_table(
+        &[
+            "engine",
+            "GPU",
+            "MIL (measured)",
+            "MIL (paper)",
+            "WL1",
+            "WL2",
+        ],
+        &rows,
+    );
+    write_json("table2_mil", &json_rows);
+}
+
+fn tick(ok: bool) -> String {
+    if ok {
+        "yes".to_string()
+    } else {
+        "no".to_string()
+    }
+}

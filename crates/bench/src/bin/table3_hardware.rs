@@ -1,0 +1,77 @@
+//! Table 3 — hardware setups and the LLM served on each.
+
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use prefillonly_bench::{print_table, write_json};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct HardwareRow {
+    scenario: String,
+    gpus: String,
+    memory_gib: f64,
+    interconnect: String,
+    model: String,
+    weight_gib: f64,
+}
+
+fn main() {
+    let rows = [
+        (
+            "Low-end GPU",
+            HardwareSetup::l4_pair(),
+            ModelPreset::Llama31_8b,
+        ),
+        (
+            "Middle-end GPU",
+            HardwareSetup::a100_pair(),
+            ModelPreset::Qwen25_32bFp8,
+        ),
+        (
+            "High-end GPU",
+            HardwareSetup::h100_pair_pcie(),
+            ModelPreset::Llama33_70bFp8,
+        ),
+        (
+            "High-end GPU w/ NVLink",
+            HardwareSetup::h100_pair_nvlink(),
+            ModelPreset::Llama33_70bFp8,
+        ),
+    ];
+
+    println!("Table 3: hardware setups and the corresponding LLM\n");
+    const GIB: f64 = (1u64 << 30) as f64;
+    let mut json_rows = Vec::new();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(scenario, hw, model)| {
+            let spec = hw.gpu_spec();
+            let cfg = model.config();
+            json_rows.push(HardwareRow {
+                scenario: scenario.to_string(),
+                gpus: format!("{}x {}", hw.num_gpus, spec.name),
+                memory_gib: spec.memory_bytes as f64 / GIB,
+                interconnect: format!("{:?}", hw.link),
+                model: cfg.name.clone(),
+                weight_gib: cfg.weight_bytes() as f64 / GIB,
+            });
+            vec![
+                scenario.to_string(),
+                format!("{}x {}", hw.num_gpus, spec.name),
+                format!("{:.0} GiB", spec.memory_bytes as f64 / GIB),
+                format!("{:?}", hw.link),
+                cfg.name.clone(),
+                format!(
+                    "{:.1} GiB ({})",
+                    cfg.weight_bytes() as f64 / GIB,
+                    cfg.weight_dtype
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        &["scenario", "GPUs", "memory", "link", "model", "weights"],
+        &table,
+    );
+    write_json("table3_hardware", &json_rows);
+}

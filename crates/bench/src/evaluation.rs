@@ -1,0 +1,273 @@
+//! The evaluation grid and QPS-sweep driver (Figures 6, 7, 9).
+//!
+//! The paper sweeps offered load as follows (§7.2): run the engine with the entire
+//! dataset arriving at once to find its saturation throughput `x`, then replay the
+//! Poisson trace at ¼x, ½x, x, 2x, 3x and 4x and report mean / P99 latency at each
+//! point.  [`sweep_engines`] implements exactly that, for every engine kind, and
+//! records which engines cannot run the workload at all (Table 2's ✗ entries).
+
+use serde::{Deserialize, Serialize};
+
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use prefillonly::{all_engine_kinds, engine_display_name, Cluster, EngineConfig, EngineKind};
+use simcore::SimRng;
+use workload::{assign_poisson_arrivals_with, ArrivalGranularity, Dataset, WorkloadKind};
+
+use crate::scale::{scaled_credit_spec, scaled_post_spec};
+
+/// The QPS multipliers of §7.2, applied to the measured saturation throughput.
+pub const QPS_MULTIPLIERS: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 3.0, 4.0];
+
+/// One (model, hardware, workload) cell of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalScenario {
+    /// Short name used in figure captions ("Post recommendation / L4").
+    pub name: &'static str,
+    /// Model served (fixed per hardware tier, Table 3).
+    pub model: ModelPreset,
+    /// Hardware setup.
+    pub hardware: HardwareSetup,
+    /// Which workload trace to replay.
+    pub workload: WorkloadKind,
+}
+
+impl EvalScenario {
+    /// The eight scenarios of Figures 6 and 7: two workloads × four hardware setups,
+    /// with the model fixed per hardware tier as in Table 3.
+    pub fn all() -> Vec<EvalScenario> {
+        let hardware = [
+            ("L4", ModelPreset::Llama31_8b, HardwareSetup::l4_pair()),
+            (
+                "A100",
+                ModelPreset::Qwen25_32bFp8,
+                HardwareSetup::a100_pair(),
+            ),
+            (
+                "H100 w/o NVLink",
+                ModelPreset::Llama33_70bFp8,
+                HardwareSetup::h100_pair_pcie(),
+            ),
+            (
+                "H100 w/ NVLink",
+                ModelPreset::Llama33_70bFp8,
+                HardwareSetup::h100_pair_nvlink(),
+            ),
+        ];
+        let mut scenarios = Vec::new();
+        for workload in [
+            WorkloadKind::PostRecommendation,
+            WorkloadKind::CreditVerification,
+        ] {
+            for (hw_name, model, hw) in hardware {
+                let name = match (workload, hw_name) {
+                    (WorkloadKind::PostRecommendation, "L4") => "Post recommendation / L4",
+                    (WorkloadKind::PostRecommendation, "A100") => "Post recommendation / A100",
+                    (WorkloadKind::PostRecommendation, "H100 w/o NVLink") => {
+                        "Post recommendation / H100 w/o NVLink"
+                    }
+                    (WorkloadKind::PostRecommendation, "H100 w/ NVLink") => {
+                        "Post recommendation / H100 w/ NVLink"
+                    }
+                    (WorkloadKind::CreditVerification, "L4") => "Credit verification / L4",
+                    (WorkloadKind::CreditVerification, "A100") => "Credit verification / A100",
+                    (WorkloadKind::CreditVerification, "H100 w/o NVLink") => {
+                        "Credit verification / H100 w/o NVLink"
+                    }
+                    _ => "Credit verification / H100 w/ NVLink",
+                };
+                scenarios.push(EvalScenario {
+                    name,
+                    model,
+                    hardware: hw,
+                    workload,
+                });
+            }
+        }
+        scenarios
+    }
+
+    /// Generates this scenario's (scaled) dataset.
+    pub fn dataset(&self, seed: u64) -> Dataset {
+        let mut rng = SimRng::seed_from_u64(seed);
+        match self.workload {
+            WorkloadKind::PostRecommendation => {
+                Dataset::post_recommendation(&scaled_post_spec(), &mut rng)
+            }
+            WorkloadKind::CreditVerification => {
+                Dataset::credit_verification(&scaled_credit_spec(), &mut rng)
+            }
+        }
+    }
+
+    /// Builds the engine configuration for one engine kind in this scenario.
+    pub fn engine_config(&self, kind: EngineKind, max_request_tokens: u64) -> EngineConfig {
+        EngineConfig::new(self.model, self.hardware, kind, max_request_tokens)
+    }
+}
+
+/// One measured point of a QPS sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Engine display name.
+    pub engine: String,
+    /// Offered load in queries per second.
+    pub qps: f64,
+    /// Whether the engine could run the workload at all.
+    pub feasible: bool,
+    /// Mean end-to-end latency in seconds (0 when infeasible).
+    pub mean_latency_secs: f64,
+    /// P99 end-to-end latency in seconds (0 when infeasible).
+    pub p99_latency_secs: f64,
+    /// Sustained throughput in requests per second (0 when infeasible).
+    pub throughput_rps: f64,
+    /// Prefix-cache token hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+}
+
+/// Measures PrefillOnly's saturation throughput on this scenario: every request arrives
+/// (almost) at once and the sustained completion rate is the capacity `x` of §7.2.
+pub fn saturation_qps(scenario: &EvalScenario, dataset: &Dataset, seed: u64) -> f64 {
+    let config = scenario.engine_config(
+        EngineKind::prefillonly_default(),
+        dataset.max_request_tokens(),
+    );
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x5a7a);
+    // A very high arrival rate approximates "all requests come at once".
+    let arrivals =
+        assign_poisson_arrivals_with(dataset, 1.0e4, ArrivalGranularity::PerRequest, &mut rng);
+    let mut cluster = Cluster::new(&config);
+    cluster
+        .run(&arrivals, 1.0e4)
+        .map(|report| report.throughput_rps())
+        .unwrap_or(0.1)
+        .max(0.01)
+}
+
+/// Runs the full QPS sweep of one scenario for the given engines.
+///
+/// Returns one [`SweepPoint`] per (engine, multiplier); infeasible engines produce a
+/// single point with `feasible = false`.
+pub fn sweep_engines(
+    scenario: &EvalScenario,
+    kinds: &[EngineKind],
+    multipliers: &[f64],
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let dataset = scenario.dataset(seed);
+    let max_tokens = dataset.max_request_tokens();
+    let saturation = saturation_qps(scenario, &dataset, seed);
+    let mut points = Vec::new();
+
+    for &kind in kinds {
+        let config = scenario.engine_config(kind, max_tokens);
+        // Feasibility check once per engine (Table 2's ✓ / ✗).
+        let feasible = Cluster::new(&config).can_serve(max_tokens);
+        if !feasible {
+            points.push(SweepPoint {
+                engine: engine_display_name(kind).to_string(),
+                qps: 0.0,
+                feasible: false,
+                mean_latency_secs: 0.0,
+                p99_latency_secs: 0.0,
+                throughput_rps: 0.0,
+                cache_hit_rate: 0.0,
+            });
+            continue;
+        }
+        for &multiplier in multipliers {
+            let qps = saturation * multiplier;
+            let mut rng = SimRng::seed_from_u64(seed ^ (multiplier * 1000.0) as u64);
+            let arrivals =
+                assign_poisson_arrivals_with(&dataset, qps, ArrivalGranularity::PerUser, &mut rng);
+            let mut cluster = Cluster::new(&config);
+            let report = cluster
+                .run(&arrivals, qps)
+                .expect("feasibility was checked above");
+            points.push(SweepPoint {
+                engine: report.engine.clone(),
+                qps,
+                feasible: true,
+                mean_latency_secs: report.mean_latency_secs(),
+                p99_latency_secs: report.p99_latency_secs(),
+                throughput_rps: report.throughput_rps(),
+                cache_hit_rate: report.cache_hit_rate(),
+            });
+        }
+    }
+    points
+}
+
+/// Convenience used by several binaries: sweep every engine of the paper's legend.
+pub fn sweep_all_engines(scenario: &EvalScenario, seed: u64) -> Vec<SweepPoint> {
+    sweep_engines(scenario, &all_engine_kinds(), &QPS_MULTIPLIERS, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_eight_scenarios() {
+        let scenarios = EvalScenario::all();
+        assert_eq!(scenarios.len(), 8);
+        let post = scenarios
+            .iter()
+            .filter(|s| s.workload == WorkloadKind::PostRecommendation)
+            .count();
+        assert_eq!(post, 4);
+        // Model follows the hardware tier.
+        for s in &scenarios {
+            match s.hardware.gpu {
+                gpu::GpuKind::L4 => assert_eq!(s.model, ModelPreset::Llama31_8b),
+                gpu::GpuKind::A100_40G => assert_eq!(s.model, ModelPreset::Qwen25_32bFp8),
+                gpu::GpuKind::H100_80G => assert_eq!(s.model, ModelPreset::Llama33_70bFp8),
+            }
+        }
+    }
+
+    #[test]
+    fn datasets_are_seed_deterministic() {
+        let scenario = &EvalScenario::all()[0];
+        let a = scenario.dataset(1);
+        let b = scenario.dataset(1);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn saturation_is_positive() {
+        let scenario = EvalScenario {
+            name: "unit",
+            model: ModelPreset::Llama31_8b,
+            hardware: HardwareSetup::l4_pair(),
+            workload: WorkloadKind::PostRecommendation,
+        };
+        let mut rng = SimRng::seed_from_u64(3);
+        let spec = workload::PostRecommendationSpec {
+            num_users: 4,
+            posts_per_user: 5,
+            profile_mean_tokens: 3_000.0,
+            profile_std_tokens: 200.0,
+            profile_min_tokens: 2_500,
+            profile_max_tokens: 3_500,
+            ..workload::PostRecommendationSpec::default()
+        };
+        let dataset = Dataset::post_recommendation(&spec, &mut rng);
+        let x = saturation_qps(&scenario, &dataset, 3);
+        assert!(x > 0.1, "saturation throughput was {x}");
+    }
+
+    #[test]
+    fn infeasible_engines_are_flagged_not_run() {
+        // Credit verification on L4 cannot run under PagedAttention.
+        let scenario = EvalScenario {
+            name: "unit",
+            model: ModelPreset::Llama31_8b,
+            hardware: HardwareSetup::l4_pair(),
+            workload: WorkloadKind::CreditVerification,
+        };
+        let points = sweep_engines(&scenario, &[EngineKind::PagedAttention], &[1.0], 7);
+        assert_eq!(points.len(), 1);
+        assert!(!points[0].feasible);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness for the PrefillOnly reproduction.
+//!
+//! Every table and figure of the paper's evaluation section has a corresponding binary
+//! in `src/bin/` (see DESIGN.md §4 for the index); this library holds the pieces they
+//! share:
+//!
+//! * [`evaluation`] — the (model, hardware, workload) grid of Table 3 and the QPS-sweep
+//!   driver behind Figures 6, 7 and 9, including the paper's methodology of measuring
+//!   the saturation throughput first and then sweeping ¼×, ½×, 1×, 2×, 3×, 4× of it.
+//! * [`output`] — fixed-width table printing and JSON export (every binary writes its
+//!   series to `results/<experiment>.json` so EXPERIMENTS.md can reference them).
+//! * [`scale`] — workload scaling: by default the binaries run a reduced copy of the
+//!   Table 1 datasets so the whole suite finishes in minutes on a laptop; set
+//!   `PREFILLONLY_FULL_EVAL=1` to replay the full-size datasets.
+
+pub mod evaluation;
+pub mod output;
+pub mod scale;
+
+pub use evaluation::{
+    saturation_qps, sweep_all_engines, sweep_engines, EvalScenario, SweepPoint, QPS_MULTIPLIERS,
+};
+pub use output::{print_table, write_json, ResultsFile};
+pub use scale::{scaled_credit_spec, scaled_post_spec, workload_scale};

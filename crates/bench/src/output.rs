@@ -1,0 +1,115 @@
+//! Table printing and JSON export.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Prints a fixed-width table: a header row followed by data rows.
+///
+/// Column widths are derived from the widest cell of each column.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), columns, "row width must match the header");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("{}", line.join("  "));
+    };
+    print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (columns - 1);
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Where experiment outputs are written.
+#[derive(Debug, Clone)]
+pub struct ResultsFile {
+    path: PathBuf,
+}
+
+impl ResultsFile {
+    /// Creates a handle for `results/<name>.json` under the workspace root (or the
+    /// current directory when run elsewhere), creating the directory if needed.
+    pub fn new(name: &str) -> ResultsFile {
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|dir| {
+                // crates/bench -> workspace root.
+                Path::new(&dir)
+                    .ancestors()
+                    .nth(2)
+                    .map(Path::to_path_buf)
+                    .unwrap_or_else(|| PathBuf::from(dir.clone()))
+            })
+            .unwrap_or_else(|_| PathBuf::from("."));
+        let dir = root.join("results");
+        ResultsFile {
+            path: dir.join(format!("{name}.json")),
+        }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Serialises `value` as pretty JSON to the destination.  Errors are reported but
+    /// never abort the experiment (the printed table is the primary output).
+    pub fn write<T: Serialize>(&self, value: &T) {
+        if let Err(err) = self.try_write(value) {
+            eprintln!("warning: could not write {}: {err}", self.path.display());
+        }
+    }
+
+    fn try_write<T: Serialize>(&self, value: &T) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(value)?;
+        fs::write(&self.path, json)
+    }
+}
+
+/// Convenience: write `value` to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    ResultsFile::new(name).write(value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_file_points_into_results_dir() {
+        let f = ResultsFile::new("unit_test");
+        let path = f.path().to_string_lossy().to_string();
+        assert!(path.ends_with("results/unit_test.json"), "path was {path}");
+    }
+
+    #[test]
+    fn write_creates_the_file() {
+        let f = ResultsFile::new("unit_test_write");
+        f.write(&serde_json::json!({"ok": true}));
+        assert!(f.path().exists());
+        let content = std::fs::read_to_string(f.path()).unwrap();
+        assert!(content.contains("\"ok\""));
+        std::fs::remove_file(f.path()).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        print_table(&["a", "b"], &[vec!["only one".to_string()]]);
+    }
+}

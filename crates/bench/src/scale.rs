@@ -1,0 +1,72 @@
+//! Workload scaling.
+//!
+//! The full Table 1 datasets (1,000 post-recommendation requests of ~14k tokens, 60
+//! credit-verification requests of 40-60k tokens) are replayed for every engine, every
+//! hardware setup and six QPS points, which adds up.  By default the serving-sweep
+//! binaries use a proportionally scaled-down copy of the datasets so the full suite
+//! finishes in a few minutes; exporting `PREFILLONLY_FULL_EVAL=1` switches to the
+//! paper-sized datasets.
+
+use workload::{CreditVerificationSpec, PostRecommendationSpec};
+
+/// Returns the workload scale factor: 1.0 when `PREFILLONLY_FULL_EVAL=1` is set,
+/// otherwise the reduced default.
+pub fn workload_scale() -> f64 {
+    if std::env::var("PREFILLONLY_FULL_EVAL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        1.0
+    } else {
+        0.4
+    }
+}
+
+/// The post-recommendation spec at the current scale: the number of users and posts
+/// per user shrink, the token-length distributions stay exactly as in Table 1.
+pub fn scaled_post_spec() -> PostRecommendationSpec {
+    let scale = workload_scale();
+    let base = PostRecommendationSpec::default();
+    PostRecommendationSpec {
+        num_users: ((base.num_users as f64 * scale).round() as u64).max(4),
+        posts_per_user: ((base.posts_per_user as f64 * scale).round() as u64).max(10),
+        ..base
+    }
+}
+
+/// The credit-verification spec at the current scale: fewer users, identical
+/// history-length distribution.
+pub fn scaled_credit_spec() -> CreditVerificationSpec {
+    let scale = workload_scale();
+    let base = CreditVerificationSpec::default();
+    CreditVerificationSpec {
+        num_users: ((base.num_users as f64 * scale).round() as u64).max(10),
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_specs_preserve_token_distributions() {
+        let post = scaled_post_spec();
+        let base = PostRecommendationSpec::default();
+        assert_eq!(post.profile_mean_tokens, base.profile_mean_tokens);
+        assert_eq!(post.profile_min_tokens, base.profile_min_tokens);
+        assert_eq!(post.post_tokens, base.post_tokens);
+        assert!(post.num_users >= 4);
+
+        let credit = scaled_credit_spec();
+        assert_eq!(credit.history_min_tokens, 40_000);
+        assert_eq!(credit.history_max_tokens, 60_000);
+        assert!(credit.num_users >= 10);
+    }
+
+    #[test]
+    fn scale_is_bounded() {
+        let s = workload_scale();
+        assert!(s > 0.0 && s <= 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The evaluated systems and their display names.
+
+use crate::config::EngineKind;
+
+/// All five evaluated engines, in the legend order of Figures 6-9: PrefillOnly first,
+/// then the non-parallel baselines, then the parallelisation-based baselines.
+pub fn all_engine_kinds() -> Vec<EngineKind> {
+    vec![
+        EngineKind::prefillonly_default(),
+        EngineKind::PagedAttention,
+        EngineKind::chunked_default(),
+        EngineKind::PipelineParallel,
+        EngineKind::TensorParallel,
+    ]
+}
+
+/// Stable display name of an engine kind, matching the paper's figure legends.
+pub fn engine_display_name(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::PrefillOnly { .. } => "PrefillOnly",
+        EngineKind::PagedAttention => "PagedAttention",
+        EngineKind::ChunkedPrefill { .. } => "Chunked Prefill",
+        EngineKind::TensorParallel => "Tensor Parallel",
+        EngineKind::PipelineParallel => "Pipeline Parallel",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_engines_in_legend_order() {
+        let kinds = all_engine_kinds();
+        assert_eq!(kinds.len(), 5);
+        assert_eq!(engine_display_name(kinds[0]), "PrefillOnly");
+        assert_eq!(engine_display_name(kinds[1]), "PagedAttention");
+        assert_eq!(engine_display_name(kinds[2]), "Chunked Prefill");
+        assert_eq!(engine_display_name(kinds[3]), "Pipeline Parallel");
+        assert_eq!(engine_display_name(kinds[4]), "Tensor Parallel");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = all_engine_kinds()
+            .into_iter()
+            .map(engine_display_name)
+            .collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+    }
+}

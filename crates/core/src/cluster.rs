@@ -1,0 +1,385 @@
+//! The serving cluster and its discrete-event loop.
+//!
+//! A [`Cluster`] is one deployment of one engine kind on one hardware setup: either two
+//! single-GPU instances behind the user-id router, or a single TP/PP instance spanning
+//! both GPUs.  [`Cluster::run`] replays a workload trace (requests with Poisson arrival
+//! times) against the deployment and produces the [`RunReport`] every figure of the
+//! evaluation is computed from.
+
+use std::sync::Arc;
+
+use simcore::{EventQueue, SimDuration, SimTime};
+
+use kvcache::CacheStats;
+use workload::ArrivalPattern;
+
+use crate::baselines::engine_display_name;
+use crate::config::EngineConfig;
+use crate::instance::EngineInstance;
+use crate::report::{RequestRecord, RunReport};
+use crate::request::PrefillRequest;
+use crate::routing::UserRouter;
+
+/// Why a workload could not be replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The longest request of the workload exceeds the engine's maximum input length —
+    /// the ✗ entries of Table 2.
+    WorkloadInfeasible {
+        /// Longest request in the trace.
+        max_request_tokens: u64,
+        /// The engine's maximum input length.
+        max_input_length: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::WorkloadInfeasible {
+                max_request_tokens,
+                max_input_length,
+            } => write!(
+                f,
+                "workload needs requests of {max_request_tokens} tokens but the engine's \
+                 maximum input length is {max_input_length}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The request at this index of the trace reaches the router.
+    Arrival(usize),
+    /// An instance may be able to admit another request.
+    Admit(usize),
+    /// A running request finishes on an instance.
+    Complete { instance: usize, request_id: u64 },
+}
+
+/// A deployment of one engine kind on one hardware setup.
+pub struct Cluster {
+    config: EngineConfig,
+    instances: Vec<EngineInstance>,
+    router: UserRouter,
+}
+
+impl Cluster {
+    /// Builds the deployment: instantiates every engine instance (running its profile
+    /// run) and the user-id router.
+    pub fn new(config: &EngineConfig) -> Cluster {
+        let num_instances = config.num_instances() as usize;
+        let instances = (0..num_instances)
+            .map(|id| EngineInstance::new(config, id))
+            .collect();
+        Cluster {
+            config: config.clone(),
+            instances,
+            router: UserRouter::new(num_instances),
+        }
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The engine instances.
+    pub fn instances(&self) -> &[EngineInstance] {
+        &self.instances
+    }
+
+    /// Maximum input length of the deployment (all instances are identical).
+    pub fn max_input_length(&self) -> u64 {
+        self.instances
+            .first()
+            .map(EngineInstance::max_input_length)
+            .unwrap_or(0)
+    }
+
+    /// Whether every request of a workload with the given maximum length can be served.
+    pub fn can_serve(&self, max_request_tokens: u64) -> bool {
+        max_request_tokens <= self.max_input_length()
+    }
+
+    /// Replays a workload trace and returns the per-request records.
+    ///
+    /// `offered_qps` is recorded in the report for plotting; the arrival times
+    /// themselves already encode the offered load.
+    pub fn run(
+        &mut self,
+        arrivals: &[ArrivalPattern],
+        offered_qps: f64,
+    ) -> Result<RunReport, RunError> {
+        let max_request_tokens = arrivals
+            .iter()
+            .map(|a| a.template.num_tokens())
+            .max()
+            .unwrap_or(0);
+        if !self.can_serve(max_request_tokens) {
+            return Err(RunError::WorkloadInfeasible {
+                max_request_tokens,
+                max_input_length: self.max_input_length(),
+            });
+        }
+
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for (idx, arrival) in arrivals.iter().enumerate() {
+            events.push(arrival.arrival, Event::Arrival(idx));
+        }
+
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(arrivals.len());
+        let mut makespan = SimDuration::ZERO;
+
+        while let Some(scheduled) = events.pop() {
+            let now = scheduled.at;
+            match scheduled.event {
+                Event::Arrival(idx) => {
+                    let arrival = &arrivals[idx];
+                    let instance_idx = self.router.route(arrival.template.user_id);
+                    let request = PrefillRequest {
+                        id: idx as u64,
+                        user_id: arrival.template.user_id,
+                        tokens: Arc::clone(&arrival.template.tokens),
+                        allowed_outputs: Vec::new(),
+                        arrival: now,
+                    };
+                    self.instances[instance_idx].enqueue(request, now);
+                    Self::admit(
+                        &mut self.instances[instance_idx],
+                        instance_idx,
+                        now,
+                        &mut events,
+                    );
+                }
+                Event::Admit(instance_idx) => {
+                    Self::admit(
+                        &mut self.instances[instance_idx],
+                        instance_idx,
+                        now,
+                        &mut events,
+                    );
+                }
+                Event::Complete {
+                    instance,
+                    request_id,
+                } => {
+                    let record = self.instances[instance].complete(request_id, now);
+                    makespan = makespan.max(record.completed - SimTime::ZERO);
+                    records.push(record);
+                    Self::admit(&mut self.instances[instance], instance, now, &mut events);
+                }
+            }
+        }
+
+        let cache = self.aggregate_cache_stats();
+        Ok(RunReport {
+            engine: engine_display_name(self.config.kind).to_string(),
+            offered_qps,
+            records,
+            makespan,
+            cache,
+        })
+    }
+
+    fn admit(
+        instance: &mut EngineInstance,
+        instance_idx: usize,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) {
+        while let Some(started) = instance.try_start(now) {
+            events.push(
+                started.completion,
+                Event::Complete {
+                    instance: instance_idx,
+                    request_id: started.request_id,
+                },
+            );
+        }
+        // If requests are still waiting, wake up when the first stage frees.
+        if instance.queue_len() > 0 {
+            let wake = instance.next_admission_time();
+            if wake > now {
+                events.push(wake, Event::Admit(instance_idx));
+            }
+        }
+    }
+
+    fn aggregate_cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for instance in &self.instances {
+            let s = instance.cache_stats();
+            total.allocations += s.allocations;
+            total.hit_tokens += s.hit_tokens;
+            total.miss_tokens += s.miss_tokens;
+            total.requests_with_hits += s.requests_with_hits;
+            total.evicted_blocks += s.evicted_blocks;
+            total.committed_blocks += s.committed_blocks;
+            total.failed_allocations += s.failed_allocations;
+        }
+        total
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("engine", &engine_display_name(self.config.kind))
+            .field("instances", &self.instances.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineKind;
+    use gpu::HardwareSetup;
+    use model::ModelPreset;
+    use simcore::SimRng;
+    use workload::{assign_poisson_arrivals, Dataset, PostRecommendationSpec};
+
+    fn small_post_rec_dataset() -> Dataset {
+        // A scaled-down post-recommendation workload so unit tests stay fast.
+        let spec = PostRecommendationSpec {
+            num_users: 4,
+            posts_per_user: 6,
+            post_tokens: 150,
+            profile_mean_tokens: 4_000.0,
+            profile_std_tokens: 500.0,
+            profile_min_tokens: 3_000,
+            profile_max_tokens: 5_000,
+        };
+        Dataset::post_recommendation(&spec, &mut SimRng::seed_from_u64(7))
+    }
+
+    fn config(kind: EngineKind) -> EngineConfig {
+        EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            kind,
+            6_000,
+        )
+    }
+
+    #[test]
+    fn cluster_serves_every_request_exactly_once() {
+        let ds = small_post_rec_dataset();
+        let arrivals = assign_poisson_arrivals(&ds, 5.0, &mut SimRng::seed_from_u64(1));
+        let mut cluster = Cluster::new(&config(EngineKind::prefillonly_default()));
+        let report = cluster.run(&arrivals, 5.0).unwrap();
+        assert_eq!(report.records.len(), ds.len());
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.request_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ds.len(), "no request completed twice");
+        assert!(report.mean_latency_secs() > 0.0);
+        assert!(report.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn single_gpu_engines_spread_users_across_instances() {
+        let ds = small_post_rec_dataset();
+        let arrivals = assign_poisson_arrivals(&ds, 5.0, &mut SimRng::seed_from_u64(2));
+        let mut cluster = Cluster::new(&config(EngineKind::PagedAttention));
+        assert_eq!(cluster.instances().len(), 2);
+        let report = cluster.run(&arrivals, 5.0).unwrap();
+        let on_zero = report.records.iter().filter(|r| r.instance == 0).count();
+        let on_one = report.records.iter().filter(|r| r.instance == 1).count();
+        assert!(
+            on_zero > 0 && on_one > 0,
+            "both instances must serve requests"
+        );
+        // User stickiness: every user maps to exactly one instance.
+        for user in 0..4u64 {
+            let instances: Vec<usize> = report
+                .records
+                .iter()
+                .filter(|r| r.user_id == user)
+                .map(|r| r.instance)
+                .collect();
+            assert!(instances.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn parallel_engines_use_one_instance() {
+        let cluster = Cluster::new(&config(EngineKind::TensorParallel));
+        assert_eq!(cluster.instances().len(), 1);
+    }
+
+    #[test]
+    fn infeasible_workload_is_reported() {
+        // The credit-verification workload (40k-60k tokens) cannot run on a
+        // PagedAttention L4 deployment (MIL ~24k): Table 2 marks it ✗.
+        let ds = Dataset::generate(
+            workload::WorkloadKind::CreditVerification,
+            &mut SimRng::seed_from_u64(3),
+        );
+        let arrivals = assign_poisson_arrivals(&ds, 0.2, &mut SimRng::seed_from_u64(3));
+        let mut cluster = Cluster::new(&EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::PagedAttention,
+            60_000,
+        ));
+        let err = cluster.run(&arrivals, 0.2).unwrap_err();
+        assert!(matches!(err, RunError::WorkloadInfeasible { .. }));
+        assert!(err.to_string().contains("maximum input length"));
+    }
+
+    #[test]
+    fn prefillonly_handles_the_long_workload_on_one_gpu() {
+        // ... while PrefillOnly can run it on the same hardware (Table 2 ✓).
+        let ds = Dataset::generate(
+            workload::WorkloadKind::CreditVerification,
+            &mut SimRng::seed_from_u64(3),
+        );
+        let arrivals: Vec<_> = assign_poisson_arrivals(&ds, 0.2, &mut SimRng::seed_from_u64(3))
+            .into_iter()
+            .take(6)
+            .collect();
+        let mut cluster = Cluster::new(&EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::prefillonly_default(),
+            60_000,
+        ));
+        let report = cluster.run(&arrivals, 0.2).unwrap();
+        assert_eq!(report.records.len(), 6);
+    }
+
+    #[test]
+    fn higher_offered_load_increases_latency() {
+        let ds = small_post_rec_dataset();
+        let mut low = Cluster::new(&config(EngineKind::prefillonly_default()));
+        let mut high = Cluster::new(&config(EngineKind::prefillonly_default()));
+        let arrivals_low = assign_poisson_arrivals(&ds, 0.5, &mut SimRng::seed_from_u64(5));
+        let arrivals_high = assign_poisson_arrivals(&ds, 50.0, &mut SimRng::seed_from_u64(5));
+        let report_low = low.run(&arrivals_low, 0.5).unwrap();
+        let report_high = high.run(&arrivals_high, 50.0).unwrap();
+        assert!(
+            report_high.mean_latency_secs() > report_low.mean_latency_secs(),
+            "overload must inflate latency ({} vs {})",
+            report_high.mean_latency_secs(),
+            report_low.mean_latency_secs()
+        );
+    }
+
+    #[test]
+    fn prefix_caching_kicks_in_for_repeat_users() {
+        let ds = small_post_rec_dataset();
+        let arrivals = assign_poisson_arrivals(&ds, 2.0, &mut SimRng::seed_from_u64(6));
+        let mut cluster = Cluster::new(&config(EngineKind::prefillonly_default()));
+        let report = cluster.run(&arrivals, 2.0).unwrap();
+        assert!(
+            report.cache_hit_rate() > 0.5,
+            "a user's 6 posts share a ~4k-token profile; hit rate was {:.2}",
+            report.cache_hit_rate()
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use executor::{ExecutorConfig, Parallelism, PrefillStrategy};
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use scheduler::PolicyKind;
+
+/// Which of the five evaluated serving systems to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// PrefillOnly: hybrid prefilling, suffix KV discarding, SRJF scheduling with
+    /// continuous JCT calibration and fairness parameter λ (paper default: 500).
+    PrefillOnly {
+        /// Fairness parameter λ of §6.3.
+        lambda: f64,
+    },
+    /// vLLM's PagedAttention baseline: full prefill, FCFS scheduling.
+    PagedAttention,
+    /// Chunked-prefill baseline (Sarathi-Serve style) with the given chunk size.
+    ChunkedPrefill {
+        /// Tokens per chunk (the paper's measurement uses 512).
+        chunk_tokens: u64,
+    },
+    /// Tensor parallelism across both GPUs of the hardware setup.
+    TensorParallel,
+    /// Pipeline parallelism across both GPUs of the hardware setup.
+    PipelineParallel,
+}
+
+impl EngineKind {
+    /// PrefillOnly with the paper's default fairness parameter λ = 500.
+    pub fn prefillonly_default() -> EngineKind {
+        EngineKind::PrefillOnly { lambda: 500.0 }
+    }
+
+    /// The chunked-prefill baseline with the paper's chunk size of 512 tokens.
+    pub fn chunked_default() -> EngineKind {
+        EngineKind::ChunkedPrefill { chunk_tokens: 512 }
+    }
+
+    /// Whether this engine shards a single instance across all GPUs of the setup (the
+    /// parallelisation-based baselines) or runs one instance per GPU behind the router.
+    pub fn is_parallel(self) -> bool {
+        matches!(
+            self,
+            EngineKind::TensorParallel | EngineKind::PipelineParallel
+        )
+    }
+
+    /// The prefill strategy this engine uses.
+    pub fn strategy(self) -> PrefillStrategy {
+        match self {
+            EngineKind::PrefillOnly { .. } => PrefillStrategy::hybrid_default(),
+            EngineKind::PagedAttention
+            | EngineKind::TensorParallel
+            | EngineKind::PipelineParallel => PrefillStrategy::Full,
+            EngineKind::ChunkedPrefill { chunk_tokens } => {
+                PrefillStrategy::Chunked { chunk_tokens }
+            }
+        }
+    }
+
+    /// The scheduling policy this engine uses.
+    pub fn policy(self) -> PolicyKind {
+        match self {
+            EngineKind::PrefillOnly { lambda } => PolicyKind::SrjfCalibrated { lambda },
+            _ => PolicyKind::Fcfs,
+        }
+    }
+}
+
+/// Complete configuration of a serving deployment on one hardware setup.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EngineConfig {
+    /// The model to serve.
+    pub model: ModelPreset,
+    /// The hardware setup (pair of GPUs plus link).
+    pub hardware: HardwareSetup,
+    /// Which serving system to run.
+    pub kind: EngineKind,
+    /// The longest request the deployment must be able to serve.  PrefillOnly's profile
+    /// run sizes the KV pool against this length (§3.1); requests longer than the
+    /// engine's own maximum input length are rejected.
+    pub max_model_len: u64,
+    /// vLLM-style GPU memory utilisation fraction.
+    pub memory_utilization: f64,
+    /// KV block size in tokens.
+    pub block_size: usize,
+    /// JCT profiling granularity in tokens (§6.3 uses 1,000).
+    pub profile_granularity: u64,
+}
+
+impl EngineConfig {
+    /// Creates a configuration with the defaults used throughout the evaluation.
+    pub fn new(
+        model: ModelPreset,
+        hardware: HardwareSetup,
+        kind: EngineKind,
+        max_model_len: u64,
+    ) -> EngineConfig {
+        EngineConfig {
+            model,
+            hardware,
+            kind,
+            max_model_len,
+            memory_utilization: 0.9,
+            block_size: 16,
+            profile_granularity: 1_000,
+        }
+    }
+
+    /// Number of engine instances this deployment runs (one per GPU for single-GPU
+    /// engines, a single spanning instance for TP/PP).
+    pub fn num_instances(&self) -> u32 {
+        if self.kind.is_parallel() {
+            1
+        } else {
+            self.hardware.num_gpus
+        }
+    }
+
+    /// Builds the executor configuration for one instance of this deployment.
+    pub fn executor_config(&self) -> ExecutorConfig {
+        let parallelism = match self.kind {
+            EngineKind::TensorParallel => Parallelism::TensorParallel {
+                degree: self.hardware.num_gpus,
+            },
+            EngineKind::PipelineParallel => Parallelism::PipelineParallel {
+                stages: self.hardware.num_gpus,
+            },
+            _ => Parallelism::Single,
+        };
+        ExecutorConfig {
+            model: self.model.config(),
+            gpu: self.hardware.gpu_spec(),
+            link: self.hardware.link,
+            parallelism,
+            strategy: self.kind.strategy(),
+            memory_utilization: self.memory_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kinds_map_to_strategies_and_policies() {
+        assert_eq!(EngineKind::PagedAttention.strategy(), PrefillStrategy::Full);
+        assert!(matches!(
+            EngineKind::prefillonly_default().strategy(),
+            PrefillStrategy::Hybrid(_)
+        ));
+        assert!(matches!(
+            EngineKind::chunked_default().strategy(),
+            PrefillStrategy::Chunked { chunk_tokens: 512 }
+        ));
+        assert!(matches!(
+            EngineKind::prefillonly_default().policy(),
+            PolicyKind::SrjfCalibrated { .. }
+        ));
+        assert!(matches!(
+            EngineKind::PagedAttention.policy(),
+            PolicyKind::Fcfs
+        ));
+    }
+
+    #[test]
+    fn instance_counts_follow_parallelism() {
+        let single = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::prefillonly_default(),
+            20_000,
+        );
+        assert_eq!(single.num_instances(), 2);
+        let tp = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::TensorParallel,
+            20_000,
+        );
+        assert_eq!(tp.num_instances(), 1);
+        assert!(EngineKind::TensorParallel.is_parallel());
+        assert!(!EngineKind::PagedAttention.is_parallel());
+    }
+
+    #[test]
+    fn executor_config_inherits_hardware() {
+        let cfg = EngineConfig::new(
+            ModelPreset::Qwen25_32bFp8,
+            HardwareSetup::a100_pair(),
+            EngineKind::PipelineParallel,
+            60_000,
+        );
+        let exec = cfg.executor_config();
+        assert_eq!(exec.parallelism.num_gpus(), 2);
+        assert_eq!(exec.gpu.kind, gpu::GpuKind::A100_40G);
+        exec.validate();
+    }
+}

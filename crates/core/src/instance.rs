@@ -1,0 +1,547 @@
+//! A single engine instance: executor + KV-cache manager + scheduler.
+//!
+//! One instance corresponds to one engine process in the paper's deployment: a single
+//! GPU for PrefillOnly / PagedAttention / chunked prefill, or both GPUs for the TP / PP
+//! baselines.  The [`crate::Cluster`] owns several instances plus the router and drives
+//! them from a discrete-event loop; the instance itself only knows how to enqueue,
+//! start and complete requests against virtual time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+use executor::{max_input_length, profile_jct_grid, Executor};
+use kvcache::{
+    hash_token_blocks, CacheStats, KvCacheManager, RequestKv, RetentionPolicy, TokenBlockHash,
+};
+use scheduler::{CacheProbe, JctEstimator, SchedulingPolicy, WaitingQueue, WaitingRequest};
+
+use crate::config::EngineConfig;
+use crate::report::RequestRecord;
+use crate::request::PrefillRequest;
+
+/// Cumulative per-instance statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstanceStats {
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests rejected (would not fit even with an empty cache).
+    pub rejected: u64,
+    /// Total GPU busy time accumulated across stages.
+    pub busy: SimDuration,
+}
+
+/// A request admitted to execution, as seen by the cluster's event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartedRequest {
+    /// The admitted request's id.
+    pub request_id: u64,
+    /// When its single output token will be ready.
+    pub completion: SimTime,
+}
+
+struct RunningRequest {
+    request: PrefillRequest,
+    kv: RequestKv,
+    started: SimTime,
+    completion: SimTime,
+}
+
+/// One serving-engine instance.
+pub struct EngineInstance {
+    id: usize,
+    executor: Executor,
+    kv: KvCacheManager,
+    policy: Box<dyn SchedulingPolicy + Send + Sync>,
+    estimator: JctEstimator,
+    retention: RetentionPolicy,
+    queue: WaitingQueue,
+    pending_hashes: HashMap<u64, Arc<Vec<TokenBlockHash>>>,
+    pending_requests: HashMap<u64, PrefillRequest>,
+    running: HashMap<u64, RunningRequest>,
+    stage_free_at: Vec<SimTime>,
+    max_input_length: u64,
+    stats: InstanceStats,
+}
+
+struct KvCacheProbe<'a> {
+    kv: &'a KvCacheManager,
+    hashes: &'a HashMap<u64, Arc<Vec<TokenBlockHash>>>,
+}
+
+impl CacheProbe for KvCacheProbe<'_> {
+    fn cached_tokens(&self, request: &WaitingRequest) -> u64 {
+        self.hashes
+            .get(&request.id)
+            .map(|hashes| self.kv.lookup_cached_tokens_from_hashes(hashes))
+            .unwrap_or(0)
+    }
+}
+
+impl EngineInstance {
+    /// Builds instance `id` of the deployment described by `config`.
+    ///
+    /// This performs PrefillOnly's profile run (§3.1): it derives the instance's
+    /// maximum input length, reserves activation memory for the longest admissible
+    /// request, dedicates the remaining GPU memory to the prefix-cache KV pool, and
+    /// fits the JCT estimator over the profiling grid.
+    pub fn new(config: &EngineConfig, id: usize) -> EngineInstance {
+        let executor = Executor::new(config.executor_config());
+        let mil = max_input_length(&executor, config.profile_granularity);
+        let effective_max = config.max_model_len.min(mil).max(1);
+
+        // Profile run: size the KV pool from what is left after the longest request.
+        let pool_bytes_per_gpu = executor.kv_pool_bytes_per_gpu(effective_max);
+        let kv_per_token_per_gpu = executor.kv_bytes_per_token_per_gpu().max(1);
+        let pool_tokens = pool_bytes_per_gpu / kv_per_token_per_gpu;
+        let pool_blocks = (pool_tokens / config.block_size as u64).max(1);
+        let kv = KvCacheManager::new(pool_blocks, config.block_size);
+
+        // JCT profile (§6.3): grid over (n_input, n_cached) at 1,000-token granularity,
+        // then fit the cache-miss-token proxy the paper uses by default.
+        let granularity = config.profile_granularity.min(effective_max).max(1);
+        let grid = profile_jct_grid(&executor, effective_max, granularity);
+        let samples: Vec<(f64, f64, f64)> = grid
+            .iter()
+            .map(|p| (p.n_input as f64, p.n_cached as f64, p.jct_secs))
+            .collect();
+        let estimator = JctEstimator::fit_proxy(&samples).unwrap_or_else(|| {
+            // Degenerate profile (single feasible length): fall back to a direct
+            // per-token cost measurement.
+            let jct = executor.forward_time(effective_max, 0).total.as_secs_f64();
+            JctEstimator::proxy(jct / effective_max as f64, 0.0)
+        });
+
+        let retention = if config.kind.strategy().requires_full_kv_residency() {
+            RetentionPolicy::FullResidency
+        } else {
+            RetentionPolicy::PrefixBestEffort
+        };
+        let stages = executor.config().parallelism.num_stages() as usize;
+
+        EngineInstance {
+            id,
+            policy: config.kind.policy().build(estimator),
+            estimator,
+            executor,
+            kv,
+            retention,
+            queue: WaitingQueue::new(),
+            pending_hashes: HashMap::new(),
+            pending_requests: HashMap::new(),
+            running: HashMap::new(),
+            stage_free_at: vec![SimTime::ZERO; stages],
+            max_input_length: mil,
+            stats: InstanceStats::default(),
+        }
+    }
+
+    /// Instance index within the cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The executor used by this instance.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The fitted JCT estimator.
+    pub fn jct_estimator(&self) -> JctEstimator {
+        self.estimator
+    }
+
+    /// Maximum input length this instance can execute (Table 2).
+    pub fn max_input_length(&self) -> u64 {
+        self.max_input_length
+    }
+
+    /// Capacity of the prefix-cache pool, in tokens.
+    pub fn kv_pool_tokens(&self) -> u64 {
+        self.kv.capacity_blocks() * self.kv.block_size() as u64
+    }
+
+    /// Number of requests waiting to be scheduled.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of requests currently executing.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> InstanceStats {
+        self.stats
+    }
+
+    /// Prefix-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.kv.stats()
+    }
+
+    /// Earliest virtual time at which a new request could be admitted (when the first
+    /// pipeline stage becomes free).
+    pub fn next_admission_time(&self) -> SimTime {
+        self.stage_free_at[0]
+    }
+
+    /// Whether a request of `tokens` tokens can be executed by this instance at all.
+    pub fn can_serve(&self, tokens: u64) -> bool {
+        tokens <= self.max_input_length
+    }
+
+    /// Adds a request to the waiting queue.
+    ///
+    /// The request's block-hash chain is computed once here; every later cache probe
+    /// (continuous JCT calibration runs one per waiting request per scheduling step)
+    /// reuses it.
+    pub fn enqueue(&mut self, request: PrefillRequest, now: SimTime) {
+        let hashes = Arc::new(hash_token_blocks(&request.tokens, self.kv.block_size()));
+        let cached_at_arrival = self.kv.lookup_cached_tokens_from_hashes(&hashes);
+        self.queue.push(WaitingRequest {
+            id: request.id,
+            arrival: now,
+            total_tokens: request.num_tokens(),
+            cached_tokens_at_arrival: cached_at_arrival,
+        });
+        self.pending_hashes.insert(request.id, hashes);
+        self.pending_requests.insert(request.id, request);
+    }
+
+    /// Attempts to admit the next request according to the scheduling policy.
+    ///
+    /// Returns `None` when the queue is empty or the first pipeline stage is still
+    /// busy.  Requests that cannot be executed (longer than the instance's MIL, or KV
+    /// allocation failure under full residency) are dropped and counted as rejected.
+    pub fn try_start(&mut self, now: SimTime) -> Option<StartedRequest> {
+        loop {
+            if self.queue.is_empty() || self.stage_free_at[0] > now {
+                return None;
+            }
+            let selected = {
+                let probe = KvCacheProbe {
+                    kv: &self.kv,
+                    hashes: &self.pending_hashes,
+                };
+                self.policy.select(self.queue.requests(), now, &probe)?
+            };
+            let waiting = self.queue.remove(selected);
+            let hashes = self
+                .pending_hashes
+                .remove(&waiting.id)
+                .expect("waiting request must have a hash chain");
+            let request = self
+                .pending_requests
+                .remove(&waiting.id)
+                .expect("waiting request must have a pending entry");
+
+            if !self.can_serve(request.num_tokens()) {
+                self.stats.rejected += 1;
+                continue;
+            }
+            let kv_alloc = match self.kv.allocate_from_hashes(
+                &hashes,
+                request.num_tokens(),
+                now,
+                self.retention,
+            ) {
+                Ok(alloc) => alloc,
+                Err(err) => {
+                    if err.needed_blocks > self.kv.capacity_blocks() {
+                        // Even an empty pool could not hold this request: reject it.
+                        self.stats.rejected += 1;
+                        continue;
+                    }
+                    // Transient pressure: other running requests still pin their KV
+                    // blocks.  Put the request back and wait for a completion to free
+                    // references (the cluster re-attempts admission on every event).
+                    self.queue.push(waiting);
+                    self.pending_hashes.insert(waiting.id, hashes);
+                    self.pending_requests.insert(waiting.id, request);
+                    return None;
+                }
+            };
+
+            let cached = kv_alloc.cached_tokens();
+            let new_tokens = kv_alloc.uncached_tokens().max(1);
+            let breakdown = self.executor.forward_time(new_tokens, cached);
+
+            // Walk the request through the pipeline stages, respecting both the
+            // request's own data dependency and each stage's availability.
+            let mut previous_end = now;
+            for (stage, stage_time) in breakdown.stage_times.iter().enumerate() {
+                let start = previous_end.max(self.stage_free_at[stage]);
+                let end = start + *stage_time;
+                self.stage_free_at[stage] = end;
+                self.stats.busy += *stage_time;
+                previous_end = end;
+            }
+            let completion = previous_end;
+
+            let request_id = request.id;
+            self.running.insert(
+                request_id,
+                RunningRequest {
+                    request,
+                    kv: kv_alloc,
+                    started: now,
+                    completion,
+                },
+            );
+            return Some(StartedRequest {
+                request_id,
+                completion,
+            });
+        }
+    }
+
+    /// Finishes a running request: commits its KV blocks to the prefix cache and
+    /// produces the request record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_id` is not currently running.
+    pub fn complete(&mut self, request_id: u64, now: SimTime) -> RequestRecord {
+        let running = self
+            .running
+            .remove(&request_id)
+            .expect("completing a request that is not running");
+        debug_assert!(now >= running.completion);
+        let cached = running.kv.cached_tokens();
+        self.kv.commit(running.kv, now);
+        self.stats.completed += 1;
+        RequestRecord {
+            request_id,
+            user_id: running.request.user_id,
+            instance: self.id,
+            arrival: running.request.arrival,
+            started: running.started,
+            completed: running.completion,
+            total_tokens: running.request.num_tokens(),
+            cached_tokens: cached,
+        }
+    }
+}
+
+impl std::fmt::Debug for EngineInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineInstance")
+            .field("id", &self.id)
+            .field("max_input_length", &self.max_input_length)
+            .field("queue_len", &self.queue.len())
+            .field("running", &self.running.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineConfig, EngineKind};
+    use gpu::HardwareSetup;
+    use model::ModelPreset;
+
+    fn config(kind: EngineKind) -> EngineConfig {
+        EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            kind,
+            20_000,
+        )
+    }
+
+    fn request(id: u64, user: u64, tokens: u64, arrival: SimTime) -> PrefillRequest {
+        PrefillRequest {
+            id,
+            user_id: user,
+            tokens: Arc::new((0..tokens as u32).collect()),
+            allowed_outputs: vec!["Yes".into(), "No".into()],
+            arrival,
+        }
+    }
+
+    #[test]
+    fn profile_run_sizes_the_pool_and_mil() {
+        let instance = EngineInstance::new(&config(EngineKind::prefillonly_default()), 0);
+        assert!(instance.max_input_length() >= 20_000);
+        assert!(instance.kv_pool_tokens() > 0);
+        assert_eq!(instance.queue_len(), 0);
+        assert_eq!(instance.running_len(), 0);
+    }
+
+    #[test]
+    fn request_lifecycle_produces_a_record() {
+        let mut instance = EngineInstance::new(&config(EngineKind::prefillonly_default()), 0);
+        let now = SimTime::ZERO;
+        instance.enqueue(request(1, 7, 4_000, now), now);
+        assert_eq!(instance.queue_len(), 1);
+        let started = instance.try_start(now).expect("idle instance must start");
+        assert_eq!(started.request_id, 1);
+        assert!(started.completion > now);
+        assert_eq!(instance.running_len(), 1);
+        let record = instance.complete(1, started.completion);
+        assert_eq!(record.user_id, 7);
+        assert_eq!(record.total_tokens, 4_000);
+        assert_eq!(record.cached_tokens, 0);
+        assert!(record.latency() > SimDuration::ZERO);
+        assert_eq!(instance.stats().completed, 1);
+    }
+
+    #[test]
+    fn busy_instance_does_not_admit() {
+        let mut instance = EngineInstance::new(&config(EngineKind::PagedAttention), 0);
+        let now = SimTime::ZERO;
+        instance.enqueue(request(1, 1, 4_000, now), now);
+        instance.enqueue(request(2, 2, 4_000, now), now);
+        let first = instance.try_start(now).unwrap();
+        assert!(instance.try_start(now).is_none(), "single stage is busy");
+        // After the first completes, the second can start.
+        let later = first.completion;
+        instance.complete(first.request_id, later);
+        assert!(instance.try_start(later).is_some());
+    }
+
+    #[test]
+    fn second_request_of_same_user_hits_the_cache() {
+        let mut instance = EngineInstance::new(&config(EngineKind::prefillonly_default()), 0);
+        let shared: Vec<u32> = (0..8_000).collect();
+        let mut req_a = shared.clone();
+        req_a.extend(100_000..100_150u32);
+        let mut req_b = shared.clone();
+        req_b.extend(200_000..200_150u32);
+
+        let now = SimTime::ZERO;
+        let a = PrefillRequest {
+            id: 1,
+            user_id: 1,
+            tokens: Arc::new(req_a),
+            allowed_outputs: vec![],
+            arrival: now,
+        };
+        instance.enqueue(a, now);
+        let started_a = instance.try_start(now).unwrap();
+        let record_a = instance.complete(1, started_a.completion);
+        assert_eq!(record_a.cached_tokens, 0);
+
+        let later = started_a.completion;
+        let b = PrefillRequest {
+            id: 2,
+            user_id: 1,
+            tokens: Arc::new(req_b),
+            allowed_outputs: vec![],
+            arrival: later,
+        };
+        instance.enqueue(b, later);
+        let started_b = instance.try_start(later).unwrap();
+        let record_b = instance.complete(2, started_b.completion);
+        assert!(
+            record_b.cached_tokens >= 7_000,
+            "expected a large prefix hit, got {}",
+            record_b.cached_tokens
+        );
+        // The cache hit must also make the second request faster.
+        assert!(record_b.execution() < record_a.execution());
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_not_executed() {
+        let mut instance = EngineInstance::new(&config(EngineKind::PagedAttention), 0);
+        let mil = instance.max_input_length();
+        let now = SimTime::ZERO;
+        instance.enqueue(request(1, 1, mil + 5_000, now), now);
+        assert!(instance.try_start(now).is_none());
+        assert_eq!(instance.stats().rejected, 1);
+        assert_eq!(instance.running_len(), 0);
+    }
+
+    #[test]
+    fn pipeline_parallel_instance_overlaps_requests() {
+        let mut instance = EngineInstance::new(&config(EngineKind::PipelineParallel), 0);
+        let now = SimTime::ZERO;
+        instance.enqueue(request(1, 1, 8_000, now), now);
+        instance.enqueue(request(2, 2, 8_000, now), now);
+        let first = instance.try_start(now).unwrap();
+        // The second request can be admitted as soon as stage 0 frees up, which is
+        // before the first request fully completes.
+        let admit_at = instance.next_admission_time();
+        assert!(admit_at < first.completion);
+        let second = instance.try_start(admit_at).unwrap();
+        assert!(second.completion > first.completion);
+        instance.complete(first.request_id, first.completion);
+        instance.complete(second.request_id, second.completion);
+        assert_eq!(instance.stats().completed, 2);
+    }
+
+    #[test]
+    fn prefillonly_schedules_cache_friendly_request_first() {
+        // Two requests wait: a long one whose prefix is already cached and a short cold
+        // one.  PrefillOnly (SRJF + calibration) must pick the cached one; the
+        // PagedAttention baseline (FCFS) picks the one that arrived first.
+        let shared: Vec<u32> = (0..12_000).collect();
+        let build = |kind: EngineKind| -> (EngineInstance, SimTime) {
+            let mut instance = EngineInstance::new(&config(kind), 0);
+            let now = SimTime::ZERO;
+            // Warm the cache with the shared prefix.
+            let warm = PrefillRequest {
+                id: 100,
+                user_id: 1,
+                tokens: Arc::new(shared.clone()),
+                allowed_outputs: vec![],
+                arrival: now,
+            };
+            instance.enqueue(warm, now);
+            let s = instance.try_start(now).unwrap();
+            instance.complete(100, s.completion);
+            (instance, s.completion)
+        };
+
+        let cold_tokens: Arc<Vec<u32>> = Arc::new((700_000..706_000u32).collect());
+        let (mut po, t0) = build(EngineKind::prefillonly_default());
+        // Cold short request arrives first, warm long request second.
+        let cold = PrefillRequest {
+            id: 1,
+            user_id: 2,
+            tokens: Arc::clone(&cold_tokens),
+            allowed_outputs: vec![],
+            arrival: t0,
+        };
+        let mut warm_tokens = shared.clone();
+        warm_tokens.extend(500_000..500_150u32);
+        let warm = PrefillRequest {
+            id: 2,
+            user_id: 1,
+            tokens: Arc::new(warm_tokens.clone()),
+            allowed_outputs: vec![],
+            arrival: t0,
+        };
+        po.enqueue(cold.clone(), t0);
+        po.enqueue(warm.clone(), t0);
+        let first = po.try_start(t0).unwrap();
+        assert_eq!(first.request_id, 2, "calibrated SRJF prefers the cache hit");
+
+        let (mut paged, t1) = build(EngineKind::PagedAttention);
+        let cold = PrefillRequest {
+            id: 1,
+            user_id: 2,
+            tokens: Arc::clone(&cold_tokens),
+            allowed_outputs: vec![],
+            arrival: t1,
+        };
+        let warm = PrefillRequest {
+            id: 2,
+            user_id: 1,
+            tokens: Arc::new(warm_tokens),
+            allowed_outputs: vec![],
+            arrival: t1,
+        };
+        paged.enqueue(cold, t1);
+        paged.enqueue(warm, t1);
+        let first = paged.try_start(t1).unwrap();
+        assert_eq!(first.request_id, 1, "FCFS runs the earlier-arrived request");
+    }
+}

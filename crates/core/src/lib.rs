@@ -1,0 +1,63 @@
+//! # PrefillOnly — an inference engine for prefill-only LLM workloads
+//!
+//! This crate is the top of the reproduction stack: it assembles the analytical GPU
+//! model (`prefillonly-gpu`), the model shape arithmetic (`prefillonly-model`), the
+//! paged KV-cache manager (`prefillonly-kvcache`), the execution strategies
+//! (`prefillonly-executor`) and the JCT-aware scheduler (`prefillonly-scheduler`) into
+//! a complete serving engine that can be driven either request-by-request (the
+//! [`PrefillOnlyClient`] facade used by the examples) or by replaying a whole workload
+//! trace under a Poisson arrival process (the [`Cluster`] simulator used by every
+//! figure of the evaluation).
+//!
+//! ## The five evaluated systems
+//!
+//! [`EngineKind`] enumerates PrefillOnly and the four baselines of §7.1:
+//!
+//! | Engine | Prefill strategy | Scheduler | GPUs per instance |
+//! |---|---|---|---|
+//! | `PrefillOnly` | hybrid prefilling + suffix KV discarding | SRJF + continuous JCT calibration (λ) | 1 |
+//! | `PagedAttention` | full prefill, full KV residency | FCFS | 1 |
+//! | `ChunkedPrefill` | chunked prefill (chunk 512) | FCFS | 1 |
+//! | `TensorParallel` | full prefill sharded over 2 GPUs | FCFS | 2 |
+//! | `PipelineParallel` | full prefill split into 2 stages | FCFS | 2 |
+//!
+//! Single-GPU engines are replicated once per GPU and fronted by the user-id router of
+//! §7.1; multi-GPU engines run as one instance spanning both GPUs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use prefillonly::{EngineConfig, EngineKind, PrefillOnlyClient};
+//! use gpu::HardwareSetup;
+//! use model::ModelPreset;
+//!
+//! let config = EngineConfig::new(
+//!     ModelPreset::Llama31_8b,
+//!     HardwareSetup::l4_pair(),
+//!     EngineKind::prefillonly_default(),
+//!     20_000,
+//! );
+//! let mut client = PrefillOnlyClient::new(&config);
+//! let prompt: Vec<u32> = (0..4_000).collect();
+//! let response = client.score(&prompt, &["Yes", "No"]);
+//! assert_eq!(response.scores.len(), 2);
+//! assert!(response.latency.as_secs_f64() > 0.0);
+//! ```
+
+mod baselines;
+mod client;
+mod cluster;
+mod config;
+mod instance;
+mod report;
+mod request;
+mod routing;
+
+pub use baselines::{all_engine_kinds, engine_display_name};
+pub use client::PrefillOnlyClient;
+pub use cluster::{Cluster, RunError};
+pub use config::{EngineConfig, EngineKind};
+pub use instance::{EngineInstance, InstanceStats};
+pub use report::{RequestRecord, RunReport};
+pub use request::{PrefillRequest, PrefillResponse, TokenScore};
+pub use routing::UserRouter;

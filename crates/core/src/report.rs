@@ -1,0 +1,158 @@
+//! Per-run results: request records and aggregate report.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+use kvcache::CacheStats;
+use metrics::{Cdf, Summary};
+
+/// Everything recorded about one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request id.
+    pub request_id: u64,
+    /// User the request belonged to.
+    pub user_id: u64,
+    /// Instance that executed it.
+    pub instance: usize,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Time execution started.
+    pub started: SimTime,
+    /// Time the single output token was produced.
+    pub completed: SimTime,
+    /// Prompt length in tokens.
+    pub total_tokens: u64,
+    /// Tokens served from the prefix cache.
+    pub cached_tokens: u64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency (queueing plus execution).
+    pub fn latency(&self) -> SimDuration {
+        self.completed - self.arrival
+    }
+
+    /// Time spent waiting in the scheduler queue.
+    pub fn queueing(&self) -> SimDuration {
+        self.started - self.arrival
+    }
+
+    /// Pure execution time.
+    pub fn execution(&self) -> SimDuration {
+        self.completed - self.started
+    }
+}
+
+/// Aggregate result of replaying one workload trace against one engine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Display name of the engine ("PrefillOnly", "PagedAttention", ...).
+    pub engine: String,
+    /// Offered load in queries per second.
+    pub offered_qps: f64,
+    /// Per-request records, in completion order.
+    pub records: Vec<RequestRecord>,
+    /// Virtual time at which the last request completed.
+    pub makespan: SimDuration,
+    /// Aggregated prefix-cache statistics across all instances.
+    pub cache: CacheStats,
+}
+
+impl RunReport {
+    /// Latency samples in seconds, in completion order.
+    pub fn latencies_secs(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.latency().as_secs_f64())
+            .collect()
+    }
+
+    /// Latency summary (mean, percentiles), or `None` for an empty run.
+    pub fn latency_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.latencies_secs())
+    }
+
+    /// Mean latency in seconds (0 for an empty run).
+    pub fn mean_latency_secs(&self) -> f64 {
+        self.latency_summary().map(|s| s.mean).unwrap_or(0.0)
+    }
+
+    /// P99 latency in seconds (0 for an empty run).
+    pub fn p99_latency_secs(&self) -> f64 {
+        self.latency_summary().map(|s| s.p99).unwrap_or(0.0)
+    }
+
+    /// Sustained request throughput: completed requests divided by the makespan.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.records.len() as f64 / self.makespan.as_secs_f64()
+    }
+
+    /// Fraction of prompt tokens served from the prefix cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Latency CDF (Fig. 11).
+    pub fn latency_cdf(&self) -> Cdf {
+        Cdf::from_samples(&self.latencies_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(arrival_ms: u64, started_ms: u64, completed_ms: u64) -> RequestRecord {
+        RequestRecord {
+            request_id: 1,
+            user_id: 1,
+            instance: 0,
+            arrival: SimTime::from_millis(arrival_ms),
+            started: SimTime::from_millis(started_ms),
+            completed: SimTime::from_millis(completed_ms),
+            total_tokens: 1000,
+            cached_tokens: 100,
+        }
+    }
+
+    #[test]
+    fn record_durations() {
+        let r = record(0, 200, 1000);
+        assert_eq!(r.latency(), SimDuration::from_millis(1000));
+        assert_eq!(r.queueing(), SimDuration::from_millis(200));
+        assert_eq!(r.execution(), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = RunReport {
+            engine: "PrefillOnly".into(),
+            offered_qps: 10.0,
+            records: vec![record(0, 0, 1000), record(0, 1000, 3000)],
+            makespan: SimDuration::from_secs(3),
+            cache: CacheStats::default(),
+        };
+        assert!((report.mean_latency_secs() - 2.0).abs() < 1e-9);
+        assert!(report.p99_latency_secs() >= report.mean_latency_secs());
+        assert!((report.throughput_rps() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(report.latency_cdf().len(), 2);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let report = RunReport {
+            engine: "x".into(),
+            offered_qps: 1.0,
+            records: vec![],
+            makespan: SimDuration::ZERO,
+            cache: CacheStats::default(),
+        };
+        assert_eq!(report.mean_latency_secs(), 0.0);
+        assert_eq!(report.throughput_rps(), 0.0);
+        assert!(report.latency_summary().is_none());
+    }
+}

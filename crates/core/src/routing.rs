@@ -1,0 +1,94 @@
+//! User-id based request routing.
+//!
+//! §7.1 ("Routing"): single-GPU engines are replicated, one instance per GPU, and
+//! requests are routed so that all requests of one user land on the same instance —
+//! users are assigned to instances round-robin in order of first appearance.  Keeping a
+//! user's requests together is what lets the instance's prefix cache reuse the user's
+//! profile across their 50 candidate posts.
+
+use std::collections::HashMap;
+
+/// Sticky round-robin router keyed by user id.
+#[derive(Debug, Clone)]
+pub struct UserRouter {
+    num_instances: usize,
+    assignment: HashMap<u64, usize>,
+    next: usize,
+}
+
+impl UserRouter {
+    /// Creates a router over `num_instances` engine instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_instances` is zero.
+    pub fn new(num_instances: usize) -> UserRouter {
+        assert!(num_instances > 0, "router needs at least one instance");
+        UserRouter {
+            num_instances,
+            assignment: HashMap::new(),
+            next: 0,
+        }
+    }
+
+    /// Returns the instance index for `user_id`, assigning a new user to the next
+    /// instance in round-robin order.
+    pub fn route(&mut self, user_id: u64) -> usize {
+        if let Some(&instance) = self.assignment.get(&user_id) {
+            return instance;
+        }
+        let instance = self.next;
+        self.assignment.insert(user_id, instance);
+        self.next = (self.next + 1) % self.num_instances;
+        instance
+    }
+
+    /// Number of instances behind the router.
+    pub fn num_instances(&self) -> usize {
+        self.num_instances
+    }
+
+    /// Number of distinct users seen so far.
+    pub fn known_users(&self) -> usize {
+        self.assignment.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn users_stick_to_their_instance() {
+        let mut router = UserRouter::new(2);
+        let first = router.route(10);
+        for _ in 0..5 {
+            assert_eq!(router.route(10), first);
+        }
+        assert_eq!(router.known_users(), 1);
+    }
+
+    #[test]
+    fn new_users_round_robin() {
+        let mut router = UserRouter::new(3);
+        let assignments: Vec<usize> = (0..9).map(|u| router.route(u)).collect();
+        assert_eq!(assignments, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        assert_eq!(router.num_instances(), 3);
+        assert_eq!(router.known_users(), 9);
+    }
+
+    #[test]
+    fn single_instance_routes_everything_to_zero() {
+        let mut router = UserRouter::new(1);
+        assert!(std::iter::repeat_with(|| router.route(777))
+            .take(3)
+            .all(|i| i == 0));
+        assert_eq!(router.route(888), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_instances_panics() {
+        UserRouter::new(0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Executor configuration types.
+
+use serde::{Deserialize, Serialize};
+
+use gpu::{GpuSpec, LinkKind};
+use model::ModelConfig;
+
+/// Options of hybrid prefilling, matching the ablation stages of Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridOptions {
+    /// Tokens per chunk for the linear (non-attention) layers.
+    pub chunk_tokens: u64,
+    /// Preallocate the full-size output tensor and write each chunk's output directly
+    /// into it, instead of concatenating chunk outputs at the end (§4.3).
+    pub output_preallocation: bool,
+    /// Reuse the input tensor's memory for the output when shapes match (§4.3).
+    pub in_place_reuse: bool,
+}
+
+/// Default chunk size for hybrid prefilling.
+///
+/// Large enough that the chunked GEMMs stay near peak efficiency (hybrid prefilling
+/// must not cost throughput, Fig. 10), small enough that the per-chunk MLP intermediate
+/// tensor is a few hundred megabytes instead of the multi-GiB full-sequence spike.
+const DEFAULT_HYBRID_CHUNK_TOKENS: u64 = 2048;
+
+impl Default for HybridOptions {
+    fn default() -> Self {
+        HybridOptions {
+            chunk_tokens: DEFAULT_HYBRID_CHUNK_TOKENS,
+            output_preallocation: true,
+            in_place_reuse: true,
+        }
+    }
+}
+
+impl HybridOptions {
+    /// The "chunking only" ablation stage of Fig. 10 (no preallocation, no in-place).
+    pub fn chunking_only() -> Self {
+        HybridOptions {
+            chunk_tokens: DEFAULT_HYBRID_CHUNK_TOKENS,
+            output_preallocation: false,
+            in_place_reuse: false,
+        }
+    }
+
+    /// The "chunking + preallocation" ablation stage of Fig. 10.
+    pub fn with_preallocation() -> Self {
+        HybridOptions {
+            chunk_tokens: DEFAULT_HYBRID_CHUNK_TOKENS,
+            output_preallocation: true,
+            in_place_reuse: false,
+        }
+    }
+}
+
+/// How the prefill forward pass is organised.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PrefillStrategy {
+    /// Whole-sequence prefill (vLLM PagedAttention baseline).
+    Full,
+    /// Chunked prefill with the given chunk size (Sarathi-Serve baseline).
+    Chunked {
+        /// Tokens per chunk.
+        chunk_tokens: u64,
+    },
+    /// PrefillOnly's hybrid prefilling.
+    Hybrid(HybridOptions),
+}
+
+impl PrefillStrategy {
+    /// Whether the KV cache of every layer must stay resident for the whole pass.
+    ///
+    /// Full and chunked prefill reuse the KV across layers / chunks of the same pass,
+    /// so they need full residency; hybrid prefilling finishes the request in a single
+    /// pass and may discard the KV layer-by-layer.
+    pub fn requires_full_kv_residency(self) -> bool {
+        !matches!(self, PrefillStrategy::Hybrid(_))
+    }
+
+    /// Default chunked-prefill baseline configuration used in the paper's measurement
+    /// of §2.5 (chunk size 512).
+    pub fn chunked_default() -> Self {
+        PrefillStrategy::Chunked { chunk_tokens: 512 }
+    }
+
+    /// Default hybrid configuration with both optimisations enabled.
+    pub fn hybrid_default() -> Self {
+        PrefillStrategy::Hybrid(HybridOptions::default())
+    }
+}
+
+/// Multi-GPU execution layout of one engine instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// A single GPU serves the whole model.
+    Single,
+    /// Tensor parallelism: every layer is sharded across `degree` GPUs, paying two
+    /// all-reduces per transformer block.
+    TensorParallel {
+        /// Number of GPUs.
+        degree: u32,
+    },
+    /// Pipeline parallelism: layers are split into `stages` contiguous groups, one GPU
+    /// per stage.
+    PipelineParallel {
+        /// Number of stages.
+        stages: u32,
+    },
+}
+
+impl Parallelism {
+    /// Number of GPUs an instance with this layout occupies.
+    pub fn num_gpus(self) -> u32 {
+        match self {
+            Parallelism::Single => 1,
+            Parallelism::TensorParallel { degree } => degree,
+            Parallelism::PipelineParallel { stages } => stages,
+        }
+    }
+
+    /// Number of sequential pipeline stages (1 unless pipeline parallel).
+    pub fn num_stages(self) -> u32 {
+        match self {
+            Parallelism::PipelineParallel { stages } => stages,
+            _ => 1,
+        }
+    }
+}
+
+/// Full description of how one engine instance executes forward passes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExecutorConfig {
+    /// The model being served.
+    pub model: ModelConfig,
+    /// The GPU every shard runs on (instances are homogeneous).
+    pub gpu: GpuSpec,
+    /// Link between the GPUs of this instance (relevant for TP / PP).
+    pub link: LinkKind,
+    /// Multi-GPU layout.
+    pub parallelism: Parallelism,
+    /// Prefill strategy.
+    pub strategy: PrefillStrategy,
+    /// Fraction of device memory the engine may use (vLLM `gpu_memory_utilization`).
+    pub memory_utilization: f64,
+}
+
+impl ExecutorConfig {
+    /// Creates a single-GPU configuration with the given strategy and the default
+    /// memory utilisation of 0.9.
+    pub fn single_gpu(model: ModelConfig, gpu: GpuSpec, strategy: PrefillStrategy) -> Self {
+        ExecutorConfig {
+            model,
+            gpu,
+            link: LinkKind::PcieGen4,
+            parallelism: Parallelism::Single,
+            strategy,
+            memory_utilization: 0.9,
+        }
+    }
+
+    /// Validates invariants that the rest of the crate relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (zero chunk size, zero
+    /// parallel degree, utilisation outside `(0, 1]`).
+    pub fn validate(&self) {
+        assert!(
+            self.memory_utilization > 0.0 && self.memory_utilization <= 1.0,
+            "memory utilization must lie in (0, 1]"
+        );
+        match self.strategy {
+            PrefillStrategy::Chunked { chunk_tokens } => {
+                assert!(chunk_tokens > 0, "chunk size must be positive")
+            }
+            PrefillStrategy::Hybrid(opts) => {
+                assert!(opts.chunk_tokens > 0, "chunk size must be positive")
+            }
+            PrefillStrategy::Full => {}
+        }
+        assert!(
+            self.parallelism.num_gpus() > 0,
+            "parallel degree must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu::GpuKind;
+    use model::llama3_1_8b;
+
+    #[test]
+    fn residency_requirements() {
+        assert!(PrefillStrategy::Full.requires_full_kv_residency());
+        assert!(PrefillStrategy::chunked_default().requires_full_kv_residency());
+        assert!(!PrefillStrategy::hybrid_default().requires_full_kv_residency());
+    }
+
+    #[test]
+    fn parallelism_gpu_counts() {
+        assert_eq!(Parallelism::Single.num_gpus(), 1);
+        assert_eq!(Parallelism::TensorParallel { degree: 2 }.num_gpus(), 2);
+        assert_eq!(Parallelism::PipelineParallel { stages: 4 }.num_gpus(), 4);
+        assert_eq!(Parallelism::TensorParallel { degree: 2 }.num_stages(), 1);
+        assert_eq!(Parallelism::PipelineParallel { stages: 2 }.num_stages(), 2);
+    }
+
+    #[test]
+    fn ablation_presets_differ() {
+        let chunking = HybridOptions::chunking_only();
+        let prealloc = HybridOptions::with_preallocation();
+        let full = HybridOptions::default();
+        assert!(!chunking.output_preallocation && !chunking.in_place_reuse);
+        assert!(prealloc.output_preallocation && !prealloc.in_place_reuse);
+        assert!(full.output_preallocation && full.in_place_reuse);
+    }
+
+    #[test]
+    fn single_gpu_config_validates() {
+        let cfg = ExecutorConfig::single_gpu(
+            llama3_1_8b(),
+            GpuKind::L4.spec(),
+            PrefillStrategy::hybrid_default(),
+        );
+        cfg.validate();
+        assert_eq!(cfg.parallelism.num_gpus(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_is_rejected() {
+        let cfg = ExecutorConfig::single_gpu(
+            llama3_1_8b(),
+            GpuKind::L4.spec(),
+            PrefillStrategy::Chunked { chunk_tokens: 0 },
+        );
+        cfg.validate();
+    }
+}

@@ -1,0 +1,34 @@
+//! Forward-pass execution strategies.
+//!
+//! This crate models how a prefill is actually executed on the (analytical) GPU, and is
+//! where the paper's first contribution lives:
+//!
+//! * [`PrefillStrategy::Full`] — vLLM's default whole-sequence prefill: one pass, all
+//!   intermediate tensors materialised for the full sequence, KV of every layer
+//!   resident (the "PagedAttention" baseline).
+//! * [`PrefillStrategy::Chunked`] — Sarathi-style chunked prefill: everything is
+//!   processed chunk-by-chunk, which caps activation memory but degrades attention
+//!   kernel efficiency and still keeps the KV of all previous chunks resident.
+//! * [`PrefillStrategy::Hybrid`] — PrefillOnly's **hybrid prefilling** (§4): linear
+//!   layers run chunk-by-chunk while attention runs over the full sequence, so the MLP
+//!   intermediate-tensor spikes of Fig. 3/4 never materialise, the whole request
+//!   finishes in one pass, and the KV of suffix tokens can be discarded.  The
+//!   `output_preallocation` and `in_place_reuse` flags reproduce the two optimisations
+//!   ablated in Fig. 10.
+//!
+//! [`Parallelism`] adds the two multi-GPU baselines (tensor and pipeline parallelism)
+//! with their communication costs, and [`Executor`] exposes the three quantities the
+//! engine needs: peak memory, forward-pass time, and the maximum input length (MIL)
+//! search that reproduces Table 2 and Fig. 10.
+
+mod config;
+mod executor;
+mod mil;
+mod profile;
+mod trace;
+
+pub use config::{ExecutorConfig, HybridOptions, Parallelism, PrefillStrategy};
+pub use executor::{Executor, ForwardBreakdown};
+pub use mil::max_input_length;
+pub use profile::{profile_jct_grid, JctProfilePoint};
+pub use trace::{prefill_memory_trace, prefill_memory_trace_with_kv};

@@ -1,0 +1,249 @@
+//! Maximum-input-length (MIL) search.
+//!
+//! Table 2 and Fig. 10 of the paper report, for every engine configuration, the longest
+//! request that fits in GPU memory.  With the analytical memory model this is a simple
+//! monotone predicate (`Executor::fits`), so a binary search at the paper's granularity
+//! of 1,000 tokens reproduces those numbers.
+
+use crate::executor::Executor;
+
+/// Upper bound of the search, far above any realistic context length for the evaluated
+/// models and GPUs.
+const SEARCH_CEILING_TOKENS: u64 = 4_000_000;
+
+/// Returns the maximum input length (in tokens, rounded down to `granularity`) that the
+/// executor can serve, or 0 if even a single `granularity`-sized request does not fit.
+///
+/// # Panics
+///
+/// Panics if `granularity` is zero.
+pub fn max_input_length(executor: &Executor, granularity: u64) -> u64 {
+    assert!(granularity > 0, "granularity must be positive");
+    if !executor.fits(granularity) {
+        return 0;
+    }
+    // Invariant: `fits(lo * granularity)` is true, `fits(hi * granularity)` is false.
+    let mut lo = 1u64;
+    let mut hi = SEARCH_CEILING_TOKENS / granularity;
+    if executor.fits(hi * granularity) {
+        return hi * granularity;
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if executor.fits(mid * granularity) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo * granularity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExecutorConfig, Parallelism, PrefillStrategy};
+    use gpu::{GpuKind, LinkKind};
+    use model::{llama3_1_8b, llama3_3_70b_fp8, qwen2_5_32b_fp8, ModelConfig};
+
+    fn executor(
+        model: ModelConfig,
+        gpu: GpuKind,
+        strategy: PrefillStrategy,
+        parallelism: Parallelism,
+    ) -> Executor {
+        Executor::new(ExecutorConfig {
+            model,
+            gpu: gpu.spec(),
+            link: LinkKind::PcieGen4,
+            parallelism,
+            strategy,
+            memory_utilization: 0.9,
+        })
+    }
+
+    #[test]
+    fn mil_is_consistent_with_fits() {
+        let e = executor(
+            llama3_1_8b(),
+            GpuKind::L4,
+            PrefillStrategy::Full,
+            Parallelism::Single,
+        );
+        let mil = max_input_length(&e, 1000);
+        assert!(e.fits(mil));
+        assert!(!e.fits(mil + 1000));
+    }
+
+    #[test]
+    fn table2_l4_llama8b_paged_attention() {
+        // Table 2: PagedAttention on L4 handles ~24,000 tokens.
+        let e = executor(
+            llama3_1_8b(),
+            GpuKind::L4,
+            PrefillStrategy::Full,
+            Parallelism::Single,
+        );
+        let mil = max_input_length(&e, 1000);
+        assert!(
+            (18_000..32_000).contains(&mil),
+            "expected MIL near 24k, got {mil}"
+        );
+    }
+
+    #[test]
+    fn table2_a100_qwen32b_paged_attention() {
+        // Table 2: PagedAttention on A100 with Qwen-32B FP8 handles ~11,000 tokens.
+        let e = executor(
+            qwen2_5_32b_fp8(),
+            GpuKind::A100_40G,
+            PrefillStrategy::Full,
+            Parallelism::Single,
+        );
+        let mil = max_input_length(&e, 1000);
+        assert!(
+            (8_000..15_000).contains(&mil),
+            "expected MIL near 11k, got {mil}"
+        );
+    }
+
+    #[test]
+    fn table2_h100_llama70b_paged_attention() {
+        // Table 2: PagedAttention on H100 with Llama-70B FP8 handles ~15,000 tokens.
+        let e = executor(
+            llama3_3_70b_fp8(),
+            GpuKind::H100_80G,
+            PrefillStrategy::Full,
+            Parallelism::Single,
+        );
+        let mil = max_input_length(&e, 1000);
+        assert!(
+            (9_000..21_000).contains(&mil),
+            "expected MIL near 15k, got {mil}"
+        );
+    }
+
+    #[test]
+    fn prefillonly_expands_mil_by_several_x() {
+        // The headline of Table 2 / Fig. 10: hybrid prefilling raises MIL by ~4-8x over
+        // the PagedAttention baseline on a single GPU, without parallelism.
+        for (model, gpu) in [
+            (llama3_1_8b(), GpuKind::L4),
+            (qwen2_5_32b_fp8(), GpuKind::A100_40G),
+            (llama3_3_70b_fp8(), GpuKind::H100_80G),
+        ] {
+            let paged = executor(
+                model.clone(),
+                gpu,
+                PrefillStrategy::Full,
+                Parallelism::Single,
+            );
+            let prefillonly = executor(
+                model,
+                gpu,
+                PrefillStrategy::hybrid_default(),
+                Parallelism::Single,
+            );
+            let mil_paged = max_input_length(&paged, 1000);
+            let mil_po = max_input_length(&prefillonly, 1000);
+            let ratio = mil_po as f64 / mil_paged as f64;
+            assert!(
+                ratio >= 3.5,
+                "{gpu:?}: expected >=3.5x MIL expansion, got {ratio:.1}x ({mil_paged} -> {mil_po})"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_expands_mil_less_than_2x() {
+        // §2.5: chunked prefilling "can only marginally increase the context length by
+        // less than 2x" because it still stores the KV of every chunk.
+        let paged = executor(
+            qwen2_5_32b_fp8(),
+            GpuKind::A100_40G,
+            PrefillStrategy::Full,
+            Parallelism::Single,
+        );
+        let chunked = executor(
+            qwen2_5_32b_fp8(),
+            GpuKind::A100_40G,
+            PrefillStrategy::chunked_default(),
+            Parallelism::Single,
+        );
+        let ratio = max_input_length(&chunked, 1000) as f64 / max_input_length(&paged, 1000) as f64;
+        assert!(
+            (1.0..2.2).contains(&ratio),
+            "chunked prefill MIL gain should be modest, got {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn parallelism_also_expands_mil() {
+        let single = executor(
+            llama3_1_8b(),
+            GpuKind::L4,
+            PrefillStrategy::Full,
+            Parallelism::Single,
+        );
+        let tp = executor(
+            llama3_1_8b(),
+            GpuKind::L4,
+            PrefillStrategy::Full,
+            Parallelism::TensorParallel { degree: 2 },
+        );
+        let pp = executor(
+            llama3_1_8b(),
+            GpuKind::L4,
+            PrefillStrategy::Full,
+            Parallelism::PipelineParallel { stages: 2 },
+        );
+        let mil_single = max_input_length(&single, 1000);
+        let mil_tp = max_input_length(&tp, 1000);
+        let mil_pp = max_input_length(&pp, 1000);
+        assert!(mil_tp > mil_single);
+        assert!(mil_pp > mil_single);
+    }
+
+    #[test]
+    fn prefillonly_beats_tensor_parallel_on_a100() {
+        // Table 2, A100 column: PrefillOnly (87k) exceeds even 2-GPU tensor parallelism
+        // (77k) because the FP8 32B model's weights dominate the 40 GB card.
+        let tp = executor(
+            qwen2_5_32b_fp8(),
+            GpuKind::A100_40G,
+            PrefillStrategy::Full,
+            Parallelism::TensorParallel { degree: 2 },
+        );
+        let po = executor(
+            qwen2_5_32b_fp8(),
+            GpuKind::A100_40G,
+            PrefillStrategy::hybrid_default(),
+            Parallelism::Single,
+        );
+        assert!(max_input_length(&po, 1000) > max_input_length(&tp, 1000));
+    }
+
+    #[test]
+    fn impossible_configuration_returns_zero() {
+        // A 70B model cannot fit on a single L4 at all.
+        let e = executor(
+            llama3_3_70b_fp8(),
+            GpuKind::L4,
+            PrefillStrategy::Full,
+            Parallelism::Single,
+        );
+        assert_eq!(max_input_length(&e, 1000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity")]
+    fn zero_granularity_panics() {
+        let e = executor(
+            llama3_1_8b(),
+            GpuKind::L4,
+            PrefillStrategy::Full,
+            Parallelism::Single,
+        );
+        max_input_length(&e, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline JCT profiling (§6.3, "Calibration details").
+//!
+//! PrefillOnly profiles "how the JCT varies with respect to different pairs of
+//! `n_input` and `n_cached` that covers the maximum input length with the granularity
+//! of 1000 tokens, and trains a small linear model using linear regression".  This
+//! module produces that grid from the analytical executor; the scheduler crate fits the
+//! model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::executor::Executor;
+
+/// One profiled (input, cached, JCT) point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JctProfilePoint {
+    /// Total input tokens of the profiled request.
+    pub n_input: u64,
+    /// Tokens assumed to hit the prefix cache.
+    pub n_cached: u64,
+    /// Resulting forward-pass time in seconds.
+    pub jct_secs: f64,
+}
+
+/// Profiles the JCT over a grid of `(n_input, n_cached)` pairs covering
+/// `[granularity, max_input_tokens]` at the given granularity.
+///
+/// # Panics
+///
+/// Panics if `granularity` is zero or larger than `max_input_tokens`.
+pub fn profile_jct_grid(
+    executor: &Executor,
+    max_input_tokens: u64,
+    granularity: u64,
+) -> Vec<JctProfilePoint> {
+    assert!(granularity > 0, "granularity must be positive");
+    assert!(
+        granularity <= max_input_tokens,
+        "granularity exceeds the maximum input length"
+    );
+    let mut points = Vec::new();
+    let mut n_input = granularity;
+    while n_input <= max_input_tokens {
+        let mut n_cached = 0;
+        while n_cached < n_input {
+            let jct = executor
+                .forward_time(n_input - n_cached, n_cached)
+                .total
+                .as_secs_f64();
+            points.push(JctProfilePoint {
+                n_input,
+                n_cached,
+                jct_secs: jct,
+            });
+            n_cached += granularity;
+        }
+        n_input += granularity;
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExecutorConfig, PrefillStrategy};
+    use gpu::GpuKind;
+    use model::llama3_1_8b;
+
+    fn executor() -> Executor {
+        Executor::new(ExecutorConfig::single_gpu(
+            llama3_1_8b(),
+            GpuKind::L4.spec(),
+            PrefillStrategy::hybrid_default(),
+        ))
+    }
+
+    #[test]
+    fn grid_covers_the_requested_range() {
+        let points = profile_jct_grid(&executor(), 8_000, 1_000);
+        assert!(!points.is_empty());
+        let max_input = points.iter().map(|p| p.n_input).max().unwrap();
+        assert_eq!(max_input, 8_000);
+        assert!(points.iter().all(|p| p.n_cached < p.n_input));
+        assert!(points.iter().all(|p| p.jct_secs > 0.0));
+        // Full triangular grid: sum over k of k for k in 1..=8.
+        assert_eq!(points.len(), (1..=8).sum::<usize>());
+    }
+
+    #[test]
+    fn jct_increases_with_input_and_decreases_with_cache() {
+        let points = profile_jct_grid(&executor(), 16_000, 4_000);
+        let find = |i: u64, c: u64| {
+            points
+                .iter()
+                .find(|p| p.n_input == i && p.n_cached == c)
+                .unwrap()
+                .jct_secs
+        };
+        assert!(find(16_000, 0) > find(8_000, 0));
+        assert!(find(16_000, 12_000) < find(16_000, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity")]
+    fn bad_granularity_panics() {
+        profile_jct_grid(&executor(), 1_000, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Layer-by-layer memory-trace replay (Fig. 3).
+//!
+//! Fig. 3 of the paper plots the PyTorch allocator's memory usage over time while
+//! prefilling 32,768 tokens through Llama-3.1-8B, with and without hybrid prefilling:
+//! without it, every transformer block's MLP produces a multi-GiB spike; with it, the
+//! spikes shrink to chunk size.  This module replays the executor's allocation pattern
+//! against the [`gpu::CachingAllocator`] to regenerate that trace.
+
+use gpu::{CachingAllocator, MemoryTrace};
+use simcore::SimTime;
+
+use crate::config::PrefillStrategy;
+use crate::executor::Executor;
+
+/// Replays the prefill of `tokens` tokens and returns the resulting memory trace.
+///
+/// The trace contains the weights, the per-layer KV growth (for strategies that keep
+/// the KV resident), the persistent full-sequence activation buffers and the per-block
+/// MLP spike, sampled once per transformer block.
+///
+/// # Panics
+///
+/// Panics if the request does not fit on the configured GPU (use
+/// [`crate::max_input_length`] to pick a feasible size first).
+pub fn prefill_memory_trace(executor: &Executor, tokens: u64) -> MemoryTrace {
+    let retain_kv = executor.config().strategy.requires_full_kv_residency();
+    prefill_memory_trace_with_kv(executor, tokens, retain_kv)
+}
+
+/// Like [`prefill_memory_trace`], but with explicit control over whether the per-layer
+/// KV cache is retained for the whole pass.
+///
+/// Fig. 3 of the paper isolates the effect of *hybrid prefilling alone* (both traces
+/// keep the KV resident); suffix discarding is a separate technique.  Passing
+/// `retain_all_layer_kv = true` for a hybrid executor reproduces that like-for-like
+/// comparison; `false` additionally shows the KV-discarding saving.
+///
+/// # Panics
+///
+/// Panics if the request does not fit on the configured GPU.
+pub fn prefill_memory_trace_with_kv(
+    executor: &Executor,
+    tokens: u64,
+    retain_all_layer_kv: bool,
+) -> MemoryTrace {
+    assert!(
+        executor.fits(tokens),
+        "request of {tokens} tokens does not fit on this configuration"
+    );
+    let sizing = executor.sizing();
+    let config = executor.config();
+    let num_blocks = config.model.num_layers;
+    let breakdown = executor.forward_time(tokens, 0);
+    let block_time = breakdown.total / u64::from(num_blocks.max(1));
+
+    let mut allocator = CachingAllocator::new(executor.usable_memory_per_gpu()).with_trace();
+    let mut now = SimTime::ZERO;
+
+    // Weights stay alive for the whole pass.
+    let _weights = allocator
+        .allocate(now, executor.weight_bytes_per_gpu(), "weights")
+        .expect("weights must fit");
+
+    // Persistent full-sequence buffers: the residual stream plus, for hybrid
+    // prefilling, the full-sequence QKV / attention-output buffers.
+    let persistent_bytes = match config.strategy {
+        PrefillStrategy::Full => 2 * sizing.residual_bytes(tokens),
+        PrefillStrategy::Chunked { chunk_tokens } => {
+            2 * sizing.residual_bytes(chunk_tokens.min(tokens))
+        }
+        PrefillStrategy::Hybrid(_) => {
+            2 * sizing.residual_bytes(tokens) + sizing.attention_output_bytes(tokens)
+        }
+    };
+    let _persistent = allocator
+        .allocate(now, persistent_bytes, "hidden states")
+        .expect("persistent activations must fit");
+
+    // Per-block replay: KV growth + transient spike.
+    let kv_per_block = if retain_all_layer_kv {
+        sizing.kv_bytes(tokens, 1) / u64::from(executor.num_gpus())
+    } else {
+        0
+    };
+    let (spike_rows, qkv_rows) = match config.strategy {
+        PrefillStrategy::Full => (tokens, tokens),
+        PrefillStrategy::Chunked { chunk_tokens } => {
+            (chunk_tokens.min(tokens), chunk_tokens.min(tokens))
+        }
+        PrefillStrategy::Hybrid(opts) => (opts.chunk_tokens.min(tokens), tokens),
+    };
+
+    for _block in 0..num_blocks {
+        if kv_per_block > 0 {
+            // KV of this layer is written and retained.
+            let _kv = allocator
+                .allocate(now, kv_per_block, "kv cache")
+                .expect("resident KV must fit");
+            // Intentionally leaked into the allocator: it stays alive until the end.
+        }
+        // Attention QKV tensors live only within the block.
+        let qkv = allocator
+            .allocate(now, sizing.qkv_bytes(qkv_rows), "qkv")
+            .expect("qkv must fit");
+        now += block_time / 2;
+        // The MLP spike (gate+up and SwiGLU output).
+        let spike = allocator
+            .allocate(
+                now,
+                sizing.mlp_peak_extra_bytes(spike_rows),
+                "mlp intermediate",
+            )
+            .expect("mlp intermediate must fit");
+        now += block_time / 2;
+        allocator.free(now, spike);
+        allocator.free(now, qkv);
+    }
+
+    allocator.trace().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExecutorConfig, PrefillStrategy};
+    use gpu::GpuKind;
+    use model::llama3_1_8b;
+
+    fn executor(strategy: PrefillStrategy) -> Executor {
+        Executor::new(ExecutorConfig::single_gpu(
+            llama3_1_8b(),
+            GpuKind::L4.spec(),
+            strategy,
+        ))
+    }
+
+    const GIB: f64 = (1u64 << 30) as f64;
+
+    #[test]
+    fn full_prefill_trace_shows_periodic_spikes() {
+        let e = executor(PrefillStrategy::Full);
+        let trace = prefill_memory_trace(&e, 20_000);
+        // One sample per allocation/free: weights + persistent + 4 per block.
+        assert!(trace.len() > 32 * 4);
+        let peak = trace.peak_live_bytes();
+        let final_reserved = trace.final_reserved_bytes();
+        assert!(peak > e.weight_bytes_per_gpu());
+        assert_eq!(final_reserved, peak, "reserved tracks the high watermark");
+    }
+
+    #[test]
+    fn hybrid_trace_has_lower_peak_than_full() {
+        let tokens = 20_000;
+        let full = prefill_memory_trace(&executor(PrefillStrategy::Full), tokens);
+        let hybrid = prefill_memory_trace(&executor(PrefillStrategy::hybrid_default()), tokens);
+        let delta = full.peak_live_bytes() as f64 - hybrid.peak_live_bytes() as f64;
+        assert!(
+            delta / GIB > 0.5,
+            "hybrid should shave GiBs off the peak, saved only {:.2} GiB",
+            delta / GIB
+        );
+    }
+
+    #[test]
+    fn full_prefill_keeps_kv_resident_hybrid_does_not() {
+        let tokens = 20_000;
+        let e_full = executor(PrefillStrategy::Full);
+        let e_hybrid = executor(PrefillStrategy::hybrid_default());
+        let full = prefill_memory_trace(&e_full, tokens);
+        let hybrid = prefill_memory_trace(&e_hybrid, tokens);
+        // At the end of the trace, the full-prefill engine still holds all-layer KV.
+        let kv_all = e_full.sizing().kv_bytes_all_layers(tokens);
+        let full_end = full.points().last().unwrap().live_bytes;
+        let hybrid_end = hybrid.points().last().unwrap().live_bytes;
+        assert!(full_end > e_full.weight_bytes_per_gpu() + kv_all * 9 / 10);
+        // Hybrid ends the pass holding no per-layer KV at all, only the weights and the
+        // persistent full-sequence activation buffers.
+        assert!(full_end - hybrid_end > kv_all * 8 / 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_request_panics() {
+        let e = executor(PrefillStrategy::Full);
+        prefill_memory_trace(&e, 2_000_000);
+    }
+}

@@ -1,0 +1,296 @@
+//! A caching-allocator-style GPU memory accountant.
+//!
+//! §4.1 of the paper analyses the *GPU memory trace of the PyTorch allocator* while
+//! prefilling 32,768 tokens (Fig. 3): the KV cache grows steadily while the MLP
+//! intermediate tensors create periodic spikes that dominate the peak.  The executor
+//! reproduces those traces by replaying its allocation pattern against this accountant,
+//! which tracks live bytes, reserved bytes (the high-watermark a caching allocator
+//! never returns to the driver) and the overall peak.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// Error returned when an allocation does not fit in device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocError {
+    /// Bytes that were requested.
+    pub requested: u64,
+    /// Bytes that were still available.
+    pub available: u64,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of GPU memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Handle to a live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AllocHandle(u64);
+
+/// One sample of the memory trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Virtual time of the sample.
+    pub at: SimTime,
+    /// Bytes currently allocated to live tensors.
+    pub live_bytes: u64,
+    /// Bytes reserved from the device (monotone high-watermark).
+    pub reserved_bytes: u64,
+}
+
+/// A time-ordered memory usage trace, as plotted in Fig. 3.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTrace {
+    points: Vec<TracePoint>,
+}
+
+impl MemoryTrace {
+    /// The recorded samples in chronological order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Peak live bytes over the trace.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.points.iter().map(|p| p.live_bytes).max().unwrap_or(0)
+    }
+
+    /// Final reserved bytes (the caching allocator's footprint).
+    pub fn final_reserved_bytes(&self) -> u64 {
+        self.points.last().map(|p| p.reserved_bytes).unwrap_or(0)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Tracks GPU memory usage the way the PyTorch caching allocator does.
+#[derive(Debug, Clone)]
+pub struct CachingAllocator {
+    capacity_bytes: u64,
+    live_bytes: u64,
+    reserved_bytes: u64,
+    peak_live_bytes: u64,
+    next_handle: u64,
+    allocations: HashMap<AllocHandle, (u64, &'static str)>,
+    trace: MemoryTrace,
+    record_trace: bool,
+}
+
+impl CachingAllocator {
+    /// Creates an allocator over `capacity_bytes` of device memory.
+    pub fn new(capacity_bytes: u64) -> CachingAllocator {
+        CachingAllocator {
+            capacity_bytes,
+            live_bytes: 0,
+            reserved_bytes: 0,
+            peak_live_bytes: 0,
+            next_handle: 0,
+            allocations: HashMap::new(),
+            trace: MemoryTrace::default(),
+            record_trace: false,
+        }
+    }
+
+    /// Enables trace recording (disabled by default to keep long simulations cheap).
+    pub fn with_trace(mut self) -> CachingAllocator {
+        self.record_trace = true;
+        self
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently allocated to live tensors.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Bytes reserved from the device so far (never shrinks).
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+
+    /// Highest live-byte count observed so far.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_bytes
+    }
+
+    /// Bytes still available before hitting capacity.
+    pub fn available_bytes(&self) -> u64 {
+        self.capacity_bytes - self.live_bytes
+    }
+
+    /// Allocates `bytes` bytes tagged with a static label (for trace readability).
+    ///
+    /// Fails if the allocation would exceed device capacity.
+    pub fn allocate(
+        &mut self,
+        at: SimTime,
+        bytes: u64,
+        tag: &'static str,
+    ) -> Result<AllocHandle, AllocError> {
+        if bytes > self.available_bytes() {
+            return Err(AllocError {
+                requested: bytes,
+                available: self.available_bytes(),
+            });
+        }
+        self.live_bytes += bytes;
+        self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
+        self.reserved_bytes = self.reserved_bytes.max(self.live_bytes);
+        let handle = AllocHandle(self.next_handle);
+        self.next_handle += 1;
+        self.allocations.insert(handle, (bytes, tag));
+        self.sample(at);
+        Ok(handle)
+    }
+
+    /// Frees a previously allocated handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free / unknown handle, which would indicate an executor bug.
+    pub fn free(&mut self, at: SimTime, handle: AllocHandle) {
+        let (bytes, _) = self
+            .allocations
+            .remove(&handle)
+            .expect("freeing an allocation that does not exist");
+        self.live_bytes -= bytes;
+        self.sample(at);
+    }
+
+    /// Convenience: allocate-then-free around a closure, used for transient kernels.
+    pub fn with_transient<T>(
+        &mut self,
+        at: SimTime,
+        bytes: u64,
+        tag: &'static str,
+        f: impl FnOnce(&mut Self) -> T,
+    ) -> Result<T, AllocError> {
+        let handle = self.allocate(at, bytes, tag)?;
+        let out = f(self);
+        self.free(at, handle);
+        Ok(out)
+    }
+
+    /// Returns the recorded trace (empty unless [`Self::with_trace`] was used).
+    pub fn trace(&self) -> &MemoryTrace {
+        &self.trace
+    }
+
+    /// Resets live allocations and the peak, keeping the reserved high-watermark, as a
+    /// caching allocator does between requests.
+    pub fn reset_peak(&mut self) {
+        self.peak_live_bytes = self.live_bytes;
+    }
+
+    fn sample(&mut self, at: SimTime) {
+        if self.record_trace {
+            self.trace.points.push(TracePoint {
+                at,
+                live_bytes: self.live_bytes,
+                reserved_bytes: self.reserved_bytes,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+
+    #[test]
+    fn alloc_free_cycle_tracks_peak() {
+        let mut a = CachingAllocator::new(100 * MIB);
+        let t = SimTime::ZERO;
+        let h1 = a.allocate(t, 40 * MIB, "weights").unwrap();
+        let h2 = a.allocate(t, 30 * MIB, "activations").unwrap();
+        assert_eq!(a.live_bytes(), 70 * MIB);
+        assert_eq!(a.peak_live_bytes(), 70 * MIB);
+        a.free(t, h2);
+        assert_eq!(a.live_bytes(), 40 * MIB);
+        assert_eq!(a.peak_live_bytes(), 70 * MIB, "peak must not shrink");
+        assert_eq!(a.reserved_bytes(), 70 * MIB, "reserved is a high-watermark");
+        a.free(t, h1);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let mut a = CachingAllocator::new(10 * MIB);
+        let err = a.allocate(SimTime::ZERO, 11 * MIB, "too big").unwrap_err();
+        assert_eq!(err.requested, 11 * MIB);
+        assert_eq!(err.available, 10 * MIB);
+        assert!(err.to_string().contains("out of GPU memory"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn double_free_panics() {
+        let mut a = CachingAllocator::new(10 * MIB);
+        let h = a.allocate(SimTime::ZERO, MIB, "x").unwrap();
+        a.free(SimTime::ZERO, h);
+        a.free(SimTime::ZERO, h);
+    }
+
+    #[test]
+    fn transient_allocations_restore_state() {
+        let mut a = CachingAllocator::new(10 * MIB);
+        let before = a.live_bytes();
+        let result = a
+            .with_transient(SimTime::ZERO, 5 * MIB, "spike", |inner| inner.live_bytes())
+            .unwrap();
+        assert_eq!(result, 5 * MIB);
+        assert_eq!(a.live_bytes(), before);
+        assert_eq!(a.peak_live_bytes(), 5 * MIB);
+    }
+
+    #[test]
+    fn trace_records_every_transition() {
+        let mut a = CachingAllocator::new(10 * MIB).with_trace();
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_millis(1);
+        let h = a.allocate(t0, 2 * MIB, "kv").unwrap();
+        a.free(t1, h);
+        let trace = a.trace();
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.points()[0].live_bytes, 2 * MIB);
+        assert_eq!(trace.points()[1].live_bytes, 0);
+        assert_eq!(trace.peak_live_bytes(), 2 * MIB);
+        assert_eq!(trace.final_reserved_bytes(), 2 * MIB);
+    }
+
+    #[test]
+    fn reset_peak_keeps_reserved() {
+        let mut a = CachingAllocator::new(100 * MIB);
+        let t = SimTime::ZERO;
+        let h = a.allocate(t, 60 * MIB, "spike").unwrap();
+        a.free(t, h);
+        a.reset_peak();
+        assert_eq!(a.peak_live_bytes(), 0);
+        assert_eq!(a.reserved_bytes(), 60 * MIB);
+    }
+}

@@ -1,0 +1,217 @@
+//! GPU device catalogue.
+//!
+//! The four hardware setups of Table 3: 2× L4, 2× A100-40G PCIe, 2× H100 PCIe, and
+//! 2× H100 with NVLink.  Specifications use publicly documented dense (non-sparse)
+//! throughput numbers.
+
+use serde::{Deserialize, Serialize};
+
+use model::DType;
+
+use crate::interconnect::LinkKind;
+
+/// Identifier for a GPU model in the catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuKind {
+    /// NVIDIA L4, 24 GB (the "low-end" setup).
+    L4,
+    /// NVIDIA A100 40 GB PCIe (the "middle-end" setup).
+    A100_40G,
+    /// NVIDIA H100 80 GB PCIe (the "high-end" setup).
+    H100_80G,
+}
+
+impl GpuKind {
+    /// Returns the full specification for this GPU.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuKind::L4 => GpuSpec {
+                kind: self,
+                name: "NVIDIA L4 24GB",
+                memory_bytes: 24 * GIB,
+                memory_bandwidth_bytes_per_sec: 300.0e9,
+                bf16_tflops: 121.0,
+                fp8_tflops: 242.0,
+                fp32_tflops: 30.3,
+            },
+            GpuKind::A100_40G => GpuSpec {
+                kind: self,
+                name: "NVIDIA A100 40GB PCIe",
+                memory_bytes: 40 * GIB,
+                memory_bandwidth_bytes_per_sec: 1_555.0e9,
+                bf16_tflops: 312.0,
+                // A100 has no FP8 tensor cores; FP8-quantised checkpoints dequantise to
+                // BF16/INT8 paths, so matmul throughput stays at the BF16 rate.
+                fp8_tflops: 312.0,
+                fp32_tflops: 19.5,
+            },
+            GpuKind::H100_80G => GpuSpec {
+                kind: self,
+                name: "NVIDIA H100 80GB",
+                memory_bytes: 80 * GIB,
+                memory_bandwidth_bytes_per_sec: 2_000.0e9,
+                bf16_tflops: 756.0,
+                fp8_tflops: 1_513.0,
+                fp32_tflops: 51.0,
+            },
+        }
+    }
+}
+
+const GIB: u64 = 1 << 30;
+
+/// Static specification of one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Which catalogue entry this is.
+    pub kind: GpuKind,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Total device memory in bytes.
+    pub memory_bytes: u64,
+    /// HBM bandwidth in bytes/second.
+    pub memory_bandwidth_bytes_per_sec: f64,
+    /// Dense BF16/FP16 tensor-core throughput in TFLOP/s.
+    pub bf16_tflops: f64,
+    /// Dense FP8 tensor-core throughput in TFLOP/s.
+    pub fp8_tflops: f64,
+    /// FP32 throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+}
+
+impl GpuSpec {
+    /// Peak matmul throughput in FLOP/s when weights are stored in `weight_dtype`.
+    pub fn peak_flops(&self, weight_dtype: DType) -> f64 {
+        let tflops = match weight_dtype {
+            DType::FP8 | DType::INT8 | DType::INT4 => self.fp8_tflops,
+            DType::F16 | DType::BF16 => self.bf16_tflops,
+            DType::F32 => self.fp32_tflops,
+        };
+        tflops * 1.0e12
+    }
+
+    /// Usable device memory after reserving a fraction for the driver / fragmentation,
+    /// mirroring vLLM's `gpu_memory_utilization` knob.
+    pub fn usable_memory_bytes(&self, utilization: f64) -> u64 {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "memory utilization must lie in [0, 1]"
+        );
+        (self.memory_bytes as f64 * utilization) as u64
+    }
+}
+
+/// One of the four evaluated hardware setups: a pair of identical GPUs plus the link
+/// between them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSetup {
+    /// Human-readable setup name used in figure legends.
+    pub name: &'static str,
+    /// GPU model.
+    pub gpu: GpuKind,
+    /// Number of GPUs in the setup.
+    pub num_gpus: u32,
+    /// Inter-GPU link.
+    pub link: LinkKind,
+}
+
+impl HardwareSetup {
+    /// 2× NVIDIA L4 over PCIe (low-end scenario of Table 3).
+    pub fn l4_pair() -> Self {
+        HardwareSetup {
+            name: "2x L4 (PCIe)",
+            gpu: GpuKind::L4,
+            num_gpus: 2,
+            link: LinkKind::PcieGen4,
+        }
+    }
+
+    /// 2× NVIDIA A100 40 GB over PCIe (middle-end scenario).
+    pub fn a100_pair() -> Self {
+        HardwareSetup {
+            name: "2x A100 40GB (PCIe)",
+            gpu: GpuKind::A100_40G,
+            num_gpus: 2,
+            link: LinkKind::PcieGen4,
+        }
+    }
+
+    /// 2× NVIDIA H100 over PCIe (high-end scenario without NVLink).
+    pub fn h100_pair_pcie() -> Self {
+        HardwareSetup {
+            name: "2x H100 (PCIe)",
+            gpu: GpuKind::H100_80G,
+            num_gpus: 2,
+            link: LinkKind::PcieGen5,
+        }
+    }
+
+    /// 2× NVIDIA H100 connected with NVLink (high-end scenario with NVLink).
+    pub fn h100_pair_nvlink() -> Self {
+        HardwareSetup {
+            name: "2x H100 (NVLink)",
+            gpu: GpuKind::H100_80G,
+            num_gpus: 2,
+            link: LinkKind::NvLink4,
+        }
+    }
+
+    /// The four setups in the order of Table 3.
+    pub fn all() -> [HardwareSetup; 4] {
+        [
+            Self::l4_pair(),
+            Self::a100_pair(),
+            Self::h100_pair_pcie(),
+            Self::h100_pair_nvlink(),
+        ]
+    }
+
+    /// The per-GPU specification.
+    pub fn gpu_spec(&self) -> GpuSpec {
+        self.gpu.spec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_capacities() {
+        assert_eq!(GpuKind::L4.spec().memory_bytes, 24 * GIB);
+        assert_eq!(GpuKind::A100_40G.spec().memory_bytes, 40 * GIB);
+        assert_eq!(GpuKind::H100_80G.spec().memory_bytes, 80 * GIB);
+    }
+
+    #[test]
+    fn peak_flops_follow_dtype() {
+        let h100 = GpuKind::H100_80G.spec();
+        assert!(h100.peak_flops(DType::FP8) > h100.peak_flops(DType::BF16));
+        assert!(h100.peak_flops(DType::BF16) > h100.peak_flops(DType::F32));
+        // A100 does not accelerate FP8.
+        let a100 = GpuKind::A100_40G.spec();
+        assert_eq!(a100.peak_flops(DType::FP8), a100.peak_flops(DType::BF16));
+    }
+
+    #[test]
+    fn usable_memory_scales_with_utilization() {
+        let l4 = GpuKind::L4.spec();
+        assert_eq!(l4.usable_memory_bytes(1.0), l4.memory_bytes);
+        assert_eq!(l4.usable_memory_bytes(0.5), l4.memory_bytes / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory utilization")]
+    fn invalid_utilization_panics() {
+        GpuKind::L4.spec().usable_memory_bytes(1.5);
+    }
+
+    #[test]
+    fn setups_cover_table3() {
+        let setups = HardwareSetup::all();
+        assert_eq!(setups.len(), 4);
+        assert!(setups.iter().all(|s| s.num_gpus == 2));
+        assert_eq!(setups[3].link, LinkKind::NvLink4);
+        assert_ne!(setups[2].link, LinkKind::NvLink4);
+    }
+}

@@ -1,0 +1,146 @@
+//! Inter-GPU link and collective cost model.
+//!
+//! Tensor parallelism pays two all-reduces per transformer block (§2.5); pipeline
+//! parallelism ships the residual stream across the stage boundary once per request.
+//! These costs — and how dramatically NVLink changes them (Fig. 8) — are modelled here
+//! from link bandwidth plus a per-operation launch latency.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// The physical link connecting two GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// PCIe 4.0 x16 (L4, A100 PCIe setups).
+    PcieGen4,
+    /// PCIe 5.0 x16 (H100 PCIe setup).
+    PcieGen5,
+    /// NVLink 4 (H100 NVLink setup).
+    NvLink4,
+}
+
+impl LinkKind {
+    /// Effective unidirectional bandwidth in bytes/second.
+    pub fn bandwidth_bytes_per_sec(self) -> f64 {
+        match self {
+            // Achievable device-to-device throughput, not the theoretical bus peak.
+            LinkKind::PcieGen4 => 24.0e9,
+            LinkKind::PcieGen5 => 48.0e9,
+            LinkKind::NvLink4 => 450.0e9,
+        }
+    }
+
+    /// Per-collective launch latency.
+    pub fn launch_latency(self) -> SimDuration {
+        match self {
+            LinkKind::PcieGen4 | LinkKind::PcieGen5 => SimDuration::from_micros(20),
+            LinkKind::NvLink4 => SimDuration::from_micros(8),
+        }
+    }
+
+    /// Whether this link is NVLink-class.
+    pub fn is_nvlink(self) -> bool {
+        matches!(self, LinkKind::NvLink4)
+    }
+}
+
+/// Collective / point-to-point communication cost model over a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    link: LinkKind,
+    /// Number of GPUs participating in collectives.
+    world_size: u32,
+}
+
+impl Interconnect {
+    /// Creates a cost model for `world_size` GPUs joined by `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world_size` is zero.
+    pub fn new(link: LinkKind, world_size: u32) -> Interconnect {
+        assert!(world_size > 0, "world size must be at least 1");
+        Interconnect { link, world_size }
+    }
+
+    /// The underlying link.
+    pub fn link(&self) -> LinkKind {
+        self.link
+    }
+
+    /// Number of participating GPUs.
+    pub fn world_size(&self) -> u32 {
+        self.world_size
+    }
+
+    /// Time for one ring all-reduce of `bytes` bytes across the world.
+    ///
+    /// Ring all-reduce moves `2 (n-1)/n * bytes` per GPU over the link.
+    pub fn all_reduce(&self, bytes: u64) -> SimDuration {
+        if self.world_size == 1 || bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let n = f64::from(self.world_size);
+        let transferred = 2.0 * (n - 1.0) / n * bytes as f64;
+        let transfer = transferred / self.link.bandwidth_bytes_per_sec();
+        self.link.launch_latency() + SimDuration::from_secs_f64(transfer)
+    }
+
+    /// Time to copy `bytes` bytes point-to-point between two GPUs (pipeline-parallel
+    /// activation handoff, KV-cache offload, ...).
+    pub fn point_to_point(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let transfer = bytes as f64 / self.link.bandwidth_bytes_per_sec();
+        self.link.launch_latency() + SimDuration::from_secs_f64(transfer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_is_much_faster_than_pcie() {
+        let bytes = 256 * 1024 * 1024;
+        let pcie = Interconnect::new(LinkKind::PcieGen4, 2).all_reduce(bytes);
+        let nvlink = Interconnect::new(LinkKind::NvLink4, 2).all_reduce(bytes);
+        assert!(
+            pcie.as_secs_f64() > 10.0 * nvlink.as_secs_f64(),
+            "pcie {pcie} vs nvlink {nvlink}"
+        );
+    }
+
+    #[test]
+    fn all_reduce_zero_cases() {
+        let single = Interconnect::new(LinkKind::PcieGen4, 1);
+        assert_eq!(single.all_reduce(1 << 20), SimDuration::ZERO);
+        let pair = Interconnect::new(LinkKind::PcieGen4, 2);
+        assert_eq!(pair.all_reduce(0), SimDuration::ZERO);
+        assert_eq!(pair.point_to_point(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn all_reduce_includes_latency_floor() {
+        let pair = Interconnect::new(LinkKind::NvLink4, 2);
+        let tiny = pair.all_reduce(16);
+        assert!(tiny >= LinkKind::NvLink4.launch_latency());
+    }
+
+    #[test]
+    fn ring_factor_applied() {
+        // With world=2 the ring factor is 2*(2-1)/2 = 1.0, so an all-reduce of B bytes
+        // costs about the same as a point-to-point copy of B bytes plus latency delta.
+        let pair = Interconnect::new(LinkKind::PcieGen4, 2);
+        let ar = pair.all_reduce(1 << 30).as_secs_f64();
+        let p2p = pair.point_to_point(1 << 30).as_secs_f64();
+        assert!((ar - p2p).abs() / p2p < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "world size")]
+    fn zero_world_size_panics() {
+        Interconnect::new(LinkKind::PcieGen4, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Roofline execution-time model.
+//!
+//! A kernel's duration is modelled as
+//! `max(flops / (peak_flops * compute_eff), hbm_bytes / (bandwidth * memory_eff))`
+//! plus a fixed launch overhead.  Compute efficiency additionally degrades for small
+//! GEMM row counts, which is what makes chunked prefilling slower than full prefilling
+//! (§2.5 measures −14 % end-to-end throughput at chunk size 512) and what makes
+//! batching prefill-only requests unattractive (§6.1: prefill is compute-bound).
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use model::DType;
+
+use crate::device::GpuSpec;
+
+/// Work description of a single kernel (or fused group of kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes moved to/from HBM.
+    pub hbm_bytes: f64,
+}
+
+impl KernelCost {
+    /// A purely compute-bound kernel.
+    pub fn compute(flops: f64) -> KernelCost {
+        KernelCost {
+            flops,
+            hbm_bytes: 0.0,
+        }
+    }
+
+    /// A purely bandwidth-bound kernel.
+    pub fn memory(hbm_bytes: f64) -> KernelCost {
+        KernelCost {
+            flops: 0.0,
+            hbm_bytes,
+        }
+    }
+
+    /// Component-wise sum of two costs.
+    pub fn merge(self, other: KernelCost) -> KernelCost {
+        KernelCost {
+            flops: self.flops + other.flops,
+            hbm_bytes: self.hbm_bytes + other.hbm_bytes,
+        }
+    }
+}
+
+/// Roofline cost model for one GPU running one model precision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    peak_flops: f64,
+    memory_bandwidth: f64,
+    /// Fraction of peak FLOP/s achievable by large GEMMs (model FLOPs utilisation).
+    compute_efficiency: f64,
+    /// Fraction of peak HBM bandwidth achievable by streaming kernels.
+    memory_efficiency: f64,
+    /// Token count at which GEMM efficiency reaches half of its asymptote; models the
+    /// tall-skinny penalty paid by chunked prefilling.
+    gemm_half_saturation_tokens: f64,
+    /// Fixed launch overhead charged once per kernel group.
+    launch_overhead: SimDuration,
+}
+
+impl Roofline {
+    /// Creates a roofline model for `spec` with matmuls executed in `weight_dtype`.
+    pub fn new(spec: &GpuSpec, weight_dtype: DType) -> Roofline {
+        Roofline {
+            peak_flops: spec.peak_flops(weight_dtype),
+            memory_bandwidth: spec.memory_bandwidth_bytes_per_sec,
+            compute_efficiency: 0.55,
+            memory_efficiency: 0.80,
+            gemm_half_saturation_tokens: 96.0,
+            launch_overhead: SimDuration::from_micros(30),
+        }
+    }
+
+    /// Overrides the asymptotic compute efficiency (model FLOPs utilisation).
+    pub fn with_compute_efficiency(mut self, eff: f64) -> Roofline {
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency must lie in (0, 1]");
+        self.compute_efficiency = eff;
+        self
+    }
+
+    /// Overrides the memory-bandwidth efficiency.
+    pub fn with_memory_efficiency(mut self, eff: f64) -> Roofline {
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency must lie in (0, 1]");
+        self.memory_efficiency = eff;
+        self
+    }
+
+    /// Peak sustainable FLOP/s after the efficiency discount.
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops * self.compute_efficiency
+    }
+
+    /// Peak sustainable HBM bandwidth after the efficiency discount.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.memory_bandwidth * self.memory_efficiency
+    }
+
+    /// GEMM efficiency multiplier for a kernel operating on `tokens` rows.
+    ///
+    /// Follows a saturating curve: tiny row counts (decode, small chunks) waste most of
+    /// the tensor cores; row counts in the thousands approach the asymptote.
+    pub fn gemm_efficiency(&self, tokens: u64) -> f64 {
+        let t = tokens as f64;
+        t / (t + self.gemm_half_saturation_tokens)
+    }
+
+    /// Duration of a kernel group described by `cost`, assuming large (saturating)
+    /// GEMM shapes.
+    pub fn time_for(&self, cost: KernelCost) -> SimDuration {
+        self.time_for_with_rows(cost, u64::MAX)
+    }
+
+    /// Duration of a kernel group whose GEMMs operate on `rows` rows (tokens).
+    pub fn time_for_with_rows(&self, cost: KernelCost, rows: u64) -> SimDuration {
+        let gemm_eff = if rows == u64::MAX {
+            1.0
+        } else {
+            self.gemm_efficiency(rows)
+        };
+        let compute_secs = cost.flops / (self.effective_flops() * gemm_eff);
+        let memory_secs = cost.hbm_bytes / self.effective_bandwidth();
+        self.launch_overhead + SimDuration::from_secs_f64(compute_secs.max(memory_secs))
+    }
+
+    /// The fixed launch overhead charged per kernel group.
+    pub fn launch_overhead(&self) -> SimDuration {
+        self.launch_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::GpuKind;
+
+    fn h100() -> Roofline {
+        Roofline::new(&GpuKind::H100_80G.spec(), DType::BF16)
+    }
+
+    #[test]
+    fn compute_bound_kernels_scale_with_flops() {
+        let r = h100();
+        let t1 = r.time_for(KernelCost::compute(1.0e12)).as_secs_f64();
+        let t2 = r.time_for(KernelCost::compute(2.0e12)).as_secs_f64();
+        assert!(t2 > t1 * 1.8, "doubling FLOPs should roughly double time");
+    }
+
+    #[test]
+    fn memory_bound_kernels_scale_with_bytes() {
+        let r = h100();
+        let t = r.time_for(KernelCost::memory(1.6e12)).as_secs_f64();
+        // 1.6 TB over 2 TB/s * 0.8 = 1 second.
+        assert!((t - 1.0).abs() < 0.01, "got {t}");
+    }
+
+    #[test]
+    fn roofline_takes_the_maximum() {
+        let r = h100();
+        let both = KernelCost {
+            flops: 1.0e12,
+            hbm_bytes: 1.6e12,
+        };
+        let compute_only = r.time_for(KernelCost::compute(1.0e12));
+        let memory_only = r.time_for(KernelCost::memory(1.6e12));
+        let combined = r.time_for(both);
+        assert_eq!(combined, compute_only.max(memory_only));
+    }
+
+    #[test]
+    fn small_gemms_are_inefficient() {
+        let r = h100();
+        assert!(r.gemm_efficiency(16) < 0.2);
+        assert!(r.gemm_efficiency(512) > 0.8);
+        assert!(r.gemm_efficiency(16_384) > 0.99);
+        let small = r.time_for_with_rows(KernelCost::compute(1.0e12), 128);
+        let large = r.time_for_with_rows(KernelCost::compute(1.0e12), 16_384);
+        assert!(small > large);
+    }
+
+    #[test]
+    fn launch_overhead_is_a_floor() {
+        let r = h100();
+        let tiny = r.time_for(KernelCost::compute(1.0));
+        assert!(tiny >= r.launch_overhead());
+    }
+
+    #[test]
+    fn efficiency_builders_validate() {
+        let r = h100()
+            .with_compute_efficiency(0.6)
+            .with_memory_efficiency(0.9);
+        assert!(r.effective_flops() > 0.0);
+        assert!(r.effective_bandwidth() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn invalid_efficiency_panics() {
+        let _ = h100().with_compute_efficiency(0.0);
+    }
+
+    #[test]
+    fn fp8_is_faster_than_bf16_on_h100() {
+        let spec = GpuKind::H100_80G.spec();
+        let bf16 = Roofline::new(&spec, DType::BF16);
+        let fp8 = Roofline::new(&spec, DType::FP8);
+        let cost = KernelCost::compute(1.0e15);
+        assert!(fp8.time_for(cost) < bf16.time_for(cost));
+    }
+}

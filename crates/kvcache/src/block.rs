@@ -1,0 +1,175 @@
+//! Block-granularity KV pool.
+//!
+//! KV memory is carved into fixed-size blocks of `block_size` tokens, as in vLLM's
+//! PagedAttention.  The pool hands out block identities and tracks reference counts;
+//! the actual bytes live only in the analytical GPU model.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of one KV block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u64);
+
+/// A fixed-capacity pool of KV blocks with reference counting.
+#[derive(Debug, Clone)]
+pub struct BlockPool {
+    total_blocks: u64,
+    next_id: u64,
+    free: Vec<BlockId>,
+    ref_counts: HashMap<BlockId, u32>,
+}
+
+impl BlockPool {
+    /// Creates a pool with `total_blocks` blocks.
+    pub fn new(total_blocks: u64) -> BlockPool {
+        BlockPool {
+            total_blocks,
+            next_id: 0,
+            free: Vec::new(),
+            ref_counts: HashMap::new(),
+        }
+    }
+
+    /// Total number of blocks the pool can hold.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Number of blocks currently allocated (reference count ≥ 1 or cached).
+    pub fn allocated_blocks(&self) -> u64 {
+        self.ref_counts.len() as u64
+    }
+
+    /// Number of blocks that can still be allocated without evicting anything.
+    pub fn free_blocks(&self) -> u64 {
+        self.total_blocks - self.allocated_blocks()
+    }
+
+    /// Allocates one block with an initial reference count of 1.
+    ///
+    /// Returns `None` when the pool is exhausted (the caller decides whether to evict).
+    pub fn allocate(&mut self) -> Option<BlockId> {
+        if self.allocated_blocks() >= self.total_blocks {
+            return None;
+        }
+        let id = self.free.pop().unwrap_or_else(|| {
+            let id = BlockId(self.next_id);
+            self.next_id += 1;
+            id
+        });
+        self.ref_counts.insert(id, 1);
+        Some(id)
+    }
+
+    /// Increments the reference count of an allocated block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not currently allocated.
+    pub fn add_ref(&mut self, id: BlockId) {
+        *self
+            .ref_counts
+            .get_mut(&id)
+            .expect("add_ref on a block that is not allocated") += 1;
+    }
+
+    /// Decrements the reference count of an allocated block and returns the new count.
+    ///
+    /// A block whose count reaches zero stays resident (it is a prefix-cache candidate)
+    /// until [`Self::release`] is called on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not allocated or its count is already zero.
+    pub fn dec_ref(&mut self, id: BlockId) -> u32 {
+        let count = self
+            .ref_counts
+            .get_mut(&id)
+            .expect("dec_ref on a block that is not allocated");
+        assert!(*count > 0, "dec_ref on a block with zero references");
+        *count -= 1;
+        *count
+    }
+
+    /// Returns the current reference count, or `None` if the block is not allocated.
+    pub fn ref_count(&self, id: BlockId) -> Option<u32> {
+        self.ref_counts.get(&id).copied()
+    }
+
+    /// Frees a block entirely, returning it to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not allocated or still has references.
+    pub fn release(&mut self, id: BlockId) {
+        let count = self
+            .ref_counts
+            .remove(&id)
+            .expect("release of a block that is not allocated");
+        assert_eq!(
+            count, 0,
+            "released a block that still has {count} references"
+        );
+        self.free.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_exhausted() {
+        let mut pool = BlockPool::new(3);
+        assert_eq!(pool.free_blocks(), 3);
+        let a = pool.allocate().unwrap();
+        let _b = pool.allocate().unwrap();
+        let _c = pool.allocate().unwrap();
+        assert_eq!(pool.free_blocks(), 0);
+        assert!(pool.allocate().is_none());
+        assert_eq!(pool.ref_count(a), Some(1));
+    }
+
+    #[test]
+    fn release_recycles_ids() {
+        let mut pool = BlockPool::new(1);
+        let a = pool.allocate().unwrap();
+        pool.dec_ref(a);
+        pool.release(a);
+        assert_eq!(pool.free_blocks(), 1);
+        let b = pool.allocate().unwrap();
+        assert_eq!(a, b, "freed block id should be reused");
+    }
+
+    #[test]
+    fn ref_counting_protects_blocks() {
+        let mut pool = BlockPool::new(2);
+        let a = pool.allocate().unwrap();
+        pool.add_ref(a);
+        assert_eq!(pool.ref_count(a), Some(2));
+        assert_eq!(pool.dec_ref(a), 1);
+        assert_eq!(pool.dec_ref(a), 0);
+        pool.release(a);
+        assert_eq!(pool.ref_count(a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "still has")]
+    fn releasing_referenced_block_panics() {
+        let mut pool = BlockPool::new(1);
+        let a = pool.allocate().unwrap();
+        pool.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn double_release_panics() {
+        let mut pool = BlockPool::new(1);
+        let a = pool.allocate().unwrap();
+        pool.dec_ref(a);
+        pool.release(a);
+        pool.release(a);
+    }
+}

@@ -1,0 +1,30 @@
+//! Paged KV-cache management with prefix caching and suffix discarding.
+//!
+//! This crate reproduces the KV-cache half of PrefillOnly:
+//!
+//! * a block-granularity (paged) KV pool in the style of vLLM's PagedAttention
+//!   allocator ([`BlockPool`]);
+//! * content-hash-based **prefix caching** ([`KvCacheManager`]): completed requests
+//!   leave their full-block KV entries behind keyed by a rolling hash of the token
+//!   prefix, so that later requests sharing the prefix (e.g. the same user profile,
+//!   §2.3) skip recomputation;
+//! * LRU **eviction** of unreferenced cached blocks when the pool fills up;
+//! * **suffix KV-cache discarding** (§5.1): a prefill-only request does not need its
+//!   own KV after the forward pass, so PrefillOnly retains only as many *prefix* blocks
+//!   as fit in the pool and discards the rest, instead of refusing the request or
+//!   spilling to other GPUs.
+//!
+//! The manager never stores actual key/value tensors — only block identities and
+//! token-content hashes — because the reproduction's GPU is analytical.  Everything the
+//! scheduler and executor need (cache-hit token counts, block residency, eviction
+//! pressure) is preserved.
+
+mod block;
+mod hash;
+mod manager;
+mod offload;
+
+pub use block::{BlockId, BlockPool};
+pub use hash::{hash_token_blocks, TokenBlockHash};
+pub use manager::{CacheStats, KvCacheManager, KvError, RequestKv, RetentionPolicy};
+pub use offload::{CpuKvPool, OffloadStats};

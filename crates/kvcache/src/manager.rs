@@ -1,0 +1,610 @@
+//! The KV-cache manager: prefix caching, LRU eviction and suffix discarding.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+use crate::block::{BlockId, BlockPool};
+use crate::hash::{hash_token_blocks, TokenBlockHash};
+
+/// How a request's KV blocks must be resident during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetentionPolicy {
+    /// Every block of the request must be resident for the whole forward pass, as in
+    /// vLLM's PagedAttention and chunked prefilling (the KV of every layer is needed
+    /// for subsequent decoding / later chunks).
+    FullResidency,
+    /// Only as many *prefix* blocks as fit are retained; the KV of the remaining suffix
+    /// tokens is discarded after each layer (PrefillOnly's suffix KV-cache discarding,
+    /// §5.1).  Allocation never fails for lack of KV space.
+    PrefixBestEffort,
+}
+
+/// Error returned when a request's KV cannot be made resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvError {
+    /// Blocks the request needed.
+    pub needed_blocks: u64,
+    /// Blocks that could be made available (free + evictable).
+    pub available_blocks: u64,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KV cache exhausted: request needs {} blocks, only {} available",
+            self.needed_blocks, self.available_blocks
+        )
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of allocation attempts.
+    pub allocations: u64,
+    /// Tokens served from the prefix cache across all allocations.
+    pub hit_tokens: u64,
+    /// Tokens that had to be computed (missed the cache).
+    pub miss_tokens: u64,
+    /// Requests with at least one cache-hit block.
+    pub requests_with_hits: u64,
+    /// Cached blocks evicted to make room.
+    pub evicted_blocks: u64,
+    /// Blocks inserted into the prefix cache at commit time.
+    pub committed_blocks: u64,
+    /// Allocations rejected because the pool was too small (full-residency engines).
+    pub failed_allocations: u64,
+}
+
+impl CacheStats {
+    /// Fraction of tokens served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hit_tokens + self.miss_tokens;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_tokens as f64 / total as f64
+        }
+    }
+}
+
+/// The per-request KV allocation produced by [`KvCacheManager::allocate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestKv {
+    reused: Vec<(TokenBlockHash, BlockId)>,
+    new_full: Vec<(TokenBlockHash, BlockId)>,
+    partial: Option<BlockId>,
+    cached_tokens: u64,
+    total_tokens: u64,
+    block_size: usize,
+}
+
+impl RequestKv {
+    /// Tokens whose KV was found in the prefix cache.
+    pub fn cached_tokens(&self) -> u64 {
+        self.cached_tokens
+    }
+
+    /// Total tokens of the request.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Tokens that must actually be forwarded through the model.
+    pub fn uncached_tokens(&self) -> u64 {
+        self.total_tokens - self.cached_tokens
+    }
+
+    /// Blocks resident in the pool on behalf of this request during execution.
+    pub fn resident_blocks(&self) -> u64 {
+        (self.reused.len() + self.new_full.len() + usize::from(self.partial.is_some())) as u64
+    }
+
+    /// Tokens covered by resident blocks (i.e. tokens whose KV is kept; the rest is the
+    /// discarded suffix under [`RetentionPolicy::PrefixBestEffort`]).
+    pub fn resident_tokens(&self) -> u64 {
+        let full = (self.reused.len() + self.new_full.len()) as u64 * self.block_size as u64;
+        if self.partial.is_some() {
+            self.total_tokens.min(full + self.block_size as u64)
+        } else {
+            full.min(self.total_tokens)
+        }
+    }
+
+    /// Tokens whose KV is *not* retained (the discarded suffix).
+    pub fn discarded_tokens(&self) -> u64 {
+        self.total_tokens - self.resident_tokens()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CachedEntry {
+    block: BlockId,
+    last_used: SimTime,
+}
+
+/// Paged KV-cache manager with prefix caching.
+#[derive(Debug, Clone)]
+pub struct KvCacheManager {
+    block_size: usize,
+    pool: BlockPool,
+    cached: HashMap<TokenBlockHash, CachedEntry>,
+    stats: CacheStats,
+}
+
+impl KvCacheManager {
+    /// Creates a manager over `capacity_blocks` blocks of `block_size` tokens each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(capacity_blocks: u64, block_size: usize) -> KvCacheManager {
+        assert!(block_size > 0, "block size must be positive");
+        KvCacheManager {
+            block_size,
+            pool: BlockPool::new(capacity_blocks),
+            cached: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Total pool capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.pool.total_blocks()
+    }
+
+    /// Blocks neither referenced nor cached.
+    pub fn free_blocks(&self) -> u64 {
+        self.pool.free_blocks()
+    }
+
+    /// Blocks currently held by the prefix cache (unreferenced, evictable).
+    pub fn cached_blocks(&self) -> u64 {
+        self.cached.len() as u64
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns how many leading tokens of `tokens` would hit the prefix cache right
+    /// now, without allocating anything.  This is the `n_cached` input of the
+    /// continuous JCT calibration (Algorithm 1, line 7).
+    pub fn lookup_cached_tokens(&self, tokens: &[u32]) -> u64 {
+        let hashes = hash_token_blocks(tokens, self.block_size);
+        self.lookup_cached_tokens_from_hashes(&hashes)
+    }
+
+    /// Same as [`Self::lookup_cached_tokens`], but over a pre-computed block-hash
+    /// chain.  The engine hashes each request once at arrival and re-probes cheaply at
+    /// every scheduling step.
+    pub fn lookup_cached_tokens_from_hashes(&self, hashes: &[TokenBlockHash]) -> u64 {
+        let mut hits = 0u64;
+        for hash in hashes {
+            if self.cached.contains_key(hash) {
+                hits += 1;
+            } else {
+                break;
+            }
+        }
+        hits * self.block_size as u64
+    }
+
+    /// Allocates KV residency for a request.
+    ///
+    /// * Under [`RetentionPolicy::FullResidency`] every block must fit (after evicting
+    ///   unreferenced cached blocks LRU-first); otherwise an error is returned and
+    ///   nothing is held.
+    /// * Under [`RetentionPolicy::PrefixBestEffort`] as many leading blocks as fit are
+    ///   made resident and the rest of the request is marked as discarded suffix.
+    pub fn allocate(
+        &mut self,
+        tokens: &[u32],
+        now: SimTime,
+        policy: RetentionPolicy,
+    ) -> Result<RequestKv, KvError> {
+        let hashes = hash_token_blocks(tokens, self.block_size);
+        self.allocate_from_hashes(&hashes, tokens.len() as u64, now, policy)
+    }
+
+    /// Same as [`Self::allocate`], but over a pre-computed block-hash chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashes` is inconsistent with `total_tokens` (more full blocks than
+    /// the token count allows).
+    pub fn allocate_from_hashes(
+        &mut self,
+        hashes: &[TokenBlockHash],
+        total_tokens: u64,
+        now: SimTime,
+        policy: RetentionPolicy,
+    ) -> Result<RequestKv, KvError> {
+        assert_eq!(
+            hashes.len() as u64,
+            total_tokens / self.block_size as u64,
+            "hash chain must cover exactly the full blocks of the request"
+        );
+        self.stats.allocations += 1;
+        let has_partial = !total_tokens.is_multiple_of(self.block_size as u64);
+
+        // Phase 1: reuse cached prefix blocks.
+        let mut reused = Vec::new();
+        for hash in hashes {
+            match self.cached.get_mut(hash) {
+                Some(entry) => {
+                    entry.last_used = now;
+                    self.pool.add_ref(entry.block);
+                    reused.push((*hash, entry.block));
+                }
+                None => break,
+            }
+        }
+        let cached_tokens = (reused.len() * self.block_size) as u64;
+
+        // Phase 2: figure out how many new blocks we need.
+        let new_full_needed = hashes.len() - reused.len();
+        let partial_needed = u64::from(has_partial);
+        let needed = new_full_needed as u64 + partial_needed;
+
+        if policy == RetentionPolicy::FullResidency {
+            let available = self.pool.free_blocks() + self.evictable_blocks();
+            if needed > available {
+                // Roll back the references taken in phase 1.
+                for (_, block) in &reused {
+                    self.pool.dec_ref(*block);
+                }
+                self.stats.failed_allocations += 1;
+                return Err(KvError {
+                    needed_blocks: needed,
+                    available_blocks: available,
+                });
+            }
+        }
+
+        // Phase 3: make room in one batch (evicting LRU cached blocks as required),
+        // then allocate.  Under best-effort we stop at the first block that cannot be
+        // satisfied.
+        let free = self.pool.free_blocks();
+        if needed > free {
+            self.evict_lru_batch(needed - free);
+        }
+        let mut new_full = Vec::with_capacity(new_full_needed);
+        let mut exhausted = false;
+        for hash in hashes.iter().skip(reused.len()) {
+            match self.pool.allocate() {
+                Some(block) => new_full.push((*hash, block)),
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        let partial = if has_partial && !exhausted {
+            self.pool.allocate()
+        } else {
+            None
+        };
+
+        debug_assert!(
+            policy == RetentionPolicy::PrefixBestEffort || !exhausted,
+            "full-residency allocation must have been size-checked in phase 2"
+        );
+
+        self.stats.hit_tokens += cached_tokens;
+        self.stats.miss_tokens += total_tokens - cached_tokens;
+        if cached_tokens > 0 {
+            self.stats.requests_with_hits += 1;
+        }
+
+        Ok(RequestKv {
+            reused,
+            new_full,
+            partial,
+            cached_tokens,
+            total_tokens,
+            block_size: self.block_size,
+        })
+    }
+
+    /// Completes a request: newly written full blocks enter the prefix cache, the
+    /// partial block is freed, and reused blocks drop back to being cached-only.
+    pub fn commit(&mut self, request: RequestKv, now: SimTime) {
+        for (hash, block) in request.reused {
+            self.pool.dec_ref(block);
+            if let Some(entry) = self.cached.get_mut(&hash) {
+                entry.last_used = now;
+            }
+        }
+        for (hash, block) in request.new_full {
+            if self.pool.dec_ref(block) == 0 {
+                if let std::collections::hash_map::Entry::Vacant(e) = self.cached.entry(hash) {
+                    e.insert(CachedEntry {
+                        block,
+                        last_used: now,
+                    });
+                    self.stats.committed_blocks += 1;
+                } else {
+                    // A concurrent identical prefix already cached this content; drop
+                    // the duplicate block.
+                    self.pool.release(block);
+                }
+            }
+        }
+        if let Some(block) = request.partial {
+            if self.pool.dec_ref(block) == 0 {
+                self.pool.release(block);
+            }
+        }
+    }
+
+    /// Abandons a request without caching anything (e.g. the request failed).
+    pub fn release_uncommitted(&mut self, request: RequestKv) {
+        for (_, block) in request.reused {
+            self.pool.dec_ref(block);
+        }
+        for (_, block) in request
+            .new_full
+            .into_iter()
+            .chain(request.partial.map(|b| (TokenBlockHash(0), b)))
+        {
+            if self.pool.dec_ref(block) == 0 {
+                self.pool.release(block);
+            }
+        }
+    }
+
+    /// Drops every unreferenced cached block (used by tests and profile runs).
+    pub fn clear_cache(&mut self) {
+        let hashes: Vec<TokenBlockHash> = self
+            .cached
+            .iter()
+            .filter(|(_, e)| self.pool.ref_count(e.block) == Some(0))
+            .map(|(h, _)| *h)
+            .collect();
+        for hash in hashes {
+            let entry = self.cached.remove(&hash).expect("hash collected above");
+            self.pool.release(entry.block);
+            self.stats.evicted_blocks += 1;
+        }
+    }
+
+    fn evictable_blocks(&self) -> u64 {
+        self.cached
+            .values()
+            .filter(|e| self.pool.ref_count(e.block) == Some(0))
+            .count() as u64
+    }
+
+    /// Evicts up to `count` least-recently-used unreferenced cached blocks in one pass.
+    /// Returns how many blocks were actually evicted.
+    fn evict_lru_batch(&mut self, count: u64) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let mut victims: Vec<(SimTime, TokenBlockHash)> = self
+            .cached
+            .iter()
+            .filter(|(_, e)| self.pool.ref_count(e.block) == Some(0))
+            .map(|(h, e)| (e.last_used, *h))
+            .collect();
+        victims.sort_unstable();
+        let mut evicted = 0u64;
+        for (_, hash) in victims.into_iter().take(count as usize) {
+            let entry = self.cached.remove(&hash).expect("victim exists");
+            self.pool.release(entry.block);
+            self.stats.evicted_blocks += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(start: u32, len: usize) -> Vec<u32> {
+        (start..start + len as u32).collect()
+    }
+
+    #[test]
+    fn cold_allocation_has_no_hits() {
+        let mut m = KvCacheManager::new(100, 16);
+        let req = m
+            .allocate(
+                &tokens(0, 100),
+                SimTime::ZERO,
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        assert_eq!(req.cached_tokens(), 0);
+        assert_eq!(req.total_tokens(), 100);
+        assert_eq!(req.resident_blocks(), 7, "6 full blocks + 1 partial");
+        assert_eq!(req.resident_tokens(), 100);
+        m.commit(req, SimTime::ZERO);
+        // 6 full blocks cached, partial freed.
+        assert_eq!(m.cached_blocks(), 6);
+        assert_eq!(m.stats().committed_blocks, 6);
+    }
+
+    #[test]
+    fn warm_allocation_hits_the_shared_prefix() {
+        let mut m = KvCacheManager::new(100, 16);
+        let profile = tokens(0, 64);
+        let mut req_a = profile.clone();
+        req_a.extend(tokens(1000, 32));
+        let mut req_b = profile.clone();
+        req_b.extend(tokens(2000, 32));
+
+        let a = m
+            .allocate(&req_a, SimTime::ZERO, RetentionPolicy::FullResidency)
+            .unwrap();
+        m.commit(a, SimTime::ZERO);
+
+        assert_eq!(m.lookup_cached_tokens(&req_b), 64);
+        let b = m
+            .allocate(
+                &req_b,
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        assert_eq!(b.cached_tokens(), 64);
+        assert_eq!(b.uncached_tokens(), 32);
+        m.commit(b, SimTime::from_secs(1));
+        assert!(m.stats().hit_rate() > 0.0);
+        assert_eq!(m.stats().requests_with_hits, 1);
+    }
+
+    #[test]
+    fn full_residency_fails_when_pool_too_small() {
+        let mut m = KvCacheManager::new(4, 16);
+        let err = m
+            .allocate(
+                &tokens(0, 200),
+                SimTime::ZERO,
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap_err();
+        assert!(err.needed_blocks > err.available_blocks);
+        assert_eq!(m.stats().failed_allocations, 1);
+        // Nothing leaked.
+        assert_eq!(m.free_blocks(), 4);
+    }
+
+    #[test]
+    fn best_effort_retains_prefix_and_discards_suffix() {
+        let mut m = KvCacheManager::new(4, 16);
+        let req = m
+            .allocate(
+                &tokens(0, 200),
+                SimTime::ZERO,
+                RetentionPolicy::PrefixBestEffort,
+            )
+            .unwrap();
+        assert_eq!(req.resident_blocks(), 4);
+        assert_eq!(req.resident_tokens(), 64);
+        assert_eq!(req.discarded_tokens(), 136);
+        m.commit(req, SimTime::ZERO);
+        assert_eq!(m.cached_blocks(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut m = KvCacheManager::new(8, 16);
+        // Two requests fill the cache: A at t=0 (4 blocks), B at t=1 (4 blocks).
+        let a = m
+            .allocate(
+                &tokens(0, 64),
+                SimTime::ZERO,
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(a, SimTime::ZERO);
+        let b = m
+            .allocate(
+                &tokens(5000, 64),
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(b, SimTime::from_secs(1));
+        assert_eq!(m.cached_blocks(), 8);
+        // C needs 4 blocks; A's blocks (older) should be evicted, keeping B's.
+        let c = m
+            .allocate(
+                &tokens(9000, 64),
+                SimTime::from_secs(2),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(c, SimTime::from_secs(2));
+        assert_eq!(m.lookup_cached_tokens(&tokens(0, 64)), 0, "A evicted");
+        assert_eq!(m.lookup_cached_tokens(&tokens(5000, 64)), 64, "B kept");
+        assert_eq!(m.stats().evicted_blocks, 4);
+    }
+
+    #[test]
+    fn referenced_blocks_are_not_evicted() {
+        let mut m = KvCacheManager::new(4, 16);
+        let a = m
+            .allocate(
+                &tokens(0, 64),
+                SimTime::ZERO,
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        // While A is still running (not committed), a full-residency request that needs
+        // the whole pool must fail rather than evict A's in-use blocks.
+        let err = m
+            .allocate(
+                &tokens(100, 64),
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap_err();
+        assert_eq!(err.available_blocks, 0);
+        m.commit(a, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn release_uncommitted_caches_nothing() {
+        let mut m = KvCacheManager::new(16, 16);
+        let a = m
+            .allocate(
+                &tokens(0, 64),
+                SimTime::ZERO,
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.release_uncommitted(a);
+        assert_eq!(m.cached_blocks(), 0);
+        assert_eq!(m.free_blocks(), 16);
+    }
+
+    #[test]
+    fn clear_cache_frees_everything_unreferenced() {
+        let mut m = KvCacheManager::new(16, 16);
+        let a = m
+            .allocate(
+                &tokens(0, 128),
+                SimTime::ZERO,
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(a, SimTime::ZERO);
+        assert!(m.cached_blocks() > 0);
+        m.clear_cache();
+        assert_eq!(m.cached_blocks(), 0);
+        assert_eq!(m.free_blocks(), 16);
+    }
+
+    #[test]
+    fn repeated_identical_request_is_fully_cached_except_partial() {
+        let mut m = KvCacheManager::new(64, 16);
+        let toks = tokens(0, 100);
+        let a = m
+            .allocate(&toks, SimTime::ZERO, RetentionPolicy::FullResidency)
+            .unwrap();
+        m.commit(a, SimTime::ZERO);
+        let b = m
+            .allocate(&toks, SimTime::from_secs(1), RetentionPolicy::FullResidency)
+            .unwrap();
+        // 6 full blocks hit; the partial 4-token tail is always recomputed.
+        assert_eq!(b.cached_tokens(), 96);
+        m.commit(b, SimTime::from_secs(1));
+        assert_eq!(m.cached_blocks(), 6, "no duplicate cache entries");
+    }
+}

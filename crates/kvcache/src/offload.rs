@@ -1,0 +1,218 @@
+//! CPU-side KV offloading (the §9 "Offloading the KV caches to CPU" extension).
+//!
+//! The published PrefillOnly *discards* the KV cache of suffix tokens that do not fit in
+//! GPU memory, which forfeits any chance of reusing that computation later.  §9 points
+//! out that the same mechanism could instead *offload* those blocks to CPU memory (à la
+//! LMCache) and reload them over PCIe when a future request shares the prefix.  This
+//! module provides that CPU tier: a capacity-bounded, LRU-evicted map from block-content
+//! hashes to block-sized KV entries, plus the byte accounting the engine needs to decide
+//! whether reloading is cheaper than recomputing.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+use crate::hash::TokenBlockHash;
+
+/// Statistics of the CPU offload tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffloadStats {
+    /// Blocks written to CPU memory.
+    pub offloaded_blocks: u64,
+    /// Blocks evicted from CPU memory to make room.
+    pub evicted_blocks: u64,
+    /// Blocks served back to the GPU from CPU memory.
+    pub reloaded_blocks: u64,
+}
+
+/// A capacity-bounded CPU-memory pool of offloaded KV blocks.
+#[derive(Debug, Clone)]
+pub struct CpuKvPool {
+    block_bytes: u64,
+    capacity_blocks: u64,
+    entries: HashMap<TokenBlockHash, SimTime>,
+    stats: OffloadStats,
+}
+
+impl CpuKvPool {
+    /// Creates a pool of `capacity_bytes` of CPU memory holding blocks of
+    /// `block_bytes` each (all layers of one token-block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero.
+    pub fn new(capacity_bytes: u64, block_bytes: u64) -> CpuKvPool {
+        assert!(block_bytes > 0, "block size in bytes must be positive");
+        CpuKvPool {
+            block_bytes,
+            capacity_blocks: capacity_bytes / block_bytes,
+            entries: HashMap::new(),
+            stats: OffloadStats::default(),
+        }
+    }
+
+    /// Bytes of KV held per block.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Maximum number of blocks the pool can hold.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    /// Number of blocks currently offloaded.
+    pub fn resident_blocks(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Bytes currently occupied in CPU memory.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_blocks() * self.block_bytes
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> OffloadStats {
+        self.stats
+    }
+
+    /// Offloads the given block-hash chain (typically the discarded suffix of a
+    /// request), evicting the least-recently-used entries if the pool is full.
+    ///
+    /// Returns the number of blocks actually written (existing entries are refreshed,
+    /// not duplicated).
+    pub fn offload(&mut self, hashes: &[TokenBlockHash], now: SimTime) -> u64 {
+        let mut written = 0;
+        for hash in hashes {
+            if self.capacity_blocks == 0 {
+                break;
+            }
+            if self.entries.contains_key(hash) {
+                self.entries.insert(*hash, now);
+                continue;
+            }
+            if self.resident_blocks() >= self.capacity_blocks {
+                self.evict_lru();
+            }
+            self.entries.insert(*hash, now);
+            self.stats.offloaded_blocks += 1;
+            written += 1;
+        }
+        written
+    }
+
+    /// Returns how many *leading* blocks of `hashes` are present in CPU memory (the
+    /// reloadable prefix).
+    pub fn lookup_prefix_blocks(&self, hashes: &[TokenBlockHash]) -> u64 {
+        let mut hits = 0;
+        for hash in hashes {
+            if self.entries.contains_key(hash) {
+                hits += 1;
+            } else {
+                break;
+            }
+        }
+        hits
+    }
+
+    /// Marks the leading `blocks` blocks of `hashes` as reloaded to the GPU (refreshing
+    /// their recency) and returns the number of bytes that must cross the CPU-GPU link.
+    pub fn reload_prefix(&mut self, hashes: &[TokenBlockHash], blocks: u64, now: SimTime) -> u64 {
+        let blocks = blocks.min(hashes.len() as u64);
+        for hash in &hashes[..blocks as usize] {
+            if let Some(entry) = self.entries.get_mut(hash) {
+                *entry = now;
+                self.stats.reloaded_blocks += 1;
+            }
+        }
+        blocks * self.block_bytes
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &t)| t) {
+            self.entries.remove(&victim);
+            self.stats.evicted_blocks += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_token_blocks;
+
+    const BLOCK_TOKENS: usize = 16;
+    const BLOCK_BYTES: u64 = 16 * 128 * 1024; // 16 tokens x 128 KiB/token (Llama-8B).
+
+    fn hashes(start: u32, tokens: usize) -> Vec<TokenBlockHash> {
+        let toks: Vec<u32> = (start..start + tokens as u32).collect();
+        hash_token_blocks(&toks, BLOCK_TOKENS)
+    }
+
+    #[test]
+    fn offload_and_lookup_round_trip() {
+        let mut pool = CpuKvPool::new(1 << 30, BLOCK_BYTES);
+        let chain = hashes(0, 1_600);
+        assert_eq!(pool.lookup_prefix_blocks(&chain), 0);
+        let written = pool.offload(&chain, SimTime::ZERO);
+        assert_eq!(written, 100);
+        assert_eq!(pool.resident_blocks(), 100);
+        assert_eq!(pool.lookup_prefix_blocks(&chain), 100);
+        assert_eq!(pool.resident_bytes(), 100 * BLOCK_BYTES);
+    }
+
+    #[test]
+    fn duplicate_offloads_do_not_grow_the_pool() {
+        let mut pool = CpuKvPool::new(1 << 30, BLOCK_BYTES);
+        let chain = hashes(0, 320);
+        pool.offload(&chain, SimTime::ZERO);
+        let written_again = pool.offload(&chain, SimTime::from_secs(1));
+        assert_eq!(written_again, 0);
+        assert_eq!(pool.resident_blocks(), 20);
+        assert_eq!(pool.stats().offloaded_blocks, 20);
+    }
+
+    #[test]
+    fn lru_eviction_under_capacity_pressure() {
+        // Capacity of 10 blocks; two 8-block chains cannot both stay resident.
+        let mut pool = CpuKvPool::new(10 * BLOCK_BYTES, BLOCK_BYTES);
+        let a = hashes(0, 128);
+        let b = hashes(10_000, 128);
+        pool.offload(&a, SimTime::ZERO);
+        pool.offload(&b, SimTime::from_secs(1));
+        assert_eq!(pool.resident_blocks(), 10);
+        assert!(pool.stats().evicted_blocks >= 6);
+        // The younger chain is fully resident; the older one lost its head blocks.
+        assert_eq!(pool.lookup_prefix_blocks(&b), 8);
+        assert!(pool.lookup_prefix_blocks(&a) < 8);
+    }
+
+    #[test]
+    fn reload_accounts_transfer_bytes_and_recency() {
+        let mut pool = CpuKvPool::new(1 << 30, BLOCK_BYTES);
+        let chain = hashes(0, 800);
+        pool.offload(&chain, SimTime::ZERO);
+        let bytes = pool.reload_prefix(&chain, 30, SimTime::from_secs(5));
+        assert_eq!(bytes, 30 * BLOCK_BYTES);
+        assert_eq!(pool.stats().reloaded_blocks, 30);
+        // Asking for more blocks than the chain has is clamped.
+        let bytes = pool.reload_prefix(&chain, 10_000, SimTime::from_secs(6));
+        assert_eq!(bytes, 50 * BLOCK_BYTES);
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_inert() {
+        let mut pool = CpuKvPool::new(0, BLOCK_BYTES);
+        let chain = hashes(0, 160);
+        assert_eq!(pool.offload(&chain, SimTime::ZERO), 0);
+        assert_eq!(pool.resident_blocks(), 0);
+        assert_eq!(pool.lookup_prefix_blocks(&chain), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_bytes_panics() {
+        CpuKvPool::new(1 << 20, 0);
+    }
+}

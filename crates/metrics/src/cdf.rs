@@ -1,0 +1,110 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figure 11 of the paper plots the CDF of request latency for three values of the
+//! fairness parameter λ.  [`Cdf`] builds that curve from raw samples and can be
+//! serialised directly into the experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over latency samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from unordered samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(samples: &[f64]) -> Cdf {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("CDF samples must not be NaN"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples backing the CDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns true if the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `P(X <= x)`.
+    pub fn probability_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted.partition_point(|&s| s <= x);
+        below as f64 / self.sorted.len() as f64
+    }
+
+    /// Returns the `q`-quantile (inverse CDF), or `None` if the CDF is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(crate::stats::percentile(&self.sorted, q))
+    }
+
+    /// Samples the CDF curve at `points` evenly-spaced probabilities, returning
+    /// `(value, probability)` pairs suitable for plotting.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (0..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                (crate::stats::percentile(&self.sorted, q), q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_is_monotone() {
+        let cdf = Cdf::from_samples(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.len(), 4);
+        assert!(cdf.probability_at(0.5) < cdf.probability_at(2.5));
+        assert_eq!(cdf.probability_at(10.0), 1.0);
+        assert_eq!(cdf.probability_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_inverts_probability() {
+        let samples: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let cdf = Cdf::from_samples(&samples);
+        let median = cdf.quantile(0.5).unwrap();
+        assert!((median - 50.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = Cdf::from_samples(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.probability_at(1.0), 0.0);
+        assert!(cdf.quantile(0.5).is_none());
+        assert!(cdf.curve(10).is_empty());
+    }
+
+    #[test]
+    fn curve_has_requested_resolution() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0]);
+        let curve = cdf.curve(10);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve.first().unwrap().1, 0.0);
+        assert_eq!(curve.last().unwrap().1, 1.0);
+        for pair in curve.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Statistics utilities shared by the PrefillOnly experiment harness.
+//!
+//! The evaluation section of the paper reports mean latency, P99 latency, latency CDFs
+//! (Fig. 11), request throughput (Fig. 8/9), prefix-cache hit counts (Fig. 5) and a
+//! Pearson correlation between JCT and cache-miss tokens (§6.3).  This crate implements
+//! those estimators plus the ordinary-least-squares fit used by the JCT profile.
+
+mod cdf;
+mod regression;
+mod stats;
+mod throughput;
+
+pub use cdf::Cdf;
+pub use regression::{pearson_correlation, LinearFit, LinearModel2};
+pub use stats::{LatencyRecorder, Summary};
+pub use throughput::ThroughputWindow;

@@ -1,0 +1,237 @@
+//! Least-squares fits and correlation.
+//!
+//! §6.3 of the paper profiles job completion time against (input tokens, cached tokens)
+//! pairs and fits "a small linear model using linear regression"; it also reports a
+//! Pearson correlation coefficient of 0.987 between JCT and the number of cache-miss
+//! tokens.  These are the two numerical routines implemented here.
+
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional least-squares fit `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination (R²).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits `y = slope * x + intercept` by ordinary least squares.
+    ///
+    /// Returns `None` when fewer than two points are provided or when all `x` values
+    /// are identical (the slope would be undefined).
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+            .sum();
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A two-feature linear model `y = w_input * x1 + w_cached * x2 + bias`, matching the
+/// JCT profile of Algorithm 1: `jct = f(n_input, n_cached)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel2 {
+    /// Weight of the first feature (number of input tokens).
+    pub w_input: f64,
+    /// Weight of the second feature (number of prefix-cache-hit tokens).
+    pub w_cached: f64,
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl LinearModel2 {
+    /// Fits the model by solving the 3×3 normal equations.
+    ///
+    /// Returns `None` when the system is singular (e.g. fewer than three distinct
+    /// points, or perfectly collinear features).
+    pub fn fit(points: &[(f64, f64, f64)]) -> Option<LinearModel2> {
+        if points.len() < 3 {
+            return None;
+        }
+        // Normal equations: A^T A w = A^T y with A = [x1 x2 1].
+        let mut ata = [[0.0f64; 3]; 3];
+        let mut aty = [0.0f64; 3];
+        for &(x1, x2, y) in points {
+            let row = [x1, x2, 1.0];
+            for i in 0..3 {
+                for j in 0..3 {
+                    ata[i][j] += row[i] * row[j];
+                }
+                aty[i] += row[i] * y;
+            }
+        }
+        let w = solve3(ata, aty)?;
+        Some(LinearModel2 {
+            w_input: w[0],
+            w_cached: w[1],
+            bias: w[2],
+        })
+    }
+
+    /// Evaluates the model.
+    pub fn predict(&self, n_input: f64, n_cached: f64) -> f64 {
+        self.w_input * n_input + self.w_cached * n_cached + self.bias
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial pivoting.
+// Index-based loops mirror the textbook elimination and need to touch two rows of `a`
+// at once, which iterator adapters cannot express without extra copies.
+#[expect(clippy::needless_range_loop)]
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // Pivot.
+        let pivot_row = (col..3)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("matrix entries must not be NaN")
+            })
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        for row in (col + 1)..3 {
+            let factor = a[row][col] / a[col][col];
+            for k in col..3 {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..3 {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns `None` if the series differ in length, have fewer than two points, or if
+/// either series has zero variance.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let points: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let fit = LinearFit::fit(&points).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 7.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+        assert!((fit.predict(100.0) - 307.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_fits_return_none() {
+        assert!(LinearFit::fit(&[]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 2.0)]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn two_feature_model_recovers_weights() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let x1 = i as f64 * 1000.0;
+                let x2 = j as f64 * 500.0;
+                points.push((x1, x2, 0.002 * x1 - 0.0015 * x2 + 0.3));
+            }
+        }
+        let model = LinearModel2::fit(&points).unwrap();
+        assert!((model.w_input - 0.002).abs() < 1e-9);
+        assert!((model.w_cached + 0.0015).abs() < 1e-9);
+        assert!((model.bias - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn collinear_features_return_none() {
+        // x2 == x1 everywhere: the normal equations are singular.
+        let points: Vec<(f64, f64, f64)> = (0..10)
+            .map(|i| (i as f64, i as f64, 2.0 * i as f64))
+            .collect();
+        assert!(LinearModel2::fit(&points).is_none());
+    }
+
+    #[test]
+    fn pearson_of_perfectly_correlated_series_is_one() {
+        let xs: Vec<f64> = (0..50).map(|x| x as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let rho = pearson_correlation(&xs, &ys).unwrap();
+        assert!((rho - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        let rho_neg = pearson_correlation(&xs, &neg).unwrap();
+        assert!((rho_neg + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert!(pearson_correlation(&[1.0], &[2.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 2.0], &[5.0, 5.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_none());
+    }
+}

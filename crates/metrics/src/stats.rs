@@ -1,0 +1,171 @@
+//! Latency summaries.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Aggregate statistics over a set of samples (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Median (P50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of the given samples.  Returns `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            p50: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
+            p99: percentile(&sorted, 0.99),
+            max: sorted[count - 1],
+        })
+    }
+}
+
+/// Nearest-rank percentile with linear interpolation over a pre-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    if lower == upper {
+        sorted[lower]
+    } else {
+        let frac = pos - lower as f64;
+        sorted[lower] * (1.0 - frac) + sorted[upper] * frac
+    }
+}
+
+/// Collects per-request latencies during a serving simulation.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples.push(latency.as_secs_f64());
+    }
+
+    /// Records a latency expressed in seconds.
+    pub fn record_secs(&mut self, secs: f64) {
+        self.samples.push(secs);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the raw samples in recording order (seconds).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Produces a summary of everything recorded so far.
+    pub fn summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let samples = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::from_samples(&samples).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.p50 - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::from_samples(&[]).is_none());
+        assert!(LatencyRecorder::new().summary().is_none());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = vec![10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&sorted, 0.0) - 10.0).abs() < 1e-12);
+        assert!((percentile(&sorted, 1.0) - 40.0).abs() < 1e-12);
+        assert!((percentile(&sorted, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_tracks_tail() {
+        let mut samples = vec![1.0; 99];
+        samples.push(100.0);
+        let s = Summary::from_samples(&samples).unwrap();
+        assert!(s.p99 > 1.0, "p99 should be pulled up by the outlier");
+        assert!(s.p50 <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn recorder_accumulates() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        r.record(SimDuration::from_millis(500));
+        r.record_secs(1.5);
+        assert_eq!(r.len(), 2);
+        let s = r.summary().unwrap();
+        assert!((s.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must lie in [0, 1]")]
+    fn invalid_quantile_panics() {
+        percentile(&[1.0], 1.5);
+    }
+}

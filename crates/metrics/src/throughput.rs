@@ -1,0 +1,133 @@
+//! Request throughput accounting.
+//!
+//! Figures 8 and 9 report sustained request throughput (requests/second).  The
+//! simulation records each request completion time; [`ThroughputWindow`] converts that
+//! series into an overall rate and into windowed rates for time-series plots.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// Accumulates request completion events and reports throughput.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThroughputWindow {
+    completions: Vec<SimTime>,
+}
+
+impl ThroughputWindow {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request completion at the given virtual time.
+    pub fn record_completion(&mut self, at: SimTime) {
+        self.completions.push(at);
+    }
+
+    /// Total number of completions recorded.
+    pub fn count(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Overall throughput in requests/second over `[0, horizon]`.
+    ///
+    /// Uses the supplied horizon rather than the last completion so that an engine
+    /// which finished early is not unfairly credited with a higher rate.
+    pub fn overall_rate(&self, horizon: SimDuration) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        self.completions.len() as f64 / horizon.as_secs_f64()
+    }
+
+    /// Throughput measured from the first to the last completion.
+    ///
+    /// Returns 0 when fewer than two completions were recorded.
+    pub fn busy_rate(&self) -> f64 {
+        if self.completions.len() < 2 {
+            return 0.0;
+        }
+        let mut sorted = self.completions.clone();
+        sorted.sort_unstable();
+        let span = (*sorted.last().expect("non-empty") - sorted[0]).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (self.completions.len() - 1) as f64 / span
+    }
+
+    /// Windowed throughput: the number of completions in each `window`-sized bucket
+    /// divided by the window length, as `(window_start, rate)` pairs.
+    pub fn windowed_rates(&self, window: SimDuration) -> Vec<(SimTime, f64)> {
+        if self.completions.is_empty() || window.is_zero() {
+            return Vec::new();
+        }
+        let mut sorted = self.completions.clone();
+        sorted.sort_unstable();
+        let end = *sorted.last().expect("non-empty");
+        let window_us = window.as_micros();
+        let buckets = end.as_micros() / window_us + 1;
+        let mut counts = vec![0usize; buckets as usize];
+        for t in &sorted {
+            counts[(t.as_micros() / window_us) as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    SimTime::from_micros(i as u64 * window_us),
+                    c as f64 / window.as_secs_f64(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_rate_uses_horizon() {
+        let mut w = ThroughputWindow::new();
+        for i in 0..10 {
+            w.record_completion(SimTime::from_secs(i));
+        }
+        assert_eq!(w.count(), 10);
+        assert!((w.overall_rate(SimDuration::from_secs(20)) - 0.5).abs() < 1e-12);
+        assert_eq!(w.overall_rate(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn busy_rate_ignores_idle_tail() {
+        let mut w = ThroughputWindow::new();
+        for i in 0..=10 {
+            w.record_completion(SimTime::from_secs(i));
+        }
+        assert!((w.busy_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_rate_degenerate() {
+        let mut w = ThroughputWindow::new();
+        assert_eq!(w.busy_rate(), 0.0);
+        w.record_completion(SimTime::from_secs(1));
+        assert_eq!(w.busy_rate(), 0.0);
+        w.record_completion(SimTime::from_secs(1));
+        assert_eq!(w.busy_rate(), 0.0, "zero span should not divide by zero");
+    }
+
+    #[test]
+    fn windowed_rates_bucketise() {
+        let mut w = ThroughputWindow::new();
+        for i in 0..10 {
+            w.record_completion(SimTime::from_millis(i * 100));
+        }
+        let rates = w.windowed_rates(SimDuration::from_millis(500));
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0].1 - 10.0).abs() < 1e-12);
+        assert!((rates[1].1 - 10.0).abs() < 1e-12);
+        assert!(w.windowed_rates(SimDuration::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Transformer hyper-parameter description.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::DType;
+
+/// Architecture description of a decoder-only transformer.
+///
+/// Only the hyper-parameters that determine memory footprint and compute cost are kept:
+/// the reproduction never materialises weights or activations, it only sizes them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable model name (e.g. `meta-llama/Llama-3.1-8B`).
+    pub name: String,
+    /// Number of transformer blocks.
+    pub num_layers: u32,
+    /// Residual-stream width.
+    pub hidden_size: u64,
+    /// MLP intermediate width (a single projection; SwiGLU uses gate+up = 2× this).
+    pub intermediate_size: u64,
+    /// Number of query attention heads.
+    pub num_heads: u64,
+    /// Number of key/value heads (grouped-query attention).
+    pub num_kv_heads: u64,
+    /// Per-head dimension.
+    pub head_dim: u64,
+    /// Vocabulary size (drives the LM-head / embedding sizes).
+    pub vocab_size: u64,
+    /// Storage datatype of the weights.
+    pub weight_dtype: DType,
+    /// Storage datatype of activations (intermediate tensors).
+    pub activation_dtype: DType,
+    /// Storage datatype of KV-cache entries.
+    pub kv_dtype: DType,
+}
+
+impl ModelConfig {
+    /// Approximate total parameter count of the dense model.
+    ///
+    /// Counts embedding, per-layer attention + MLP projections and the LM head; ignores
+    /// biases and the tiny RMSNorm vectors.
+    pub fn param_count(&self) -> u64 {
+        let embed = self.vocab_size * self.hidden_size;
+        let lm_head = self.vocab_size * self.hidden_size;
+        let q = self.hidden_size * self.num_heads * self.head_dim;
+        let kv = 2 * self.hidden_size * self.num_kv_heads * self.head_dim;
+        let o = self.num_heads * self.head_dim * self.hidden_size;
+        let mlp = 3 * self.hidden_size * self.intermediate_size;
+        embed + lm_head + u64::from(self.num_layers) * (q + kv + o + mlp)
+    }
+
+    /// Bytes of weight storage for the full (unsharded) model.
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_dtype.size_of(self.param_count())
+    }
+
+    /// Query projection width (`num_heads * head_dim`).
+    pub fn q_dim(&self) -> u64 {
+        self.num_heads * self.head_dim
+    }
+
+    /// Combined key+value projection width (`2 * num_kv_heads * head_dim`).
+    pub fn kv_dim(&self) -> u64 {
+        2 * self.num_kv_heads * self.head_dim
+    }
+
+    /// KV-cache bytes per token for a single layer.
+    pub fn kv_bytes_per_token_per_layer(&self) -> u64 {
+        self.kv_dtype.size_of(self.kv_dim())
+    }
+
+    /// KV-cache bytes per token across all layers.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        self.kv_bytes_per_token_per_layer() * u64::from(self.num_layers)
+    }
+
+    /// Number of activation elements produced per token by the MLP up/gate projections.
+    ///
+    /// This is the "28 672 floating numbers per token" figure of §4.1 for Llama-3.1-8B:
+    /// SwiGLU materialises both the gate and up projections before the element-wise
+    /// product.
+    pub fn mlp_intermediate_elements_per_token(&self) -> u64 {
+        2 * self.intermediate_size
+    }
+
+    /// Bytes of MLP intermediate activation per token.
+    pub fn mlp_intermediate_bytes_per_token(&self) -> u64 {
+        self.activation_dtype
+            .size_of(self.mlp_intermediate_elements_per_token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets::llama3_1_8b;
+
+    #[test]
+    fn llama8b_parameter_count_is_about_8b() {
+        let m = llama3_1_8b();
+        let params = m.param_count() as f64;
+        assert!(
+            (7.0e9..9.0e9).contains(&params),
+            "expected ~8B params, got {params}"
+        );
+    }
+
+    #[test]
+    fn llama8b_kv_bytes_match_paper() {
+        // §2.1: "the KV cache size of a request with 100,000 tokens is around 12 GB"
+        // for Llama-3.1-8B.
+        let m = llama3_1_8b();
+        let per_token = m.kv_bytes_per_token();
+        let hundred_k = per_token * 100_000;
+        let gib = hundred_k as f64 / (1u64 << 30) as f64;
+        assert!(
+            (11.0..14.0).contains(&gib),
+            "expected ~12 GiB for 100k tokens, got {gib:.2} GiB"
+        );
+    }
+
+    #[test]
+    fn llama8b_mlp_intermediate_matches_fig4() {
+        // Fig. 4: intermediate tensor 1 holds 28 672 elements per token, which is
+        // 14x the one-layer KV cache of 4 096 bytes-per-token... (elements: 2 x 14336).
+        let m = llama3_1_8b();
+        assert_eq!(m.mlp_intermediate_elements_per_token(), 28_672);
+        let ratio =
+            m.mlp_intermediate_bytes_per_token() as f64 / m.kv_bytes_per_token_per_layer() as f64;
+        assert!((13.0..15.0).contains(&ratio), "ratio was {ratio}");
+    }
+
+    #[test]
+    fn projection_widths() {
+        let m = llama3_1_8b();
+        assert_eq!(m.q_dim(), 4096);
+        assert_eq!(m.kv_dim(), 2048);
+    }
+}

@@ -1,0 +1,78 @@
+//! Numeric datatypes and their storage width.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Storage datatype of weights, activations or KV-cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 16-bit IEEE float.
+    F16,
+    /// bfloat16.
+    BF16,
+    /// 8-bit float (e4m3 / e5m2), as used by the FP8-quantised checkpoints in Table 3.
+    FP8,
+    /// 8-bit integer quantisation.
+    INT8,
+    /// 4-bit integer quantisation (two elements per byte).
+    INT4,
+}
+
+impl DType {
+    /// Bytes occupied by a single element.
+    pub fn bytes(self) -> f64 {
+        match self {
+            DType::F32 => 4.0,
+            DType::F16 | DType::BF16 => 2.0,
+            DType::FP8 | DType::INT8 => 1.0,
+            DType::INT4 => 0.5,
+        }
+    }
+
+    /// Size in bytes of `elements` elements of this type, rounded up to a whole byte.
+    pub fn size_of(self, elements: u64) -> u64 {
+        (elements as f64 * self.bytes()).ceil() as u64
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DType::F32 => "fp32",
+            DType::F16 => "fp16",
+            DType::BF16 => "bf16",
+            DType::FP8 => "fp8",
+            DType::INT8 => "int8",
+            DType::INT4 => "int4",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(DType::F32.bytes(), 4.0);
+        assert_eq!(DType::BF16.bytes(), 2.0);
+        assert_eq!(DType::FP8.bytes(), 1.0);
+        assert_eq!(DType::INT4.bytes(), 0.5);
+    }
+
+    #[test]
+    fn size_of_rounds_up() {
+        assert_eq!(DType::INT4.size_of(3), 2);
+        assert_eq!(DType::BF16.size_of(10), 20);
+        assert_eq!(DType::FP8.size_of(0), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::BF16.to_string(), "bf16");
+        assert_eq!(DType::FP8.to_string(), "fp8");
+    }
+}

@@ -1,0 +1,166 @@
+//! FLOP and memory-traffic accounting for prefill and decode.
+//!
+//! The GPU cost model (in the `gpu` crate) turns these counts into execution time using
+//! a roofline.  Keeping the counts here, next to the architecture description, means
+//! every executor strategy shares one source of truth for "how much work is a forward
+//! pass".
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+
+/// FLOP / byte-traffic profile of one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlopProfile {
+    config: ModelConfig,
+}
+
+impl FlopProfile {
+    /// Creates the profile for a model.
+    pub fn new(config: ModelConfig) -> FlopProfile {
+        FlopProfile { config }
+    }
+
+    /// The underlying model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Parameters involved in the per-layer linear projections (QKV, output, MLP).
+    fn linear_params_per_layer(&self) -> u64 {
+        let c = &self.config;
+        let q = c.hidden_size * c.q_dim();
+        let kv = c.hidden_size * c.kv_dim();
+        let o = c.q_dim() * c.hidden_size;
+        let mlp = 3 * c.hidden_size * c.intermediate_size;
+        q + kv + o + mlp
+    }
+
+    /// FLOPs spent in linear (chunkable) layers to forward `new_tokens` tokens through
+    /// all transformer blocks.  2 FLOPs per multiply-accumulate.
+    pub fn linear_flops(&self, new_tokens: u64) -> f64 {
+        2.0 * self.linear_params_per_layer() as f64
+            * f64::from(self.config.num_layers)
+            * new_tokens as f64
+    }
+
+    /// FLOPs spent in the LM head for `logit_tokens` tokens (1 for prefill-only
+    /// requests, more when an engine computes logits for every position).
+    pub fn lm_head_flops(&self, logit_tokens: u64) -> f64 {
+        2.0 * (self.config.vocab_size * self.config.hidden_size) as f64 * logit_tokens as f64
+    }
+
+    /// FLOPs spent in the attention cores when `new_tokens` new tokens attend to
+    /// `cached_tokens` already-cached tokens plus the causal prefix of the new tokens
+    /// themselves, across all layers.
+    ///
+    /// Counts both the `QK^T` and the `PV` matmuls (2 matmuls × 2 FLOPs per MAC).
+    pub fn attention_flops(&self, new_tokens: u64, cached_tokens: u64) -> f64 {
+        let c = &self.config;
+        let n = new_tokens as f64;
+        let cache = cached_tokens as f64;
+        // Sum over new-token positions of the context each attends to:
+        // cache + (i + 1) for i in 0..n  =>  n*cache + n(n+1)/2.
+        let attended = n * cache + n * (n + 1.0) / 2.0;
+        let per_layer = 4.0 * (c.num_heads * c.head_dim) as f64 * attended;
+        per_layer * f64::from(c.num_layers)
+    }
+
+    /// Total prefill FLOPs for a request with `new_tokens` uncached tokens following
+    /// `cached_tokens` prefix-cache hits, producing logits for a single position.
+    pub fn prefill_flops(&self, new_tokens: u64, cached_tokens: u64) -> f64 {
+        self.linear_flops(new_tokens)
+            + self.attention_flops(new_tokens, cached_tokens)
+            + self.lm_head_flops(1)
+    }
+
+    /// FLOPs of one decode step at context length `context_tokens`.
+    ///
+    /// Used only to reproduce the §2.3 micro-benchmark contrasting 1-token and
+    /// 256-token outputs; PrefillOnly itself never decodes.
+    pub fn decode_step_flops(&self, context_tokens: u64) -> f64 {
+        self.linear_flops(1) + self.attention_flops(1, context_tokens) + self.lm_head_flops(1)
+    }
+
+    /// Bytes of weights that must be streamed from HBM for any forward pass, regardless
+    /// of batch size (decode steps are bound by this).
+    pub fn weight_traffic_bytes(&self) -> f64 {
+        self.config.weight_bytes() as f64
+    }
+
+    /// Bytes of KV-cache traffic for an attention pass where `new_tokens` query tokens
+    /// attend over an average context of `avg_context` tokens, assuming a
+    /// FlashAttention-style kernel that streams KV once per query tile.
+    pub fn attention_kv_traffic_bytes(
+        &self,
+        new_tokens: u64,
+        avg_context: f64,
+        query_tile: u64,
+    ) -> f64 {
+        let tiles = (new_tokens as f64 / query_tile.max(1) as f64).ceil();
+        let per_layer = tiles * avg_context * self.config.kv_bytes_per_token_per_layer() as f64;
+        per_layer * f64::from(self.config.num_layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::llama3_1_8b;
+
+    fn profile() -> FlopProfile {
+        FlopProfile::new(llama3_1_8b())
+    }
+
+    #[test]
+    fn prefill_flops_scale_roughly_linearly_for_short_inputs() {
+        // For short sequences the quadratic attention term is negligible, so FLOPs
+        // should be close to 2 * params * tokens.
+        let p = profile();
+        let tokens = 2048;
+        let flops = p.prefill_flops(tokens, 0);
+        let dense = 2.0 * p.config().param_count() as f64 * tokens as f64;
+        let ratio = flops / dense;
+        assert!((0.8..1.2).contains(&ratio), "ratio was {ratio}");
+    }
+
+    #[test]
+    fn attention_flops_grow_quadratically() {
+        let p = profile();
+        let f1 = p.attention_flops(10_000, 0);
+        let f2 = p.attention_flops(20_000, 0);
+        let ratio = f2 / f1;
+        assert!(
+            (3.8..4.2).contains(&ratio),
+            "doubling tokens should ~4x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn cached_prefix_reduces_work() {
+        let p = profile();
+        let cold = p.prefill_flops(16_000, 0);
+        let warm = p.prefill_flops(4_000, 12_000);
+        assert!(
+            warm < cold * 0.45,
+            "a 75% prefix hit should cut prefill work by well over half: {warm} vs {cold}"
+        );
+    }
+
+    #[test]
+    fn decode_step_is_tiny_compared_to_prefill() {
+        let p = profile();
+        let decode = p.decode_step_flops(2048);
+        let prefill = p.prefill_flops(2048, 0);
+        assert!(decode * 100.0 < prefill);
+    }
+
+    #[test]
+    fn kv_traffic_matches_closed_form() {
+        let p = profile();
+        // 1024 new tokens, context 1024, tile 128 => 8 tiles * 1024 tokens * 4096 B * 32 layers.
+        let bytes = p.attention_kv_traffic_bytes(1024, 1024.0, 128);
+        let expected = 8.0 * 1024.0 * 4096.0 * 32.0;
+        assert!((bytes - expected).abs() / expected < 1e-9);
+    }
+}

@@ -1,0 +1,181 @@
+//! Layer-level view of a transformer.
+//!
+//! Hybrid prefilling (§4.2) treats the two kinds of layers differently: attention
+//! layers are forwarded over the whole sequence while the surrounding linear layers
+//! (QKV/output projections and the MLP block) are forwarded chunk-by-chunk.  The
+//! executor therefore wants an ordered list of layer descriptors rather than a single
+//! monolithic "forward the model" operation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+
+/// The kind of a logical layer in the execution graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Token embedding lookup.
+    Embedding,
+    /// The fused QKV + output projection linear layers of one transformer block.
+    ///
+    /// These are linear and therefore chunkable under hybrid prefilling.
+    AttentionProjections,
+    /// The scaled-dot-product attention core of one transformer block.
+    ///
+    /// This is the only part of the model that mixes information *across* tokens, so it
+    /// cannot be chunked without changing results; hybrid prefilling runs it over the
+    /// full sequence.
+    AttentionCore,
+    /// The SwiGLU MLP block (gate/up/down projections) of one transformer block.
+    ///
+    /// Linear and chunkable; its intermediate tensors are the memory spikes of Fig. 3.
+    Mlp,
+    /// Final LM head producing logits.  For prefill-only requests only the last token's
+    /// logits are needed.
+    LmHead,
+}
+
+impl LayerKind {
+    /// Whether hybrid prefilling may process this layer chunk-by-chunk without
+    /// changing the numerical result.
+    pub fn is_chunkable(self) -> bool {
+        match self {
+            LayerKind::Embedding
+            | LayerKind::AttentionProjections
+            | LayerKind::Mlp
+            | LayerKind::LmHead => true,
+            LayerKind::AttentionCore => false,
+        }
+    }
+
+    /// Whether this layer produces KV-cache entries.
+    pub fn produces_kv(self) -> bool {
+        matches!(self, LayerKind::AttentionCore)
+    }
+}
+
+/// A single logical layer together with the transformer-block index it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerDescriptor {
+    /// The layer kind.
+    pub kind: LayerKind,
+    /// Transformer block index, or `None` for embedding / LM head.
+    pub block: Option<u32>,
+}
+
+/// The ordered execution graph of a model, as a flat list of layer descriptors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerStack {
+    layers: Vec<LayerDescriptor>,
+}
+
+impl LayerStack {
+    /// Builds the layer stack for a model configuration.
+    pub fn for_model(config: &ModelConfig) -> LayerStack {
+        let mut layers = Vec::with_capacity(2 + 3 * config.num_layers as usize);
+        layers.push(LayerDescriptor {
+            kind: LayerKind::Embedding,
+            block: None,
+        });
+        for block in 0..config.num_layers {
+            layers.push(LayerDescriptor {
+                kind: LayerKind::AttentionProjections,
+                block: Some(block),
+            });
+            layers.push(LayerDescriptor {
+                kind: LayerKind::AttentionCore,
+                block: Some(block),
+            });
+            layers.push(LayerDescriptor {
+                kind: LayerKind::Mlp,
+                block: Some(block),
+            });
+        }
+        layers.push(LayerDescriptor {
+            kind: LayerKind::LmHead,
+            block: None,
+        });
+        LayerStack { layers }
+    }
+
+    /// The ordered layers.
+    pub fn layers(&self) -> &[LayerDescriptor] {
+        &self.layers
+    }
+
+    /// Number of logical layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty (never true for a well-formed model).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Number of attention-core layers (equals the number of transformer blocks).
+    pub fn attention_layers(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::AttentionCore)
+            .count()
+    }
+
+    /// Number of chunkable (linear) layers.
+    pub fn chunkable_layers(&self) -> usize {
+        self.layers.iter().filter(|l| l.kind.is_chunkable()).count()
+    }
+
+    /// Splits the stack into `stages` contiguous pipeline stages of roughly equal
+    /// transformer-block counts, returning the number of attention layers per stage.
+    ///
+    /// Used by the pipeline-parallel executor to size per-stage KV-cache requirements.
+    pub fn pipeline_split(&self, stages: u32) -> Vec<u32> {
+        assert!(stages > 0, "pipeline must have at least one stage");
+        let blocks = self.attention_layers() as u32;
+        let base = blocks / stages;
+        let remainder = blocks % stages;
+        (0..stages)
+            .map(|s| base + u32::from(s < remainder))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::llama3_1_8b;
+
+    #[test]
+    fn stack_shape_matches_model() {
+        let stack = LayerStack::for_model(&llama3_1_8b());
+        assert_eq!(stack.attention_layers(), 32);
+        assert_eq!(stack.len(), 2 + 3 * 32);
+        assert!(!stack.is_empty());
+        // All layers except the 32 attention cores are chunkable.
+        assert_eq!(stack.chunkable_layers(), stack.len() - 32);
+    }
+
+    #[test]
+    fn attention_core_is_not_chunkable() {
+        assert!(!LayerKind::AttentionCore.is_chunkable());
+        assert!(LayerKind::Mlp.is_chunkable());
+        assert!(LayerKind::AttentionCore.produces_kv());
+        assert!(!LayerKind::Mlp.produces_kv());
+    }
+
+    #[test]
+    fn pipeline_split_balances_blocks() {
+        let stack = LayerStack::for_model(&llama3_1_8b());
+        assert_eq!(stack.pipeline_split(2), vec![16, 16]);
+        assert_eq!(stack.pipeline_split(3), vec![11, 11, 10]);
+        assert_eq!(stack.pipeline_split(1), vec![32]);
+        let total: u32 = stack.pipeline_split(5).iter().sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_split_panics() {
+        LayerStack::for_model(&llama3_1_8b()).pipeline_split(0);
+    }
+}

@@ -1,0 +1,23 @@
+//! LLM architecture descriptions for the PrefillOnly reproduction.
+//!
+//! The paper evaluates three models (Table 3): Llama-3.1-8B (BF16) on L4,
+//! DeepSeek-R1-Distill-Qwen-32B (FP8) on A100, and Llama-3.3-70B-Instruct (FP8) on
+//! H100.  Everything PrefillOnly's memory and scheduling machinery needs from a model
+//! is *shape arithmetic*: bytes of weights, bytes of KV cache per token, bytes of the
+//! MLP intermediate tensors that cause the memory spikes of Fig. 3/4, and FLOPs per
+//! forwarded token.  This crate provides exactly that — a transformer described by its
+//! hyper-parameters plus the derived sizing functions — with no tensor data involved.
+
+mod config;
+mod dtype;
+mod flops;
+mod layers;
+mod presets;
+mod shapes;
+
+pub use config::ModelConfig;
+pub use dtype::DType;
+pub use flops::FlopProfile;
+pub use layers::{LayerKind, LayerStack};
+pub use presets::{llama3_1_8b, llama3_3_70b_fp8, qwen2_5_32b_fp8, ModelPreset};
+pub use shapes::TensorSizing;

@@ -1,0 +1,148 @@
+//! The three models evaluated by the paper (Table 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+use crate::dtype::DType;
+
+/// Identifier for one of the evaluated model presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelPreset {
+    /// `meta-llama/Llama-3.1-8B`, BF16, evaluated on the low-end (L4) setup.
+    Llama31_8b,
+    /// `RedHatAI/DeepSeek-R1-Distill-Qwen-32B-FP8-dynamic`, evaluated on A100.
+    Qwen25_32bFp8,
+    /// `Infermatic/Llama-3.3-70B-Instruct-FP8-Dynamic`, evaluated on H100.
+    Llama33_70bFp8,
+}
+
+impl ModelPreset {
+    /// Materialises the preset's [`ModelConfig`].
+    pub fn config(self) -> ModelConfig {
+        match self {
+            ModelPreset::Llama31_8b => llama3_1_8b(),
+            ModelPreset::Qwen25_32bFp8 => qwen2_5_32b_fp8(),
+            ModelPreset::Llama33_70bFp8 => llama3_3_70b_fp8(),
+        }
+    }
+
+    /// All presets, in the order of Table 3.
+    pub fn all() -> [ModelPreset; 3] {
+        [
+            ModelPreset::Llama31_8b,
+            ModelPreset::Qwen25_32bFp8,
+            ModelPreset::Llama33_70bFp8,
+        ]
+    }
+}
+
+/// Llama-3.1-8B in bfloat16 (the low-end GPU configuration of Table 3).
+pub fn llama3_1_8b() -> ModelConfig {
+    ModelConfig {
+        name: "meta-llama/Llama-3.1-8B".to_string(),
+        num_layers: 32,
+        hidden_size: 4096,
+        intermediate_size: 14_336,
+        num_heads: 32,
+        num_kv_heads: 8,
+        head_dim: 128,
+        vocab_size: 128_256,
+        weight_dtype: DType::BF16,
+        activation_dtype: DType::BF16,
+        kv_dtype: DType::BF16,
+    }
+}
+
+/// DeepSeek-R1-Distill-Qwen-32B with FP8 dynamic quantisation (the A100 configuration).
+///
+/// Weights are stored in FP8; activations and KV cache remain BF16, matching vLLM's
+/// `fp8-dynamic` checkpoints.
+pub fn qwen2_5_32b_fp8() -> ModelConfig {
+    ModelConfig {
+        name: "RedHatAI/DeepSeek-R1-Distill-Qwen-32B-FP8-dynamic".to_string(),
+        num_layers: 64,
+        hidden_size: 5120,
+        intermediate_size: 27_648,
+        num_heads: 40,
+        num_kv_heads: 8,
+        head_dim: 128,
+        vocab_size: 152_064,
+        weight_dtype: DType::FP8,
+        activation_dtype: DType::BF16,
+        kv_dtype: DType::BF16,
+    }
+}
+
+/// Llama-3.3-70B-Instruct with FP8 dynamic quantisation (the H100 configuration).
+pub fn llama3_3_70b_fp8() -> ModelConfig {
+    ModelConfig {
+        name: "Infermatic/Llama-3.3-70B-Instruct-FP8-Dynamic".to_string(),
+        num_layers: 80,
+        hidden_size: 8192,
+        intermediate_size: 28_672,
+        num_heads: 64,
+        num_kv_heads: 8,
+        head_dim: 128,
+        vocab_size: 128_256,
+        weight_dtype: DType::FP8,
+        activation_dtype: DType::BF16,
+        kv_dtype: DType::BF16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: f64 = (1u64 << 30) as f64;
+
+    #[test]
+    fn qwen32b_weight_footprint() {
+        let m = qwen2_5_32b_fp8();
+        let params = m.param_count() as f64;
+        assert!(
+            (30.0e9..35.0e9).contains(&params),
+            "expected ~32.8B params, got {params}"
+        );
+        let gib = m.weight_bytes() as f64 / GIB;
+        assert!(
+            (28.0..33.0).contains(&gib),
+            "FP8 weights should be ~30 GiB, got {gib}"
+        );
+    }
+
+    #[test]
+    fn llama70b_weight_footprint() {
+        let m = llama3_3_70b_fp8();
+        let params = m.param_count() as f64;
+        assert!(
+            (68.0e9..73.0e9).contains(&params),
+            "expected ~70B params, got {params}"
+        );
+        let gib = m.weight_bytes() as f64 / GIB;
+        assert!(
+            (63.0..68.0).contains(&gib),
+            "FP8 weights should be ~65 GiB, got {gib}"
+        );
+    }
+
+    #[test]
+    fn llama8b_weight_footprint() {
+        let m = llama3_1_8b();
+        let gib = m.weight_bytes() as f64 / GIB;
+        assert!(
+            (14.0..16.5).contains(&gib),
+            "BF16 weights should be ~15 GiB, got {gib}"
+        );
+    }
+
+    #[test]
+    fn presets_round_trip_through_enum() {
+        for preset in ModelPreset::all() {
+            let cfg = preset.config();
+            assert!(!cfg.name.is_empty());
+            assert!(cfg.num_layers > 0);
+            assert!(cfg.num_kv_heads <= cfg.num_heads);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Activation and KV tensor sizing.
+//!
+//! These functions answer the question the executor keeps asking: "if I forward
+//! `tokens` tokens through this part of the model, how many bytes of GPU memory do the
+//! involved tensors occupy?".  They are pure shape arithmetic derived from the model
+//! configuration, mirroring the analysis in §4.1 / Fig. 4 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+
+/// Derived tensor-sizing helper for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorSizing {
+    config: ModelConfig,
+}
+
+impl TensorSizing {
+    /// Creates the sizing helper for a model.
+    pub fn new(config: ModelConfig) -> TensorSizing {
+        TensorSizing { config }
+    }
+
+    /// The underlying model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Bytes of one residual-stream tensor (`tokens × hidden`) in activation precision.
+    pub fn residual_bytes(&self, tokens: u64) -> u64 {
+        self.config
+            .activation_dtype
+            .size_of(tokens * self.config.hidden_size)
+    }
+
+    /// Bytes of the fused Q/K/V projection output for `tokens` tokens of one layer.
+    pub fn qkv_bytes(&self, tokens: u64) -> u64 {
+        self.config
+            .activation_dtype
+            .size_of(tokens * (self.config.q_dim() + self.config.kv_dim()))
+    }
+
+    /// Bytes of the attention-core output (`tokens × num_heads × head_dim`).
+    pub fn attention_output_bytes(&self, tokens: u64) -> u64 {
+        self.config
+            .activation_dtype
+            .size_of(tokens * self.config.q_dim())
+    }
+
+    /// Bytes of the MLP gate+up intermediate tensor ("Intermediate 1" of Fig. 4) for
+    /// `tokens` tokens.
+    pub fn mlp_gate_up_bytes(&self, tokens: u64) -> u64 {
+        self.config
+            .activation_dtype
+            .size_of(tokens * 2 * self.config.intermediate_size)
+    }
+
+    /// Bytes of the post-SwiGLU tensor fed to the down projection ("Intermediate 2" of
+    /// Fig. 4) for `tokens` tokens.
+    pub fn mlp_down_input_bytes(&self, tokens: u64) -> u64 {
+        self.config
+            .activation_dtype
+            .size_of(tokens * self.config.intermediate_size)
+    }
+
+    /// Peak *extra* bytes alive while the MLP block processes `tokens` tokens, on top
+    /// of the residual stream: the gate+up tensor and the SwiGLU output coexist at the
+    /// moment the element-wise product is computed.
+    pub fn mlp_peak_extra_bytes(&self, tokens: u64) -> u64 {
+        self.mlp_gate_up_bytes(tokens) + self.mlp_down_input_bytes(tokens)
+    }
+
+    /// Bytes of LM-head logits for `tokens` tokens.
+    pub fn logits_bytes(&self, tokens: u64) -> u64 {
+        self.config
+            .activation_dtype
+            .size_of(tokens * self.config.vocab_size)
+    }
+
+    /// KV-cache bytes for `tokens` tokens across `layers` layers.
+    pub fn kv_bytes(&self, tokens: u64, layers: u32) -> u64 {
+        self.config.kv_bytes_per_token_per_layer() * tokens * u64::from(layers)
+    }
+
+    /// KV-cache bytes for `tokens` tokens across all layers.
+    pub fn kv_bytes_all_layers(&self, tokens: u64) -> u64 {
+        self.kv_bytes(tokens, self.config.num_layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::llama3_1_8b;
+
+    const GIB: f64 = (1u64 << 30) as f64;
+
+    fn sizing() -> TensorSizing {
+        TensorSizing::new(llama3_1_8b())
+    }
+
+    #[test]
+    fn fig4_tensor_shapes() {
+        // Fig. 4 annotates the 32,768-token forward pass of Llama-3.1-8B.
+        let s = sizing();
+        let tokens = 32_768;
+        // Input/output of the MLP block: 32768 x 4096 in bf16 = 256 MiB.
+        assert_eq!(s.residual_bytes(tokens), 32_768 * 4096 * 2);
+        // Intermediate 1: 32768 x 28672, "14x larger than one-layer KV".
+        let inter1 = s.mlp_gate_up_bytes(tokens);
+        let one_layer_kv = s.kv_bytes(tokens, 1);
+        assert!((inter1 as f64 / one_layer_kv as f64 - 14.0).abs() < 0.01);
+        // Intermediate 2: 32768 x 14336, "7x larger than one-layer KV".
+        let inter2 = s.mlp_down_input_bytes(tokens);
+        assert!((inter2 as f64 / one_layer_kv as f64 - 7.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig3_spike_magnitude() {
+        // Fig. 3 shows hybrid prefilling shaving roughly 2 GB off the peak for a
+        // 32,768-token prefill; the gate+up tensor alone is ~1.75 GiB.
+        let s = sizing();
+        let spike_gib = s.mlp_gate_up_bytes(32_768) as f64 / GIB;
+        assert!(
+            (1.5..2.5).contains(&spike_gib),
+            "spike was {spike_gib:.2} GiB"
+        );
+    }
+
+    #[test]
+    fn kv_scaling_is_linear() {
+        let s = sizing();
+        assert_eq!(s.kv_bytes(100, 32) * 2, s.kv_bytes(200, 32));
+        assert_eq!(s.kv_bytes_all_layers(100), s.kv_bytes(100, 32));
+        assert_eq!(s.kv_bytes(0, 32), 0);
+    }
+
+    #[test]
+    fn logits_are_vocab_sized() {
+        let s = sizing();
+        assert_eq!(s.logits_bytes(1), 128_256 * 2);
+    }
+}

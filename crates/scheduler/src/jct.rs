@@ -1,0 +1,134 @@
+//! Job-completion-time estimation (§6.3).
+
+use metrics::{LinearFit, LinearModel2};
+use serde::{Deserialize, Serialize};
+
+/// A fitted JCT model mapping `(n_input, n_cached)` to an estimated completion time in
+/// seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JctEstimator {
+    /// Two-feature linear model `jct = w_input · n_input + w_cached · n_cached + bias`,
+    /// fitted by linear regression over the offline profiling grid.
+    LinearModel(LinearModel2),
+    /// The paper's default proxy: JCT is proportional to the number of cache-miss
+    /// tokens, `jct = base + secs_per_token · (n_input − n_cached)`.
+    CacheMissProxy {
+        /// Seconds of work per uncached token.
+        secs_per_token: f64,
+        /// Fixed per-request overhead in seconds.
+        base_secs: f64,
+    },
+}
+
+impl JctEstimator {
+    /// Fits the two-feature linear model from `(n_input, n_cached, jct_secs)` samples.
+    ///
+    /// Returns `None` when the samples are degenerate (fewer than three points or
+    /// collinear features).
+    pub fn fit_linear(points: &[(f64, f64, f64)]) -> Option<JctEstimator> {
+        LinearModel2::fit(points).map(JctEstimator::LinearModel)
+    }
+
+    /// Fits the cache-miss-token proxy from the same samples by regressing JCT against
+    /// `n_input − n_cached`.
+    ///
+    /// Returns `None` when the samples are degenerate.
+    pub fn fit_proxy(points: &[(f64, f64, f64)]) -> Option<JctEstimator> {
+        let pairs: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(n_input, n_cached, jct)| (n_input - n_cached, jct))
+            .collect();
+        LinearFit::fit(&pairs).map(|fit| JctEstimator::CacheMissProxy {
+            secs_per_token: fit.slope,
+            base_secs: fit.intercept,
+        })
+    }
+
+    /// A proxy estimator built directly from a known per-token cost, used when no
+    /// profiling grid is available (e.g. unit tests).
+    pub fn proxy(secs_per_token: f64, base_secs: f64) -> JctEstimator {
+        JctEstimator::CacheMissProxy {
+            secs_per_token,
+            base_secs,
+        }
+    }
+
+    /// Estimates the JCT in seconds for a request with `n_input` tokens of which
+    /// `n_cached` hit the prefix cache.
+    pub fn estimate(&self, n_input: u64, n_cached: u64) -> f64 {
+        let n_cached = n_cached.min(n_input);
+        match *self {
+            JctEstimator::LinearModel(model) => {
+                model.predict(n_input as f64, n_cached as f64).max(0.0)
+            }
+            JctEstimator::CacheMissProxy {
+                secs_per_token,
+                base_secs,
+            } => base_secs + secs_per_token * (n_input - n_cached) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic "ground truth" JCT with distinct input / cached coefficients.
+    fn ground_truth(n_input: f64, n_cached: f64) -> f64 {
+        0.05 + 2.0e-4 * n_input - 1.8e-4 * n_cached
+    }
+
+    fn grid() -> Vec<(f64, f64, f64)> {
+        let mut points = Vec::new();
+        for i in 1..=20 {
+            for c in 0..i {
+                let n_input = i as f64 * 1000.0;
+                let n_cached = c as f64 * 1000.0;
+                points.push((n_input, n_cached, ground_truth(n_input, n_cached)));
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn linear_model_recovers_the_profile() {
+        let est = JctEstimator::fit_linear(&grid()).unwrap();
+        let predicted = est.estimate(15_000, 5_000);
+        let truth = ground_truth(15_000.0, 5_000.0);
+        assert!((predicted - truth).abs() / truth < 0.01);
+    }
+
+    #[test]
+    fn proxy_tracks_cache_miss_tokens() {
+        let est = JctEstimator::fit_proxy(&grid()).unwrap();
+        // The proxy only sees miss tokens; it must still be monotone in them.
+        assert!(est.estimate(20_000, 0) > est.estimate(20_000, 10_000));
+        assert!(est.estimate(20_000, 10_000) > est.estimate(20_000, 19_000));
+    }
+
+    #[test]
+    fn cached_tokens_are_clamped_to_input() {
+        let est = JctEstimator::proxy(1e-4, 0.01);
+        assert_eq!(est.estimate(1_000, 5_000), est.estimate(1_000, 1_000));
+    }
+
+    #[test]
+    fn proxy_constructor_is_exact() {
+        let est = JctEstimator::proxy(2e-4, 0.1);
+        let jct = est.estimate(10_000, 4_000);
+        assert!((jct - (0.1 + 2e-4 * 6_000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_fits_return_none() {
+        assert!(JctEstimator::fit_linear(&[]).is_none());
+        assert!(JctEstimator::fit_proxy(&[(1.0, 0.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn linear_model_estimates_are_never_negative() {
+        let est = JctEstimator::fit_linear(&grid()).unwrap();
+        assert!(est.estimate(0, 0) >= 0.0);
+        assert!(est.estimate(100, 100) >= 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Request scheduling for prefill-only workloads.
+//!
+//! Because a prefill-only request produces exactly one output token, its job completion
+//! time (JCT) is a deterministic function of two quantities the engine already knows:
+//! how many input tokens the request has, and how many of them currently hit the prefix
+//! cache.  This crate implements the paper's second contribution on top of that
+//! observation:
+//!
+//! * [`JctEstimator`] — the JCT model of §6.3: either a two-feature linear model fitted
+//!   on an offline profiling grid, or the simpler *cache-miss-token proxy*
+//!   (`jct ≈ a + b · (n_input − n_cached)`) that the paper finds correlates with real
+//!   JCT at ρ ≈ 0.99 and uses by default.
+//! * [`SchedulingPolicy`] — [`FcfsPolicy`] (the vLLM baseline), [`SrjfPolicy`] without
+//!   calibration (classic shortest-remaining-job-first frozen at arrival time) and
+//!   [`SrjfPolicy`] **with continuous JCT calibration** (Algorithm 1): before every
+//!   scheduling step the JCT of every waiting request is re-estimated against the
+//!   *current* prefix-cache contents, and the queueing-time fairness offset λ prevents
+//!   starvation.
+//!
+//! The crate is engine-agnostic: the prefix-cache state is abstracted behind
+//! [`CacheProbe`] so the same policies can be unit-tested against a scripted cache and
+//! run against the real [`KvCacheManager`](../prefillonly_kvcache) inside the engine.
+
+mod jct;
+mod policy;
+mod queue;
+
+pub use jct::JctEstimator;
+pub use policy::{CacheProbe, FcfsPolicy, PolicyKind, SchedulingPolicy, SrjfPolicy};
+pub use queue::{WaitingQueue, WaitingRequest};

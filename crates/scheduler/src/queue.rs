@@ -1,0 +1,128 @@
+//! The waiting queue.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// A request waiting to be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitingRequest {
+    /// Engine-assigned request identifier.
+    pub id: u64,
+    /// Virtual time at which the request entered the queue.
+    pub arrival: SimTime,
+    /// Total number of input tokens.
+    pub total_tokens: u64,
+    /// Prefix-cache hit tokens measured when the request *arrived*.  Classic (non-
+    /// calibrating) SRJF freezes its decision on this value; continuous calibration
+    /// ignores it and re-probes the cache at every scheduling step.
+    pub cached_tokens_at_arrival: u64,
+}
+
+impl WaitingRequest {
+    /// Time this request has spent waiting as of `now`.
+    pub fn queueing_time(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.arrival)
+    }
+}
+
+/// FIFO-ordered waiting queue with positional removal.
+#[derive(Debug, Clone, Default)]
+pub struct WaitingQueue {
+    entries: Vec<WaitingRequest>,
+}
+
+impl WaitingQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a request to the back of the queue.
+    pub fn push(&mut self, request: WaitingRequest) {
+        self.entries.push(request);
+    }
+
+    /// Removes and returns the request at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove(&mut self, index: usize) -> WaitingRequest {
+        self.entries.remove(index)
+    }
+
+    /// The waiting requests in arrival order.
+    pub fn requests(&self) -> &[WaitingRequest] {
+        &self.entries
+    }
+
+    /// Number of waiting requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Longest queueing time among waiting requests as of `now`.
+    pub fn oldest_wait(&self, now: SimTime) -> SimDuration {
+        self.entries
+            .iter()
+            .map(|r| r.queueing_time(now))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, arrival_ms: u64) -> WaitingRequest {
+        WaitingRequest {
+            id,
+            arrival: SimTime::from_millis(arrival_ms),
+            total_tokens: 1000,
+            cached_tokens_at_arrival: 0,
+        }
+    }
+
+    #[test]
+    fn push_and_remove_preserve_order() {
+        let mut q = WaitingQueue::new();
+        q.push(request(1, 0));
+        q.push(request(2, 10));
+        q.push(request(3, 20));
+        assert_eq!(q.len(), 3);
+        let removed = q.remove(1);
+        assert_eq!(removed.id, 2);
+        assert_eq!(q.requests()[0].id, 1);
+        assert_eq!(q.requests()[1].id, 3);
+    }
+
+    #[test]
+    fn queueing_time_and_oldest_wait() {
+        let mut q = WaitingQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.oldest_wait(SimTime::from_secs(5)), SimDuration::ZERO);
+        q.push(request(1, 0));
+        q.push(request(2, 500));
+        let now = SimTime::from_millis(1500);
+        assert_eq!(
+            q.requests()[0].queueing_time(now),
+            SimDuration::from_millis(1500)
+        );
+        assert_eq!(q.oldest_wait(now), SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn queueing_time_saturates_for_future_arrivals() {
+        let r = request(1, 1000);
+        assert_eq!(
+            r.queueing_time(SimTime::from_millis(500)),
+            SimDuration::ZERO
+        );
+    }
+}

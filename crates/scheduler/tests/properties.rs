@@ -1,0 +1,146 @@
+//! Property-based tests for the scheduling policies.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use scheduler::{
+    CacheProbe, FcfsPolicy, JctEstimator, SchedulingPolicy, SrjfPolicy, WaitingRequest,
+};
+use simcore::SimTime;
+
+#[derive(Default)]
+struct MapProbe {
+    cached: HashMap<u64, u64>,
+}
+
+impl CacheProbe for MapProbe {
+    fn cached_tokens(&self, request: &WaitingRequest) -> u64 {
+        self.cached.get(&request.id).copied().unwrap_or(0)
+    }
+}
+
+fn queue_strategy() -> impl Strategy<Value = Vec<WaitingRequest>> {
+    prop::collection::vec((0u64..10_000, 1u64..60_000, 0u64..60_000), 1..64).prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (arrival_ms, total, cached))| WaitingRequest {
+                id: idx as u64,
+                arrival: SimTime::from_millis(arrival_ms),
+                total_tokens: total,
+                cached_tokens_at_arrival: cached.min(total),
+            })
+            .collect()
+    })
+}
+
+fn cached_map_strategy(len: usize) -> impl Strategy<Value = HashMap<u64, u64>> {
+    prop::collection::hash_map(0u64..len as u64, 0u64..60_000, 0..len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every policy returns a valid index into the queue and never selects from an
+    /// empty queue.
+    #[test]
+    fn selection_is_always_in_bounds(queue in queue_strategy(), now_ms in 0u64..100_000) {
+        let probe = MapProbe::default();
+        let now = SimTime::from_millis(now_ms);
+        let estimator = JctEstimator::proxy(1e-4, 0.01);
+        let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
+            Box::new(FcfsPolicy),
+            Box::new(SrjfPolicy::classic(estimator)),
+            Box::new(SrjfPolicy::with_calibration(estimator, 500.0)),
+        ];
+        for policy in &policies {
+            let idx = policy.select(&queue, now, &probe).expect("queue is non-empty");
+            prop_assert!(idx < queue.len());
+            prop_assert!(policy.select(&[], now, &probe).is_none());
+        }
+    }
+
+    /// FCFS always picks a request with the minimal arrival time.
+    #[test]
+    fn fcfs_picks_minimal_arrival(queue in queue_strategy()) {
+        let probe = MapProbe::default();
+        let idx = FcfsPolicy.select(&queue, SimTime::from_secs(1_000), &probe).unwrap();
+        let min_arrival = queue.iter().map(|r| r.arrival).min().unwrap();
+        prop_assert_eq!(queue[idx].arrival, min_arrival);
+    }
+
+    /// With λ = 0 and a live cache probe, calibrated SRJF picks a request with the
+    /// minimal number of cache-miss tokens.
+    #[test]
+    fn calibrated_srjf_minimises_miss_tokens(
+        queue in queue_strategy(),
+        cached in cached_map_strategy(64),
+    ) {
+        let probe = MapProbe { cached };
+        let estimator = JctEstimator::proxy(2e-4, 0.0);
+        let policy = SrjfPolicy::with_calibration(estimator, 0.0);
+        let now = SimTime::from_secs(10);
+        let idx = policy.select(&queue, now, &probe).unwrap();
+        let miss = |r: &WaitingRequest| {
+            r.total_tokens - probe.cached.get(&r.id).copied().unwrap_or(0).min(r.total_tokens)
+        };
+        let chosen = miss(&queue[idx]);
+        let best = queue.iter().map(miss).min().unwrap();
+        prop_assert_eq!(chosen, best);
+    }
+
+    /// Classic SRJF ignores the live cache: its choice is unchanged by arbitrary probe
+    /// contents.
+    #[test]
+    fn classic_srjf_is_probe_independent(
+        queue in queue_strategy(),
+        cached in cached_map_strategy(64),
+    ) {
+        let estimator = JctEstimator::proxy(2e-4, 0.0);
+        let policy = SrjfPolicy::classic(estimator);
+        let now = SimTime::from_secs(10);
+        let empty = MapProbe::default();
+        let populated = MapProbe { cached };
+        prop_assert_eq!(
+            policy.select(&queue, now, &empty),
+            policy.select(&queue, now, &populated)
+        );
+    }
+
+    /// The JCT estimators are monotone: more input never lowers the estimate, more
+    /// cached tokens never raise it.
+    #[test]
+    fn estimators_are_monotone(
+        n_input in 1u64..100_000,
+        n_cached in 0u64..100_000,
+        delta in 1u64..10_000,
+    ) {
+        let n_cached = n_cached.min(n_input);
+        for estimator in [
+            JctEstimator::proxy(1.5e-4, 0.05),
+            JctEstimator::fit_linear(&grid()).unwrap(),
+        ] {
+            let base = estimator.estimate(n_input, n_cached);
+            prop_assert!(estimator.estimate(n_input + delta, n_cached) >= base - 1e-9);
+            prop_assert!(estimator.estimate(n_input, n_cached + delta) <= base + 1e-9);
+        }
+    }
+}
+
+/// A small synthetic profiling grid with positive input weight and negative cache
+/// weight, as a real profile would have.
+fn grid() -> Vec<(f64, f64, f64)> {
+    let mut points = Vec::new();
+    for i in 1..=16 {
+        for c in 0..i {
+            let n_input = i as f64 * 1_000.0;
+            let n_cached = c as f64 * 1_000.0;
+            points.push((
+                n_input,
+                n_cached,
+                0.02 + 1.8e-4 * n_input - 1.6e-4 * n_cached,
+            ));
+        }
+    }
+    points
+}

@@ -1,0 +1,34 @@
+//! Discrete-event simulation kernel used by the PrefillOnly reproduction.
+//!
+//! The real PrefillOnly system is an online serving engine running against wall-clock
+//! time on physical GPUs.  This reproduction replays the same engine logic against a
+//! *virtual* clock so that every experiment is deterministic and runs in milliseconds
+//! on a laptop.  This crate provides the three primitives everything else builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution virtual clock.
+//! * [`EventQueue`] — a stable (FIFO-within-timestamp) priority queue of future events.
+//! * [`SimRng`] and [`PoissonProcess`] — deterministic randomness and the Poisson
+//!   arrival process used by the paper's load generator (§7.1, "Request arrival
+//!   pattern").
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.push(SimTime::ZERO + SimDuration::from_millis(5), "second");
+//! queue.push(SimTime::ZERO, "first");
+//! assert_eq!(queue.pop().unwrap().event, "first");
+//! assert_eq!(queue.pop().unwrap().event, "second");
+//! ```
+
+mod events;
+mod poisson;
+mod rng;
+mod time;
+
+pub use events::{EventQueue, ScheduledEvent};
+pub use poisson::PoissonProcess;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,87 @@
+//! Poisson arrival process.
+//!
+//! The paper's load generator (§7.1) models request arrivals as a Poisson process whose
+//! rate is swept to produce the QPS axis of Figures 6, 7 and 9.  [`PoissonProcess`]
+//! produces the corresponding arrival timestamps deterministically from a [`SimRng`].
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A homogeneous Poisson process generating arrival times at a fixed rate.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate_per_sec: f64,
+    rng: SimRng,
+    current: SimTime,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given arrival rate (queries per second), starting at
+    /// virtual time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not strictly positive and finite.
+    pub fn new(rate_per_sec: f64, rng: SimRng) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "Poisson rate must be positive and finite, got {rate_per_sec}"
+        );
+        PoissonProcess {
+            rate_per_sec,
+            rng,
+            current: SimTime::ZERO,
+        }
+    }
+
+    /// Returns the configured rate in queries per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Generates the next arrival time.
+    pub fn next_arrival(&mut self) -> SimTime {
+        let gap = SimDuration::from_secs_f64(self.rng.gen_exponential(self.rate_per_sec));
+        self.current += gap;
+        self.current
+    }
+
+    /// Generates the next `n` arrival times.
+    pub fn take_arrivals(&mut self, n: usize) -> Vec<SimTime> {
+        (0..n).map(|_| self.next_arrival()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotonic() {
+        let mut p = PoissonProcess::new(100.0, SimRng::seed_from_u64(1));
+        let arrivals = p.take_arrivals(1000);
+        for pair in arrivals.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn mean_rate_matches() {
+        let rate = 50.0;
+        let mut p = PoissonProcess::new(rate, SimRng::seed_from_u64(2));
+        let n = 20_000;
+        let arrivals = p.take_arrivals(n);
+        let span = arrivals.last().unwrap().as_secs_f64();
+        let observed = n as f64 / span;
+        assert!(
+            (observed - rate).abs() / rate < 0.05,
+            "observed rate {observed} vs expected {rate}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonProcess::new(0.0, SimRng::seed_from_u64(3));
+    }
+}

@@ -1,0 +1,261 @@
+//! Dataset generation.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+use crate::spec::{CreditVerificationSpec, PostRecommendationSpec, WorkloadKind};
+
+/// One request before an arrival time has been assigned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTemplate {
+    /// The user this request belongs to (used for user-id routing, §7.1).
+    pub user_id: u64,
+    /// The full input token sequence.  Requests from the same user share the leading
+    /// profile tokens, which is what prefix caching exploits.
+    pub tokens: Arc<Vec<u32>>,
+    /// Number of leading tokens shared with every other request of the same user.
+    pub shared_prefix_tokens: u64,
+}
+
+impl RequestTemplate {
+    /// Total number of input tokens.
+    pub fn num_tokens(&self) -> u64 {
+        self.tokens.len() as u64
+    }
+}
+
+/// Summary statistics of a generated dataset, mirroring the columns of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Number of distinct users.
+    pub num_users: u64,
+    /// Number of requests.
+    pub num_requests: u64,
+    /// Shortest request in tokens.
+    pub min_request_tokens: u64,
+    /// Longest request in tokens.
+    pub max_request_tokens: u64,
+    /// Total tokens across all requests.
+    pub total_tokens: u64,
+}
+
+/// A generated workload: a bag of request templates plus its summary.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    kind: WorkloadKind,
+    requests: Vec<RequestTemplate>,
+}
+
+impl Dataset {
+    /// Generates the post-recommendation dataset.
+    pub fn post_recommendation(spec: &PostRecommendationSpec, rng: &mut SimRng) -> Dataset {
+        let mut requests = Vec::new();
+        for user in 0..spec.num_users {
+            let profile_len = rng
+                .gen_normal(spec.profile_mean_tokens, spec.profile_std_tokens)
+                .round()
+                .clamp(
+                    spec.profile_min_tokens as f64,
+                    spec.profile_max_tokens as f64,
+                ) as u64;
+            let profile = user_tokens(user, 0, profile_len);
+            for post in 0..spec.posts_per_user {
+                let mut tokens = profile.clone();
+                tokens.extend(user_tokens(user, post + 1, spec.post_tokens));
+                requests.push(RequestTemplate {
+                    user_id: user,
+                    tokens: Arc::new(tokens),
+                    shared_prefix_tokens: profile_len,
+                });
+            }
+        }
+        Dataset {
+            kind: WorkloadKind::PostRecommendation,
+            requests,
+        }
+    }
+
+    /// Generates the credit-verification dataset.
+    pub fn credit_verification(spec: &CreditVerificationSpec, rng: &mut SimRng) -> Dataset {
+        let mut requests = Vec::new();
+        for user in 0..spec.num_users {
+            let history_len = rng.gen_range(spec.history_min_tokens..=spec.history_max_tokens);
+            let tokens = user_tokens(user, 0, history_len);
+            requests.push(RequestTemplate {
+                user_id: user,
+                tokens: Arc::new(tokens),
+                // A credit-verification user issues a single request, so nothing is
+                // shared in practice, but the history would be the reusable part.
+                shared_prefix_tokens: history_len,
+            });
+        }
+        Dataset {
+            kind: WorkloadKind::CreditVerification,
+            requests,
+        }
+    }
+
+    /// Generates the dataset selected by `kind` with default Table 1 parameters.
+    pub fn generate(kind: WorkloadKind, rng: &mut SimRng) -> Dataset {
+        match kind {
+            WorkloadKind::PostRecommendation => {
+                Dataset::post_recommendation(&PostRecommendationSpec::default(), rng)
+            }
+            WorkloadKind::CreditVerification => {
+                Dataset::credit_verification(&CreditVerificationSpec::default(), rng)
+            }
+        }
+    }
+
+    /// Which workload this dataset instantiates.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// The request templates.
+    pub fn requests(&self) -> &[RequestTemplate] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Length (in tokens) of the longest request; engines whose MIL is below this
+    /// cannot run the workload (the ✗ entries of Table 2).
+    pub fn max_request_tokens(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(RequestTemplate::num_tokens)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Summary statistics in the shape of Table 1.
+    pub fn summary(&self) -> DatasetSummary {
+        let mut users: Vec<u64> = self.requests.iter().map(|r| r.user_id).collect();
+        users.sort_unstable();
+        users.dedup();
+        DatasetSummary {
+            num_users: users.len() as u64,
+            num_requests: self.requests.len() as u64,
+            min_request_tokens: self
+                .requests
+                .iter()
+                .map(RequestTemplate::num_tokens)
+                .min()
+                .unwrap_or(0),
+            max_request_tokens: self.max_request_tokens(),
+            total_tokens: self.requests.iter().map(RequestTemplate::num_tokens).sum(),
+        }
+    }
+}
+
+/// Deterministic synthetic token ids for a given (user, document) pair.
+///
+/// The ids only need two properties: requests of the same user share their profile
+/// tokens exactly, and different users / documents never collide on a full block.
+fn user_tokens(user: u64, document: u64, len: u64) -> Vec<u32> {
+    let base = (user.wrapping_mul(1_000_003) ^ document.wrapping_mul(7_919)) as u32;
+    (0..len as u32).map(|i| base.wrapping_add(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn post_recommendation_matches_table1() {
+        let ds = Dataset::post_recommendation(&PostRecommendationSpec::default(), &mut rng());
+        let summary = ds.summary();
+        assert_eq!(summary.num_users, 20);
+        assert_eq!(summary.num_requests, 20 * 50);
+        assert!(summary.min_request_tokens >= 11_000 + 150);
+        assert!(summary.max_request_tokens <= 17_000 + 150);
+        // Table 1 reports ~14,000,000 total tokens.
+        assert!(
+            (12_000_000..16_000_000).contains(&summary.total_tokens),
+            "total tokens {}",
+            summary.total_tokens
+        );
+    }
+
+    #[test]
+    fn credit_verification_matches_table1() {
+        let ds = Dataset::credit_verification(&CreditVerificationSpec::default(), &mut rng());
+        let summary = ds.summary();
+        assert_eq!(summary.num_users, 60);
+        assert_eq!(summary.num_requests, 60);
+        assert!(summary.min_request_tokens >= 40_000);
+        assert!(summary.max_request_tokens <= 60_000);
+        // Table 1 reports ~3,000,000 total tokens.
+        assert!(
+            (2_400_000..3_600_000).contains(&summary.total_tokens),
+            "total tokens {}",
+            summary.total_tokens
+        );
+    }
+
+    #[test]
+    fn same_user_requests_share_their_profile_prefix() {
+        let ds = Dataset::post_recommendation(&PostRecommendationSpec::default(), &mut rng());
+        let user0: Vec<&RequestTemplate> =
+            ds.requests().iter().filter(|r| r.user_id == 0).collect();
+        assert_eq!(user0.len(), 50);
+        let prefix_len = user0[0].shared_prefix_tokens as usize;
+        for r in &user0[1..] {
+            assert_eq!(r.shared_prefix_tokens as usize, prefix_len);
+            assert_eq!(
+                &r.tokens[..prefix_len],
+                &user0[0].tokens[..prefix_len],
+                "profile prefix must be byte-identical across a user's requests"
+            );
+            assert_ne!(
+                &r.tokens[prefix_len..],
+                &user0[0].tokens[prefix_len..],
+                "post suffixes must differ"
+            );
+        }
+    }
+
+    #[test]
+    fn different_users_do_not_share_prefixes() {
+        let ds = Dataset::post_recommendation(&PostRecommendationSpec::default(), &mut rng());
+        let a = &ds.requests()[0];
+        let b = ds.requests().iter().find(|r| r.user_id == 1).unwrap();
+        assert_ne!(a.tokens[..64], b.tokens[..64]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Dataset::generate(WorkloadKind::PostRecommendation, &mut rng());
+        let b = Dataset::generate(WorkloadKind::PostRecommendation, &mut rng());
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.requests()[7].tokens, b.requests()[7].tokens);
+        let c = Dataset::generate(
+            WorkloadKind::PostRecommendation,
+            &mut SimRng::seed_from_u64(999),
+        );
+        assert_ne!(a.summary(), c.summary());
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        let ds = Dataset::generate(WorkloadKind::CreditVerification, &mut rng());
+        assert_eq!(ds.kind(), WorkloadKind::CreditVerification);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.len(), 60);
+    }
+}

@@ -1,0 +1,108 @@
+//! Workload specifications (the parameters of Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the two evaluated workloads to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Post recommendation on a social media platform (frequent prefix reuse, WL1).
+    PostRecommendation,
+    /// Credit verification for a bank application (very long inputs, WL2).
+    CreditVerification,
+}
+
+impl WorkloadKind {
+    /// Display name used in figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::PostRecommendation => "post recommendation",
+            WorkloadKind::CreditVerification => "credit verification",
+        }
+    }
+}
+
+/// Parameters of the post-recommendation dataset (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PostRecommendationSpec {
+    /// Number of users ("We evaluated 20 users in total").
+    pub num_users: u64,
+    /// Candidate posts scored per user ("50 posts ... one request per document").
+    pub posts_per_user: u64,
+    /// Tokens per post ("less than 150 tokens ... we use 150 tokens").
+    pub post_tokens: u64,
+    /// Mean of the user-profile length distribution (14,000 tokens).
+    pub profile_mean_tokens: f64,
+    /// Standard deviation of the user-profile length distribution (3,000 tokens).
+    pub profile_std_tokens: f64,
+    /// Lower clamp of the profile length (11,000 tokens).
+    pub profile_min_tokens: u64,
+    /// Upper clamp of the profile length (17,000 tokens).
+    pub profile_max_tokens: u64,
+}
+
+impl Default for PostRecommendationSpec {
+    fn default() -> Self {
+        PostRecommendationSpec {
+            num_users: 20,
+            posts_per_user: 50,
+            post_tokens: 150,
+            profile_mean_tokens: 14_000.0,
+            profile_std_tokens: 3_000.0,
+            profile_min_tokens: 11_000,
+            profile_max_tokens: 17_000,
+        }
+    }
+}
+
+/// Parameters of the credit-verification dataset (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CreditVerificationSpec {
+    /// Number of users ("We consider 60 users in total").
+    pub num_users: u64,
+    /// Minimum credit-history length (40,000 tokens: ten months at 4k/month).
+    pub history_min_tokens: u64,
+    /// Maximum credit-history length (60,000 tokens: ten months at 6k/month).
+    pub history_max_tokens: u64,
+}
+
+impl Default for CreditVerificationSpec {
+    fn default() -> Self {
+        CreditVerificationSpec {
+            num_users: 60,
+            history_min_tokens: 40_000,
+            history_max_tokens: 60_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let post = PostRecommendationSpec::default();
+        assert_eq!(post.num_users, 20);
+        assert_eq!(post.posts_per_user, 50);
+        assert_eq!(post.post_tokens, 150);
+        assert_eq!(post.profile_min_tokens, 11_000);
+        assert_eq!(post.profile_max_tokens, 17_000);
+
+        let credit = CreditVerificationSpec::default();
+        assert_eq!(credit.num_users, 60);
+        assert_eq!(credit.history_min_tokens, 40_000);
+        assert_eq!(credit.history_max_tokens, 60_000);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(
+            WorkloadKind::PostRecommendation.name(),
+            "post recommendation"
+        );
+        assert_eq!(
+            WorkloadKind::CreditVerification.name(),
+            "credit verification"
+        );
+    }
+}

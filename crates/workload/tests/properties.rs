@@ -1,0 +1,120 @@
+//! Property-based tests for workload generation and arrival assignment.
+
+use proptest::prelude::*;
+
+use simcore::SimRng;
+use workload::{
+    assign_poisson_arrivals_with, ArrivalGranularity, CreditVerificationSpec, Dataset,
+    PostRecommendationSpec,
+};
+
+fn post_spec_strategy() -> impl Strategy<Value = PostRecommendationSpec> {
+    (
+        2u64..12,
+        2u64..20,
+        50u64..300,
+        2_000u64..8_000,
+        500u64..2_000,
+    )
+        .prop_map(
+            |(num_users, posts_per_user, post_tokens, profile_mid, spread)| {
+                PostRecommendationSpec {
+                    num_users,
+                    posts_per_user,
+                    post_tokens,
+                    profile_mean_tokens: profile_mid as f64,
+                    profile_std_tokens: spread as f64 / 2.0,
+                    profile_min_tokens: profile_mid - spread,
+                    profile_max_tokens: profile_mid + spread,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generated post-recommendation dataset always honours its spec: request
+    /// counts, per-user prefix sharing and length bounds.
+    #[test]
+    fn post_recommendation_respects_its_spec(spec in post_spec_strategy(), seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let dataset = Dataset::post_recommendation(&spec, &mut rng);
+        let summary = dataset.summary();
+        prop_assert_eq!(summary.num_users, spec.num_users);
+        prop_assert_eq!(summary.num_requests, spec.num_users * spec.posts_per_user);
+        prop_assert!(summary.min_request_tokens >= spec.profile_min_tokens + spec.post_tokens);
+        prop_assert!(summary.max_request_tokens <= spec.profile_max_tokens + spec.post_tokens);
+
+        for user in 0..spec.num_users {
+            let requests: Vec<_> = dataset
+                .requests()
+                .iter()
+                .filter(|r| r.user_id == user)
+                .collect();
+            prop_assert_eq!(requests.len() as u64, spec.posts_per_user);
+            let prefix = requests[0].shared_prefix_tokens as usize;
+            for r in &requests {
+                prop_assert_eq!(r.shared_prefix_tokens as usize, prefix);
+                prop_assert_eq!(&r.tokens[..prefix], &requests[0].tokens[..prefix]);
+                prop_assert_eq!(r.num_tokens(), prefix as u64 + spec.post_tokens);
+            }
+        }
+    }
+
+    /// Credit-verification histories always lie inside the configured bounds and every
+    /// user issues exactly one request.
+    #[test]
+    fn credit_verification_respects_its_spec(
+        num_users in 2u64..40,
+        lo in 5_000u64..20_000,
+        span in 1_000u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        let spec = CreditVerificationSpec {
+            num_users,
+            history_min_tokens: lo,
+            history_max_tokens: lo + span,
+        };
+        let mut rng = SimRng::seed_from_u64(seed);
+        let dataset = Dataset::credit_verification(&spec, &mut rng);
+        prop_assert_eq!(dataset.len() as u64, num_users);
+        for r in dataset.requests() {
+            prop_assert!(r.num_tokens() >= lo);
+            prop_assert!(r.num_tokens() <= lo + span);
+        }
+    }
+
+    /// Arrival assignment is lossless and time-ordered at either granularity, and
+    /// per-user granularity keeps each user's burst at a single instant.
+    #[test]
+    fn arrivals_are_lossless_and_sorted(
+        spec in post_spec_strategy(),
+        qps in 0.5f64..50.0,
+        per_request in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let dataset = Dataset::post_recommendation(&spec, &mut rng);
+        let granularity = if per_request {
+            ArrivalGranularity::PerRequest
+        } else {
+            ArrivalGranularity::PerUser
+        };
+        let arrivals = assign_poisson_arrivals_with(&dataset, qps, granularity, &mut rng);
+        prop_assert_eq!(arrivals.len(), dataset.len());
+        for pair in arrivals.windows(2) {
+            prop_assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        if !per_request {
+            for user in 0..spec.num_users {
+                let times: Vec<_> = arrivals
+                    .iter()
+                    .filter(|a| a.template.user_id == user)
+                    .map(|a| a.arrival)
+                    .collect();
+                prop_assert!(times.windows(2).all(|w| w[0] == w[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Credit verification: long-context prefill-only serving.
+//!
+//! The paper's second evaluation scenario (WL2): each user has a 40k-60k-token credit
+//! history and issues a single request.  Most baselines simply cannot execute such
+//! requests on a single GPU (Table 2's ✗ entries) — they need tensor or pipeline
+//! parallelism, and with it the communication overhead that caps their throughput.
+//! PrefillOnly's hybrid prefilling plus suffix KV discarding serves the same requests
+//! on one GPU each.
+//!
+//! Run with: `cargo run --release --example credit_verification`
+
+use executor::max_input_length;
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use prefillonly::{all_engine_kinds, engine_display_name, Cluster, EngineConfig};
+use simcore::SimRng;
+use workload::{assign_poisson_arrivals, CreditVerificationSpec, Dataset};
+
+fn main() {
+    let spec = CreditVerificationSpec {
+        num_users: 20,
+        ..CreditVerificationSpec::default()
+    };
+    let mut rng = SimRng::seed_from_u64(7);
+    let dataset = Dataset::credit_verification(&spec, &mut rng);
+    let summary = dataset.summary();
+    println!(
+        "workload: {} users, one request each, {}-{} tokens per request",
+        summary.num_users, summary.min_request_tokens, summary.max_request_tokens
+    );
+
+    let hardware = HardwareSetup::a100_pair();
+    let model = ModelPreset::Qwen25_32bFp8;
+    println!(
+        "hardware: {}, model: {}\n",
+        hardware.name,
+        model.config().name
+    );
+
+    // First, the capability question of Table 2: who can even run this workload?
+    println!(
+        "{:<18} {:>16} {:>12}",
+        "engine", "max input (tok)", "can serve?"
+    );
+    for kind in all_engine_kinds() {
+        let config = EngineConfig::new(model, hardware, kind, summary.max_request_tokens);
+        let executor = executor::Executor::new(config.executor_config());
+        let mil = max_input_length(&executor, 1_000);
+        let ok = mil >= summary.max_request_tokens;
+        println!(
+            "{:<18} {:>16} {:>12}",
+            engine_display_name(kind),
+            mil,
+            if ok { "yes" } else { "no" }
+        );
+    }
+    println!();
+
+    // Then the performance question of Fig. 6e-f / Fig. 8: of the engines that can run
+    // it, who sustains the highest load?
+    let qps = 0.30;
+    let arrivals = assign_poisson_arrivals(&dataset, qps, &mut rng);
+    println!("replaying the trace at {qps:.2} queries/s:\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>14}",
+        "engine", "mean lat (s)", "p99 lat (s)", "tput (req/s)"
+    );
+    for kind in all_engine_kinds() {
+        let config = EngineConfig::new(model, hardware, kind, summary.max_request_tokens);
+        let mut cluster = Cluster::new(&config);
+        match cluster.run(&arrivals, qps) {
+            Ok(report) => println!(
+                "{:<18} {:>12.1} {:>12.1} {:>14.3}",
+                report.engine,
+                report.mean_latency_secs(),
+                report.p99_latency_secs(),
+                report.throughput_rps()
+            ),
+            Err(_) => println!(
+                "{:<18} {:>12} {:>12} {:>14}",
+                engine_display_name(kind),
+                "-",
+                "-",
+                "infeasible"
+            ),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: score a single prefill-only request.
+//!
+//! This mirrors the paper's motivating example (§2.3): a recommendation prompt that
+//! ends in "Should we recommend this document to this user?  Your answer is:", with the
+//! output constrained to the tokens `Yes` / `No`.  The engine runs the prefilling stage
+//! only and returns one probability per acceptable token, plus the simulated latency.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use prefillonly::{EngineConfig, EngineKind, PrefillOnlyClient};
+
+fn main() {
+    // Deploy PrefillOnly (hybrid prefilling + calibrated SRJF) for Llama-3.1-8B on the
+    // paper's low-end setup, sized for prompts of up to 20k tokens.
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        20_000,
+    );
+    let mut client = PrefillOnlyClient::new(&config);
+
+    println!("engine          : PrefillOnly (hybrid prefilling, SRJF + JCT calibration)");
+    println!(
+        "model           : {}",
+        ModelPreset::Llama31_8b.config().name
+    );
+    println!("hardware        : {}", HardwareSetup::l4_pair().name);
+    println!(
+        "max input length: {} tokens",
+        client.instance().max_input_length()
+    );
+    println!(
+        "prefix KV pool  : {} tokens",
+        client.instance().kv_pool_tokens()
+    );
+    println!();
+
+    // A synthetic "user profile + candidate document" prompt of 12,000 tokens.  Token
+    // ids stand in for a real tokeniser; only their count and identity matter to the
+    // engine.
+    let user_profile: Vec<u32> = (0..11_000).collect();
+    let mut prompt = user_profile.clone();
+    prompt.extend(1_000_000..1_001_000u32);
+
+    let response = client.score(&prompt, &["Yes", "No"]);
+    println!("first request (cold prefix):");
+    print_response(&response);
+
+    // A second candidate document for the same user: the 11,000-token profile is now in
+    // the prefix cache, so only the new document tokens are computed.
+    let mut prompt2 = user_profile;
+    prompt2.extend(2_000_000..2_001_000u32);
+    let response2 = client.score(&prompt2, &["Yes", "No"]);
+    println!("second request (profile cached):");
+    print_response(&response2);
+
+    let speedup = response.latency.as_secs_f64() / response2.latency.as_secs_f64();
+    println!("prefix caching speed-up: {speedup:.1}x");
+}
+
+fn print_response(response: &prefillonly::PrefillResponse) {
+    for score in &response.scores {
+        println!("  P({:<3}) = {:.3}", score.token, score.probability);
+    }
+    println!(
+        "  latency = {:.1} ms, cached tokens = {}",
+        response.latency.as_millis_f64(),
+        response.cached_tokens
+    );
+    println!();
+}

@@ -1,0 +1,30 @@
+//! Umbrella crate of the PrefillOnly reproduction.
+//!
+//! This crate exists to host the workspace-level runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`).  It re-exports every member crate
+//! under a stable name so examples and downstream experiments can depend on a single
+//! crate:
+//!
+//! ```
+//! use prefillonly_suite::prefillonly::{EngineConfig, EngineKind};
+//! use prefillonly_suite::gpu::HardwareSetup;
+//! use prefillonly_suite::model::ModelPreset;
+//!
+//! let config = EngineConfig::new(
+//!     ModelPreset::Llama31_8b,
+//!     HardwareSetup::l4_pair(),
+//!     EngineKind::prefillonly_default(),
+//!     20_000,
+//! );
+//! assert_eq!(config.num_instances(), 2);
+//! ```
+
+pub use executor;
+pub use gpu;
+pub use kvcache;
+pub use metrics;
+pub use model;
+pub use prefillonly;
+pub use scheduler;
+pub use simcore;
+pub use workload;

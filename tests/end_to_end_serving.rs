@@ -1,0 +1,224 @@
+//! Cross-crate integration tests: workload generation → cluster simulation → report.
+
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use prefillonly::{Cluster, EngineConfig, EngineKind, RunError};
+use simcore::SimRng;
+use workload::{
+    assign_poisson_arrivals, assign_poisson_arrivals_with, ArrivalGranularity, Dataset,
+    PostRecommendationSpec, WorkloadKind,
+};
+
+fn small_post_spec() -> PostRecommendationSpec {
+    PostRecommendationSpec {
+        num_users: 6,
+        posts_per_user: 8,
+        profile_mean_tokens: 5_000.0,
+        profile_std_tokens: 600.0,
+        profile_min_tokens: 4_000,
+        profile_max_tokens: 6_000,
+        ..PostRecommendationSpec::default()
+    }
+}
+
+#[test]
+fn every_request_is_served_exactly_once_and_latencies_are_consistent() {
+    let mut rng = SimRng::seed_from_u64(101);
+    let dataset = Dataset::post_recommendation(&small_post_spec(), &mut rng);
+    let arrivals = assign_poisson_arrivals(&dataset, 4.0, &mut rng);
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        dataset.max_request_tokens(),
+    );
+    let mut cluster = Cluster::new(&config);
+    let report = cluster.run(&arrivals, 4.0).expect("feasible");
+
+    assert_eq!(report.records.len(), dataset.len());
+    let mut ids: Vec<u64> = report.records.iter().map(|r| r.request_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), dataset.len());
+
+    for record in &report.records {
+        assert!(
+            record.started >= record.arrival,
+            "execution cannot start before arrival"
+        );
+        assert!(
+            record.completed > record.started,
+            "execution takes positive time"
+        );
+        assert!(record.cached_tokens <= record.total_tokens);
+        assert_eq!(record.latency(), record.queueing() + record.execution());
+    }
+    // The makespan is the last completion.
+    let last = report
+        .records
+        .iter()
+        .map(|r| r.completed)
+        .max()
+        .expect("non-empty");
+    assert_eq!(report.makespan, last - simcore::SimTime::ZERO);
+}
+
+#[test]
+fn prefillonly_runs_long_contexts_where_single_gpu_baselines_cannot() {
+    let mut rng = SimRng::seed_from_u64(7);
+    let dataset = Dataset::generate(WorkloadKind::CreditVerification, &mut rng);
+    let arrivals: Vec<_> = assign_poisson_arrivals(&dataset, 0.2, &mut rng)
+        .into_iter()
+        .take(4)
+        .collect();
+    let max_tokens = dataset.max_request_tokens();
+
+    // Table 2 / Fig. 6e: the credit-verification workload exceeds the PagedAttention
+    // and chunked-prefill MILs on A100, but PrefillOnly serves it on a single GPU.
+    let build = |kind| {
+        EngineConfig::new(
+            ModelPreset::Qwen25_32bFp8,
+            HardwareSetup::a100_pair(),
+            kind,
+            max_tokens,
+        )
+    };
+    for kind in [EngineKind::PagedAttention, EngineKind::chunked_default()] {
+        let err = Cluster::new(&build(kind)).run(&arrivals, 0.2).unwrap_err();
+        assert!(matches!(err, RunError::WorkloadInfeasible { .. }));
+    }
+    let report = Cluster::new(&build(EngineKind::prefillonly_default()))
+        .run(&arrivals, 0.2)
+        .expect("PrefillOnly must handle 40k-60k token requests on one A100");
+    assert_eq!(report.records.len(), 4);
+}
+
+#[test]
+fn fig8_shape_prefillonly_outperforms_parallelism_on_credit_throughput() {
+    // Offered load far above capacity; sustained throughput ordering should match
+    // Fig. 8: PrefillOnly > tensor parallel, and NVLink improves tensor parallel.
+    let mut rng = SimRng::seed_from_u64(88);
+    let spec = workload::CreditVerificationSpec {
+        num_users: 12,
+        ..workload::CreditVerificationSpec::default()
+    };
+    let dataset = Dataset::credit_verification(&spec, &mut rng);
+    let arrivals =
+        assign_poisson_arrivals_with(&dataset, 50.0, ArrivalGranularity::PerRequest, &mut rng);
+    let max_tokens = dataset.max_request_tokens();
+
+    let run = |kind, hardware| {
+        let config = EngineConfig::new(ModelPreset::Llama33_70bFp8, hardware, kind, max_tokens);
+        Cluster::new(&config)
+            .run(&arrivals, 50.0)
+            .expect("feasible")
+            .throughput_rps()
+    };
+
+    let prefillonly = run(
+        EngineKind::prefillonly_default(),
+        HardwareSetup::h100_pair_pcie(),
+    );
+    let tp_pcie = run(EngineKind::TensorParallel, HardwareSetup::h100_pair_pcie());
+    let tp_nvlink = run(
+        EngineKind::TensorParallel,
+        HardwareSetup::h100_pair_nvlink(),
+    );
+
+    assert!(
+        prefillonly > tp_pcie,
+        "PrefillOnly ({prefillonly:.3}) must beat TP over PCIe ({tp_pcie:.3})"
+    );
+    assert!(
+        tp_nvlink > tp_pcie,
+        "NVLink must improve the tensor-parallel baseline ({tp_nvlink:.3} vs {tp_pcie:.3})"
+    );
+    assert!(
+        prefillonly > tp_nvlink * 0.95,
+        "PrefillOnly ({prefillonly:.3}) should at least match TP even with NVLink ({tp_nvlink:.3})"
+    );
+}
+
+#[test]
+fn user_routing_keeps_a_users_prefix_on_one_instance() {
+    let mut rng = SimRng::seed_from_u64(5);
+    let dataset = Dataset::post_recommendation(&small_post_spec(), &mut rng);
+    let arrivals = assign_poisson_arrivals(&dataset, 3.0, &mut rng);
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        dataset.max_request_tokens(),
+    );
+    let mut cluster = Cluster::new(&config);
+    let report = cluster.run(&arrivals, 3.0).expect("feasible");
+
+    // Each user must be pinned to exactly one instance, and with 8 requests per user
+    // sharing a 4-6k-token profile the overall hit rate must be substantial.
+    for user in 0..6u64 {
+        let mut instances: Vec<usize> = report
+            .records
+            .iter()
+            .filter(|r| r.user_id == user)
+            .map(|r| r.instance)
+            .collect();
+        instances.dedup();
+        assert_eq!(
+            instances.len(),
+            1,
+            "user {user} should stick to one instance"
+        );
+    }
+    assert!(
+        report.cache_hit_rate() > 0.5,
+        "hit rate was {:.2}",
+        report.cache_hit_rate()
+    );
+}
+
+#[test]
+fn reports_are_deterministic_for_a_fixed_seed() {
+    let build = || {
+        let mut rng = SimRng::seed_from_u64(404);
+        let dataset = Dataset::post_recommendation(&small_post_spec(), &mut rng);
+        let arrivals = assign_poisson_arrivals(&dataset, 5.0, &mut rng);
+        let config = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::prefillonly_default(),
+            dataset.max_request_tokens(),
+        );
+        Cluster::new(&config).run(&arrivals, 5.0).expect("feasible")
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.records.len(), b.records.len());
+    assert_eq!(a.makespan, b.makespan);
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra, rb, "identical seeds must yield identical traces");
+    }
+}
+
+#[test]
+fn overload_degrades_latency_but_not_correctness() {
+    let mut rng = SimRng::seed_from_u64(31);
+    let dataset = Dataset::post_recommendation(&small_post_spec(), &mut rng);
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::PagedAttention,
+        dataset.max_request_tokens(),
+    );
+    let mut latencies = Vec::new();
+    for qps in [1.0, 30.0] {
+        let arrivals = assign_poisson_arrivals(&dataset, qps, &mut SimRng::seed_from_u64(32));
+        let report = Cluster::new(&config).run(&arrivals, qps).expect("feasible");
+        assert_eq!(report.records.len(), dataset.len());
+        latencies.push(report.mean_latency_secs());
+    }
+    assert!(
+        latencies[1] > latencies[0],
+        "30 qps should be slower than 1 qps ({:?})",
+        latencies
+    );
+}

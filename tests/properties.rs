@@ -1,0 +1,97 @@
+//! Workspace-level property tests: random small workloads replayed through the full
+//! engine stack must always satisfy the serving invariants.
+
+use proptest::prelude::*;
+
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use prefillonly::{Cluster, EngineConfig, EngineKind};
+use simcore::SimRng;
+use workload::{assign_poisson_arrivals_with, ArrivalGranularity, Dataset, PostRecommendationSpec};
+
+fn engine_strategy() -> impl Strategy<Value = EngineKind> {
+    prop_oneof![
+        Just(EngineKind::prefillonly_default()),
+        Just(EngineKind::PrefillOnly { lambda: 0.0 }),
+        Just(EngineKind::PagedAttention),
+        Just(EngineKind::chunked_default()),
+        Just(EngineKind::TensorParallel),
+        Just(EngineKind::PipelineParallel),
+    ]
+}
+
+fn workload_strategy() -> impl Strategy<Value = PostRecommendationSpec> {
+    (2u64..5, 2u64..6, 1_500u64..4_000).prop_map(|(num_users, posts_per_user, profile_mid)| {
+        PostRecommendationSpec {
+            num_users,
+            posts_per_user,
+            post_tokens: 150,
+            profile_mean_tokens: profile_mid as f64,
+            profile_std_tokens: 300.0,
+            profile_min_tokens: profile_mid - 500,
+            profile_max_tokens: profile_mid + 500,
+        }
+    })
+}
+
+proptest! {
+    // Each case builds a cluster (profile run included) and replays a trace, so keep
+    // the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn serving_invariants_hold_for_every_engine(
+        kind in engine_strategy(),
+        spec in workload_strategy(),
+        qps in 1.0f64..30.0,
+        per_request in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let dataset = Dataset::post_recommendation(&spec, &mut rng);
+        let granularity = if per_request {
+            ArrivalGranularity::PerRequest
+        } else {
+            ArrivalGranularity::PerUser
+        };
+        let arrivals = assign_poisson_arrivals_with(&dataset, qps, granularity, &mut rng);
+        let config = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            kind,
+            dataset.max_request_tokens(),
+        );
+        let mut cluster = Cluster::new(&config);
+        let report = cluster.run(&arrivals, qps).expect("small workloads always fit on L4");
+
+        // Conservation: every request completes exactly once.
+        prop_assert_eq!(report.records.len(), dataset.len());
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.request_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), dataset.len());
+
+        // Temporal sanity for every record.
+        for record in &report.records {
+            prop_assert!(record.started >= record.arrival);
+            prop_assert!(record.completed > record.started);
+            prop_assert!(record.cached_tokens <= record.total_tokens);
+        }
+
+        // Aggregates are consistent with the records.
+        let max_completion = report.records.iter().map(|r| r.completed).max().unwrap();
+        prop_assert_eq!(report.makespan, max_completion - simcore::SimTime::ZERO);
+        prop_assert!(report.throughput_rps() > 0.0);
+        prop_assert!(report.cache_hit_rate() >= 0.0 && report.cache_hit_rate() <= 1.0);
+        if let Some(summary) = report.latency_summary() {
+            prop_assert!(summary.p99 >= summary.p50);
+            prop_assert!(summary.max >= summary.mean);
+        }
+
+        // Instances never leak queued or running work.
+        for instance in cluster.instances() {
+            prop_assert_eq!(instance.queue_len(), 0);
+            prop_assert_eq!(instance.running_len(), 0);
+        }
+    }
+}
