@@ -93,5 +93,64 @@ fn bench_allocate_commit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hashing, bench_lookup, bench_allocate_commit);
+/// The tentpole measurement: evicting a fixed-size batch (100 blocks) from caches of
+/// very different sizes.  With the ordered LRU index the cost depends only on the
+/// batch size — the seed implementation scanned and sorted the whole cache, so its
+/// cost grew linearly with the number of cached blocks.
+fn bench_eviction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evict_100_blocks_from_cache_of");
+    for cached_blocks in [2_048u64, 16_384, 131_072] {
+        // Fill a pool to the brim with distinct cached chains, leaving no free blocks,
+        // so the next allocation must evict exactly its own footprint.
+        let mut manager = KvCacheManager::new(cached_blocks, BLOCK_SIZE);
+        let chain_blocks = 512usize;
+        for chain in 0..cached_blocks / chain_blocks as u64 {
+            let start = chain as u32 * 10_000_000;
+            let alloc = manager
+                .allocate(
+                    &tokens(start, chain_blocks * BLOCK_SIZE),
+                    SimTime::from_secs(chain),
+                    RetentionPolicy::FullResidency,
+                )
+                .expect("chains are sized to fill the pool exactly");
+            manager.commit(alloc, SimTime::from_secs(chain));
+        }
+        assert_eq!(manager.free_blocks(), 0);
+        assert_eq!(manager.cached_blocks(), cached_blocks);
+
+        let request = tokens(4_000_000_000u32.wrapping_sub(1_000_000), 100 * BLOCK_SIZE);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cached_blocks),
+            &request,
+            |b, request| {
+                b.iter_with_setup(
+                    || manager.clone(),
+                    |mut manager| {
+                        let alloc = manager
+                            .allocate(
+                                request,
+                                SimTime::from_secs(1_000_000),
+                                RetentionPolicy::FullResidency,
+                            )
+                            .expect("eviction makes room");
+                        std::hint::black_box(manager.stats().evicted_blocks);
+                        manager.release_uncommitted(alloc);
+                        // Returning the manager moves its O(n) teardown out of the
+                        // timed region, leaving only the eviction + allocation cost.
+                        manager
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_lookup,
+    bench_allocate_commit,
+    bench_eviction_scaling
+);
 criterion_main!(benches);

@@ -1,8 +1,19 @@
 //! Criterion bench: one scheduling step (Algorithm 1) as a function of the waiting-
 //! queue depth.  Continuous JCT calibration re-scores every waiting request per step,
 //! so its cost must stay linear and small even with hundreds of queued requests.
+//!
+//! The `calibrated_probe` group is the tentpole measurement: a calibrated select over
+//! a *real* KV-cache-backed probe, comparing the seed's full hash-chain walk per
+//! request per step against the generation-memoised [`kvcache::ProbeCache`] when the
+//! cache contents are unchanged between steps (the common case).
+
+use std::cell::RefCell;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvcache::ProbeCache;
+use prefillonly_bench::hotpath::{
+    calibrated_queue as queue, cohort_cache, FullWalkProbe, MemoProbe,
+};
 use scheduler::{
     CacheProbe, FcfsPolicy, JctEstimator, SchedulingPolicy, SrjfPolicy, WaitingRequest,
 };
@@ -20,17 +31,6 @@ impl CacheProbe for ConstantProbe {
             0
         }
     }
-}
-
-fn queue(depth: usize) -> Vec<WaitingRequest> {
-    (0..depth as u64)
-        .map(|id| WaitingRequest {
-            id,
-            arrival: SimTime::from_millis(id * 7),
-            total_tokens: 4_000 + (id % 40) * 500,
-            cached_tokens_at_arrival: 0,
-        })
-        .collect()
 }
 
 fn bench_select(c: &mut Criterion) {
@@ -57,5 +57,38 @@ fn bench_select(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_select);
+/// Calibrated select against a real KV cache: seed full-walk probe vs the incremental
+/// generation-memoised probe, with the cache unchanged between steps.
+fn bench_calibrated_probe(c: &mut Criterion) {
+    let estimator = JctEstimator::proxy(1.5e-4, 0.02);
+    let calibrated = SrjfPolicy::with_calibration(estimator, 500.0);
+    let now = SimTime::from_secs(30);
+
+    let mut group = c.benchmark_group("calibrated_probe");
+    for depth in [64usize, 512] {
+        let q = queue(depth);
+        let (kv, hashes) = cohort_cache(&q, now);
+
+        let full = FullWalkProbe {
+            kv: &kv,
+            hashes: &hashes,
+        };
+        group.bench_with_input(BenchmarkId::new("full_walk", depth), &q, |b, q| {
+            b.iter(|| std::hint::black_box(calibrated.select(q, now, &full)))
+        });
+
+        let memo = RefCell::new(ProbeCache::new());
+        let incremental = MemoProbe {
+            kv: &kv,
+            hashes: &hashes,
+            memo: &memo,
+        };
+        group.bench_with_input(BenchmarkId::new("incremental", depth), &q, |b, q| {
+            b.iter(|| std::hint::black_box(calibrated.select(q, now, &incremental)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select, bench_calibrated_probe);
 criterion_main!(benches);

@@ -65,5 +65,58 @@ fn bench_profile_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cluster_replay, bench_profile_run);
+/// Parallel per-instance replay vs the sequential reference loop on a replicated
+/// deployment under heavy load (both produce identical reports; see the determinism
+/// test in `prefillonly::cluster`).
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let spec = PostRecommendationSpec {
+        num_users: 16,
+        posts_per_user: 25,
+        profile_mean_tokens: 6_000.0,
+        profile_std_tokens: 800.0,
+        profile_min_tokens: 5_000,
+        profile_max_tokens: 7_000,
+        ..PostRecommendationSpec::default()
+    };
+    let mut rng = SimRng::seed_from_u64(99);
+    let dataset = Dataset::post_recommendation(&spec, &mut rng);
+    let arrivals = assign_poisson_arrivals(&dataset, 40.0, &mut rng);
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        dataset.max_request_tokens(),
+    );
+
+    let mut group = c.benchmark_group("cluster_replay_400_requests");
+    group.sample_size(10);
+    group.bench_function("parallel", |b| {
+        b.iter_with_setup(
+            || Cluster::new(&config),
+            |mut cluster| {
+                let report = cluster.run(&arrivals, 40.0).expect("feasible");
+                std::hint::black_box(report.records.len());
+                cluster
+            },
+        )
+    });
+    group.bench_function("sequential", |b| {
+        b.iter_with_setup(
+            || Cluster::new(&config),
+            |mut cluster| {
+                let report = cluster.run_sequential(&arrivals, 40.0).expect("feasible");
+                std::hint::black_box(report.records.len());
+                cluster
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_replay,
+    bench_profile_run,
+    bench_parallel_vs_sequential
+);
 criterion_main!(benches);

@@ -1,0 +1,260 @@
+//! Emits `BENCH_baseline.json` at the workspace root: median wall-clock timings of the
+//! simulator's hot paths (scheduling step, KV-cache ops, cluster replay), so future
+//! PRs have a recorded perf trajectory to compare against.
+//!
+//! Run with `cargo run --release --bin bench_baseline`.
+
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use serde::Serialize;
+
+use gpu::HardwareSetup;
+use kvcache::{KvCacheManager, ProbeCache, RetentionPolicy};
+use model::ModelPreset;
+use prefillonly::{Cluster, EngineConfig, EngineKind};
+use prefillonly_bench::hotpath::{calibrated_queue, cohort_cache, FullWalkProbe, MemoProbe};
+use scheduler::{JctEstimator, SchedulingPolicy, SrjfPolicy};
+use simcore::{SimRng, SimTime};
+use workload::{assign_poisson_arrivals, Dataset, PostRecommendationSpec};
+
+const BLOCK_SIZE: usize = prefillonly_bench::hotpath::BLOCK_SIZE;
+
+#[derive(Serialize)]
+struct BaselinePoint {
+    name: String,
+    median_ns: f64,
+    samples: usize,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    description: String,
+    results: Vec<BaselinePoint>,
+}
+
+/// Times `routine` (after `setup`) `samples` times and records the median.  The
+/// routine's output is dropped outside the timed region, so returning a large input
+/// keeps its teardown out of the measurement.
+fn measure<I, O>(
+    out: &mut Vec<BaselinePoint>,
+    name: &str,
+    samples: usize,
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> O,
+) {
+    // One warmup round.
+    routine(setup());
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let input = setup();
+            let start = Instant::now();
+            let output = std::hint::black_box(routine(input));
+            let nanos = start.elapsed().as_secs_f64() * 1e9;
+            drop(output);
+            nanos
+        })
+        .collect();
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = timings[timings.len() / 2];
+    println!("{name:<55} median {:>12.0} ns", median);
+    out.push(BaselinePoint {
+        name: name.to_string(),
+        median_ns: median,
+        samples,
+    });
+}
+
+/// Like [`measure`], but for cheap routines: each sample times a batch and divides.
+fn measure_batched(
+    out: &mut Vec<BaselinePoint>,
+    name: &str,
+    samples: usize,
+    batch: usize,
+    mut routine: impl FnMut(),
+) {
+    routine();
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                routine();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / batch as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = timings[timings.len() / 2];
+    println!("{name:<55} median {:>12.0} ns", median);
+    out.push(BaselinePoint {
+        name: name.to_string(),
+        median_ns: median,
+        samples,
+    });
+}
+
+fn scheduler_baselines(out: &mut Vec<BaselinePoint>) {
+    let queue = calibrated_queue(512);
+    let now = SimTime::from_secs(30);
+    let (kv, hashes) = cohort_cache(&queue, now);
+
+    let calibrated = SrjfPolicy::with_calibration(JctEstimator::proxy(1.5e-4, 0.02), 500.0);
+    let full = FullWalkProbe {
+        kv: &kv,
+        hashes: &hashes,
+    };
+    measure_batched(
+        out,
+        "scheduler_step/calibrated_select_512/full_walk",
+        15,
+        100,
+        || {
+            std::hint::black_box(calibrated.select(&queue, now, &full));
+        },
+    );
+    let memo = RefCell::new(ProbeCache::new());
+    let incremental = MemoProbe {
+        kv: &kv,
+        hashes: &hashes,
+        memo: &memo,
+    };
+    measure_batched(
+        out,
+        "scheduler_step/calibrated_select_512/incremental",
+        15,
+        100,
+        || {
+            std::hint::black_box(calibrated.select(&queue, now, &incremental));
+        },
+    );
+}
+
+fn kvcache_baselines(out: &mut Vec<BaselinePoint>) {
+    for cached_blocks in [2_048u64, 131_072] {
+        let mut manager = KvCacheManager::new(cached_blocks, BLOCK_SIZE);
+        let chain_blocks = 512usize;
+        for chain in 0..cached_blocks / chain_blocks as u64 {
+            let start = chain as u32 * 10_000_000;
+            let tokens: Vec<u32> = (start..start + (chain_blocks * BLOCK_SIZE) as u32).collect();
+            let alloc = manager
+                .allocate(
+                    &tokens,
+                    SimTime::from_secs(chain),
+                    RetentionPolicy::FullResidency,
+                )
+                .expect("fits");
+            manager.commit(alloc, SimTime::from_secs(chain));
+        }
+        let request: Vec<u32> =
+            (3_000_000_000..3_000_000_000u32 + (100 * BLOCK_SIZE) as u32).collect();
+        measure(
+            out,
+            &format!("kvcache_ops/evict_100_blocks_from_cache_of/{cached_blocks}"),
+            25,
+            || manager.clone(),
+            |mut manager| {
+                let alloc = manager
+                    .allocate(
+                        &request,
+                        SimTime::from_secs(1_000_000),
+                        RetentionPolicy::FullResidency,
+                    )
+                    .expect("eviction makes room");
+                std::hint::black_box(manager.stats().evicted_blocks);
+                manager.release_uncommitted(alloc);
+                manager
+            },
+        );
+    }
+}
+
+fn cluster_baselines(out: &mut Vec<BaselinePoint>) {
+    let spec = PostRecommendationSpec {
+        num_users: 8,
+        posts_per_user: 12,
+        profile_mean_tokens: 6_000.0,
+        profile_std_tokens: 800.0,
+        profile_min_tokens: 5_000,
+        profile_max_tokens: 7_000,
+        ..PostRecommendationSpec::default()
+    };
+    let mut rng = SimRng::seed_from_u64(99);
+    let dataset = Dataset::post_recommendation(&spec, &mut rng);
+    let arrivals = assign_poisson_arrivals(&dataset, 40.0, &mut rng);
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        dataset.max_request_tokens(),
+    );
+    measure(
+        out,
+        "serving/cluster_replay_96_requests/parallel",
+        9,
+        || Cluster::new(&config),
+        |mut cluster| {
+            std::hint::black_box(
+                cluster
+                    .run(&arrivals, 40.0)
+                    .expect("feasible")
+                    .records
+                    .len(),
+            );
+            cluster
+        },
+    );
+    measure(
+        out,
+        "serving/cluster_replay_96_requests/sequential",
+        9,
+        || Cluster::new(&config),
+        |mut cluster| {
+            std::hint::black_box(
+                cluster
+                    .run_sequential(&arrivals, 40.0)
+                    .expect("feasible")
+                    .records
+                    .len(),
+            );
+            cluster
+        },
+    );
+}
+
+fn workspace_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|dir| {
+            Path::new(&dir)
+                .ancestors()
+                .nth(2)
+                .map(Path::to_path_buf)
+                .unwrap_or_else(|| PathBuf::from(dir.clone()))
+        })
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() {
+    let mut results = Vec::new();
+    scheduler_baselines(&mut results);
+    kvcache_baselines(&mut results);
+    cluster_baselines(&mut results);
+
+    let baseline = Baseline {
+        description: "Median wall-clock timings of the simulator's hot paths; \
+                      regenerate with `cargo run --release --bin bench_baseline`"
+            .to_string(),
+        results,
+    };
+    let path = workspace_root().join("BENCH_baseline.json");
+    match serde_json::to_string_pretty(&baseline) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write(&path, json + "\n") {
+                eprintln!("warning: could not write {}: {err}", path.display());
+            } else {
+                println!("\nwrote {}", path.display());
+            }
+        }
+        Err(err) => eprintln!("warning: could not serialize baseline: {err}"),
+    }
+}

@@ -1,0 +1,101 @@
+//! Shared hot-path benchmark scenario: a deep calibrated-scheduling queue over a
+//! warmed prefix cache, plus the two [`CacheProbe`] adapters being compared (the
+//! seed's full hash-chain walk vs the generation-memoised incremental probe).
+//!
+//! Used by both the `scheduler_step` criterion bench and the `bench_baseline`
+//! perf-trajectory emitter so the two always measure the same scenario.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use kvcache::{hash_token_blocks, KvCacheManager, ProbeCache, RetentionPolicy, TokenBlockHash};
+use scheduler::{CacheProbe, WaitingRequest};
+use simcore::SimTime;
+
+/// KV block size used across the hot-path scenarios.
+pub const BLOCK_SIZE: usize = 16;
+
+/// Number of distinct shared-prefix cohorts in [`cohort_cache`].
+pub const COHORTS: u64 = 8;
+
+/// The seed implementation's probe: a full hash-chain walk on every query.
+pub struct FullWalkProbe<'a> {
+    /// The manager to probe.
+    pub kv: &'a KvCacheManager,
+    /// Per-request hash chains.
+    pub hashes: &'a HashMap<u64, Vec<TokenBlockHash>>,
+}
+
+impl CacheProbe for FullWalkProbe<'_> {
+    fn cached_tokens(&self, request: &WaitingRequest) -> u64 {
+        self.hashes
+            .get(&request.id)
+            .map(|hashes| self.kv.lookup_cached_tokens_from_hashes(hashes))
+            .unwrap_or(0)
+    }
+}
+
+/// The incremental probe: O(1) per query while the cache generation is unchanged.
+pub struct MemoProbe<'a> {
+    /// The manager to probe.
+    pub kv: &'a KvCacheManager,
+    /// Per-request hash chains.
+    pub hashes: &'a HashMap<u64, Vec<TokenBlockHash>>,
+    /// The memoised probe state.
+    pub memo: &'a RefCell<ProbeCache>,
+}
+
+impl CacheProbe for MemoProbe<'_> {
+    fn cached_tokens(&self, request: &WaitingRequest) -> u64 {
+        self.hashes
+            .get(&request.id)
+            .map(|hashes| {
+                self.memo
+                    .borrow_mut()
+                    .cached_tokens(self.kv, request.id, hashes)
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// A waiting queue of `depth` requests with staggered arrivals and mixed lengths.
+pub fn calibrated_queue(depth: usize) -> Vec<WaitingRequest> {
+    (0..depth as u64)
+        .map(|id| WaitingRequest {
+            id,
+            arrival: SimTime::from_millis(id * 7),
+            total_tokens: 4_000 + (id % 40) * 500,
+            cached_tokens_at_arrival: 0,
+        })
+        .collect()
+}
+
+/// Builds the probe scenario for `queue`: each request belongs to one of
+/// [`COHORTS`] cohorts sharing a 4k-token prefix, and the cache is warmed with
+/// every cohort's prefix so calibrated probes hit 4,000 tokens deep.
+///
+/// Returns the warmed manager and the per-request hash chains.
+pub fn cohort_cache(
+    queue: &[WaitingRequest],
+    now: SimTime,
+) -> (KvCacheManager, HashMap<u64, Vec<TokenBlockHash>>) {
+    let mut kv = KvCacheManager::new(64 * 1024, BLOCK_SIZE);
+    let mut hashes: HashMap<u64, Vec<TokenBlockHash>> = HashMap::new();
+    for request in queue {
+        let cohort = (request.id % COHORTS) as u32;
+        let mut tokens: Vec<u32> = (cohort * 1_000_000..cohort * 1_000_000 + 4_000).collect();
+        tokens.extend(
+            900_000_000 + request.id as u32 * 10_000
+                ..900_000_000 + request.id as u32 * 10_000 + request.total_tokens as u32 - 4_000,
+        );
+        hashes.insert(request.id, hash_token_blocks(&tokens, BLOCK_SIZE));
+    }
+    for cohort in 0..COHORTS as u32 {
+        let tokens: Vec<u32> = (cohort * 1_000_000..cohort * 1_000_000 + 4_000).collect();
+        let alloc = kv
+            .allocate(&tokens, now, RetentionPolicy::FullResidency)
+            .expect("pool is large enough for every cohort prefix");
+        kv.commit(alloc, now);
+    }
+    (kv, hashes)
+}

@@ -5,6 +5,23 @@
 //! both GPUs.  [`Cluster::run`] replays a workload trace (requests with Poisson arrival
 //! times) against the deployment and produces the [`RunReport`] every figure of the
 //! evaluation is computed from.
+//!
+//! # Parallel replay
+//!
+//! The §7.1 router statically pins every user to one instance, and no event ever
+//! crosses instances: an `Admit` or `Complete` event only touches the instance that
+//! produced it.  Replicated deployments therefore factor into independent per-instance
+//! event loops, and [`Cluster::run`] simulates them on parallel OS threads — one per
+//! instance — then merges the per-instance records deterministically.  The result is
+//! *identical* (records, makespan, cache statistics) to the single-threaded
+//! interleaved loop, which is kept as [`Cluster::run_sequential`] and enforced by the
+//! `parallel_run_is_identical_to_sequential` test.
+//!
+//! Why this is sound: within one instance, the global loop pops that instance's events
+//! in `(time, push order)` — and the per-instance loop pushes the same events in the
+//! same relative order, because an instance's pushes happen only while handling that
+//! same instance's events.  Projecting the global FIFO-within-timestamp order onto one
+//! instance therefore yields exactly the per-instance order.
 
 use std::sync::Arc;
 
@@ -60,6 +77,17 @@ enum Event {
     Complete { instance: usize, request_id: u64 },
 }
 
+/// Event of one instance's private loop (the instance is implicit).
+#[derive(Debug, Clone, Copy)]
+enum InstanceEvent {
+    /// The request at this index of the instance's partition arrives.
+    Arrival(usize),
+    /// The instance may be able to admit another request.
+    Admit,
+    /// A running request finishes.
+    Complete(u64),
+}
+
 /// A deployment of one engine kind on one hardware setup.
 pub struct Cluster {
     config: EngineConfig,
@@ -109,22 +137,68 @@ impl Cluster {
     ///
     /// `offered_qps` is recorded in the report for plotting; the arrival times
     /// themselves already encode the offered load.
+    ///
+    /// Replicated deployments are simulated with one OS thread per instance (see the
+    /// module docs); the report is identical to [`Self::run_sequential`].
     pub fn run(
         &mut self,
         arrivals: &[ArrivalPattern],
         offered_qps: f64,
     ) -> Result<RunReport, RunError> {
-        let max_request_tokens = arrivals
-            .iter()
-            .map(|a| a.template.num_tokens())
-            .max()
-            .unwrap_or(0);
-        if !self.can_serve(max_request_tokens) {
-            return Err(RunError::WorkloadInfeasible {
-                max_request_tokens,
-                max_input_length: self.max_input_length(),
+        self.check_feasible(arrivals)?;
+
+        // Route every arrival up front in `(arrival time, index)` order — exactly the
+        // order the sequential event loop pops arrival events — so the sticky
+        // round-robin router sees users in the same order on both paths even if the
+        // caller hands us an unsorted trace.  `(global request id, arrival)` pairs
+        // form each instance's partition, each sorted by `(arrival time, id)`.
+        let mut order: Vec<usize> = (0..arrivals.len()).collect();
+        order.sort_by_key(|&idx| (arrivals[idx].arrival, idx));
+        let mut partitions: Vec<Vec<(u64, &ArrivalPattern)>> =
+            vec![Vec::new(); self.instances.len()];
+        for idx in order {
+            let arrival = &arrivals[idx];
+            let instance_idx = self.router.route(arrival.template.user_id);
+            partitions[instance_idx].push((idx as u64, arrival));
+        }
+
+        let mut per_instance: Vec<Vec<RequestRecord>> = Vec::with_capacity(self.instances.len());
+        if self.instances.len() == 1 {
+            per_instance.push(Self::simulate_instance(
+                &mut self.instances[0],
+                &partitions[0],
+            ));
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .instances
+                    .iter_mut()
+                    .zip(&partitions)
+                    .map(|(instance, partition)| {
+                        scope.spawn(move || Self::simulate_instance(instance, partition))
+                    })
+                    .collect();
+                per_instance = handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("instance simulation panicked"))
+                    .collect();
             });
         }
+
+        let records: Vec<RequestRecord> = per_instance.into_iter().flatten().collect();
+        Ok(self.finish_report(records, offered_qps))
+    }
+
+    /// The single-threaded reference implementation of [`Self::run`]: one global event
+    /// loop interleaving all instances, exactly as the seed simulator ran.  Kept
+    /// public so tests (and sceptical experimenters) can verify that the parallel path
+    /// is behaviour-preserving.
+    pub fn run_sequential(
+        &mut self,
+        arrivals: &[ArrivalPattern],
+        offered_qps: f64,
+    ) -> Result<RunReport, RunError> {
+        self.check_feasible(arrivals)?;
 
         let mut events: EventQueue<Event> = EventQueue::new();
         for (idx, arrival) in arrivals.iter().enumerate() {
@@ -132,8 +206,6 @@ impl Cluster {
         }
 
         let mut records: Vec<RequestRecord> = Vec::with_capacity(arrivals.len());
-        let mut makespan = SimDuration::ZERO;
-
         while let Some(scheduled) = events.pop() {
             let now = scheduled.at;
             match scheduled.event {
@@ -167,22 +239,111 @@ impl Cluster {
                     instance,
                     request_id,
                 } => {
-                    let record = self.instances[instance].complete(request_id, now);
-                    makespan = makespan.max(record.completed - SimTime::ZERO);
-                    records.push(record);
+                    records.push(self.instances[instance].complete(request_id, now));
                     Self::admit(&mut self.instances[instance], instance, now, &mut events);
                 }
             }
         }
 
-        let cache = self.aggregate_cache_stats();
-        Ok(RunReport {
+        Ok(self.finish_report(records, offered_qps))
+    }
+
+    fn check_feasible(&self, arrivals: &[ArrivalPattern]) -> Result<(), RunError> {
+        let max_request_tokens = arrivals
+            .iter()
+            .map(|a| a.template.num_tokens())
+            .max()
+            .unwrap_or(0);
+        if !self.can_serve(max_request_tokens) {
+            return Err(RunError::WorkloadInfeasible {
+                max_request_tokens,
+                max_input_length: self.max_input_length(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs one instance's private event loop over its arrival partition.
+    fn simulate_instance(
+        instance: &mut EngineInstance,
+        partition: &[(u64, &ArrivalPattern)],
+    ) -> Vec<RequestRecord> {
+        let mut events: EventQueue<InstanceEvent> = EventQueue::new();
+        for (pos, (_, arrival)) in partition.iter().enumerate() {
+            events.push(arrival.arrival, InstanceEvent::Arrival(pos));
+        }
+        let mut records = Vec::with_capacity(partition.len());
+        while let Some(scheduled) = events.pop() {
+            let now = scheduled.at;
+            match scheduled.event {
+                InstanceEvent::Arrival(pos) => {
+                    let (request_id, arrival) = partition[pos];
+                    let request = PrefillRequest {
+                        id: request_id,
+                        user_id: arrival.template.user_id,
+                        tokens: Arc::clone(&arrival.template.tokens),
+                        allowed_outputs: Vec::new(),
+                        arrival: now,
+                    };
+                    instance.enqueue(request, now);
+                    Self::admit_local(instance, now, &mut events);
+                }
+                InstanceEvent::Admit => {
+                    Self::admit_local(instance, now, &mut events);
+                }
+                InstanceEvent::Complete(request_id) => {
+                    records.push(instance.complete(request_id, now));
+                    Self::admit_local(instance, now, &mut events);
+                }
+            }
+        }
+        records
+    }
+
+    /// Sorts records into the canonical report order and aggregates the run report.
+    ///
+    /// Canonical order is `(completion time, request id)`.  The sequential loop pops
+    /// completions in `(completion time, push order)` — the same order up to ties in
+    /// completion time — so sorting both paths' records by the canonical key makes the
+    /// reports byte-identical.
+    fn finish_report(&self, mut records: Vec<RequestRecord>, offered_qps: f64) -> RunReport {
+        records.sort_unstable_by_key(|r| (r.completed, r.request_id));
+        let makespan = records
+            .iter()
+            .map(|r| r.completed - SimTime::ZERO)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        RunReport {
             engine: engine_display_name(self.config.kind).to_string(),
             offered_qps,
             records,
             makespan,
-            cache,
-        })
+            cache: self.aggregate_cache_stats(),
+        }
+    }
+
+    /// The shared admission loop of both event-loop flavours: starts as many requests
+    /// as the policy admits, then schedules a wake-up when the first stage frees if
+    /// work is still waiting.  Event construction is parameterised so the global loop
+    /// (instance-tagged events) and the per-instance loop (untagged events) cannot
+    /// drift apart.
+    fn pump_admissions<E>(
+        instance: &mut EngineInstance,
+        now: SimTime,
+        events: &mut EventQueue<E>,
+        completion_event: impl Fn(u64) -> E,
+        admit_event: impl Fn() -> E,
+    ) {
+        while let Some(started) = instance.try_start(now) {
+            events.push(started.completion, completion_event(started.request_id));
+        }
+        // If requests are still waiting, wake up when the first stage frees.
+        if instance.queue_len() > 0 {
+            let wake = instance.next_admission_time();
+            if wake > now {
+                events.push(wake, admit_event());
+            }
+        }
     }
 
     fn admit(
@@ -191,22 +352,26 @@ impl Cluster {
         now: SimTime,
         events: &mut EventQueue<Event>,
     ) {
-        while let Some(started) = instance.try_start(now) {
-            events.push(
-                started.completion,
-                Event::Complete {
-                    instance: instance_idx,
-                    request_id: started.request_id,
-                },
-            );
-        }
-        // If requests are still waiting, wake up when the first stage frees.
-        if instance.queue_len() > 0 {
-            let wake = instance.next_admission_time();
-            if wake > now {
-                events.push(wake, Event::Admit(instance_idx));
-            }
-        }
+        Self::pump_admissions(
+            instance,
+            now,
+            events,
+            |request_id| Event::Complete {
+                instance: instance_idx,
+                request_id,
+            },
+            || Event::Admit(instance_idx),
+        );
+    }
+
+    fn admit_local(
+        instance: &mut EngineInstance,
+        now: SimTime,
+        events: &mut EventQueue<InstanceEvent>,
+    ) {
+        Self::pump_admissions(instance, now, events, InstanceEvent::Complete, || {
+            InstanceEvent::Admit
+        });
     }
 
     fn aggregate_cache_stats(&self) -> CacheStats {
@@ -368,6 +533,63 @@ mod tests {
             report_high.mean_latency_secs(),
             report_low.mean_latency_secs()
         );
+    }
+
+    /// Tentpole invariant: the threaded per-instance replay must be *identical* to the
+    /// single-threaded interleaved reference — same records (ids, timings, instances,
+    /// cache hits), same makespan, same aggregated cache statistics.
+    #[test]
+    fn parallel_run_is_identical_to_sequential() {
+        let ds = small_post_rec_dataset();
+        for (kind, qps, seed) in [
+            (EngineKind::prefillonly_default(), 5.0, 1u64),
+            (EngineKind::prefillonly_default(), 50.0, 2),
+            (EngineKind::PrefillOnly { lambda: 0.0 }, 20.0, 3),
+            (EngineKind::PagedAttention, 5.0, 4),
+            (EngineKind::chunked_default(), 30.0, 5),
+        ] {
+            let arrivals = assign_poisson_arrivals(&ds, qps, &mut SimRng::seed_from_u64(seed));
+            let mut parallel = Cluster::new(&config(kind));
+            assert!(
+                parallel.instances().len() > 1,
+                "the determinism check must exercise a replicated deployment"
+            );
+            let mut sequential = Cluster::new(&config(kind));
+            let a = parallel.run(&arrivals, qps).unwrap();
+            let b = sequential.run_sequential(&arrivals, qps).unwrap();
+            assert_eq!(a.records, b.records, "kind {kind:?} qps {qps}");
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.cache, b.cache);
+            assert_eq!(a.engine, b.engine);
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_even_on_unsorted_arrivals() {
+        // The public API takes any &[ArrivalPattern]; routing must follow event time,
+        // not slice position, for the two paths to stay identical.
+        let ds = small_post_rec_dataset();
+        let mut arrivals = assign_poisson_arrivals(&ds, 10.0, &mut SimRng::seed_from_u64(11));
+        arrivals.reverse();
+        let mut parallel = Cluster::new(&config(EngineKind::prefillonly_default()));
+        let mut sequential = Cluster::new(&config(EngineKind::prefillonly_default()));
+        let a = parallel.run(&arrivals, 10.0).unwrap();
+        let b = sequential.run_sequential(&arrivals, 10.0).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.cache, b.cache);
+    }
+
+    #[test]
+    fn single_instance_run_matches_sequential_too() {
+        let ds = small_post_rec_dataset();
+        let arrivals = assign_poisson_arrivals(&ds, 10.0, &mut SimRng::seed_from_u64(9));
+        let mut parallel = Cluster::new(&config(EngineKind::TensorParallel));
+        let mut sequential = Cluster::new(&config(EngineKind::TensorParallel));
+        let a = parallel.run(&arrivals, 10.0).unwrap();
+        let b = sequential.run_sequential(&arrivals, 10.0).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.cache, b.cache);
     }
 
     #[test]

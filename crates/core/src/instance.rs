@@ -6,6 +6,7 @@
 //! them from a discrete-event loop; the instance itself only knows how to enqueue,
 //! start and complete requests against virtual time.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -14,7 +15,8 @@ use simcore::{SimDuration, SimTime};
 
 use executor::{max_input_length, profile_jct_grid, Executor};
 use kvcache::{
-    hash_token_blocks, CacheStats, KvCacheManager, RequestKv, RetentionPolicy, TokenBlockHash,
+    hash_token_blocks, CacheStats, KvCacheManager, ProbeCache, RequestKv, RetentionPolicy,
+    TokenBlockHash,
 };
 use scheduler::{CacheProbe, JctEstimator, SchedulingPolicy, WaitingQueue, WaitingRequest};
 
@@ -60,22 +62,35 @@ pub struct EngineInstance {
     queue: WaitingQueue,
     pending_hashes: HashMap<u64, Arc<Vec<TokenBlockHash>>>,
     pending_requests: HashMap<u64, PrefillRequest>,
+    /// Memoised cache-probe results per waiting request, keyed by the KV manager's
+    /// generation counters.  `RefCell` because the probe is handed to the scheduling
+    /// policy behind an immutable [`CacheProbe`] reference.
+    probe_cache: RefCell<ProbeCache>,
     running: HashMap<u64, RunningRequest>,
     stage_free_at: Vec<SimTime>,
     max_input_length: u64,
     stats: InstanceStats,
 }
 
+/// The engine-side [`CacheProbe`]: answers "how many tokens of this waiting request
+/// currently hit the prefix cache" from the memoised [`ProbeCache`], which degrades to
+/// a hash-chain walk only when the cache contents actually changed (and only from the
+/// previously hit depth when nothing was evicted).
 struct KvCacheProbe<'a> {
     kv: &'a KvCacheManager,
     hashes: &'a HashMap<u64, Arc<Vec<TokenBlockHash>>>,
+    memo: &'a RefCell<ProbeCache>,
 }
 
 impl CacheProbe for KvCacheProbe<'_> {
     fn cached_tokens(&self, request: &WaitingRequest) -> u64 {
         self.hashes
             .get(&request.id)
-            .map(|hashes| self.kv.lookup_cached_tokens_from_hashes(hashes))
+            .map(|hashes| {
+                self.memo
+                    .borrow_mut()
+                    .cached_tokens(self.kv, request.id, hashes)
+            })
             .unwrap_or(0)
     }
 }
@@ -131,6 +146,7 @@ impl EngineInstance {
             queue: WaitingQueue::new(),
             pending_hashes: HashMap::new(),
             pending_requests: HashMap::new(),
+            probe_cache: RefCell::new(ProbeCache::new()),
             running: HashMap::new(),
             stage_free_at: vec![SimTime::ZERO; stages],
             max_input_length: mil,
@@ -201,7 +217,12 @@ impl EngineInstance {
     /// reuses it.
     pub fn enqueue(&mut self, request: PrefillRequest, now: SimTime) {
         let hashes = Arc::new(hash_token_blocks(&request.tokens, self.kv.block_size()));
-        let cached_at_arrival = self.kv.lookup_cached_tokens_from_hashes(&hashes);
+        // The arrival-time probe doubles as the seed of the memoised probe cache, so
+        // the first scheduling step already starts from a known hit depth.
+        let cached_at_arrival = self
+            .probe_cache
+            .borrow_mut()
+            .cached_tokens(&self.kv, request.id, &hashes);
         self.queue.push(WaitingRequest {
             id: request.id,
             arrival: now,
@@ -226,10 +247,12 @@ impl EngineInstance {
                 let probe = KvCacheProbe {
                     kv: &self.kv,
                     hashes: &self.pending_hashes,
+                    memo: &self.probe_cache,
                 };
                 self.policy.select(self.queue.requests(), now, &probe)?
             };
             let waiting = self.queue.remove(selected);
+            self.probe_cache.borrow_mut().forget(waiting.id);
             let hashes = self
                 .pending_hashes
                 .remove(&waiting.id)

@@ -24,6 +24,23 @@
 //! Single-GPU engines are replicated once per GPU and fronted by the user-id router of
 //! §7.1; multi-GPU engines run as one instance spanning both GPUs.
 //!
+//! ## Performance model
+//!
+//! The simulator is sized for production-scale traces (millions of requests, deep
+//! queues), so its three hot paths are kept asymptotically tight.  With `Q` = waiting
+//! requests, `C` = chain length in blocks, `n` = cached blocks and `k` = eviction
+//! batch size:
+//!
+//! | Hot path | Cost | Mechanism |
+//! |---|---|---|
+//! | Scheduling step (Algorithm 1) | O(Q) scoring, O(1) probe per request while the cache is unchanged | [`kvcache::ProbeCache`] memoises each waiting request's hit depth, keyed by the KV manager's generation counters; commits resume the walk from the old depth, only evictions force a full O(C) re-walk |
+//! | KV eviction | O(k log n) per batch | an ordered LRU index (`BTreeSet` over `(last_used, hash)`) maintained on touch/commit/evict replaces the seed's full scan + sort |
+//! | Queue admission | O(1) removal | [`scheduler::WaitingQueue`] is an unordered bag (`swap_remove`); policies order requests themselves |
+//! | Cluster replay | one thread per instance | user-id routing makes instance timelines independent, so [`Cluster::run`] simulates them in parallel and merges records deterministically — byte-identical to [`Cluster::run_sequential`] |
+//!
+//! Medians for these paths are tracked in `BENCH_baseline.json` (regenerate with
+//! `cargo run --release --bin bench_baseline`).
+//!
 //! ## Quick start
 //!
 //! ```

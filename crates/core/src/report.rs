@@ -51,7 +51,8 @@ pub struct RunReport {
     pub engine: String,
     /// Offered load in queries per second.
     pub offered_qps: f64,
-    /// Per-request records, in completion order.
+    /// Per-request records, in completion order (ties broken by request id — the
+    /// canonical order shared by the parallel and sequential replay paths).
     pub records: Vec<RequestRecord>,
     /// Virtual time at which the last request completed.
     pub makespan: SimDuration,

@@ -1,164 +1,193 @@
-//! Property-based tests for the executor's cost and memory model.
-
-use proptest::prelude::*;
+//! Randomized property tests for the executor's cost and memory model.
+//!
+//! The registry-less build cannot use `proptest`, so each property sweeps the full
+//! (model, GPU, strategy) grid with seeded random token counts.
 
 use executor::{max_input_length, Executor, ExecutorConfig, Parallelism, PrefillStrategy};
 use gpu::{GpuKind, LinkKind};
 use model::{llama3_1_8b, qwen2_5_32b_fp8, ModelConfig};
+use simcore::SimRng;
 
-fn strategy_strategy() -> impl Strategy<Value = PrefillStrategy> {
-    prop_oneof![
-        Just(PrefillStrategy::Full),
-        (64u64..2048).prop_map(|chunk_tokens| PrefillStrategy::Chunked { chunk_tokens }),
-        Just(PrefillStrategy::hybrid_default()),
+fn strategies(rng: &mut SimRng) -> Vec<PrefillStrategy> {
+    vec![
+        PrefillStrategy::Full,
+        PrefillStrategy::Chunked {
+            chunk_tokens: rng.gen_range(64u64..2048),
+        },
+        PrefillStrategy::hybrid_default(),
     ]
 }
 
-fn gpu_strategy() -> impl Strategy<Value = GpuKind> {
-    prop_oneof![
-        Just(GpuKind::L4),
-        Just(GpuKind::A100_40G),
-        Just(GpuKind::H100_80G),
-    ]
+fn gpus() -> [GpuKind; 3] {
+    [GpuKind::L4, GpuKind::A100_40G, GpuKind::H100_80G]
 }
 
-fn model_strategy() -> impl Strategy<Value = ModelConfig> {
-    prop_oneof![Just(llama3_1_8b()), Just(qwen2_5_32b_fp8())]
+fn models() -> [ModelConfig; 2] {
+    [llama3_1_8b(), qwen2_5_32b_fp8()]
 }
 
 fn executor(model: ModelConfig, gpu: GpuKind, strategy: PrefillStrategy) -> Executor {
     Executor::new(ExecutorConfig::single_gpu(model, gpu.spec(), strategy))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Forward-pass time is monotone in the number of uncached tokens and strictly
-    /// positive.
-    #[test]
-    fn forward_time_is_monotone_in_new_tokens(
-        model in model_strategy(),
-        gpu in gpu_strategy(),
-        strategy in strategy_strategy(),
-        tokens in 64u64..40_000,
-        extra in 1u64..20_000,
-    ) {
-        let e = executor(model, gpu, strategy);
-        let base = e.forward_time(tokens, 0).total;
-        let more = e.forward_time(tokens + extra, 0).total;
-        prop_assert!(base.as_secs_f64() > 0.0);
-        prop_assert!(more >= base);
-    }
-
-    /// Prefix-cache hits never make a request slower: computing only the uncached part
-    /// is at most as expensive as computing everything.
-    #[test]
-    fn cache_hits_never_slow_a_request_down(
-        model in model_strategy(),
-        gpu in gpu_strategy(),
-        strategy in strategy_strategy(),
-        total in 1_000u64..40_000,
-        cached_fraction in 0.0f64..1.0,
-    ) {
-        let e = executor(model, gpu, strategy);
-        let cached = (total as f64 * cached_fraction) as u64;
-        let cold = e.forward_time(total, 0).total;
-        let warm = e.forward_time(total - cached, cached).total;
-        prop_assert!(warm <= cold);
-    }
-
-    /// Peak activation memory is monotone in the input length.
-    #[test]
-    fn peak_activation_is_monotone(
-        model in model_strategy(),
-        gpu in gpu_strategy(),
-        strategy in strategy_strategy(),
-        tokens in 64u64..60_000,
-        extra in 1u64..20_000,
-    ) {
-        let e = executor(model, gpu, strategy);
-        prop_assert!(e.peak_activation_bytes(tokens + extra) >= e.peak_activation_bytes(tokens));
-    }
-
-    /// `fits` is downward closed: if a long request fits, every shorter one fits too,
-    /// and the MIL returned by the binary search is consistent with `fits`.
-    #[test]
-    fn fits_is_downward_closed_and_mil_consistent(
-        model in model_strategy(),
-        gpu in gpu_strategy(),
-        strategy in strategy_strategy(),
-    ) {
-        let e = executor(model, gpu, strategy);
-        let mil = max_input_length(&e, 1_000);
-        if mil > 0 {
-            prop_assert!(e.fits(mil));
-            prop_assert!(e.fits(mil / 2 + 1));
-            prop_assert!(!e.fits(mil + 1_000));
-        } else {
-            prop_assert!(!e.fits(1_000));
+/// Forward-pass time is monotone in the number of uncached tokens and strictly
+/// positive.
+#[test]
+fn forward_time_is_monotone_in_new_tokens() {
+    let mut rng = SimRng::seed_from_u64(1);
+    for model in models() {
+        for gpu in gpus() {
+            for strategy in strategies(&mut rng) {
+                let e = executor(model.clone(), gpu, strategy);
+                for _ in 0..4 {
+                    let tokens = rng.gen_range(64u64..40_000);
+                    let extra = rng.gen_range(1u64..20_000);
+                    let base = e.forward_time(tokens, 0).total;
+                    let more = e.forward_time(tokens + extra, 0).total;
+                    assert!(base.as_secs_f64() > 0.0);
+                    assert!(more >= base);
+                }
+            }
         }
     }
+}
 
-    /// The hybrid executor never needs resident KV, the others always do.
-    #[test]
-    fn kv_residency_matches_strategy(
-        model in model_strategy(),
-        gpu in gpu_strategy(),
-        strategy in strategy_strategy(),
-        tokens in 1u64..50_000,
-    ) {
-        let e = executor(model, gpu, strategy);
-        let resident = e.kv_resident_bytes_per_gpu(tokens);
-        if strategy.requires_full_kv_residency() {
-            prop_assert!(resident > 0);
-        } else {
-            prop_assert_eq!(resident, 0);
+/// Prefix-cache hits never make a request slower: computing only the uncached part is
+/// at most as expensive as computing everything.
+#[test]
+fn cache_hits_never_slow_a_request_down() {
+    let mut rng = SimRng::seed_from_u64(2);
+    for model in models() {
+        for gpu in gpus() {
+            for strategy in strategies(&mut rng) {
+                let e = executor(model.clone(), gpu, strategy);
+                for _ in 0..4 {
+                    let total = rng.gen_range(1_000u64..40_000);
+                    let cached = (total as f64 * rng.gen_unit()) as u64;
+                    let cold = e.forward_time(total, 0).total;
+                    let warm = e.forward_time(total - cached, cached).total;
+                    assert!(warm <= cold);
+                }
+            }
         }
     }
+}
 
-    /// Tensor parallelism always adds communication time, and NVLink strictly reduces
-    /// it compared with PCIe for the same work.
-    #[test]
-    fn tensor_parallel_communication_ordering(
-        model in model_strategy(),
-        tokens in 1_000u64..30_000,
-    ) {
-        let build = |link| Executor::new(ExecutorConfig {
-            model: model.clone(),
-            gpu: GpuKind::H100_80G.spec(),
-            link,
-            parallelism: Parallelism::TensorParallel { degree: 2 },
-            strategy: PrefillStrategy::Full,
-            memory_utilization: 0.9,
-        });
-        let pcie = build(LinkKind::PcieGen5).forward_time(tokens, 0);
-        let nvlink = build(LinkKind::NvLink4).forward_time(tokens, 0);
-        prop_assert!(pcie.communication.as_secs_f64() > 0.0);
-        prop_assert!(nvlink.communication < pcie.communication);
-        prop_assert!(nvlink.total <= pcie.total);
+/// Peak activation memory is monotone in the input length.
+#[test]
+fn peak_activation_is_monotone() {
+    let mut rng = SimRng::seed_from_u64(3);
+    for model in models() {
+        for gpu in gpus() {
+            for strategy in strategies(&mut rng) {
+                let e = executor(model.clone(), gpu, strategy);
+                for _ in 0..4 {
+                    let tokens = rng.gen_range(64u64..60_000);
+                    let extra = rng.gen_range(1u64..20_000);
+                    assert!(
+                        e.peak_activation_bytes(tokens + extra) >= e.peak_activation_bytes(tokens)
+                    );
+                }
+            }
+        }
     }
+}
 
-    /// Pipeline stage times always sum to the total and the bottleneck stage is at
-    /// least the mean stage time.
-    #[test]
-    fn pipeline_stage_decomposition(
-        model in model_strategy(),
-        tokens in 1_000u64..30_000,
-        stages in 2u32..4,
-    ) {
-        let e = Executor::new(ExecutorConfig {
-            model,
-            gpu: GpuKind::H100_80G.spec(),
-            link: LinkKind::PcieGen5,
-            parallelism: Parallelism::PipelineParallel { stages },
-            strategy: PrefillStrategy::Full,
-            memory_utilization: 0.9,
-        });
-        let breakdown = e.forward_time(tokens, 0);
-        prop_assert_eq!(breakdown.stage_times.len(), stages as usize);
-        let sum: f64 = breakdown.stage_times.iter().map(|d| d.as_secs_f64()).sum();
-        prop_assert!((sum - breakdown.total.as_secs_f64()).abs() < 1e-6);
-        let mean = sum / stages as f64;
-        prop_assert!(breakdown.bottleneck_stage().as_secs_f64() >= mean - 1e-9);
+/// `fits` is downward closed: if a long request fits, every shorter one fits too, and
+/// the MIL returned by the binary search is consistent with `fits`.
+#[test]
+fn fits_is_downward_closed_and_mil_consistent() {
+    let mut rng = SimRng::seed_from_u64(4);
+    for model in models() {
+        for gpu in gpus() {
+            for strategy in strategies(&mut rng) {
+                let e = executor(model.clone(), gpu, strategy);
+                let mil = max_input_length(&e, 1_000);
+                if mil > 0 {
+                    assert!(e.fits(mil));
+                    assert!(e.fits(mil / 2 + 1));
+                    assert!(!e.fits(mil + 1_000));
+                } else {
+                    assert!(!e.fits(1_000));
+                }
+            }
+        }
+    }
+}
+
+/// The hybrid executor never needs resident KV, the others always do.
+#[test]
+fn kv_residency_matches_strategy() {
+    let mut rng = SimRng::seed_from_u64(5);
+    for model in models() {
+        for gpu in gpus() {
+            for strategy in strategies(&mut rng) {
+                let e = executor(model.clone(), gpu, strategy);
+                for _ in 0..4 {
+                    let tokens = rng.gen_range(1u64..50_000);
+                    let resident = e.kv_resident_bytes_per_gpu(tokens);
+                    if strategy.requires_full_kv_residency() {
+                        assert!(resident > 0);
+                    } else {
+                        assert_eq!(resident, 0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tensor parallelism always adds communication time, and NVLink strictly reduces it
+/// compared with PCIe for the same work.
+#[test]
+fn tensor_parallel_communication_ordering() {
+    let mut rng = SimRng::seed_from_u64(6);
+    for model in models() {
+        for _ in 0..8 {
+            let tokens = rng.gen_range(1_000u64..30_000);
+            let build = |link| {
+                Executor::new(ExecutorConfig {
+                    model: model.clone(),
+                    gpu: GpuKind::H100_80G.spec(),
+                    link,
+                    parallelism: Parallelism::TensorParallel { degree: 2 },
+                    strategy: PrefillStrategy::Full,
+                    memory_utilization: 0.9,
+                })
+            };
+            let pcie = build(LinkKind::PcieGen5).forward_time(tokens, 0);
+            let nvlink = build(LinkKind::NvLink4).forward_time(tokens, 0);
+            assert!(pcie.communication.as_secs_f64() > 0.0);
+            assert!(nvlink.communication < pcie.communication);
+            assert!(nvlink.total <= pcie.total);
+        }
+    }
+}
+
+/// Pipeline stage times always sum to the total and the bottleneck stage is at least
+/// the mean stage time.
+#[test]
+fn pipeline_stage_decomposition() {
+    let mut rng = SimRng::seed_from_u64(7);
+    for model in models() {
+        for stages in 2u32..4 {
+            for _ in 0..4 {
+                let tokens = rng.gen_range(1_000u64..30_000);
+                let e = Executor::new(ExecutorConfig {
+                    model: model.clone(),
+                    gpu: GpuKind::H100_80G.spec(),
+                    link: LinkKind::PcieGen5,
+                    parallelism: Parallelism::PipelineParallel { stages },
+                    strategy: PrefillStrategy::Full,
+                    memory_utilization: 0.9,
+                });
+                let breakdown = e.forward_time(tokens, 0);
+                assert_eq!(breakdown.stage_times.len(), stages as usize);
+                let sum: f64 = breakdown.stage_times.iter().map(|d| d.as_secs_f64()).sum();
+                assert!((sum - breakdown.total.as_secs_f64()).abs() < 1e-6);
+                let mean = sum / stages as f64;
+                assert!(breakdown.bottleneck_stage().as_secs_f64() >= mean - 1e-9);
+            }
+        }
     }
 }

@@ -23,8 +23,10 @@ mod block;
 mod hash;
 mod manager;
 mod offload;
+mod probe;
 
 pub use block::{BlockId, BlockPool};
 pub use hash::{hash_token_blocks, TokenBlockHash};
 pub use manager::{CacheStats, KvCacheManager, KvError, RequestKv, RetentionPolicy};
 pub use offload::{CpuKvPool, OffloadStats};
+pub use probe::ProbeCache;

@@ -1,6 +1,14 @@
 //! The KV-cache manager: prefix caching, LRU eviction and suffix discarding.
+//!
+//! Eviction is driven by an ordered LRU index (a `BTreeSet` over `(last_used, hash)`)
+//! that is kept in sync with the prefix-cache map on every touch / commit / evict, so
+//! evicting a batch of `k` victims costs O(k log n) instead of the full O(n log n)
+//! scan + sort of the naive implementation.  The manager also exposes a monotonically
+//! increasing [`KvCacheManager::generation`] that changes exactly when the *contents*
+//! of the prefix cache change (a block is inserted or removed); schedulers use it to
+//! skip re-probing hash chains when nothing changed between scheduling steps.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
@@ -134,6 +142,17 @@ pub struct KvCacheManager {
     block_size: usize,
     pool: BlockPool,
     cached: HashMap<TokenBlockHash, CachedEntry>,
+    /// Eviction order over the *unreferenced* cached blocks.
+    ///
+    /// Invariant: `(entry.last_used, hash)` is in this set iff `hash` is in `cached`
+    /// and the entry's block has a reference count of zero.  The `(SimTime,
+    /// TokenBlockHash)` ordering reproduces exactly the victim order of the original
+    /// scan + sort implementation (oldest first, hash as the tie-break).
+    lru: BTreeSet<(SimTime, TokenBlockHash)>,
+    /// Bumped whenever a block is inserted into the prefix cache.
+    commit_generation: u64,
+    /// Bumped whenever a block is removed from the prefix cache.
+    evict_generation: u64,
     stats: CacheStats,
 }
 
@@ -149,6 +168,9 @@ impl KvCacheManager {
             block_size,
             pool: BlockPool::new(capacity_blocks),
             cached: HashMap::new(),
+            lru: BTreeSet::new(),
+            commit_generation: 0,
+            evict_generation: 0,
             stats: CacheStats::default(),
         }
     }
@@ -178,6 +200,28 @@ impl KvCacheManager {
         self.stats
     }
 
+    /// Monotonically increasing counter that changes exactly when the prefix-cache
+    /// *contents* change: it is bumped once per block inserted at commit time and once
+    /// per block evicted or cleared.
+    ///
+    /// Two calls returning the same value guarantee that every
+    /// [`Self::lookup_cached_tokens_from_hashes`] answer in between is still valid, so
+    /// schedulers running continuous JCT calibration can reuse their previous probe
+    /// results unchanged.
+    pub fn generation(&self) -> u64 {
+        self.commit_generation + self.evict_generation
+    }
+
+    /// The eviction half of [`Self::generation`]: bumped only when a block *leaves* the
+    /// prefix cache.
+    ///
+    /// While this value is unchanged, cached prefixes can only grow, so a hash-chain
+    /// walk may resume from its previously hit depth instead of restarting from block
+    /// zero.
+    pub fn evict_generation(&self) -> u64 {
+        self.evict_generation
+    }
+
     /// Returns how many leading tokens of `tokens` would hit the prefix cache right
     /// now, without allocating anything.  This is the `n_cached` input of the
     /// continuous JCT calibration (Algorithm 1, line 7).
@@ -190,15 +234,48 @@ impl KvCacheManager {
     /// chain.  The engine hashes each request once at arrival and re-probes cheaply at
     /// every scheduling step.
     pub fn lookup_cached_tokens_from_hashes(&self, hashes: &[TokenBlockHash]) -> u64 {
-        let mut hits = 0u64;
-        for hash in hashes {
+        self.lookup_cached_blocks_from_hashes(hashes) as u64 * self.block_size as u64
+    }
+
+    /// Number of leading blocks of `hashes` that currently hit the prefix cache.
+    pub fn lookup_cached_blocks_from_hashes(&self, hashes: &[TokenBlockHash]) -> usize {
+        self.walk_hash_chain(hashes, 0)
+    }
+
+    /// Resumes a hash-chain walk from a previously measured hit depth.
+    ///
+    /// Sound only while [`Self::evict_generation`] is unchanged since `prev_hit_blocks`
+    /// was measured: with no evictions in between, the previously hit prefix is still
+    /// resident, so the walk can skip straight to block `prev_hit_blocks` instead of
+    /// re-verifying the prefix.  This is what makes continuous JCT calibration
+    /// (Algorithm 1) cheap at high queue depth — each scheduling step pays O(new hits)
+    /// per waiting request instead of O(chain length).
+    pub fn resume_cached_blocks_from_hashes(
+        &self,
+        hashes: &[TokenBlockHash],
+        prev_hit_blocks: usize,
+    ) -> usize {
+        debug_assert!(prev_hit_blocks <= hashes.len());
+        debug_assert!(
+            hashes
+                .iter()
+                .take(prev_hit_blocks)
+                .all(|h| self.cached.contains_key(h)),
+            "resume depth is stale: an eviction invalidated the previous walk"
+        );
+        self.walk_hash_chain(hashes, prev_hit_blocks)
+    }
+
+    fn walk_hash_chain(&self, hashes: &[TokenBlockHash], start: usize) -> usize {
+        let mut hits = start;
+        for hash in &hashes[start..] {
             if self.cached.contains_key(hash) {
                 hits += 1;
             } else {
                 break;
             }
         }
-        hits * self.block_size as u64
+        hits
     }
 
     /// Allocates KV residency for a request.
@@ -239,11 +316,16 @@ impl KvCacheManager {
         self.stats.allocations += 1;
         let has_partial = !total_tokens.is_multiple_of(self.block_size as u64);
 
-        // Phase 1: reuse cached prefix blocks.
+        // Phase 1: reuse cached prefix blocks.  Touching a block both refreshes its
+        // recency and pins it: an unreferenced block leaves the LRU index here and
+        // re-enters it (at its new timestamp) when the request commits or is released.
         let mut reused = Vec::new();
         for hash in hashes {
             match self.cached.get_mut(hash) {
                 Some(entry) => {
+                    if self.pool.ref_count(entry.block) == Some(0) {
+                        self.lru.remove(&(entry.last_used, *hash));
+                    }
                     entry.last_used = now;
                     self.pool.add_ref(entry.block);
                     reused.push((*hash, entry.block));
@@ -261,9 +343,12 @@ impl KvCacheManager {
         if policy == RetentionPolicy::FullResidency {
             let available = self.pool.free_blocks() + self.evictable_blocks();
             if needed > available {
-                // Roll back the references taken in phase 1.
-                for (_, block) in &reused {
-                    self.pool.dec_ref(*block);
+                // Roll back the references taken in phase 1 (the refreshed timestamps
+                // stay, so the touched prefix re-enters the LRU index as most recent).
+                for (hash, block) in &reused {
+                    if self.pool.dec_ref(*block) == 0 {
+                        self.lru.insert((now, *hash));
+                    }
                 }
                 self.stats.failed_allocations += 1;
                 return Err(KvError {
@@ -322,9 +407,12 @@ impl KvCacheManager {
     /// partial block is freed, and reused blocks drop back to being cached-only.
     pub fn commit(&mut self, request: RequestKv, now: SimTime) {
         for (hash, block) in request.reused {
-            self.pool.dec_ref(block);
+            let remaining = self.pool.dec_ref(block);
             if let Some(entry) = self.cached.get_mut(&hash) {
                 entry.last_used = now;
+                if remaining == 0 {
+                    self.lru.insert((now, hash));
+                }
             }
         }
         for (hash, block) in request.new_full {
@@ -334,7 +422,9 @@ impl KvCacheManager {
                         block,
                         last_used: now,
                     });
+                    self.lru.insert((now, hash));
                     self.stats.committed_blocks += 1;
+                    self.commit_generation += 1;
                 } else {
                     // A concurrent identical prefix already cached this content; drop
                     // the duplicate block.
@@ -351,8 +441,12 @@ impl KvCacheManager {
 
     /// Abandons a request without caching anything (e.g. the request failed).
     pub fn release_uncommitted(&mut self, request: RequestKv) {
-        for (_, block) in request.reused {
-            self.pool.dec_ref(block);
+        for (hash, block) in request.reused {
+            if self.pool.dec_ref(block) == 0 {
+                if let Some(entry) = self.cached.get(&hash) {
+                    self.lru.insert((entry.last_used, hash));
+                }
+            }
         }
         for (_, block) in request
             .new_full
@@ -367,47 +461,50 @@ impl KvCacheManager {
 
     /// Drops every unreferenced cached block (used by tests and profile runs).
     pub fn clear_cache(&mut self) {
-        let hashes: Vec<TokenBlockHash> = self
-            .cached
-            .iter()
-            .filter(|(_, e)| self.pool.ref_count(e.block) == Some(0))
-            .map(|(h, _)| *h)
-            .collect();
-        for hash in hashes {
-            let entry = self.cached.remove(&hash).expect("hash collected above");
+        while let Some((_, hash)) = self.lru.pop_first() {
+            let entry = self.cached.remove(&hash).expect("LRU entries are cached");
             self.pool.release(entry.block);
             self.stats.evicted_blocks += 1;
+            self.evict_generation += 1;
         }
     }
 
+    /// Blocks that could be evicted right now.  O(1): the LRU index holds exactly the
+    /// unreferenced cached blocks.
     fn evictable_blocks(&self) -> u64 {
-        self.cached
-            .values()
-            .filter(|e| self.pool.ref_count(e.block) == Some(0))
-            .count() as u64
+        self.lru.len() as u64
     }
 
-    /// Evicts up to `count` least-recently-used unreferenced cached blocks in one pass.
-    /// Returns how many blocks were actually evicted.
+    /// Evicts up to `count` least-recently-used unreferenced cached blocks.  Returns
+    /// how many blocks were actually evicted.
+    ///
+    /// O(k log n) for `k` victims over `n` evictable blocks — the LRU index already
+    /// holds the eviction order, so no scan or sort over the cache is needed.
     fn evict_lru_batch(&mut self, count: u64) -> u64 {
-        if count == 0 {
-            return 0;
+        let mut evicted = 0u64;
+        while evicted < count {
+            let Some((_, hash)) = self.lru.pop_first() else {
+                break;
+            };
+            let entry = self.cached.remove(&hash).expect("LRU entries are cached");
+            self.pool.release(entry.block);
+            self.stats.evicted_blocks += 1;
+            self.evict_generation += 1;
+            evicted += 1;
         }
-        let mut victims: Vec<(SimTime, TokenBlockHash)> = self
+        evicted
+    }
+
+    /// Debug-only structural check of the LRU index invariant.
+    #[cfg(test)]
+    fn assert_lru_invariant(&self) {
+        let evictable: BTreeSet<(SimTime, TokenBlockHash)> = self
             .cached
             .iter()
             .filter(|(_, e)| self.pool.ref_count(e.block) == Some(0))
             .map(|(h, e)| (e.last_used, *h))
             .collect();
-        victims.sort_unstable();
-        let mut evicted = 0u64;
-        for (_, hash) in victims.into_iter().take(count as usize) {
-            let entry = self.cached.remove(&hash).expect("victim exists");
-            self.pool.release(entry.block);
-            self.stats.evicted_blocks += 1;
-            evicted += 1;
-        }
-        evicted
+        assert_eq!(evictable, self.lru, "LRU index out of sync with the cache");
     }
 }
 
@@ -589,6 +686,138 @@ mod tests {
         m.clear_cache();
         assert_eq!(m.cached_blocks(), 0);
         assert_eq!(m.free_blocks(), 16);
+    }
+
+    #[test]
+    fn generation_tracks_cache_content_changes() {
+        let mut m = KvCacheManager::new(8, 16);
+        assert_eq!(m.generation(), 0);
+
+        // A pure lookup changes nothing.
+        m.lookup_cached_tokens(&tokens(0, 64));
+        assert_eq!(m.generation(), 0);
+
+        // Committing 4 blocks bumps the generation 4 times, none of them evictions.
+        let a = m
+            .allocate(
+                &tokens(0, 64),
+                SimTime::ZERO,
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(a, SimTime::ZERO);
+        assert_eq!(m.generation(), 4);
+        assert_eq!(m.evict_generation(), 0);
+
+        // A warm re-allocation of the same prefix commits nothing new: the cache
+        // contents — and therefore the generation — are unchanged.
+        let again = m
+            .allocate(
+                &tokens(0, 64),
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(again, SimTime::from_secs(1));
+        assert_eq!(m.generation(), 4);
+
+        // Filling the pool with a second request and then forcing eviction bumps the
+        // eviction generation.
+        let b = m
+            .allocate(
+                &tokens(5_000, 64),
+                SimTime::from_secs(2),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(b, SimTime::from_secs(2));
+        let c = m
+            .allocate(
+                &tokens(9_000, 64),
+                SimTime::from_secs(3),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(c, SimTime::from_secs(3));
+        assert_eq!(m.evict_generation(), 4, "4 blocks evicted to fit C");
+        assert_eq!(m.stats().evicted_blocks, 4);
+        m.assert_lru_invariant();
+    }
+
+    #[test]
+    fn resume_walk_matches_full_walk_while_no_evictions() {
+        let mut m = KvCacheManager::new(64, 16);
+        let prefix = tokens(0, 64);
+        let mut chain = prefix.clone();
+        chain.extend(tokens(10_000, 64));
+        let hashes = kvcache_hashes(&chain, 16);
+
+        // Nothing cached: both walks agree at depth 0.
+        assert_eq!(m.lookup_cached_blocks_from_hashes(&hashes), 0);
+        assert_eq!(m.resume_cached_blocks_from_hashes(&hashes, 0), 0);
+
+        // Cache the 4-block prefix; a resumed walk from the old depth finds them.
+        let a = m
+            .allocate(&prefix, SimTime::ZERO, RetentionPolicy::FullResidency)
+            .unwrap();
+        m.commit(a, SimTime::ZERO);
+        let full = m.lookup_cached_blocks_from_hashes(&hashes);
+        assert_eq!(full, 4);
+        assert_eq!(m.resume_cached_blocks_from_hashes(&hashes, 0), full);
+
+        // Cache the whole chain; resuming from depth 4 walks only the new blocks.
+        let b = m
+            .allocate(
+                &chain,
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(b, SimTime::from_secs(1));
+        assert_eq!(m.resume_cached_blocks_from_hashes(&hashes, full), 8);
+        m.assert_lru_invariant();
+    }
+
+    #[test]
+    fn lru_index_stays_in_sync_through_rollback_and_release() {
+        let mut m = KvCacheManager::new(6, 16);
+        let a = m
+            .allocate(
+                &tokens(0, 64),
+                SimTime::ZERO,
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(a, SimTime::ZERO);
+        m.assert_lru_invariant();
+
+        // Touch the cached prefix, then fail the allocation: the rollback must return
+        // the touched blocks to the LRU index.
+        let err = m
+            .allocate(
+                &tokens(0, 64 + 16 * 3),
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap_err();
+        assert!(err.needed_blocks > err.available_blocks);
+        m.assert_lru_invariant();
+
+        // Touch the cached prefix, then abandon the request: same story.
+        let c = m
+            .allocate(
+                &tokens(0, 80),
+                SimTime::from_secs(2),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.release_uncommitted(c);
+        m.assert_lru_invariant();
+        assert_eq!(m.cached_blocks(), 4);
+    }
+
+    fn kvcache_hashes(tokens: &[u32], block_size: usize) -> Vec<TokenBlockHash> {
+        crate::hash::hash_token_blocks(tokens, block_size)
     }
 
     #[test]

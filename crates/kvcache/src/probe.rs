@@ -1,0 +1,236 @@
+//! Incremental cache probing for continuous JCT calibration.
+//!
+//! Algorithm 1 of the paper re-estimates the JCT of *every* waiting request at *every*
+//! scheduling step, which requires knowing how many of each request's blocks currently
+//! hit the prefix cache.  A naive implementation walks each request's full hash chain
+//! per step — O(queue depth × chain length) per scheduling decision, the dominant cost
+//! at high queue depth.
+//!
+//! [`ProbeCache`] memoises the last probe result per request, keyed by the manager's
+//! [`generation`](crate::KvCacheManager::generation) counters:
+//!
+//! * cache contents unchanged since the last probe → return the memoised count, O(1);
+//! * only *commits* since the last probe → cached prefixes can only have grown, so the
+//!   walk resumes from the previously hit depth and pays only for *new* hits;
+//! * at least one *eviction* since the last probe → the previous prefix may be gone;
+//!   fall back to a full re-walk.
+//!
+//! Between consecutive scheduling steps the cache contents usually have not changed at
+//! all (nothing committed, nothing evicted), so the common case is the O(1) path.
+
+use std::collections::HashMap;
+
+use crate::hash::TokenBlockHash;
+use crate::manager::KvCacheManager;
+
+#[derive(Debug, Clone, Copy)]
+struct ProbeEntry {
+    /// `KvCacheManager::generation()` at the time of the walk.
+    generation: u64,
+    /// `KvCacheManager::evict_generation()` at the time of the walk.
+    evict_generation: u64,
+    /// Blocks of the chain that hit the cache at that point.
+    hit_blocks: usize,
+}
+
+/// Memoised per-request cache-probe results (see the module docs).
+///
+/// # Contract
+///
+/// One `ProbeCache` serves **one** [`KvCacheManager`]: the memoised entries are keyed
+/// by that manager's generation counters, which have no meaning across managers.
+/// Querying a different manager (or a diverged clone) that happens to share a
+/// generation value returns stale counts — create a fresh `ProbeCache` per manager.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeCache {
+    entries: HashMap<u64, ProbeEntry>,
+}
+
+impl ProbeCache {
+    /// Creates an empty probe cache.
+    pub fn new() -> ProbeCache {
+        ProbeCache::default()
+    }
+
+    /// Returns how many leading blocks of `hashes` currently hit `kv`'s prefix cache,
+    /// reusing the memoised result for `request_id` where the generation counters
+    /// prove it is still valid.
+    ///
+    /// Always returns exactly what
+    /// [`KvCacheManager::lookup_cached_blocks_from_hashes`] would.
+    pub fn cached_blocks(
+        &mut self,
+        kv: &KvCacheManager,
+        request_id: u64,
+        hashes: &[TokenBlockHash],
+    ) -> usize {
+        let generation = kv.generation();
+        let evict_generation = kv.evict_generation();
+        match self.entries.get_mut(&request_id) {
+            Some(entry) if entry.generation == generation => entry.hit_blocks,
+            Some(entry) if entry.evict_generation == evict_generation => {
+                // Commits only: the previously hit prefix is still resident.
+                entry.hit_blocks = kv.resume_cached_blocks_from_hashes(hashes, entry.hit_blocks);
+                entry.generation = generation;
+                entry.hit_blocks
+            }
+            _ => {
+                let hit_blocks = kv.lookup_cached_blocks_from_hashes(hashes);
+                self.entries.insert(
+                    request_id,
+                    ProbeEntry {
+                        generation,
+                        evict_generation,
+                        hit_blocks,
+                    },
+                );
+                hit_blocks
+            }
+        }
+    }
+
+    /// Same as [`Self::cached_blocks`], in tokens.
+    pub fn cached_tokens(
+        &mut self,
+        kv: &KvCacheManager,
+        request_id: u64,
+        hashes: &[TokenBlockHash],
+    ) -> u64 {
+        self.cached_blocks(kv, request_id, hashes) as u64 * kv.block_size() as u64
+    }
+
+    /// Drops the memoised result for a request that left the queue.
+    pub fn forget(&mut self, request_id: u64) {
+        self.entries.remove(&request_id);
+    }
+
+    /// Number of memoised requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_token_blocks;
+    use crate::manager::RetentionPolicy;
+    use simcore::{SimRng, SimTime};
+
+    const BLOCK_SIZE: usize = 16;
+
+    fn tokens(start: u32, len: usize) -> Vec<u32> {
+        (start..start + len as u32).collect()
+    }
+
+    #[test]
+    fn probe_is_transparent_across_commits_and_evictions() {
+        let mut kv = KvCacheManager::new(8, BLOCK_SIZE);
+        let mut probe = ProbeCache::new();
+        let chain_a = tokens(0, 64);
+        let chain_b = tokens(5_000, 64);
+        let hashes_a = hash_token_blocks(&chain_a, BLOCK_SIZE);
+        let hashes_b = hash_token_blocks(&chain_b, BLOCK_SIZE);
+
+        // Cold: no hits, result memoised.
+        assert_eq!(probe.cached_blocks(&kv, 1, &hashes_a), 0);
+        assert_eq!(probe.cached_blocks(&kv, 1, &hashes_a), 0);
+
+        // Commit A: the probe must see the new hits (commit-only resume path).
+        let a = kv
+            .allocate(&chain_a, SimTime::ZERO, RetentionPolicy::FullResidency)
+            .unwrap();
+        kv.commit(a, SimTime::ZERO);
+        assert_eq!(probe.cached_blocks(&kv, 1, &hashes_a), 4);
+
+        // Commit B, evicting A: the probe must notice the eviction (full re-walk).
+        let b = kv
+            .allocate(
+                &chain_b,
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        kv.commit(b, SimTime::from_secs(1));
+        let c = kv
+            .allocate(
+                &tokens(9_000, 64),
+                SimTime::from_secs(2),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        assert!(
+            kv.stats().evicted_blocks > 0,
+            "pool pressure forced eviction"
+        );
+        kv.release_uncommitted(c);
+        assert_eq!(
+            probe.cached_blocks(&kv, 1, &hashes_a),
+            kv.lookup_cached_blocks_from_hashes(&hashes_a)
+        );
+        assert_eq!(
+            probe.cached_blocks(&kv, 2, &hashes_b),
+            kv.lookup_cached_blocks_from_hashes(&hashes_b)
+        );
+    }
+
+    /// Model check: under random interleavings of allocate/commit/release and probes,
+    /// the memoising probe always agrees with a fresh full walk.
+    #[test]
+    fn probe_always_matches_full_walk() {
+        for seed in 0..48u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let capacity = rng.gen_range(8u64..64);
+            let mut kv = KvCacheManager::new(capacity, BLOCK_SIZE);
+            let mut probe = ProbeCache::new();
+            // A small universe of chains sharing per-user prefixes.
+            let chains: Vec<Vec<TokenBlockHash>> = (0..6u32)
+                .map(|user| {
+                    let mut toks = tokens(user / 2 * 100_000, 16 * ((user as usize % 3) + 2));
+                    toks.extend(tokens(900_000 + user * 10_000, 48));
+                    hash_token_blocks(&toks, BLOCK_SIZE)
+                })
+                .collect();
+
+            for step in 0..200 {
+                let now = SimTime::from_millis(step);
+                let idx = rng.gen_range(0usize..chains.len());
+                match rng.gen_range(0u32..3) {
+                    0 => {
+                        // Probe a random chain and cross-check against the full walk.
+                        let got = probe.cached_blocks(&kv, idx as u64, &chains[idx]);
+                        let want = kv.lookup_cached_blocks_from_hashes(&chains[idx]);
+                        assert_eq!(got, want, "seed {seed} step {step}");
+                    }
+                    1 => {
+                        let total = chains[idx].len() as u64 * BLOCK_SIZE as u64;
+                        if let Ok(alloc) = kv.allocate_from_hashes(
+                            &chains[idx],
+                            total,
+                            now,
+                            RetentionPolicy::PrefixBestEffort,
+                        ) {
+                            kv.commit(alloc, now);
+                        }
+                    }
+                    _ => {
+                        let total = chains[idx].len() as u64 * BLOCK_SIZE as u64;
+                        if let Ok(alloc) = kv.allocate_from_hashes(
+                            &chains[idx],
+                            total,
+                            now,
+                            RetentionPolicy::FullResidency,
+                        ) {
+                            kv.release_uncommitted(alloc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

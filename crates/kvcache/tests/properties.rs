@@ -1,9 +1,17 @@
-//! Property-based tests for the KV-cache manager.
+//! Randomized property tests for the KV-cache manager.
+//!
+//! The registry-less build cannot use `proptest`, so each property runs over a seeded
+//! sweep of randomly generated request mixes.  The heavyweight property here is
+//! [`shadow_model_agreement`]: an executable specification of the manager that selects
+//! eviction victims with the seed implementation's full scan + sort is replayed against
+//! every operation, proving that the O(log n) LRU index always evicts exactly the same
+//! victims as the original O(n log n) implementation.
 
-use proptest::prelude::*;
-use simcore::SimTime;
+use std::collections::HashMap;
 
-use kvcache::{hash_token_blocks, KvCacheManager, RetentionPolicy};
+use simcore::{SimRng, SimTime};
+
+use kvcache::{hash_token_blocks, KvCacheManager, RetentionPolicy, TokenBlockHash};
 
 const BLOCK_SIZE: usize = 16;
 
@@ -24,112 +32,284 @@ fn request_tokens(spec: &RequestSpec, serial: u32) -> Vec<u32> {
     tokens
 }
 
-fn request_strategy() -> impl Strategy<Value = RequestSpec> {
-    (0u8..4, 16u16..512, 0u16..128).prop_map(|(user, prefix_tokens, suffix_tokens)| RequestSpec {
-        user,
-        prefix_tokens,
-        suffix_tokens,
-    })
+fn random_spec(rng: &mut SimRng) -> RequestSpec {
+    RequestSpec {
+        user: rng.gen_range(0u8..4),
+        prefix_tokens: rng.gen_range(16u16..512),
+        suffix_tokens: rng.gen_range(0u16..128),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No matter the request mix, the pool never over-allocates, cached tokens never
-    /// exceed request length, and statistics stay consistent.
-    #[test]
-    fn pool_accounting_invariants(
-        specs in prop::collection::vec(request_strategy(), 1..40),
-        capacity_blocks in 8u64..256,
-        policy_is_best_effort in any::<bool>(),
-    ) {
-        let policy = if policy_is_best_effort {
+/// No matter the request mix, the pool never over-allocates, cached tokens never exceed
+/// request length, and statistics stay consistent.
+#[test]
+fn pool_accounting_invariants() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let capacity_blocks = rng.gen_range(8u64..256);
+        let policy = if rng.gen_range(0u32..2) == 0 {
             RetentionPolicy::PrefixBestEffort
         } else {
             RetentionPolicy::FullResidency
         };
+        let num_specs = rng.gen_range(1usize..40);
+        let specs: Vec<RequestSpec> = (0..num_specs).map(|_| random_spec(&mut rng)).collect();
+
         let mut manager = KvCacheManager::new(capacity_blocks, BLOCK_SIZE);
+        let mut offered_tokens = 0u64;
         for (serial, spec) in specs.iter().enumerate() {
             let tokens = request_tokens(spec, serial as u32);
             let now = SimTime::from_millis(serial as u64 * 10);
             match manager.allocate(&tokens, now, policy) {
                 Ok(alloc) => {
-                    prop_assert!(alloc.cached_tokens() <= alloc.total_tokens());
-                    prop_assert!(alloc.resident_tokens() <= alloc.total_tokens());
-                    prop_assert!(alloc.resident_blocks() <= capacity_blocks);
-                    prop_assert_eq!(
+                    offered_tokens += alloc.total_tokens();
+                    assert!(alloc.cached_tokens() <= alloc.total_tokens());
+                    assert!(alloc.resident_tokens() <= alloc.total_tokens());
+                    assert!(alloc.resident_blocks() <= capacity_blocks);
+                    assert_eq!(
                         alloc.total_tokens(),
                         alloc.resident_tokens() + alloc.discarded_tokens()
                     );
                     if policy == RetentionPolicy::FullResidency {
-                        prop_assert_eq!(alloc.discarded_tokens(), 0);
+                        assert_eq!(alloc.discarded_tokens(), 0);
                     }
                     manager.commit(alloc, now);
                 }
                 Err(err) => {
                     // Only full residency may fail, and only when the request really
                     // does not fit next to the currently referenced blocks.
-                    prop_assert_eq!(policy, RetentionPolicy::FullResidency);
-                    prop_assert!(err.needed_blocks > err.available_blocks);
+                    assert_eq!(policy, RetentionPolicy::FullResidency);
+                    assert!(err.needed_blocks > err.available_blocks);
                 }
             }
             // Global accounting invariants hold after every step.
-            prop_assert!(manager.cached_blocks() <= capacity_blocks);
-            prop_assert!(manager.free_blocks() <= capacity_blocks);
+            assert!(manager.cached_blocks() <= capacity_blocks);
+            assert!(manager.free_blocks() <= capacity_blocks);
             let stats = manager.stats();
-            prop_assert_eq!(stats.hit_tokens + stats.miss_tokens,
-                stats_total_tokens(&specs[..=serial], &manager));
+            assert_eq!(stats.hit_tokens + stats.miss_tokens, offered_tokens);
         }
     }
+}
 
-    /// Looking up a prefix never reports more cached tokens than the full-block part of
-    /// the request, and a repeat lookup right after commit hits every full block.
-    #[test]
-    fn lookup_is_bounded_and_warm_after_commit(
-        spec in request_strategy(),
-        capacity_blocks in 64u64..512,
-    ) {
+/// Looking up a prefix never reports more cached tokens than the full-block part of the
+/// request, and a repeat lookup right after commit hits every full block.
+#[test]
+fn lookup_is_bounded_and_warm_after_commit() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(1000 + seed);
+        let spec = random_spec(&mut rng);
+        let capacity_blocks = rng.gen_range(64u64..512);
         let mut manager = KvCacheManager::new(capacity_blocks, BLOCK_SIZE);
         let tokens = request_tokens(&spec, 0);
         let full_block_tokens = (tokens.len() / BLOCK_SIZE * BLOCK_SIZE) as u64;
 
-        prop_assert_eq!(manager.lookup_cached_tokens(&tokens), 0);
+        assert_eq!(manager.lookup_cached_tokens(&tokens), 0);
         let alloc = manager
             .allocate(&tokens, SimTime::ZERO, RetentionPolicy::FullResidency)
             .expect("capacity chosen to fit");
         manager.commit(alloc, SimTime::ZERO);
         let warm = manager.lookup_cached_tokens(&tokens);
-        prop_assert_eq!(warm, full_block_tokens);
-        prop_assert!(warm <= tokens.len() as u64);
+        assert_eq!(warm, full_block_tokens);
+        assert!(warm <= tokens.len() as u64);
     }
+}
 
-    /// The rolling block hash is a pure function of the token prefix: extending a
-    /// request never changes the hashes of earlier blocks.
-    #[test]
-    fn hash_chain_is_prefix_stable(
-        tokens in prop::collection::vec(0u32..1_000_000, 0..600),
-        extra in prop::collection::vec(0u32..1_000_000, 0..100),
-    ) {
+/// The rolling block hash is a pure function of the token prefix: extending a request
+/// never changes the hashes of earlier blocks.
+#[test]
+fn hash_chain_is_prefix_stable() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(2000 + seed);
+        let len = rng.gen_range(0usize..600);
+        let extra_len = rng.gen_range(0usize..100);
+        let tokens: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..1_000_000)).collect();
+        let extra: Vec<u32> = (0..extra_len)
+            .map(|_| rng.gen_range(0u32..1_000_000))
+            .collect();
         let base = hash_token_blocks(&tokens, BLOCK_SIZE);
         let mut extended_tokens = tokens.clone();
         extended_tokens.extend(&extra);
         let extended = hash_token_blocks(&extended_tokens, BLOCK_SIZE);
-        prop_assert!(extended.len() >= base.len());
-        prop_assert_eq!(&extended[..base.len()], &base[..]);
+        assert!(extended.len() >= base.len());
+        assert_eq!(&extended[..base.len()], &base[..]);
     }
 }
 
-/// Total tokens pushed through the manager so far (for the stats cross-check).
-fn stats_total_tokens(specs: &[RequestSpec], manager: &KvCacheManager) -> u64 {
-    // Failed full-residency allocations contribute no hit/miss tokens, so reconstruct
-    // the total from the manager's own counters instead of the raw spec list when
-    // failures occurred.
-    let stats = manager.stats();
-    if stats.failed_allocations > 0 {
-        return stats.hit_tokens + stats.miss_tokens;
+/// Executable specification of the manager over commit-immediately workloads.
+///
+/// Eviction victims are chosen exactly as in the seed implementation: collect every
+/// unreferenced cached block, sort by `(last_used, hash)`, take the first `k`.
+struct ShadowCache {
+    capacity_blocks: u64,
+    /// Cached prefix entries: hash -> last_used.  Between operations every cached block
+    /// is unreferenced because the driver commits or releases immediately.
+    cached: HashMap<TokenBlockHash, SimTime>,
+    evicted_blocks: u64,
+    committed_blocks: u64,
+    failed: u64,
+}
+
+enum ShadowOutcome {
+    Ok { cached_tokens: u64 },
+    Err,
+}
+
+impl ShadowCache {
+    fn new(capacity_blocks: u64) -> ShadowCache {
+        ShadowCache {
+            capacity_blocks,
+            cached: HashMap::new(),
+            evicted_blocks: 0,
+            committed_blocks: 0,
+            failed: 0,
+        }
     }
-    specs
-        .iter()
-        .map(|s| u64::from(s.prefix_tokens) + u64::from(s.suffix_tokens))
-        .sum()
+
+    fn lookup_blocks(&self, hashes: &[TokenBlockHash]) -> usize {
+        hashes
+            .iter()
+            .take_while(|h| self.cached.contains_key(h))
+            .count()
+    }
+
+    /// Seed-implementation victim selection: full scan, sort by (last_used, hash).
+    fn evict(&mut self, count: u64, referenced: &[TokenBlockHash]) {
+        let mut victims: Vec<(SimTime, TokenBlockHash)> = self
+            .cached
+            .iter()
+            .filter(|(h, _)| !referenced.contains(h))
+            .map(|(h, t)| (*t, *h))
+            .collect();
+        victims.sort_unstable();
+        for (_, hash) in victims.into_iter().take(count as usize) {
+            self.cached.remove(&hash);
+            self.evicted_blocks += 1;
+        }
+    }
+
+    fn allocate_commit(
+        &mut self,
+        hashes: &[TokenBlockHash],
+        total_tokens: u64,
+        now: SimTime,
+        policy: RetentionPolicy,
+        commit: bool,
+    ) -> ShadowOutcome {
+        let hits = self.lookup_blocks(hashes);
+        let hit_prefix: Vec<TokenBlockHash> = hashes[..hits].to_vec();
+        // Phase 1 touches the reused prefix before any feasibility check, and the seed
+        // implementation never rolls the timestamps back.
+        for hash in &hit_prefix {
+            self.cached.insert(*hash, now);
+        }
+        let has_partial = !total_tokens.is_multiple_of(BLOCK_SIZE as u64);
+        let needed = (hashes.len() - hits) as u64 + u64::from(has_partial);
+        let free = self.capacity_blocks - self.cached.len() as u64;
+        if policy == RetentionPolicy::FullResidency {
+            let evictable = (self.cached.len() - hits) as u64;
+            if needed > free + evictable {
+                self.failed += 1;
+                return ShadowOutcome::Err;
+            }
+        }
+        if needed > free {
+            self.evict(
+                (needed - free).min((self.cached.len() - hits) as u64),
+                &hit_prefix,
+            );
+        }
+        let free = self.capacity_blocks - self.cached.len() as u64;
+        let new_full = ((hashes.len() - hits) as u64).min(free);
+        let partial_allocated =
+            has_partial && new_full == (hashes.len() - hits) as u64 && new_full < free;
+        let _ = partial_allocated;
+        if commit {
+            for hash in hashes.iter().skip(hits).take(new_full as usize) {
+                // A block beyond the first phase-1 miss can already be cached (the
+                // prefix walk stops at the first miss, not at the last hit).  The
+                // manager then drops the freshly written duplicate and leaves the
+                // existing entry — including its last_used — untouched.
+                if !self.cached.contains_key(hash) {
+                    self.cached.insert(*hash, now);
+                    self.committed_blocks += 1;
+                }
+            }
+        }
+        ShadowOutcome::Ok {
+            cached_tokens: (hits * BLOCK_SIZE) as u64,
+        }
+    }
+}
+
+/// The real manager agrees with the scan+sort shadow specification after every single
+/// operation: same success/failure, same cache-hit counts, same cached-block set (and
+/// therefore the same eviction victims), same statistics.
+#[test]
+fn shadow_model_agreement() {
+    for seed in 0..96u64 {
+        let mut rng = SimRng::seed_from_u64(3000 + seed);
+        let capacity_blocks = rng.gen_range(8u64..128);
+        let num_ops = rng.gen_range(1usize..60);
+        let mut manager = KvCacheManager::new(capacity_blocks, BLOCK_SIZE);
+        let mut shadow = ShadowCache::new(capacity_blocks);
+        let mut chains: Vec<Vec<u32>> = Vec::new();
+
+        for serial in 0..num_ops {
+            let spec = random_spec(&mut rng);
+            let policy = if rng.gen_range(0u32..2) == 0 {
+                RetentionPolicy::PrefixBestEffort
+            } else {
+                RetentionPolicy::FullResidency
+            };
+            let commit = rng.gen_range(0u32..5) > 0;
+            // Coarse timestamps force last_used ties, exercising the (time, hash)
+            // tie-break that the LRU index must replicate exactly.
+            let now = SimTime::from_millis(rng.gen_range(0u64..4) * 10 + serial as u64 / 8);
+            let tokens = request_tokens(&spec, serial as u32);
+            let hashes = hash_token_blocks(&tokens, BLOCK_SIZE);
+            chains.push(tokens.clone());
+
+            let real = manager.allocate(&tokens, now, policy);
+            let expected =
+                shadow.allocate_commit(&hashes, tokens.len() as u64, now, policy, commit);
+            match (real, expected) {
+                (Ok(alloc), ShadowOutcome::Ok { cached_tokens }) => {
+                    assert_eq!(
+                        alloc.cached_tokens(),
+                        cached_tokens,
+                        "seed {seed} op {serial}: hit divergence"
+                    );
+                    if commit {
+                        manager.commit(alloc, now);
+                    } else {
+                        manager.release_uncommitted(alloc);
+                    }
+                }
+                (Err(_), ShadowOutcome::Err) => {}
+                (real, _) => panic!(
+                    "seed {seed} op {serial}: outcome divergence (real ok={})",
+                    real.is_ok()
+                ),
+            }
+
+            // The cached sets agree exactly: every chain hits to the same depth.
+            assert_eq!(
+                manager.cached_blocks(),
+                shadow.cached.len() as u64,
+                "seed {seed} op {serial}: cached-block count divergence"
+            );
+            for chain in &chains {
+                let chain_hashes = hash_token_blocks(chain, BLOCK_SIZE);
+                assert_eq!(
+                    manager.lookup_cached_tokens(chain),
+                    (shadow.lookup_blocks(&chain_hashes) * BLOCK_SIZE) as u64,
+                    "seed {seed} op {serial}: lookup divergence"
+                );
+            }
+            let stats = manager.stats();
+            assert_eq!(stats.evicted_blocks, shadow.evicted_blocks);
+            assert_eq!(stats.committed_blocks, shadow.committed_blocks);
+            assert_eq!(stats.failed_allocations, shadow.failed);
+        }
+    }
 }

@@ -25,7 +25,16 @@ impl WaitingRequest {
     }
 }
 
-/// FIFO-ordered waiting queue with positional removal.
+/// The waiting queue: an *unordered* bag of waiting requests with positional removal.
+///
+/// # No-ordering invariant
+///
+/// The storage order of [`Self::requests`] carries **no meaning** and is not preserved
+/// by [`Self::remove`].  Every scheduling policy scans the whole slice and orders
+/// requests by its own criterion ([`FcfsPolicy`](crate::FcfsPolicy) by `(arrival, id)`,
+/// [`SrjfPolicy`](crate::SrjfPolicy) by score), so nothing may rely on arrival order of
+/// the slice itself.  This is what allows `remove` to be a `swap_remove` — O(1) instead
+/// of shifting the queue's tail down on every admission.
 #[derive(Debug, Clone, Default)]
 pub struct WaitingQueue {
     entries: Vec<WaitingRequest>,
@@ -37,21 +46,22 @@ impl WaitingQueue {
         Self::default()
     }
 
-    /// Appends a request to the back of the queue.
+    /// Adds a request to the queue.
     pub fn push(&mut self, request: WaitingRequest) {
         self.entries.push(request);
     }
 
-    /// Removes and returns the request at `index`.
+    /// Removes and returns the request at `index` in O(1), moving the last entry into
+    /// the hole (see the no-ordering invariant in the type docs).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
     pub fn remove(&mut self, index: usize) -> WaitingRequest {
-        self.entries.remove(index)
+        self.entries.swap_remove(index)
     }
 
-    /// The waiting requests in arrival order.
+    /// The waiting requests, in unspecified order.
     pub fn requests(&self) -> &[WaitingRequest] {
         &self.entries
     }
@@ -90,7 +100,7 @@ mod tests {
     }
 
     #[test]
-    fn push_and_remove_preserve_order() {
+    fn remove_returns_the_indexed_request_and_keeps_the_rest() {
         let mut q = WaitingQueue::new();
         q.push(request(1, 0));
         q.push(request(2, 10));
@@ -98,8 +108,24 @@ mod tests {
         assert_eq!(q.len(), 3);
         let removed = q.remove(1);
         assert_eq!(removed.id, 2);
-        assert_eq!(q.requests()[0].id, 1);
-        assert_eq!(q.requests()[1].id, 3);
+        // swap_remove semantics: the remaining set is exact, the order is unspecified.
+        let mut rest: Vec<u64> = q.requests().iter().map(|r| r.id).collect();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![1, 3]);
+    }
+
+    #[test]
+    fn remove_is_constant_time_swap_remove() {
+        // Pin down the swap_remove contract explicitly: removing the head moves the
+        // tail entry into its slot rather than shifting the whole queue.
+        let mut q = WaitingQueue::new();
+        for id in 1..=4 {
+            q.push(request(id, id * 10));
+        }
+        let removed = q.remove(0);
+        assert_eq!(removed.id, 1);
+        assert_eq!(q.requests()[0].id, 4, "last entry fills the hole");
+        assert_eq!(q.len(), 3);
     }
 
     #[test]

@@ -1,12 +1,14 @@
-//! Property-based tests for the scheduling policies.
+//! Randomized property tests for the scheduling policies.
+//!
+//! The registry-less build cannot use `proptest`, so each property runs over a seeded
+//! sweep of randomly generated queues and cache states.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 use scheduler::{
     CacheProbe, FcfsPolicy, JctEstimator, SchedulingPolicy, SrjfPolicy, WaitingRequest,
 };
-use simcore::SimTime;
+use simcore::{SimRng, SimTime};
 
 #[derive(Default)]
 struct MapProbe {
@@ -19,34 +21,37 @@ impl CacheProbe for MapProbe {
     }
 }
 
-fn queue_strategy() -> impl Strategy<Value = Vec<WaitingRequest>> {
-    prop::collection::vec((0u64..10_000, 1u64..60_000, 0u64..60_000), 1..64).prop_map(|entries| {
-        entries
-            .into_iter()
-            .enumerate()
-            .map(|(idx, (arrival_ms, total, cached))| WaitingRequest {
+fn random_queue(rng: &mut SimRng) -> Vec<WaitingRequest> {
+    let len = rng.gen_range(1usize..64);
+    (0..len)
+        .map(|idx| {
+            let total = rng.gen_range(1u64..60_000);
+            WaitingRequest {
                 id: idx as u64,
-                arrival: SimTime::from_millis(arrival_ms),
+                arrival: SimTime::from_millis(rng.gen_range(0u64..10_000)),
                 total_tokens: total,
-                cached_tokens_at_arrival: cached.min(total),
-            })
-            .collect()
-    })
+                cached_tokens_at_arrival: rng.gen_range(0u64..60_000).min(total),
+            }
+        })
+        .collect()
 }
 
-fn cached_map_strategy(len: usize) -> impl Strategy<Value = HashMap<u64, u64>> {
-    prop::collection::hash_map(0u64..len as u64, 0u64..60_000, 0..len)
+fn random_cached_map(rng: &mut SimRng, len: usize) -> HashMap<u64, u64> {
+    let entries = rng.gen_range(0usize..len.max(1));
+    (0..entries)
+        .map(|_| (rng.gen_range(0u64..len as u64), rng.gen_range(0u64..60_000)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every policy returns a valid index into the queue and never selects from an
-    /// empty queue.
-    #[test]
-    fn selection_is_always_in_bounds(queue in queue_strategy(), now_ms in 0u64..100_000) {
+/// Every policy returns a valid index into the queue and never selects from an empty
+/// queue.
+#[test]
+fn selection_is_always_in_bounds() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let queue = random_queue(&mut rng);
+        let now = SimTime::from_millis(rng.gen_range(0u64..100_000));
         let probe = MapProbe::default();
-        let now = SimTime::from_millis(now_ms);
         let estimator = JctEstimator::proxy(1e-4, 0.01);
         let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
             Box::new(FcfsPolicy),
@@ -54,75 +59,96 @@ proptest! {
             Box::new(SrjfPolicy::with_calibration(estimator, 500.0)),
         ];
         for policy in &policies {
-            let idx = policy.select(&queue, now, &probe).expect("queue is non-empty");
-            prop_assert!(idx < queue.len());
-            prop_assert!(policy.select(&[], now, &probe).is_none());
+            let idx = policy
+                .select(&queue, now, &probe)
+                .expect("queue is non-empty");
+            assert!(idx < queue.len());
+            assert!(policy.select(&[], now, &probe).is_none());
         }
     }
+}
 
-    /// FCFS always picks a request with the minimal arrival time.
-    #[test]
-    fn fcfs_picks_minimal_arrival(queue in queue_strategy()) {
+/// FCFS always picks a request with the minimal arrival time.
+#[test]
+fn fcfs_picks_minimal_arrival() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(1000 + seed);
+        let queue = random_queue(&mut rng);
         let probe = MapProbe::default();
-        let idx = FcfsPolicy.select(&queue, SimTime::from_secs(1_000), &probe).unwrap();
+        let idx = FcfsPolicy
+            .select(&queue, SimTime::from_secs(1_000), &probe)
+            .unwrap();
         let min_arrival = queue.iter().map(|r| r.arrival).min().unwrap();
-        prop_assert_eq!(queue[idx].arrival, min_arrival);
+        assert_eq!(queue[idx].arrival, min_arrival);
     }
+}
 
-    /// With λ = 0 and a live cache probe, calibrated SRJF picks a request with the
-    /// minimal number of cache-miss tokens.
-    #[test]
-    fn calibrated_srjf_minimises_miss_tokens(
-        queue in queue_strategy(),
-        cached in cached_map_strategy(64),
-    ) {
-        let probe = MapProbe { cached };
+/// With λ = 0 and a live cache probe, calibrated SRJF picks a request with the minimal
+/// number of cache-miss tokens.
+#[test]
+fn calibrated_srjf_minimises_miss_tokens() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(2000 + seed);
+        let queue = random_queue(&mut rng);
+        let probe = MapProbe {
+            cached: random_cached_map(&mut rng, 64),
+        };
         let estimator = JctEstimator::proxy(2e-4, 0.0);
         let policy = SrjfPolicy::with_calibration(estimator, 0.0);
         let now = SimTime::from_secs(10);
         let idx = policy.select(&queue, now, &probe).unwrap();
         let miss = |r: &WaitingRequest| {
-            r.total_tokens - probe.cached.get(&r.id).copied().unwrap_or(0).min(r.total_tokens)
+            r.total_tokens
+                - probe
+                    .cached
+                    .get(&r.id)
+                    .copied()
+                    .unwrap_or(0)
+                    .min(r.total_tokens)
         };
         let chosen = miss(&queue[idx]);
         let best = queue.iter().map(miss).min().unwrap();
-        prop_assert_eq!(chosen, best);
+        assert_eq!(chosen, best);
     }
+}
 
-    /// Classic SRJF ignores the live cache: its choice is unchanged by arbitrary probe
-    /// contents.
-    #[test]
-    fn classic_srjf_is_probe_independent(
-        queue in queue_strategy(),
-        cached in cached_map_strategy(64),
-    ) {
+/// Classic SRJF ignores the live cache: its choice is unchanged by arbitrary probe
+/// contents.
+#[test]
+fn classic_srjf_is_probe_independent() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(3000 + seed);
+        let queue = random_queue(&mut rng);
         let estimator = JctEstimator::proxy(2e-4, 0.0);
         let policy = SrjfPolicy::classic(estimator);
         let now = SimTime::from_secs(10);
         let empty = MapProbe::default();
-        let populated = MapProbe { cached };
-        prop_assert_eq!(
+        let populated = MapProbe {
+            cached: random_cached_map(&mut rng, 64),
+        };
+        assert_eq!(
             policy.select(&queue, now, &empty),
             policy.select(&queue, now, &populated)
         );
     }
+}
 
-    /// The JCT estimators are monotone: more input never lowers the estimate, more
-    /// cached tokens never raise it.
-    #[test]
-    fn estimators_are_monotone(
-        n_input in 1u64..100_000,
-        n_cached in 0u64..100_000,
-        delta in 1u64..10_000,
-    ) {
-        let n_cached = n_cached.min(n_input);
+/// The JCT estimators are monotone: more input never lowers the estimate, more cached
+/// tokens never raise it.
+#[test]
+fn estimators_are_monotone() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(4000 + seed);
+        let n_input = rng.gen_range(1u64..100_000);
+        let n_cached = rng.gen_range(0u64..100_000).min(n_input);
+        let delta = rng.gen_range(1u64..10_000);
         for estimator in [
             JctEstimator::proxy(1.5e-4, 0.05),
             JctEstimator::fit_linear(&grid()).unwrap(),
         ] {
             let base = estimator.estimate(n_input, n_cached);
-            prop_assert!(estimator.estimate(n_input + delta, n_cached) >= base - 1e-9);
-            prop_assert!(estimator.estimate(n_input, n_cached + delta) <= base + 1e-9);
+            assert!(estimator.estimate(n_input + delta, n_cached) >= base - 1e-9);
+            assert!(estimator.estimate(n_input, n_cached + delta) <= base + 1e-9);
         }
     }
 }

@@ -1,25 +1,72 @@
 //! Deterministic random number generation.
 //!
 //! All randomness in the reproduction — workload synthesis, arrival times, routing
-//! tie-breaks — flows through [`SimRng`], a thin wrapper over ChaCha8 seeded
-//! explicitly by the experiment driver.  Re-running any experiment with the same seed
-//! produces bit-identical traces.
+//! tie-breaks — flows through [`SimRng`], a ChaCha8 generator seeded explicitly by the
+//! experiment driver.  Re-running any experiment with the same seed produces
+//! bit-identical traces.  The cipher is implemented locally (the build environment has
+//! no registry access for `rand`/`rand_chacha`): a standard ChaCha block function with
+//! 8 double-round-pairs, a 64-bit block counter and a 64-bit stream id used by
+//! [`SimRng::derive`].
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+/// A range that [`SimRng::gen_range`] can sample from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut SimRng) -> T;
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
 /// A deterministic, explicitly-seeded random number generator.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buffer: [u32; 16],
+    cursor: usize,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed into a 256-bit key, as rand's default seeding does.
+        let mut state = seed;
+        let mut key = [0u32; 8];
+        for pair in 0..4 {
+            let word = splitmix64(&mut state);
+            key[2 * pair] = word as u32;
+            key[2 * pair + 1] = (word >> 32) as u32;
+        }
         SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            key,
+            counter: 0,
+            stream: 0,
+            buffer: [0; 16],
+            cursor: 16,
         }
     }
 
@@ -28,23 +75,90 @@ impl SimRng {
     /// Useful to give each user / each engine instance its own stream so that changing
     /// the number of requests for one user does not perturb every other user's data.
     pub fn derive(&self, stream: u64) -> Self {
-        let mut child = self.inner.clone();
-        child.set_stream(stream);
-        SimRng { inner: child }
+        SimRng {
+            key: self.key,
+            counter: 0,
+            stream,
+            buffer: [0; 16],
+            cursor: 16,
+        }
     }
 
-    /// Samples a value uniformly from `range`.
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..4 {
+            // One double round: 4 column rounds then 4 diagonal rounds (ChaCha8 = 8
+            // rounds total over 4 double-round iterations).
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(input) {
+            *word = word.wrapping_add(init);
+        }
+        self.buffer = state;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    /// Returns a raw `u64`, for hashing-style uses.
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    /// Uniform draw from `[0, bound)` by masked rejection sampling (unbiased).
+    fn next_u64_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty sampling bound");
+        if bound == 1 {
+            return 0;
+        }
+        let mask = u64::MAX >> (bound - 1).leading_zeros();
+        loop {
+            let draw = self.next_u64() & mask;
+            if draw < bound {
+                return draw;
+            }
+        }
+    }
+
+    /// Samples a value uniformly from `range` (either `a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample_from(self)
     }
 
-    /// Samples a uniform value in `[0, 1)`.
+    /// Samples a uniform value in `[0, 1)` with 53 bits of precision.
     pub fn gen_unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Samples from a normal distribution using the Box-Muller transform.
@@ -54,8 +168,8 @@ impl SimRng {
     pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         debug_assert!(std_dev >= 0.0, "standard deviation must be non-negative");
         // Avoid ln(0).
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen();
+        let u1: f64 = self.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.gen_unit();
         let radius = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         mean + std_dev * radius * theta.cos()
@@ -66,20 +180,57 @@ impl SimRng {
     /// Returns the inter-arrival gap in seconds.  Used by [`crate::PoissonProcess`].
     pub fn gen_exponential(&mut self, rate_per_sec: f64) -> f64 {
         debug_assert!(rate_per_sec > 0.0, "rate must be positive");
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u: f64 = self.gen_range(f64::MIN_POSITIVE..1.0);
         -u.ln() / rate_per_sec
-    }
-
-    /// Returns a raw `u64`, for hashing-style uses.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
     }
 
     /// Shuffles a slice in place (Fisher-Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.gen_range(0..=i);
             slice.swap(i, j);
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_from(self, rng: &mut SimRng) -> $ty {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.next_u64_below(span) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_from(self, rng: &mut SimRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // The full u64 domain.
+                    return rng.next_u64() as $ty;
+                }
+                start + rng.next_u64_below(span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from(self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let sample = self.start + rng.gen_unit() * (self.end - self.start);
+        // Floating-point rounding can land exactly on `end`; clamp to the largest
+        // representable value strictly below it (a relative nudge would round back to
+        // `end` for large-magnitude ranges).
+        if sample >= self.end {
+            self.end.next_down()
+        } else {
+            sample
         }
     }
 }
@@ -152,6 +303,20 @@ mod tests {
             assert!((10..20).contains(&v));
             let u = rng.gen_unit();
             assert!((0.0..1.0).contains(&u));
+            let f = rng.gen_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&f));
+            let w: u64 = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
         }
+    }
+
+    #[test]
+    fn uniform_draws_cover_small_ranges() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 7 values should appear");
     }
 }

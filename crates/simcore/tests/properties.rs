@@ -1,63 +1,84 @@
-//! Property-based tests for the simulation kernel.
+//! Randomized property tests for the simulation kernel.
+//!
+//! The registry-less build cannot use `proptest`, so each property is exercised over a
+//! seeded sweep of randomly generated inputs drawn from [`SimRng`] itself.
 
-use proptest::prelude::*;
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
-proptest! {
-    /// Popping every event from the queue yields them in non-decreasing time order,
-    /// and events with equal timestamps preserve insertion order.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// Popping every event from the queue yields them in non-decreasing time order, and
+/// events with equal timestamps preserve insertion order.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let len = rng.gen_range(1usize..200);
         let mut queue = EventQueue::new();
-        for (idx, micros) in times.iter().enumerate() {
-            queue.push(SimTime::from_micros(*micros), idx);
+        for idx in 0..len {
+            queue.push(SimTime::from_micros(rng.gen_range(0u64..1_000)), idx);
         }
         let mut last: Option<(SimTime, usize)> = None;
         while let Some(ev) = queue.pop() {
             if let Some((prev_time, prev_idx)) = last {
-                prop_assert!(ev.at >= prev_time);
+                assert!(ev.at >= prev_time);
                 if ev.at == prev_time {
-                    prop_assert!(ev.event > prev_idx, "FIFO within identical timestamps");
+                    assert!(ev.event > prev_idx, "FIFO within identical timestamps");
                 }
             }
             last = Some((ev.at, ev.event));
         }
     }
+}
 
-    /// Time arithmetic is consistent: (t + d) - t == d for all representable values.
-    #[test]
-    fn time_add_then_sub_round_trips(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
-        let t = SimTime::from_micros(base);
-        let d = SimDuration::from_micros(delta);
-        prop_assert_eq!((t + d) - t, d);
+/// Time arithmetic is consistent: (t + d) - t == d for all representable values.
+#[test]
+fn time_add_then_sub_round_trips() {
+    let mut rng = SimRng::seed_from_u64(1);
+    for _ in 0..512 {
+        let t = SimTime::from_micros(rng.gen_range(0..u64::MAX / 4));
+        let d = SimDuration::from_micros(rng.gen_range(0..u64::MAX / 4));
+        assert_eq!((t + d) - t, d);
     }
+}
 
-    /// Seconds <-> micros conversion round trips within one microsecond.
-    #[test]
-    fn duration_seconds_round_trip(secs in 0.0f64..1.0e6) {
+/// Seconds <-> micros conversion round trips within one microsecond.
+#[test]
+fn duration_seconds_round_trip() {
+    let mut rng = SimRng::seed_from_u64(2);
+    for _ in 0..512 {
+        let secs = rng.gen_range(0.0f64..1.0e6);
         let d = SimDuration::from_secs_f64(secs);
-        prop_assert!((d.as_secs_f64() - secs).abs() < 1e-6);
+        assert!((d.as_secs_f64() - secs).abs() < 1e-6);
     }
+}
 
-    /// Identically seeded generators produce identical streams regardless of how the
-    /// draws are interleaved with range requests.
-    #[test]
-    fn rng_is_deterministic(seed in any::<u64>(), draws in 1usize..64) {
+/// Identically seeded generators produce identical streams regardless of how the draws
+/// are interleaved with range requests.
+#[test]
+fn rng_is_deterministic() {
+    let mut meta = SimRng::seed_from_u64(3);
+    for _ in 0..64 {
+        let seed = meta.next_u64();
+        let draws = meta.gen_range(1usize..64);
         let mut a = SimRng::seed_from_u64(seed);
         let mut b = SimRng::seed_from_u64(seed);
         for _ in 0..draws {
-            prop_assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
         }
     }
+}
 
-    /// Exponential samples are always non-negative and finite.
-    #[test]
-    fn exponential_samples_are_valid(seed in any::<u64>(), rate in 0.001f64..10_000.0) {
+/// Exponential samples are always non-negative and finite.
+#[test]
+fn exponential_samples_are_valid() {
+    let mut meta = SimRng::seed_from_u64(4);
+    for _ in 0..64 {
+        let seed = meta.next_u64();
+        let rate = meta.gen_range(0.001f64..10_000.0);
         let mut rng = SimRng::seed_from_u64(seed);
         for _ in 0..32 {
             let gap = rng.gen_exponential(rate);
-            prop_assert!(gap.is_finite());
-            prop_assert!(gap >= 0.0);
+            assert!(gap.is_finite());
+            assert!(gap >= 0.0);
         }
     }
 }

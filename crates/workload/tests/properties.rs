@@ -1,6 +1,7 @@
-//! Property-based tests for workload generation and arrival assignment.
-
-use proptest::prelude::*;
+//! Randomized property tests for workload generation and arrival assignment.
+//!
+//! The registry-less build cannot use `proptest`, so each property runs over a seeded
+//! sweep of randomly generated specs.
 
 use simcore::SimRng;
 use workload::{
@@ -8,43 +9,34 @@ use workload::{
     PostRecommendationSpec,
 };
 
-fn post_spec_strategy() -> impl Strategy<Value = PostRecommendationSpec> {
-    (
-        2u64..12,
-        2u64..20,
-        50u64..300,
-        2_000u64..8_000,
-        500u64..2_000,
-    )
-        .prop_map(
-            |(num_users, posts_per_user, post_tokens, profile_mid, spread)| {
-                PostRecommendationSpec {
-                    num_users,
-                    posts_per_user,
-                    post_tokens,
-                    profile_mean_tokens: profile_mid as f64,
-                    profile_std_tokens: spread as f64 / 2.0,
-                    profile_min_tokens: profile_mid - spread,
-                    profile_max_tokens: profile_mid + spread,
-                }
-            },
-        )
+fn random_post_spec(rng: &mut SimRng) -> PostRecommendationSpec {
+    let profile_mid = rng.gen_range(2_000u64..8_000);
+    let spread = rng.gen_range(500u64..2_000);
+    PostRecommendationSpec {
+        num_users: rng.gen_range(2u64..12),
+        posts_per_user: rng.gen_range(2u64..20),
+        post_tokens: rng.gen_range(50u64..300),
+        profile_mean_tokens: profile_mid as f64,
+        profile_std_tokens: spread as f64 / 2.0,
+        profile_min_tokens: profile_mid - spread,
+        profile_max_tokens: profile_mid + spread,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The generated post-recommendation dataset always honours its spec: request
-    /// counts, per-user prefix sharing and length bounds.
-    #[test]
-    fn post_recommendation_respects_its_spec(spec in post_spec_strategy(), seed in any::<u64>()) {
-        let mut rng = SimRng::seed_from_u64(seed);
+/// The generated post-recommendation dataset always honours its spec: request counts,
+/// per-user prefix sharing and length bounds.
+#[test]
+fn post_recommendation_respects_its_spec() {
+    for seed in 0..48u64 {
+        let mut meta = SimRng::seed_from_u64(seed);
+        let spec = random_post_spec(&mut meta);
+        let mut rng = SimRng::seed_from_u64(meta.next_u64());
         let dataset = Dataset::post_recommendation(&spec, &mut rng);
         let summary = dataset.summary();
-        prop_assert_eq!(summary.num_users, spec.num_users);
-        prop_assert_eq!(summary.num_requests, spec.num_users * spec.posts_per_user);
-        prop_assert!(summary.min_request_tokens >= spec.profile_min_tokens + spec.post_tokens);
-        prop_assert!(summary.max_request_tokens <= spec.profile_max_tokens + spec.post_tokens);
+        assert_eq!(summary.num_users, spec.num_users);
+        assert_eq!(summary.num_requests, spec.num_users * spec.posts_per_user);
+        assert!(summary.min_request_tokens >= spec.profile_min_tokens + spec.post_tokens);
+        assert!(summary.max_request_tokens <= spec.profile_max_tokens + spec.post_tokens);
 
         for user in 0..spec.num_users {
             let requests: Vec<_> = dataset
@@ -52,49 +44,51 @@ proptest! {
                 .iter()
                 .filter(|r| r.user_id == user)
                 .collect();
-            prop_assert_eq!(requests.len() as u64, spec.posts_per_user);
+            assert_eq!(requests.len() as u64, spec.posts_per_user);
             let prefix = requests[0].shared_prefix_tokens as usize;
             for r in &requests {
-                prop_assert_eq!(r.shared_prefix_tokens as usize, prefix);
-                prop_assert_eq!(&r.tokens[..prefix], &requests[0].tokens[..prefix]);
-                prop_assert_eq!(r.num_tokens(), prefix as u64 + spec.post_tokens);
+                assert_eq!(r.shared_prefix_tokens as usize, prefix);
+                assert_eq!(&r.tokens[..prefix], &requests[0].tokens[..prefix]);
+                assert_eq!(r.num_tokens(), prefix as u64 + spec.post_tokens);
             }
         }
     }
+}
 
-    /// Credit-verification histories always lie inside the configured bounds and every
-    /// user issues exactly one request.
-    #[test]
-    fn credit_verification_respects_its_spec(
-        num_users in 2u64..40,
-        lo in 5_000u64..20_000,
-        span in 1_000u64..20_000,
-        seed in any::<u64>(),
-    ) {
+/// Credit-verification histories always lie inside the configured bounds and every user
+/// issues exactly one request.
+#[test]
+fn credit_verification_respects_its_spec() {
+    for seed in 0..48u64 {
+        let mut meta = SimRng::seed_from_u64(1000 + seed);
+        let num_users = meta.gen_range(2u64..40);
+        let lo = meta.gen_range(5_000u64..20_000);
+        let span = meta.gen_range(1_000u64..20_000);
         let spec = CreditVerificationSpec {
             num_users,
             history_min_tokens: lo,
             history_max_tokens: lo + span,
         };
-        let mut rng = SimRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(meta.next_u64());
         let dataset = Dataset::credit_verification(&spec, &mut rng);
-        prop_assert_eq!(dataset.len() as u64, num_users);
+        assert_eq!(dataset.len() as u64, num_users);
         for r in dataset.requests() {
-            prop_assert!(r.num_tokens() >= lo);
-            prop_assert!(r.num_tokens() <= lo + span);
+            assert!(r.num_tokens() >= lo);
+            assert!(r.num_tokens() <= lo + span);
         }
     }
+}
 
-    /// Arrival assignment is lossless and time-ordered at either granularity, and
-    /// per-user granularity keeps each user's burst at a single instant.
-    #[test]
-    fn arrivals_are_lossless_and_sorted(
-        spec in post_spec_strategy(),
-        qps in 0.5f64..50.0,
-        per_request in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SimRng::seed_from_u64(seed);
+/// Arrival assignment is lossless and time-ordered at either granularity, and per-user
+/// granularity keeps each user's burst at a single instant.
+#[test]
+fn arrivals_are_lossless_and_sorted() {
+    for seed in 0..48u64 {
+        let mut meta = SimRng::seed_from_u64(2000 + seed);
+        let spec = random_post_spec(&mut meta);
+        let qps = meta.gen_range(0.5f64..50.0);
+        let per_request = meta.gen_range(0u32..2) == 0;
+        let mut rng = SimRng::seed_from_u64(meta.next_u64());
         let dataset = Dataset::post_recommendation(&spec, &mut rng);
         let granularity = if per_request {
             ArrivalGranularity::PerRequest
@@ -102,9 +96,9 @@ proptest! {
             ArrivalGranularity::PerUser
         };
         let arrivals = assign_poisson_arrivals_with(&dataset, qps, granularity, &mut rng);
-        prop_assert_eq!(arrivals.len(), dataset.len());
+        assert_eq!(arrivals.len(), dataset.len());
         for pair in arrivals.windows(2) {
-            prop_assert!(pair[0].arrival <= pair[1].arrival);
+            assert!(pair[0].arrival <= pair[1].arrival);
         }
         if !per_request {
             for user in 0..spec.num_users {
@@ -113,7 +107,7 @@ proptest! {
                     .filter(|a| a.template.user_id == user)
                     .map(|a| a.arrival)
                     .collect();
-                prop_assert!(times.windows(2).all(|w| w[0] == w[1]));
+                assert!(times.windows(2).all(|w| w[0] == w[1]));
             }
         }
     }

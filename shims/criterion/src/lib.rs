@@ -1,0 +1,260 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `Bencher::iter` / `iter_with_setup`,
+//! `BenchmarkId` — over a simple wall-clock measurement loop: per benchmark it warms
+//! up, sizes an iteration batch so one sample takes a measurable slice of time, takes
+//! `sample_size` samples and prints min / median / mean.  Optionally, set
+//! `PREFILLONLY_BENCH_JSON` to a file path to additionally append one JSON line per
+//! benchmark for ad-hoc comparison across runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, printed as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just `parameter`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    results: Vec<f64>,
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(4);
+const WARMUP: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `routine` by timing batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.results.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+
+    /// Benchmarks `routine`, excluding the per-call `setup` from the measurement.
+    ///
+    /// Unlike `iter`, each sample times a single call (setup cannot be amortised into
+    /// batches without unbounded memory), so this suits routines that are expensive
+    /// relative to the timer's resolution — which is what it is used for here.
+    ///
+    /// The routine's *output* is dropped outside the timed region, so a routine that
+    /// wants the teardown of a large input excluded from the measurement can simply
+    /// return that input.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        // One warmup round.
+        let input = setup();
+        black_box(routine(input));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let output = black_box(routine(input));
+            self.results.push(start.elapsed().as_secs_f64() * 1e9);
+            drop(output);
+        }
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{:.1} ns", ns)
+    }
+}
+
+fn report(group: &str, id: &str, results: &mut [f64]) {
+    if results.is_empty() {
+        return;
+    }
+    results.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min = results[0];
+    let median = results[results.len() / 2];
+    let mean = results.iter().sum::<f64>() / results.len() as f64;
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "{name:<55} min {:>12}   median {:>12}   mean {:>12}",
+        format_nanos(min),
+        format_nanos(median),
+        format_nanos(mean)
+    );
+    if let Ok(path) = std::env::var("PREFILLONLY_BENCH_JSON") {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"name\":{name:?},\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1}}}"
+            );
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), &mut bencher.results);
+        self
+    }
+
+    /// Runs one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        report(&self.name, &id.to_string(), &mut bencher.results);
+        self
+    }
+
+    /// Ends the group (spacing line, for readability).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Accepted for compatibility; the shim takes no CLI arguments.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.sample_size = 15;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 {
+            15
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(15);
+        f(&mut bencher);
+        report("", &id.to_string(), &mut bencher.results);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

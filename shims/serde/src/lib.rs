@@ -1,0 +1,246 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this workspace ships the subset of
+//! serde it actually uses: a [`Serialize`] trait that lowers a value into a JSON-like
+//! [`Value`] tree (consumed by the sibling `serde_json` shim), the matching derive
+//! macros, and a [`Deserialize`] marker so `#[derive(Deserialize)]` and
+//! `use serde::Deserialize` keep compiling.  Nothing in the workspace deserializes, so
+//! `Deserialize` has no methods.
+
+// Let the derive macro's `::serde::...` paths resolve inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree.
+///
+/// Object fields keep insertion order (struct declaration order), matching what real
+/// serde + serde_json produce for derived structs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization into a [`Value`] tree.
+///
+/// This replaces serde's visitor-based `Serialize`; the derive macro generates
+/// `to_value` implementations with serde's externally-tagged enum conventions.
+pub trait Serialize {
+    /// Lowers `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        // HashMap iteration order is nondeterministic; sort for stable output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Named {
+        count: u64,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    struct Wrapper(u64);
+
+    #[derive(Serialize)]
+    enum Kind {
+        Unit,
+        Newtype(u32),
+        Struct { x: f64 },
+    }
+
+    #[test]
+    fn named_struct_keeps_field_order() {
+        let v = Named {
+            count: 3,
+            label: "hi".into(),
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("count".to_string(), Value::UInt(3)),
+                ("label".to_string(), Value::String("hi".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn newtype_struct_is_transparent() {
+        assert_eq!(Wrapper(9).to_value(), Value::UInt(9));
+    }
+
+    #[test]
+    fn enums_are_externally_tagged() {
+        assert_eq!(Kind::Unit.to_value(), Value::String("Unit".into()));
+        assert_eq!(
+            Kind::Newtype(7).to_value(),
+            Value::Object(vec![("Newtype".to_string(), Value::UInt(7))])
+        );
+        assert_eq!(
+            Kind::Struct { x: 1.5 }.to_value(),
+            Value::Object(vec![(
+                "Struct".to_string(),
+                Value::Object(vec![("x".to_string(), Value::Float(1.5))])
+            )])
+        );
+    }
+
+    #[test]
+    fn containers_serialize_elementwise() {
+        let v = vec![1u32, 2].to_value();
+        assert_eq!(v, Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+        assert_eq!(
+            (1u32, "a").to_value(),
+            Value::Array(vec![Value::UInt(1), Value::String("a".into())])
+        );
+    }
+}

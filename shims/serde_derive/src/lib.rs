@@ -1,0 +1,293 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are unavailable and
+//! the item is parsed directly from the raw [`TokenStream`].  Only the shapes this
+//! workspace actually derives are supported: non-generic structs (named, tuple, unit)
+//! and non-generic enums (unit, tuple and struct variants), serialized with serde's
+//! externally-tagged conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one struct-or-variant body looks like.
+enum Body {
+    Unit,
+    /// Tuple body with this arity.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token slice at commas that sit outside any `<...>` nesting.
+///
+/// Nested `(..)`/`[..]`/`{..}` groups are single token trees, so only angle brackets
+/// (which are plain punctuation) need explicit depth tracking.  A `>` that closes a
+/// `->` (fn-pointer return arrows in field types) is not a generic closer and must
+/// not decrement the depth, or the following comma would be swallowed and fields
+/// silently dropped.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut pending_arrow = false;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            let arrow_head = pending_arrow;
+            pending_arrow = p.as_char() == '-';
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !arrow_head => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        } else {
+            pending_arrow = false;
+        }
+        current.push(token.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Extracts the field name of one `[attrs] [vis] name : Type` segment.
+fn field_name(segment: &[TokenTree]) -> Option<String> {
+    let start = skip_attrs_and_vis(segment, 0);
+    match segment.get(start) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group_tokens)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .filter_map(|seg| field_name(seg))
+        .collect()
+}
+
+fn parse_tuple_arity(group_tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(group_tokens)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the serde shim derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Body::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Body::Tuple(parse_tuple_arity(&inner))
+                }
+                other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
+            };
+            Ok(Item::Struct { name, body })
+        }
+        "enum" => {
+            let group = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body for `{name}`, found {other:?}")),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            for seg in split_top_level_commas(&inner) {
+                if seg.is_empty() {
+                    continue;
+                }
+                let j = skip_attrs_and_vis(&seg, 0);
+                let vname = match seg.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected variant name, found {other:?}")),
+                };
+                let body = match seg.get(j + 1) {
+                    None => Body::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let vtokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Body::Named(parse_named_fields(&vtokens))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let vtokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Body::Tuple(parse_tuple_arity(&vtokens))
+                    }
+                    other => {
+                        return Err(format!(
+                            "unsupported variant body for `{name}::{vname}`: {other:?}"
+                        ))
+                    }
+                };
+                variants.push(Variant { name: vname, body });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Emits the expression serializing a struct-like body into a `serde::Value`.
+fn body_value_expr(body: &Body, accessor: &dyn Fn(&str) -> String) -> String {
+    match body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        // A 1-tuple is serde's newtype idiom: it serializes as the inner value.
+        Body::Tuple(1) => format!("::serde::Serialize::to_value(&{})", accessor("0")),
+        Body::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|idx| {
+                    format!(
+                        "::serde::Serialize::to_value(&{})",
+                        accessor(&idx.to_string())
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&{}))",
+                        f,
+                        accessor(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+/// `#[derive(Serialize)]`: implements `serde::Serialize` (the shim's value-building
+/// trait) for the annotated item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match &item {
+        Item::Struct { name, body } => {
+            let expr = body_value_expr(body, &|field| format!("self.{field}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        Body::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),"
+                        ),
+                        Body::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|idx| format!("f{idx}")).collect();
+                            let expr =
+                                body_value_expr(&v.body, &|field| format!("f{field}"));
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {expr})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let expr = body_value_expr(&v.body, &|field| field.to_string());
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), {expr})]),",
+                                binds = fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]`: nothing in this workspace deserializes, so the derive is
+/// accepted and expands to an empty impl-free token stream.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,7 +1,9 @@
 //! Workspace-level property tests: random small workloads replayed through the full
 //! engine stack must always satisfy the serving invariants.
-
-use proptest::prelude::*;
+//!
+//! The registry-less build cannot use `proptest`, so the property sweeps a seeded set
+//! of (engine, workload, load) combinations.  Each case builds a cluster (profile run
+//! included) and replays a trace, so the case count stays modest.
 
 use gpu::HardwareSetup;
 use model::ModelPreset;
@@ -9,89 +11,81 @@ use prefillonly::{Cluster, EngineConfig, EngineKind};
 use simcore::SimRng;
 use workload::{assign_poisson_arrivals_with, ArrivalGranularity, Dataset, PostRecommendationSpec};
 
-fn engine_strategy() -> impl Strategy<Value = EngineKind> {
-    prop_oneof![
-        Just(EngineKind::prefillonly_default()),
-        Just(EngineKind::PrefillOnly { lambda: 0.0 }),
-        Just(EngineKind::PagedAttention),
-        Just(EngineKind::chunked_default()),
-        Just(EngineKind::TensorParallel),
-        Just(EngineKind::PipelineParallel),
-    ]
+const ENGINES: [EngineKind; 6] = [
+    EngineKind::PrefillOnly { lambda: 500.0 },
+    EngineKind::PrefillOnly { lambda: 0.0 },
+    EngineKind::PagedAttention,
+    EngineKind::ChunkedPrefill { chunk_tokens: 512 },
+    EngineKind::TensorParallel,
+    EngineKind::PipelineParallel,
+];
+
+fn random_spec(rng: &mut SimRng) -> PostRecommendationSpec {
+    let profile_mid = rng.gen_range(1_500u64..4_000);
+    PostRecommendationSpec {
+        num_users: rng.gen_range(2u64..5),
+        posts_per_user: rng.gen_range(2u64..6),
+        post_tokens: 150,
+        profile_mean_tokens: profile_mid as f64,
+        profile_std_tokens: 300.0,
+        profile_min_tokens: profile_mid - 500,
+        profile_max_tokens: profile_mid + 500,
+    }
 }
 
-fn workload_strategy() -> impl Strategy<Value = PostRecommendationSpec> {
-    (2u64..5, 2u64..6, 1_500u64..4_000).prop_map(|(num_users, posts_per_user, profile_mid)| {
-        PostRecommendationSpec {
-            num_users,
-            posts_per_user,
-            post_tokens: 150,
-            profile_mean_tokens: profile_mid as f64,
-            profile_std_tokens: 300.0,
-            profile_min_tokens: profile_mid - 500,
-            profile_max_tokens: profile_mid + 500,
-        }
-    })
-}
-
-proptest! {
-    // Each case builds a cluster (profile run included) and replays a trace, so keep
-    // the case count modest.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn serving_invariants_hold_for_every_engine(
-        kind in engine_strategy(),
-        spec in workload_strategy(),
-        qps in 1.0f64..30.0,
-        per_request in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SimRng::seed_from_u64(seed);
-        let dataset = Dataset::post_recommendation(&spec, &mut rng);
-        let granularity = if per_request {
+#[test]
+fn serving_invariants_hold_for_every_engine() {
+    for (case, kind) in (0..12u64).zip(ENGINES.iter().cycle()) {
+        let mut meta = SimRng::seed_from_u64(case);
+        let spec = random_spec(&mut meta);
+        let qps = meta.gen_range(1.0f64..30.0);
+        let granularity = if meta.gen_range(0u32..2) == 0 {
             ArrivalGranularity::PerRequest
         } else {
             ArrivalGranularity::PerUser
         };
+        let mut rng = SimRng::seed_from_u64(meta.next_u64());
+        let dataset = Dataset::post_recommendation(&spec, &mut rng);
         let arrivals = assign_poisson_arrivals_with(&dataset, qps, granularity, &mut rng);
         let config = EngineConfig::new(
             ModelPreset::Llama31_8b,
             HardwareSetup::l4_pair(),
-            kind,
+            *kind,
             dataset.max_request_tokens(),
         );
         let mut cluster = Cluster::new(&config);
-        let report = cluster.run(&arrivals, qps).expect("small workloads always fit on L4");
+        let report = cluster
+            .run(&arrivals, qps)
+            .expect("small workloads always fit on L4");
 
         // Conservation: every request completes exactly once.
-        prop_assert_eq!(report.records.len(), dataset.len());
+        assert_eq!(report.records.len(), dataset.len());
         let mut ids: Vec<u64> = report.records.iter().map(|r| r.request_id).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), dataset.len());
+        assert_eq!(ids.len(), dataset.len());
 
         // Temporal sanity for every record.
         for record in &report.records {
-            prop_assert!(record.started >= record.arrival);
-            prop_assert!(record.completed > record.started);
-            prop_assert!(record.cached_tokens <= record.total_tokens);
+            assert!(record.started >= record.arrival);
+            assert!(record.completed > record.started);
+            assert!(record.cached_tokens <= record.total_tokens);
         }
 
         // Aggregates are consistent with the records.
         let max_completion = report.records.iter().map(|r| r.completed).max().unwrap();
-        prop_assert_eq!(report.makespan, max_completion - simcore::SimTime::ZERO);
-        prop_assert!(report.throughput_rps() > 0.0);
-        prop_assert!(report.cache_hit_rate() >= 0.0 && report.cache_hit_rate() <= 1.0);
+        assert_eq!(report.makespan, max_completion - simcore::SimTime::ZERO);
+        assert!(report.throughput_rps() > 0.0);
+        assert!(report.cache_hit_rate() >= 0.0 && report.cache_hit_rate() <= 1.0);
         if let Some(summary) = report.latency_summary() {
-            prop_assert!(summary.p99 >= summary.p50);
-            prop_assert!(summary.max >= summary.mean);
+            assert!(summary.p99 >= summary.p50);
+            assert!(summary.max >= summary.mean);
         }
 
         // Instances never leak queued or running work.
         for instance in cluster.instances() {
-            prop_assert_eq!(instance.queue_len(), 0);
-            prop_assert_eq!(instance.running_len(), 0);
+            assert_eq!(instance.queue_len(), 0);
+            assert_eq!(instance.running_len(), 0);
         }
     }
 }
