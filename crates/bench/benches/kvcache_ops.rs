@@ -146,11 +146,76 @@ fn bench_eviction_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Hierarchical-tier hot path: allocating a request whose 100-block prefix was
+/// evicted to CPU memory.  The allocation spills 100 fresh victims *and* rehydrates
+/// the 100 CPU-resident blocks, so the measurement covers both directions of the
+/// host link bookkeeping at growing CPU-pool sizes.
+fn bench_offload_reload(c: &mut Criterion) {
+    const BLOCK_BYTES: u64 = 16 * 128 * 1024;
+    let mut group = c.benchmark_group("offload_reload");
+    for cpu_blocks in [2_048u64, 16_384, 131_072] {
+        // GPU pool of 2,048 blocks, CPU tier pre-populated to `cpu_blocks` by
+        // committing chains and forcing evictions.
+        let gpu_blocks = 2_048u64;
+        let mut manager = KvCacheManager::with_offload(
+            gpu_blocks,
+            BLOCK_SIZE,
+            cpu_blocks * BLOCK_BYTES,
+            BLOCK_BYTES,
+        );
+        let chain_blocks = 512usize;
+        let chains = cpu_blocks / chain_blocks as u64 + gpu_blocks / chain_blocks as u64;
+        for chain in 0..chains {
+            let start = chain as u32 * 10_000_000;
+            let tokens: Vec<u32> = (start..start + (chain_blocks * BLOCK_SIZE) as u32).collect();
+            let alloc = manager
+                .allocate(
+                    &tokens,
+                    SimTime::from_secs(chain),
+                    RetentionPolicy::FullResidency,
+                )
+                .expect("fits after eviction");
+            manager.commit(alloc, SimTime::from_secs(chain));
+        }
+        assert!(
+            manager.cpu_resident_blocks()
+                >= cpu_blocks.min(chains * chain_blocks as u64 - gpu_blocks)
+        );
+        // The first chain is long evicted: its blocks live only in the CPU tier.
+        let request = tokens(0, 100 * BLOCK_SIZE);
+        assert_eq!(manager.lookup_cached_tokens(&request), 0);
+
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cpu_blocks),
+            &request,
+            |b, request| {
+                b.iter_with_setup(
+                    || manager.clone(),
+                    |mut manager| {
+                        let alloc = manager
+                            .allocate(
+                                request,
+                                SimTime::from_secs(1_000_000),
+                                RetentionPolicy::FullResidency,
+                            )
+                            .expect("reload makes room");
+                        std::hint::black_box(alloc.reloaded_tokens());
+                        manager.release_uncommitted(alloc);
+                        manager
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_hashing,
     bench_lookup,
     bench_allocate_commit,
-    bench_eviction_scaling
+    bench_eviction_scaling,
+    bench_offload_reload
 );
 criterion_main!(benches);

@@ -1,8 +1,11 @@
 //! Emits `BENCH_baseline.json` at the workspace root: median wall-clock timings of the
-//! simulator's hot paths (scheduling step, KV-cache ops, cluster replay), so future
-//! PRs have a recorded perf trajectory to compare against.
+//! simulator's hot paths (scheduling step, KV-cache ops, offload reload, instance
+//! profile run, cluster replay), so future PRs have a recorded perf trajectory to
+//! compare against.
 //!
-//! Run with `cargo run --release --bin bench_baseline`.
+//! Run with `cargo run --release --bin bench_baseline`.  Pass `--smoke` to run each
+//! measurement with a minimal sample count — CI uses this to prove the JSON stays
+//! generatable on every PR without paying full measurement time.
 
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
@@ -13,13 +16,24 @@ use serde::Serialize;
 use gpu::HardwareSetup;
 use kvcache::{KvCacheManager, ProbeCache, RetentionPolicy};
 use model::ModelPreset;
-use prefillonly::{Cluster, EngineConfig, EngineKind};
+use prefillonly::{Cluster, EngineConfig, EngineInstance, EngineKind};
 use prefillonly_bench::hotpath::{calibrated_queue, cohort_cache, FullWalkProbe, MemoProbe};
 use scheduler::{JctEstimator, SchedulingPolicy, SrjfPolicy};
 use simcore::{SimRng, SimTime};
 use workload::{assign_poisson_arrivals, Dataset, PostRecommendationSpec};
 
 const BLOCK_SIZE: usize = prefillonly_bench::hotpath::BLOCK_SIZE;
+
+/// In `--smoke` mode every measurement runs with this many samples.
+const SMOKE_SAMPLES: usize = 3;
+
+fn samples(full: usize) -> usize {
+    if std::env::args().any(|arg| arg == "--smoke") {
+        SMOKE_SAMPLES
+    } else {
+        full
+    }
+}
 
 #[derive(Serialize)]
 struct BaselinePoint {
@@ -107,7 +121,7 @@ fn scheduler_baselines(out: &mut Vec<BaselinePoint>) {
     measure_batched(
         out,
         "scheduler_step/calibrated_select_512/full_walk",
-        15,
+        samples(15),
         100,
         || {
             std::hint::black_box(calibrated.select(&queue, now, &full));
@@ -122,7 +136,7 @@ fn scheduler_baselines(out: &mut Vec<BaselinePoint>) {
     measure_batched(
         out,
         "scheduler_step/calibrated_select_512/incremental",
-        15,
+        samples(15),
         100,
         || {
             std::hint::black_box(calibrated.select(&queue, now, &incremental));
@@ -151,7 +165,7 @@ fn kvcache_baselines(out: &mut Vec<BaselinePoint>) {
         measure(
             out,
             &format!("kvcache_ops/evict_100_blocks_from_cache_of/{cached_blocks}"),
-            25,
+            samples(25),
             || manager.clone(),
             |mut manager| {
                 let alloc = manager
@@ -167,6 +181,76 @@ fn kvcache_baselines(out: &mut Vec<BaselinePoint>) {
             },
         );
     }
+}
+
+/// Hierarchical-tier hot path: allocating a 100-block request whose prefix lives
+/// only in the CPU tier.  The allocation evicts 100 fresh GPU victims (spilling
+/// them) *and* rehydrates 100 CPU-resident blocks, covering both directions of the
+/// host-link bookkeeping.  Mirrors the `offload_reload` criterion group.
+fn offload_baselines(out: &mut Vec<BaselinePoint>) {
+    const BLOCK_BYTES: u64 = 16 * 128 * 1024;
+    for cpu_blocks in [2_048u64, 131_072] {
+        let gpu_blocks = 2_048u64;
+        let mut manager = KvCacheManager::with_offload(
+            gpu_blocks,
+            BLOCK_SIZE,
+            cpu_blocks * BLOCK_BYTES,
+            BLOCK_BYTES,
+        );
+        let chain_blocks = 512usize;
+        let chains = cpu_blocks / chain_blocks as u64 + gpu_blocks / chain_blocks as u64;
+        for chain in 0..chains {
+            let start = chain as u32 * 10_000_000;
+            let tokens: Vec<u32> = (start..start + (chain_blocks * BLOCK_SIZE) as u32).collect();
+            let alloc = manager
+                .allocate(
+                    &tokens,
+                    SimTime::from_secs(chain),
+                    RetentionPolicy::FullResidency,
+                )
+                .expect("fits after eviction");
+            manager.commit(alloc, SimTime::from_secs(chain));
+        }
+        let request: Vec<u32> = (0..(100 * BLOCK_SIZE) as u32).collect();
+        assert_eq!(manager.lookup_cached_tokens(&request), 0, "prefix evicted");
+        measure(
+            out,
+            &format!("kvcache_ops/offload_reload/reload_100_from_cpu_pool_of/{cpu_blocks}"),
+            samples(25),
+            || manager.clone(),
+            |mut manager| {
+                let alloc = manager
+                    .allocate(
+                        &request,
+                        SimTime::from_secs(1_000_000),
+                        RetentionPolicy::FullResidency,
+                    )
+                    .expect("reload makes room");
+                std::hint::black_box(alloc.reloaded_tokens());
+                manager.release_uncommitted(alloc);
+                manager
+            },
+        );
+    }
+}
+
+/// The §3.1 profile run (MIL search + JCT grid + estimator fit) an instance pays at
+/// construction — the target of the cost-curve memoisation (ROADMAP "Executor MIL
+/// search" item).
+fn instance_profile_baselines(out: &mut Vec<BaselinePoint>) {
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        20_000,
+    );
+    measure(
+        out,
+        "serving/instance_profile_run",
+        samples(25),
+        || (),
+        |()| EngineInstance::new(&config, 0),
+    );
 }
 
 fn cluster_baselines(out: &mut Vec<BaselinePoint>) {
@@ -191,7 +275,7 @@ fn cluster_baselines(out: &mut Vec<BaselinePoint>) {
     measure(
         out,
         "serving/cluster_replay_96_requests/parallel",
-        9,
+        samples(9),
         || Cluster::new(&config),
         |mut cluster| {
             std::hint::black_box(
@@ -207,7 +291,7 @@ fn cluster_baselines(out: &mut Vec<BaselinePoint>) {
     measure(
         out,
         "serving/cluster_replay_96_requests/sequential",
-        9,
+        samples(9),
         || Cluster::new(&config),
         |mut cluster| {
             std::hint::black_box(
@@ -238,6 +322,8 @@ fn main() {
     let mut results = Vec::new();
     scheduler_baselines(&mut results);
     kvcache_baselines(&mut results);
+    offload_baselines(&mut results);
+    instance_profile_baselines(&mut results);
     cluster_baselines(&mut results);
 
     let baseline = Baseline {

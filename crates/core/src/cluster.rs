@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use simcore::{EventQueue, SimDuration, SimTime};
 
-use kvcache::CacheStats;
+use kvcache::{CacheStats, OffloadStats};
 use workload::ArrivalPattern;
 
 use crate::baselines::engine_display_name;
@@ -319,6 +319,7 @@ impl Cluster {
             records,
             makespan,
             cache: self.aggregate_cache_stats(),
+            offload: self.aggregate_offload_stats(),
         }
     }
 
@@ -372,6 +373,14 @@ impl Cluster {
         Self::pump_admissions(instance, now, events, InstanceEvent::Complete, || {
             InstanceEvent::Admit
         });
+    }
+
+    fn aggregate_offload_stats(&self) -> OffloadStats {
+        let mut total = OffloadStats::default();
+        for instance in &self.instances {
+            total.merge(&instance.offload_stats());
+        }
+        total
     }
 
     fn aggregate_cache_stats(&self) -> CacheStats {
@@ -590,6 +599,85 @@ mod tests {
         assert_eq!(a.records, b.records);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.cache, b.cache);
+    }
+
+    /// An offload-enabled deployment under real eviction pressure: a squeezed KV pool
+    /// over interleaved per-request arrivals, so user profiles spill to the CPU tier
+    /// between a user's consecutive requests and rehydrate on their return.
+    fn offload_pressure_config(cpu_bytes: u64) -> (EngineConfig, Vec<ArrivalPattern>) {
+        let spec = workload::PostRecommendationSpec {
+            num_users: 6,
+            posts_per_user: 8,
+            profile_mean_tokens: 5_000.0,
+            profile_std_tokens: 600.0,
+            profile_min_tokens: 4_000,
+            profile_max_tokens: 6_000,
+            ..workload::PostRecommendationSpec::default()
+        };
+        let mut rng = SimRng::seed_from_u64(42);
+        let ds = Dataset::post_recommendation(&spec, &mut rng);
+        let arrivals = workload::assign_poisson_arrivals_with(
+            &ds,
+            3.0,
+            workload::ArrivalGranularity::PerRequest,
+            &mut rng,
+        );
+        let mut config = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::prefillonly_default(),
+            ds.max_request_tokens(),
+        );
+        // Squeeze the KV pool below the per-instance profile working set so the
+        // prefix cache must evict between a user's requests.
+        config.memory_utilization = 0.70;
+        ((config).with_cpu_offload(cpu_bytes), arrivals)
+    }
+
+    /// The determinism guarantee extends to the hierarchical cache: with offload
+    /// enabled and the CPU tier actively spilling/reloading, the threaded replay is
+    /// byte-identical to the sequential reference — records, cache stats and offload
+    /// stats alike.
+    #[test]
+    fn parallel_run_is_identical_to_sequential_with_offload() {
+        let (config, arrivals) = offload_pressure_config(64 << 30);
+        let mut parallel = Cluster::new(&config);
+        assert!(parallel.instances().len() > 1);
+        let mut sequential = Cluster::new(&config);
+        let a = parallel.run(&arrivals, 3.0).unwrap();
+        let b = sequential.run_sequential(&arrivals, 3.0).unwrap();
+        assert!(
+            a.offload.reloaded_blocks > 0,
+            "the scenario must actually exercise the CPU tier"
+        );
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.offload, b.offload);
+    }
+
+    /// `cpu_kv_capacity_bytes = 0` is inert — the deployment discards eviction
+    /// victims exactly as the published system, with no offload statistics — while
+    /// the same trace under a real CPU tier demonstrably diverges (so the inertness
+    /// check is not vacuous).
+    #[test]
+    fn zero_cpu_capacity_is_byte_identical_to_discard() {
+        let (enabled, arrivals) = offload_pressure_config(64 << 30);
+        let disabled = enabled.clone().with_cpu_offload(0);
+        let a = Cluster::new(&disabled).run(&arrivals, 3.0).unwrap();
+        assert_eq!(a.offload, kvcache::OffloadStats::default());
+        assert!(a.records.iter().all(|r| r.reloaded_tokens == 0));
+        assert!(
+            a.cache.evicted_blocks > 0,
+            "the pool must be under pressure"
+        );
+
+        let b = Cluster::new(&enabled).run(&arrivals, 3.0).unwrap();
+        assert!(b.offload.reloaded_blocks > 0);
+        assert_ne!(
+            a.records, b.records,
+            "an active CPU tier must change the replay"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use executor::{ExecutorConfig, Parallelism, PrefillStrategy};
-use gpu::HardwareSetup;
+use gpu::{HardwareSetup, LinkKind};
 use model::ModelPreset;
 use scheduler::PolicyKind;
 
@@ -90,6 +90,14 @@ pub struct EngineConfig {
     pub block_size: usize,
     /// JCT profiling granularity in tokens (§6.3 uses 1,000).
     pub profile_granularity: u64,
+    /// Host (CPU) memory per instance dedicated to the hierarchical KV tier (§9
+    /// extension).  Zero — the default — disables offloading entirely: eviction
+    /// victims are discarded and every code path behaves exactly as the published
+    /// system.
+    pub cpu_kv_capacity_bytes: u64,
+    /// The host↔device link KV blocks cross when spilled or reloaded (PCIe for the
+    /// evaluated setups; NVLink-C2C on Grace-Hopper-class hosts).
+    pub host_link: LinkKind,
 }
 
 impl EngineConfig {
@@ -108,7 +116,25 @@ impl EngineConfig {
             memory_utilization: 0.9,
             block_size: 16,
             profile_granularity: 1_000,
+            cpu_kv_capacity_bytes: 0,
+            host_link: LinkKind::PcieGen4,
         }
+    }
+
+    /// Enables the hierarchical KV tier: each instance gets `cpu_kv_capacity_bytes`
+    /// of host memory for evicted prefix blocks, reached over [`Self::host_link`]
+    /// (PCIe gen-4 unless overridden — host memory sits behind the PCIe switch even
+    /// on NVLink GPU setups).
+    pub fn with_cpu_offload(mut self, cpu_kv_capacity_bytes: u64) -> EngineConfig {
+        self.cpu_kv_capacity_bytes = cpu_kv_capacity_bytes;
+        self
+    }
+
+    /// Overrides the host↔device link used for KV offload traffic (e.g.
+    /// [`LinkKind::NvLink4`] to model a Grace-Hopper-style coherent host link).
+    pub fn with_host_link(mut self, host_link: LinkKind) -> EngineConfig {
+        self.host_link = host_link;
+        self
     }
 
     /// Number of engine instances this deployment runs (one per GPU for single-GPU

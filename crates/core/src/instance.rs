@@ -14,9 +14,10 @@ use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 use executor::{max_input_length, profile_jct_grid, Executor};
+use gpu::HostLink;
 use kvcache::{
-    hash_token_blocks, CacheStats, KvCacheManager, ProbeCache, RequestKv, RetentionPolicy,
-    TokenBlockHash,
+    hash_token_blocks, CacheStats, KvCacheManager, OffloadStats, ProbeCache, RequestKv,
+    RetentionPolicy, TierHits, TokenBlockHash,
 };
 use scheduler::{CacheProbe, JctEstimator, SchedulingPolicy, WaitingQueue, WaitingRequest};
 
@@ -51,6 +52,30 @@ struct RunningRequest {
     completion: SimTime,
 }
 
+/// Tokens a tiered prefix hit is worth to the JCT estimator.
+///
+/// GPU hits count in full.  CPU hits are discounted by the reload-vs-recompute cost
+/// ratio: rehydrating a token over the host link is not free, so a CPU-resident token
+/// only saves `1 − reload/recompute` of its computation time.  CPU hits are further
+/// capped by the pool space left next to the GPU-hit prefix — allocation can only
+/// rehydrate blocks it can make resident, so crediting more would under-estimate the
+/// JCT of CPU-warm requests larger than the pool.  With both folded in, calibrated
+/// SRJF ranks a CPU-warm long request exactly as far ahead as the transfer actually
+/// makes it (and ignores the CPU tier entirely on hosts where reloading is no
+/// cheaper than recomputing).
+fn effective_cached_tokens(
+    hits: TierHits,
+    pool_capacity_blocks: u64,
+    block_size: usize,
+    cpu_hit_discount: f64,
+) -> u64 {
+    let gpu = (hits.gpu_blocks * block_size) as u64;
+    let reloadable =
+        (hits.cpu_blocks as u64).min(pool_capacity_blocks.saturating_sub(hits.gpu_blocks as u64));
+    let cpu = reloadable * block_size as u64;
+    gpu + (cpu as f64 * cpu_hit_discount) as u64
+}
+
 /// One serving-engine instance.
 pub struct EngineInstance {
     id: usize,
@@ -69,6 +94,11 @@ pub struct EngineInstance {
     running: HashMap<u64, RunningRequest>,
     stage_free_at: Vec<SimTime>,
     max_input_length: u64,
+    /// Host↔device link KV blocks cross when spilled to / reloaded from the CPU tier.
+    host_link: HostLink,
+    /// JCT-estimator weight of a CPU-tier token hit, in `[0, 1]` (see
+    /// [`effective_cached_tokens`]).
+    cpu_hit_discount: f64,
     stats: InstanceStats,
 }
 
@@ -80,6 +110,7 @@ struct KvCacheProbe<'a> {
     kv: &'a KvCacheManager,
     hashes: &'a HashMap<u64, Arc<Vec<TokenBlockHash>>>,
     memo: &'a RefCell<ProbeCache>,
+    cpu_hit_discount: f64,
 }
 
 impl CacheProbe for KvCacheProbe<'_> {
@@ -87,9 +118,16 @@ impl CacheProbe for KvCacheProbe<'_> {
         self.hashes
             .get(&request.id)
             .map(|hashes| {
-                self.memo
+                let hits = self
+                    .memo
                     .borrow_mut()
-                    .cached_tokens(self.kv, request.id, hashes)
+                    .tier_hits(self.kv, request.id, hashes);
+                effective_cached_tokens(
+                    hits,
+                    self.kv.capacity_blocks(),
+                    self.kv.block_size(),
+                    self.cpu_hit_discount,
+                )
             })
             .unwrap_or(0)
     }
@@ -112,7 +150,17 @@ impl EngineInstance {
         let kv_per_token_per_gpu = executor.kv_bytes_per_token_per_gpu().max(1);
         let pool_tokens = pool_bytes_per_gpu / kv_per_token_per_gpu;
         let pool_blocks = (pool_tokens / config.block_size as u64).max(1);
-        let kv = KvCacheManager::new(pool_blocks, config.block_size);
+        // Hierarchical tier (§9): eviction victims spill to host memory and reload
+        // over the host link.  A CPU block holds the *full* KV of its tokens (all
+        // layers, all shards) — that is what must cross PCIe to rehydrate it.
+        let kv_bytes_per_token = executor.config().model.kv_bytes_per_token().max(1);
+        let kv = KvCacheManager::with_offload(
+            pool_blocks,
+            config.block_size,
+            config.cpu_kv_capacity_bytes,
+            kv_bytes_per_token * config.block_size as u64,
+        );
+        let host_link = HostLink::new(config.host_link);
 
         // JCT profile (§6.3): grid over (n_input, n_cached) at 1,000-token granularity,
         // then fit the cache-miss-token proxy the paper uses by default.
@@ -136,6 +184,17 @@ impl EngineInstance {
         };
         let stages = executor.config().parallelism.num_stages() as usize;
 
+        // Reload-vs-recompute trade-off, folded into the JCT probe: a CPU-tier token
+        // hit saves the recompute time minus the host-link transfer time.  The
+        // recompute rate comes from the fitted estimator itself (the marginal cost of
+        // one more uncached token), so the discount stays consistent with the scores
+        // the scheduler compares.
+        let recompute_secs_per_token =
+            ((estimator.estimate(2_000, 0) - estimator.estimate(1_000, 0)) / 1_000.0).max(1e-12);
+        let reload_secs_per_token = host_link.secs_per_byte() * kv_bytes_per_token as f64;
+        let cpu_hit_discount =
+            (1.0 - reload_secs_per_token / recompute_secs_per_token).clamp(0.0, 1.0);
+
         EngineInstance {
             id,
             policy: config.kind.policy().build(estimator),
@@ -150,6 +209,8 @@ impl EngineInstance {
             running: HashMap::new(),
             stage_free_at: vec![SimTime::ZERO; stages],
             max_input_length: mil,
+            host_link,
+            cpu_hit_discount,
             stats: InstanceStats::default(),
         }
     }
@@ -199,6 +260,17 @@ impl EngineInstance {
         self.kv.stats()
     }
 
+    /// CPU-tier (hierarchical cache) statistics; all zero when offload is disabled.
+    pub fn offload_stats(&self) -> OffloadStats {
+        self.kv.offload_stats()
+    }
+
+    /// The JCT-estimator weight of a CPU-tier token hit (0 = reloading is no cheaper
+    /// than recomputing, 1 = reloading is free).
+    pub fn cpu_hit_discount(&self) -> f64 {
+        self.cpu_hit_discount
+    }
+
     /// Earliest virtual time at which a new request could be admitted (when the first
     /// pipeline stage becomes free).
     pub fn next_admission_time(&self) -> SimTime {
@@ -219,10 +291,16 @@ impl EngineInstance {
         let hashes = Arc::new(hash_token_blocks(&request.tokens, self.kv.block_size()));
         // The arrival-time probe doubles as the seed of the memoised probe cache, so
         // the first scheduling step already starts from a known hit depth.
-        let cached_at_arrival = self
+        let hits_at_arrival = self
             .probe_cache
             .borrow_mut()
-            .cached_tokens(&self.kv, request.id, &hashes);
+            .tier_hits(&self.kv, request.id, &hashes);
+        let cached_at_arrival = effective_cached_tokens(
+            hits_at_arrival,
+            self.kv.capacity_blocks(),
+            self.kv.block_size(),
+            self.cpu_hit_discount,
+        );
         self.queue.push(WaitingRequest {
             id: request.id,
             arrival: now,
@@ -248,6 +326,7 @@ impl EngineInstance {
                     kv: &self.kv,
                     hashes: &self.pending_hashes,
                     memo: &self.probe_cache,
+                    cpu_hit_discount: self.cpu_hit_discount,
                 };
                 self.policy.select(self.queue.requests(), now, &probe)?
             };
@@ -290,17 +369,28 @@ impl EngineInstance {
             };
 
             let cached = kv_alloc.cached_tokens();
+            let reloaded = kv_alloc.reloaded_tokens();
             let new_tokens = kv_alloc.uncached_tokens().max(1);
-            let breakdown = self.executor.forward_time(new_tokens, cached);
+            // Reloaded tokens behave like cache hits to the model (their KV exists;
+            // only uncached tokens are forwarded) but charge a host-link transfer
+            // that serialises before the first stage's compute — the attention over
+            // the reloaded prefix cannot start until its KV is device-resident.
+            let breakdown = self.executor.forward_time(new_tokens, cached + reloaded);
+            let reload_transfer = self.host_link.transfer_time(kv_alloc.reloaded_bytes());
 
             // Walk the request through the pipeline stages, respecting both the
             // request's own data dependency and each stage's availability.
             let mut previous_end = now;
             for (stage, stage_time) in breakdown.stage_times.iter().enumerate() {
+                let work = if stage == 0 {
+                    *stage_time + reload_transfer
+                } else {
+                    *stage_time
+                };
                 let start = previous_end.max(self.stage_free_at[stage]);
-                let end = start + *stage_time;
+                let end = start + work;
                 self.stage_free_at[stage] = end;
-                self.stats.busy += *stage_time;
+                self.stats.busy += work;
                 previous_end = end;
             }
             let completion = previous_end;
@@ -335,6 +425,7 @@ impl EngineInstance {
             .expect("completing a request that is not running");
         debug_assert!(now >= running.completion);
         let cached = running.kv.cached_tokens();
+        let reloaded = running.kv.reloaded_tokens();
         self.kv.commit(running.kv, now);
         self.stats.completed += 1;
         RequestRecord {
@@ -346,6 +437,7 @@ impl EngineInstance {
             completed: running.completion,
             total_tokens: running.request.num_tokens(),
             cached_tokens: cached,
+            reloaded_tokens: reloaded,
         }
     }
 }
@@ -469,6 +561,68 @@ mod tests {
         );
         // The cache hit must also make the second request faster.
         assert!(record_b.execution() < record_a.execution());
+    }
+
+    #[test]
+    fn evicted_profile_reloads_from_cpu_instead_of_recomputing() {
+        // A small pool (squeezed via memory utilization) with a CPU tier behind it:
+        // when another user's traffic evicts a profile, the profile's next request
+        // rehydrates over the host link — faster than recomputing, slower than a
+        // GPU-resident hit.
+        let mut config = config(EngineKind::prefillonly_default());
+        config.memory_utilization = 0.70;
+        let config = config.with_cpu_offload(64 << 30);
+        let mut instance = EngineInstance::new(&config, 0);
+        let pool_tokens = instance.kv_pool_tokens();
+        assert!(
+            pool_tokens < 16_000,
+            "test premise: pool ({pool_tokens} tokens) below the two-user working set"
+        );
+        assert!(instance.cpu_hit_discount() > 0.5, "PCIe reload ≫ recompute");
+
+        let profile_a: Vec<u32> = (0..8_000).collect();
+        let profile_b: Vec<u32> = (1_000_000..1_008_000).collect();
+        let mut now = SimTime::ZERO;
+        let mut run = |instance: &mut EngineInstance, id: u64, user: u64, tokens: &[u32]| {
+            let request = PrefillRequest {
+                id,
+                user_id: user,
+                tokens: Arc::new(tokens.to_vec()),
+                allowed_outputs: vec![],
+                arrival: now,
+            };
+            instance.enqueue(request, now);
+            let started = instance.try_start(now).expect("idle instance admits");
+            let record = instance.complete(id, started.completion);
+            now = started.completion;
+            record
+        };
+
+        let cold = run(&mut instance, 1, 1, &profile_a);
+        assert_eq!(cold.reloaded_tokens, 0);
+        // B's profile evicts A's from the squeezed pool, spilling it to CPU.
+        run(&mut instance, 2, 2, &profile_b);
+        assert!(instance.offload_stats().offloaded_blocks > 0, "A spilled");
+
+        let reloaded = run(&mut instance, 3, 1, &profile_a);
+        assert!(
+            reloaded.reloaded_tokens >= pool_tokens,
+            "A's profile must come back from the CPU tier up to the pool's capacity, \
+             got {} of {pool_tokens} tokens",
+            reloaded.reloaded_tokens
+        );
+        assert_eq!(reloaded.cached_tokens, 0, "the GPU copy was evicted");
+        assert!(
+            reloaded.execution() < cold.execution(),
+            "reloading must beat recomputing ({} vs {})",
+            reloaded.execution(),
+            cold.execution()
+        );
+
+        // A GPU-warm repeat (nothing evicted in between) is faster still.
+        let warm = run(&mut instance, 4, 1, &profile_a);
+        assert!(warm.cached_tokens >= pool_tokens);
+        assert!(warm.execution() < reloaded.execution());
     }
 
     #[test]

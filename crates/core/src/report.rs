@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
-use kvcache::CacheStats;
+use kvcache::{CacheStats, OffloadStats};
 use metrics::{Cdf, Summary};
 
 /// Everything recorded about one completed request.
@@ -23,8 +23,11 @@ pub struct RequestRecord {
     pub completed: SimTime,
     /// Prompt length in tokens.
     pub total_tokens: u64,
-    /// Tokens served from the prefix cache.
+    /// Tokens served from the GPU prefix cache.
     pub cached_tokens: u64,
+    /// Tokens rehydrated from the CPU tier over the host link (zero unless the
+    /// hierarchical KV cache is enabled).
+    pub reloaded_tokens: u64,
 }
 
 impl RequestRecord {
@@ -58,6 +61,9 @@ pub struct RunReport {
     pub makespan: SimDuration,
     /// Aggregated prefix-cache statistics across all instances.
     pub cache: CacheStats,
+    /// Aggregated CPU-tier (hierarchical cache) statistics across all instances; all
+    /// zero when `cpu_kv_capacity_bytes` is 0.
+    pub offload: OffloadStats,
 }
 
 impl RunReport {
@@ -97,6 +103,11 @@ impl RunReport {
         self.cache.hit_rate()
     }
 
+    /// Tokens rehydrated from the CPU tier across all requests.
+    pub fn reloaded_tokens(&self) -> u64 {
+        self.records.iter().map(|r| r.reloaded_tokens).sum()
+    }
+
     /// Latency CDF (Fig. 11).
     pub fn latency_cdf(&self) -> Cdf {
         Cdf::from_samples(&self.latencies_secs())
@@ -117,6 +128,7 @@ mod tests {
             completed: SimTime::from_millis(completed_ms),
             total_tokens: 1000,
             cached_tokens: 100,
+            reloaded_tokens: 0,
         }
     }
 
@@ -136,6 +148,7 @@ mod tests {
             records: vec![record(0, 0, 1000), record(0, 1000, 3000)],
             makespan: SimDuration::from_secs(3),
             cache: CacheStats::default(),
+            offload: OffloadStats::default(),
         };
         assert!((report.mean_latency_secs() - 2.0).abs() < 1e-9);
         assert!(report.p99_latency_secs() >= report.mean_latency_secs());
@@ -151,6 +164,7 @@ mod tests {
             records: vec![],
             makespan: SimDuration::ZERO,
             cache: CacheStats::default(),
+            offload: OffloadStats::default(),
         };
         assert_eq!(report.mean_latency_secs(), 0.0);
         assert_eq!(report.throughput_rps(), 0.0);

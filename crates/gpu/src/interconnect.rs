@@ -44,6 +44,47 @@ impl LinkKind {
     }
 }
 
+/// Cost model of the host↔device link used to spill and rehydrate KV blocks
+/// between GPU and CPU memory (the §9 hierarchical-cache extension).
+///
+/// The CPU tier sits behind the same physical links as peer GPUs — PCIe for the
+/// evaluated setups, NVLink-C2C on Grace-Hopper-class machines — so the model reuses
+/// [`LinkKind`]'s achievable bandwidth and per-operation launch latency.  Offload
+/// writes are assumed to overlap with compute (they are asynchronous DMA off the
+/// critical path); only *reloads* stall the GPU, so only [`HostLink::transfer_time`]
+/// is ever charged to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostLink {
+    link: LinkKind,
+}
+
+impl HostLink {
+    /// Creates a host-link model over the given physical link.
+    pub fn new(link: LinkKind) -> HostLink {
+        HostLink { link }
+    }
+
+    /// The underlying link.
+    pub fn link(&self) -> LinkKind {
+        self.link
+    }
+
+    /// Marginal seconds per byte of a large transfer (the launch latency excluded).
+    pub fn secs_per_byte(&self) -> f64 {
+        1.0 / self.link.bandwidth_bytes_per_sec()
+    }
+
+    /// Time for one synchronous host→device (or device→host) copy of `bytes` bytes:
+    /// the launch latency plus the bandwidth-bound transfer.  Zero bytes cost nothing.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let transfer = bytes as f64 / self.link.bandwidth_bytes_per_sec();
+        self.link.launch_latency() + SimDuration::from_secs_f64(transfer)
+    }
+}
+
 /// Collective / point-to-point communication cost model over a link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Interconnect {
@@ -142,5 +183,24 @@ mod tests {
     #[should_panic(expected = "world size")]
     fn zero_world_size_panics() {
         Interconnect::new(LinkKind::PcieGen4, 0);
+    }
+
+    #[test]
+    fn host_link_transfer_matches_point_to_point() {
+        // A host reload crosses the same physical link as a GPU↔GPU copy.
+        let host = HostLink::new(LinkKind::PcieGen4);
+        let p2p = Interconnect::new(LinkKind::PcieGen4, 2);
+        let bytes = 256 * 1024 * 1024;
+        assert_eq!(host.transfer_time(bytes), p2p.point_to_point(bytes));
+        assert_eq!(host.transfer_time(0), SimDuration::ZERO);
+        assert!(host.transfer_time(1) >= LinkKind::PcieGen4.launch_latency());
+        assert_eq!(host.link(), LinkKind::PcieGen4);
+    }
+
+    #[test]
+    fn host_link_secs_per_byte_is_the_bandwidth_reciprocal() {
+        let host = HostLink::new(LinkKind::PcieGen5);
+        let secs = host.secs_per_byte() * 48.0e9;
+        assert!((secs - 1.0).abs() < 1e-12);
     }
 }

@@ -25,5 +25,5 @@ mod roofline;
 
 pub use allocator::{AllocError, AllocHandle, CachingAllocator, MemoryTrace, TracePoint};
 pub use device::{GpuKind, GpuSpec, HardwareSetup};
-pub use interconnect::{Interconnect, LinkKind};
+pub use interconnect::{HostLink, Interconnect, LinkKind};
 pub use roofline::{KernelCost, Roofline};

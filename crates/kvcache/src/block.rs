@@ -3,8 +3,12 @@
 //! KV memory is carved into fixed-size blocks of `block_size` tokens, as in vLLM's
 //! PagedAttention.  The pool hands out block identities and tracks reference counts;
 //! the actual bytes live only in the analytical GPU model.
-
-use std::collections::HashMap;
+//!
+//! Block ids are handed out densely from zero, so reference counts live in a flat
+//! `Vec<u32>` indexed by [`BlockId`] instead of a hash map — the add/dec-ref pair on
+//! the allocate/commit hot path is two array index operations, with no hashing.  The
+//! vector grows lazily with the high-water mark of live blocks, so a pool sized for a
+//! huge capacity but used lightly stays small.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,13 +16,21 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BlockId(pub u64);
 
+/// Slot marker for a block id that is currently on the free list (or was never
+/// handed out).  A real reference count never reaches this value: it would require
+/// 2^32 - 1 concurrent references to one block.
+const NOT_ALLOCATED: u32 = u32::MAX;
+
 /// A fixed-capacity pool of KV blocks with reference counting.
 #[derive(Debug, Clone)]
 pub struct BlockPool {
     total_blocks: u64,
-    next_id: u64,
     free: Vec<BlockId>,
-    ref_counts: HashMap<BlockId, u32>,
+    /// Reference count per block id ever handed out; [`NOT_ALLOCATED`] marks freed
+    /// slots.  `len()` is the id high-water mark.
+    ref_counts: Vec<u32>,
+    /// Number of live slots (reference count ≥ 0, i.e. not [`NOT_ALLOCATED`]).
+    allocated: u64,
 }
 
 impl BlockPool {
@@ -26,9 +38,9 @@ impl BlockPool {
     pub fn new(total_blocks: u64) -> BlockPool {
         BlockPool {
             total_blocks,
-            next_id: 0,
             free: Vec::new(),
-            ref_counts: HashMap::new(),
+            ref_counts: Vec::new(),
+            allocated: 0,
         }
     }
 
@@ -39,27 +51,40 @@ impl BlockPool {
 
     /// Number of blocks currently allocated (reference count ≥ 1 or cached).
     pub fn allocated_blocks(&self) -> u64 {
-        self.ref_counts.len() as u64
+        self.allocated
     }
 
     /// Number of blocks that can still be allocated without evicting anything.
     pub fn free_blocks(&self) -> u64 {
-        self.total_blocks - self.allocated_blocks()
+        self.total_blocks - self.allocated
+    }
+
+    fn slot(&self, id: BlockId) -> Option<u32> {
+        self.ref_counts
+            .get(id.0 as usize)
+            .copied()
+            .filter(|&count| count != NOT_ALLOCATED)
     }
 
     /// Allocates one block with an initial reference count of 1.
     ///
     /// Returns `None` when the pool is exhausted (the caller decides whether to evict).
     pub fn allocate(&mut self) -> Option<BlockId> {
-        if self.allocated_blocks() >= self.total_blocks {
+        if self.allocated >= self.total_blocks {
             return None;
         }
-        let id = self.free.pop().unwrap_or_else(|| {
-            let id = BlockId(self.next_id);
-            self.next_id += 1;
-            id
-        });
-        self.ref_counts.insert(id, 1);
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.ref_counts[id.0 as usize] = 1;
+                id
+            }
+            None => {
+                let id = BlockId(self.ref_counts.len() as u64);
+                self.ref_counts.push(1);
+                id
+            }
+        };
+        self.allocated += 1;
         Some(id)
     }
 
@@ -69,10 +94,12 @@ impl BlockPool {
     ///
     /// Panics if the block is not currently allocated.
     pub fn add_ref(&mut self, id: BlockId) {
-        *self
+        let count = self
             .ref_counts
-            .get_mut(&id)
-            .expect("add_ref on a block that is not allocated") += 1;
+            .get_mut(id.0 as usize)
+            .filter(|count| **count != NOT_ALLOCATED)
+            .expect("add_ref on a block that is not allocated");
+        *count += 1;
     }
 
     /// Decrements the reference count of an allocated block and returns the new count.
@@ -86,7 +113,8 @@ impl BlockPool {
     pub fn dec_ref(&mut self, id: BlockId) -> u32 {
         let count = self
             .ref_counts
-            .get_mut(&id)
+            .get_mut(id.0 as usize)
+            .filter(|count| **count != NOT_ALLOCATED)
             .expect("dec_ref on a block that is not allocated");
         assert!(*count > 0, "dec_ref on a block with zero references");
         *count -= 1;
@@ -95,7 +123,7 @@ impl BlockPool {
 
     /// Returns the current reference count, or `None` if the block is not allocated.
     pub fn ref_count(&self, id: BlockId) -> Option<u32> {
-        self.ref_counts.get(&id).copied()
+        self.slot(id)
     }
 
     /// Frees a block entirely, returning it to the free list.
@@ -105,14 +133,15 @@ impl BlockPool {
     /// Panics if the block is not allocated or still has references.
     pub fn release(&mut self, id: BlockId) {
         let count = self
-            .ref_counts
-            .remove(&id)
+            .slot(id)
             .expect("release of a block that is not allocated");
         assert_eq!(
             count, 0,
             "released a block that still has {count} references"
         );
+        self.ref_counts[id.0 as usize] = NOT_ALLOCATED;
         self.free.push(id);
+        self.allocated -= 1;
     }
 }
 

@@ -12,7 +12,12 @@
 //! * **suffix KV-cache discarding** (§5.1): a prefill-only request does not need its
 //!   own KV after the forward pass, so PrefillOnly retains only as many *prefix* blocks
 //!   as fit in the pool and discards the rest, instead of refusing the request or
-//!   spilling to other GPUs.
+//!   spilling to other GPUs;
+//! * a **hierarchical CPU tier** (§9 extension): a manager built with
+//!   [`KvCacheManager::with_offload`] spills eviction victims into a [`CpuKvPool`]
+//!   instead of discarding them, and allocations rehydrate CPU-resident
+//!   continuations of the GPU-cached prefix over the host link — the engine charges
+//!   the PCIe transfer from [`RequestKv::reloaded_bytes`].
 //!
 //! The manager never stores actual key/value tensors — only block identities and
 //! token-content hashes — because the reproduction's GPU is analytical.  Everything the
@@ -27,6 +32,6 @@ mod probe;
 
 pub use block::{BlockId, BlockPool};
 pub use hash::{hash_token_blocks, TokenBlockHash};
-pub use manager::{CacheStats, KvCacheManager, KvError, RequestKv, RetentionPolicy};
+pub use manager::{CacheStats, KvCacheManager, KvError, RequestKv, RetentionPolicy, TierHits};
 pub use offload::{CpuKvPool, OffloadStats};
 pub use probe::ProbeCache;

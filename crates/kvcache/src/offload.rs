@@ -3,12 +3,20 @@
 //! The published PrefillOnly *discards* the KV cache of suffix tokens that do not fit in
 //! GPU memory, which forfeits any chance of reusing that computation later.  §9 points
 //! out that the same mechanism could instead *offload* those blocks to CPU memory (à la
-//! LMCache) and reload them over PCIe when a future request shares the prefix.  This
-//! module provides that CPU tier: a capacity-bounded, LRU-evicted map from block-content
-//! hashes to block-sized KV entries, plus the byte accounting the engine needs to decide
-//! whether reloading is cheaper than recomputing.
+//! LMCache / SGLang's hierarchical cache) and reload them over PCIe when a future
+//! request shares the prefix.  This module provides that CPU tier: a capacity-bounded,
+//! LRU-evicted map from block-content hashes to block-sized KV entries, plus the byte
+//! accounting the engine needs to decide whether reloading is cheaper than recomputing.
+//!
+//! Like the GPU-tier [`KvCacheManager`](crate::KvCacheManager), the pool keeps an
+//! ordered `(last_used, hash)` index next to the entry map, so LRU eviction is
+//! O(log n) *and* fully deterministic (ties in `last_used` break on the hash, never on
+//! map iteration order — a requirement of the byte-identical parallel replay).  It also
+//! exposes a [`CpuKvPool::generation`] counter that changes exactly when the pool's
+//! *contents* change, which lets the scheduler's probe memoisation extend to the CPU
+//! tier.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
@@ -24,6 +32,18 @@ pub struct OffloadStats {
     pub evicted_blocks: u64,
     /// Blocks served back to the GPU from CPU memory.
     pub reloaded_blocks: u64,
+    /// Bytes that crossed the host link to serve reloads.
+    pub reloaded_bytes: u64,
+}
+
+impl OffloadStats {
+    /// Merges another tier's statistics into this one (cluster-level aggregation).
+    pub fn merge(&mut self, other: &OffloadStats) {
+        self.offloaded_blocks += other.offloaded_blocks;
+        self.evicted_blocks += other.evicted_blocks;
+        self.reloaded_blocks += other.reloaded_blocks;
+        self.reloaded_bytes += other.reloaded_bytes;
+    }
 }
 
 /// A capacity-bounded CPU-memory pool of offloaded KV blocks.
@@ -32,6 +52,11 @@ pub struct CpuKvPool {
     block_bytes: u64,
     capacity_blocks: u64,
     entries: HashMap<TokenBlockHash, SimTime>,
+    /// Eviction order: `(last_used, hash)` for every entry, oldest first.
+    lru: BTreeSet<(SimTime, TokenBlockHash)>,
+    /// Bumped whenever an entry is inserted or removed (recency refreshes do not
+    /// count: they change eviction order, not which prefixes hit).
+    generation: u64,
     stats: OffloadStats,
 }
 
@@ -48,6 +73,8 @@ impl CpuKvPool {
             block_bytes,
             capacity_blocks: capacity_bytes / block_bytes,
             entries: HashMap::new(),
+            lru: BTreeSet::new(),
+            generation: 0,
             stats: OffloadStats::default(),
         }
     }
@@ -77,7 +104,29 @@ impl CpuKvPool {
         self.stats
     }
 
-    /// Offloads the given block-hash chain (typically the discarded suffix of a
+    /// Monotonically increasing counter that changes exactly when the pool *contents*
+    /// change (an entry is inserted or evicted).  While it is unchanged, every
+    /// [`Self::lookup_prefix_blocks`] answer remains valid, so probe memoisation can
+    /// skip re-walking the CPU tier.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Refreshes an entry's recency, never moving it backwards: a spill of a stale
+    /// GPU duplicate carries the victim's old `last_used`, and must not demote a CPU
+    /// entry that a recent reload already marked hot.
+    fn touch(&mut self, hash: TokenBlockHash, now: SimTime) {
+        if let Some(entry) = self.entries.get_mut(&hash) {
+            let previous = *entry;
+            if previous < now {
+                self.lru.remove(&(previous, hash));
+                *entry = now;
+                self.lru.insert((now, hash));
+            }
+        }
+    }
+
+    /// Offloads the given block-hash chain (typically the evicted suffix of a
     /// request), evicting the least-recently-used entries if the pool is full.
     ///
     /// Returns the number of blocks actually written (existing entries are refreshed,
@@ -89,13 +138,15 @@ impl CpuKvPool {
                 break;
             }
             if self.entries.contains_key(hash) {
-                self.entries.insert(*hash, now);
+                self.touch(*hash, now);
                 continue;
             }
             if self.resident_blocks() >= self.capacity_blocks {
                 self.evict_lru();
             }
             self.entries.insert(*hash, now);
+            self.lru.insert((now, *hash));
+            self.generation += 1;
             self.stats.offloaded_blocks += 1;
             written += 1;
         }
@@ -118,22 +169,37 @@ impl CpuKvPool {
 
     /// Marks the leading `blocks` blocks of `hashes` as reloaded to the GPU (refreshing
     /// their recency) and returns the number of bytes that must cross the CPU-GPU link.
+    ///
+    /// The CPU copy is retained — a reload is a host→device *copy*, so the entry can
+    /// serve later requests even after the GPU-side blocks are evicted again.
     pub fn reload_prefix(&mut self, hashes: &[TokenBlockHash], blocks: u64, now: SimTime) -> u64 {
         let blocks = blocks.min(hashes.len() as u64);
+        let mut bytes = 0;
         for hash in &hashes[..blocks as usize] {
-            if let Some(entry) = self.entries.get_mut(hash) {
-                *entry = now;
+            if self.entries.contains_key(hash) {
+                self.touch(*hash, now);
                 self.stats.reloaded_blocks += 1;
+                bytes += self.block_bytes;
             }
         }
-        blocks * self.block_bytes
+        self.stats.reloaded_bytes += bytes;
+        bytes
     }
 
     fn evict_lru(&mut self) {
-        if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &t)| t) {
+        if let Some((_, victim)) = self.lru.pop_first() {
             self.entries.remove(&victim);
+            self.generation += 1;
             self.stats.evicted_blocks += 1;
         }
+    }
+
+    /// Debug-only structural check of the LRU index invariant.
+    #[cfg(test)]
+    fn assert_lru_invariant(&self) {
+        let expected: BTreeSet<(SimTime, TokenBlockHash)> =
+            self.entries.iter().map(|(h, t)| (*t, *h)).collect();
+        assert_eq!(expected, self.lru, "CPU LRU index out of sync");
     }
 }
 
@@ -160,6 +226,7 @@ mod tests {
         assert_eq!(pool.resident_blocks(), 100);
         assert_eq!(pool.lookup_prefix_blocks(&chain), 100);
         assert_eq!(pool.resident_bytes(), 100 * BLOCK_BYTES);
+        pool.assert_lru_invariant();
     }
 
     #[test]
@@ -167,10 +234,17 @@ mod tests {
         let mut pool = CpuKvPool::new(1 << 30, BLOCK_BYTES);
         let chain = hashes(0, 320);
         pool.offload(&chain, SimTime::ZERO);
+        let generation = pool.generation();
         let written_again = pool.offload(&chain, SimTime::from_secs(1));
         assert_eq!(written_again, 0);
         assert_eq!(pool.resident_blocks(), 20);
         assert_eq!(pool.stats().offloaded_blocks, 20);
+        assert_eq!(
+            pool.generation(),
+            generation,
+            "recency refreshes do not change the contents"
+        );
+        pool.assert_lru_invariant();
     }
 
     #[test]
@@ -186,6 +260,26 @@ mod tests {
         // The younger chain is fully resident; the older one lost its head blocks.
         assert_eq!(pool.lookup_prefix_blocks(&b), 8);
         assert!(pool.lookup_prefix_blocks(&a) < 8);
+        pool.assert_lru_invariant();
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_under_timestamp_ties() {
+        // Every entry shares one timestamp: victims must come out in hash order, the
+        // same on every run (the entry map's iteration order must never leak through).
+        let chain = hashes(0, 8 * BLOCK_TOKENS);
+        let mut sorted = chain.clone();
+        sorted.sort_unstable();
+        for _ in 0..4 {
+            let mut pool = CpuKvPool::new(8 * BLOCK_BYTES, BLOCK_BYTES);
+            pool.offload(&chain, SimTime::ZERO);
+            // Push two fresh blocks; exactly the two smallest hashes must be evicted.
+            pool.offload(&hashes(1_000_000, 2 * BLOCK_TOKENS), SimTime::from_secs(1));
+            for victim in &sorted[..2] {
+                assert_eq!(pool.lookup_prefix_blocks(std::slice::from_ref(victim)), 0);
+            }
+            pool.assert_lru_invariant();
+        }
     }
 
     #[test]
@@ -196,9 +290,22 @@ mod tests {
         let bytes = pool.reload_prefix(&chain, 30, SimTime::from_secs(5));
         assert_eq!(bytes, 30 * BLOCK_BYTES);
         assert_eq!(pool.stats().reloaded_blocks, 30);
+        assert_eq!(pool.stats().reloaded_bytes, 30 * BLOCK_BYTES);
         // Asking for more blocks than the chain has is clamped.
         let bytes = pool.reload_prefix(&chain, 10_000, SimTime::from_secs(6));
         assert_eq!(bytes, 50 * BLOCK_BYTES);
+        pool.assert_lru_invariant();
+    }
+
+    #[test]
+    fn reload_charges_only_resident_blocks() {
+        let mut pool = CpuKvPool::new(1 << 30, BLOCK_BYTES);
+        let chain = hashes(0, 320);
+        pool.offload(&chain[..10], SimTime::ZERO);
+        // Asking to reload 20 blocks when only 10 are resident charges 10.
+        let bytes = pool.reload_prefix(&chain, 20, SimTime::from_secs(1));
+        assert_eq!(bytes, 10 * BLOCK_BYTES);
+        assert_eq!(pool.stats().reloaded_blocks, 10);
     }
 
     #[test]
@@ -208,6 +315,7 @@ mod tests {
         assert_eq!(pool.offload(&chain, SimTime::ZERO), 0);
         assert_eq!(pool.resident_blocks(), 0);
         assert_eq!(pool.lookup_prefix_blocks(&chain), 0);
+        assert_eq!(pool.generation(), 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use crate::hash::TokenBlockHash;
-use crate::manager::KvCacheManager;
+use crate::manager::{KvCacheManager, TierHits};
 
 #[derive(Debug, Clone, Copy)]
 struct ProbeEntry {
@@ -29,8 +29,12 @@ struct ProbeEntry {
     generation: u64,
     /// `KvCacheManager::evict_generation()` at the time of the walk.
     evict_generation: u64,
-    /// Blocks of the chain that hit the cache at that point.
+    /// `KvCacheManager::cpu_generation()` at the time of the walk.
+    cpu_generation: u64,
+    /// Blocks of the chain that hit the GPU prefix cache at that point.
     hit_blocks: usize,
+    /// Blocks after the GPU prefix that hit the CPU tier at that point.
+    cpu_hit_blocks: usize,
 }
 
 /// Memoised per-request cache-probe results (see the module docs).
@@ -64,27 +68,64 @@ impl ProbeCache {
         request_id: u64,
         hashes: &[TokenBlockHash],
     ) -> usize {
+        self.tier_hits(kv, request_id, hashes).gpu_blocks
+    }
+
+    /// Per-tier prefix hits of `hashes`, memoised like [`Self::cached_blocks`].
+    ///
+    /// Always returns exactly what
+    /// [`KvCacheManager::lookup_tier_hits_from_hashes`] would.  The GPU half follows
+    /// the generation rules above; the CPU half is additionally invalidated by
+    /// [`KvCacheManager::cpu_generation`] (a spill or CPU eviction changed the CPU
+    /// tier's contents) and by any change of the GPU hit depth (the CPU walk starts
+    /// where the GPU walk stops).
+    pub fn tier_hits(
+        &mut self,
+        kv: &KvCacheManager,
+        request_id: u64,
+        hashes: &[TokenBlockHash],
+    ) -> TierHits {
         let generation = kv.generation();
         let evict_generation = kv.evict_generation();
+        let cpu_generation = kv.cpu_generation();
         match self.entries.get_mut(&request_id) {
-            Some(entry) if entry.generation == generation => entry.hit_blocks,
+            Some(entry)
+                if entry.generation == generation && entry.cpu_generation == cpu_generation =>
+            {
+                TierHits {
+                    gpu_blocks: entry.hit_blocks,
+                    cpu_blocks: entry.cpu_hit_blocks,
+                }
+            }
             Some(entry) if entry.evict_generation == evict_generation => {
-                // Commits only: the previously hit prefix is still resident.
-                entry.hit_blocks = kv.resume_cached_blocks_from_hashes(hashes, entry.hit_blocks);
+                // Commits only: the previously hit GPU prefix is still resident, so
+                // the walk resumes from the old depth.  The CPU continuation must be
+                // re-walked if its own contents changed or the GPU depth moved.
+                let hit_blocks = kv.resume_cached_blocks_from_hashes(hashes, entry.hit_blocks);
+                if hit_blocks != entry.hit_blocks || entry.cpu_generation != cpu_generation {
+                    entry.cpu_hit_blocks = kv.cpu_prefix_blocks_after(hashes, hit_blocks);
+                    entry.cpu_generation = cpu_generation;
+                }
+                entry.hit_blocks = hit_blocks;
                 entry.generation = generation;
-                entry.hit_blocks
+                TierHits {
+                    gpu_blocks: entry.hit_blocks,
+                    cpu_blocks: entry.cpu_hit_blocks,
+                }
             }
             _ => {
-                let hit_blocks = kv.lookup_cached_blocks_from_hashes(hashes);
+                let hits = kv.lookup_tier_hits_from_hashes(hashes);
                 self.entries.insert(
                     request_id,
                     ProbeEntry {
                         generation,
                         evict_generation,
-                        hit_blocks,
+                        cpu_generation,
+                        hit_blocks: hits.gpu_blocks,
+                        cpu_hit_blocks: hits.cpu_blocks,
                     },
                 );
-                hit_blocks
+                hits
             }
         }
     }

@@ -1,0 +1,403 @@
+//! Shadow-model property test for the hierarchical (GPU → CPU) KV cache.
+//!
+//! Mirrors the LRU shadow test of `properties.rs` one level up: a flat reference
+//! model — plain maps of block hash → per-tier recency — is replayed against
+//! `KvCacheManager` + `CpuKvPool` over seeded random allocate/commit/release
+//! sequences, asserting after every operation that
+//!
+//! * **tier placement** agrees: every chain hits the GPU prefix cache to the same
+//!   depth and the CPU tier continues it by the same number of blocks;
+//! * **OffloadStats** agree: spills, CPU evictions, reloads and transferred bytes;
+//! * **generation counters** agree: the GPU commit/evict counters and the CPU
+//!   content counter advance exactly when the reference model's contents change.
+//!
+//! The reference model selects GPU eviction victims with the specification order
+//! (`(last_used, hash)`, oldest first) and CPU victims the same way, so any
+//! tie-break or ordering bug in either tier's LRU index diverges immediately.
+
+use std::collections::HashMap;
+
+use simcore::{SimRng, SimTime};
+
+use kvcache::{hash_token_blocks, KvCacheManager, RetentionPolicy, TokenBlockHash};
+
+const BLOCK_SIZE: usize = 16;
+const BLOCK_BYTES: u64 = 1024;
+
+#[derive(Debug, Clone)]
+struct RequestSpec {
+    user: u8,
+    prefix_tokens: u16,
+    suffix_tokens: u16,
+}
+
+fn request_tokens(spec: &RequestSpec, serial: u32) -> Vec<u32> {
+    let base = u32::from(spec.user) * 1_000_000;
+    let mut tokens: Vec<u32> = (base..base + u32::from(spec.prefix_tokens)).collect();
+    let suffix_base = 500_000_000 + serial * 10_000;
+    tokens.extend(suffix_base..suffix_base + u32::from(spec.suffix_tokens));
+    tokens
+}
+
+fn random_spec(rng: &mut SimRng) -> RequestSpec {
+    RequestSpec {
+        user: rng.gen_range(0u8..4),
+        prefix_tokens: rng.gen_range(16u16..384),
+        suffix_tokens: rng.gen_range(0u16..96),
+    }
+}
+
+/// Flat two-tier reference model: each hash is GPU-resident, CPU-resident, both, or
+/// absent, with one recency timestamp per tier.
+struct ShadowTiers {
+    gpu_capacity: u64,
+    cpu_capacity: u64,
+    gpu: HashMap<TokenBlockHash, SimTime>,
+    cpu: HashMap<TokenBlockHash, SimTime>,
+    // GPU-tier statistics / counters.
+    committed_blocks: u64,
+    gpu_evicted_blocks: u64,
+    failed: u64,
+    // CPU-tier statistics / counters.
+    offloaded_blocks: u64,
+    cpu_evicted_blocks: u64,
+    reloaded_blocks: u64,
+    reloaded_bytes: u64,
+    cpu_generation: u64,
+}
+
+enum ShadowOutcome {
+    Ok {
+        cached_tokens: u64,
+        reloaded_tokens: u64,
+        reloaded_bytes: u64,
+    },
+    Err,
+}
+
+impl ShadowTiers {
+    fn new(gpu_capacity: u64, cpu_capacity: u64) -> ShadowTiers {
+        ShadowTiers {
+            gpu_capacity,
+            cpu_capacity,
+            gpu: HashMap::new(),
+            cpu: HashMap::new(),
+            committed_blocks: 0,
+            gpu_evicted_blocks: 0,
+            failed: 0,
+            offloaded_blocks: 0,
+            cpu_evicted_blocks: 0,
+            reloaded_blocks: 0,
+            reloaded_bytes: 0,
+            cpu_generation: 0,
+        }
+    }
+
+    fn gpu_prefix_blocks(&self, hashes: &[TokenBlockHash]) -> usize {
+        hashes
+            .iter()
+            .take_while(|h| self.gpu.contains_key(h))
+            .count()
+    }
+
+    fn cpu_prefix_blocks_after(&self, hashes: &[TokenBlockHash], gpu_blocks: usize) -> usize {
+        hashes[gpu_blocks..]
+            .iter()
+            .take_while(|h| self.cpu.contains_key(h))
+            .count()
+    }
+
+    /// Specification spill: insert (or refresh, never demote) one victim in the CPU
+    /// tier, evicting the `(time, hash)`-smallest CPU entry when full.
+    fn spill(&mut self, hash: TokenBlockHash, last_used: SimTime) {
+        if self.cpu_capacity == 0 {
+            return;
+        }
+        if let Some(entry) = self.cpu.get_mut(&hash) {
+            *entry = (*entry).max(last_used);
+            return;
+        }
+        if self.cpu.len() as u64 >= self.cpu_capacity {
+            let victim = self
+                .cpu
+                .iter()
+                .map(|(h, t)| (*t, *h))
+                .min()
+                .expect("full pool has entries");
+            self.cpu.remove(&victim.1);
+            self.cpu_evicted_blocks += 1;
+            self.cpu_generation += 1;
+        }
+        self.cpu.insert(hash, last_used);
+        self.offloaded_blocks += 1;
+        self.cpu_generation += 1;
+    }
+
+    /// Specification GPU eviction: full scan, sort by `(last_used, hash)`, spill each
+    /// victim into the CPU tier at its GPU recency.
+    fn evict_gpu(&mut self, count: u64, referenced: &[TokenBlockHash]) {
+        let mut victims: Vec<(SimTime, TokenBlockHash)> = self
+            .gpu
+            .iter()
+            .filter(|(h, _)| !referenced.contains(h))
+            .map(|(h, t)| (*t, *h))
+            .collect();
+        victims.sort_unstable();
+        for (last_used, hash) in victims.into_iter().take(count as usize) {
+            self.gpu.remove(&hash);
+            self.gpu_evicted_blocks += 1;
+            self.spill(hash, last_used);
+        }
+    }
+
+    fn allocate(
+        &mut self,
+        hashes: &[TokenBlockHash],
+        total_tokens: u64,
+        now: SimTime,
+        policy: RetentionPolicy,
+        commit: bool,
+    ) -> ShadowOutcome {
+        let hits = self.gpu_prefix_blocks(hashes);
+        let hit_prefix: Vec<TokenBlockHash> = hashes[..hits].to_vec();
+        // Phase 1 touches the reused prefix before any feasibility check; the
+        // manager never rolls the timestamps back.
+        for hash in &hit_prefix {
+            self.gpu.insert(*hash, now);
+        }
+        let has_partial = !total_tokens.is_multiple_of(BLOCK_SIZE as u64);
+        let needed = (hashes.len() - hits) as u64 + u64::from(has_partial);
+        let free = self.gpu_capacity - self.gpu.len() as u64;
+        let evictable = (self.gpu.len() - hits) as u64;
+        if policy == RetentionPolicy::FullResidency && needed > free + evictable {
+            self.failed += 1;
+            return ShadowOutcome::Err;
+        }
+
+        // Phase 2.5: the reload plan — CPU hits after the GPU prefix, capped by what
+        // can be made resident, charged and recency-refreshed before any spill.
+        let cpu_tail = &hashes[hits..];
+        let planned = (self.cpu_prefix_blocks_after(hashes, hits) as u64).min(free + evictable);
+        for hash in cpu_tail.iter().take(planned as usize) {
+            let entry = self
+                .cpu
+                .get_mut(hash)
+                .expect("planned reloads are resident");
+            *entry = (*entry).max(now);
+        }
+        self.reloaded_blocks += planned;
+        self.reloaded_bytes += planned * BLOCK_BYTES;
+
+        // Phase 3: evict (spilling), then allocate; reloaded blocks come first.
+        if needed > free {
+            self.evict_gpu((needed - free).min(evictable), &hit_prefix);
+        }
+        let free = self.gpu_capacity - self.gpu.len() as u64;
+        let allocated_full = ((hashes.len() - hits) as u64).min(free);
+        if commit {
+            for hash in hashes.iter().skip(hits).take(allocated_full as usize) {
+                // Blocks beyond the first phase-1 miss can already be GPU-cached; the
+                // manager then drops the freshly written (or reloaded) duplicate.
+                if !self.gpu.contains_key(hash) {
+                    self.gpu.insert(*hash, now);
+                    self.committed_blocks += 1;
+                }
+            }
+        }
+        ShadowOutcome::Ok {
+            cached_tokens: (hits * BLOCK_SIZE) as u64,
+            reloaded_tokens: planned * BLOCK_SIZE as u64,
+            reloaded_bytes: planned * BLOCK_BYTES,
+        }
+    }
+}
+
+/// The hierarchical manager agrees with the flat two-tier specification after every
+/// operation: same hit/reload counts, same tier placement for every chain ever seen,
+/// same offload statistics, same generation counters.
+#[test]
+fn hierarchical_shadow_model_agreement() {
+    let mut total_spills = 0u64;
+    let mut total_reloads = 0u64;
+    let mut total_cpu_evictions = 0u64;
+    for seed in 0..96u64 {
+        let mut rng = SimRng::seed_from_u64(11_000 + seed);
+        let gpu_capacity = rng.gen_range(8u64..96);
+        let cpu_capacity = rng.gen_range(0u64..192);
+        let num_ops = rng.gen_range(1usize..60);
+        let mut manager = KvCacheManager::with_offload(
+            gpu_capacity,
+            BLOCK_SIZE,
+            cpu_capacity * BLOCK_BYTES,
+            BLOCK_BYTES,
+        );
+        let mut shadow = ShadowTiers::new(gpu_capacity, cpu_capacity);
+        let mut chains: Vec<Vec<TokenBlockHash>> = Vec::new();
+
+        for serial in 0..num_ops {
+            let spec = random_spec(&mut rng);
+            let policy = if rng.gen_range(0u32..2) == 0 {
+                RetentionPolicy::PrefixBestEffort
+            } else {
+                RetentionPolicy::FullResidency
+            };
+            let commit = rng.gen_range(0u32..5) > 0;
+            // Coarse timestamps force recency ties in both tiers, exercising the
+            // (time, hash) tie-break the LRU indices must replicate exactly.
+            let now = SimTime::from_millis(rng.gen_range(0u64..4) * 10 + serial as u64 / 8);
+            let tokens = request_tokens(&spec, serial as u32);
+            let hashes = hash_token_blocks(&tokens, BLOCK_SIZE);
+            chains.push(hashes.clone());
+
+            let real = manager.allocate(&tokens, now, policy);
+            let expected = shadow.allocate(&hashes, tokens.len() as u64, now, policy, commit);
+            match (real, expected) {
+                (
+                    Ok(alloc),
+                    ShadowOutcome::Ok {
+                        cached_tokens,
+                        reloaded_tokens,
+                        reloaded_bytes,
+                    },
+                ) => {
+                    assert_eq!(
+                        alloc.cached_tokens(),
+                        cached_tokens,
+                        "seed {seed} op {serial}: GPU hit divergence"
+                    );
+                    assert_eq!(
+                        alloc.reloaded_tokens(),
+                        reloaded_tokens,
+                        "seed {seed} op {serial}: reload divergence"
+                    );
+                    assert_eq!(
+                        alloc.reloaded_bytes(),
+                        reloaded_bytes,
+                        "seed {seed} op {serial}: transfer-byte divergence"
+                    );
+                    if commit {
+                        manager.commit(alloc, now);
+                    } else {
+                        manager.release_uncommitted(alloc);
+                    }
+                }
+                (Err(_), ShadowOutcome::Err) => {}
+                (real, _) => panic!(
+                    "seed {seed} op {serial}: outcome divergence (real ok={})",
+                    real.is_ok()
+                ),
+            }
+
+            // Tier placement: every chain ever seen hits both tiers identically.
+            assert_eq!(manager.cached_blocks(), shadow.gpu.len() as u64);
+            assert_eq!(manager.cpu_resident_blocks(), shadow.cpu.len() as u64);
+            for chain in &chains {
+                let hits = manager.lookup_tier_hits_from_hashes(chain);
+                let gpu = shadow.gpu_prefix_blocks(chain);
+                let cpu = shadow.cpu_prefix_blocks_after(chain, gpu);
+                assert_eq!(
+                    (hits.gpu_blocks, hits.cpu_blocks),
+                    (gpu, cpu),
+                    "seed {seed} op {serial}: tier placement divergence"
+                );
+            }
+
+            // Statistics and generation counters.
+            let stats = manager.stats();
+            assert_eq!(stats.committed_blocks, shadow.committed_blocks);
+            assert_eq!(stats.evicted_blocks, shadow.gpu_evicted_blocks);
+            assert_eq!(stats.failed_allocations, shadow.failed);
+            let offload = manager.offload_stats();
+            assert_eq!(
+                offload.offloaded_blocks, shadow.offloaded_blocks,
+                "seed {seed} op {serial}: spill divergence"
+            );
+            assert_eq!(offload.evicted_blocks, shadow.cpu_evicted_blocks);
+            assert_eq!(offload.reloaded_blocks, shadow.reloaded_blocks);
+            assert_eq!(offload.reloaded_bytes, shadow.reloaded_bytes);
+            assert_eq!(
+                manager.generation(),
+                shadow.committed_blocks + shadow.gpu_evicted_blocks,
+                "seed {seed} op {serial}: GPU generation divergence"
+            );
+            assert_eq!(manager.evict_generation(), shadow.gpu_evicted_blocks);
+            assert_eq!(
+                manager.cpu_generation(),
+                shadow.cpu_generation,
+                "seed {seed} op {serial}: CPU generation divergence"
+            );
+        }
+        let offload = manager.offload_stats();
+        total_spills += offload.offloaded_blocks;
+        total_reloads += offload.reloaded_blocks;
+        total_cpu_evictions += offload.evicted_blocks;
+    }
+    // Guard against vacuous agreement: the sweep must actually exercise every
+    // hierarchical code path.
+    assert!(total_spills > 1_000, "spill path under-exercised");
+    assert!(total_reloads > 100, "reload path under-exercised");
+    assert!(total_cpu_evictions > 100, "CPU eviction under-exercised");
+}
+
+/// The memoising probe stays transparent when the hierarchy is active: under random
+/// interleavings of hierarchical allocations, `ProbeCache::tier_hits` always agrees
+/// with a fresh two-tier walk.
+#[test]
+fn probe_matches_tier_walk_under_offload() {
+    use kvcache::ProbeCache;
+
+    for seed in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(23_000 + seed);
+        let gpu_capacity = rng.gen_range(8u64..64);
+        let cpu_capacity = rng.gen_range(0u64..96);
+        let mut kv = KvCacheManager::with_offload(
+            gpu_capacity,
+            BLOCK_SIZE,
+            cpu_capacity * BLOCK_BYTES,
+            BLOCK_BYTES,
+        );
+        let mut probe = ProbeCache::new();
+        let chains: Vec<Vec<TokenBlockHash>> = (0..6u32)
+            .map(|user| {
+                let mut toks: Vec<u32> =
+                    (user / 2 * 100_000..user / 2 * 100_000 + 16 * ((user % 3) + 2)).collect();
+                toks.extend(900_000 + user * 10_000..900_000 + user * 10_000 + 48);
+                hash_token_blocks(&toks, BLOCK_SIZE)
+            })
+            .collect();
+
+        for step in 0..200 {
+            let now = SimTime::from_millis(step);
+            let idx = rng.gen_range(0usize..chains.len());
+            match rng.gen_range(0u32..3) {
+                0 => {
+                    let got = probe.tier_hits(&kv, idx as u64, &chains[idx]);
+                    let want = kv.lookup_tier_hits_from_hashes(&chains[idx]);
+                    assert_eq!(got, want, "seed {seed} step {step}");
+                }
+                1 => {
+                    let total = chains[idx].len() as u64 * BLOCK_SIZE as u64;
+                    if let Ok(alloc) = kv.allocate_from_hashes(
+                        &chains[idx],
+                        total,
+                        now,
+                        RetentionPolicy::PrefixBestEffort,
+                    ) {
+                        kv.commit(alloc, now);
+                    }
+                }
+                _ => {
+                    let total = chains[idx].len() as u64 * BLOCK_SIZE as u64;
+                    if let Ok(alloc) = kv.allocate_from_hashes(
+                        &chains[idx],
+                        total,
+                        now,
+                        RetentionPolicy::FullResidency,
+                    ) {
+                        kv.release_uncommitted(alloc);
+                    }
+                }
+            }
+        }
+    }
+}

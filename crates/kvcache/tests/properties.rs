@@ -11,7 +11,9 @@ use std::collections::HashMap;
 
 use simcore::{SimRng, SimTime};
 
-use kvcache::{hash_token_blocks, KvCacheManager, RetentionPolicy, TokenBlockHash};
+use kvcache::{
+    hash_token_blocks, BlockId, BlockPool, KvCacheManager, RetentionPolicy, TokenBlockHash,
+};
 
 const BLOCK_SIZE: usize = 16;
 
@@ -132,6 +134,74 @@ fn hash_chain_is_prefix_stable() {
         let extended = hash_token_blocks(&extended_tokens, BLOCK_SIZE);
         assert!(extended.len() >= base.len());
         assert_eq!(&extended[..base.len()], &base[..]);
+    }
+}
+
+/// The flat-`Vec` block pool preserves the observable behaviour of the reference
+/// map-based specification under arbitrary allocate / add_ref / dec_ref / release
+/// sequences: same allocation successes, same counts, same capacity accounting.
+#[test]
+fn block_pool_matches_map_reference() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(7_000 + seed);
+        let total = rng.gen_range(1u64..48);
+        let mut pool = BlockPool::new(total);
+        // Reference model: block id -> reference count, plus the insertion-ordered
+        // live set used to pick random operation targets deterministically.
+        let mut reference: HashMap<BlockId, u32> = HashMap::new();
+        let mut live: Vec<BlockId> = Vec::new();
+
+        for step in 0..400 {
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    let got = pool.allocate();
+                    if (reference.len() as u64) < total {
+                        let id = got.expect("pool below capacity must allocate");
+                        assert!(
+                            reference.insert(id, 1).is_none(),
+                            "seed {seed} step {step}: reallocated a live id"
+                        );
+                        live.push(id);
+                    } else {
+                        assert!(got.is_none(), "seed {seed} step {step}: over-allocated");
+                    }
+                }
+                1 if !live.is_empty() => {
+                    let id = live[rng.gen_range(0usize..live.len())];
+                    pool.add_ref(id);
+                    *reference.get_mut(&id).unwrap() += 1;
+                }
+                2 if !live.is_empty() => {
+                    let id = live[rng.gen_range(0usize..live.len())];
+                    let count = reference.get_mut(&id).unwrap();
+                    if *count > 0 {
+                        *count -= 1;
+                        assert_eq!(pool.dec_ref(id), *count, "seed {seed} step {step}");
+                    }
+                }
+                3 if !live.is_empty() => {
+                    let idx = rng.gen_range(0usize..live.len());
+                    let id = live[idx];
+                    if reference[&id] == 0 {
+                        pool.release(id);
+                        reference.remove(&id);
+                        live.swap_remove(idx);
+                    }
+                }
+                _ => {}
+            }
+            assert_eq!(pool.allocated_blocks(), reference.len() as u64);
+            assert_eq!(pool.free_blocks(), total - reference.len() as u64);
+            assert_eq!(pool.total_blocks(), total);
+            for (&id, &count) in &reference {
+                assert_eq!(pool.ref_count(id), Some(count), "seed {seed} step {step}");
+            }
+        }
+        // Every id the pool reports as dead really is dead.
+        for probe in 0..64 {
+            let id = BlockId(probe);
+            assert_eq!(pool.ref_count(id), reference.get(&id).copied());
+        }
     }
 }
 

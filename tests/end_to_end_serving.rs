@@ -177,6 +177,70 @@ fn user_routing_keeps_a_users_prefix_on_one_instance() {
 }
 
 #[test]
+fn hierarchical_kv_cache_reduces_jct_on_prefix_heavy_traces() {
+    // §9 extension, end to end: on a prefix-heavy trace whose profile working set
+    // exceeds the GPU prefix pool, spilling evicted profiles to CPU memory and
+    // reloading them over PCIe beats recomputing them — nonzero reloads, strictly
+    // lower mean JCT than discard-on-evict, and byte-identical reports between the
+    // parallel and sequential replay paths.
+    let spec = PostRecommendationSpec {
+        num_users: 6,
+        posts_per_user: 8,
+        profile_mean_tokens: 5_000.0,
+        profile_std_tokens: 600.0,
+        profile_min_tokens: 4_000,
+        profile_max_tokens: 6_000,
+        ..PostRecommendationSpec::default()
+    };
+    let mut rng = SimRng::seed_from_u64(42);
+    let dataset = Dataset::post_recommendation(&spec, &mut rng);
+    // Per-request arrivals interleave users, so a user's profile goes cold (and gets
+    // evicted) between their consecutive requests.
+    let arrivals =
+        assign_poisson_arrivals_with(&dataset, 3.0, ArrivalGranularity::PerRequest, &mut rng);
+    let mut base = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        dataset.max_request_tokens(),
+    );
+    // Squeeze the KV pool below the per-instance profile working set.
+    base.memory_utilization = 0.70;
+
+    let discard = Cluster::new(&base).run(&arrivals, 3.0).expect("feasible");
+    assert!(
+        discard.cache.evicted_blocks > 0,
+        "the trace must put the GPU pool under eviction pressure"
+    );
+    assert_eq!(discard.reloaded_tokens(), 0);
+
+    let offload_config = base.clone().with_cpu_offload(64 << 30);
+    let mut cluster = Cluster::new(&offload_config);
+    let offload = cluster.run(&arrivals, 3.0).expect("feasible");
+    assert!(
+        offload.offload.reloaded_blocks > 0,
+        "evicted profiles must be served back from the CPU tier"
+    );
+    assert!(offload.offload.offloaded_blocks >= offload.offload.reloaded_blocks / 2);
+    assert!(offload.reloaded_tokens() > 0);
+    assert!(
+        offload.mean_latency_secs() < discard.mean_latency_secs(),
+        "reloading over PCIe must beat recomputing: {:.4}s vs {:.4}s",
+        offload.mean_latency_secs(),
+        discard.mean_latency_secs()
+    );
+
+    // Determinism: the threaded replay of the offload-enabled deployment matches the
+    // sequential reference byte for byte.
+    let sequential = Cluster::new(&offload_config)
+        .run_sequential(&arrivals, 3.0)
+        .expect("feasible");
+    assert_eq!(offload.records, sequential.records);
+    assert_eq!(offload.offload, sequential.offload);
+    assert_eq!(offload.cache, sequential.cache);
+}
+
+#[test]
 fn reports_are_deterministic_for_a_fixed_seed() {
     let build = || {
         let mut rng = SimRng::seed_from_u64(404);
