@@ -10,7 +10,7 @@ use gpu::HardwareSetup;
 use metrics::Cdf;
 use model::ModelPreset;
 use prefillonly::{Cluster, EngineConfig, EngineKind};
-use prefillonly_bench::{print_table, scaled_post_spec, write_json};
+use prefillonly_bench::{map_parallel, print_table, scaled_post_spec, write_json};
 use serde::Serialize;
 use simcore::SimRng;
 use workload::{assign_poisson_arrivals_with, ArrivalGranularity, Dataset};
@@ -41,8 +41,8 @@ fn main() {
     );
 
     let lambdas = [0.0, 200.0, 2000.0];
-    let mut curves = Vec::new();
-    for &lambda in &lambdas {
+    // One independent replay per λ: fan out across the thread pool.
+    let curves: Vec<LambdaCurve> = map_parallel(&lambdas, |&lambda| {
         let config = EngineConfig::new(
             ModelPreset::Llama31_8b,
             hardware,
@@ -53,14 +53,14 @@ fn main() {
         let report = cluster.run(&arrivals, qps).expect("workload fits on L4");
         let summary = report.latency_summary().expect("non-empty run");
         let cdf: Cdf = report.latency_cdf();
-        curves.push(LambdaCurve {
+        LambdaCurve {
             lambda,
             mean_latency_secs: summary.mean,
             p50_latency_secs: summary.p50,
             p99_latency_secs: summary.p99,
             cdf: cdf.curve(20),
-        });
-    }
+        }
+    });
 
     let rows: Vec<Vec<String>> = curves
         .iter()

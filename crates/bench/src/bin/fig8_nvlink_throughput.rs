@@ -8,7 +8,7 @@
 use gpu::HardwareSetup;
 use model::ModelPreset;
 use prefillonly::{engine_display_name, Cluster, EngineConfig, EngineKind};
-use prefillonly_bench::{print_table, scaled_credit_spec, write_json};
+use prefillonly_bench::{map_parallel, print_table, scaled_credit_spec, write_json};
 use serde::Serialize;
 use simcore::SimRng;
 use workload::{assign_poisson_arrivals_with, ArrivalGranularity, Dataset};
@@ -41,28 +41,36 @@ fn main() {
     ];
 
     println!("Figure 8: credit-verification throughput on 2x H100, by interconnect\n");
-    let mut points = Vec::new();
-    let mut rows = Vec::new();
+    // (link × engine) points are independent replays: fan out, deterministic order.
+    let mut jobs = Vec::new();
     for (link_name, hardware) in links {
         for kind in engines {
-            let config = EngineConfig::new(ModelPreset::Llama33_70bFp8, hardware, kind, max_tokens);
-            let mut cluster = Cluster::new(&config);
-            let tput = match cluster.run(&arrivals, qps) {
-                Ok(report) => report.throughput_rps(),
-                Err(_) => 0.0,
-            };
-            rows.push(vec![
-                link_name.to_string(),
-                engine_display_name(kind).to_string(),
-                format!("{tput:.3}"),
-            ]);
-            points.push(ThroughputPoint {
-                link: link_name.to_string(),
-                engine: engine_display_name(kind).to_string(),
-                throughput_rps: tput,
-            });
+            jobs.push((link_name, hardware, kind));
         }
     }
+    let points: Vec<ThroughputPoint> = map_parallel(&jobs, |&(link_name, hardware, kind)| {
+        let config = EngineConfig::new(ModelPreset::Llama33_70bFp8, hardware, kind, max_tokens);
+        let mut cluster = Cluster::new(&config);
+        let tput = match cluster.run(&arrivals, qps) {
+            Ok(report) => report.throughput_rps(),
+            Err(_) => 0.0,
+        };
+        ThroughputPoint {
+            link: link_name.to_string(),
+            engine: engine_display_name(kind).to_string(),
+            throughput_rps: tput,
+        }
+    });
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.link.clone(),
+                p.engine.clone(),
+                format!("{:.3}", p.throughput_rps),
+            ]
+        })
+        .collect();
     print_table(&["interconnect", "engine", "throughput (req/s)"], &rows);
     write_json("fig8_nvlink_throughput", &points);
 

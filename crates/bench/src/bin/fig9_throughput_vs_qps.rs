@@ -10,7 +10,7 @@
 use gpu::HardwareSetup;
 use model::ModelPreset;
 use prefillonly::{engine_display_name, Cluster, EngineConfig, EngineKind};
-use prefillonly_bench::{print_table, scaled_post_spec, write_json};
+use prefillonly_bench::{map_parallel, print_table, scaled_post_spec, write_json};
 use serde::Serialize;
 use simcore::SimRng;
 use workload::{assign_poisson_arrivals_with, ArrivalGranularity, Dataset};
@@ -46,39 +46,52 @@ fn main() {
     ];
 
     println!("Figure 9: post-recommendation throughput vs offered QPS, 2x H100 (PCIe)\n");
-    let mut points = Vec::new();
+    // Every (granularity, engine, qps) point is an independent replay with its own
+    // seeded RNG: fan them out across the thread pool, in deterministic order.
+    let mut jobs = Vec::new();
     for (granularity_name, granularity) in granularities {
-        println!("-- arrival granularity: {granularity_name} --");
-        let mut rows = Vec::new();
         for kind in engines {
-            let config = EngineConfig::new(ModelPreset::Llama33_70bFp8, hardware, kind, max_tokens);
             for &qps in &qps_points {
-                let arrivals = assign_poisson_arrivals_with(
-                    &dataset,
-                    qps,
-                    granularity,
-                    &mut SimRng::seed_from_u64(900 + qps as u64),
-                );
-                let mut cluster = Cluster::new(&config);
-                let (tput, hit) = match cluster.run(&arrivals, qps) {
-                    Ok(report) => (report.throughput_rps(), report.cache_hit_rate()),
-                    Err(_) => (0.0, 0.0),
-                };
-                rows.push(vec![
-                    engine_display_name(kind).to_string(),
-                    format!("{qps:.0}"),
-                    format!("{tput:.2}"),
-                    format!("{:.0}%", hit * 100.0),
-                ]);
-                points.push(ThroughputPoint {
-                    arrival_granularity: granularity_name.to_string(),
-                    engine: engine_display_name(kind).to_string(),
-                    offered_qps: qps,
-                    throughput_rps: tput,
-                    cache_hit_rate: hit,
-                });
+                jobs.push((granularity_name, granularity, kind, qps));
             }
         }
+    }
+    let points: Vec<ThroughputPoint> =
+        map_parallel(&jobs, |&(granularity_name, granularity, kind, qps)| {
+            let config = EngineConfig::new(ModelPreset::Llama33_70bFp8, hardware, kind, max_tokens);
+            let arrivals = assign_poisson_arrivals_with(
+                &dataset,
+                qps,
+                granularity,
+                &mut SimRng::seed_from_u64(900 + qps as u64),
+            );
+            let mut cluster = Cluster::new(&config);
+            let (tput, hit) = match cluster.run(&arrivals, qps) {
+                Ok(report) => (report.throughput_rps(), report.cache_hit_rate()),
+                Err(_) => (0.0, 0.0),
+            };
+            ThroughputPoint {
+                arrival_granularity: granularity_name.to_string(),
+                engine: engine_display_name(kind).to_string(),
+                offered_qps: qps,
+                throughput_rps: tput,
+                cache_hit_rate: hit,
+            }
+        });
+    for (granularity_name, _) in granularities {
+        println!("-- arrival granularity: {granularity_name} --");
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.arrival_granularity == granularity_name)
+            .map(|p| {
+                vec![
+                    p.engine.clone(),
+                    format!("{:.0}", p.offered_qps),
+                    format!("{:.2}", p.throughput_rps),
+                    format!("{:.0}%", p.cache_hit_rate * 100.0),
+                ]
+            })
+            .collect();
         print_table(
             &["engine", "offered QPS", "throughput (req/s)", "cache hit"],
             &rows,

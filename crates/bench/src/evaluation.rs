@@ -148,6 +148,11 @@ pub fn saturation_qps(scenario: &EvalScenario, dataset: &Dataset, seed: u64) -> 
 ///
 /// Returns one [`SweepPoint`] per (engine, multiplier); infeasible engines produce a
 /// single point with `feasible = false`.
+///
+/// Every `(engine, multiplier)` point is an independent cluster replay with its own
+/// seeded RNG, so the points fan out across a thread pool
+/// ([`crate::map_parallel`]); result order — and therefore every emitted table and
+/// JSON series — is identical to the sequential sweep.
 pub fn sweep_engines(
     scenario: &EvalScenario,
     kinds: &[EngineKind],
@@ -157,14 +162,23 @@ pub fn sweep_engines(
     let dataset = scenario.dataset(seed);
     let max_tokens = dataset.max_request_tokens();
     let saturation = saturation_qps(scenario, &dataset, seed);
-    let mut points = Vec::new();
 
+    // One descriptor per output point: `None` marks an engine's single infeasible
+    // row, `Some(multiplier)` one replay of its QPS ladder.  The feasibility check
+    // (Table 2's ✓ / ✗) is a cheap profile run, done once per engine up front.
+    let mut jobs: Vec<(EngineKind, Option<f64>)> = Vec::new();
     for &kind in kinds {
         let config = scenario.engine_config(kind, max_tokens);
-        // Feasibility check once per engine (Table 2's ✓ / ✗).
-        let feasible = Cluster::new(&config).can_serve(max_tokens);
-        if !feasible {
-            points.push(SweepPoint {
+        if Cluster::new(&config).can_serve(max_tokens) {
+            jobs.extend(multipliers.iter().map(|&m| (kind, Some(m))));
+        } else {
+            jobs.push((kind, None));
+        }
+    }
+
+    crate::parallel::map_parallel(&jobs, |&(kind, multiplier)| {
+        let Some(multiplier) = multiplier else {
+            return SweepPoint {
                 engine: engine_display_name(kind).to_string(),
                 qps: 0.0,
                 feasible: false,
@@ -172,30 +186,27 @@ pub fn sweep_engines(
                 p99_latency_secs: 0.0,
                 throughput_rps: 0.0,
                 cache_hit_rate: 0.0,
-            });
-            continue;
+            };
+        };
+        let config = scenario.engine_config(kind, max_tokens);
+        let qps = saturation * multiplier;
+        let mut rng = SimRng::seed_from_u64(seed ^ (multiplier * 1000.0) as u64);
+        let arrivals =
+            assign_poisson_arrivals_with(&dataset, qps, ArrivalGranularity::PerUser, &mut rng);
+        let mut cluster = Cluster::new(&config);
+        let report = cluster
+            .run(&arrivals, qps)
+            .expect("feasibility was checked above");
+        SweepPoint {
+            engine: report.engine.clone(),
+            qps,
+            feasible: true,
+            mean_latency_secs: report.mean_latency_secs(),
+            p99_latency_secs: report.p99_latency_secs(),
+            throughput_rps: report.throughput_rps(),
+            cache_hit_rate: report.cache_hit_rate(),
         }
-        for &multiplier in multipliers {
-            let qps = saturation * multiplier;
-            let mut rng = SimRng::seed_from_u64(seed ^ (multiplier * 1000.0) as u64);
-            let arrivals =
-                assign_poisson_arrivals_with(&dataset, qps, ArrivalGranularity::PerUser, &mut rng);
-            let mut cluster = Cluster::new(&config);
-            let report = cluster
-                .run(&arrivals, qps)
-                .expect("feasibility was checked above");
-            points.push(SweepPoint {
-                engine: report.engine.clone(),
-                qps,
-                feasible: true,
-                mean_latency_secs: report.mean_latency_secs(),
-                p99_latency_secs: report.p99_latency_secs(),
-                throughput_rps: report.throughput_rps(),
-                cache_hit_rate: report.cache_hit_rate(),
-            });
-        }
-    }
-    points
+    })
 }
 
 /// Convenience used by several binaries: sweep every engine of the paper's legend.

@@ -14,14 +14,19 @@
 //! * [`scale`] — workload scaling: by default the binaries run a reduced copy of the
 //!   Table 1 datasets so the whole suite finishes in minutes on a laptop; set
 //!   `PREFILLONLY_FULL_EVAL=1` to replay the full-size datasets.
+//! * [`parallel`] — deterministic fan-out of independent sweep points across OS
+//!   threads; the fig6–fig11 grids run one `(engine, qps)` point per worker with
+//!   result ordering identical to the sequential sweep.
 
 pub mod evaluation;
 pub mod hotpath;
 pub mod output;
+pub mod parallel;
 pub mod scale;
 
 pub use evaluation::{
     saturation_qps, sweep_all_engines, sweep_engines, EvalScenario, SweepPoint, QPS_MULTIPLIERS,
 };
 pub use output::{print_table, write_json, ResultsFile};
+pub use parallel::map_parallel;
 pub use scale::{scaled_credit_spec, scaled_post_spec, workload_scale};

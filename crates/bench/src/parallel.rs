@@ -1,0 +1,71 @@
+//! Deterministic fan-out of independent sweep points across OS threads.
+//!
+//! Every point of a QPS sweep is an independent `Cluster::new` + `Cluster::run`
+//! (each point builds its own cluster and its own seeded RNGs), so the fig6–fig11
+//! grids parallelise embarrassingly — the same way `Cluster::run` already fans its
+//! instances out *within* one point.  [`map_parallel`] preserves the input order in
+//! the output regardless of which worker finishes first, so the emitted tables and
+//! JSON series are byte-identical to the sequential sweep.
+//!
+//! Note: the dev container used for CI is single-CPU, so wall-clock speedups only
+//! show on real multi-core hosts (same caveat as the parallel cluster replay).
+
+use std::sync::Mutex;
+
+/// Applies `f` to every item on a pool of up to `available_parallelism()` threads
+/// and returns the results **in input order**.
+///
+/// `f` must be deterministic per item for the output to be reproducible — which
+/// every sweep point is, since points seed their own RNGs.
+pub fn map_parallel<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(slots);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let result = f(&items[idx]);
+                slots.lock().expect("worker panicked holding the slot lock")[idx] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_and_results() {
+        let items: Vec<u64> = (0..97).collect();
+        let parallel = map_parallel(&items, |&x| x * x + 1);
+        let sequential: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_parallel(&empty, |&x| x).is_empty());
+        assert_eq!(map_parallel(&[7u32], |&x| x + 1), vec![8]);
+    }
+}

@@ -27,12 +27,12 @@ use std::sync::Arc;
 
 use simcore::{EventQueue, SimDuration, SimTime};
 
-use kvcache::{CacheStats, OffloadStats};
+use kvcache::{CacheStats, NetKvPool, OffloadStats};
 use workload::ArrivalPattern;
 
 use crate::baselines::engine_display_name;
 use crate::config::EngineConfig;
-use crate::instance::EngineInstance;
+use crate::instance::{EngineInstance, InstanceProfile};
 use crate::report::{RequestRecord, RunReport};
 use crate::request::PrefillRequest;
 use crate::routing::UserRouter;
@@ -93,21 +93,76 @@ pub struct Cluster {
     config: EngineConfig,
     instances: Vec<EngineInstance>,
     router: UserRouter,
+    /// The deployment's shared network KV tier (`None` when
+    /// `net_kv_capacity_bytes` is 0).  Snapshots of this pool are installed into
+    /// every instance at the start of each replay window and merged back — in
+    /// instance-id order, deterministically — at its end, so cross-instance sharing
+    /// materialises *between* windows (modelling network-tier propagation delay)
+    /// while each window's parallel replay stays byte-identical to the sequential
+    /// reference.
+    net_pool: Option<NetKvPool>,
+    /// Blocks the shared pool displaced while absorbing warm seeds and end-of-window
+    /// snapshot merges.  Merge churn happens at the cluster, not inside any
+    /// instance, so it is accounted here and folded into the report's
+    /// `OffloadStats::net_evicted_blocks` alongside the instances' in-window
+    /// evictions.
+    net_merge_evictions: u64,
 }
 
 impl Cluster {
-    /// Builds the deployment: instantiates every engine instance (running its profile
-    /// run) and the user-id router.
+    /// Builds the deployment: runs the instance profile **once** (instances of one
+    /// deployment are identical), builds every engine instance from the shared
+    /// profile, and sets up the user-id router plus the shared network KV tier.
     pub fn new(config: &EngineConfig) -> Cluster {
+        let profile = InstanceProfile::new(config);
         let num_instances = config.num_instances() as usize;
         let instances = (0..num_instances)
-            .map(|id| EngineInstance::new(config, id))
+            .map(|id| EngineInstance::with_profile(config, &profile, id))
             .collect();
+        let net_pool = (config.net_kv_capacity_bytes > 0)
+            .then(|| NetKvPool::new(config.net_kv_capacity_bytes, profile.kv_block_bytes()));
         Cluster {
             config: config.clone(),
             instances,
             router: UserRouter::new(num_instances),
+            net_pool,
+            net_merge_evictions: 0,
         }
+    }
+
+    /// Builds the deployment with an already-warm shared network tier — the
+    /// "cold instance joins a warm deployment" scenario: every instance starts with
+    /// empty GPU and CPU caches, but the cluster tier already holds prefixes
+    /// computed elsewhere.
+    ///
+    /// The warm contents are merged into a pool sized by *this* deployment's
+    /// `net_kv_capacity_bytes` (newest-first survival if the warm set overflows it),
+    /// so the seeding pool's own capacity never overrides the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment's network tier is disabled
+    /// (`net_kv_capacity_bytes` is 0) or `pool` was built for a different block
+    /// geometry.
+    pub fn with_warm_net_pool(config: &EngineConfig, pool: NetKvPool) -> Cluster {
+        let mut cluster = Cluster::new(config);
+        let own = cluster
+            .net_pool
+            .as_mut()
+            .expect("a warm net pool needs net_kv_capacity_bytes > 0");
+        assert_eq!(
+            own.block_bytes(),
+            pool.block_bytes(),
+            "warm pool must match the deployment's KV block geometry"
+        );
+        cluster.net_merge_evictions += own.merge_from(&pool);
+        cluster
+    }
+
+    /// The shared network KV tier, if enabled.  Clone it to seed another deployment
+    /// via [`Self::with_warm_net_pool`].
+    pub fn net_pool(&self) -> Option<&NetKvPool> {
+        self.net_pool.as_ref()
     }
 
     /// The deployment's configuration.
@@ -146,6 +201,7 @@ impl Cluster {
         offered_qps: f64,
     ) -> Result<RunReport, RunError> {
         self.check_feasible(arrivals)?;
+        self.install_net_snapshots();
 
         // Route every arrival up front in `(arrival time, index)` order — exactly the
         // order the sequential event loop pops arrival events — so the sticky
@@ -186,6 +242,7 @@ impl Cluster {
         }
 
         let records: Vec<RequestRecord> = per_instance.into_iter().flatten().collect();
+        self.merge_net_snapshots();
         Ok(self.finish_report(records, offered_qps))
     }
 
@@ -199,6 +256,7 @@ impl Cluster {
         offered_qps: f64,
     ) -> Result<RunReport, RunError> {
         self.check_feasible(arrivals)?;
+        self.install_net_snapshots();
 
         let mut events: EventQueue<Event> = EventQueue::new();
         for (idx, arrival) in arrivals.iter().enumerate() {
@@ -245,7 +303,34 @@ impl Cluster {
             }
         }
 
+        self.merge_net_snapshots();
         Ok(self.finish_report(records, offered_qps))
+    }
+
+    /// Installs a snapshot of the shared network tier into every instance.  Both
+    /// replay paths call this before simulating, so an instance sees the cluster
+    /// tier as of the window's start plus its own contributions — and the parallel
+    /// path has no mid-run cross-thread state to race on.
+    fn install_net_snapshots(&mut self) {
+        if let Some(pool) = &self.net_pool {
+            for instance in &mut self.instances {
+                instance.install_net_pool(pool.clone());
+            }
+        }
+    }
+
+    /// Merges every instance's network-tier snapshot back into the shared pool, in
+    /// instance-id order (deterministic regardless of which threads finished first),
+    /// accounting the merge's own eviction churn.
+    fn merge_net_snapshots(&mut self) {
+        if let Some(pool) = &mut self.net_pool {
+            for instance in &mut self.instances {
+                let local = instance
+                    .take_net_pool()
+                    .expect("snapshots are installed at window start");
+                self.net_merge_evictions += pool.merge_from(&local);
+            }
+        }
     }
 
     fn check_feasible(&self, arrivals: &[ArrivalPattern]) -> Result<(), RunError> {
@@ -380,6 +465,7 @@ impl Cluster {
         for instance in &self.instances {
             total.merge(&instance.offload_stats());
         }
+        total.net_evicted_blocks += self.net_merge_evictions;
         total
     }
 
@@ -678,6 +764,171 @@ mod tests {
             a.records, b.records,
             "an active CPU tier must change the replay"
         );
+    }
+
+    /// Squeeze *both* upper tiers so the network tier actually gets fed: the GPU
+    /// pool evicts between a user's requests and the CPU pool is about one profile
+    /// big, so reused profile blocks cascade CPU → net through the spill filter.
+    fn net_pressure_config(net_bytes: u64) -> (EngineConfig, Vec<ArrivalPattern>) {
+        let (config, arrivals) = offload_pressure_config(768 << 20);
+        (config.with_net_kv(net_bytes), arrivals)
+    }
+
+    /// The determinism guarantee extends to the cluster-shared network tier: with
+    /// all three tiers active (and the shared pool demonstrably fed and read), the
+    /// threaded replay is byte-identical to the sequential reference.
+    #[test]
+    fn parallel_run_is_identical_to_sequential_with_shared_net_pool() {
+        let (config, arrivals) = net_pressure_config(64 << 30);
+        let mut parallel = Cluster::new(&config);
+        assert!(parallel.instances().len() > 1);
+        let mut sequential = Cluster::new(&config);
+        let a = parallel.run(&arrivals, 3.0).unwrap();
+        let b = sequential.run_sequential(&arrivals, 3.0).unwrap();
+        assert!(
+            a.offload.net_offloaded_blocks > 0,
+            "the scenario must feed the shared tier"
+        );
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.offload, b.offload);
+        // The merged shared pools agree too, so a follow-up window starts identical.
+        let pa = parallel.net_pool().unwrap();
+        let pb = sequential.net_pool().unwrap();
+        assert!(pa.resident_blocks() > 0, "merge must have collected spills");
+        assert_eq!(pa.resident_blocks(), pb.resident_blocks());
+        assert_eq!(pa.generation(), pb.generation());
+    }
+
+    /// Acceptance: with `net_kv_capacity_bytes = 0` the engine is byte-identical to
+    /// the PR 2 two-tier engine.  That engine's reload behaviour ("always reload
+    /// whatever is present") is kept as [`ReloadPolicyKind::Always`]; on the
+    /// two-tier evaluated configuration the modelled per-request decision reaches
+    /// the same verdict for every segment (PCIe reloads of profile-sized segments
+    /// always beat recomputation), so the default engine replays byte-for-byte like
+    /// the old one — offload statistics included.
+    #[test]
+    fn modeled_reload_policy_without_net_tier_matches_the_two_tier_engine() {
+        let (config, arrivals) = offload_pressure_config(64 << 30);
+        assert_eq!(config.net_kv_capacity_bytes, 0);
+        assert_eq!(
+            config.reload_policy,
+            crate::config::ReloadPolicyKind::Modeled
+        );
+        let two_tier = config
+            .clone()
+            .with_reload_policy(crate::config::ReloadPolicyKind::Always);
+        let a = Cluster::new(&config).run(&arrivals, 3.0).unwrap();
+        let b = Cluster::new(&two_tier).run(&arrivals, 3.0).unwrap();
+        assert!(a.offload.reloaded_blocks > 0, "the CPU tier must be active");
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.offload, b.offload);
+        assert!(a.records.iter().all(|r| r.net_reloaded_tokens == 0));
+    }
+
+    /// `net_kv_capacity_bytes = 0` is inert — no shared pool, no net statistics —
+    /// while the same trace against a deployment whose shared tier is already warm
+    /// demonstrably diverges (so the inertness check is not vacuous).
+    #[test]
+    fn zero_net_capacity_is_byte_identical_to_two_tier() {
+        let (enabled, arrivals) = net_pressure_config(64 << 30);
+        let disabled = enabled.clone().with_net_kv(0);
+        let mut cluster = Cluster::new(&disabled);
+        let a = cluster.run(&arrivals, 3.0).unwrap();
+        assert!(cluster.net_pool().is_none());
+        assert_eq!(a.offload.net_offloaded_blocks, 0);
+        assert_eq!(a.offload.net_reloaded_blocks, 0);
+        assert!(a.records.iter().all(|r| r.net_reloaded_tokens == 0));
+
+        // Feed the shared tier with one replay window, then point a *fresh*
+        // deployment (cold GPU and CPU caches) at the warm pool: its replay must
+        // read the tier and diverge from the two-tier engine.
+        let mut warm_cluster = Cluster::new(&enabled);
+        warm_cluster.run(&arrivals, 3.0).unwrap();
+        let warm_pool = warm_cluster.net_pool().unwrap().clone();
+        assert!(
+            warm_pool.resident_blocks() > 0,
+            "window 1 must feed the tier"
+        );
+        let b = Cluster::with_warm_net_pool(&enabled, warm_pool)
+            .run(&arrivals, 3.0)
+            .unwrap();
+        assert!(
+            b.offload.net_reloaded_blocks > 0,
+            "the warm tier must serve remote reloads"
+        );
+        assert_ne!(
+            a.records, b.records,
+            "an active shared tier must change the replay"
+        );
+    }
+
+    /// Seeding a deployment with a warm pool never overrides its configured
+    /// capacity: the warm *contents* are absorbed into a pool sized by this
+    /// deployment's `net_kv_capacity_bytes`.
+    #[test]
+    fn warm_net_pool_capacity_follows_the_configuration() {
+        let (enabled, _) = net_pressure_config(64 << 30);
+        let reference = Cluster::new(&enabled);
+        let block_bytes = reference.instances()[0].kv_block_bytes();
+        let expected_capacity = reference.net_pool().unwrap().capacity_blocks();
+
+        // A warm pool from a much smaller foreign deployment (8 blocks).
+        let mut warm = kvcache::NetKvPool::new(8 * block_bytes, block_bytes);
+        let tokens: Vec<u32> = (0..8 * enabled.block_size as u32).collect();
+        warm.offload(
+            &kvcache::hash_token_blocks(&tokens, enabled.block_size),
+            simcore::SimTime::ZERO,
+        );
+
+        let seeded = Cluster::with_warm_net_pool(&enabled, warm);
+        let pool = seeded.net_pool().unwrap();
+        assert_eq!(
+            pool.capacity_blocks(),
+            expected_capacity,
+            "the configuration, not the seed, sizes the tier"
+        );
+        assert_eq!(pool.resident_blocks(), 8, "the warm contents are absorbed");
+    }
+
+    /// Profile sharing (`Cluster::new` profiles once and clones): bit-identical to
+    /// per-instance profiling, both in the derived profile quantities and in a full
+    /// replay against independently profiled instances.
+    #[test]
+    fn shared_profile_is_bit_identical_to_per_instance_profiling() {
+        let config = config(EngineKind::prefillonly_default());
+        let cluster = Cluster::new(&config);
+        for (id, shared) in cluster.instances().iter().enumerate() {
+            let fresh = EngineInstance::new(&config, id);
+            assert_eq!(fresh.max_input_length(), shared.max_input_length());
+            assert_eq!(fresh.kv_pool_tokens(), shared.kv_pool_tokens());
+            assert_eq!(fresh.kv_block_bytes(), shared.kv_block_bytes());
+            assert_eq!(fresh.jct_estimator(), shared.jct_estimator());
+            assert_eq!(fresh.cpu_hit_discount(), shared.cpu_hit_discount());
+            assert_eq!(fresh.net_hit_discount(), shared.net_hit_discount());
+        }
+        // Behavioural pin: a replay on the shared-profile cluster equals a replay
+        // where every instance was profiled independently.
+        let ds = small_post_rec_dataset();
+        let arrivals = assign_poisson_arrivals(&ds, 5.0, &mut SimRng::seed_from_u64(17));
+        let mut shared = cluster;
+        let mut unshared = Cluster {
+            config: config.clone(),
+            instances: (0..config.num_instances() as usize)
+                .map(|id| EngineInstance::new(&config, id))
+                .collect(),
+            router: UserRouter::new(config.num_instances() as usize),
+            net_pool: None,
+            net_merge_evictions: 0,
+        };
+        let a = shared.run(&arrivals, 5.0).unwrap();
+        let b = unshared.run(&arrivals, 5.0).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.makespan, b.makespan);
     }
 
     #[test]

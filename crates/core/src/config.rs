@@ -3,9 +3,23 @@
 use serde::{Deserialize, Serialize};
 
 use executor::{ExecutorConfig, Parallelism, PrefillStrategy};
-use gpu::{HardwareSetup, LinkKind};
+use gpu::{HardwareSetup, LinkKind, NetLinkKind};
 use model::ModelPreset;
 use scheduler::PolicyKind;
+
+/// How the engine decides whether to reload a reloadable KV segment (CPU- or
+/// network-resident continuation of the GPU-cached prefix) or recompute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReloadPolicyKind {
+    /// Per-request decision (the default): compare the modelled link transfer time at
+    /// the observed hit depth against the modelled recompute saving, per tier.  On
+    /// hosts where a tier's link is slower than recomputation for a given segment,
+    /// the segment is recomputed.
+    Modeled,
+    /// Always reload whatever is present and resident-able — the two-tier engines'
+    /// historical behaviour, kept as an ablation/regression reference.
+    Always,
+}
 
 /// Which of the five evaluated serving systems to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,6 +86,26 @@ impl EngineKind {
 }
 
 /// Complete configuration of a serving deployment on one hardware setup.
+///
+/// ```
+/// use prefillonly::{EngineConfig, EngineKind};
+/// use gpu::{HardwareSetup, NetLinkKind};
+/// use model::ModelPreset;
+///
+/// let config = EngineConfig::new(
+///     ModelPreset::Llama31_8b,
+///     HardwareSetup::l4_pair(),
+///     EngineKind::prefillonly_default(),
+///     20_000,
+/// )
+/// .with_cpu_offload(64 << 30)                  // GPU → CPU spill tier
+/// .with_net_kv(256 << 30)                      // cluster-shared network tier
+/// .with_net_link(NetLinkKind::Rdma100G);
+///
+/// assert_eq!(config.num_instances(), 2, "one instance per GPU behind the router");
+/// assert_eq!(config.cpu_kv_capacity_bytes, 64 << 30);
+/// assert_eq!(config.net_kv_capacity_bytes, 256 << 30);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EngineConfig {
     /// The model to serve.
@@ -98,6 +132,15 @@ pub struct EngineConfig {
     /// The host↔device link KV blocks cross when spilled or reloaded (PCIe for the
     /// evaluated setups; NVLink-C2C on Grace-Hopper-class hosts).
     pub host_link: LinkKind,
+    /// Capacity of the *cluster-shared* network KV tier (third tier of the
+    /// hierarchical cache), shared by every instance of the deployment.  Zero — the
+    /// default — disables the tier entirely, making the engine bit-identical to the
+    /// two-tier (GPU → CPU) configuration.
+    pub net_kv_capacity_bytes: u64,
+    /// The network fabric KV blocks cross when reloaded from the shared tier.
+    pub net_link: NetLinkKind,
+    /// How reload-vs-recompute is decided per reloadable segment.
+    pub reload_policy: ReloadPolicyKind,
 }
 
 impl EngineConfig {
@@ -118,6 +161,9 @@ impl EngineConfig {
             profile_granularity: 1_000,
             cpu_kv_capacity_bytes: 0,
             host_link: LinkKind::PcieGen4,
+            net_kv_capacity_bytes: 0,
+            net_link: NetLinkKind::Rdma100G,
+            reload_policy: ReloadPolicyKind::Modeled,
         }
     }
 
@@ -134,6 +180,26 @@ impl EngineConfig {
     /// [`LinkKind::NvLink4`] to model a Grace-Hopper-style coherent host link).
     pub fn with_host_link(mut self, host_link: LinkKind) -> EngineConfig {
         self.host_link = host_link;
+        self
+    }
+
+    /// Enables the cluster-shared network KV tier: the deployment gets
+    /// `net_kv_capacity_bytes` of pooled memory for prefix blocks shared across all
+    /// of its instances, reached over [`Self::net_link`].
+    pub fn with_net_kv(mut self, net_kv_capacity_bytes: u64) -> EngineConfig {
+        self.net_kv_capacity_bytes = net_kv_capacity_bytes;
+        self
+    }
+
+    /// Overrides the network fabric used for shared-tier reload traffic.
+    pub fn with_net_link(mut self, net_link: NetLinkKind) -> EngineConfig {
+        self.net_link = net_link;
+        self
+    }
+
+    /// Overrides the reload-vs-recompute policy (see [`ReloadPolicyKind`]).
+    pub fn with_reload_policy(mut self, reload_policy: ReloadPolicyKind) -> EngineConfig {
+        self.reload_policy = reload_policy;
         self
     }
 

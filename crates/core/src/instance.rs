@@ -14,14 +14,14 @@ use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 use executor::{max_input_length, profile_jct_grid, Executor};
-use gpu::HostLink;
+use gpu::{HostLink, NetLink};
 use kvcache::{
-    hash_token_blocks, CacheStats, KvCacheManager, OffloadStats, ProbeCache, RequestKv,
-    RetentionPolicy, TierHits, TokenBlockHash,
+    hash_token_blocks, CacheStats, KvCacheManager, NetKvPool, OffloadStats, ProbeCache,
+    ReloadQuote, ReloadTier, RequestKv, RetentionPolicy, TierHits, TokenBlockHash,
 };
 use scheduler::{CacheProbe, JctEstimator, SchedulingPolicy, WaitingQueue, WaitingRequest};
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, ReloadPolicyKind};
 use crate::report::RequestRecord;
 use crate::request::PrefillRequest;
 
@@ -54,26 +54,132 @@ struct RunningRequest {
 
 /// Tokens a tiered prefix hit is worth to the JCT estimator.
 ///
-/// GPU hits count in full.  CPU hits are discounted by the reload-vs-recompute cost
-/// ratio: rehydrating a token over the host link is not free, so a CPU-resident token
-/// only saves `1 − reload/recompute` of its computation time.  CPU hits are further
-/// capped by the pool space left next to the GPU-hit prefix — allocation can only
-/// rehydrate blocks it can make resident, so crediting more would under-estimate the
-/// JCT of CPU-warm requests larger than the pool.  With both folded in, calibrated
-/// SRJF ranks a CPU-warm long request exactly as far ahead as the transfer actually
-/// makes it (and ignores the CPU tier entirely on hosts where reloading is no
-/// cheaper than recomputing).
+/// GPU hits count in full.  CPU and network hits are discounted by their tier's
+/// reload-vs-recompute cost ratio: rehydrating a token over a link is not free, so a
+/// tier-resident token only saves `1 − reload/recompute` of its computation time —
+/// with the network link slower than the host link, remote hits are discounted more
+/// deeply than CPU hits.  Both are further capped by the pool space left next to the
+/// tiers above them — allocation can only rehydrate blocks it can make resident, so
+/// crediting more would under-estimate the JCT of tier-warm requests larger than the
+/// pool.  With all of this folded in, calibrated SRJF ranks a tier-warm long request
+/// exactly as far ahead as the transfers actually make it (and ignores a tier
+/// entirely on hosts where its link is no cheaper than recomputing).
 fn effective_cached_tokens(
     hits: TierHits,
     pool_capacity_blocks: u64,
     block_size: usize,
     cpu_hit_discount: f64,
+    net_hit_discount: f64,
 ) -> u64 {
-    let gpu = (hits.gpu_blocks * block_size) as u64;
-    let reloadable =
-        (hits.cpu_blocks as u64).min(pool_capacity_blocks.saturating_sub(hits.gpu_blocks as u64));
-    let cpu = reloadable * block_size as u64;
-    gpu + (cpu as f64 * cpu_hit_discount) as u64
+    let gpu_blocks = hits.gpu_blocks as u64;
+    let gpu = gpu_blocks * block_size as u64;
+    let cpu_reloadable =
+        (hits.cpu_blocks as u64).min(pool_capacity_blocks.saturating_sub(gpu_blocks));
+    let cpu = cpu_reloadable * block_size as u64;
+    let net_reloadable = (hits.net_blocks as u64)
+        .min(pool_capacity_blocks.saturating_sub(gpu_blocks + cpu_reloadable));
+    let net = net_reloadable * block_size as u64;
+    gpu + (cpu as f64 * cpu_hit_discount) as u64 + (net as f64 * net_hit_discount) as u64
+}
+
+/// The outcome of one instance profile run (§3.1 / §6.3): everything about an
+/// instance that is a pure function of its [`EngineConfig`].
+///
+/// Instances of one deployment are identical, so [`crate::Cluster::new`] runs the
+/// profile **once** and builds every instance from the shared result
+/// ([`EngineInstance::with_profile`]) instead of re-profiling per instance — pinned
+/// bit-identical to per-instance profiling by the
+/// `shared_profile_is_bit_identical_to_per_instance_profiling` test.
+#[derive(Debug, Clone)]
+pub struct InstanceProfile {
+    executor: Executor,
+    max_input_length: u64,
+    pool_blocks: u64,
+    /// Bytes of full KV (all layers, all shards) per block — what crosses a link to
+    /// rehydrate one block.
+    block_bytes: u64,
+    estimator: JctEstimator,
+    cpu_hit_discount: f64,
+    net_hit_discount: f64,
+}
+
+impl InstanceProfile {
+    /// Runs the profile for one instance of the deployment described by `config`:
+    /// derives the maximum input length, reserves activation memory for the longest
+    /// admissible request, dedicates the remaining GPU memory to the prefix-cache KV
+    /// pool, fits the JCT estimator over the profiling grid, and derives the per-tier
+    /// reload discounts.
+    pub fn new(config: &EngineConfig) -> InstanceProfile {
+        let executor = Executor::new(config.executor_config());
+        let mil = max_input_length(&executor, config.profile_granularity);
+        let effective_max = config.max_model_len.min(mil).max(1);
+
+        // Profile run: size the KV pool from what is left after the longest request.
+        let pool_bytes_per_gpu = executor.kv_pool_bytes_per_gpu(effective_max);
+        let kv_per_token_per_gpu = executor.kv_bytes_per_token_per_gpu().max(1);
+        let pool_tokens = pool_bytes_per_gpu / kv_per_token_per_gpu;
+        let pool_blocks = (pool_tokens / config.block_size as u64).max(1);
+        // A spilled/reloaded block carries the *full* KV of its tokens (all layers,
+        // all shards) — that is what must cross PCIe or the network to rehydrate it.
+        let kv_bytes_per_token = executor.config().model.kv_bytes_per_token().max(1);
+        let block_bytes = kv_bytes_per_token * config.block_size as u64;
+
+        // JCT profile (§6.3): grid over (n_input, n_cached) at 1,000-token granularity,
+        // then fit the cache-miss-token proxy the paper uses by default.
+        let granularity = config.profile_granularity.min(effective_max).max(1);
+        let grid = profile_jct_grid(&executor, effective_max, granularity);
+        let samples: Vec<(f64, f64, f64)> = grid
+            .iter()
+            .map(|p| (p.n_input as f64, p.n_cached as f64, p.jct_secs))
+            .collect();
+        let estimator = JctEstimator::fit_proxy(&samples).unwrap_or_else(|| {
+            // Degenerate profile (single feasible length): fall back to a direct
+            // per-token cost measurement.
+            let jct = executor.forward_time(effective_max, 0).total.as_secs_f64();
+            JctEstimator::proxy(jct / effective_max as f64, 0.0)
+        });
+
+        // Per-tier reload-vs-recompute trade-off, folded into the JCT probe: a
+        // tier-resident token hit saves the recompute time minus its link's transfer
+        // time.  The recompute rate comes from the fitted estimator itself (the
+        // marginal cost of one more uncached token), so the discounts stay consistent
+        // with the scores the scheduler compares.
+        let recompute_secs_per_token =
+            ((estimator.estimate(2_000, 0) - estimator.estimate(1_000, 0)) / 1_000.0).max(1e-12);
+        let reload_secs_per_token =
+            HostLink::new(config.host_link).secs_per_byte() * kv_bytes_per_token as f64;
+        let cpu_hit_discount =
+            (1.0 - reload_secs_per_token / recompute_secs_per_token).clamp(0.0, 1.0);
+        let net_reload_secs_per_token =
+            NetLink::new(config.net_link).secs_per_byte() * kv_bytes_per_token as f64;
+        let net_hit_discount =
+            (1.0 - net_reload_secs_per_token / recompute_secs_per_token).clamp(0.0, 1.0);
+
+        InstanceProfile {
+            executor,
+            max_input_length: mil,
+            pool_blocks,
+            block_bytes,
+            estimator,
+            cpu_hit_discount,
+            net_hit_discount,
+        }
+    }
+
+    /// Maximum input length of the profiled instance (Table 2).
+    pub fn max_input_length(&self) -> u64 {
+        self.max_input_length
+    }
+
+    /// The fitted JCT estimator.
+    pub fn jct_estimator(&self) -> JctEstimator {
+        self.estimator
+    }
+
+    /// Bytes of full KV per block (what a spill or reload moves per block).
+    pub fn kv_block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
 }
 
 /// One serving-engine instance.
@@ -94,11 +200,20 @@ pub struct EngineInstance {
     running: HashMap<u64, RunningRequest>,
     stage_free_at: Vec<SimTime>,
     max_input_length: u64,
+    /// Bytes of full KV per block, as profiled — the geometry every tier pool was
+    /// built with.
+    block_bytes: u64,
     /// Host↔device link KV blocks cross when spilled to / reloaded from the CPU tier.
     host_link: HostLink,
+    /// Network link KV blocks cross when reloaded from the cluster-shared tier.
+    net_link: NetLink,
     /// JCT-estimator weight of a CPU-tier token hit, in `[0, 1]` (see
     /// [`effective_cached_tokens`]).
     cpu_hit_discount: f64,
+    /// JCT-estimator weight of a network-tier token hit, in `[0, 1]`.
+    net_hit_discount: f64,
+    /// How reload-vs-recompute is decided per reloadable segment.
+    reload_policy: ReloadPolicyKind,
     stats: InstanceStats,
 }
 
@@ -111,6 +226,7 @@ struct KvCacheProbe<'a> {
     hashes: &'a HashMap<u64, Arc<Vec<TokenBlockHash>>>,
     memo: &'a RefCell<ProbeCache>,
     cpu_hit_discount: f64,
+    net_hit_discount: f64,
 }
 
 impl CacheProbe for KvCacheProbe<'_> {
@@ -127,6 +243,7 @@ impl CacheProbe for KvCacheProbe<'_> {
                     self.kv.capacity_blocks(),
                     self.kv.block_size(),
                     self.cpu_hit_discount,
+                    self.net_hit_discount,
                 )
             })
             .unwrap_or(0)
@@ -134,48 +251,39 @@ impl CacheProbe for KvCacheProbe<'_> {
 }
 
 impl EngineInstance {
-    /// Builds instance `id` of the deployment described by `config`.
+    /// Builds instance `id` of the deployment described by `config`, running a
+    /// private profile run ([`InstanceProfile::new`]).
     ///
-    /// This performs PrefillOnly's profile run (§3.1): it derives the instance's
-    /// maximum input length, reserves activation memory for the longest admissible
-    /// request, dedicates the remaining GPU memory to the prefix-cache KV pool, and
-    /// fits the JCT estimator over the profiling grid.
+    /// Deployments with several identical instances should profile once and use
+    /// [`Self::with_profile`] instead — [`crate::Cluster::new`] does.
     pub fn new(config: &EngineConfig, id: usize) -> EngineInstance {
-        let executor = Executor::new(config.executor_config());
-        let mil = max_input_length(&executor, config.profile_granularity);
-        let effective_max = config.max_model_len.min(mil).max(1);
+        Self::with_profile(config, &InstanceProfile::new(config), id)
+    }
 
-        // Profile run: size the KV pool from what is left after the longest request.
-        let pool_bytes_per_gpu = executor.kv_pool_bytes_per_gpu(effective_max);
-        let kv_per_token_per_gpu = executor.kv_bytes_per_token_per_gpu().max(1);
-        let pool_tokens = pool_bytes_per_gpu / kv_per_token_per_gpu;
-        let pool_blocks = (pool_tokens / config.block_size as u64).max(1);
-        // Hierarchical tier (§9): eviction victims spill to host memory and reload
-        // over the host link.  A CPU block holds the *full* KV of its tokens (all
-        // layers, all shards) — that is what must cross PCIe to rehydrate it.
-        let kv_bytes_per_token = executor.config().model.kv_bytes_per_token().max(1);
-        let kv = KvCacheManager::with_offload(
-            pool_blocks,
+    /// Builds instance `id` from an already-computed [`InstanceProfile`] (identical
+    /// instances of one deployment share a single profile run).
+    pub fn with_profile(
+        config: &EngineConfig,
+        profile: &InstanceProfile,
+        id: usize,
+    ) -> EngineInstance {
+        let executor = profile.executor.clone();
+        // Hierarchical tiers (§9): eviction victims spill to host memory and reload
+        // over the host link; CPU eviction victims cascade into the cluster-shared
+        // network tier, whose snapshot the cluster installs around each replay
+        // window (a standalone instance gets a private pool here).
+        let mut kv = KvCacheManager::with_offload(
+            profile.pool_blocks,
             config.block_size,
             config.cpu_kv_capacity_bytes,
-            kv_bytes_per_token * config.block_size as u64,
+            profile.block_bytes,
         );
-        let host_link = HostLink::new(config.host_link);
-
-        // JCT profile (§6.3): grid over (n_input, n_cached) at 1,000-token granularity,
-        // then fit the cache-miss-token proxy the paper uses by default.
-        let granularity = config.profile_granularity.min(effective_max).max(1);
-        let grid = profile_jct_grid(&executor, effective_max, granularity);
-        let samples: Vec<(f64, f64, f64)> = grid
-            .iter()
-            .map(|p| (p.n_input as f64, p.n_cached as f64, p.jct_secs))
-            .collect();
-        let estimator = JctEstimator::fit_proxy(&samples).unwrap_or_else(|| {
-            // Degenerate profile (single feasible length): fall back to a direct
-            // per-token cost measurement.
-            let jct = executor.forward_time(effective_max, 0).total.as_secs_f64();
-            JctEstimator::proxy(jct / effective_max as f64, 0.0)
-        });
+        if config.net_kv_capacity_bytes > 0 {
+            kv.install_net_pool(NetKvPool::new(
+                config.net_kv_capacity_bytes,
+                profile.block_bytes,
+            ));
+        }
 
         let retention = if config.kind.strategy().requires_full_kv_residency() {
             RetentionPolicy::FullResidency
@@ -184,21 +292,10 @@ impl EngineInstance {
         };
         let stages = executor.config().parallelism.num_stages() as usize;
 
-        // Reload-vs-recompute trade-off, folded into the JCT probe: a CPU-tier token
-        // hit saves the recompute time minus the host-link transfer time.  The
-        // recompute rate comes from the fitted estimator itself (the marginal cost of
-        // one more uncached token), so the discount stays consistent with the scores
-        // the scheduler compares.
-        let recompute_secs_per_token =
-            ((estimator.estimate(2_000, 0) - estimator.estimate(1_000, 0)) / 1_000.0).max(1e-12);
-        let reload_secs_per_token = host_link.secs_per_byte() * kv_bytes_per_token as f64;
-        let cpu_hit_discount =
-            (1.0 - reload_secs_per_token / recompute_secs_per_token).clamp(0.0, 1.0);
-
         EngineInstance {
             id,
-            policy: config.kind.policy().build(estimator),
-            estimator,
+            policy: config.kind.policy().build(profile.estimator),
+            estimator: profile.estimator,
             executor,
             kv,
             retention,
@@ -208,9 +305,13 @@ impl EngineInstance {
             probe_cache: RefCell::new(ProbeCache::new()),
             running: HashMap::new(),
             stage_free_at: vec![SimTime::ZERO; stages],
-            max_input_length: mil,
-            host_link,
-            cpu_hit_discount,
+            max_input_length: profile.max_input_length,
+            block_bytes: profile.block_bytes,
+            host_link: HostLink::new(config.host_link),
+            net_link: NetLink::new(config.net_link),
+            cpu_hit_discount: profile.cpu_hit_discount,
+            net_hit_discount: profile.net_hit_discount,
+            reload_policy: config.reload_policy,
             stats: InstanceStats::default(),
         }
     }
@@ -271,6 +372,35 @@ impl EngineInstance {
         self.cpu_hit_discount
     }
 
+    /// The JCT-estimator weight of a network-tier token hit (same scale as
+    /// [`Self::cpu_hit_discount`], but over the slower network link).
+    pub fn net_hit_discount(&self) -> f64 {
+        self.net_hit_discount
+    }
+
+    /// Bytes of full KV per block (what a spill or reload moves per block) — the
+    /// [`InstanceProfile::kv_block_bytes`] value the KV pools were built with.
+    pub fn kv_block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Installs this instance's snapshot of the cluster-shared network KV tier for
+    /// the next replay window (see [`NetKvPool`]'s snapshot-merge semantics).
+    pub fn install_net_pool(&mut self, pool: NetKvPool) {
+        self.kv.install_net_pool(pool);
+    }
+
+    /// Harvests the network-tier snapshot (with this instance's spills applied) so
+    /// the cluster can merge it back into the shared pool.
+    pub fn take_net_pool(&mut self) -> Option<NetKvPool> {
+        self.kv.take_net_pool()
+    }
+
+    /// The currently installed network-tier snapshot, if any.
+    pub fn net_pool(&self) -> Option<&NetKvPool> {
+        self.kv.net_pool()
+    }
+
     /// Earliest virtual time at which a new request could be admitted (when the first
     /// pipeline stage becomes free).
     pub fn next_admission_time(&self) -> SimTime {
@@ -300,6 +430,7 @@ impl EngineInstance {
             self.kv.capacity_blocks(),
             self.kv.block_size(),
             self.cpu_hit_discount,
+            self.net_hit_discount,
         );
         self.queue.push(WaitingRequest {
             id: request.id,
@@ -327,6 +458,7 @@ impl EngineInstance {
                     hashes: &self.pending_hashes,
                     memo: &self.probe_cache,
                     cpu_hit_discount: self.cpu_hit_discount,
+                    net_hit_discount: self.net_hit_discount,
                 };
                 self.policy.select(self.queue.requests(), now, &probe)?
             };
@@ -345,11 +477,45 @@ impl EngineInstance {
                 self.stats.rejected += 1;
                 continue;
             }
-            let kv_alloc = match self.kv.allocate_from_hashes(
+            // Per-request reload-vs-recompute decision (the `Modeled` policy): a
+            // reloadable segment is fetched over its tier's link only if the
+            // modelled transfer time at the observed hit depth beats the modelled
+            // recompute saving — both derived from the same executor cost model the
+            // engine charges with, so the decision and the charge cannot drift.
+            let executor = &self.executor;
+            let host_link = self.host_link;
+            let net_link = self.net_link;
+            let block_size = self.kv.block_size() as u64;
+            let always_reload = self.reload_policy == ReloadPolicyKind::Always;
+            let mut decide = |quote: &ReloadQuote| -> bool {
+                if always_reload {
+                    return true;
+                }
+                let seg_tokens = quote.blocks * block_size;
+                let rem_before = (quote.total_tokens - quote.resident_prefix_tokens).max(1);
+                let rem_after = rem_before.saturating_sub(seg_tokens).max(1);
+                let before = executor
+                    .forward_time(rem_before, quote.resident_prefix_tokens)
+                    .total
+                    .as_secs_f64();
+                let after = executor
+                    .forward_time(rem_after, quote.resident_prefix_tokens + seg_tokens)
+                    .total
+                    .as_secs_f64();
+                let saving = before - after;
+                let transfer = match quote.tier {
+                    ReloadTier::Cpu => host_link.transfer_time(quote.bytes),
+                    ReloadTier::Net => net_link.transfer_time(quote.bytes),
+                }
+                .as_secs_f64();
+                transfer < saving
+            };
+            let kv_alloc = match self.kv.allocate_from_hashes_with_policy(
                 &hashes,
                 request.num_tokens(),
                 now,
                 self.retention,
+                &mut decide,
             ) {
                 Ok(alloc) => alloc,
                 Err(err) => {
@@ -370,13 +536,17 @@ impl EngineInstance {
 
             let cached = kv_alloc.cached_tokens();
             let reloaded = kv_alloc.reloaded_tokens();
+            let net_reloaded = kv_alloc.net_reloaded_tokens();
             let new_tokens = kv_alloc.uncached_tokens().max(1);
             // Reloaded tokens behave like cache hits to the model (their KV exists;
-            // only uncached tokens are forwarded) but charge a host-link transfer
-            // that serialises before the first stage's compute — the attention over
-            // the reloaded prefix cannot start until its KV is device-resident.
-            let breakdown = self.executor.forward_time(new_tokens, cached + reloaded);
-            let reload_transfer = self.host_link.transfer_time(kv_alloc.reloaded_bytes());
+            // only uncached tokens are forwarded) but charge their tier's link
+            // transfer, serialised before the first stage's compute — the attention
+            // over the reloaded prefix cannot start until its KV is device-resident.
+            let breakdown = self
+                .executor
+                .forward_time(new_tokens, cached + reloaded + net_reloaded);
+            let reload_transfer = self.host_link.transfer_time(kv_alloc.reloaded_bytes())
+                + self.net_link.transfer_time(kv_alloc.net_reloaded_bytes());
 
             // Walk the request through the pipeline stages, respecting both the
             // request's own data dependency and each stage's availability.
@@ -426,6 +596,7 @@ impl EngineInstance {
         debug_assert!(now >= running.completion);
         let cached = running.kv.cached_tokens();
         let reloaded = running.kv.reloaded_tokens();
+        let net_reloaded = running.kv.net_reloaded_tokens();
         self.kv.commit(running.kv, now);
         self.stats.completed += 1;
         RequestRecord {
@@ -438,6 +609,7 @@ impl EngineInstance {
             total_tokens: running.request.num_tokens(),
             cached_tokens: cached,
             reloaded_tokens: reloaded,
+            net_reloaded_tokens: net_reloaded,
         }
     }
 }

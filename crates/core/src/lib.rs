@@ -7,7 +7,8 @@
 //! a complete serving engine that can be driven either request-by-request (the
 //! [`PrefillOnlyClient`] facade used by the examples) or by replaying a whole workload
 //! trace under a Poisson arrival process (the [`Cluster`] simulator used by every
-//! figure of the evaluation).
+//! figure of the evaluation).  The workspace-wide crate map and request lifecycle
+//! are documented in `ARCHITECTURE.md` at the repository root.
 //!
 //! ## The five evaluated systems
 //!
@@ -24,52 +25,25 @@
 //! Single-GPU engines are replicated once per GPU and fronted by the user-id router of
 //! §7.1; multi-GPU engines run as one instance spanning both GPUs.
 //!
-//! ## Performance model
+//! ## Hierarchical KV tiers
 //!
-//! The simulator is sized for production-scale traces (millions of requests, deep
-//! queues), so its three hot paths are kept asymptotically tight.  With `Q` = waiting
-//! requests, `C` = chain length in blocks, `n` = cached blocks and `k` = eviction
-//! batch size:
+//! Beyond the published system, [`EngineConfig`] can grow the KV cache downward:
+//! `cpu_kv_capacity_bytes > 0` adds a per-instance CPU tier (GPU eviction victims
+//! spill over [`gpu::HostLink`] instead of being discarded), and
+//! `net_kv_capacity_bytes > 0` adds a **cluster-shared network tier** below that —
+//! CPU eviction victims that pass the single-use spill filter become reloadable by
+//! *every* instance of the deployment over [`gpu::NetLink`].  Whether a reloadable
+//! segment is fetched or recomputed is a per-request decision
+//! ([`ReloadPolicyKind::Modeled`]) comparing the modelled transfer time at the
+//! observed hit depth against the modelled recompute saving.  Zero capacities are
+//! bit-identical to the published discard-on-evict engine.
 //!
-//! | Hot path | Cost | Mechanism |
-//! |---|---|---|
-//! | Scheduling step (Algorithm 1) | O(Q) scoring, O(1) probe per request while the cache is unchanged | [`kvcache::ProbeCache`] memoises each waiting request's per-tier hit depths, keyed by the KV manager's GPU *and* CPU generation counters; commits resume the walk from the old depth, only evictions force a full O(C) re-walk |
-//! | KV eviction / spill | O(k log n) per batch | an ordered LRU index (`BTreeSet` over `(last_used, hash)`) maintained on touch/commit/evict replaces the seed's full scan + sort; with offload enabled each victim spills into the [`kvcache::CpuKvPool`]'s own O(log n) LRU index |
-//! | Queue admission | O(1) removal | [`scheduler::WaitingQueue`] is an unordered bag (`swap_remove`); policies order requests themselves |
-//! | Instance profile run | O(1) per probe | [`executor::Executor`] memoises the per-layer cost curves (activation byte rates, per-stage layer split, FLOP constants) at construction, so the MIL binary search and the JCT grid are pure arithmetic — pinned bit-identical to the unmemoised model by regression tests |
-//! | Cluster replay | one thread per instance | user-id routing makes instance timelines independent, so [`Cluster::run`] simulates them in parallel and merges records deterministically — byte-identical to [`Cluster::run_sequential`] |
-//!
-//! Medians for these paths are tracked in `BENCH_baseline.json` (regenerate with
-//! `cargo run --release --bin bench_baseline`).
-//!
-//! ## Tiered-cache cost model (§9 extension)
-//!
-//! With `cpu_kv_capacity_bytes > 0` in [`EngineConfig`], each instance's KV manager
-//! grows a CPU tier: eviction victims *spill* to host memory instead of being
-//! discarded, and a request whose prefix misses the GPU cache but hits the CPU tier
-//! *rehydrates* those blocks over the host link.  The engine charges costs as
-//! follows:
-//!
-//! * **Spill (device→host)** is free on the request path: offload writes are
-//!   asynchronous DMA overlapped with compute, as in LMCache / SGLang's hierarchical
-//!   cache.
-//! * **Reload (host→device)** costs [`gpu::HostLink::transfer_time`] — launch latency
-//!   plus `reloaded_bytes / link bandwidth` — serialised *before* the first pipeline
-//!   stage's compute, because attention over the reloaded prefix needs its KV
-//!   device-resident.  Reloaded tokens are otherwise cache hits: only the remaining
-//!   uncached tokens are forwarded.
-//! * **Scheduling** folds the trade-off into the calibrated JCT probe: a CPU-tier
-//!   token hit counts as `1 − reload/recompute` of a GPU hit (both rates derived from
-//!   the fitted estimator and the link model), so SRJF ranks CPU-warm requests
-//!   exactly as far ahead as the transfer actually makes them — and ignores the tier
-//!   entirely where reloading is no cheaper than recomputing.
-//!
-//! For the evaluated tiers reloading is roughly 20-40× cheaper per token than
-//! recomputation (e.g. Llama-8B on PCIe 4: ~5.5 µs/token transferred vs ~150 µs/token
-//! prefilled on an L4), so a prefix-heavy trace under pool pressure sees strictly
-//! lower mean JCT with the CPU tier than with discard-on-evict — enforced end to end
-//! by `hierarchical_kv_cache_reduces_jct_on_prefix_heavy_traces`, with determinism
-//! guaranteed by `parallel_run_is_identical_to_sequential_with_offload`.
+//! The full cost model — tier table, spill cascade and filter, the
+//! reload-vs-recompute inequality, link charging order, scheduling discounts, and
+//! the snapshot-merge sharing semantics of [`Cluster`]'s network pool — lives in
+//! `ARCHITECTURE.md` ("Three-tier KV cost model"), next to the performance model of
+//! the simulator's own hot paths ("Performance model"); both are enforced by the
+//! determinism and shadow-model suites listed there.
 //!
 //! ## Quick start
 //!
@@ -103,8 +77,8 @@ mod routing;
 pub use baselines::{all_engine_kinds, engine_display_name};
 pub use client::PrefillOnlyClient;
 pub use cluster::{Cluster, RunError};
-pub use config::{EngineConfig, EngineKind};
-pub use instance::{EngineInstance, InstanceStats};
+pub use config::{EngineConfig, EngineKind, ReloadPolicyKind};
+pub use instance::{EngineInstance, InstanceProfile, InstanceStats};
 pub use report::{RequestRecord, RunReport};
 pub use request::{PrefillRequest, PrefillResponse, TokenScore};
 pub use routing::UserRouter;

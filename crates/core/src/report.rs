@@ -28,6 +28,9 @@ pub struct RequestRecord {
     /// Tokens rehydrated from the CPU tier over the host link (zero unless the
     /// hierarchical KV cache is enabled).
     pub reloaded_tokens: u64,
+    /// Tokens rehydrated from the cluster-shared network tier over the network link
+    /// (zero unless the network KV tier is enabled).
+    pub net_reloaded_tokens: u64,
 }
 
 impl RequestRecord {
@@ -108,6 +111,11 @@ impl RunReport {
         self.records.iter().map(|r| r.reloaded_tokens).sum()
     }
 
+    /// Tokens rehydrated from the cluster-shared network tier across all requests.
+    pub fn net_reloaded_tokens(&self) -> u64 {
+        self.records.iter().map(|r| r.net_reloaded_tokens).sum()
+    }
+
     /// Latency CDF (Fig. 11).
     pub fn latency_cdf(&self) -> Cdf {
         Cdf::from_samples(&self.latencies_secs())
@@ -129,6 +137,7 @@ mod tests {
             total_tokens: 1000,
             cached_tokens: 100,
             reloaded_tokens: 0,
+            net_reloaded_tokens: 0,
         }
     }
 

@@ -215,7 +215,7 @@ impl Executor {
     /// Excludes weights and the paged KV pool; includes the per-layer transient K/V of
     /// hybrid prefilling (which is what gets discarded for suffix tokens).
     ///
-    /// Evaluated from the memoised [`CostCurves`] byte rates — pure arithmetic, no
+    /// Evaluated from the memoised `CostCurves` byte rates — pure arithmetic, no
     /// walk over the sizing helpers — so the maximum-input-length binary search and
     /// the profile run pay O(1) per probe.  Pinned equal to the unmemoised
     /// reference model (test-only `peak_activation_bytes_reference`) by a
@@ -343,7 +343,7 @@ impl Executor {
     /// Timing of one forward pass over `new_tokens` uncached tokens following
     /// `cached_tokens` tokens of prefix-cache hits.
     ///
-    /// Evaluated from the memoised [`CostCurves`] (per-token linear FLOPs, per-stage
+    /// Evaluated from the memoised `CostCurves` (per-token linear FLOPs, per-stage
     /// layer split, weight traffic, LM-head cost), so the JCT profiling grid pays no
     /// re-derivation per point.  Pinned equal to the unmemoised reference model
     /// (test-only `forward_time_reference`) by a regression test.

@@ -85,6 +85,85 @@ impl HostLink {
     }
 }
 
+/// The network fabric connecting the instances of one deployment (the cluster-shared
+/// KV tier of the §9 extension, one level below the CPU tier).
+///
+/// Unlike [`LinkKind`], which models intra-node GPU↔GPU/host links, these are
+/// node-to-node fabrics: an order of magnitude less bandwidth and noticeably higher
+/// per-transfer setup latency, which is why reloading a prefix over the network is a
+/// *per-request* decision rather than an always-on default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetLinkKind {
+    /// 25 GbE TCP (commodity cloud networking).
+    Tcp25G,
+    /// 100 Gb/s RDMA (RoCE / InfiniBand EDR class).
+    Rdma100G,
+    /// 400 Gb/s RDMA (InfiniBand NDR class).
+    Rdma400G,
+}
+
+impl NetLinkKind {
+    /// Effective unidirectional bandwidth in bytes/second (achievable goodput, not
+    /// the marketing line rate).
+    pub fn bandwidth_bytes_per_sec(self) -> f64 {
+        match self {
+            NetLinkKind::Tcp25G => 2.5e9,
+            NetLinkKind::Rdma100G => 11.0e9,
+            NetLinkKind::Rdma400G => 45.0e9,
+        }
+    }
+
+    /// Per-transfer setup latency (connection reuse assumed; this is the request /
+    /// first-byte latency, not a handshake).
+    pub fn launch_latency(self) -> SimDuration {
+        match self {
+            NetLinkKind::Tcp25G => SimDuration::from_micros(60),
+            NetLinkKind::Rdma100G => SimDuration::from_micros(15),
+            NetLinkKind::Rdma400G => SimDuration::from_micros(10),
+        }
+    }
+}
+
+/// Cost model of the network link KV blocks cross when reloaded from the
+/// cluster-shared tier (the third tier of the hierarchical KV cache).
+///
+/// Mirrors [`HostLink`]: spills into the network tier are asynchronous and overlap
+/// with compute, so only *reloads* are ever charged to a request — serialised before
+/// stage-0 compute, exactly like host-link reloads.  The per-request
+/// reload-vs-recompute decision compares [`NetLink::transfer_time`] at the observed
+/// hit depth against the modelled recompute saving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetLink {
+    link: NetLinkKind,
+}
+
+impl NetLink {
+    /// Creates a network-link model over the given fabric.
+    pub fn new(link: NetLinkKind) -> NetLink {
+        NetLink { link }
+    }
+
+    /// The underlying fabric.
+    pub fn link(&self) -> NetLinkKind {
+        self.link
+    }
+
+    /// Marginal seconds per byte of a large transfer (the setup latency excluded).
+    pub fn secs_per_byte(&self) -> f64 {
+        1.0 / self.link.bandwidth_bytes_per_sec()
+    }
+
+    /// Time for one synchronous remote→local copy of `bytes` bytes: the setup
+    /// latency plus the bandwidth-bound transfer.  Zero bytes cost nothing.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let transfer = bytes as f64 / self.link.bandwidth_bytes_per_sec();
+        self.link.launch_latency() + SimDuration::from_secs_f64(transfer)
+    }
+}
+
 /// Collective / point-to-point communication cost model over a link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Interconnect {
@@ -202,5 +281,38 @@ mod tests {
         let host = HostLink::new(LinkKind::PcieGen5);
         let secs = host.secs_per_byte() * 48.0e9;
         assert!((secs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_fabrics_are_ordered_and_tcp_trails_pcie() {
+        // Fabric presets order by bandwidth, and commodity TCP networking is clearly
+        // behind even the slowest host link — the configuration where the
+        // per-request reload-vs-recompute decision earns its keep.
+        let bytes = 256 * 1024 * 1024;
+        let tcp = NetLink::new(NetLinkKind::Tcp25G).transfer_time(bytes);
+        let rdma100 = NetLink::new(NetLinkKind::Rdma100G).transfer_time(bytes);
+        let rdma400 = NetLink::new(NetLinkKind::Rdma400G).transfer_time(bytes);
+        assert!(tcp > rdma100 && rdma100 > rdma400);
+        let slowest_host = HostLink::new(LinkKind::PcieGen4).transfer_time(bytes);
+        assert!(
+            tcp.as_secs_f64() > 5.0 * slowest_host.as_secs_f64(),
+            "tcp {tcp} vs host {slowest_host}"
+        );
+    }
+
+    #[test]
+    fn net_link_transfer_includes_latency_floor_and_zero_case() {
+        for kind in [
+            NetLinkKind::Tcp25G,
+            NetLinkKind::Rdma100G,
+            NetLinkKind::Rdma400G,
+        ] {
+            let link = NetLink::new(kind);
+            assert_eq!(link.transfer_time(0), SimDuration::ZERO);
+            assert!(link.transfer_time(1) >= kind.launch_latency());
+            let secs = link.secs_per_byte() * kind.bandwidth_bytes_per_sec();
+            assert!((secs - 1.0).abs() < 1e-12);
+            assert_eq!(link.link(), kind);
+        }
     }
 }

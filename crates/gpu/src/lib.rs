@@ -12,6 +12,10 @@
 //! * [`Roofline`] and [`Interconnect`] — execution-time models: a kernel takes
 //!   `max(flops / peak_flops, bytes / bandwidth)` (discounted by an efficiency factor),
 //!   and collectives / point-to-point copies are costed from link bandwidth + latency.
+//! * [`HostLink`] and [`NetLink`] — the KV-offload links: host↔device (PCIe /
+//!   NVLink-C2C) for the CPU tier and node-to-node fabrics (TCP / RDMA) for the
+//!   cluster-shared network tier; only reloads are charged, serialised before
+//!   stage-0 compute (see `ARCHITECTURE.md`, "Three-tier KV cost model").
 //!
 //! The model is calibrated against the anchor numbers published in the paper (12 GB of
 //! KV per 100k Llama-8B tokens, −14 % throughput for chunked prefill at chunk 512,
@@ -25,5 +29,5 @@ mod roofline;
 
 pub use allocator::{AllocError, AllocHandle, CachingAllocator, MemoryTrace, TracePoint};
 pub use device::{GpuKind, GpuSpec, HardwareSetup};
-pub use interconnect::{HostLink, Interconnect, LinkKind};
+pub use interconnect::{HostLink, Interconnect, LinkKind, NetLink, NetLinkKind};
 pub use roofline::{KernelCost, Roofline};

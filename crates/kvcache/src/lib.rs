@@ -17,7 +17,12 @@
 //!   [`KvCacheManager::with_offload`] spills eviction victims into a [`CpuKvPool`]
 //!   instead of discarding them, and allocations rehydrate CPU-resident
 //!   continuations of the GPU-cached prefix over the host link — the engine charges
-//!   the PCIe transfer from [`RequestKv::reloaded_bytes`].
+//!   the PCIe transfer from [`RequestKv::reloaded_bytes`];
+//! * a **cluster-shared network tier** below that: CPU eviction victims cascade into
+//!   a [`NetKvPool`] shared by every instance of a deployment (gated by the
+//!   single-use spill filter), and a *per-request* reload-vs-recompute decision
+//!   ([`KvCacheManager::allocate_from_hashes_with_policy`]) chooses between fetching
+//!   a prefix over the network and recomputing it.
 //!
 //! The manager never stores actual key/value tensors — only block identities and
 //! token-content hashes — because the reproduction's GPU is analytical.  Everything the
@@ -27,11 +32,16 @@
 mod block;
 mod hash;
 mod manager;
+mod netpool;
 mod offload;
 mod probe;
 
 pub use block::{BlockId, BlockPool};
 pub use hash::{hash_token_blocks, TokenBlockHash};
-pub use manager::{CacheStats, KvCacheManager, KvError, RequestKv, RetentionPolicy, TierHits};
-pub use offload::{CpuKvPool, OffloadStats};
+pub use manager::{
+    CacheStats, KvCacheManager, KvError, ReloadQuote, ReloadTier, RequestKv, RetentionPolicy,
+    TierHits, NET_SPILL_MIN_USES,
+};
+pub use netpool::NetKvPool;
+pub use offload::{CpuEviction, CpuKvPool, OffloadStats};
 pub use probe::ProbeCache;

@@ -9,7 +9,7 @@
 //! of the prefix cache change (a block is inserted or removed); schedulers use it to
 //! skip re-probing hash chains when nothing changed between scheduling steps.
 //!
-//! # Hierarchical tier (§9 extension)
+//! # Hierarchical tiers (§9 extension)
 //!
 //! A manager built with [`KvCacheManager::with_offload`] owns a [`CpuKvPool`] second
 //! tier.  GPU eviction victims *spill* into it instead of being discarded, and
@@ -19,6 +19,16 @@
 //! ([`RequestKv::reloaded_bytes`]) so the engine can charge the PCIe transfer.  With
 //! no CPU pool (or a zero-byte one) every code path below is bit-identical to the
 //! discard-on-evict manager.
+//!
+//! A third, cluster-shared [`NetKvPool`] tier can be installed below the CPU tier
+//! ([`KvCacheManager::install_net_pool`]): CPU eviction victims cascade into it when
+//! they pass the single-use spill filter ([`NET_SPILL_MIN_USES`]), and allocation can
+//! rehydrate network-resident continuations of the GPU + CPU prefix over the network
+//! link.  Whether a reloadable segment is actually reloaded is a *per-request*
+//! decision ([`KvCacheManager::allocate_from_hashes_with_policy`]): the caller
+//! compares the modelled transfer time at the observed hit depth against the modelled
+//! recompute saving, per tier.  See `ARCHITECTURE.md` for the full three-tier cost
+//! model.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -27,7 +37,14 @@ use simcore::SimTime;
 
 use crate::block::{BlockId, BlockPool};
 use crate::hash::{hash_token_blocks, TokenBlockHash};
+use crate::netpool::NetKvPool;
 use crate::offload::{CpuKvPool, OffloadStats};
+
+/// Minimum reuse evidence a CPU-tier eviction victim needs to be admitted into the
+/// network tier (the single-use spill filter): a block spilled once and never
+/// referenced again is a single-use suffix, and sharing it cluster-wide would only
+/// displace blocks other instances can actually reuse.
+pub const NET_SPILL_MIN_USES: u32 = 2;
 
 /// How a request's KV blocks must be resident during execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,6 +113,10 @@ impl CacheStats {
 
 /// Per-tier prefix-hit counts of one hash chain (see
 /// [`KvCacheManager::lookup_tier_hits_from_hashes`]).
+///
+/// The tiers chain: the CPU walk starts where the GPU walk stopped, and the network
+/// walk starts where the CPU walk stopped — a block behind a miss in every tier above
+/// it is unreachable without recomputation, exactly as at allocation time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TierHits {
     /// Leading blocks resident in the GPU prefix cache.
@@ -103,6 +124,40 @@ pub struct TierHits {
     /// Blocks *after* the GPU-hit prefix that are resident in the CPU tier (the
     /// reloadable continuation).
     pub cpu_blocks: usize,
+    /// Blocks *after* the GPU- and CPU-hit prefix that are resident in the
+    /// cluster-shared network tier (the remotely reloadable continuation).
+    pub net_blocks: usize,
+}
+
+/// Which reload tier a [`ReloadQuote`] prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReloadTier {
+    /// The CPU tier, reached over the host (PCIe) link.
+    Cpu,
+    /// The cluster-shared network tier, reached over the network link.
+    Net,
+}
+
+/// One reload opportunity priced for the per-request reload-vs-recompute decision.
+///
+/// The manager builds a quote at the *observed* hit depth — after capping the
+/// reloadable continuation by what can actually be made resident — and asks the
+/// caller's policy whether the transfer is worth it.  Accepting means the segment is
+/// rehydrated over the tier's link; declining means its tokens are recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadQuote {
+    /// Which tier the blocks would come from.
+    pub tier: ReloadTier,
+    /// Blocks in the reloadable segment.
+    pub blocks: u64,
+    /// Bytes that would cross the tier's link.
+    pub bytes: u64,
+    /// Tokens already resident ahead of this segment (the GPU-cached prefix plus any
+    /// previously accepted reload segments) — the attention context the recompute
+    /// alternative would run against.
+    pub resident_prefix_tokens: u64,
+    /// Total tokens of the request.
+    pub total_tokens: u64,
 }
 
 /// The per-request KV allocation produced by [`KvCacheManager::allocate`].
@@ -112,10 +167,14 @@ pub struct RequestKv {
     /// Blocks rehydrated from the CPU tier: resident like `new_full`, but their
     /// tokens need a host-link transfer instead of recomputation.
     reloaded: Vec<(TokenBlockHash, BlockId)>,
+    /// Blocks rehydrated from the cluster-shared network tier (a network-link
+    /// transfer instead of recomputation).
+    net_reloaded: Vec<(TokenBlockHash, BlockId)>,
     new_full: Vec<(TokenBlockHash, BlockId)>,
     partial: Option<BlockId>,
     cached_tokens: u64,
     reloaded_bytes: u64,
+    net_reloaded_bytes: u64,
     total_tokens: u64,
     block_size: usize,
 }
@@ -137,21 +196,33 @@ impl RequestKv {
         self.reloaded_bytes
     }
 
+    /// Tokens whose KV is being rehydrated from the network tier (no recomputation,
+    /// but a network-link transfer of [`Self::net_reloaded_bytes`] bytes).
+    pub fn net_reloaded_tokens(&self) -> u64 {
+        (self.net_reloaded.len() * self.block_size) as u64
+    }
+
+    /// Bytes that must cross the network link to rehydrate the net-reloaded blocks.
+    pub fn net_reloaded_bytes(&self) -> u64 {
+        self.net_reloaded_bytes
+    }
+
     /// Total tokens of the request.
     pub fn total_tokens(&self) -> u64 {
         self.total_tokens
     }
 
     /// Tokens that must actually be forwarded through the model (neither GPU-cached
-    /// nor reloaded from the CPU tier).
+    /// nor reloaded from the CPU or network tier).
     pub fn uncached_tokens(&self) -> u64 {
-        self.total_tokens - self.cached_tokens - self.reloaded_tokens()
+        self.total_tokens - self.cached_tokens - self.reloaded_tokens() - self.net_reloaded_tokens()
     }
 
     /// Blocks resident in the pool on behalf of this request during execution.
     pub fn resident_blocks(&self) -> u64 {
         (self.reused.len()
             + self.reloaded.len()
+            + self.net_reloaded.len()
             + self.new_full.len()
             + usize::from(self.partial.is_some())) as u64
     }
@@ -159,7 +230,10 @@ impl RequestKv {
     /// Tokens covered by resident blocks (i.e. tokens whose KV is kept; the rest is the
     /// discarded suffix under [`RetentionPolicy::PrefixBestEffort`]).
     pub fn resident_tokens(&self) -> u64 {
-        let full = (self.reused.len() + self.reloaded.len() + self.new_full.len()) as u64
+        let full = (self.reused.len()
+            + self.reloaded.len()
+            + self.net_reloaded.len()
+            + self.new_full.len()) as u64
             * self.block_size as u64;
         if self.partial.is_some() {
             self.total_tokens.min(full + self.block_size as u64)
@@ -181,6 +255,23 @@ struct CachedEntry {
 }
 
 /// Paged KV-cache manager with prefix caching.
+///
+/// ```
+/// use kvcache::{KvCacheManager, RetentionPolicy};
+/// use simcore::SimTime;
+///
+/// let mut kv = KvCacheManager::new(64, 16);
+/// let prompt: Vec<u32> = (0..100).collect();
+/// let alloc = kv
+///     .allocate(&prompt, SimTime::ZERO, RetentionPolicy::FullResidency)
+///     .unwrap();
+/// assert_eq!(alloc.cached_tokens(), 0);
+/// kv.commit(alloc, SimTime::ZERO);
+///
+/// // A repeat of the same prompt hits every full block (the 4-token tail of the
+/// // 100-token prompt never fills a 16-token block, so it is always recomputed).
+/// assert_eq!(kv.lookup_cached_tokens(&prompt), 96);
+/// ```
 #[derive(Debug, Clone)]
 pub struct KvCacheManager {
     block_size: usize,
@@ -199,6 +290,15 @@ pub struct KvCacheManager {
     evict_generation: u64,
     /// The CPU tier eviction victims spill into (`None` = discard-on-evict).
     cpu: Option<CpuKvPool>,
+    /// The cluster-shared network tier CPU eviction victims cascade into (`None` =
+    /// two-tier behaviour).  Installed / harvested by the cluster around each replay
+    /// window — see [`NetKvPool`]'s module docs for the snapshot-merge semantics.
+    net: Option<NetKvPool>,
+    /// Network-tier and reload-policy accounting.  Kept on the manager (not the
+    /// pool) because the net pool is swapped in and out every replay window while
+    /// statistics must stay cumulative; only the `net_*` and `declined_*` fields are
+    /// used.
+    net_stats: OffloadStats,
     stats: CacheStats,
 }
 
@@ -219,6 +319,8 @@ impl KvCacheManager {
             commit_generation: 0,
             evict_generation: 0,
             cpu: None,
+            net: None,
+            net_stats: OffloadStats::default(),
             stats: CacheStats::default(),
         }
     }
@@ -277,14 +379,53 @@ impl KvCacheManager {
         self.cpu.is_some()
     }
 
-    /// Cumulative statistics of the CPU tier (all zero when offload is disabled).
+    /// Cumulative statistics of the offload tiers: the CPU tier's own counters plus
+    /// the manager-tracked network-tier and reload-policy counters (all zero when
+    /// offload is disabled).
     pub fn offload_stats(&self) -> OffloadStats {
-        self.cpu.as_ref().map(CpuKvPool::stats).unwrap_or_default()
+        let mut stats = self.cpu.as_ref().map(CpuKvPool::stats).unwrap_or_default();
+        stats.merge(&self.net_stats);
+        stats
     }
 
     /// Blocks currently resident in the CPU tier.
     pub fn cpu_resident_blocks(&self) -> u64 {
         self.cpu.as_ref().map_or(0, CpuKvPool::resident_blocks)
+    }
+
+    /// Installs the instance's snapshot of the cluster-shared network tier for the
+    /// next replay window (replacing any previous snapshot).
+    pub fn install_net_pool(&mut self, pool: NetKvPool) {
+        self.net = Some(pool);
+    }
+
+    /// Harvests the network-tier snapshot (with this instance's spills applied) so
+    /// the cluster can merge it back into the shared pool.  The manager reverts to
+    /// two-tier behaviour until the next install.
+    pub fn take_net_pool(&mut self) -> Option<NetKvPool> {
+        self.net.take()
+    }
+
+    /// The currently installed network-tier snapshot, if any.
+    pub fn net_pool(&self) -> Option<&NetKvPool> {
+        self.net.as_ref()
+    }
+
+    /// Whether a network tier is currently installed.
+    pub fn net_enabled(&self) -> bool {
+        self.net.is_some()
+    }
+
+    /// Blocks currently resident in the network-tier snapshot.
+    pub fn net_resident_blocks(&self) -> u64 {
+        self.net.as_ref().map_or(0, NetKvPool::resident_blocks)
+    }
+
+    /// Content generation of the network tier (0 when no tier is installed),
+    /// mirroring [`Self::cpu_generation`]: probe memoisation of the three-tier lookup
+    /// is valid only while all three counters are unchanged.
+    pub fn net_generation(&self) -> u64 {
+        self.net.as_ref().map_or(0, NetKvPool::generation)
     }
 
     /// Content generation of the CPU tier (0 when offload is disabled): changes
@@ -337,15 +478,17 @@ impl KvCacheManager {
         self.walk_hash_chain(hashes, 0)
     }
 
-    /// Per-tier prefix hits of a hash chain: the GPU-cached prefix, then how far the
-    /// CPU tier can continue it.  The CPU walk starts where the GPU walk stopped —
-    /// blocks behind a GPU miss that is also a CPU miss are unreachable without
-    /// recomputation, exactly as at allocation time.
+    /// Per-tier prefix hits of a hash chain: the GPU-cached prefix, how far the CPU
+    /// tier continues it, then how far the network tier continues *that*.  Each walk
+    /// starts where the tier above stopped — blocks behind a miss in every upper tier
+    /// are unreachable without recomputation, exactly as at allocation time.
     pub fn lookup_tier_hits_from_hashes(&self, hashes: &[TokenBlockHash]) -> TierHits {
         let gpu_blocks = self.walk_hash_chain(hashes, 0);
+        let cpu_blocks = self.cpu_prefix_blocks_after(hashes, gpu_blocks);
         TierHits {
             gpu_blocks,
-            cpu_blocks: self.cpu_prefix_blocks_after(hashes, gpu_blocks),
+            cpu_blocks,
+            net_blocks: self.net_prefix_blocks_after(hashes, gpu_blocks + cpu_blocks),
         }
     }
 
@@ -354,6 +497,15 @@ impl KvCacheManager {
     pub fn cpu_prefix_blocks_after(&self, hashes: &[TokenBlockHash], gpu_blocks: usize) -> usize {
         match self.cpu.as_ref() {
             Some(pool) => pool.lookup_prefix_blocks(&hashes[gpu_blocks..]) as usize,
+            None => 0,
+        }
+    }
+
+    /// How many blocks of `hashes` starting at `start` (the GPU + CPU hit depth) are
+    /// resident in the network tier (the remotely reloadable continuation).
+    pub fn net_prefix_blocks_after(&self, hashes: &[TokenBlockHash], start: usize) -> usize {
+        match self.net.as_ref() {
+            Some(pool) => pool.lookup_prefix_blocks(&hashes[start..]) as usize,
             None => 0,
         }
     }
@@ -413,6 +565,11 @@ impl KvCacheManager {
 
     /// Same as [`Self::allocate`], but over a pre-computed block-hash chain.
     ///
+    /// Every reloadable segment is accepted unconditionally (the two-tier engines'
+    /// behaviour, where the host link is always far cheaper than recomputation); use
+    /// [`Self::allocate_from_hashes_with_policy`] for a per-request
+    /// reload-vs-recompute decision.
+    ///
     /// # Panics
     ///
     /// Panics if `hashes` is inconsistent with `total_tokens` (more full blocks than
@@ -423,6 +580,31 @@ impl KvCacheManager {
         total_tokens: u64,
         now: SimTime,
         policy: RetentionPolicy,
+    ) -> Result<RequestKv, KvError> {
+        self.allocate_from_hashes_with_policy(hashes, total_tokens, now, policy, &mut |_| true)
+    }
+
+    /// Same as [`Self::allocate_from_hashes`], but with a per-request
+    /// reload-vs-recompute decision: `decide` is called once per reloadable segment
+    /// (CPU first, then network) with a [`ReloadQuote`] priced at the *observed* hit
+    /// depth; returning `false` recomputes the segment instead of reloading it.
+    ///
+    /// The network segment is only quoted when the entire CPU-hit segment reloads
+    /// (or no CPU hits exist): declining or truncating the CPU segment leaves a gap
+    /// of non-resident KV in front of the network continuation, which would make its
+    /// blocks unusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashes` is inconsistent with `total_tokens` (more full blocks than
+    /// the token count allows).
+    pub fn allocate_from_hashes_with_policy(
+        &mut self,
+        hashes: &[TokenBlockHash],
+        total_tokens: u64,
+        now: SimTime,
+        policy: RetentionPolicy,
+        decide: &mut dyn FnMut(&ReloadQuote) -> bool,
     ) -> Result<RequestKv, KvError> {
         assert_eq!(
             hashes.len() as u64,
@@ -474,45 +656,112 @@ impl KvCacheManager {
             }
         }
 
-        // Phase 2.5: plan the CPU-tier reload.  The blocks that follow the GPU-cached
-        // prefix are looked up in the CPU pool; as many of them as can actually be
-        // made resident (free + evictable, so the plan never exceeds what phase 3 can
-        // allocate) are marked reloaded — their recency is refreshed and the host-link
-        // transfer is charged *before* any spill from this very allocation can
-        // displace them in the CPU pool's LRU order.
+        // Phase 2.5: plan the tier reloads.  The blocks that follow the GPU-cached
+        // prefix are looked up in the CPU pool and the blocks after *those* in the
+        // network pool; each segment is capped by what can actually be made resident
+        // (free + evictable, so the plan never exceeds what phase 3 can allocate) and
+        // then submitted to the caller's reload-vs-recompute decision.  Accepted
+        // segments have their recency refreshed and their transfer charged *before*
+        // any spill from this very allocation can displace them in a lower tier's
+        // LRU order.
+        let budget = self.pool.free_blocks() + self.evictable_blocks();
         let cpu_tail = &hashes[reused.len()..];
-        let reload_planned = match self.cpu.as_ref() {
-            Some(pool) => pool
-                .lookup_prefix_blocks(cpu_tail)
-                .min(self.pool.free_blocks() + self.evictable_blocks()),
+        let cpu_hits = match self.cpu.as_ref() {
+            Some(pool) => pool.lookup_prefix_blocks(cpu_tail),
             None => 0,
         };
-        let reloaded_bytes = if reload_planned > 0 {
+        let mut cpu_planned = cpu_hits.min(budget);
+        if cpu_planned > 0 {
+            let block_bytes = self
+                .cpu
+                .as_ref()
+                .expect("CPU hits imply a tier")
+                .block_bytes();
+            let quote = ReloadQuote {
+                tier: ReloadTier::Cpu,
+                blocks: cpu_planned,
+                bytes: cpu_planned * block_bytes,
+                resident_prefix_tokens: cached_tokens,
+                total_tokens,
+            };
+            if !decide(&quote) {
+                self.net_stats.declined_reload_blocks += cpu_planned;
+                cpu_planned = 0;
+            }
+        }
+        // The network continuation starts after the *full* CPU-hit run; it is only
+        // reachable when that run reloads in its entirety (trivially true at zero).
+        let net_reachable = cpu_planned == cpu_hits;
+        let net_tail = &cpu_tail[cpu_hits.min(cpu_tail.len() as u64) as usize..];
+        let mut net_planned = 0;
+        if net_reachable {
+            if let Some(pool) = self.net.as_ref() {
+                net_planned = pool
+                    .lookup_prefix_blocks(net_tail)
+                    .min(budget - cpu_planned);
+                if net_planned > 0 {
+                    let quote = ReloadQuote {
+                        tier: ReloadTier::Net,
+                        blocks: net_planned,
+                        bytes: net_planned * pool.block_bytes(),
+                        resident_prefix_tokens: cached_tokens
+                            + cpu_planned * self.block_size as u64,
+                        total_tokens,
+                    };
+                    if !decide(&quote) {
+                        self.net_stats.declined_reload_blocks += net_planned;
+                        net_planned = 0;
+                    }
+                }
+            }
+        }
+        let reloaded_bytes = if cpu_planned > 0 {
             self.cpu
                 .as_mut()
                 .expect("a reload plan implies a CPU tier")
-                .reload_prefix(cpu_tail, reload_planned, now)
+                .reload_prefix(cpu_tail, cpu_planned, now)
+        } else {
+            0
+        };
+        let net_reloaded_bytes = if net_planned > 0 {
+            let bytes = self
+                .net
+                .as_mut()
+                .expect("a net reload plan implies a net tier")
+                .reload_prefix(net_tail, net_planned, now);
+            self.net_stats.net_reloaded_blocks += net_planned;
+            self.net_stats.net_reloaded_bytes += bytes;
+            bytes
         } else {
             0
         };
 
         // Phase 3: make room in one batch (evicting LRU cached blocks as required),
-        // then allocate.  Reloaded blocks come first in the chain, so the plan above
-        // is always fully satisfied; under best-effort we stop at the first block
-        // that cannot be satisfied.
+        // then allocate.  Reloaded blocks come first in the chain — CPU segment, then
+        // network segment (contiguous, because a net plan requires the full CPU run
+        // to reload) — so the plan above is always fully satisfied; under best-effort
+        // we stop at the first block that cannot be satisfied.
+        debug_assert!(
+            net_planned == 0 || cpu_planned == cpu_hits,
+            "a network reload requires the whole CPU segment to reload"
+        );
         let free = self.pool.free_blocks();
         if needed > free {
             self.evict_lru_batch(needed - free);
         }
-        let mut reloaded = Vec::with_capacity(reload_planned as usize);
+        let reload_planned = cpu_planned + net_planned;
+        let mut reloaded = Vec::with_capacity(cpu_planned as usize);
+        let mut net_reloaded = Vec::with_capacity(net_planned as usize);
         let mut new_full =
             Vec::with_capacity(new_full_needed.saturating_sub(reload_planned as usize));
         let mut exhausted = false;
         for (offset, hash) in hashes.iter().skip(reused.len()).enumerate() {
             match self.pool.allocate() {
                 Some(block) => {
-                    if (offset as u64) < reload_planned {
+                    if (offset as u64) < cpu_planned {
                         reloaded.push((*hash, block));
+                    } else if (offset as u64) < reload_planned {
+                        net_reloaded.push((*hash, block));
                     } else {
                         new_full.push((*hash, block));
                     }
@@ -524,7 +773,7 @@ impl KvCacheManager {
             }
         }
         debug_assert_eq!(
-            reloaded.len() as u64,
+            (reloaded.len() + net_reloaded.len()) as u64,
             reload_planned,
             "the reload plan is capped at free + evictable blocks"
         );
@@ -548,18 +797,20 @@ impl KvCacheManager {
         Ok(RequestKv {
             reused,
             reloaded,
+            net_reloaded,
             new_full,
             partial,
             cached_tokens,
             reloaded_bytes,
+            net_reloaded_bytes,
             total_tokens,
             block_size: self.block_size,
         })
     }
 
-    /// Completes a request: newly written full blocks — recomputed *and* reloaded —
-    /// enter the prefix cache, the partial block is freed, and reused blocks drop
-    /// back to being cached-only.
+    /// Completes a request: newly written full blocks — recomputed *and* reloaded
+    /// (from either tier) — enter the prefix cache, the partial block is freed, and
+    /// reused blocks drop back to being cached-only.
     pub fn commit(&mut self, request: RequestKv, now: SimTime) {
         for (hash, block) in request.reused {
             let remaining = self.pool.dec_ref(block);
@@ -570,7 +821,12 @@ impl KvCacheManager {
                 }
             }
         }
-        for (hash, block) in request.reloaded.into_iter().chain(request.new_full) {
+        for (hash, block) in request
+            .reloaded
+            .into_iter()
+            .chain(request.net_reloaded)
+            .chain(request.new_full)
+        {
             if self.pool.dec_ref(block) == 0 {
                 if let std::collections::hash_map::Entry::Vacant(e) = self.cached.entry(hash) {
                     e.insert(CachedEntry {
@@ -606,6 +862,7 @@ impl KvCacheManager {
         for (_, block) in request
             .reloaded
             .into_iter()
+            .chain(request.net_reloaded)
             .chain(request.new_full)
             .chain(request.partial.map(|b| (TokenBlockHash(0), b)))
         {
@@ -635,14 +892,19 @@ impl KvCacheManager {
     }
 
     /// Evicts up to `count` least-recently-used unreferenced cached blocks, spilling
-    /// each victim into the CPU tier when offload is enabled.  Returns how many
-    /// blocks were actually evicted.
+    /// each victim one tier down when offload is enabled.  Returns how many blocks
+    /// were actually evicted.
     ///
     /// O(k log n) for `k` victims over `n` evictable blocks — the LRU index already
     /// holds the eviction order, so no scan or sort over the cache is needed.  Spilled
-    /// victims keep their GPU `last_used` timestamp, so the CPU tier's LRU order
-    /// extends the GPU tier's (a block cold enough to leave the GPU is the first to
+    /// victims keep their GPU `last_used` timestamp, so each lower tier's LRU order
+    /// extends the one above it (a block cold enough to leave the GPU is the first to
     /// leave the CPU, too).
+    ///
+    /// The cascade continues downwards: a CPU resident displaced by the spill is
+    /// itself spilled into the network tier — *if* it passes the single-use filter
+    /// ([`NET_SPILL_MIN_USES`]); single-use suffix blocks are discarded rather than
+    /// shared cluster-wide.
     fn evict_lru_batch(&mut self, count: u64) -> u64 {
         let mut evicted = 0u64;
         while evicted < count {
@@ -652,7 +914,19 @@ impl KvCacheManager {
             let entry = self.cached.remove(&hash).expect("LRU entries are cached");
             self.pool.release(entry.block);
             if let Some(cpu) = self.cpu.as_mut() {
-                cpu.offload(&[hash], last_used);
+                let net = &mut self.net;
+                let net_stats = &mut self.net_stats;
+                cpu.offload_with_evictions(&[hash], last_used, |victim| {
+                    let Some(net) = net.as_mut() else { return };
+                    if victim.uses >= NET_SPILL_MIN_USES {
+                        let (written, net_evicted) =
+                            net.offload(std::slice::from_ref(&victim.hash), victim.last_used);
+                        net_stats.net_offloaded_blocks += written;
+                        net_stats.net_evicted_blocks += net_evicted;
+                    } else {
+                        net_stats.net_filtered_blocks += 1;
+                    }
+                });
             }
             self.stats.evicted_blocks += 1;
             self.evict_generation += 1;
@@ -1137,6 +1411,140 @@ mod tests {
         }
         assert_eq!(zero.offload_stats(), OffloadStats::default());
         assert_eq!(zero.cpu_generation(), 0);
+    }
+
+    #[test]
+    fn cold_manager_reloads_a_warm_net_pool_prefix() {
+        // A fresh instance joins a deployment whose shared network tier already
+        // holds another instance's prefix: the allocation rehydrates it over the
+        // network link instead of recomputing.
+        let mut m = KvCacheManager::with_offload(8, 16, 1 << 30, CPU_BLOCK_BYTES);
+        let chain = tokens(0, 128);
+        let hashes = hash_token_blocks(&chain, 16);
+        let mut warm = crate::NetKvPool::new(1 << 30, CPU_BLOCK_BYTES);
+        warm.offload(&hashes, SimTime::ZERO);
+        m.install_net_pool(warm);
+
+        let hits = m.lookup_tier_hits_from_hashes(&hashes);
+        assert_eq!(
+            (hits.gpu_blocks, hits.cpu_blocks, hits.net_blocks),
+            (0, 0, 8)
+        );
+        let alloc = m
+            .allocate(
+                &chain,
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        assert_eq!(alloc.cached_tokens(), 0);
+        assert_eq!(alloc.reloaded_tokens(), 0);
+        assert_eq!(alloc.net_reloaded_tokens(), 128);
+        assert_eq!(alloc.net_reloaded_bytes(), 8 * CPU_BLOCK_BYTES);
+        assert_eq!(alloc.uncached_tokens(), 0);
+        m.commit(alloc, SimTime::from_secs(1));
+        let stats = m.offload_stats();
+        assert_eq!(stats.net_reloaded_blocks, 8);
+        assert_eq!(stats.net_reloaded_bytes, 8 * CPU_BLOCK_BYTES);
+        // Committed net reloads are GPU-cached like any other block.
+        assert_eq!(m.lookup_cached_tokens(&chain), 128);
+        m.assert_lru_invariant();
+    }
+
+    #[test]
+    fn cpu_evictions_cascade_to_net_gated_by_the_single_use_filter() {
+        // GPU pool 4 blocks, CPU pool 8 blocks (two chains), large net pool.
+        let mut m = KvCacheManager::with_offload(4, 16, 8 * CPU_BLOCK_BYTES, CPU_BLOCK_BYTES);
+        m.install_net_pool(crate::NetKvPool::new(1 << 30, CPU_BLOCK_BYTES));
+        let a = tokens(0, 64);
+        let hashes_a = hash_token_blocks(&a, 16);
+        let run = |m: &mut KvCacheManager, chain: &[u32], secs: u64| {
+            let alloc = m
+                .allocate(
+                    chain,
+                    SimTime::from_secs(secs),
+                    RetentionPolicy::FullResidency,
+                )
+                .unwrap();
+            let reloaded = alloc.reloaded_tokens();
+            m.commit(alloc, SimTime::from_secs(secs));
+            reloaded
+        };
+
+        // A computed, evicted by B (A spills to CPU, uses = 1), then A returns —
+        // reloaded from CPU (uses = 2) — and B spills next to it (CPU holds both).
+        run(&mut m, &a, 0);
+        run(&mut m, &tokens(5_000, 64), 1);
+        assert_eq!(run(&mut m, &a, 2), 64, "A reloads from the CPU tier");
+        // C evicts A again: the CPU copy is refreshed, not duplicated (uses = 3).
+        run(&mut m, &tokens(9_000, 64), 3);
+        assert_eq!(m.cpu_resident_blocks(), 8, "A and B fill the CPU tier");
+        assert_eq!(m.offload_stats().net_offloaded_blocks, 0);
+
+        // D evicts C; C's spill displaces the oldest CPU residents — B's single-use
+        // blocks — which the filter keeps out of the net tier.
+        run(&mut m, &tokens(13_000, 64), 4);
+        let stats = m.offload_stats();
+        assert_eq!(stats.net_filtered_blocks, 4, "single-use B stays out");
+        assert_eq!(stats.net_offloaded_blocks, 0);
+
+        // E evicts D; D's spill displaces A's reused blocks, which pass the filter
+        // and become shareable cluster-wide.
+        run(&mut m, &tokens(17_000, 64), 5);
+        let stats = m.offload_stats();
+        assert_eq!(stats.net_offloaded_blocks, 4, "reused A passes the filter");
+        assert_eq!(stats.net_filtered_blocks, 4);
+        assert_eq!(
+            m.net_pool().unwrap().lookup_prefix_blocks(&hashes_a),
+            4,
+            "A's prefix is now in the shared tier"
+        );
+        m.assert_lru_invariant();
+    }
+
+    #[test]
+    fn declined_reload_recomputes_instead() {
+        let mut m = KvCacheManager::with_offload(8, 16, 1 << 30, CPU_BLOCK_BYTES);
+        let chain = tokens(0, 128);
+        let hashes = hash_token_blocks(&chain, 16);
+        let alloc = m
+            .allocate(&chain, SimTime::ZERO, RetentionPolicy::FullResidency)
+            .unwrap();
+        m.commit(alloc, SimTime::ZERO);
+        let alloc = m
+            .allocate(
+                &tokens(5_000, 128),
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        m.commit(alloc, SimTime::from_secs(1));
+        assert_eq!(m.cpu_resident_blocks(), 8, "A spilled to CPU");
+
+        // The policy declines: the CPU-resident prefix is recomputed, not reloaded.
+        let mut quotes = Vec::new();
+        let alloc = m
+            .allocate_from_hashes_with_policy(
+                &hashes,
+                128,
+                SimTime::from_secs(2),
+                RetentionPolicy::FullResidency,
+                &mut |quote| {
+                    quotes.push(*quote);
+                    false
+                },
+            )
+            .unwrap();
+        assert_eq!(quotes.len(), 1);
+        assert_eq!(quotes[0].tier, ReloadTier::Cpu);
+        assert_eq!(quotes[0].blocks, 8);
+        assert_eq!(quotes[0].bytes, 8 * CPU_BLOCK_BYTES);
+        assert_eq!(alloc.reloaded_tokens(), 0);
+        assert_eq!(alloc.uncached_tokens(), 128);
+        assert_eq!(m.offload_stats().declined_reload_blocks, 8);
+        assert_eq!(m.offload_stats().reloaded_blocks, 0);
+        m.release_uncommitted(alloc);
+        m.assert_lru_invariant();
     }
 
     #[test]

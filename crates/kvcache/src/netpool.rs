@@ -1,0 +1,305 @@
+//! The cluster-shared network KV tier (third tier of the hierarchical cache).
+//!
+//! Every instance of a deployment serves the same model, so prefix KV computed on one
+//! instance is byte-for-byte reusable on another — if it can be fetched over the
+//! network.  [`NetKvPool`] is that tier: a capacity-bounded, deterministically
+//! LRU-evicted map from block-content hashes to block-sized KV entries, fed by CPU-tier
+//! evictions (gated by the single-use spill filter, see
+//! [`KvCacheManager`](crate::KvCacheManager)) and read by any instance of the
+//! deployment.
+//!
+//! # Sharing semantics (snapshot + deterministic merge)
+//!
+//! The pool is owned by the *cluster*, not by an instance.  At the start of a replay
+//! window each instance receives a clone of the shared pool; during the window it reads
+//! that snapshot (plus its own contributions) and records its spills locally; at the
+//! end the per-instance pools are merged back into the shared pool in instance-id
+//! order.  Cross-instance sharing therefore materialises *between* replay windows, not
+//! within one — modelling the propagation delay of a real network tier, and (crucially)
+//! keeping the parallel per-instance replay byte-identical to the sequential reference:
+//! no mid-run cross-thread communication exists to race on.
+//!
+//! Unlike [`CpuKvPool`](crate::CpuKvPool), the pool keeps no statistics of its own:
+//! it is swapped in and out of managers every window, so the owning
+//! [`KvCacheManager`](crate::KvCacheManager) accounts spills, reloads and evictions in
+//! its cumulative [`OffloadStats`](crate::OffloadStats) instead.
+
+use std::collections::{BTreeSet, HashMap};
+
+use simcore::SimTime;
+
+use crate::hash::TokenBlockHash;
+
+/// A capacity-bounded, cluster-shared pool of KV blocks behind the network link.
+///
+/// Deterministic like the CPU tier: eviction order is `(last_used, hash)`, oldest
+/// first, with the hash as the tie-break so map iteration order never leaks into
+/// behaviour.
+///
+/// ```
+/// use kvcache::{hash_token_blocks, NetKvPool};
+/// use simcore::SimTime;
+///
+/// let block_bytes = 16 * 128 * 1024; // 16 tokens x 128 KiB/token
+/// let mut pool = NetKvPool::new(1 << 30, block_bytes);
+/// let tokens: Vec<u32> = (0..160).collect();
+/// let hashes = hash_token_blocks(&tokens, 16);
+/// let (written, evicted) = pool.offload(&hashes, SimTime::ZERO);
+/// assert_eq!((written, evicted), (10, 0));
+/// assert_eq!(pool.lookup_prefix_blocks(&hashes), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetKvPool {
+    block_bytes: u64,
+    capacity_blocks: u64,
+    entries: HashMap<TokenBlockHash, SimTime>,
+    /// Eviction order: `(last_used, hash)` for every entry, oldest first.
+    lru: BTreeSet<(SimTime, TokenBlockHash)>,
+    /// Bumped whenever an entry is inserted or removed (recency refreshes do not
+    /// count), so probe memoisation can extend to the network tier.
+    generation: u64,
+}
+
+impl NetKvPool {
+    /// Creates a pool of `capacity_bytes` holding blocks of `block_bytes` each (the
+    /// full KV of one token-block, all layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero.
+    pub fn new(capacity_bytes: u64, block_bytes: u64) -> NetKvPool {
+        assert!(block_bytes > 0, "block size in bytes must be positive");
+        NetKvPool {
+            block_bytes,
+            capacity_blocks: capacity_bytes / block_bytes,
+            entries: HashMap::new(),
+            lru: BTreeSet::new(),
+            generation: 0,
+        }
+    }
+
+    /// Bytes of KV held per block.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Maximum number of blocks the pool can hold.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    /// Number of blocks currently resident.
+    pub fn resident_blocks(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Bytes currently occupied.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_blocks() * self.block_bytes
+    }
+
+    /// Monotonically increasing counter that changes exactly when the pool *contents*
+    /// change.  While it is unchanged, every [`Self::lookup_prefix_blocks`] answer
+    /// remains valid (the contract probe memoisation relies on).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Refreshes an entry's recency, never moving it backwards (a spill of a stale
+    /// duplicate must not demote an entry a recent reload marked hot).
+    fn touch(&mut self, hash: TokenBlockHash, now: SimTime) {
+        if let Some(entry) = self.entries.get_mut(&hash) {
+            let previous = *entry;
+            if previous < now {
+                self.lru.remove(&(previous, hash));
+                *entry = now;
+                self.lru.insert((now, hash));
+            }
+        }
+    }
+
+    /// Admits the given block-hash chain into the pool, evicting the
+    /// least-recently-used entries if it is full.
+    ///
+    /// Returns `(written, evicted)`: how many blocks were actually inserted (existing
+    /// entries are refreshed, not duplicated) and how many residents were displaced.
+    pub fn offload(&mut self, hashes: &[TokenBlockHash], now: SimTime) -> (u64, u64) {
+        let mut written = 0;
+        let mut evicted = 0;
+        for hash in hashes {
+            if self.capacity_blocks == 0 {
+                break;
+            }
+            if self.entries.contains_key(hash) {
+                self.touch(*hash, now);
+                continue;
+            }
+            if self.resident_blocks() >= self.capacity_blocks {
+                if let Some((_, victim)) = self.lru.pop_first() {
+                    self.entries.remove(&victim);
+                    self.generation += 1;
+                    evicted += 1;
+                }
+            }
+            self.entries.insert(*hash, now);
+            self.lru.insert((now, *hash));
+            self.generation += 1;
+            written += 1;
+        }
+        (written, evicted)
+    }
+
+    /// Returns how many *leading* blocks of `hashes` are present in the pool (the
+    /// reloadable prefix).
+    pub fn lookup_prefix_blocks(&self, hashes: &[TokenBlockHash]) -> u64 {
+        let mut hits = 0;
+        for hash in hashes {
+            if self.entries.contains_key(hash) {
+                hits += 1;
+            } else {
+                break;
+            }
+        }
+        hits
+    }
+
+    /// Marks the leading `blocks` blocks of `hashes` as reloaded (refreshing their
+    /// recency) and returns the bytes that must cross the network link.  The remote
+    /// copy is retained — a reload is a copy, not a move.
+    pub fn reload_prefix(&mut self, hashes: &[TokenBlockHash], blocks: u64, now: SimTime) -> u64 {
+        let blocks = blocks.min(hashes.len() as u64);
+        let mut bytes = 0;
+        for hash in &hashes[..blocks as usize] {
+            if self.entries.contains_key(hash) {
+                self.touch(*hash, now);
+                bytes += self.block_bytes;
+            }
+        }
+        bytes
+    }
+
+    /// Merges another pool's contents into this one (the end-of-window merge of the
+    /// per-instance snapshots back into the cluster-shared pool).
+    ///
+    /// Entries are replayed oldest-first in `(last_used, hash)` order, refreshing
+    /// duplicates to the younger timestamp; capacity overflow evicts LRU as usual.
+    /// Deterministic: the outcome depends only on the two pools' contents, never on
+    /// map iteration order.  Returns how many residents the merge displaced, so the
+    /// caller can account the churn.
+    pub fn merge_from(&mut self, other: &NetKvPool) -> u64 {
+        let mut evicted = 0;
+        for (last_used, hash) in &other.lru {
+            evicted += self.offload(std::slice::from_ref(hash), *last_used).1;
+        }
+        evicted
+    }
+
+    /// Debug-only structural check of the LRU index invariant.
+    #[cfg(test)]
+    fn assert_lru_invariant(&self) {
+        let expected: BTreeSet<(SimTime, TokenBlockHash)> =
+            self.entries.iter().map(|(h, t)| (*t, *h)).collect();
+        assert_eq!(expected, self.lru, "net LRU index out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_token_blocks;
+
+    const BLOCK_TOKENS: usize = 16;
+    const BLOCK_BYTES: u64 = 1024;
+
+    fn hashes(start: u32, tokens: usize) -> Vec<TokenBlockHash> {
+        let toks: Vec<u32> = (start..start + tokens as u32).collect();
+        hash_token_blocks(&toks, BLOCK_TOKENS)
+    }
+
+    #[test]
+    fn offload_lookup_reload_round_trip() {
+        let mut pool = NetKvPool::new(1 << 20, BLOCK_BYTES);
+        let chain = hashes(0, 320);
+        assert_eq!(pool.lookup_prefix_blocks(&chain), 0);
+        assert_eq!(pool.offload(&chain, SimTime::ZERO), (20, 0));
+        assert_eq!(pool.resident_blocks(), 20);
+        assert_eq!(pool.resident_bytes(), 20 * BLOCK_BYTES);
+        assert_eq!(pool.lookup_prefix_blocks(&chain), 20);
+        let bytes = pool.reload_prefix(&chain, 5, SimTime::from_secs(1));
+        assert_eq!(bytes, 5 * BLOCK_BYTES);
+        pool.assert_lru_invariant();
+    }
+
+    #[test]
+    fn duplicate_offloads_refresh_without_growing() {
+        let mut pool = NetKvPool::new(1 << 20, BLOCK_BYTES);
+        let chain = hashes(0, 160);
+        pool.offload(&chain, SimTime::ZERO);
+        let generation = pool.generation();
+        assert_eq!(pool.offload(&chain, SimTime::from_secs(1)), (0, 0));
+        assert_eq!(pool.resident_blocks(), 10);
+        assert_eq!(pool.generation(), generation, "refreshes keep contents");
+        pool.assert_lru_invariant();
+    }
+
+    #[test]
+    fn eviction_is_deterministic_under_timestamp_ties() {
+        let chain = hashes(0, 8 * BLOCK_TOKENS);
+        let mut sorted = chain.clone();
+        sorted.sort_unstable();
+        for _ in 0..4 {
+            let mut pool = NetKvPool::new(8 * BLOCK_BYTES, BLOCK_BYTES);
+            pool.offload(&chain, SimTime::ZERO);
+            let (_, evicted) =
+                pool.offload(&hashes(1_000_000, 2 * BLOCK_TOKENS), SimTime::from_secs(1));
+            assert_eq!(evicted, 2);
+            for victim in &sorted[..2] {
+                assert_eq!(pool.lookup_prefix_blocks(std::slice::from_ref(victim)), 0);
+            }
+            pool.assert_lru_invariant();
+        }
+    }
+
+    #[test]
+    fn merge_unions_contents_and_keeps_younger_recency() {
+        let mut shared = NetKvPool::new(1 << 20, BLOCK_BYTES);
+        let a = hashes(0, 160);
+        let b = hashes(50_000, 160);
+        shared.offload(&a, SimTime::ZERO);
+
+        // Two instance snapshots diverge: one refreshed `a`, the other added `b`.
+        let mut from_zero = shared.clone();
+        from_zero.offload(&a, SimTime::from_secs(5));
+        let mut from_one = shared.clone();
+        from_one.offload(&b, SimTime::from_secs(3));
+
+        shared.merge_from(&from_zero);
+        shared.merge_from(&from_one);
+        assert_eq!(shared.lookup_prefix_blocks(&a), 10);
+        assert_eq!(shared.lookup_prefix_blocks(&b), 10);
+        assert_eq!(shared.resident_blocks(), 20);
+
+        // Merge order does not matter for contents: replay in the other order.
+        let mut other_order = NetKvPool::new(1 << 20, BLOCK_BYTES);
+        other_order.offload(&a, SimTime::ZERO);
+        other_order.merge_from(&from_one);
+        other_order.merge_from(&from_zero);
+        assert_eq!(other_order.entries, shared.entries);
+        shared.assert_lru_invariant();
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_inert() {
+        let mut pool = NetKvPool::new(0, BLOCK_BYTES);
+        let chain = hashes(0, 160);
+        assert_eq!(pool.offload(&chain, SimTime::ZERO), (0, 0));
+        assert_eq!(pool.resident_blocks(), 0);
+        assert_eq!(pool.generation(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_bytes_panics() {
+        NetKvPool::new(1 << 20, 0);
+    }
+}

@@ -23,7 +23,8 @@ use simcore::SimTime;
 
 use crate::hash::TokenBlockHash;
 
-/// Statistics of the CPU offload tier.
+/// Statistics of the offload tiers (CPU and, when enabled, the cluster-shared
+/// network tier).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OffloadStats {
     /// Blocks written to CPU memory.
@@ -34,6 +35,20 @@ pub struct OffloadStats {
     pub reloaded_blocks: u64,
     /// Bytes that crossed the host link to serve reloads.
     pub reloaded_bytes: u64,
+    /// CPU-tier eviction victims admitted into the network tier.
+    pub net_offloaded_blocks: u64,
+    /// CPU-tier eviction victims the single-use spill filter kept out of the network
+    /// tier (blocks whose content was never reused — sharing them would only thrash).
+    pub net_filtered_blocks: u64,
+    /// Blocks evicted from the network tier to make room.
+    pub net_evicted_blocks: u64,
+    /// Blocks served back to the GPU from the network tier.
+    pub net_reloaded_blocks: u64,
+    /// Bytes that crossed the network link to serve reloads.
+    pub net_reloaded_bytes: u64,
+    /// Blocks the per-request reload policy chose to *recompute* instead of reload
+    /// (the modelled transfer exceeded the modelled recompute saving).
+    pub declined_reload_blocks: u64,
 }
 
 impl OffloadStats {
@@ -43,15 +58,57 @@ impl OffloadStats {
         self.evicted_blocks += other.evicted_blocks;
         self.reloaded_blocks += other.reloaded_blocks;
         self.reloaded_bytes += other.reloaded_bytes;
+        self.net_offloaded_blocks += other.net_offloaded_blocks;
+        self.net_filtered_blocks += other.net_filtered_blocks;
+        self.net_evicted_blocks += other.net_evicted_blocks;
+        self.net_reloaded_blocks += other.net_reloaded_blocks;
+        self.net_reloaded_bytes += other.net_reloaded_bytes;
+        self.declined_reload_blocks += other.declined_reload_blocks;
     }
 }
 
+/// One CPU-tier eviction, reported back to the owning manager so it can cascade the
+/// victim into the network tier (subject to the single-use spill filter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuEviction {
+    /// Content hash of the evicted block.
+    pub hash: TokenBlockHash,
+    /// The entry's recency at eviction time (carried down the hierarchy, so the net
+    /// tier's LRU order extends the CPU tier's).
+    pub last_used: SimTime,
+    /// How many times the block's content proved reusable while CPU-resident: 1 for
+    /// the initial spill, +1 for every reload or re-spill of the same content.  A
+    /// value of 1 marks a single-use suffix block.
+    pub uses: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CpuEntry {
+    last_used: SimTime,
+    /// Reuse evidence for the single-use spill filter (see [`CpuEviction::uses`]).
+    uses: u32,
+}
+
 /// A capacity-bounded CPU-memory pool of offloaded KV blocks.
+///
+/// ```
+/// use kvcache::{hash_token_blocks, CpuKvPool};
+/// use simcore::SimTime;
+///
+/// let block_bytes = 16 * 128 * 1024;
+/// let mut pool = CpuKvPool::new(1 << 30, block_bytes);
+/// let tokens: Vec<u32> = (0..160).collect();
+/// let hashes = hash_token_blocks(&tokens, 16);
+/// assert_eq!(pool.offload(&hashes, SimTime::ZERO), 10);
+/// assert_eq!(pool.lookup_prefix_blocks(&hashes), 10);
+/// let bytes = pool.reload_prefix(&hashes, 10, SimTime::from_secs(1));
+/// assert_eq!(bytes, 10 * block_bytes);
+/// ```
 #[derive(Debug, Clone)]
 pub struct CpuKvPool {
     block_bytes: u64,
     capacity_blocks: u64,
-    entries: HashMap<TokenBlockHash, SimTime>,
+    entries: HashMap<TokenBlockHash, CpuEntry>,
     /// Eviction order: `(last_used, hash)` for every entry, oldest first.
     lru: BTreeSet<(SimTime, TokenBlockHash)>,
     /// Bumped whenever an entry is inserted or removed (recency refreshes do not
@@ -114,13 +171,15 @@ impl CpuKvPool {
 
     /// Refreshes an entry's recency, never moving it backwards: a spill of a stale
     /// GPU duplicate carries the victim's old `last_used`, and must not demote a CPU
-    /// entry that a recent reload already marked hot.
+    /// entry that a recent reload already marked hot.  Every touch — recency-advancing
+    /// or not — counts as reuse evidence for the spill filter.
     fn touch(&mut self, hash: TokenBlockHash, now: SimTime) {
         if let Some(entry) = self.entries.get_mut(&hash) {
-            let previous = *entry;
+            entry.uses = entry.uses.saturating_add(1);
+            let previous = entry.last_used;
             if previous < now {
                 self.lru.remove(&(previous, hash));
-                *entry = now;
+                entry.last_used = now;
                 self.lru.insert((now, hash));
             }
         }
@@ -130,8 +189,21 @@ impl CpuKvPool {
     /// request), evicting the least-recently-used entries if the pool is full.
     ///
     /// Returns the number of blocks actually written (existing entries are refreshed,
-    /// not duplicated).
+    /// not duplicated).  Evicted residents are discarded; use
+    /// [`Self::offload_with_evictions`] to cascade them into a lower tier.
     pub fn offload(&mut self, hashes: &[TokenBlockHash], now: SimTime) -> u64 {
+        self.offload_with_evictions(hashes, now, |_| {})
+    }
+
+    /// Like [`Self::offload`], but reports every evicted resident to `on_evict` so
+    /// the caller can spill it one tier down (the CPU→network cascade of the
+    /// three-tier hierarchy).
+    pub fn offload_with_evictions(
+        &mut self,
+        hashes: &[TokenBlockHash],
+        now: SimTime,
+        mut on_evict: impl FnMut(CpuEviction),
+    ) -> u64 {
         let mut written = 0;
         for hash in hashes {
             if self.capacity_blocks == 0 {
@@ -142,9 +214,17 @@ impl CpuKvPool {
                 continue;
             }
             if self.resident_blocks() >= self.capacity_blocks {
-                self.evict_lru();
+                if let Some(victim) = self.evict_lru() {
+                    on_evict(victim);
+                }
             }
-            self.entries.insert(*hash, now);
+            self.entries.insert(
+                *hash,
+                CpuEntry {
+                    last_used: now,
+                    uses: 1,
+                },
+            );
             self.lru.insert((now, *hash));
             self.generation += 1;
             self.stats.offloaded_blocks += 1;
@@ -186,19 +266,29 @@ impl CpuKvPool {
         bytes
     }
 
-    fn evict_lru(&mut self) {
-        if let Some((_, victim)) = self.lru.pop_first() {
-            self.entries.remove(&victim);
-            self.generation += 1;
-            self.stats.evicted_blocks += 1;
-        }
+    fn evict_lru(&mut self) -> Option<CpuEviction> {
+        let (last_used, victim) = self.lru.pop_first()?;
+        let entry = self
+            .entries
+            .remove(&victim)
+            .expect("LRU entries are resident");
+        self.generation += 1;
+        self.stats.evicted_blocks += 1;
+        Some(CpuEviction {
+            hash: victim,
+            last_used,
+            uses: entry.uses,
+        })
     }
 
     /// Debug-only structural check of the LRU index invariant.
     #[cfg(test)]
     fn assert_lru_invariant(&self) {
-        let expected: BTreeSet<(SimTime, TokenBlockHash)> =
-            self.entries.iter().map(|(h, t)| (*t, *h)).collect();
+        let expected: BTreeSet<(SimTime, TokenBlockHash)> = self
+            .entries
+            .iter()
+            .map(|(h, e)| (e.last_used, *h))
+            .collect();
         assert_eq!(expected, self.lru, "CPU LRU index out of sync");
     }
 }
@@ -322,5 +412,37 @@ mod tests {
     #[should_panic(expected = "block size")]
     fn zero_block_bytes_panics() {
         CpuKvPool::new(1 << 20, 0);
+    }
+
+    #[test]
+    fn evictions_report_reuse_evidence_for_the_spill_filter() {
+        // Pool of 4 blocks.  Chain A is spilled, reloaded (reuse) and re-spilled;
+        // chain B is spilled once and never referenced again (single-use suffix).
+        let mut pool = CpuKvPool::new(4 * BLOCK_BYTES, BLOCK_BYTES);
+        let a = hashes(0, 2 * BLOCK_TOKENS);
+        let b = hashes(10_000, 2 * BLOCK_TOKENS);
+        pool.offload(&a, SimTime::ZERO);
+        pool.reload_prefix(&a, 2, SimTime::from_secs(1));
+        pool.offload(&a, SimTime::from_secs(2)); // re-spill refresh
+        pool.offload(&b, SimTime::from_secs(3));
+
+        // Four fresh blocks displace everything; A's victims carry uses >= 3, B's
+        // exactly 1.
+        let mut evictions = Vec::new();
+        pool.offload_with_evictions(
+            &hashes(500_000, 4 * BLOCK_TOKENS),
+            SimTime::from_secs(4),
+            |e| evictions.push(e),
+        );
+        assert_eq!(evictions.len(), 4);
+        for eviction in &evictions {
+            if a.contains(&eviction.hash) {
+                assert!(eviction.uses >= 3, "reused block must carry its evidence");
+            } else {
+                assert!(b.contains(&eviction.hash));
+                assert_eq!(eviction.uses, 1, "single-use block stays at 1");
+            }
+        }
+        pool.assert_lru_invariant();
     }
 }

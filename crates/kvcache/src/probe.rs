@@ -31,10 +31,14 @@ struct ProbeEntry {
     evict_generation: u64,
     /// `KvCacheManager::cpu_generation()` at the time of the walk.
     cpu_generation: u64,
+    /// `KvCacheManager::net_generation()` at the time of the walk.
+    net_generation: u64,
     /// Blocks of the chain that hit the GPU prefix cache at that point.
     hit_blocks: usize,
     /// Blocks after the GPU prefix that hit the CPU tier at that point.
     cpu_hit_blocks: usize,
+    /// Blocks after the GPU + CPU prefix that hit the network tier at that point.
+    net_hit_blocks: usize,
 }
 
 /// Memoised per-request cache-probe results (see the module docs).
@@ -78,7 +82,9 @@ impl ProbeCache {
     /// the generation rules above; the CPU half is additionally invalidated by
     /// [`KvCacheManager::cpu_generation`] (a spill or CPU eviction changed the CPU
     /// tier's contents) and by any change of the GPU hit depth (the CPU walk starts
-    /// where the GPU walk stops).
+    /// where the GPU walk stops); the network half likewise by
+    /// [`KvCacheManager::net_generation`] and by any change of the GPU + CPU hit
+    /// depth it continues from.
     pub fn tier_hits(
         &mut self,
         kv: &KvCacheManager,
@@ -88,29 +94,43 @@ impl ProbeCache {
         let generation = kv.generation();
         let evict_generation = kv.evict_generation();
         let cpu_generation = kv.cpu_generation();
+        let net_generation = kv.net_generation();
         match self.entries.get_mut(&request_id) {
             Some(entry)
-                if entry.generation == generation && entry.cpu_generation == cpu_generation =>
+                if entry.generation == generation
+                    && entry.cpu_generation == cpu_generation
+                    && entry.net_generation == net_generation =>
             {
                 TierHits {
                     gpu_blocks: entry.hit_blocks,
                     cpu_blocks: entry.cpu_hit_blocks,
+                    net_blocks: entry.net_hit_blocks,
                 }
             }
             Some(entry) if entry.evict_generation == evict_generation => {
                 // Commits only: the previously hit GPU prefix is still resident, so
                 // the walk resumes from the old depth.  The CPU continuation must be
-                // re-walked if its own contents changed or the GPU depth moved.
+                // re-walked if its own contents changed or the GPU depth moved, and
+                // the network continuation if its contents changed or the CPU
+                // continuation's end moved.
                 let hit_blocks = kv.resume_cached_blocks_from_hashes(hashes, entry.hit_blocks);
-                if hit_blocks != entry.hit_blocks || entry.cpu_generation != cpu_generation {
+                let cpu_moved =
+                    hit_blocks != entry.hit_blocks || entry.cpu_generation != cpu_generation;
+                if cpu_moved {
                     entry.cpu_hit_blocks = kv.cpu_prefix_blocks_after(hashes, hit_blocks);
                     entry.cpu_generation = cpu_generation;
+                }
+                if cpu_moved || entry.net_generation != net_generation {
+                    entry.net_hit_blocks =
+                        kv.net_prefix_blocks_after(hashes, hit_blocks + entry.cpu_hit_blocks);
+                    entry.net_generation = net_generation;
                 }
                 entry.hit_blocks = hit_blocks;
                 entry.generation = generation;
                 TierHits {
                     gpu_blocks: entry.hit_blocks,
                     cpu_blocks: entry.cpu_hit_blocks,
+                    net_blocks: entry.net_hit_blocks,
                 }
             }
             _ => {
@@ -121,8 +141,10 @@ impl ProbeCache {
                         generation,
                         evict_generation,
                         cpu_generation,
+                        net_generation,
                         hit_blocks: hits.gpu_blocks,
                         cpu_hit_blocks: hits.cpu_blocks,
+                        net_hit_blocks: hits.net_blocks,
                     },
                 );
                 hits

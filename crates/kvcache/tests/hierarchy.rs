@@ -1,25 +1,36 @@
-//! Shadow-model property test for the hierarchical (GPU → CPU) KV cache.
+//! Shadow-model property test for the hierarchical (GPU → CPU → network) KV cache.
 //!
 //! Mirrors the LRU shadow test of `properties.rs` one level up: a flat reference
 //! model — plain maps of block hash → per-tier recency — is replayed against
-//! `KvCacheManager` + `CpuKvPool` over seeded random allocate/commit/release
-//! sequences, asserting after every operation that
+//! `KvCacheManager` + `CpuKvPool` + `NetKvPool` over seeded random
+//! allocate/commit/release sequences, asserting after every operation that
 //!
 //! * **tier placement** agrees: every chain hits the GPU prefix cache to the same
-//!   depth and the CPU tier continues it by the same number of blocks;
-//! * **OffloadStats** agree: spills, CPU evictions, reloads and transferred bytes;
-//! * **generation counters** agree: the GPU commit/evict counters and the CPU
-//!   content counter advance exactly when the reference model's contents change.
+//!   depth, the CPU tier continues it by the same number of blocks, and the network
+//!   tier continues *that* by the same number of blocks;
+//! * **OffloadStats** agree: CPU spills/evictions/reloads, net admissions, filter
+//!   skips, net evictions/reloads and transferred bytes, and policy declines;
+//! * **generation counters** agree: the GPU commit/evict counters and both lower
+//!   tiers' content counters advance exactly when the reference model's contents
+//!   change;
+//! * the **spill filter** agrees: a CPU eviction victim reaches the network tier iff
+//!   its reuse evidence meets [`NET_SPILL_MIN_USES`];
+//! * the **per-request reload decision** agrees: both sides consult the same pure
+//!   decision function of the [`ReloadQuote`], and a declined segment is recomputed
+//!   on both.
 //!
-//! The reference model selects GPU eviction victims with the specification order
-//! (`(last_used, hash)`, oldest first) and CPU victims the same way, so any
-//! tie-break or ordering bug in either tier's LRU index diverges immediately.
+//! The reference model selects eviction victims in every tier with the
+//! specification order (`(last_used, hash)`, oldest first), so any tie-break or
+//! ordering bug in any tier's LRU index diverges immediately.
 
 use std::collections::HashMap;
 
 use simcore::{SimRng, SimTime};
 
-use kvcache::{hash_token_blocks, KvCacheManager, RetentionPolicy, TokenBlockHash};
+use kvcache::{
+    hash_token_blocks, KvCacheManager, NetKvPool, ReloadQuote, ReloadTier, RetentionPolicy,
+    TokenBlockHash, NET_SPILL_MIN_USES,
+};
 
 const BLOCK_SIZE: usize = 16;
 const BLOCK_BYTES: u64 = 1024;
@@ -47,13 +58,33 @@ fn random_spec(rng: &mut SimRng) -> RequestSpec {
     }
 }
 
-/// Flat two-tier reference model: each hash is GPU-resident, CPU-resident, both, or
-/// absent, with one recency timestamp per tier.
+/// The shared per-segment reload decision: a pure function of the quote, so the real
+/// manager (via the `decide` callback) and the shadow model reach the same verdict
+/// without communicating.  Declines roughly one segment in four, on both tiers.
+fn reload_decision(quote: &ReloadQuote) -> bool {
+    let tier_salt = match quote.tier {
+        ReloadTier::Cpu => 0,
+        ReloadTier::Net => 1,
+    };
+    !(quote.blocks * 7 + quote.resident_prefix_tokens / BLOCK_SIZE as u64 * 3 + tier_salt)
+        .is_multiple_of(4)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ShadowCpuEntry {
+    last_used: SimTime,
+    uses: u32,
+}
+
+/// Flat three-tier reference model: each hash may be resident in any subset of the
+/// tiers, with one recency timestamp per tier (plus reuse evidence on the CPU tier).
 struct ShadowTiers {
     gpu_capacity: u64,
     cpu_capacity: u64,
+    net_capacity: u64,
     gpu: HashMap<TokenBlockHash, SimTime>,
-    cpu: HashMap<TokenBlockHash, SimTime>,
+    cpu: HashMap<TokenBlockHash, ShadowCpuEntry>,
+    net: HashMap<TokenBlockHash, SimTime>,
     // GPU-tier statistics / counters.
     committed_blocks: u64,
     gpu_evicted_blocks: u64,
@@ -64,6 +95,15 @@ struct ShadowTiers {
     reloaded_blocks: u64,
     reloaded_bytes: u64,
     cpu_generation: u64,
+    // Network-tier statistics / counters.
+    net_offloaded_blocks: u64,
+    net_filtered_blocks: u64,
+    net_evicted_blocks: u64,
+    net_reloaded_blocks: u64,
+    net_reloaded_bytes: u64,
+    net_generation: u64,
+    // Reload-policy statistics.
+    declined_reload_blocks: u64,
 }
 
 enum ShadowOutcome {
@@ -71,17 +111,21 @@ enum ShadowOutcome {
         cached_tokens: u64,
         reloaded_tokens: u64,
         reloaded_bytes: u64,
+        net_reloaded_tokens: u64,
+        net_reloaded_bytes: u64,
     },
     Err,
 }
 
 impl ShadowTiers {
-    fn new(gpu_capacity: u64, cpu_capacity: u64) -> ShadowTiers {
+    fn new(gpu_capacity: u64, cpu_capacity: u64, net_capacity: u64) -> ShadowTiers {
         ShadowTiers {
             gpu_capacity,
             cpu_capacity,
+            net_capacity,
             gpu: HashMap::new(),
             cpu: HashMap::new(),
+            net: HashMap::new(),
             committed_blocks: 0,
             gpu_evicted_blocks: 0,
             failed: 0,
@@ -90,6 +134,13 @@ impl ShadowTiers {
             reloaded_blocks: 0,
             reloaded_bytes: 0,
             cpu_generation: 0,
+            net_offloaded_blocks: 0,
+            net_filtered_blocks: 0,
+            net_evicted_blocks: 0,
+            net_reloaded_blocks: 0,
+            net_reloaded_bytes: 0,
+            net_generation: 0,
+            declined_reload_blocks: 0,
         }
     }
 
@@ -100,35 +151,75 @@ impl ShadowTiers {
             .count()
     }
 
-    fn cpu_prefix_blocks_after(&self, hashes: &[TokenBlockHash], gpu_blocks: usize) -> usize {
-        hashes[gpu_blocks..]
+    fn cpu_prefix_blocks_after(&self, hashes: &[TokenBlockHash], start: usize) -> usize {
+        hashes[start..]
             .iter()
             .take_while(|h| self.cpu.contains_key(h))
             .count()
     }
 
-    /// Specification spill: insert (or refresh, never demote) one victim in the CPU
-    /// tier, evicting the `(time, hash)`-smallest CPU entry when full.
+    fn net_prefix_blocks_after(&self, hashes: &[TokenBlockHash], start: usize) -> usize {
+        hashes[start..]
+            .iter()
+            .take_while(|h| self.net.contains_key(h))
+            .count()
+    }
+
+    /// Specification net admission: insert (or refresh, never demote) one block,
+    /// evicting the `(time, hash)`-smallest entry when full.  Zero capacity is inert.
+    fn net_insert(&mut self, hash: TokenBlockHash, last_used: SimTime) {
+        if self.net_capacity == 0 {
+            return;
+        }
+        if let Some(entry) = self.net.get_mut(&hash) {
+            *entry = (*entry).max(last_used);
+            return;
+        }
+        if self.net.len() as u64 >= self.net_capacity {
+            let victim = self
+                .net
+                .iter()
+                .map(|(h, t)| (*t, *h))
+                .min()
+                .expect("full pool has entries");
+            self.net.remove(&victim.1);
+            self.net_evicted_blocks += 1;
+            self.net_generation += 1;
+        }
+        self.net.insert(hash, last_used);
+        self.net_offloaded_blocks += 1;
+        self.net_generation += 1;
+    }
+
+    /// Specification CPU spill: insert (or refresh, counting a use, never demoting)
+    /// one victim, evicting the `(time, hash)`-smallest CPU entry when full — and
+    /// cascading that victim into the net tier iff it passes the single-use filter.
     fn spill(&mut self, hash: TokenBlockHash, last_used: SimTime) {
         if self.cpu_capacity == 0 {
             return;
         }
         if let Some(entry) = self.cpu.get_mut(&hash) {
-            *entry = (*entry).max(last_used);
+            entry.uses += 1;
+            entry.last_used = entry.last_used.max(last_used);
             return;
         }
         if self.cpu.len() as u64 >= self.cpu_capacity {
             let victim = self
                 .cpu
                 .iter()
-                .map(|(h, t)| (*t, *h))
+                .map(|(h, e)| (e.last_used, *h))
                 .min()
                 .expect("full pool has entries");
-            self.cpu.remove(&victim.1);
+            let entry = self.cpu.remove(&victim.1).expect("victim is resident");
             self.cpu_evicted_blocks += 1;
             self.cpu_generation += 1;
+            if entry.uses >= NET_SPILL_MIN_USES {
+                self.net_insert(victim.1, victim.0);
+            } else {
+                self.net_filtered_blocks += 1;
+            }
         }
-        self.cpu.insert(hash, last_used);
+        self.cpu.insert(hash, ShadowCpuEntry { last_used, uses: 1 });
         self.offloaded_blocks += 1;
         self.cpu_generation += 1;
     }
@@ -174,21 +265,66 @@ impl ShadowTiers {
             return ShadowOutcome::Err;
         }
 
-        // Phase 2.5: the reload plan — CPU hits after the GPU prefix, capped by what
-        // can be made resident, charged and recency-refreshed before any spill.
-        let cpu_tail = &hashes[hits..];
-        let planned = (self.cpu_prefix_blocks_after(hashes, hits) as u64).min(free + evictable);
-        for hash in cpu_tail.iter().take(planned as usize) {
+        // Phase 2.5: the reload plans — the CPU continuation of the GPU prefix and
+        // the net continuation of *that*, each capped by what can be made resident,
+        // each submitted to the shared per-request decision, charged and
+        // recency-refreshed before any spill from this very allocation.
+        let budget = free + evictable;
+        let cached_tokens = (hits * BLOCK_SIZE) as u64;
+        let cpu_hits = self.cpu_prefix_blocks_after(hashes, hits) as u64;
+        let mut cpu_planned = cpu_hits.min(budget);
+        if cpu_planned > 0
+            && !reload_decision(&ReloadQuote {
+                tier: ReloadTier::Cpu,
+                blocks: cpu_planned,
+                bytes: cpu_planned * BLOCK_BYTES,
+                resident_prefix_tokens: cached_tokens,
+                total_tokens,
+            })
+        {
+            self.declined_reload_blocks += cpu_planned;
+            cpu_planned = 0;
+        }
+        let net_start = hits + cpu_hits as usize;
+        let mut net_planned = 0;
+        if cpu_planned == cpu_hits {
+            net_planned =
+                (self.net_prefix_blocks_after(hashes, net_start) as u64).min(budget - cpu_planned);
+            if net_planned > 0
+                && !reload_decision(&ReloadQuote {
+                    tier: ReloadTier::Net,
+                    blocks: net_planned,
+                    bytes: net_planned * BLOCK_BYTES,
+                    resident_prefix_tokens: cached_tokens + cpu_planned * BLOCK_SIZE as u64,
+                    total_tokens,
+                })
+            {
+                self.declined_reload_blocks += net_planned;
+                net_planned = 0;
+            }
+        }
+        for hash in hashes[hits..].iter().take(cpu_planned as usize) {
             let entry = self
                 .cpu
                 .get_mut(hash)
                 .expect("planned reloads are resident");
+            entry.uses += 1;
+            entry.last_used = entry.last_used.max(now);
+        }
+        self.reloaded_blocks += cpu_planned;
+        self.reloaded_bytes += cpu_planned * BLOCK_BYTES;
+        for hash in hashes[net_start..].iter().take(net_planned as usize) {
+            let entry = self
+                .net
+                .get_mut(hash)
+                .expect("planned net reloads are resident");
             *entry = (*entry).max(now);
         }
-        self.reloaded_blocks += planned;
-        self.reloaded_bytes += planned * BLOCK_BYTES;
+        self.net_reloaded_blocks += net_planned;
+        self.net_reloaded_bytes += net_planned * BLOCK_BYTES;
 
-        // Phase 3: evict (spilling), then allocate; reloaded blocks come first.
+        // Phase 3: evict (spilling down the cascade), then allocate; reloaded blocks
+        // come first.
         if needed > free {
             self.evict_gpu((needed - free).min(evictable), &hit_prefix);
         }
@@ -205,25 +341,33 @@ impl ShadowTiers {
             }
         }
         ShadowOutcome::Ok {
-            cached_tokens: (hits * BLOCK_SIZE) as u64,
-            reloaded_tokens: planned * BLOCK_SIZE as u64,
-            reloaded_bytes: planned * BLOCK_BYTES,
+            cached_tokens,
+            reloaded_tokens: cpu_planned * BLOCK_SIZE as u64,
+            reloaded_bytes: cpu_planned * BLOCK_BYTES,
+            net_reloaded_tokens: net_planned * BLOCK_SIZE as u64,
+            net_reloaded_bytes: net_planned * BLOCK_BYTES,
         }
     }
 }
 
-/// The hierarchical manager agrees with the flat two-tier specification after every
+/// The hierarchical manager agrees with the flat three-tier specification after every
 /// operation: same hit/reload counts, same tier placement for every chain ever seen,
-/// same offload statistics, same generation counters.
+/// same offload statistics, same generation counters, same filter and policy
+/// verdicts.
 #[test]
 fn hierarchical_shadow_model_agreement() {
     let mut total_spills = 0u64;
     let mut total_reloads = 0u64;
     let mut total_cpu_evictions = 0u64;
+    let mut total_net_spills = 0u64;
+    let mut total_net_filtered = 0u64;
+    let mut total_net_reloads = 0u64;
+    let mut total_declined = 0u64;
     for seed in 0..96u64 {
         let mut rng = SimRng::seed_from_u64(11_000 + seed);
         let gpu_capacity = rng.gen_range(8u64..96);
-        let cpu_capacity = rng.gen_range(0u64..192);
+        let cpu_capacity = rng.gen_range(0u64..64);
+        let net_capacity = rng.gen_range(0u64..192);
         let num_ops = rng.gen_range(1usize..60);
         let mut manager = KvCacheManager::with_offload(
             gpu_capacity,
@@ -231,7 +375,8 @@ fn hierarchical_shadow_model_agreement() {
             cpu_capacity * BLOCK_BYTES,
             BLOCK_BYTES,
         );
-        let mut shadow = ShadowTiers::new(gpu_capacity, cpu_capacity);
+        manager.install_net_pool(NetKvPool::new(net_capacity * BLOCK_BYTES, BLOCK_BYTES));
+        let mut shadow = ShadowTiers::new(gpu_capacity, cpu_capacity, net_capacity);
         let mut chains: Vec<Vec<TokenBlockHash>> = Vec::new();
 
         for serial in 0..num_ops {
@@ -242,14 +387,20 @@ fn hierarchical_shadow_model_agreement() {
                 RetentionPolicy::FullResidency
             };
             let commit = rng.gen_range(0u32..5) > 0;
-            // Coarse timestamps force recency ties in both tiers, exercising the
+            // Coarse timestamps force recency ties in every tier, exercising the
             // (time, hash) tie-break the LRU indices must replicate exactly.
             let now = SimTime::from_millis(rng.gen_range(0u64..4) * 10 + serial as u64 / 8);
             let tokens = request_tokens(&spec, serial as u32);
             let hashes = hash_token_blocks(&tokens, BLOCK_SIZE);
             chains.push(hashes.clone());
 
-            let real = manager.allocate(&tokens, now, policy);
+            let real = manager.allocate_from_hashes_with_policy(
+                &hashes,
+                tokens.len() as u64,
+                now,
+                policy,
+                &mut |quote| reload_decision(quote),
+            );
             let expected = shadow.allocate(&hashes, tokens.len() as u64, now, policy, commit);
             match (real, expected) {
                 (
@@ -258,6 +409,8 @@ fn hierarchical_shadow_model_agreement() {
                         cached_tokens,
                         reloaded_tokens,
                         reloaded_bytes,
+                        net_reloaded_tokens,
+                        net_reloaded_bytes,
                     },
                 ) => {
                     assert_eq!(
@@ -268,12 +421,22 @@ fn hierarchical_shadow_model_agreement() {
                     assert_eq!(
                         alloc.reloaded_tokens(),
                         reloaded_tokens,
-                        "seed {seed} op {serial}: reload divergence"
+                        "seed {seed} op {serial}: CPU reload divergence"
                     );
                     assert_eq!(
                         alloc.reloaded_bytes(),
                         reloaded_bytes,
-                        "seed {seed} op {serial}: transfer-byte divergence"
+                        "seed {seed} op {serial}: CPU transfer-byte divergence"
+                    );
+                    assert_eq!(
+                        alloc.net_reloaded_tokens(),
+                        net_reloaded_tokens,
+                        "seed {seed} op {serial}: net reload divergence"
+                    );
+                    assert_eq!(
+                        alloc.net_reloaded_bytes(),
+                        net_reloaded_bytes,
+                        "seed {seed} op {serial}: net transfer-byte divergence"
                     );
                     if commit {
                         manager.commit(alloc, now);
@@ -288,16 +451,18 @@ fn hierarchical_shadow_model_agreement() {
                 ),
             }
 
-            // Tier placement: every chain ever seen hits both tiers identically.
+            // Tier placement: every chain ever seen hits all three tiers identically.
             assert_eq!(manager.cached_blocks(), shadow.gpu.len() as u64);
             assert_eq!(manager.cpu_resident_blocks(), shadow.cpu.len() as u64);
+            assert_eq!(manager.net_resident_blocks(), shadow.net.len() as u64);
             for chain in &chains {
                 let hits = manager.lookup_tier_hits_from_hashes(chain);
                 let gpu = shadow.gpu_prefix_blocks(chain);
                 let cpu = shadow.cpu_prefix_blocks_after(chain, gpu);
+                let net = shadow.net_prefix_blocks_after(chain, gpu + cpu);
                 assert_eq!(
-                    (hits.gpu_blocks, hits.cpu_blocks),
-                    (gpu, cpu),
+                    (hits.gpu_blocks, hits.cpu_blocks, hits.net_blocks),
+                    (gpu, cpu, net),
                     "seed {seed} op {serial}: tier placement divergence"
                 );
             }
@@ -316,6 +481,21 @@ fn hierarchical_shadow_model_agreement() {
             assert_eq!(offload.reloaded_blocks, shadow.reloaded_blocks);
             assert_eq!(offload.reloaded_bytes, shadow.reloaded_bytes);
             assert_eq!(
+                offload.net_offloaded_blocks, shadow.net_offloaded_blocks,
+                "seed {seed} op {serial}: net admission divergence"
+            );
+            assert_eq!(
+                offload.net_filtered_blocks, shadow.net_filtered_blocks,
+                "seed {seed} op {serial}: spill-filter divergence"
+            );
+            assert_eq!(offload.net_evicted_blocks, shadow.net_evicted_blocks);
+            assert_eq!(offload.net_reloaded_blocks, shadow.net_reloaded_blocks);
+            assert_eq!(offload.net_reloaded_bytes, shadow.net_reloaded_bytes);
+            assert_eq!(
+                offload.declined_reload_blocks, shadow.declined_reload_blocks,
+                "seed {seed} op {serial}: reload-policy divergence"
+            );
+            assert_eq!(
                 manager.generation(),
                 shadow.committed_blocks + shadow.gpu_evicted_blocks,
                 "seed {seed} op {serial}: GPU generation divergence"
@@ -326,22 +506,35 @@ fn hierarchical_shadow_model_agreement() {
                 shadow.cpu_generation,
                 "seed {seed} op {serial}: CPU generation divergence"
             );
+            assert_eq!(
+                manager.net_generation(),
+                shadow.net_generation,
+                "seed {seed} op {serial}: net generation divergence"
+            );
         }
         let offload = manager.offload_stats();
         total_spills += offload.offloaded_blocks;
         total_reloads += offload.reloaded_blocks;
         total_cpu_evictions += offload.evicted_blocks;
+        total_net_spills += offload.net_offloaded_blocks;
+        total_net_filtered += offload.net_filtered_blocks;
+        total_net_reloads += offload.net_reloaded_blocks;
+        total_declined += offload.declined_reload_blocks;
     }
     // Guard against vacuous agreement: the sweep must actually exercise every
     // hierarchical code path.
     assert!(total_spills > 1_000, "spill path under-exercised");
     assert!(total_reloads > 100, "reload path under-exercised");
     assert!(total_cpu_evictions > 100, "CPU eviction under-exercised");
+    assert!(total_net_spills > 50, "net admission under-exercised");
+    assert!(total_net_filtered > 50, "spill filter under-exercised");
+    assert!(total_net_reloads > 10, "net reload under-exercised");
+    assert!(total_declined > 50, "reload-policy decline under-exercised");
 }
 
-/// The memoising probe stays transparent when the hierarchy is active: under random
-/// interleavings of hierarchical allocations, `ProbeCache::tier_hits` always agrees
-/// with a fresh two-tier walk.
+/// The memoising probe stays transparent when the full hierarchy is active: under
+/// random interleavings of hierarchical allocations over a pre-warmed network tier,
+/// `ProbeCache::tier_hits` always agrees with a fresh three-tier walk.
 #[test]
 fn probe_matches_tier_walk_under_offload() {
     use kvcache::ProbeCache;
@@ -349,7 +542,8 @@ fn probe_matches_tier_walk_under_offload() {
     for seed in 0..48u64 {
         let mut rng = SimRng::seed_from_u64(23_000 + seed);
         let gpu_capacity = rng.gen_range(8u64..64);
-        let cpu_capacity = rng.gen_range(0u64..96);
+        let cpu_capacity = rng.gen_range(0u64..48);
+        let net_capacity = rng.gen_range(0u64..96);
         let mut kv = KvCacheManager::with_offload(
             gpu_capacity,
             BLOCK_SIZE,
@@ -365,6 +559,11 @@ fn probe_matches_tier_walk_under_offload() {
                 hash_token_blocks(&toks, BLOCK_SIZE)
             })
             .collect();
+        // Pre-warm the shared tier with one chain (another instance's contribution),
+        // so net hits occur even before the local cascade feeds the tier.
+        let mut net = NetKvPool::new(net_capacity * BLOCK_BYTES, BLOCK_BYTES);
+        net.offload(&chains[0], SimTime::ZERO);
+        kv.install_net_pool(net);
 
         for step in 0..200 {
             let now = SimTime::from_millis(step);

@@ -241,6 +241,96 @@ fn hierarchical_kv_cache_reduces_jct_on_prefix_heavy_traces() {
 }
 
 #[test]
+fn cold_instances_joining_a_warm_deployment_benefit_from_the_net_tier() {
+    // Cluster-wide KV sharing, end to end: a deployment serves a prefix-heavy trace
+    // with all three KV tiers squeezed, populating the cluster-shared network tier
+    // with reused profile prefixes.  A *cold* deployment (fresh instances, empty GPU
+    // and CPU caches — the "new node joins" scenario) then serves the same users:
+    // with the warm network tier it rehydrates profiles over the network link instead
+    // of recomputing them, so its mean JCT is strictly lower than the identical cold
+    // deployment with the network tier disabled (`net_kv_capacity_bytes = 0`).
+    let spec = PostRecommendationSpec {
+        num_users: 6,
+        posts_per_user: 8,
+        profile_mean_tokens: 5_000.0,
+        profile_std_tokens: 600.0,
+        profile_min_tokens: 4_000,
+        profile_max_tokens: 6_000,
+        ..PostRecommendationSpec::default()
+    };
+    let mut rng = SimRng::seed_from_u64(42);
+    let dataset = Dataset::post_recommendation(&spec, &mut rng);
+    let arrivals =
+        assign_poisson_arrivals_with(&dataset, 3.0, ArrivalGranularity::PerRequest, &mut rng);
+    let mut base = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        dataset.max_request_tokens(),
+    );
+    // Squeeze the GPU pool below the profile working set and the CPU tier to about
+    // one profile, so reused prefixes cascade GPU → CPU → network.
+    base.memory_utilization = 0.70;
+    let with_net = base
+        .clone()
+        .with_cpu_offload(768 << 20)
+        .with_net_kv(64 << 30);
+
+    // Warm phase: one replay window populates the shared tier.
+    let mut warm_cluster = Cluster::new(&with_net);
+    warm_cluster.run(&arrivals, 3.0).expect("feasible");
+    let warm_pool = warm_cluster.net_pool().expect("net tier enabled").clone();
+    assert!(
+        warm_pool.resident_blocks() > 0,
+        "the warm window must feed the shared tier"
+    );
+
+    // Cold join: fresh instances, warm shared tier.
+    let cold_with_net = Cluster::with_warm_net_pool(&with_net, warm_pool)
+        .run(&arrivals, 3.0)
+        .expect("feasible");
+    // The same cold deployment without the network tier recomputes everything.
+    let cold_without = Cluster::new(&base.clone().with_cpu_offload(768 << 20).with_net_kv(0))
+        .run(&arrivals, 3.0)
+        .expect("feasible");
+
+    assert!(
+        cold_with_net.offload.net_reloaded_blocks > 0,
+        "early requests must be served from the warm network tier"
+    );
+    assert!(cold_with_net.net_reloaded_tokens() > 0);
+    assert_eq!(cold_without.net_reloaded_tokens(), 0);
+    assert!(
+        cold_with_net.mean_latency_secs() < cold_without.mean_latency_secs(),
+        "network-tier reloads must beat recomputation: {:.4}s vs {:.4}s",
+        cold_with_net.mean_latency_secs(),
+        cold_without.mean_latency_secs()
+    );
+
+    // The benefit concentrates where the paper's cluster model predicts: each
+    // user's *first* request on the cold deployment (the cold-start prefill) is
+    // what the warm tier accelerates.
+    let first_request_mean = |report: &prefillonly::RunReport| {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0.0;
+        let mut count = 0u32;
+        let mut records = report.records.clone();
+        records.sort_by_key(|r| (r.arrival, r.request_id));
+        for record in &records {
+            if seen.insert(record.user_id) {
+                total += record.execution().as_secs_f64();
+                count += 1;
+            }
+        }
+        total / f64::from(count)
+    };
+    assert!(
+        first_request_mean(&cold_with_net) < first_request_mean(&cold_without),
+        "per-user cold-start prefills must get faster"
+    );
+}
+
+#[test]
 fn reports_are_deterministic_for_a_fixed_seed() {
     let build = || {
         let mut rng = SimRng::seed_from_u64(404);
