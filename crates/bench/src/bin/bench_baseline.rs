@@ -234,6 +234,56 @@ fn offload_baselines(out: &mut Vec<BaselinePoint>) {
     }
 }
 
+/// Network-tier hot path: allocating a 100-block request whose prefix is resident
+/// only in the cluster-shared network tier.  The allocation walks the GPU and CPU
+/// tiers (missing both), quotes the net segment, and rehydrates 100 net-resident
+/// blocks — the bookkeeping a cold instance pays per cold-join reload.  Mirrors
+/// `offload_reload` one tier further down.
+fn net_reload_baselines(out: &mut Vec<BaselinePoint>) {
+    const BLOCK_BYTES: u64 = 16 * 128 * 1024;
+    for net_blocks in [2_048u64, 131_072] {
+        let gpu_blocks = 2_048u64;
+        let mut manager =
+            KvCacheManager::with_offload(gpu_blocks, BLOCK_SIZE, BLOCK_BYTES, BLOCK_BYTES);
+        let mut pool = kvcache::NetKvPool::new(net_blocks * BLOCK_BYTES, BLOCK_BYTES);
+        let chain_blocks = 512usize;
+        for chain in 0..net_blocks / chain_blocks as u64 {
+            let start = chain as u32 * 10_000_000;
+            let tokens: Vec<u32> = (start..start + (chain_blocks * BLOCK_SIZE) as u32).collect();
+            pool.offload(
+                &kvcache::hash_token_blocks(&tokens, BLOCK_SIZE),
+                SimTime::from_secs(chain),
+            );
+        }
+        let request: Vec<u32> =
+            (2_000_000_000..2_000_000_000u32 + (100 * BLOCK_SIZE) as u32).collect();
+        pool.offload(
+            &kvcache::hash_token_blocks(&request, BLOCK_SIZE),
+            SimTime::from_secs(1_000),
+        );
+        manager.install_net_pool(pool);
+        assert_eq!(manager.lookup_cached_tokens(&request), 0, "GPU-cold prefix");
+        measure(
+            out,
+            &format!("kvcache_ops/net_reload/reload_100_from_net_pool_of/{net_blocks}"),
+            samples(25),
+            || manager.clone(),
+            |mut manager| {
+                let alloc = manager
+                    .allocate(
+                        &request,
+                        SimTime::from_secs(1_000_000),
+                        RetentionPolicy::FullResidency,
+                    )
+                    .expect("net reload makes room");
+                std::hint::black_box(alloc.net_reloaded_tokens());
+                manager.release_uncommitted(alloc);
+                manager
+            },
+        );
+    }
+}
+
 /// The §3.1 profile run (MIL search + JCT grid + estimator fit) an instance pays at
 /// construction — the target of the cost-curve memoisation (ROADMAP "Executor MIL
 /// search" item).
@@ -323,6 +373,7 @@ fn main() {
     scheduler_baselines(&mut results);
     kvcache_baselines(&mut results);
     offload_baselines(&mut results);
+    net_reload_baselines(&mut results);
     instance_profile_baselines(&mut results);
     cluster_baselines(&mut results);
 

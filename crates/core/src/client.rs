@@ -63,6 +63,7 @@ impl PrefillOnlyClient {
             tokens: Arc::new(tokens.to_vec()),
             allowed_outputs: allowed_outputs.iter().map(|s| s.to_string()).collect(),
             arrival,
+            routing: crate::routing::RoutingReason::Direct,
         };
         self.instance.enqueue(request, arrival);
         let started = self

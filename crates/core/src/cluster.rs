@@ -6,36 +6,47 @@
 //! times) against the deployment and produces the [`RunReport`] every figure of the
 //! evaluation is computed from.
 //!
-//! # Parallel replay
+//! # Parallel replay and windowed routing
 //!
-//! The §7.1 router statically pins every user to one instance, and no event ever
-//! crosses instances: an `Admit` or `Complete` event only touches the instance that
-//! produced it.  Replicated deployments therefore factor into independent per-instance
-//! event loops, and [`Cluster::run`] simulates them on parallel OS threads — one per
-//! instance — then merges the per-instance records deterministically.  The result is
-//! *identical* (records, makespan, cache statistics) to the single-threaded
-//! interleaved loop, which is kept as [`Cluster::run_sequential`] and enforced by the
+//! No event ever crosses instances: an `Admit` or `Complete` event only touches the
+//! instance that produced it.  Replicated deployments therefore factor into
+//! independent per-instance event loops, and [`Cluster::run`] simulates them on
+//! parallel OS threads — one per instance — then merges the per-instance records
+//! deterministically.  The result is *identical* (records, makespan, cache
+//! statistics) to the single-threaded interleaved loop, which is kept as
+//! [`Cluster::run_sequential`] and enforced by the
 //! `parallel_run_is_identical_to_sequential` test.
 //!
-//! Why this is sound: within one instance, the global loop pops that instance's events
-//! in `(time, push order)` — and the per-instance loop pushes the same events in the
-//! same relative order, because an instance's pushes happen only while handling that
-//! same instance's events.  Projecting the global FIFO-within-timestamp order onto one
-//! instance therefore yields exactly the per-instance order.
+//! Routing is what could break that factoring: a policy that consults instance state
+//! mid-window would couple the per-instance loops.  Instead, every `run` call is one
+//! *replay window*: the configured [`RoutingPolicy`](crate::routing) routes **all**
+//! arrivals up front, in `(arrival time, trace index)` order, against a
+//! [`RouterSnapshot`](crate::routing::RouterSnapshot) of the window-start state
+//! (modelled loads updated with the pass's own decisions; frozen three-tier prefix
+//! probes for cache-aware policies) — mirroring the snapshot-install/merge discipline
+//! of the shared network KV tier.  Both replay paths run the identical pass, so the
+//! partition, and hence the replay, is byte-identical.
+//!
+//! Why the per-instance loops are sound: within one instance, the global loop pops
+//! that instance's events in `(time, push order)` — and the per-instance loop pushes
+//! the same events in the same relative order, because an instance's pushes happen
+//! only while handling that same instance's events.  Projecting the global
+//! FIFO-within-timestamp order onto one instance therefore yields exactly the
+//! per-instance order.
 
 use std::sync::Arc;
 
 use simcore::{EventQueue, SimDuration, SimTime};
 
-use kvcache::{CacheStats, NetKvPool, OffloadStats};
+use kvcache::{hash_token_blocks, CacheStats, NetKvPool, OffloadStats};
 use workload::ArrivalPattern;
 
 use crate::baselines::engine_display_name;
-use crate::config::EngineConfig;
+use crate::config::{ConfigError, EngineConfig};
 use crate::instance::{EngineInstance, InstanceProfile};
 use crate::report::{RequestRecord, RunReport};
 use crate::request::PrefillRequest;
-use crate::routing::UserRouter;
+use crate::routing::{RouteQuery, RouterSnapshot, RoutingDecision, RoutingPolicy, RoutingReason};
 
 /// Why a workload could not be replayed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,11 +99,45 @@ enum InstanceEvent {
     Complete(u64),
 }
 
+/// One window's routing outcome: a decision per trace index, plus the
+/// `(arrival time, index)` iteration order the pass used (`None` = the trace was
+/// already sorted, so the order is the identity).
+struct RoutedWindow {
+    decisions: Vec<RoutingDecision>,
+    order: Option<Vec<usize>>,
+    /// Block-hash chains the routing pass computed to probe instances (per trace
+    /// index; empty when the policy needed none), handed to `enqueue` so the tokens
+    /// are hashed once, not twice.
+    hashes: Vec<Option<Arc<Vec<kvcache::TokenBlockHash>>>>,
+}
+
+impl RoutedWindow {
+    /// Takes the routing-time hash chain of one arrival, if any was computed.
+    fn take_hashes(&mut self, idx: usize) -> Option<Arc<Vec<kvcache::TokenBlockHash>>> {
+        self.hashes.get_mut(idx).and_then(Option::take)
+    }
+}
+
+/// One routed arrival of an instance's replay partition.
+struct PartitionEntry<'a> {
+    /// Trace-wide request id (the arrival's trace index).
+    request_id: u64,
+    /// Why routing placed it on this instance.
+    reason: RoutingReason,
+    /// The routing pass's hash chain, if it computed one (reused at enqueue).
+    hashes: Option<Arc<Vec<kvcache::TokenBlockHash>>>,
+    /// The arrival itself.
+    arrival: &'a ArrivalPattern,
+}
+
 /// A deployment of one engine kind on one hardware setup.
 pub struct Cluster {
     config: EngineConfig,
     instances: Vec<EngineInstance>,
-    router: UserRouter,
+    /// The pluggable routing layer (see [`crate::routing`]); selected via
+    /// [`EngineConfig::routing`], persists its state (e.g. sticky assignments)
+    /// across replay windows.
+    router: Box<dyn RoutingPolicy + Send>,
     /// The deployment's shared network KV tier (`None` when
     /// `net_kv_capacity_bytes` is 0).  Snapshots of this pool are installed into
     /// every instance at the start of each replay window and merged back — in
@@ -112,8 +157,21 @@ pub struct Cluster {
 impl Cluster {
     /// Builds the deployment: runs the instance profile **once** (instances of one
     /// deployment are identical), builds every engine instance from the shared
-    /// profile, and sets up the user-id router plus the shared network KV tier.
+    /// profile, and sets up the routing policy plus the shared network KV tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`EngineConfig::validate`]; use
+    /// [`Self::try_new`] to handle invalid configurations as values.
     pub fn new(config: &EngineConfig) -> Cluster {
+        Cluster::try_new(config).expect("invalid deployment configuration")
+    }
+
+    /// Builds the deployment, surfacing configuration problems (e.g. a hardware
+    /// setup with zero instances, which no router can serve) as a typed
+    /// [`ConfigError`] instead of a panic.
+    pub fn try_new(config: &EngineConfig) -> Result<Cluster, ConfigError> {
+        config.validate()?;
         let profile = InstanceProfile::new(config);
         let num_instances = config.num_instances() as usize;
         let instances = (0..num_instances)
@@ -121,13 +179,16 @@ impl Cluster {
             .collect();
         let net_pool = (config.net_kv_capacity_bytes > 0)
             .then(|| NetKvPool::new(config.net_kv_capacity_bytes, profile.kv_block_bytes()));
-        Cluster {
+        Ok(Cluster {
             config: config.clone(),
             instances,
-            router: UserRouter::new(num_instances),
+            router: config
+                .routing
+                .build(num_instances)
+                .expect("validate() guarantees at least one instance"),
             net_pool,
             net_merge_evictions: 0,
-        }
+        })
     }
 
     /// Builds the deployment with an already-warm shared network tier — the
@@ -203,19 +264,27 @@ impl Cluster {
         self.check_feasible(arrivals)?;
         self.install_net_snapshots();
 
-        // Route every arrival up front in `(arrival time, index)` order — exactly the
-        // order the sequential event loop pops arrival events — so the sticky
-        // round-robin router sees users in the same order on both paths even if the
-        // caller hands us an unsorted trace.  `(global request id, arrival)` pairs
-        // form each instance's partition, each sorted by `(arrival time, id)`.
-        let mut order: Vec<usize> = (0..arrivals.len()).collect();
-        order.sort_by_key(|&idx| (arrivals[idx].arrival, idx));
-        let mut partitions: Vec<Vec<(u64, &ArrivalPattern)>> =
-            vec![Vec::new(); self.instances.len()];
-        for idx in order {
-            let arrival = &arrivals[idx];
-            let instance_idx = self.router.route(arrival.template.user_id);
-            partitions[instance_idx].push((idx as u64, arrival));
+        // Route every arrival up front against the window-start snapshot (see the
+        // module docs) in `(arrival time, index)` order — exactly the order the
+        // sequential event loop pops arrival events.  Each instance's partition
+        // holds `(global request id, reason, routing-time hashes, arrival)` entries,
+        // each sorted by `(arrival time, id)`.
+        let mut routed = self.route_window(arrivals);
+        let mut partitions: Vec<Vec<PartitionEntry<'_>>> =
+            (0..self.instances.len()).map(|_| Vec::new()).collect();
+        let order = routed.order.take();
+        let mut push = |idx: usize| {
+            let decision = routed.decisions[idx];
+            partitions[decision.instance].push(PartitionEntry {
+                request_id: idx as u64,
+                reason: decision.reason,
+                hashes: routed.take_hashes(idx),
+                arrival: &arrivals[idx],
+            });
+        };
+        match &order {
+            None => (0..arrivals.len()).for_each(&mut push),
+            Some(order) => order.iter().copied().for_each(&mut push),
         }
 
         let mut per_instance: Vec<Vec<RequestRecord>> = Vec::with_capacity(self.instances.len());
@@ -258,6 +327,12 @@ impl Cluster {
         self.check_feasible(arrivals)?;
         self.install_net_snapshots();
 
+        // The identical routing pass as [`Self::run`]: decisions are a pure function
+        // of the window-start snapshot, so pre-routing here changes nothing relative
+        // to routing at event-pop time (the pass follows the same
+        // `(arrival time, index)` order the queue pops arrivals in).
+        let mut routed = self.route_window(arrivals);
+
         let mut events: EventQueue<Event> = EventQueue::new();
         for (idx, arrival) in arrivals.iter().enumerate() {
             events.push(arrival.arrival, Event::Arrival(idx));
@@ -269,15 +344,21 @@ impl Cluster {
             match scheduled.event {
                 Event::Arrival(idx) => {
                     let arrival = &arrivals[idx];
-                    let instance_idx = self.router.route(arrival.template.user_id);
+                    let decision = routed.decisions[idx];
+                    let instance_idx = decision.instance;
                     let request = PrefillRequest {
                         id: idx as u64,
                         user_id: arrival.template.user_id,
                         tokens: Arc::clone(&arrival.template.tokens),
                         allowed_outputs: Vec::new(),
                         arrival: now,
+                        routing: decision.reason,
                     };
-                    self.instances[instance_idx].enqueue(request, now);
+                    self.instances[instance_idx].enqueue_with_hashes(
+                        request,
+                        routed.take_hashes(idx),
+                        now,
+                    );
                     Self::admit(
                         &mut self.instances[instance_idx],
                         instance_idx,
@@ -305,6 +386,103 @@ impl Cluster {
 
         self.merge_net_snapshots();
         Ok(self.finish_report(records, offered_qps))
+    }
+
+    /// Routes one replay window's arrivals (see the module docs): captures the
+    /// deterministic [`RouterSnapshot`] of the window-start state and runs the
+    /// configured policy over every arrival in `(arrival time, trace index)` order,
+    /// folding each decision back into the snapshot's load model so balancing works
+    /// within the window.
+    ///
+    /// State-independent policies can skip the pass entirely: on an arrival-sorted
+    /// trace stamped with [`workload::StickySeq`], the sticky policy partitions
+    /// arithmetically via [`RoutingPolicy::route_sorted_trace`].
+    fn route_window(&mut self, arrivals: &[ArrivalPattern]) -> RoutedWindow {
+        let num_instances = self.instances.len();
+        let sorted = arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival);
+        if sorted {
+            if let Some(decisions) = self.router.route_sorted_trace(arrivals, num_instances) {
+                debug_assert_eq!(decisions.len(), arrivals.len());
+                return RoutedWindow {
+                    decisions,
+                    order: None,
+                    hashes: Vec::new(),
+                };
+            }
+        }
+        let mut order: Vec<usize> = (0..arrivals.len()).collect();
+        if !sorted {
+            order.sort_by_key(|&idx| (arrivals[idx].arrival, idx));
+        }
+
+        let needs_probe = self.router.needs_prefix_probe();
+        let block_size = self.config.block_size;
+        let loads = self
+            .instances
+            .iter()
+            .map(EngineInstance::router_load)
+            .collect();
+        let probes = if needs_probe {
+            self.instances
+                .iter()
+                .map(EngineInstance::prefix_probe)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (cpu_hit_discount, net_hit_discount) = self
+            .instances
+            .first()
+            .map(|i| (i.cpu_hit_discount(), i.net_hit_discount()))
+            .unwrap_or((0.0, 0.0));
+        let pool_capacity_blocks = self
+            .instances
+            .first()
+            .map(|i| i.kv_pool_tokens() / block_size as u64)
+            .unwrap_or(0);
+        let mut snapshot = RouterSnapshot::new(
+            loads,
+            probes,
+            block_size,
+            pool_capacity_blocks,
+            cpu_hit_discount,
+            net_hit_discount,
+        );
+
+        let mut decisions = vec![
+            RoutingDecision {
+                instance: 0,
+                reason: RoutingReason::Direct,
+            };
+            arrivals.len()
+        ];
+        let mut routed_hashes = vec![None; if needs_probe { arrivals.len() } else { 0 }];
+        for &idx in &order {
+            let arrival = &arrivals[idx];
+            let hashes = needs_probe
+                .then(|| Arc::new(hash_token_blocks(&arrival.template.tokens, block_size)));
+            let query = RouteQuery {
+                user_id: arrival.template.user_id,
+                num_tokens: arrival.template.num_tokens(),
+                hashes: hashes.as_deref().map_or(&[], Vec::as_slice),
+            };
+            let decision = self.router.route(&query, &snapshot);
+            assert!(
+                decision.instance < num_instances,
+                "routing policy chose instance {} of {num_instances}",
+                decision.instance
+            );
+            snapshot.note_routed(decision.instance, arrival.template.num_tokens());
+            decisions[idx] = decision;
+            if let Some(hashes) = hashes {
+                routed_hashes[idx] = Some(hashes);
+            }
+        }
+        RoutedWindow {
+            decisions,
+            order: Some(order),
+            hashes: routed_hashes,
+        }
     }
 
     /// Installs a snapshot of the shared network tier into every instance.  Both
@@ -351,26 +529,27 @@ impl Cluster {
     /// Runs one instance's private event loop over its arrival partition.
     fn simulate_instance(
         instance: &mut EngineInstance,
-        partition: &[(u64, &ArrivalPattern)],
+        partition: &[PartitionEntry<'_>],
     ) -> Vec<RequestRecord> {
         let mut events: EventQueue<InstanceEvent> = EventQueue::new();
-        for (pos, (_, arrival)) in partition.iter().enumerate() {
-            events.push(arrival.arrival, InstanceEvent::Arrival(pos));
+        for (pos, entry) in partition.iter().enumerate() {
+            events.push(entry.arrival.arrival, InstanceEvent::Arrival(pos));
         }
         let mut records = Vec::with_capacity(partition.len());
         while let Some(scheduled) = events.pop() {
             let now = scheduled.at;
             match scheduled.event {
                 InstanceEvent::Arrival(pos) => {
-                    let (request_id, arrival) = partition[pos];
+                    let entry = &partition[pos];
                     let request = PrefillRequest {
-                        id: request_id,
-                        user_id: arrival.template.user_id,
-                        tokens: Arc::clone(&arrival.template.tokens),
+                        id: entry.request_id,
+                        user_id: entry.arrival.template.user_id,
+                        tokens: Arc::clone(&entry.arrival.template.tokens),
                         allowed_outputs: Vec::new(),
                         arrival: now,
+                        routing: entry.reason,
                     };
-                    instance.enqueue(request, now);
+                    instance.enqueue_with_hashes(request, entry.hashes.clone(), now);
                     Self::admit_local(instance, now, &mut events);
                 }
                 InstanceEvent::Admit => {
@@ -490,6 +669,7 @@ impl std::fmt::Debug for Cluster {
         f.debug_struct("Cluster")
             .field("engine", &engine_display_name(self.config.kind))
             .field("instances", &self.instances.len())
+            .field("routing", &self.router.kind())
             .finish()
     }
 }
@@ -498,6 +678,7 @@ impl std::fmt::Debug for Cluster {
 mod tests {
     use super::*;
     use crate::config::EngineKind;
+    use crate::routing::UserRouter;
     use gpu::HardwareSetup;
     use model::ModelPreset;
     use simcore::SimRng;
@@ -920,7 +1101,10 @@ mod tests {
             instances: (0..config.num_instances() as usize)
                 .map(|id| EngineInstance::new(&config, id))
                 .collect(),
-            router: UserRouter::new(config.num_instances() as usize),
+            router: config
+                .routing
+                .build(config.num_instances() as usize)
+                .unwrap(),
             net_pool: None,
             net_merge_evictions: 0,
         };
@@ -929,6 +1113,92 @@ mod tests {
         assert_eq!(a.records, b.records);
         assert_eq!(a.cache, b.cache);
         assert_eq!(a.makespan, b.makespan);
+    }
+
+    /// The determinism guarantee extends to every routing policy: under load-balanced
+    /// and cache-aware routing (with all three KV tiers active, so the cache-aware
+    /// probes actually see residency), the threaded replay stays byte-identical to
+    /// the sequential reference — across *two* consecutive replay windows, so
+    /// window-to-window routing state (sticky pins, warmed caches) is exercised too.
+    #[test]
+    fn parallel_run_is_identical_to_sequential_under_every_routing_policy() {
+        for policy in [
+            crate::routing::RoutingPolicyKind::StickyUser,
+            crate::routing::RoutingPolicyKind::LeastLoaded,
+            crate::routing::RoutingPolicyKind::CacheAware,
+        ] {
+            let (config, arrivals) = net_pressure_config(64 << 30);
+            let config = config.with_routing(policy);
+            let mut parallel = Cluster::new(&config);
+            assert!(parallel.instances().len() > 1);
+            let mut sequential = Cluster::new(&config);
+            for window in 0..2 {
+                let a = parallel.run(&arrivals, 3.0).unwrap();
+                let b = sequential.run_sequential(&arrivals, 3.0).unwrap();
+                assert_eq!(a.records, b.records, "{policy:?} window {window}");
+                assert_eq!(a.makespan, b.makespan, "{policy:?} window {window}");
+                assert_eq!(a.cache, b.cache, "{policy:?} window {window}");
+                assert_eq!(a.offload, b.offload, "{policy:?} window {window}");
+            }
+        }
+    }
+
+    /// Regression pin: the refactored `StickyUser` policy reproduces the
+    /// pre-refactor `UserRouter` byte for byte on an existing e2e trace — the same
+    /// per-user instance assignment (round-robin in order of first appearance) with
+    /// both the stamped fast path and the hash-map slow path, which must also agree
+    /// with each other record-for-record.
+    #[test]
+    fn sticky_policy_is_byte_identical_to_the_pre_refactor_router() {
+        let ds = small_post_rec_dataset();
+        let arrivals = assign_poisson_arrivals(&ds, 5.0, &mut SimRng::seed_from_u64(2));
+        assert!(arrivals.iter().all(|a| a.sticky.is_some()));
+
+        // The slow path: strip the trace-generation stamps so the policy must run
+        // its windowed UserRouter pass.
+        let mut unstamped = arrivals.clone();
+        for arrival in &mut unstamped {
+            arrival.sticky = None;
+        }
+
+        let config = config(EngineKind::prefillonly_default());
+        let fast = Cluster::new(&config).run(&arrivals, 5.0).unwrap();
+        let slow = Cluster::new(&config).run(&unstamped, 5.0).unwrap();
+        assert_eq!(fast.records, slow.records);
+        assert_eq!(fast.cache, slow.cache);
+        assert_eq!(fast.makespan, slow.makespan);
+
+        // Both must equal the §7.1 reference router applied in `(arrival, idx)`
+        // order — the exact pre-refactor routing.
+        let mut reference = UserRouter::new(config.num_instances() as usize).unwrap();
+        let mut expected: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut order: Vec<usize> = (0..arrivals.len()).collect();
+        order.sort_by_key(|&idx| (arrivals[idx].arrival, idx));
+        for idx in order {
+            let user = arrivals[idx].template.user_id;
+            let instance = reference.route(user);
+            expected.insert(idx as u64, instance);
+        }
+        for record in &fast.records {
+            assert_eq!(record.instance, expected[&record.request_id]);
+            assert!(matches!(
+                record.routing,
+                crate::routing::RoutingReason::StickyNew
+                    | crate::routing::RoutingReason::StickyExisting
+            ));
+        }
+    }
+
+    /// The configuration validation boundary: a deployment with zero instances is a
+    /// typed error from [`Cluster::try_new`], not a panic from deep inside the
+    /// router.
+    #[test]
+    fn zero_instance_deployment_is_a_config_error() {
+        let mut config = config(EngineKind::PagedAttention);
+        config.hardware.num_gpus = 0;
+        let err = Cluster::try_new(&config).unwrap_err();
+        assert_eq!(err, crate::config::ConfigError::NoInstances);
+        assert!(Cluster::try_new(&self::config(EngineKind::PagedAttention)).is_ok());
     }
 
     #[test]

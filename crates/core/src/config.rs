@@ -7,6 +7,30 @@ use gpu::{HardwareSetup, LinkKind, NetLinkKind};
 use model::ModelPreset;
 use scheduler::PolicyKind;
 
+use crate::routing::RoutingPolicyKind;
+
+/// Why a configuration cannot be deployed, surfaced by [`EngineConfig::validate`]
+/// (the validation boundary [`crate::Cluster::try_new`] checks before building
+/// anything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The hardware setup yields zero engine instances, so no router can be built.
+    NoInstances,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoInstances => write!(
+                f,
+                "the deployment has zero engine instances (hardware setup without GPUs?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// How the engine decides whether to reload a reloadable KV segment (CPU- or
 /// network-resident continuation of the GPU-cached prefix) or recompute it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -141,6 +165,9 @@ pub struct EngineConfig {
     pub net_link: NetLinkKind,
     /// How reload-vs-recompute is decided per reloadable segment.
     pub reload_policy: ReloadPolicyKind,
+    /// How arrivals are routed onto the deployment's instances (see
+    /// [`RoutingPolicyKind`]; the default is the paper's sticky user-id routing).
+    pub routing: RoutingPolicyKind,
 }
 
 impl EngineConfig {
@@ -164,7 +191,24 @@ impl EngineConfig {
             net_kv_capacity_bytes: 0,
             net_link: NetLinkKind::Rdma100G,
             reload_policy: ReloadPolicyKind::Modeled,
+            routing: RoutingPolicyKind::StickyUser,
         }
+    }
+
+    /// Checks the configuration can actually be deployed.  This is the boundary at
+    /// which structurally impossible deployments surface as typed errors instead of
+    /// panics deeper in the stack (e.g. a router over zero instances).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_instances() == 0 {
+            return Err(ConfigError::NoInstances);
+        }
+        Ok(())
+    }
+
+    /// Overrides the routing policy (see [`RoutingPolicyKind`]).
+    pub fn with_routing(mut self, routing: RoutingPolicyKind) -> EngineConfig {
+        self.routing = routing;
+        self
     }
 
     /// Enables the hierarchical KV tier: each instance gets `cpu_kv_capacity_bytes`
@@ -278,6 +322,35 @@ mod tests {
         assert_eq!(tp.num_instances(), 1);
         assert!(EngineKind::TensorParallel.is_parallel());
         assert!(!EngineKind::PagedAttention.is_parallel());
+    }
+
+    #[test]
+    fn zero_instance_configs_fail_validation_with_a_typed_error() {
+        let mut config = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::PagedAttention,
+            20_000,
+        );
+        assert_eq!(config.validate(), Ok(()));
+        config.hardware.num_gpus = 0;
+        assert_eq!(config.num_instances(), 0);
+        let err = config.validate().unwrap_err();
+        assert_eq!(err, ConfigError::NoInstances);
+        assert!(err.to_string().contains("zero engine instances"));
+    }
+
+    #[test]
+    fn routing_policy_defaults_to_sticky_and_is_overridable() {
+        let config = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::prefillonly_default(),
+            20_000,
+        );
+        assert_eq!(config.routing, RoutingPolicyKind::StickyUser);
+        let config = config.with_routing(RoutingPolicyKind::CacheAware);
+        assert_eq!(config.routing, RoutingPolicyKind::CacheAware);
     }
 
     #[test]

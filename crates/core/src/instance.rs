@@ -24,6 +24,7 @@ use scheduler::{CacheProbe, JctEstimator, SchedulingPolicy, WaitingQueue, Waitin
 use crate::config::{EngineConfig, ReloadPolicyKind};
 use crate::report::RequestRecord;
 use crate::request::PrefillRequest;
+use crate::routing::InstanceLoad;
 
 /// Cumulative per-instance statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -64,7 +65,7 @@ struct RunningRequest {
 /// pool.  With all of this folded in, calibrated SRJF ranks a tier-warm long request
 /// exactly as far ahead as the transfers actually make it (and ignores a tier
 /// entirely on hosts where its link is no cheaper than recomputing).
-fn effective_cached_tokens(
+pub(crate) fn effective_cached_tokens(
     hits: TierHits,
     pool_capacity_blocks: u64,
     block_size: usize,
@@ -401,6 +402,24 @@ impl EngineInstance {
         self.kv.net_pool()
     }
 
+    /// The instance's modelled load as the routing layer sees it: waiting plus
+    /// running requests and their input tokens.  The queue half is O(1)
+    /// ([`WaitingQueue::total_tokens`]); the running half iterates the (small) set of
+    /// in-flight requests.
+    pub fn router_load(&self) -> InstanceLoad {
+        let running_tokens: u64 = self.running.values().map(|r| r.request.num_tokens()).sum();
+        InstanceLoad {
+            queued_requests: (self.queue.len() + self.running.len()) as u64,
+            outstanding_tokens: self.queue.total_tokens() + running_tokens,
+        }
+    }
+
+    /// An immutable three-tier residency snapshot of this instance's KV manager (see
+    /// [`kvcache::PrefixProbe`]) — what cache-aware routing probes at window start.
+    pub fn prefix_probe(&self) -> kvcache::PrefixProbe {
+        self.kv.prefix_probe()
+    }
+
     /// Earliest virtual time at which a new request could be admitted (when the first
     /// pipeline stage becomes free).
     pub fn next_admission_time(&self) -> SimTime {
@@ -418,7 +437,28 @@ impl EngineInstance {
     /// (continuous JCT calibration runs one per waiting request per scheduling step)
     /// reuses it.
     pub fn enqueue(&mut self, request: PrefillRequest, now: SimTime) {
-        let hashes = Arc::new(hash_token_blocks(&request.tokens, self.kv.block_size()));
+        self.enqueue_with_hashes(request, None, now);
+    }
+
+    /// Like [`Self::enqueue`], but reusing a block-hash chain the caller already
+    /// computed (cache-aware routing hashes every arrival to probe instances, so the
+    /// cluster hands the chain through rather than hashing the tokens twice).
+    ///
+    /// `hashes` must be `hash_token_blocks(&request.tokens, block_size)` for this
+    /// instance's block size; pass `None` to compute it here.
+    pub fn enqueue_with_hashes(
+        &mut self,
+        request: PrefillRequest,
+        hashes: Option<Arc<Vec<TokenBlockHash>>>,
+        now: SimTime,
+    ) {
+        let hashes = hashes
+            .unwrap_or_else(|| Arc::new(hash_token_blocks(&request.tokens, self.kv.block_size())));
+        debug_assert_eq!(
+            hashes.len(),
+            request.tokens.len() / self.kv.block_size(),
+            "precomputed chain must match the instance's block geometry"
+        );
         // The arrival-time probe doubles as the seed of the memoised probe cache, so
         // the first scheduling step already starts from a known hit depth.
         let hits_at_arrival = self
@@ -603,6 +643,7 @@ impl EngineInstance {
             request_id,
             user_id: running.request.user_id,
             instance: self.id,
+            routing: running.request.routing,
             arrival: running.request.arrival,
             started: running.started,
             completed: running.completion,
@@ -630,6 +671,7 @@ impl std::fmt::Debug for EngineInstance {
 mod tests {
     use super::*;
     use crate::config::{EngineConfig, EngineKind};
+    use crate::routing::RoutingReason;
     use gpu::HardwareSetup;
     use model::ModelPreset;
 
@@ -649,6 +691,7 @@ mod tests {
             tokens: Arc::new((0..tokens as u32).collect()),
             allowed_outputs: vec!["Yes".into(), "No".into()],
             arrival,
+            routing: RoutingReason::Direct,
         }
     }
 
@@ -709,6 +752,7 @@ mod tests {
             tokens: Arc::new(req_a),
             allowed_outputs: vec![],
             arrival: now,
+            routing: RoutingReason::Direct,
         };
         instance.enqueue(a, now);
         let started_a = instance.try_start(now).unwrap();
@@ -722,6 +766,7 @@ mod tests {
             tokens: Arc::new(req_b),
             allowed_outputs: vec![],
             arrival: later,
+            routing: RoutingReason::Direct,
         };
         instance.enqueue(b, later);
         let started_b = instance.try_start(later).unwrap();
@@ -762,6 +807,7 @@ mod tests {
                 tokens: Arc::new(tokens.to_vec()),
                 allowed_outputs: vec![],
                 arrival: now,
+                routing: RoutingReason::Direct,
             };
             instance.enqueue(request, now);
             let started = instance.try_start(now).expect("idle instance admits");
@@ -842,6 +888,7 @@ mod tests {
                 tokens: Arc::new(shared.clone()),
                 allowed_outputs: vec![],
                 arrival: now,
+                routing: RoutingReason::Direct,
             };
             instance.enqueue(warm, now);
             let s = instance.try_start(now).unwrap();
@@ -858,6 +905,7 @@ mod tests {
             tokens: Arc::clone(&cold_tokens),
             allowed_outputs: vec![],
             arrival: t0,
+            routing: RoutingReason::Direct,
         };
         let mut warm_tokens = shared.clone();
         warm_tokens.extend(500_000..500_150u32);
@@ -867,6 +915,7 @@ mod tests {
             tokens: Arc::new(warm_tokens.clone()),
             allowed_outputs: vec![],
             arrival: t0,
+            routing: RoutingReason::Direct,
         };
         po.enqueue(cold.clone(), t0);
         po.enqueue(warm.clone(), t0);
@@ -880,6 +929,7 @@ mod tests {
             tokens: Arc::clone(&cold_tokens),
             allowed_outputs: vec![],
             arrival: t1,
+            routing: RoutingReason::Direct,
         };
         let warm = PrefillRequest {
             id: 2,
@@ -887,6 +937,7 @@ mod tests {
             tokens: Arc::new(warm_tokens),
             allowed_outputs: vec![],
             arrival: t1,
+            routing: RoutingReason::Direct,
         };
         paged.enqueue(cold, t1);
         paged.enqueue(warm, t1);

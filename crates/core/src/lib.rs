@@ -22,8 +22,13 @@
 //! | `TensorParallel` | full prefill sharded over 2 GPUs | FCFS | 2 |
 //! | `PipelineParallel` | full prefill split into 2 stages | FCFS | 2 |
 //!
-//! Single-GPU engines are replicated once per GPU and fronted by the user-id router of
-//! §7.1; multi-GPU engines run as one instance spanning both GPUs.
+//! Single-GPU engines are replicated once per GPU and fronted by the pluggable
+//! routing layer ([`EngineConfig::routing`], default: the sticky user-id routing of
+//! §7.1; [`RoutingPolicyKind::CacheAware`] routes to the deepest modelled three-tier
+//! prefix hit instead); multi-GPU engines run as one instance spanning both GPUs.
+//! Routing decisions are taken per replay window against a window-start snapshot, so
+//! the parallel replay stays byte-identical under every policy — see
+//! `ARCHITECTURE.md` ("Routing layer").
 //!
 //! ## Hierarchical KV tiers
 //!
@@ -77,8 +82,11 @@ mod routing;
 pub use baselines::{all_engine_kinds, engine_display_name};
 pub use client::PrefillOnlyClient;
 pub use cluster::{Cluster, RunError};
-pub use config::{EngineConfig, EngineKind, ReloadPolicyKind};
+pub use config::{ConfigError, EngineConfig, EngineKind, ReloadPolicyKind};
 pub use instance::{EngineInstance, InstanceProfile, InstanceStats};
 pub use report::{RequestRecord, RunReport};
 pub use request::{PrefillRequest, PrefillResponse, TokenScore};
-pub use routing::UserRouter;
+pub use routing::{
+    InstanceLoad, RouteQuery, RouterSnapshot, RoutingDecision, RoutingError, RoutingPolicy,
+    RoutingPolicyKind, RoutingReason, UserRouter,
+};

@@ -6,6 +6,8 @@ use simcore::{SimDuration, SimTime};
 use kvcache::{CacheStats, OffloadStats};
 use metrics::{Cdf, Summary};
 
+use crate::routing::RoutingReason;
+
 /// Everything recorded about one completed request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RequestRecord {
@@ -15,6 +17,8 @@ pub struct RequestRecord {
     pub user_id: u64,
     /// Instance that executed it.
     pub instance: usize,
+    /// Why the routing layer placed it there (see [`RoutingReason`]).
+    pub routing: RoutingReason,
     /// Arrival time.
     pub arrival: SimTime,
     /// Time execution started.
@@ -131,6 +135,7 @@ mod tests {
             request_id: 1,
             user_id: 1,
             instance: 0,
+            routing: RoutingReason::Direct,
             arrival: SimTime::from_millis(arrival_ms),
             started: SimTime::from_millis(started_ms),
             completed: SimTime::from_millis(completed_ms),

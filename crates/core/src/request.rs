@@ -11,6 +11,8 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
+use crate::routing::RoutingReason;
+
 /// A prefill-only inference request.
 #[derive(Debug, Clone)]
 pub struct PrefillRequest {
@@ -24,6 +26,9 @@ pub struct PrefillRequest {
     pub allowed_outputs: Vec<String>,
     /// When the request entered the system.
     pub arrival: SimTime,
+    /// Why the routing layer placed the request on its instance
+    /// ([`RoutingReason::Direct`] when no policy was involved).
+    pub routing: RoutingReason,
 }
 
 impl PrefillRequest {
@@ -160,6 +165,7 @@ mod tests {
             tokens: Arc::new(vec![1, 2, 3]),
             allowed_outputs: vec!["Yes".into()],
             arrival: SimTime::ZERO,
+            routing: RoutingReason::Direct,
         };
         assert_eq!(req.num_tokens(), 3);
     }

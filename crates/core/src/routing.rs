@@ -1,14 +1,419 @@
-//! User-id based request routing.
+//! The pluggable routing layer: how arrivals are mapped onto engine instances.
 //!
-//! §7.1 ("Routing"): single-GPU engines are replicated, one instance per GPU, and
-//! requests are routed so that all requests of one user land on the same instance —
-//! users are assigned to instances round-robin in order of first appearance.  Keeping a
-//! user's requests together is what lets the instance's prefix cache reuse the user's
-//! profile across their 50 candidate posts.
+//! §7.1 ("Routing") pins every user to one instance round-robin in order of first
+//! appearance ([`UserRouter`], kept as the [`RoutingPolicyKind::StickyUser`] policy and
+//! the default).  With the KV hierarchy spanning GPU/CPU/network tiers, the router is
+//! also the natural place to *use* the residency signal the simulator models:
+//! [`RoutingPolicyKind::CacheAware`] routes each request to the instance with the
+//! deepest link-cost-discounted prefix hit (the sglang radix-cache router's idea), and
+//! [`RoutingPolicyKind::LeastLoaded`] balances on modelled load alone.
+//!
+//! # Windowed routing and determinism
+//!
+//! State-dependent routing breaks the instance-independence the parallel replay relies
+//! on — a decision taken mid-window would have to observe another thread's simulation
+//! state.  The routing layer therefore mirrors the network tier's snapshot-merge
+//! discipline: at the start of each replay window ([`crate::Cluster::run`] /
+//! `run_sequential`) the cluster captures a [`RouterSnapshot`] — per-instance queue
+//! depth and outstanding tokens, plus (for policies that ask) a frozen three-tier
+//! [`PrefixProbe`] of each instance's KV manager — and routes *every* arrival of the
+//! window against that snapshot, in `(arrival time, trace index)` order, before any
+//! instance simulates.  The snapshot's load half is updated with the policy's own
+//! decisions as the pass proceeds (so balancing works within a window); the probe half
+//! stays frozen (cache effects propagate between windows, exactly like the shared
+//! network pool).  Both replay paths call the same pass, so the partition — and hence
+//! the replay — is byte-identical no matter how many threads simulate it.
+//!
+//! Sticky routing needs no snapshot at all: it is a pure function of user
+//! first-appearance order, which trace generation precomputes
+//! ([`workload::StickySeq`]).  On a stamped, arrival-sorted trace the sticky policy
+//! partitions with plain arithmetic and skips the windowed pass entirely.
 
 use std::collections::HashMap;
 
-/// Sticky round-robin router keyed by user id.
+use serde::{Deserialize, Serialize};
+
+use kvcache::{PrefixProbe, TokenBlockHash};
+use workload::ArrivalPattern;
+
+/// Why routing could not be set up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The deployment has no engine instances to route to.
+    NoInstances,
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::NoInstances => {
+                write!(f, "routing needs at least one engine instance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// Which routing policy a deployment runs (selected via
+/// [`EngineConfig::routing`](crate::EngineConfig::routing)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicyKind {
+    /// §7.1 user-id routing (the default): every user is pinned to one instance,
+    /// assigned round-robin in order of first appearance.
+    StickyUser,
+    /// Route each request to the instance with the least modelled load (outstanding
+    /// tokens, then queued requests, then instance index).
+    LeastLoaded,
+    /// Route each request to the instance with the deepest link-cost-discounted
+    /// three-tier prefix hit; fall back to load when no instance holds a usable
+    /// prefix.  Ties break by load, then instance index.
+    CacheAware,
+}
+
+impl RoutingPolicyKind {
+    /// Builds the policy for a deployment of `num_instances` instances.
+    pub fn build(
+        self,
+        num_instances: usize,
+    ) -> Result<Box<dyn RoutingPolicy + Send>, RoutingError> {
+        if num_instances == 0 {
+            return Err(RoutingError::NoInstances);
+        }
+        Ok(match self {
+            RoutingPolicyKind::StickyUser => Box::new(StickyUserPolicy {
+                router: UserRouter::new(num_instances).expect("checked above"),
+            }),
+            RoutingPolicyKind::LeastLoaded => Box::new(LeastLoadedPolicy),
+            RoutingPolicyKind::CacheAware => Box::new(CacheAwarePolicy),
+        })
+    }
+}
+
+/// Why an arrival was routed to its instance, recorded per request in
+/// [`RequestRecord::routing`](crate::RequestRecord::routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingReason {
+    /// Submitted directly to an instance without a routing policy (the
+    /// [`PrefillOnlyClient`](crate::PrefillOnlyClient) facade).
+    Direct,
+    /// Sticky routing: first request of a new user, assigned round-robin.
+    StickyNew,
+    /// Sticky routing: the user was already pinned to this instance.
+    StickyExisting,
+    /// Least-loaded routing: this instance had the least modelled load.
+    LeastLoaded,
+    /// Cache-aware routing: this instance held the deepest discounted prefix hit.
+    DeepestPrefix,
+    /// Cache-aware routing: no instance held a usable prefix; fell back to load.
+    LoadFallback,
+}
+
+/// One routing decision: the chosen instance and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingDecision {
+    /// Index of the chosen instance.
+    pub instance: usize,
+    /// Why it was chosen.
+    pub reason: RoutingReason,
+}
+
+/// Modelled load of one instance, as captured at window start and updated with the
+/// window's own routing decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceLoad {
+    /// Requests waiting or running on the instance.
+    pub queued_requests: u64,
+    /// Input tokens of those requests.
+    pub outstanding_tokens: u64,
+}
+
+/// The deterministic per-window view routing policies decide against (see the module
+/// docs for the lifecycle).
+///
+/// In the current full-drain replay windows every instance is idle between `run`
+/// calls, so the *captured* loads are zero and the load signal is driven entirely by
+/// [`Self::note_routed`] within the window; the capture exists so mid-trace windowing
+/// (and tests) see real queue state without an API change.
+#[derive(Debug)]
+pub struct RouterSnapshot {
+    loads: Vec<InstanceLoad>,
+    /// One frozen three-tier probe per instance; empty unless the policy asked for
+    /// probes ([`RoutingPolicy::needs_prefix_probe`]).
+    probes: Vec<PrefixProbe>,
+    block_size: usize,
+    /// GPU KV pool capacity of one instance, in blocks (instances of a deployment
+    /// are identical) — caps how much tier-resident depth is actually realisable.
+    pool_capacity_blocks: u64,
+    /// JCT-probe weight of a CPU-tier hit token, from the instance profile — the same
+    /// host-link-vs-recompute quote the reload policy prices transfers with.
+    cpu_hit_discount: f64,
+    /// JCT-probe weight of a network-tier hit token (network-link quote).
+    net_hit_discount: f64,
+}
+
+impl RouterSnapshot {
+    /// Builds a snapshot from per-instance loads and (optionally) per-instance
+    /// probes.  `probes` must be empty or have one entry per instance.
+    pub fn new(
+        loads: Vec<InstanceLoad>,
+        probes: Vec<PrefixProbe>,
+        block_size: usize,
+        pool_capacity_blocks: u64,
+        cpu_hit_discount: f64,
+        net_hit_discount: f64,
+    ) -> RouterSnapshot {
+        assert!(
+            probes.is_empty() || probes.len() == loads.len(),
+            "one probe per instance (or none at all)"
+        );
+        RouterSnapshot {
+            loads,
+            probes,
+            block_size,
+            pool_capacity_blocks,
+            cpu_hit_discount,
+            net_hit_discount,
+        }
+    }
+
+    /// Number of instances behind the router.
+    pub fn num_instances(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The modelled load of one instance (window-start state plus this window's
+    /// earlier routing decisions).
+    pub fn load(&self, instance: usize) -> InstanceLoad {
+        self.loads[instance]
+    }
+
+    /// Accounts a routed arrival into the instance's modelled load, so later
+    /// decisions of the same window see the induced pressure.
+    pub fn note_routed(&mut self, instance: usize, tokens: u64) {
+        self.loads[instance].queued_requests += 1;
+        self.loads[instance].outstanding_tokens += tokens;
+    }
+
+    /// Link-cost-discounted prefix-hit depth of a hash chain on one instance, in
+    /// tokens: GPU hits count in full; CPU and network hits are discounted by their
+    /// tier's reload-vs-recompute cost ratio (the [`gpu::HostLink`] / [`gpu::NetLink`]
+    /// quotes folded into the instance profile), so a deep hit behind a slow link
+    /// never outbids a shallower hit behind a fast one.  The *same* formula the SRJF
+    /// probe scores with (the instance module's `effective_cached_tokens`), pool-cap
+    /// included — a tier continuation deeper than the GPU pool cannot be rehydrated,
+    /// so crediting it would make the router prefer placements the allocator will
+    /// truncate.
+    ///
+    /// Returns 0 when the snapshot carries no probes.
+    pub fn discounted_hit_tokens(&self, instance: usize, hashes: &[TokenBlockHash]) -> u64 {
+        let Some(probe) = self.probes.get(instance) else {
+            return 0;
+        };
+        crate::instance::effective_cached_tokens(
+            probe.tier_hits(hashes),
+            self.pool_capacity_blocks,
+            self.block_size,
+            self.cpu_hit_discount,
+            self.net_hit_discount,
+        )
+    }
+
+    /// `(outstanding tokens, queued requests, index)` — the deterministic comparison
+    /// key load-based choices and tie-breaks minimise.
+    fn load_key(&self, instance: usize) -> (u64, u64, usize) {
+        let load = self.loads[instance];
+        (load.outstanding_tokens, load.queued_requests, instance)
+    }
+}
+
+/// One arrival as seen by a routing policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteQuery<'a> {
+    /// The user the request belongs to.
+    pub user_id: u64,
+    /// Total input tokens of the request.
+    pub num_tokens: u64,
+    /// The request's block-hash chain; empty unless the policy asked for probes.
+    pub hashes: &'a [TokenBlockHash],
+}
+
+/// A routing policy: maps arrivals onto instances against a per-window
+/// [`RouterSnapshot`] (see the module docs for the determinism contract).
+///
+/// Policies may keep internal state across windows (sticky assignments persist for
+/// the cluster's lifetime) but must be deterministic: the decision sequence is a pure
+/// function of the queries and the snapshot.
+pub trait RoutingPolicy: Send {
+    /// Which configured kind this policy implements.
+    fn kind(&self) -> RoutingPolicyKind;
+
+    /// Whether [`RouterSnapshot`] must include per-instance prefix probes (building
+    /// them costs a pass over every tier's resident set, so only cache-consulting
+    /// policies should ask).
+    fn needs_prefix_probe(&self) -> bool {
+        false
+    }
+
+    /// Routes one arrival.  Called once per arrival of the window, in
+    /// `(arrival time, trace index)` order; the caller folds each decision into the
+    /// snapshot's load model via [`RouterSnapshot::note_routed`].
+    fn route(&mut self, query: &RouteQuery<'_>, snapshot: &RouterSnapshot) -> RoutingDecision;
+
+    /// Whole-trace fast path for state-independent policies: given an
+    /// arrival-sorted trace, return every decision at once, or `None` to take the
+    /// windowed [`Self::route`] pass.  The default has no fast path.
+    fn route_sorted_trace(
+        &mut self,
+        _arrivals: &[ArrivalPattern],
+        _num_instances: usize,
+    ) -> Option<Vec<RoutingDecision>> {
+        None
+    }
+}
+
+/// The [`RoutingPolicyKind::StickyUser`] policy: §7.1 user-id routing over a
+/// [`UserRouter`], with the arithmetic fast path over traces stamped with
+/// [`workload::StickySeq`].
+struct StickyUserPolicy {
+    router: UserRouter,
+}
+
+impl RoutingPolicy for StickyUserPolicy {
+    fn kind(&self) -> RoutingPolicyKind {
+        RoutingPolicyKind::StickyUser
+    }
+
+    fn route(&mut self, query: &RouteQuery<'_>, _snapshot: &RouterSnapshot) -> RoutingDecision {
+        let known = self.router.known_users();
+        let instance = self.router.route(query.user_id);
+        let reason = if self.router.known_users() > known {
+            RoutingReason::StickyNew
+        } else {
+            RoutingReason::StickyExisting
+        };
+        RoutingDecision { instance, reason }
+    }
+
+    /// The arrival-partitioning fast path: on a trace where every arrival carries a
+    /// consistent [`workload::StickySeq`] stamp and no user has been pinned yet, the
+    /// assignment of every request is `user_seq % num_instances` — no per-request
+    /// hash-map traffic, just one seed insert per distinct user so later windows (and
+    /// unstamped traces) continue from exactly the state the slow path would have
+    /// left.
+    fn route_sorted_trace(
+        &mut self,
+        arrivals: &[ArrivalPattern],
+        num_instances: usize,
+    ) -> Option<Vec<RoutingDecision>> {
+        if self.router.known_users() != 0 {
+            // Ranks are first-appearance ranks *of one trace*; they cannot extend an
+            // assignment map seeded by earlier windows.
+            return None;
+        }
+        // Validate before mutating anything: every arrival stamped, first
+        // appearances ranked 0, 1, 2, ... in order by *distinct* users (one hash-set
+        // insert per distinct user — the same per-user cost the seeding below pays),
+        // and every non-first stamp pointing back at its own user's rank (an O(1)
+        // index into the rank → user table, so non-firsts cost no hashing).  A
+        // spliced or hand-edited trace fails here and takes the slow path.
+        let mut first_users: Vec<u64> = Vec::new();
+        let mut distinct_firsts: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for arrival in arrivals {
+            let sticky = arrival.sticky?;
+            let user = arrival.template.user_id;
+            if sticky.first_of_user {
+                if sticky.user_seq != first_users.len() as u64 || !distinct_firsts.insert(user) {
+                    return None;
+                }
+                first_users.push(user);
+            } else if first_users.get(sticky.user_seq as usize) != Some(&user) {
+                return None;
+            }
+        }
+        let decisions = arrivals
+            .iter()
+            .map(|arrival| {
+                let sticky = arrival.sticky.expect("validated above");
+                let instance = (sticky.user_seq % num_instances as u64) as usize;
+                if sticky.first_of_user {
+                    self.router.seed(arrival.template.user_id, instance);
+                }
+                RoutingDecision {
+                    instance,
+                    reason: if sticky.first_of_user {
+                        RoutingReason::StickyNew
+                    } else {
+                        RoutingReason::StickyExisting
+                    },
+                }
+            })
+            .collect();
+        Some(decisions)
+    }
+}
+
+/// The [`RoutingPolicyKind::LeastLoaded`] policy: stateless argmin over the modelled
+/// load key.
+struct LeastLoadedPolicy;
+
+impl RoutingPolicy for LeastLoadedPolicy {
+    fn kind(&self) -> RoutingPolicyKind {
+        RoutingPolicyKind::LeastLoaded
+    }
+
+    fn route(&mut self, _query: &RouteQuery<'_>, snapshot: &RouterSnapshot) -> RoutingDecision {
+        let instance = (0..snapshot.num_instances())
+            .min_by_key(|&i| snapshot.load_key(i))
+            .expect("snapshots cover at least one instance");
+        RoutingDecision {
+            instance,
+            reason: RoutingReason::LeastLoaded,
+        }
+    }
+}
+
+/// The [`RoutingPolicyKind::CacheAware`] policy: deepest discounted prefix hit, load
+/// as the tie-break and the fallback.
+struct CacheAwarePolicy;
+
+impl RoutingPolicy for CacheAwarePolicy {
+    fn kind(&self) -> RoutingPolicyKind {
+        RoutingPolicyKind::CacheAware
+    }
+
+    fn needs_prefix_probe(&self) -> bool {
+        true
+    }
+
+    fn route(&mut self, query: &RouteQuery<'_>, snapshot: &RouterSnapshot) -> RoutingDecision {
+        // Maximise hit depth; break ties (including the all-zero case) by minimal
+        // load key, resolving equal (depth, load) pairs to the lowest instance
+        // index.  One pass, one chain walk per instance.
+        let mut instance = 0;
+        let mut best_depth = snapshot.discounted_hit_tokens(0, query.hashes);
+        let mut best_key = snapshot.load_key(0);
+        for i in 1..snapshot.num_instances() {
+            let depth = snapshot.discounted_hit_tokens(i, query.hashes);
+            let key = snapshot.load_key(i);
+            if depth > best_depth || (depth == best_depth && key < best_key) {
+                instance = i;
+                best_depth = depth;
+                best_key = key;
+            }
+        }
+        let reason = if best_depth > 0 {
+            RoutingReason::DeepestPrefix
+        } else {
+            RoutingReason::LoadFallback
+        };
+        RoutingDecision { instance, reason }
+    }
+}
+
+/// Sticky round-robin router keyed by user id (the engine of the
+/// [`RoutingPolicyKind::StickyUser`] policy, kept public as the §7.1 reference
+/// implementation).
 #[derive(Debug, Clone)]
 pub struct UserRouter {
     num_instances: usize,
@@ -19,16 +424,21 @@ pub struct UserRouter {
 impl UserRouter {
     /// Creates a router over `num_instances` engine instances.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `num_instances` is zero.
-    pub fn new(num_instances: usize) -> UserRouter {
-        assert!(num_instances > 0, "router needs at least one instance");
-        UserRouter {
+    /// Returns [`RoutingError::NoInstances`] if `num_instances` is zero — surfaced at
+    /// the configuration validation boundary
+    /// ([`EngineConfig::validate`](crate::EngineConfig::validate)) rather than as a
+    /// panic.
+    pub fn new(num_instances: usize) -> Result<UserRouter, RoutingError> {
+        if num_instances == 0 {
+            return Err(RoutingError::NoInstances);
+        }
+        Ok(UserRouter {
             num_instances,
             assignment: HashMap::new(),
             next: 0,
-        }
+        })
     }
 
     /// Returns the instance index for `user_id`, assigning a new user to the next
@@ -41,6 +451,15 @@ impl UserRouter {
         self.assignment.insert(user_id, instance);
         self.next = (self.next + 1) % self.num_instances;
         instance
+    }
+
+    /// Pins a new user to an instance directly (the sticky fast path, which already
+    /// knows the round-robin outcome from the trace's first-appearance ranks) and
+    /// advances the round-robin cursor exactly as [`Self::route`] would have.
+    fn seed(&mut self, user_id: u64, instance: usize) {
+        debug_assert_eq!(instance, self.next, "seeded order must match round-robin");
+        self.assignment.insert(user_id, instance);
+        self.next = (self.next + 1) % self.num_instances;
     }
 
     /// Number of instances behind the router.
@@ -60,7 +479,7 @@ mod tests {
 
     #[test]
     fn users_stick_to_their_instance() {
-        let mut router = UserRouter::new(2);
+        let mut router = UserRouter::new(2).unwrap();
         let first = router.route(10);
         for _ in 0..5 {
             assert_eq!(router.route(10), first);
@@ -70,7 +489,7 @@ mod tests {
 
     #[test]
     fn new_users_round_robin() {
-        let mut router = UserRouter::new(3);
+        let mut router = UserRouter::new(3).unwrap();
         let assignments: Vec<usize> = (0..9).map(|u| router.route(u)).collect();
         assert_eq!(assignments, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
         assert_eq!(router.num_instances(), 3);
@@ -79,7 +498,7 @@ mod tests {
 
     #[test]
     fn single_instance_routes_everything_to_zero() {
-        let mut router = UserRouter::new(1);
+        let mut router = UserRouter::new(1).unwrap();
         assert!(std::iter::repeat_with(|| router.route(777))
             .take(3)
             .all(|i| i == 0));
@@ -87,8 +506,275 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one instance")]
-    fn zero_instances_panics() {
-        UserRouter::new(0);
+    fn zero_instances_is_a_typed_error_not_a_panic() {
+        assert_eq!(UserRouter::new(0).unwrap_err(), RoutingError::NoInstances);
+        assert!(RoutingPolicyKind::StickyUser.build(0).is_err());
+        assert!(RoutingPolicyKind::LeastLoaded.build(0).is_err());
+        assert!(RoutingPolicyKind::CacheAware.build(0).is_err());
+        assert!(UserRouter::new(0)
+            .unwrap_err()
+            .to_string()
+            .contains("at least one"));
+    }
+
+    fn snapshot_with_loads(loads: Vec<InstanceLoad>) -> RouterSnapshot {
+        RouterSnapshot::new(loads, Vec::new(), 16, 1 << 20, 0.9, 0.5)
+    }
+
+    fn query(user_id: u64, num_tokens: u64) -> RouteQuery<'static> {
+        RouteQuery {
+            user_id,
+            num_tokens,
+            hashes: &[],
+        }
+    }
+
+    #[test]
+    fn least_loaded_minimises_tokens_then_queue_then_index() {
+        let mut policy = RoutingPolicyKind::LeastLoaded.build(3).unwrap();
+        // Distinct token loads: strict argmin.
+        let snapshot = snapshot_with_loads(vec![
+            InstanceLoad {
+                queued_requests: 1,
+                outstanding_tokens: 500,
+            },
+            InstanceLoad {
+                queued_requests: 9,
+                outstanding_tokens: 100,
+            },
+            InstanceLoad {
+                queued_requests: 0,
+                outstanding_tokens: 900,
+            },
+        ]);
+        let d = policy.route(&query(1, 100), &snapshot);
+        assert_eq!((d.instance, d.reason), (1, RoutingReason::LeastLoaded));
+
+        // Token tie: fewer queued requests wins.
+        let snapshot = snapshot_with_loads(vec![
+            InstanceLoad {
+                queued_requests: 3,
+                outstanding_tokens: 100,
+            },
+            InstanceLoad {
+                queued_requests: 1,
+                outstanding_tokens: 100,
+            },
+        ]);
+        assert_eq!(policy.route(&query(1, 100), &snapshot).instance, 1);
+
+        // Full tie: lowest index, deterministically.
+        let snapshot = snapshot_with_loads(vec![InstanceLoad::default(); 4]);
+        assert_eq!(policy.route(&query(1, 100), &snapshot).instance, 0);
+    }
+
+    #[test]
+    fn least_loaded_sees_its_own_window_decisions() {
+        let mut policy = RoutingPolicyKind::LeastLoaded.build(2).unwrap();
+        let mut snapshot = snapshot_with_loads(vec![InstanceLoad::default(); 2]);
+        // Empty cluster: first request to 0, then alternating as load accrues.
+        let mut routed = Vec::new();
+        for (id, tokens) in [(1u64, 1_000u64), (2, 1_000), (3, 1_000), (4, 1_000)] {
+            let d = policy.route(&query(id, tokens), &snapshot);
+            snapshot.note_routed(d.instance, tokens);
+            routed.push(d.instance);
+        }
+        assert_eq!(routed, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn cache_aware_prefers_depth_and_falls_back_to_load() {
+        use kvcache::hash_token_blocks;
+
+        let block_size = 16usize;
+        let chain: Vec<u32> = (0..128).collect();
+        let hashes = hash_token_blocks(&chain, block_size);
+
+        // Instance 1 holds the whole chain on GPU; instance 0 holds it only in the
+        // CPU tier (discounted); instance 2 is cold but idle.
+        let probe_of = |gpu: &[TokenBlockHash], cpu: &[TokenBlockHash]| {
+            kvcache::PrefixProbe::new(
+                block_size,
+                gpu.iter().copied().collect(),
+                cpu.iter().copied().collect(),
+                Default::default(),
+            )
+        };
+        let probes = vec![
+            probe_of(&[], &hashes),
+            probe_of(&hashes, &[]),
+            probe_of(&[], &[]),
+        ];
+        let loads = vec![
+            InstanceLoad::default(),
+            InstanceLoad {
+                queued_requests: 5,
+                outstanding_tokens: 50_000,
+            },
+            InstanceLoad::default(),
+        ];
+        let snapshot = RouterSnapshot::new(loads, probes, block_size, 1 << 20, 0.8, 0.4);
+        let mut policy = RoutingPolicyKind::CacheAware.build(3).unwrap();
+
+        // Full GPU residency beats a discounted CPU hit, load notwithstanding.
+        let q = RouteQuery {
+            user_id: 7,
+            num_tokens: 128,
+            hashes: &hashes,
+        };
+        let d = policy.route(&q, &snapshot);
+        assert_eq!((d.instance, d.reason), (1, RoutingReason::DeepestPrefix));
+
+        // A chain nobody holds falls back to load (idle 0 and 2 tie → index 0).
+        let cold = hash_token_blocks(&(500_000..500_128u32).collect::<Vec<_>>(), block_size);
+        let q = RouteQuery {
+            user_id: 8,
+            num_tokens: 128,
+            hashes: &cold,
+        };
+        let d = policy.route(&q, &snapshot);
+        assert_eq!((d.instance, d.reason), (0, RoutingReason::LoadFallback));
+    }
+
+    #[test]
+    fn cache_aware_tie_breaks_by_load_then_index() {
+        use kvcache::hash_token_blocks;
+
+        let block_size = 16usize;
+        let chain: Vec<u32> = (0..64).collect();
+        let hashes = hash_token_blocks(&chain, block_size);
+        let full_probe = || {
+            kvcache::PrefixProbe::new(
+                block_size,
+                hashes.iter().copied().collect(),
+                Default::default(),
+                Default::default(),
+            )
+        };
+        // Equal depth everywhere; instance 2 is the least loaded.
+        let loads = vec![
+            InstanceLoad {
+                queued_requests: 2,
+                outstanding_tokens: 8_000,
+            },
+            InstanceLoad {
+                queued_requests: 2,
+                outstanding_tokens: 8_000,
+            },
+            InstanceLoad {
+                queued_requests: 1,
+                outstanding_tokens: 4_000,
+            },
+        ];
+        let snapshot = RouterSnapshot::new(
+            loads,
+            vec![full_probe(), full_probe(), full_probe()],
+            block_size,
+            1 << 20,
+            0.8,
+            0.4,
+        );
+        let mut policy = RoutingPolicyKind::CacheAware.build(3).unwrap();
+        let q = RouteQuery {
+            user_id: 1,
+            num_tokens: 64,
+            hashes: &hashes,
+        };
+        assert_eq!(policy.route(&q, &snapshot).instance, 2);
+
+        // Equal depth *and* equal load: lowest index, repeatably.
+        let even = RouterSnapshot::new(
+            vec![InstanceLoad::default(); 3],
+            vec![full_probe(), full_probe(), full_probe()],
+            block_size,
+            1 << 20,
+            0.8,
+            0.4,
+        );
+        for _ in 0..3 {
+            assert_eq!(policy.route(&q, &even).instance, 0);
+        }
+    }
+
+    #[test]
+    fn sticky_fast_path_accepts_consistent_stamps_and_rejects_inconsistent_ones() {
+        use simcore::SimTime;
+        use std::sync::Arc;
+        use workload::{ArrivalPattern, RequestTemplate, StickySeq};
+
+        let arrival = |user: u64, at_ms: u64, sticky: Option<StickySeq>| ArrivalPattern {
+            template: RequestTemplate {
+                user_id: user,
+                tokens: Arc::new(vec![0; 32]),
+                shared_prefix_tokens: 0,
+            },
+            arrival: SimTime::from_millis(at_ms),
+            sticky,
+        };
+        let stamp = |user_seq: u64, first_of_user: bool| {
+            Some(StickySeq {
+                user_seq,
+                first_of_user,
+            })
+        };
+
+        // Consistent: firsts ranked 0, 1 and repeats pointing at their own rank.
+        let good = vec![
+            arrival(7, 0, stamp(0, true)),
+            arrival(9, 10, stamp(1, true)),
+            arrival(7, 20, stamp(0, false)),
+        ];
+        let mut policy = RoutingPolicyKind::StickyUser.build(2).unwrap();
+        let decisions = policy
+            .route_sorted_trace(&good, 2)
+            .expect("consistent stamps take the fast path");
+        assert_eq!(
+            decisions.iter().map(|d| d.instance).collect::<Vec<_>>(),
+            vec![0, 1, 0]
+        );
+
+        // A user stamped "first" twice would split their requests across instances;
+        // the fast path must refuse and leave the router untouched.
+        let duplicate_first = vec![
+            arrival(7, 0, stamp(0, true)),
+            arrival(7, 10, stamp(1, true)),
+        ];
+        let mut policy = RoutingPolicyKind::StickyUser.build(2).unwrap();
+        assert!(policy.route_sorted_trace(&duplicate_first, 2).is_none());
+        // ... and because nothing was seeded, a later window still fast-paths.
+        assert!(policy.route_sorted_trace(&good, 2).is_some());
+
+        // A repeat stamped with another user's rank is likewise refused.
+        let wrong_rank = vec![
+            arrival(7, 0, stamp(0, true)),
+            arrival(9, 10, stamp(1, true)),
+            arrival(9, 20, stamp(0, false)),
+        ];
+        let mut policy = RoutingPolicyKind::StickyUser.build(2).unwrap();
+        assert!(policy.route_sorted_trace(&wrong_rank, 2).is_none());
+
+        // Unstamped arrivals always take the slow path.
+        let unstamped = vec![arrival(7, 0, None)];
+        let mut policy = RoutingPolicyKind::StickyUser.build(2).unwrap();
+        assert!(policy.route_sorted_trace(&unstamped, 2).is_none());
+    }
+
+    #[test]
+    fn sticky_policy_matches_the_user_router_and_labels_reasons() {
+        let mut policy = RoutingPolicyKind::StickyUser.build(2).unwrap();
+        let mut reference = UserRouter::new(2).unwrap();
+        let snapshot = snapshot_with_loads(vec![InstanceLoad::default(); 2]);
+        for (user, expect_new) in [(5u64, true), (9, true), (5, false), (7, true), (9, false)] {
+            let d = policy.route(&query(user, 1_000), &snapshot);
+            assert_eq!(d.instance, reference.route(user));
+            assert_eq!(
+                d.reason,
+                if expect_new {
+                    RoutingReason::StickyNew
+                } else {
+                    RoutingReason::StickyExisting
+                }
+            );
+        }
     }
 }

@@ -35,6 +35,7 @@ mod manager;
 mod netpool;
 mod offload;
 mod probe;
+mod snapshot;
 
 pub use block::{BlockId, BlockPool};
 pub use hash::{hash_token_blocks, TokenBlockHash};
@@ -45,3 +46,4 @@ pub use manager::{
 pub use netpool::NetKvPool;
 pub use offload::{CpuEviction, CpuKvPool, OffloadStats};
 pub use probe::ProbeCache;
+pub use snapshot::PrefixProbe;

@@ -510,6 +510,26 @@ impl KvCacheManager {
         }
     }
 
+    /// Captures an immutable three-tier residency snapshot for routing-time probes
+    /// (see [`PrefixProbe`](crate::PrefixProbe)): the answers of
+    /// [`PrefixProbe::tier_hits`](crate::PrefixProbe::tier_hits) equal
+    /// [`Self::lookup_tier_hits_from_hashes`] at capture time and stay frozen no
+    /// matter what the live manager does afterwards.
+    pub fn prefix_probe(&self) -> crate::PrefixProbe {
+        crate::PrefixProbe::new(
+            self.block_size,
+            self.cached.keys().copied().collect(),
+            self.cpu
+                .as_ref()
+                .map(|pool| pool.resident_hashes().collect())
+                .unwrap_or_default(),
+            self.net
+                .as_ref()
+                .map(|pool| pool.resident_hashes().collect())
+                .unwrap_or_default(),
+        )
+    }
+
     /// Resumes a hash-chain walk from a previously measured hit depth.
     ///
     /// Sound only while [`Self::evict_generation`] is unchanged since `prev_hit_blocks`

@@ -149,6 +149,12 @@ impl NetKvPool {
         (written, evicted)
     }
 
+    /// The hashes of every resident block, in unspecified order (used to snapshot
+    /// the tier into an immutable [`PrefixProbe`](crate::PrefixProbe)).
+    pub fn resident_hashes(&self) -> impl Iterator<Item = TokenBlockHash> + '_ {
+        self.entries.keys().copied()
+    }
+
     /// Returns how many *leading* blocks of `hashes` are present in the pool (the
     /// reloadable prefix).
     pub fn lookup_prefix_blocks(&self, hashes: &[TokenBlockHash]) -> u64 {

@@ -233,6 +233,12 @@ impl CpuKvPool {
         written
     }
 
+    /// The hashes of every resident block, in unspecified order (used to snapshot
+    /// the tier into an immutable [`PrefixProbe`](crate::PrefixProbe)).
+    pub fn resident_hashes(&self) -> impl Iterator<Item = TokenBlockHash> + '_ {
+        self.entries.keys().copied()
+    }
+
     /// Returns how many *leading* blocks of `hashes` are present in CPU memory (the
     /// reloadable prefix).
     pub fn lookup_prefix_blocks(&self, hashes: &[TokenBlockHash]) -> u64 {

@@ -1,0 +1,207 @@
+//! An immutable three-tier prefix-depth probe over a manager snapshot.
+//!
+//! Cache-aware routing needs to ask "how deep would this request's hash chain hit on
+//! that instance?" for *every* instance of a deployment, without touching the live
+//! [`KvCacheManager`](crate::KvCacheManager)s — the managers are owned by instances
+//! that may be simulating on other threads, and the routing decision must be a pure
+//! function of the window-start state for the parallel replay to stay byte-identical
+//! to the sequential reference.
+//!
+//! [`PrefixProbe`] is that frozen view: [`KvCacheManager::prefix_probe`] captures the
+//! set of block hashes resident in each tier (GPU prefix cache, CPU pool, network
+//! pool) at a point in time, and [`PrefixProbe::tier_hits`] answers chain walks
+//! against that snapshot forever after, unaffected by anything the live manager does
+//! next.  The walk semantics are exactly those of
+//! [`KvCacheManager::lookup_tier_hits_from_hashes`]: each tier's walk starts where
+//! the tier above stopped, because a block behind a miss in every upper tier is
+//! unreachable without recomputation.
+
+use std::collections::HashSet;
+
+use crate::hash::TokenBlockHash;
+use crate::manager::TierHits;
+
+/// A frozen, read-only three-tier residency view of one [`KvCacheManager`]
+/// (see the module docs).
+///
+/// ```
+/// use kvcache::{hash_token_blocks, KvCacheManager, RetentionPolicy};
+/// use simcore::SimTime;
+///
+/// let mut kv = KvCacheManager::new(64, 16);
+/// let tokens: Vec<u32> = (0..64).collect();
+/// let alloc = kv
+///     .allocate(&tokens, SimTime::ZERO, RetentionPolicy::FullResidency)
+///     .unwrap();
+/// kv.commit(alloc, SimTime::ZERO);
+///
+/// let probe = kv.prefix_probe();
+/// let hashes = hash_token_blocks(&tokens, 16);
+/// assert_eq!(probe.tier_hits(&hashes).gpu_blocks, 4);
+///
+/// // The probe is a snapshot: clearing the live cache does not change its answers.
+/// kv.clear_cache();
+/// assert_eq!(probe.tier_hits(&hashes).gpu_blocks, 4);
+/// ```
+///
+/// [`KvCacheManager`]: crate::KvCacheManager
+#[derive(Debug, Clone)]
+pub struct PrefixProbe {
+    block_size: usize,
+    gpu: HashSet<TokenBlockHash>,
+    cpu: HashSet<TokenBlockHash>,
+    net: HashSet<TokenBlockHash>,
+}
+
+impl PrefixProbe {
+    /// Builds a probe from explicit per-tier resident sets.  Most callers should use
+    /// [`KvCacheManager::prefix_probe`](crate::KvCacheManager::prefix_probe); this
+    /// constructor exists for tests and synthetic routing scenarios.
+    pub fn new(
+        block_size: usize,
+        gpu: HashSet<TokenBlockHash>,
+        cpu: HashSet<TokenBlockHash>,
+        net: HashSet<TokenBlockHash>,
+    ) -> PrefixProbe {
+        PrefixProbe {
+            block_size,
+            gpu,
+            cpu,
+            net,
+        }
+    }
+
+    /// Tokens per block of the snapshotted manager.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Blocks resident per tier at snapshot time (GPU, CPU, network).
+    pub fn resident_blocks(&self) -> (usize, usize, usize) {
+        (self.gpu.len(), self.cpu.len(), self.net.len())
+    }
+
+    /// Per-tier prefix hits of `hashes` against the snapshot, with the same chaining
+    /// semantics as the live manager's lookup: the CPU walk starts where the GPU walk
+    /// stopped and the network walk where the CPU walk stopped.
+    pub fn tier_hits(&self, hashes: &[TokenBlockHash]) -> TierHits {
+        let gpu_blocks = Self::walk(&self.gpu, hashes, 0);
+        let cpu_blocks = Self::walk(&self.cpu, hashes, gpu_blocks) - gpu_blocks;
+        let start = gpu_blocks + cpu_blocks;
+        let net_blocks = Self::walk(&self.net, hashes, start) - start;
+        TierHits {
+            gpu_blocks,
+            cpu_blocks,
+            net_blocks,
+        }
+    }
+
+    fn walk(tier: &HashSet<TokenBlockHash>, hashes: &[TokenBlockHash], start: usize) -> usize {
+        let mut hits = start;
+        for hash in &hashes[start..] {
+            if tier.contains(hash) {
+                hits += 1;
+            } else {
+                break;
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_token_blocks;
+    use crate::manager::{KvCacheManager, RetentionPolicy};
+    use crate::netpool::NetKvPool;
+    use simcore::SimTime;
+
+    const BLOCK_SIZE: usize = 16;
+    const BLOCK_BYTES: u64 = 16 * 128 * 1024;
+
+    fn tokens(start: u32, len: usize) -> Vec<u32> {
+        (start..start + len as u32).collect()
+    }
+
+    #[test]
+    fn snapshot_agrees_with_the_live_three_tier_lookup() {
+        let mut kv = KvCacheManager::with_offload(8, BLOCK_SIZE, 1 << 30, BLOCK_BYTES);
+
+        // Net tier holds a foreign chain, GPU+CPU are populated by churn.
+        let remote = tokens(700_000, 128);
+        let remote_hashes = hash_token_blocks(&remote, BLOCK_SIZE);
+        let mut pool = NetKvPool::new(1 << 30, BLOCK_BYTES);
+        assert_eq!(pool.offload(&remote_hashes, SimTime::ZERO).0, 8);
+        kv.install_net_pool(pool);
+
+        let a = tokens(0, 128);
+        let alloc = kv
+            .allocate(&a, SimTime::from_secs(1), RetentionPolicy::FullResidency)
+            .unwrap();
+        kv.commit(alloc, SimTime::from_secs(1));
+        let b = tokens(100_000, 64);
+        let alloc = kv
+            .allocate(&b, SimTime::from_secs(2), RetentionPolicy::FullResidency)
+            .unwrap();
+        kv.commit(alloc, SimTime::from_secs(2));
+
+        let probe = kv.prefix_probe();
+        for chain in [&a, &b, &remote, &tokens(0, 200), &tokens(999, 64)] {
+            let hashes = hash_token_blocks(chain, BLOCK_SIZE);
+            assert_eq!(
+                probe.tier_hits(&hashes),
+                kv.lookup_tier_hits_from_hashes(&hashes),
+                "snapshot must agree with the live lookup for chain head {:?}",
+                chain.first()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_manager_activity() {
+        let mut kv = KvCacheManager::new(8, BLOCK_SIZE);
+        let a = tokens(0, 64);
+        let alloc = kv
+            .allocate(&a, SimTime::ZERO, RetentionPolicy::FullResidency)
+            .unwrap();
+        kv.commit(alloc, SimTime::ZERO);
+
+        let probe = kv.prefix_probe();
+        let hashes = hash_token_blocks(&a, BLOCK_SIZE);
+        assert_eq!(probe.tier_hits(&hashes).gpu_blocks, 4);
+
+        // Evict A with fresh traffic: the live view changes, the snapshot does not.
+        let alloc = kv
+            .allocate(
+                &tokens(50_000, 128),
+                SimTime::from_secs(1),
+                RetentionPolicy::FullResidency,
+            )
+            .unwrap();
+        kv.commit(alloc, SimTime::from_secs(1));
+        assert_eq!(kv.lookup_tier_hits_from_hashes(&hashes).gpu_blocks, 0);
+        assert_eq!(probe.tier_hits(&hashes).gpu_blocks, 4);
+    }
+
+    #[test]
+    fn tier_walks_chain_like_the_manager() {
+        // Hand-build a probe where the chain spans all three tiers with a gap: the
+        // walk must stop at the gap even though deeper blocks are "resident".
+        let chain = hash_token_blocks(&tokens(0, 96), BLOCK_SIZE); // 6 blocks
+        let gpu: HashSet<_> = chain[..2].iter().copied().collect();
+        let cpu: HashSet<_> = chain[2..3].iter().copied().collect();
+        // Block 3 missing everywhere; blocks 4..6 net-resident but unreachable.
+        let net: HashSet<_> = chain[4..].iter().copied().collect();
+        let probe = PrefixProbe::new(BLOCK_SIZE, gpu, cpu, net);
+        assert_eq!(
+            probe.tier_hits(&chain),
+            TierHits {
+                gpu_blocks: 2,
+                cpu_blocks: 1,
+                net_blocks: 0,
+            }
+        );
+        assert_eq!(probe.block_size(), BLOCK_SIZE);
+    }
+}

@@ -38,6 +38,9 @@ impl WaitingRequest {
 #[derive(Debug, Clone, Default)]
 pub struct WaitingQueue {
     entries: Vec<WaitingRequest>,
+    /// Sum of `total_tokens` over the entries, maintained incrementally so the load
+    /// signal ([`Self::total_tokens`]) is O(1) at any queue depth.
+    total_tokens: u64,
 }
 
 impl WaitingQueue {
@@ -48,6 +51,7 @@ impl WaitingQueue {
 
     /// Adds a request to the queue.
     pub fn push(&mut self, request: WaitingRequest) {
+        self.total_tokens += request.total_tokens;
         self.entries.push(request);
     }
 
@@ -58,7 +62,15 @@ impl WaitingQueue {
     ///
     /// Panics if `index` is out of bounds.
     pub fn remove(&mut self, index: usize) -> WaitingRequest {
-        self.entries.swap_remove(index)
+        let removed = self.entries.swap_remove(index);
+        self.total_tokens -= removed.total_tokens;
+        removed
+    }
+
+    /// Sum of the waiting requests' input tokens — the queue half of the load signal
+    /// routing policies balance on.  O(1).
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
     }
 
     /// The waiting requests, in unspecified order.
@@ -112,6 +124,21 @@ mod tests {
         let mut rest: Vec<u64> = q.requests().iter().map(|r| r.id).collect();
         rest.sort_unstable();
         assert_eq!(rest, vec![1, 3]);
+    }
+
+    #[test]
+    fn total_tokens_tracks_pushes_and_removals() {
+        let mut q = WaitingQueue::new();
+        assert_eq!(q.total_tokens(), 0);
+        q.push(request(1, 0));
+        q.push(request(2, 10));
+        q.push(request(3, 20));
+        assert_eq!(q.total_tokens(), 3_000);
+        q.remove(0);
+        assert_eq!(q.total_tokens(), 2_000);
+        q.remove(1);
+        q.remove(0);
+        assert_eq!(q.total_tokens(), 0);
     }
 
     #[test]

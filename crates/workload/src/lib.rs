@@ -22,6 +22,7 @@ mod spec;
 
 pub use arrival::{
     assign_poisson_arrivals, assign_poisson_arrivals_with, ArrivalGranularity, ArrivalPattern,
+    StickySeq,
 };
 pub use dataset::{Dataset, DatasetSummary, RequestTemplate};
 pub use spec::{CreditVerificationSpec, PostRecommendationSpec, WorkloadKind};

@@ -331,6 +331,119 @@ fn cold_instances_joining_a_warm_deployment_benefit_from_the_net_tier() {
 }
 
 #[test]
+fn cache_aware_routing_beats_sticky_on_a_shared_prefix_multi_user_trace() {
+    // The routing-layer tentpole, end to end: six users form two cohorts that share
+    // a 6,000-token prefix *across* users (cohort A: users 0-2, cohort B: users
+    // 3-5).  A warmup window computes prefix A on one instance and prefix B on the
+    // other; the main window's first appearances are ordered so §7.1 sticky
+    // round-robin splits each cohort across both instances — recomputing each
+    // cohort's prefix cold on the instance that never held it — while cache-aware
+    // routing reads the window-start prefix probes and consolidates each cohort
+    // onto its warm instance.  Mean JCT must be strictly lower under cache-aware
+    // routing, with identical per-instance user counts (the win is cache reuse,
+    // not load shifting).
+    use prefillonly::{RoutingPolicyKind, RoutingReason};
+    use simcore::SimTime;
+    use std::sync::Arc;
+    use workload::{ArrivalPattern, RequestTemplate};
+
+    const PREFIX_TOKENS: u32 = 6_000;
+    const SUFFIX_TOKENS: u32 = 150;
+    let cohort_prefix = |user: u64| -> std::ops::Range<u32> {
+        if user < 3 {
+            0..PREFIX_TOKENS
+        } else {
+            1_000_000..1_000_000 + PREFIX_TOKENS
+        }
+    };
+    let request = |user: u64, round: u32, at_ms: u64| -> ArrivalPattern {
+        let mut tokens: Vec<u32> = cohort_prefix(user).collect();
+        let suffix_start = 2_000_000 + user as u32 * 10_000 + round * 1_000;
+        tokens.extend(suffix_start..suffix_start + SUFFIX_TOKENS);
+        ArrivalPattern {
+            template: RequestTemplate {
+                user_id: user,
+                tokens: Arc::new(tokens),
+                shared_prefix_tokens: u64::from(PREFIX_TOKENS),
+            },
+            arrival: SimTime::from_millis(at_ms),
+            sticky: None,
+        }
+    };
+
+    // Warmup: user 0 computes prefix A (lands on instance 0), user 3 prefix B
+    // (instance 1) — identical placement under both policies.
+    let warmup = vec![request(0, 0, 0), request(3, 0, 500)];
+    // Main window: first appearances ordered A, A, B, B so sticky round-robin
+    // (continuing from the two warmup users) pins user 1 → 0, user 2 → 1,
+    // user 4 → 0, user 5 → 1, splitting both cohorts.
+    let user_order = [1u64, 2, 4, 5, 0, 3];
+    let mut main = Vec::new();
+    for round in 0..4u32 {
+        for (pos, &user) in user_order.iter().enumerate() {
+            let at = (u64::from(round) * user_order.len() as u64 + pos as u64) * 700;
+            main.push(request(user, round + 1, at));
+        }
+    }
+
+    let base = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        u64::from(PREFIX_TOKENS + SUFFIX_TOKENS),
+    );
+    let run = |routing: RoutingPolicyKind| {
+        let mut cluster = Cluster::new(&base.clone().with_routing(routing));
+        cluster.run(&warmup, 2.0).expect("warmup feasible");
+        cluster.run(&main, 2.0).expect("main window feasible")
+    };
+    let sticky = run(RoutingPolicyKind::StickyUser);
+    let cache_aware = run(RoutingPolicyKind::CacheAware);
+
+    // Same request count, and the same 3-users-per-instance balance.
+    assert_eq!(sticky.records.len(), main.len());
+    assert_eq!(cache_aware.records.len(), main.len());
+    let users_on = |report: &prefillonly::RunReport, instance: usize| {
+        let mut users: Vec<u64> = report
+            .records
+            .iter()
+            .filter(|r| r.instance == instance)
+            .map(|r| r.user_id)
+            .collect();
+        users.sort_unstable();
+        users.dedup();
+        users
+    };
+    assert_eq!(users_on(&sticky, 0).len(), 3);
+    assert_eq!(users_on(&cache_aware, 0).len(), 3);
+    // Cache-aware consolidates the cohorts; sticky splits both.
+    assert_eq!(users_on(&cache_aware, 0), vec![0, 1, 2]);
+    assert_eq!(users_on(&cache_aware, 1), vec![3, 4, 5]);
+    assert_ne!(users_on(&sticky, 0), vec![0, 1, 2]);
+
+    // Every main-window cache-aware decision followed a modelled prefix hit, and
+    // the recorded reasons say so.
+    assert!(cache_aware
+        .records
+        .iter()
+        .all(|r| r.routing == RoutingReason::DeepestPrefix));
+    assert!(sticky.records.iter().all(|r| matches!(
+        r.routing,
+        RoutingReason::StickyNew | RoutingReason::StickyExisting
+    )));
+
+    // The acceptance criterion: strictly lower mean JCT and strictly higher hit
+    // rate — the cohort prefixes are computed once per instance instead of twice.
+    assert!(cache_aware.cache_hit_rate() > sticky.cache_hit_rate());
+    assert!(
+        cache_aware.mean_latency_secs() < sticky.mean_latency_secs(),
+        "cache-aware routing must beat sticky on mean JCT: {:.4}s vs {:.4}s",
+        cache_aware.mean_latency_secs(),
+        sticky.mean_latency_secs()
+    );
+}
+
+#[test]
 fn reports_are_deterministic_for_a_fixed_seed() {
     let build = || {
         let mut rng = SimRng::seed_from_u64(404);
