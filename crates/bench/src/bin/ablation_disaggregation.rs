@@ -27,9 +27,11 @@ struct DisaggRow {
 }
 
 fn main() {
+    // `--smoke`: one hardware tier, no JSON export — the CI rot-check mode.
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
     println!("Extension ablation: PrefillOnly as the prefill node of a disaggregated deployment\n");
 
-    let tiers: Vec<(&str, ModelConfig, GpuKind, u64)> = vec![
+    let mut tiers: Vec<(&str, ModelConfig, GpuKind, u64)> = vec![
         ("L4 / Llama-8B", llama3_1_8b(), GpuKind::L4, 16_000),
         (
             "A100 / Qwen-32B FP8",
@@ -44,6 +46,9 @@ fn main() {
             10_000,
         ),
     ];
+    if smoke {
+        tiers.truncate(1);
+    }
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
@@ -103,7 +108,11 @@ fn main() {
         ],
         &rows,
     );
-    write_json("ablation_disaggregation", &json_rows);
+    if smoke {
+        println!("\n--smoke: JSON export skipped.");
+    } else {
+        write_json("ablation_disaggregation", &json_rows);
+    }
 
     println!();
     println!("Reading: hybrid prefilling keeps the prefill node's latency on par with full");

@@ -27,11 +27,13 @@ struct OffloadRow {
 }
 
 fn main() {
+    // `--smoke`: one hardware tier, no JSON export — the CI rot-check mode.
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
     println!("Extension ablation: suffix KV discarding vs CPU offloading (post recommendation)\n");
     println!("For a 14,000-token user profile whose tail does not fit in the GPU prefix pool,");
     println!("compare recomputing the overflow tokens against reloading their KV over PCIe.\n");
 
-    let tiers: Vec<(&str, ModelConfig, GpuKind)> = vec![
+    let mut tiers: Vec<(&str, ModelConfig, GpuKind)> = vec![
         ("L4 / Llama-8B", llama3_1_8b(), GpuKind::L4),
         ("A100 / Qwen-32B FP8", qwen2_5_32b_fp8(), GpuKind::A100_40G),
         (
@@ -40,6 +42,9 @@ fn main() {
             GpuKind::H100_80G,
         ),
     ];
+    if smoke {
+        tiers.truncate(1);
+    }
     let profile_tokens: u64 = 14_000;
     let overflow_fractions = [0.25, 0.5, 1.0];
 
@@ -106,7 +111,11 @@ fn main() {
         ],
         &rows,
     );
-    write_json("ablation_kv_offload", &json_rows);
+    if smoke {
+        println!("\n--smoke: JSON export skipped.");
+    } else {
+        write_json("ablation_kv_offload", &json_rows);
+    }
 
     println!();
     println!("Reading: recomputation cost grows with model size (FLOPs per token) while the");

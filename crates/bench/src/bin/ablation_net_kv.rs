@@ -1,4 +1,5 @@
-//! Network-tier ablation: cold-join JCT per network fabric.
+//! Network-tier ablation: cold-join JCT per fabric, and within-window propagation
+//! delay on a long single-window trace.
 //!
 //! The cluster-shared KV tier lets a cold instance (empty GPU and CPU caches) reload
 //! prefixes another node already computed — but the win depends on the fabric the
@@ -7,11 +8,22 @@
 //! once per [`NetLinkKind`] preset and once with the tier disabled, reporting the
 //! cold deployment's mean JCT, the traffic served from the shared tier, and the JCT
 //! saving over full recomputation.
+//!
+//! The second sweep varies `net_propagation_ms` on the shared-prefix *fleet*
+//! workload replayed as one long window: with window-boundary-only sharing (delay
+//! 0) an instance never sees another's same-window spills; finite delays surface
+//! them at propagation-epoch boundaries mid-window, and the sweep reports how many
+//! reloads only that propagation made possible, plus the resulting JCT saving.
+//!
+//! Pass `--smoke` to run minimal sweep points (one fabric; one delay plus its
+//! boundary-only baseline) and skip the JSON export (the CI rot-check mode).
 
 use gpu::{HardwareSetup, NetLinkKind};
 use model::ModelPreset;
 use prefillonly::{Cluster, EngineConfig, EngineKind};
-use prefillonly_bench::{print_table, write_json};
+use prefillonly_bench::{
+    print_table, shared_prefix_fleet_pressure, write_json, SHARED_PREFIX_FLEET_QPS,
+};
 use serde::Serialize;
 use simcore::SimRng;
 use workload::{
@@ -26,6 +38,22 @@ struct NetKvRow {
     net_reloaded_blocks: u64,
     net_reloaded_tokens: u64,
     saving_vs_disabled_secs: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PropagationRow {
+    net_propagation_ms: u64,
+    mean_jct_secs: f64,
+    net_reloaded_blocks: u64,
+    net_propagated_reload_blocks: u64,
+    net_propagated_tokens: u64,
+    saving_vs_boundary_only_secs: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct NetKvAblation {
+    cold_join: Vec<NetKvRow>,
+    propagation: Vec<PropagationRow>,
 }
 
 /// The e2e pressure scenario of the cluster test-suite: GPU pool squeezed below the
@@ -56,6 +84,7 @@ fn scenario() -> (EngineConfig, Vec<ArrivalPattern>) {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
     println!("Network-tier ablation: cold-join JCT per fabric (post recommendation)\n");
     println!("A warm deployment populates the cluster-shared KV tier; a cold deployment");
     println!("(fresh GPU and CPU caches) then serves the same users, reloading profile");
@@ -86,11 +115,16 @@ fn main() {
         saving_vs_disabled_secs: 0.0,
     });
 
-    for fabric in [
-        NetLinkKind::Tcp25G,
-        NetLinkKind::Rdma100G,
-        NetLinkKind::Rdma400G,
-    ] {
+    let fabrics: &[NetLinkKind] = if smoke {
+        &[NetLinkKind::Rdma100G]
+    } else {
+        &[
+            NetLinkKind::Tcp25G,
+            NetLinkKind::Rdma100G,
+            NetLinkKind::Rdma400G,
+        ]
+    };
+    for &fabric in fabrics {
         let config = base.clone().with_net_kv(64 << 30).with_net_link(fabric);
 
         // Warm phase: one replay window feeds the shared tier.
@@ -135,11 +169,91 @@ fn main() {
         ],
         &rows,
     );
-    write_json("ablation_net_kv", &json_rows);
 
     println!();
     println!("Reading: the per-request reload policy only fetches a segment when the fabric");
     println!("transfer beats the modelled recompute saving, so slower fabrics reload fewer");
     println!("blocks and keep less of the cold-join win; faster fabrics approach the");
     println!("warm-cache JCT.");
+    println!();
+
+    // ------------------------------------------------------------------
+    // Propagation-delay sweep: one long single-window trace, spills surfacing
+    // cluster-wide `net_propagation_ms` after they happen.
+    // ------------------------------------------------------------------
+    println!("Propagation-delay sweep: shared-prefix fleet, one long replay window\n");
+    println!("With delay 0 a spill only crosses instances at window boundaries — never");
+    println!("within this trace.  Finite delays surface spills at propagation-epoch");
+    println!("boundaries mid-window, so late cohort members reload their prefix over");
+    println!("the fabric instead of recomputing it.\n");
+
+    let (fleet, fleet_arrivals) = shared_prefix_fleet_pressure();
+    let delays: &[u64] = if smoke {
+        &[0, 2_000]
+    } else {
+        &[0, 500, 2_000, 4_000]
+    };
+    let mut prop_rows = Vec::new();
+    let mut prop_json = Vec::new();
+    let mut boundary_only_jct = 0.0f64;
+    for &delay_ms in delays {
+        let config = fleet.clone().with_net_propagation_ms(delay_ms);
+        let report = Cluster::new(&config)
+            .run(&fleet_arrivals, SHARED_PREFIX_FLEET_QPS)
+            .expect("feasible workload");
+        let jct = report.mean_latency_secs();
+        if delay_ms == 0 {
+            boundary_only_jct = jct;
+        }
+        let saving = boundary_only_jct - jct;
+        prop_rows.push(vec![
+            if delay_ms == 0 {
+                "0 (window boundary)".to_string()
+            } else {
+                delay_ms.to_string()
+            },
+            format!("{jct:.4}"),
+            report.offload.net_reloaded_blocks.to_string(),
+            report.offload.net_propagated_reload_blocks.to_string(),
+            report.net_propagated_tokens().to_string(),
+            format!("{saving:+.4}"),
+        ]);
+        prop_json.push(PropagationRow {
+            net_propagation_ms: delay_ms,
+            mean_jct_secs: jct,
+            net_reloaded_blocks: report.offload.net_reloaded_blocks,
+            net_propagated_reload_blocks: report.offload.net_propagated_reload_blocks,
+            net_propagated_tokens: report.net_propagated_tokens(),
+            saving_vs_boundary_only_secs: saving,
+        });
+    }
+    print_table(
+        &[
+            "propagation delay (ms)",
+            "mean JCT (s)",
+            "net reloaded blocks",
+            "propagated blocks",
+            "propagated tokens",
+            "saving vs boundary (s)",
+        ],
+        &prop_rows,
+    );
+
+    if smoke {
+        println!("\n--smoke: minimal sweep points, JSON export skipped.");
+    } else {
+        write_json(
+            "ablation_net_kv",
+            &NetKvAblation {
+                cold_join: json_rows,
+                propagation: prop_json,
+            },
+        );
+    }
+
+    println!();
+    println!("Reading: `propagated blocks` counts reloads of blocks another instance");
+    println!("spilled earlier in the SAME window — exactly the reloads the");
+    println!("window-boundary model forfeits.  The saving is bounded by how much of the");
+    println!("trace arrives after the first cross-instance spills have propagated.");
 }

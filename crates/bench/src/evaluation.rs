@@ -97,6 +97,9 @@ impl EvalScenario {
             WorkloadKind::CreditVerification => {
                 Dataset::credit_verification(&scaled_credit_spec(), &mut rng)
             }
+            // Not part of the paper's figure scenarios; generated with its defaults
+            // if a sweep ever asks for it.
+            WorkloadKind::SharedPrefixFleet => Dataset::generate(self.workload, &mut rng),
         }
     }
 

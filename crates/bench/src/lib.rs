@@ -17,12 +17,16 @@
 //! * [`parallel`] — deterministic fan-out of independent sweep points across OS
 //!   threads; the fig6–fig11 grids run one `(engine, qps)` point per worker with
 //!   result ordering identical to the sequential sweep.
+//! * [`scenarios`] — e2e pressure scenarios shared between ablation binaries and
+//!   the integration-test suite, so benchmarks and acceptance tests cannot drift
+//!   apart.
 
 pub mod evaluation;
 pub mod hotpath;
 pub mod output;
 pub mod parallel;
 pub mod scale;
+pub mod scenarios;
 
 pub use evaluation::{
     saturation_qps, sweep_all_engines, sweep_engines, EvalScenario, SweepPoint, QPS_MULTIPLIERS,
@@ -30,3 +34,4 @@ pub use evaluation::{
 pub use output::{print_table, write_json, ResultsFile};
 pub use parallel::map_parallel;
 pub use scale::{scaled_credit_spec, scaled_post_spec, workload_scale};
+pub use scenarios::{shared_prefix_fleet_pressure, SHARED_PREFIX_FLEET_QPS};

@@ -1,0 +1,55 @@
+//! Shared end-to-end pressure scenarios.
+//!
+//! The propagation-delay ablation (`ablation_net_kv`) and the e2e acceptance test
+//! (`within_window_propagation_beats_window_boundary_sharing_on_a_single_window_trace`)
+//! must replay the *same* scenario — a drift between them would silently turn the
+//! benchmark into a measurement of something the tests no longer pin.  The single
+//! definition lives here.
+
+use gpu::HardwareSetup;
+use model::ModelPreset;
+use prefillonly::{EngineConfig, EngineKind};
+use simcore::SimRng;
+use workload::{
+    assign_poisson_arrivals_with, ArrivalGranularity, ArrivalPattern, Dataset,
+    SharedPrefixFleetSpec,
+};
+
+/// The within-window propagation scenario: three cohorts of four users sharing a
+/// 5k-token cross-user prefix, sticky-split across both instances of an L4 pair,
+/// replayed as one long (~24 s) window of per-request Poisson arrivals.  The GPU
+/// pool is squeezed below the per-instance cohort working set (three 5k prefixes vs
+/// a ~11.6k-token pool) and the CPU tier to about two prefixes, so reused prefixes
+/// spill, reload (earning the spill filter's reuse evidence) and cascade
+/// GPU → CPU → network within the window.
+///
+/// The returned config has the shared network tier enabled and
+/// `net_propagation_ms` at its default of 0; callers pick the delay under test via
+/// [`EngineConfig::with_net_propagation_ms`].
+pub fn shared_prefix_fleet_pressure() -> (EngineConfig, Vec<ArrivalPattern>) {
+    let spec = SharedPrefixFleetSpec {
+        num_cohorts: 3,
+        users_per_cohort: 4,
+        prefix_tokens: 5_000,
+        suffix_tokens: 150,
+        requests_per_user: 6,
+    };
+    let dataset = Dataset::shared_prefix_fleet(&spec);
+    let mut rng = SimRng::seed_from_u64(42);
+    let arrivals =
+        assign_poisson_arrivals_with(&dataset, 3.0, ArrivalGranularity::PerRequest, &mut rng);
+    let mut config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        dataset.max_request_tokens(),
+    );
+    config.memory_utilization = 0.70;
+    (
+        config.with_cpu_offload(1536 << 20).with_net_kv(64 << 30),
+        arrivals,
+    )
+}
+
+/// The offered QPS of [`shared_prefix_fleet_pressure`]'s arrival process.
+pub const SHARED_PREFIX_FLEET_QPS: f64 = 3.0;

@@ -27,6 +27,31 @@
 //! of the shared network KV tier.  Both replay paths run the identical pass, so the
 //! partition, and hence the replay, is byte-identical.
 //!
+//! # Propagation epochs (`net_propagation_ms > 0`)
+//!
+//! With a finite [`EngineConfig::net_propagation_ms`] the window is subdivided into
+//! deterministic *propagation epochs* of that length.  Each epoch repeats the window
+//! discipline in miniature, in lockstep across all instances:
+//!
+//! 1. every instance receives a [`NetKvPool::visible_snapshot`] of the shared tier —
+//!    the entries whose publish time (`spill time + delay`) has passed the epoch
+//!    start;
+//! 2. the epoch's arrivals are routed in `(arrival time, trace index)` order against
+//!    a *fresh* [`RouterSnapshot`](crate::routing::RouterSnapshot) (live loads carry
+//!    queued work over from earlier epochs; prefix probes are re-captured,
+//!    incrementally, instead of staying frozen for the whole window);
+//! 3. the per-instance loops simulate strictly up to the epoch boundary — pending
+//!    events beyond it stay queued — and the boundary is a barrier: every thread
+//!    reaches it before the per-instance tier snapshots merge back into the shared
+//!    pool, deterministically in instance-id order, and the next epoch begins.
+//!
+//! A spill therefore surfaces on other instances at the first epoch boundary past
+//! its publish time (between one and two delays after it happened) instead of at the
+//! window's end, while the per-epoch factoring keeps the parallel replay
+//! byte-identical to the sequential reference: within an epoch nothing crosses
+//! instances, exactly as within a delay-zero window.  `net_propagation_ms = 0` keeps
+//! the historical single-pass window byte for byte (pinned by regression test).
+//!
 //! Why the per-instance loops are sound: within one instance, the global loop pops
 //! that instance's events in `(time, push order)` — and the per-instance loop pushes
 //! the same events in the same relative order, because an instance's pushes happen
@@ -177,8 +202,10 @@ impl Cluster {
         let instances = (0..num_instances)
             .map(|id| EngineInstance::with_profile(config, &profile, id))
             .collect();
-        let net_pool = (config.net_kv_capacity_bytes > 0)
-            .then(|| NetKvPool::new(config.net_kv_capacity_bytes, profile.kv_block_bytes()));
+        let net_pool = (config.net_kv_capacity_bytes > 0).then(|| {
+            NetKvPool::new(config.net_kv_capacity_bytes, profile.kv_block_bytes())
+                .with_propagation_delay(SimDuration::from_millis(config.net_propagation_ms))
+        });
         Ok(Cluster {
             config: config.clone(),
             instances,
@@ -202,22 +229,37 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// Panics if the deployment's network tier is disabled
-    /// (`net_kv_capacity_bytes` is 0) or `pool` was built for a different block
-    /// geometry.
+    /// Panics if the configuration fails validation, the deployment's network tier
+    /// is disabled (`net_kv_capacity_bytes` is 0), or `pool` was built for a
+    /// different block geometry; use [`Self::try_with_warm_net_pool`] to handle all
+    /// of these as typed [`ConfigError`]s instead.
     pub fn with_warm_net_pool(config: &EngineConfig, pool: NetKvPool) -> Cluster {
-        let mut cluster = Cluster::new(config);
+        Cluster::try_with_warm_net_pool(config, pool)
+            .unwrap_or_else(|err| panic!("invalid warm-join deployment: {err}"))
+    }
+
+    /// Builds the warm-join deployment of [`Self::with_warm_net_pool`], surfacing
+    /// every construction problem — an undeployable configuration, a disabled
+    /// network tier, a warm pool of foreign block geometry — as a typed
+    /// [`ConfigError`] at this boundary instead of a panic deep inside instance
+    /// construction.
+    pub fn try_with_warm_net_pool(
+        config: &EngineConfig,
+        pool: NetKvPool,
+    ) -> Result<Cluster, ConfigError> {
+        let mut cluster = Cluster::try_new(config)?;
         let own = cluster
             .net_pool
             .as_mut()
-            .expect("a warm net pool needs net_kv_capacity_bytes > 0");
-        assert_eq!(
-            own.block_bytes(),
-            pool.block_bytes(),
-            "warm pool must match the deployment's KV block geometry"
-        );
+            .ok_or(ConfigError::WarmPoolNeedsNetTier)?;
+        if own.block_bytes() != pool.block_bytes() {
+            return Err(ConfigError::WarmPoolGeometryMismatch {
+                deployment_block_bytes: own.block_bytes(),
+                pool_block_bytes: pool.block_bytes(),
+            });
+        }
         cluster.net_merge_evictions += own.merge_from(&pool);
-        cluster
+        Ok(cluster)
     }
 
     /// The shared network KV tier, if enabled.  Clone it to seed another deployment
@@ -262,6 +304,9 @@ impl Cluster {
         offered_qps: f64,
     ) -> Result<RunReport, RunError> {
         self.check_feasible(arrivals)?;
+        if self.uses_propagation_epochs() {
+            return Ok(self.run_epochs(arrivals, offered_qps, true));
+        }
         self.install_net_snapshots();
 
         // Route every arrival up front against the window-start snapshot (see the
@@ -325,6 +370,9 @@ impl Cluster {
         offered_qps: f64,
     ) -> Result<RunReport, RunError> {
         self.check_feasible(arrivals)?;
+        if self.uses_propagation_epochs() {
+            return Ok(self.run_epochs(arrivals, offered_qps, false));
+        }
         self.install_net_snapshots();
 
         // The identical routing pass as [`Self::run`]: decisions are a pure function
@@ -339,12 +387,42 @@ impl Cluster {
         }
 
         let mut records: Vec<RequestRecord> = Vec::with_capacity(arrivals.len());
-        while let Some(scheduled) = events.pop() {
+        self.run_global_events_until(
+            arrivals,
+            &routed.decisions,
+            &mut routed.hashes,
+            &mut events,
+            &mut records,
+            None,
+        );
+
+        self.merge_net_snapshots();
+        Ok(self.finish_report(records, offered_qps))
+    }
+
+    /// Runs the global (all-instance) event loop strictly up to `boundary` (forever
+    /// when `None`) — the sequential analogue of [`Self::simulate_instance_until`]:
+    /// events scheduled at or past the boundary stay queued for the next
+    /// propagation epoch.
+    fn run_global_events_until(
+        &mut self,
+        arrivals: &[ArrivalPattern],
+        decisions: &[RoutingDecision],
+        routed_hashes: &mut [Option<Arc<Vec<kvcache::TokenBlockHash>>>],
+        events: &mut EventQueue<Event>,
+        records: &mut Vec<RequestRecord>,
+        boundary: Option<SimTime>,
+    ) {
+        while let Some(at) = events.peek_time() {
+            if boundary.is_some_and(|b| at >= b) {
+                break;
+            }
+            let scheduled = events.pop().expect("peeked event");
             let now = scheduled.at;
             match scheduled.event {
                 Event::Arrival(idx) => {
                     let arrival = &arrivals[idx];
-                    let decision = routed.decisions[idx];
+                    let decision = decisions[idx];
                     let instance_idx = decision.instance;
                     let request = PrefillRequest {
                         id: idx as u64,
@@ -356,36 +434,23 @@ impl Cluster {
                     };
                     self.instances[instance_idx].enqueue_with_hashes(
                         request,
-                        routed.take_hashes(idx),
+                        routed_hashes.get_mut(idx).and_then(Option::take),
                         now,
                     );
-                    Self::admit(
-                        &mut self.instances[instance_idx],
-                        instance_idx,
-                        now,
-                        &mut events,
-                    );
+                    Self::admit(&mut self.instances[instance_idx], instance_idx, now, events);
                 }
                 Event::Admit(instance_idx) => {
-                    Self::admit(
-                        &mut self.instances[instance_idx],
-                        instance_idx,
-                        now,
-                        &mut events,
-                    );
+                    Self::admit(&mut self.instances[instance_idx], instance_idx, now, events);
                 }
                 Event::Complete {
                     instance,
                     request_id,
                 } => {
                     records.push(self.instances[instance].complete(request_id, now));
-                    Self::admit(&mut self.instances[instance], instance, now, &mut events);
+                    Self::admit(&mut self.instances[instance], instance, now, events);
                 }
             }
         }
-
-        self.merge_net_snapshots();
-        Ok(self.finish_report(records, offered_qps))
     }
 
     /// Routes one replay window's arrivals (see the module docs): captures the
@@ -415,6 +480,57 @@ impl Cluster {
             order.sort_by_key(|&idx| (arrivals[idx].arrival, idx));
         }
 
+        let (mut decisions, mut routed_hashes) = self.routing_buffers(arrivals.len());
+        self.route_ordered(arrivals, &order, &mut decisions, &mut routed_hashes);
+        RoutedWindow {
+            decisions,
+            order: Some(order),
+            hashes: routed_hashes,
+        }
+    }
+
+    /// Allocates the per-window routing buffers [`Self::route_ordered`] fills in: a
+    /// decision per trace index (defaulted to `Direct`, overwritten by the pass) and
+    /// — only when the policy probes — a hash-chain slot per trace index.
+    #[allow(clippy::type_complexity)]
+    fn routing_buffers(
+        &self,
+        num_arrivals: usize,
+    ) -> (
+        Vec<RoutingDecision>,
+        Vec<Option<Arc<Vec<kvcache::TokenBlockHash>>>>,
+    ) {
+        let decisions = vec![
+            RoutingDecision {
+                instance: 0,
+                reason: RoutingReason::Direct,
+            };
+            num_arrivals
+        ];
+        let hashes = vec![
+            None;
+            if self.router.needs_prefix_probe() {
+                num_arrivals
+            } else {
+                0
+            }
+        ];
+        (decisions, hashes)
+    }
+
+    /// The core routing pass shared by the whole-window slow path and the per-epoch
+    /// path: captures a [`RouterSnapshot`] of the *current* instance state and routes
+    /// the arrivals listed in `order` (which must already be sorted by
+    /// `(arrival time, trace index)`), writing each decision — and the hash chain
+    /// computed for probing, if any — at its trace index.
+    fn route_ordered(
+        &mut self,
+        arrivals: &[ArrivalPattern],
+        order: &[usize],
+        decisions: &mut [RoutingDecision],
+        routed_hashes: &mut [Option<Arc<Vec<kvcache::TokenBlockHash>>>],
+    ) {
+        let num_instances = self.instances.len();
         let needs_probe = self.router.needs_prefix_probe();
         let block_size = self.config.block_size;
         let loads = self
@@ -449,15 +565,7 @@ impl Cluster {
             net_hit_discount,
         );
 
-        let mut decisions = vec![
-            RoutingDecision {
-                instance: 0,
-                reason: RoutingReason::Direct,
-            };
-            arrivals.len()
-        ];
-        let mut routed_hashes = vec![None; if needs_probe { arrivals.len() } else { 0 }];
-        for &idx in &order {
+        for &idx in order {
             let arrival = &arrivals[idx];
             let hashes = needs_probe
                 .then(|| Arc::new(hash_token_blocks(&arrival.template.tokens, block_size)));
@@ -478,11 +586,205 @@ impl Cluster {
                 routed_hashes[idx] = Some(hashes);
             }
         }
-        RoutedWindow {
-            decisions,
-            order: Some(order),
-            hashes: routed_hashes,
+    }
+
+    /// Whether replay windows are subdivided into propagation epochs.  The delay is
+    /// a property of the shared network tier, so with the tier disabled the knob is
+    /// inert — there is nothing to propagate, and taking the epoch path anyway
+    /// would change the routing-snapshot cadence of the tierless baseline an
+    /// ablation compares against.
+    fn uses_propagation_epochs(&self) -> bool {
+        self.config.net_propagation_ms > 0 && self.net_pool.is_some()
+    }
+
+    /// The propagation-epoch replay of one window (see the module docs): both the
+    /// parallel and the sequential flavour subdivide the window at the same
+    /// boundaries, route each epoch against a fresh snapshot, simulate strictly up
+    /// to the boundary, and merge the tier snapshots there — so the two flavours
+    /// stay byte-identical event for event.
+    fn run_epochs(
+        &mut self,
+        arrivals: &[ArrivalPattern],
+        offered_qps: f64,
+        parallel: bool,
+    ) -> RunReport {
+        let boundaries = self.propagation_boundaries(arrivals);
+        let epochs = Self::epoch_partition(arrivals, &boundaries);
+        // Spills of earlier windows have long since crossed the fabric: only this
+        // window's spills are subject to the propagation delay (and counted as
+        // mid-window propagated when reloaded).
+        if let Some(pool) = &mut self.net_pool {
+            pool.settle();
         }
+
+        let (mut decisions, mut routed_hashes) = self.routing_buffers(arrivals.len());
+
+        let records = if parallel {
+            self.run_epochs_parallel(
+                arrivals,
+                &boundaries,
+                &epochs,
+                &mut decisions,
+                &mut routed_hashes,
+            )
+        } else {
+            self.run_epochs_sequential(
+                arrivals,
+                &boundaries,
+                &epochs,
+                &mut decisions,
+                &mut routed_hashes,
+            )
+        };
+        self.finish_report(records, offered_qps)
+    }
+
+    /// Per-instance event loops with an epoch-boundary barrier between them.
+    fn run_epochs_parallel(
+        &mut self,
+        arrivals: &[ArrivalPattern],
+        boundaries: &[SimTime],
+        epochs: &[Vec<usize>],
+        decisions: &mut [RoutingDecision],
+        routed_hashes: &mut [Option<Arc<Vec<kvcache::TokenBlockHash>>>],
+    ) -> Vec<RequestRecord> {
+        let num_instances = self.instances.len();
+        let mut queues: Vec<EventQueue<InstanceEvent>> =
+            (0..num_instances).map(|_| EventQueue::new()).collect();
+        let mut partitions: Vec<Vec<PartitionEntry<'_>>> =
+            (0..num_instances).map(|_| Vec::new()).collect();
+        let mut per_instance: Vec<Vec<RequestRecord>> =
+            (0..num_instances).map(|_| Vec::new()).collect();
+
+        for (e, epoch) in epochs.iter().enumerate() {
+            let epoch_start = if e == 0 {
+                SimTime::ZERO
+            } else {
+                boundaries[e - 1]
+            };
+            self.install_net_snapshots_visible(epoch_start);
+            self.route_ordered(arrivals, epoch, decisions, routed_hashes);
+            for &idx in epoch {
+                let decision = decisions[idx];
+                let partition = &mut partitions[decision.instance];
+                partition.push(PartitionEntry {
+                    request_id: idx as u64,
+                    reason: decision.reason,
+                    hashes: routed_hashes.get_mut(idx).and_then(Option::take),
+                    arrival: &arrivals[idx],
+                });
+                queues[decision.instance].push(
+                    arrivals[idx].arrival,
+                    InstanceEvent::Arrival(partition.len() - 1),
+                );
+            }
+
+            let boundary = boundaries.get(e).copied();
+            if num_instances == 1 {
+                Self::simulate_instance_until(
+                    &mut self.instances[0],
+                    &partitions[0],
+                    &mut queues[0],
+                    &mut per_instance[0],
+                    boundary,
+                );
+            } else {
+                std::thread::scope(|scope| {
+                    for (((instance, partition), queue), records) in self
+                        .instances
+                        .iter_mut()
+                        .zip(&partitions)
+                        .zip(&mut queues)
+                        .zip(&mut per_instance)
+                    {
+                        scope.spawn(move || {
+                            Self::simulate_instance_until(
+                                instance, partition, queue, records, boundary,
+                            );
+                        });
+                    }
+                });
+            }
+            self.merge_net_snapshots();
+        }
+        debug_assert!(queues.iter().all(EventQueue::is_empty));
+        per_instance.into_iter().flatten().collect()
+    }
+
+    /// The single-threaded reference flavour: one global event loop, paused at every
+    /// epoch boundary for the same route/merge steps the parallel flavour takes.
+    fn run_epochs_sequential(
+        &mut self,
+        arrivals: &[ArrivalPattern],
+        boundaries: &[SimTime],
+        epochs: &[Vec<usize>],
+        decisions: &mut [RoutingDecision],
+        routed_hashes: &mut [Option<Arc<Vec<kvcache::TokenBlockHash>>>],
+    ) -> Vec<RequestRecord> {
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(arrivals.len());
+
+        for (e, epoch) in epochs.iter().enumerate() {
+            let epoch_start = if e == 0 {
+                SimTime::ZERO
+            } else {
+                boundaries[e - 1]
+            };
+            self.install_net_snapshots_visible(epoch_start);
+            self.route_ordered(arrivals, epoch, decisions, routed_hashes);
+            for &idx in epoch {
+                events.push(arrivals[idx].arrival, Event::Arrival(idx));
+            }
+
+            let boundary = boundaries.get(e).copied();
+            self.run_global_events_until(
+                arrivals,
+                decisions,
+                routed_hashes,
+                &mut events,
+                &mut records,
+                boundary,
+            );
+            self.merge_net_snapshots();
+        }
+        debug_assert!(events.is_empty());
+        records
+    }
+
+    /// The epoch boundaries of one replay window: multiples of
+    /// `net_propagation_ms` up to the last arrival (the tail past the last boundary
+    /// — or the whole window when the trace is shorter than one delay — drains to
+    /// completion like a delay-zero window).
+    fn propagation_boundaries(&self, arrivals: &[ArrivalPattern]) -> Vec<SimTime> {
+        let delay = SimDuration::from_millis(self.config.net_propagation_ms);
+        debug_assert!(!delay.is_zero(), "epochs exist only for finite delays");
+        let last = arrivals
+            .iter()
+            .map(|a| a.arrival)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut boundaries = Vec::new();
+        let mut boundary = SimTime::ZERO + delay;
+        while boundary <= last {
+            boundaries.push(boundary);
+            boundary += delay;
+        }
+        boundaries
+    }
+
+    /// Splits trace indices into per-epoch lists (epoch `e` covers arrivals in
+    /// `[boundaries[e-1], boundaries[e])`), each sorted by `(arrival time, index)` —
+    /// the order the routing pass and the event queues consume them in.
+    fn epoch_partition(arrivals: &[ArrivalPattern], boundaries: &[SimTime]) -> Vec<Vec<usize>> {
+        let mut epochs: Vec<Vec<usize>> = vec![Vec::new(); boundaries.len() + 1];
+        for (idx, arrival) in arrivals.iter().enumerate() {
+            let epoch = boundaries.partition_point(|b| *b <= arrival.arrival);
+            epochs[epoch].push(idx);
+        }
+        for epoch in &mut epochs {
+            epoch.sort_by_key(|&idx| (arrivals[idx].arrival, idx));
+        }
+        epochs
     }
 
     /// Installs a snapshot of the shared network tier into every instance.  Both
@@ -493,6 +795,17 @@ impl Cluster {
         if let Some(pool) = &self.net_pool {
             for instance in &mut self.instances {
                 instance.install_net_pool(pool.clone());
+            }
+        }
+    }
+
+    /// Installs the publish-time-filtered view of the shared tier for the
+    /// propagation epoch starting at `visible_at` (see
+    /// [`NetKvPool::visible_snapshot`]).
+    fn install_net_snapshots_visible(&mut self, visible_at: SimTime) {
+        if let Some(pool) = &self.net_pool {
+            for (id, instance) in self.instances.iter_mut().enumerate() {
+                instance.install_net_pool(pool.visible_snapshot(visible_at, id));
             }
         }
     }
@@ -536,7 +849,25 @@ impl Cluster {
             events.push(entry.arrival.arrival, InstanceEvent::Arrival(pos));
         }
         let mut records = Vec::with_capacity(partition.len());
-        while let Some(scheduled) = events.pop() {
+        Self::simulate_instance_until(instance, partition, &mut events, &mut records, None);
+        records
+    }
+
+    /// Runs one instance's private event loop strictly up to `boundary` (forever
+    /// when `None`): events scheduled at or past the boundary stay queued for the
+    /// next propagation epoch.
+    fn simulate_instance_until(
+        instance: &mut EngineInstance,
+        partition: &[PartitionEntry<'_>],
+        events: &mut EventQueue<InstanceEvent>,
+        records: &mut Vec<RequestRecord>,
+        boundary: Option<SimTime>,
+    ) {
+        while let Some(at) = events.peek_time() {
+            if boundary.is_some_and(|b| at >= b) {
+                break;
+            }
+            let scheduled = events.pop().expect("peeked event");
             let now = scheduled.at;
             match scheduled.event {
                 InstanceEvent::Arrival(pos) => {
@@ -550,18 +881,17 @@ impl Cluster {
                         routing: entry.reason,
                     };
                     instance.enqueue_with_hashes(request, entry.hashes.clone(), now);
-                    Self::admit_local(instance, now, &mut events);
+                    Self::admit_local(instance, now, events);
                 }
                 InstanceEvent::Admit => {
-                    Self::admit_local(instance, now, &mut events);
+                    Self::admit_local(instance, now, events);
                 }
                 InstanceEvent::Complete(request_id) => {
                     records.push(instance.complete(request_id, now));
-                    Self::admit_local(instance, now, &mut events);
+                    Self::admit_local(instance, now, events);
                 }
             }
         }
-        records
     }
 
     /// Sorts records into the canonical report order and aggregates the run report.
@@ -1186,6 +1516,211 @@ mod tests {
                 crate::routing::RoutingReason::StickyNew
                     | crate::routing::RoutingReason::StickyExisting
             ));
+        }
+    }
+
+    /// Acceptance pin: `net_propagation_ms = 0` keeps the historical
+    /// window-boundary-only propagation byte for byte.  The propagation-epoch
+    /// machinery with a delay longer than the whole trace must agree too — it
+    /// degenerates to a single epoch whose snapshot is the fully-settled shared
+    /// pool, i.e. exactly the window-boundary model — so the pin covers both the
+    /// legacy code path and the epoch path's delay-free limit, across two
+    /// consecutive windows and both replay flavours.
+    #[test]
+    fn zero_propagation_delay_is_byte_identical_to_the_window_boundary_path() {
+        for policy in [
+            crate::routing::RoutingPolicyKind::StickyUser,
+            crate::routing::RoutingPolicyKind::CacheAware,
+        ] {
+            let (config, arrivals) = net_pressure_config(64 << 30);
+            let config = config.with_routing(policy);
+            assert_eq!(config.net_propagation_ms, 0, "zero is the default");
+            let span_ms = arrivals
+                .iter()
+                .map(|a| (a.arrival - SimTime::ZERO).as_secs_f64() * 1e3)
+                .fold(0.0f64, f64::max) as u64;
+            let one_epoch = config.clone().with_net_propagation_ms(span_ms + 1_000);
+
+            let mut boundary_only = Cluster::new(&config);
+            let mut epoch_path = Cluster::new(&one_epoch);
+            let mut epoch_path_seq = Cluster::new(&one_epoch);
+            for window in 0..2 {
+                let a = boundary_only.run(&arrivals, 3.0).unwrap();
+                let b = epoch_path.run(&arrivals, 3.0).unwrap();
+                let c = epoch_path_seq.run_sequential(&arrivals, 3.0).unwrap();
+                assert!(
+                    a.offload.net_offloaded_blocks > 0,
+                    "the scenario must exercise the shared tier"
+                );
+                assert_eq!(a.records, b.records, "{policy:?} window {window}");
+                assert_eq!(a.cache, b.cache, "{policy:?} window {window}");
+                assert_eq!(a.offload, b.offload, "{policy:?} window {window}");
+                assert_eq!(a.makespan, b.makespan, "{policy:?} window {window}");
+                assert_eq!(b.records, c.records, "{policy:?} window {window}");
+                assert_eq!(b.offload, c.offload, "{policy:?} window {window}");
+                assert_eq!(
+                    a.net_propagated_tokens(),
+                    0,
+                    "a single epoch has no mid-window propagation to credit"
+                );
+                assert_eq!(a.offload.net_propagated_reload_blocks, 0);
+            }
+            let pa = boundary_only.net_pool().unwrap();
+            let pb = epoch_path.net_pool().unwrap();
+            assert_eq!(pa.resident_blocks(), pb.resident_blocks());
+            assert_eq!(pa.generation(), pb.generation());
+        }
+    }
+
+    /// The determinism guarantee extends to within-window propagation: with a delay
+    /// short enough that every window spans several propagation epochs, all three KV
+    /// tiers active and cache-aware routing consulting per-epoch probes, the
+    /// threaded replay stays byte-identical to the sequential reference across two
+    /// consecutive windows.
+    #[test]
+    fn parallel_run_is_identical_to_sequential_across_propagation_epochs() {
+        let (config, arrivals) = net_pressure_config(64 << 30);
+        let span = arrivals
+            .iter()
+            .map(|a| a.arrival)
+            .max()
+            .unwrap()
+            .saturating_since(SimTime::ZERO);
+        let delay_ms = 2_000u64;
+        assert!(
+            span.as_secs_f64() * 1e3 > 2.0 * delay_ms as f64,
+            "the trace must span at least two propagation epochs, got {span}"
+        );
+        let config = config
+            .with_routing(crate::routing::RoutingPolicyKind::CacheAware)
+            .with_net_propagation_ms(delay_ms);
+
+        let mut parallel = Cluster::new(&config);
+        assert!(parallel.instances().len() > 1);
+        let mut sequential = Cluster::new(&config);
+        for window in 0..2 {
+            let a = parallel.run(&arrivals, 3.0).unwrap();
+            let b = sequential.run_sequential(&arrivals, 3.0).unwrap();
+            assert!(
+                a.offload.net_offloaded_blocks > 0,
+                "window {window} must feed the shared tier"
+            );
+            assert_eq!(a.records, b.records, "window {window}");
+            assert_eq!(a.makespan, b.makespan, "window {window}");
+            assert_eq!(a.cache, b.cache, "window {window}");
+            assert_eq!(a.offload, b.offload, "window {window}");
+        }
+        let pa = parallel.net_pool().unwrap();
+        let pb = sequential.net_pool().unwrap();
+        assert_eq!(pa.resident_blocks(), pb.resident_blocks());
+        assert_eq!(pa.generation(), pb.generation());
+    }
+
+    /// The warm-join construction boundary: an undeployable configuration, a
+    /// disabled network tier and a foreign block geometry are typed errors from
+    /// [`Cluster::try_with_warm_net_pool`], not panics from deep inside instance
+    /// construction.
+    #[test]
+    fn warm_net_pool_construction_problems_are_config_errors() {
+        let (enabled, _) = net_pressure_config(64 << 30);
+        let block_bytes = Cluster::new(&enabled).instances()[0].kv_block_bytes();
+        let warm = || kvcache::NetKvPool::new(8 * block_bytes, block_bytes);
+
+        // Zero instances surfaces as the same error `try_new` reports.
+        let mut zero_instances = enabled.clone();
+        zero_instances.hardware.num_gpus = 0;
+        assert_eq!(
+            Cluster::try_with_warm_net_pool(&zero_instances, warm()).unwrap_err(),
+            crate::config::ConfigError::NoInstances
+        );
+
+        // A deployment without a network tier cannot absorb a warm pool.
+        let err =
+            Cluster::try_with_warm_net_pool(&enabled.clone().with_net_kv(0), warm()).unwrap_err();
+        assert_eq!(err, crate::config::ConfigError::WarmPoolNeedsNetTier);
+        assert!(err.to_string().contains("net_kv_capacity_bytes"));
+
+        // A warm pool of foreign block geometry is rejected with both geometries.
+        let foreign = kvcache::NetKvPool::new(8 * (block_bytes + 1), block_bytes + 1);
+        let err = Cluster::try_with_warm_net_pool(&enabled, foreign).unwrap_err();
+        assert_eq!(
+            err,
+            crate::config::ConfigError::WarmPoolGeometryMismatch {
+                deployment_block_bytes: block_bytes,
+                pool_block_bytes: block_bytes + 1,
+            }
+        );
+        assert!(err.to_string().contains("block geometry"));
+
+        // The happy path still builds, and the panicking variant delegates.
+        assert!(Cluster::try_with_warm_net_pool(&enabled, warm()).is_ok());
+        let cluster = Cluster::with_warm_net_pool(&enabled, warm());
+        assert_eq!(cluster.net_pool().unwrap().resident_blocks(), 0);
+    }
+
+    /// Spliced/truncated traces silently leave the sticky arithmetic fast path:
+    /// whatever inconsistency the stamps carry — duplicated ranks, a cut-out user,
+    /// a stamped head on an unstamped tail — the fallback must replay
+    /// record-identical to the same trace with every stamp stripped (the slow
+    /// path), because stamps are a routing accelerator, never a routing *input*.
+    #[test]
+    fn sticky_fallback_on_inconsistent_stamps_is_record_identical_to_the_slow_path() {
+        let ds = small_post_rec_dataset();
+        let arrivals = assign_poisson_arrivals(&ds, 5.0, &mut SimRng::seed_from_u64(2));
+        assert!(arrivals.iter().all(|a| a.sticky.is_some()));
+
+        let splice = |mutate: &dyn Fn(&mut Vec<ArrivalPattern>)| {
+            let mut spliced = arrivals.clone();
+            mutate(&mut spliced);
+            spliced
+        };
+        let cases: Vec<(&str, Vec<ArrivalPattern>)> = vec![
+            (
+                "duplicate user_seq",
+                splice(&|trace| {
+                    // Re-stamp the second distinct user's arrivals with rank 0, as a
+                    // head-on splice of two traces would.
+                    let first_user = trace[0].template.user_id;
+                    for arrival in trace.iter_mut() {
+                        if arrival.template.user_id != first_user {
+                            if let Some(sticky) = &mut arrival.sticky {
+                                sticky.user_seq = 0;
+                            }
+                        }
+                    }
+                }),
+            ),
+            (
+                "non-contiguous ranks",
+                splice(&|trace| {
+                    // Drop every arrival of the rank-0 user — a truncated trace whose
+                    // remaining firsts start at rank 1.
+                    let first_user = trace[0].template.user_id;
+                    trace.retain(|a| a.template.user_id != first_user);
+                }),
+            ),
+            (
+                "stamped-then-unstamped",
+                splice(&|trace| {
+                    let half = trace.len() / 2;
+                    for arrival in &mut trace[half..] {
+                        arrival.sticky = None;
+                    }
+                }),
+            ),
+        ];
+
+        let config = config(EngineKind::prefillonly_default());
+        for (name, spliced) in cases {
+            let mut unstamped = spliced.clone();
+            for arrival in &mut unstamped {
+                arrival.sticky = None;
+            }
+            let fallback = Cluster::new(&config).run(&spliced, 5.0).unwrap();
+            let slow = Cluster::new(&config).run(&unstamped, 5.0).unwrap();
+            assert_eq!(fallback.records, slow.records, "{name}");
+            assert_eq!(fallback.cache, slow.cache, "{name}");
+            assert_eq!(fallback.makespan, slow.makespan, "{name}");
         }
     }
 

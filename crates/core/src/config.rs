@@ -16,6 +16,17 @@ use crate::routing::RoutingPolicyKind;
 pub enum ConfigError {
     /// The hardware setup yields zero engine instances, so no router can be built.
     NoInstances,
+    /// A warm network pool was supplied but the deployment's network tier is
+    /// disabled (`net_kv_capacity_bytes` is 0), so nothing could absorb it.
+    WarmPoolNeedsNetTier,
+    /// A warm network pool was built for a different KV block geometry than this
+    /// deployment profiles, so its entries cannot be addressed.
+    WarmPoolGeometryMismatch {
+        /// Bytes of full KV per block the deployment's profile derives.
+        deployment_block_bytes: u64,
+        /// Bytes of full KV per block the supplied pool was built with.
+        pool_block_bytes: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -24,6 +35,18 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NoInstances => write!(
                 f,
                 "the deployment has zero engine instances (hardware setup without GPUs?)"
+            ),
+            ConfigError::WarmPoolNeedsNetTier => write!(
+                f,
+                "a warm net pool needs net_kv_capacity_bytes > 0 on the joining deployment"
+            ),
+            ConfigError::WarmPoolGeometryMismatch {
+                deployment_block_bytes,
+                pool_block_bytes,
+            } => write!(
+                f,
+                "warm pool must match the deployment's KV block geometry \
+                 ({pool_block_bytes} B/block supplied, {deployment_block_bytes} B/block profiled)"
             ),
         }
     }
@@ -163,6 +186,16 @@ pub struct EngineConfig {
     pub net_kv_capacity_bytes: u64,
     /// The network fabric KV blocks cross when reloaded from the shared tier.
     pub net_link: NetLinkKind,
+    /// Modelled propagation delay of the shared network tier, in milliseconds: a
+    /// spill becomes visible to *other* instances this long after it happens.  A
+    /// finite value splits each replay window into deterministic propagation
+    /// *epochs* of this length (spills surface at the first epoch boundary past
+    /// their publish time, and routing snapshots refresh per epoch).  Zero — the
+    /// default — keeps the historical window-boundary-only propagation, byte for
+    /// byte.  Inert while the tier itself is disabled (`net_kv_capacity_bytes` is
+    /// 0): the delay is a property of the shared tier, and there is nothing to
+    /// propagate without one.
+    pub net_propagation_ms: u64,
     /// How reload-vs-recompute is decided per reloadable segment.
     pub reload_policy: ReloadPolicyKind,
     /// How arrivals are routed onto the deployment's instances (see
@@ -190,6 +223,7 @@ impl EngineConfig {
             host_link: LinkKind::PcieGen4,
             net_kv_capacity_bytes: 0,
             net_link: NetLinkKind::Rdma100G,
+            net_propagation_ms: 0,
             reload_policy: ReloadPolicyKind::Modeled,
             routing: RoutingPolicyKind::StickyUser,
         }
@@ -238,6 +272,14 @@ impl EngineConfig {
     /// Overrides the network fabric used for shared-tier reload traffic.
     pub fn with_net_link(mut self, net_link: NetLinkKind) -> EngineConfig {
         self.net_link = net_link;
+        self
+    }
+
+    /// Models within-window propagation of the shared network tier: spills become
+    /// visible cluster-wide `net_propagation_ms` after they happen, instead of only
+    /// at replay-window boundaries (see [`Self::net_propagation_ms`]).
+    pub fn with_net_propagation_ms(mut self, net_propagation_ms: u64) -> EngineConfig {
+        self.net_propagation_ms = net_propagation_ms;
         self
     }
 

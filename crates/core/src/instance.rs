@@ -16,8 +16,8 @@ use simcore::{SimDuration, SimTime};
 use executor::{max_input_length, profile_jct_grid, Executor};
 use gpu::{HostLink, NetLink};
 use kvcache::{
-    hash_token_blocks, CacheStats, KvCacheManager, NetKvPool, OffloadStats, ProbeCache,
-    ReloadQuote, ReloadTier, RequestKv, RetentionPolicy, TierHits, TokenBlockHash,
+    hash_token_blocks, CacheStats, KvCacheManager, NetKvPool, OffloadStats, PrefixProbeCache,
+    ProbeCache, ReloadQuote, ReloadTier, RequestKv, RetentionPolicy, TierHits, TokenBlockHash,
 };
 use scheduler::{CacheProbe, JctEstimator, SchedulingPolicy, WaitingQueue, WaitingRequest};
 
@@ -198,6 +198,11 @@ pub struct EngineInstance {
     /// generation counters.  `RefCell` because the probe is handed to the scheduling
     /// policy behind an immutable [`CacheProbe`] reference.
     probe_cache: RefCell<ProbeCache>,
+    /// Incrementally maintained routing-probe capture (copy-on-write per tier, keyed
+    /// by the same generation counters) — [`Self::prefix_probe`] reuses unchanged
+    /// tiers instead of cloning every resident set per capture.  `RefCell` because
+    /// captures go through `&self`.
+    probe_snapshots: RefCell<PrefixProbeCache>,
     running: HashMap<u64, RunningRequest>,
     stage_free_at: Vec<SimTime>,
     max_input_length: u64,
@@ -304,6 +309,7 @@ impl EngineInstance {
             pending_hashes: HashMap::new(),
             pending_requests: HashMap::new(),
             probe_cache: RefCell::new(ProbeCache::new()),
+            probe_snapshots: RefCell::new(PrefixProbeCache::new()),
             running: HashMap::new(),
             stage_free_at: vec![SimTime::ZERO; stages],
             max_input_length: profile.max_input_length,
@@ -415,9 +421,12 @@ impl EngineInstance {
     }
 
     /// An immutable three-tier residency snapshot of this instance's KV manager (see
-    /// [`kvcache::PrefixProbe`]) — what cache-aware routing probes at window start.
+    /// [`kvcache::PrefixProbe`]) — what cache-aware routing probes at the start of
+    /// each replay window or propagation epoch.  Maintained incrementally: a tier
+    /// whose generation counter is unchanged since the previous capture is reused
+    /// (one `Arc` clone) instead of re-collected.
     pub fn prefix_probe(&self) -> kvcache::PrefixProbe {
-        self.kv.prefix_probe()
+        self.probe_snapshots.borrow_mut().probe(&self.kv)
     }
 
     /// Earliest virtual time at which a new request could be admitted (when the first
@@ -637,6 +646,7 @@ impl EngineInstance {
         let cached = running.kv.cached_tokens();
         let reloaded = running.kv.reloaded_tokens();
         let net_reloaded = running.kv.net_reloaded_tokens();
+        let net_propagated = running.kv.net_propagated_tokens();
         self.kv.commit(running.kv, now);
         self.stats.completed += 1;
         RequestRecord {
@@ -651,6 +661,7 @@ impl EngineInstance {
             cached_tokens: cached,
             reloaded_tokens: reloaded,
             net_reloaded_tokens: net_reloaded,
+            net_propagated_tokens: net_propagated,
         }
     }
 }

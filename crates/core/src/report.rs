@@ -35,6 +35,11 @@ pub struct RequestRecord {
     /// Tokens rehydrated from the cluster-shared network tier over the network link
     /// (zero unless the network KV tier is enabled).
     pub net_reloaded_tokens: u64,
+    /// The subset of `net_reloaded_tokens` that was only reloadable because another
+    /// instance's spill propagated *within* the current replay window (zero unless
+    /// `net_propagation_ms > 0` — the window-boundary-only model would have
+    /// recomputed these tokens).
+    pub net_propagated_tokens: u64,
 }
 
 impl RequestRecord {
@@ -120,6 +125,12 @@ impl RunReport {
         self.records.iter().map(|r| r.net_reloaded_tokens).sum()
     }
 
+    /// Tokens whose network reload was only possible because of mid-window
+    /// propagation (`net_propagation_ms > 0`), across all requests.
+    pub fn net_propagated_tokens(&self) -> u64 {
+        self.records.iter().map(|r| r.net_propagated_tokens).sum()
+    }
+
     /// Latency CDF (Fig. 11).
     pub fn latency_cdf(&self) -> Cdf {
         Cdf::from_samples(&self.latencies_secs())
@@ -143,6 +154,7 @@ mod tests {
             cached_tokens: 100,
             reloaded_tokens: 0,
             net_reloaded_tokens: 0,
+            net_propagated_tokens: 0,
         }
     }
 

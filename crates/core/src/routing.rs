@@ -759,6 +759,94 @@ mod tests {
         assert!(policy.route_sorted_trace(&unstamped, 2).is_none());
     }
 
+    /// Spliced/truncated-trace edges of the arithmetic fast path: every stamp
+    /// inconsistency a cut-and-paste of generated traces can produce must be
+    /// detected *before* anything is seeded, so the slow path starts from a clean
+    /// router.
+    #[test]
+    fn sticky_fast_path_rejects_spliced_and_truncated_stamps() {
+        use simcore::SimTime;
+        use std::sync::Arc;
+        use workload::{ArrivalPattern, RequestTemplate, StickySeq};
+
+        let arrival = |user: u64, at_ms: u64, sticky: Option<StickySeq>| ArrivalPattern {
+            template: RequestTemplate {
+                user_id: user,
+                tokens: Arc::new(vec![0; 32]),
+                shared_prefix_tokens: 0,
+            },
+            arrival: SimTime::from_millis(at_ms),
+            sticky,
+        };
+        let stamp = |user_seq: u64, first_of_user: bool| {
+            Some(StickySeq {
+                user_seq,
+                first_of_user,
+            })
+        };
+
+        let cases: Vec<(&str, Vec<ArrivalPattern>)> = vec![
+            (
+                // Two *different* users stamped first with the same rank (a splice
+                // of two traces' heads): rank 0 repeats.
+                "duplicate user_seq across distinct users",
+                vec![
+                    arrival(7, 0, stamp(0, true)),
+                    arrival(9, 10, stamp(0, true)),
+                ],
+            ),
+            (
+                // The same user stamped first twice (their requests would split).
+                "duplicate first stamp of one user",
+                vec![
+                    arrival(7, 0, stamp(0, true)),
+                    arrival(7, 10, stamp(1, true)),
+                ],
+            ),
+            (
+                // A trace whose middle user was cut out: ranks jump 0 → 2.
+                "non-contiguous first-appearance ranks",
+                vec![
+                    arrival(7, 0, stamp(0, true)),
+                    arrival(9, 10, stamp(2, true)),
+                ],
+            ),
+            (
+                // A truncated trace that lost a user's first arrival: the repeat
+                // points at a rank nobody claimed.
+                "repeat stamp without its first",
+                vec![arrival(9, 0, stamp(0, false))],
+            ),
+            (
+                // Stamped head spliced onto an unstamped tail.
+                "stamped-then-unstamped arrivals",
+                vec![
+                    arrival(7, 0, stamp(0, true)),
+                    arrival(9, 10, stamp(1, true)),
+                    arrival(7, 20, None),
+                ],
+            ),
+        ];
+        let consistent = vec![
+            arrival(7, 0, stamp(0, true)),
+            arrival(9, 10, stamp(1, true)),
+            arrival(7, 20, stamp(0, false)),
+        ];
+        for (name, trace) in cases {
+            let mut policy = RoutingPolicyKind::StickyUser.build(2).unwrap();
+            assert!(
+                policy.route_sorted_trace(&trace, 2).is_none(),
+                "{name} must fall back to the slow path"
+            );
+            // Rejection must not have seeded anything: a later consistent window
+            // still takes the fast path from rank 0.
+            assert!(
+                policy.route_sorted_trace(&consistent, 2).is_some(),
+                "{name} must leave the router untouched"
+            );
+        }
+    }
+
     #[test]
     fn sticky_policy_matches_the_user_router_and_labels_reasons() {
         let mut policy = RoutingPolicyKind::StickyUser.build(2).unwrap();

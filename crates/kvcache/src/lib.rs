@@ -43,7 +43,7 @@ pub use manager::{
     CacheStats, KvCacheManager, KvError, ReloadQuote, ReloadTier, RequestKv, RetentionPolicy,
     TierHits, NET_SPILL_MIN_USES,
 };
-pub use netpool::NetKvPool;
+pub use netpool::{NetKvPool, NetReload};
 pub use offload::{CpuEviction, CpuKvPool, OffloadStats};
 pub use probe::ProbeCache;
-pub use snapshot::PrefixProbe;
+pub use snapshot::{PrefixProbe, PrefixProbeCache};

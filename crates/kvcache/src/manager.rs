@@ -175,6 +175,9 @@ pub struct RequestKv {
     cached_tokens: u64,
     reloaded_bytes: u64,
     net_reloaded_bytes: u64,
+    /// Net-reloaded blocks that were only visible thanks to mid-window propagation
+    /// (see [`crate::NetKvPool::reload_prefix_accounted`]).
+    net_propagated_blocks: u64,
     total_tokens: u64,
     block_size: usize,
 }
@@ -205,6 +208,13 @@ impl RequestKv {
     /// Bytes that must cross the network link to rehydrate the net-reloaded blocks.
     pub fn net_reloaded_bytes(&self) -> u64 {
         self.net_reloaded_bytes
+    }
+
+    /// Tokens of the net-reloaded segment that were only reloadable because another
+    /// instance's spill propagated *within* the current replay window (zero unless
+    /// the cluster models a finite `net_propagation_ms`).
+    pub fn net_propagated_tokens(&self) -> u64 {
+        self.net_propagated_blocks * self.block_size as u64
     }
 
     /// Total tokens of the request.
@@ -299,6 +309,11 @@ pub struct KvCacheManager {
     /// statistics must stay cumulative; only the `net_*` and `declined_*` fields are
     /// used.
     net_stats: OffloadStats,
+    /// Bumped on every [`Self::install_net_pool`] / [`Self::take_net_pool`]: two
+    /// installed snapshots can share a content generation while holding different
+    /// entries (the cluster filters by publish time), so probe memoisation must also
+    /// key on *which* snapshot is installed.
+    net_swap_generation: u64,
     stats: CacheStats,
 }
 
@@ -321,6 +336,7 @@ impl KvCacheManager {
             cpu: None,
             net: None,
             net_stats: OffloadStats::default(),
+            net_swap_generation: 0,
             stats: CacheStats::default(),
         }
     }
@@ -394,15 +410,17 @@ impl KvCacheManager {
     }
 
     /// Installs the instance's snapshot of the cluster-shared network tier for the
-    /// next replay window (replacing any previous snapshot).
+    /// next replay window or propagation epoch (replacing any previous snapshot).
     pub fn install_net_pool(&mut self, pool: NetKvPool) {
         self.net = Some(pool);
+        self.net_swap_generation += 1;
     }
 
     /// Harvests the network-tier snapshot (with this instance's spills applied) so
     /// the cluster can merge it back into the shared pool.  The manager reverts to
     /// two-tier behaviour until the next install.
     pub fn take_net_pool(&mut self) -> Option<NetKvPool> {
+        self.net_swap_generation += 1;
         self.net.take()
     }
 
@@ -426,6 +444,14 @@ impl KvCacheManager {
     /// is valid only while all three counters are unchanged.
     pub fn net_generation(&self) -> u64 {
         self.net.as_ref().map_or(0, NetKvPool::generation)
+    }
+
+    /// Counter that changes on every network-tier snapshot install or take.  Two
+    /// probes are comparable only while *both* [`Self::net_generation`] and this
+    /// counter are unchanged: the cluster may install snapshots of the same content
+    /// generation whose visible entry sets differ (publish-time filtering).
+    pub fn net_swap_generation(&self) -> u64 {
+        self.net_swap_generation
     }
 
     /// Content generation of the CPU tier (0 when offload is disabled): changes
@@ -510,23 +536,41 @@ impl KvCacheManager {
         }
     }
 
+    /// The hashes of every block resident in the GPU prefix cache, in unspecified
+    /// order (mirrors the pools' `resident_hashes`; used to snapshot the tier into
+    /// an immutable [`PrefixProbe`](crate::PrefixProbe)).
+    pub fn resident_gpu_hashes(&self) -> impl Iterator<Item = TokenBlockHash> + '_ {
+        self.cached.keys().copied()
+    }
+
+    /// The hashes of every block resident in the CPU tier (empty when offload is
+    /// disabled), in unspecified order.
+    pub fn resident_cpu_hashes(&self) -> impl Iterator<Item = TokenBlockHash> + '_ {
+        self.cpu.iter().flat_map(CpuKvPool::resident_hashes)
+    }
+
+    /// The hashes of every block resident in the installed network-tier snapshot
+    /// (empty when none is installed), in unspecified order.
+    pub fn resident_net_hashes(&self) -> impl Iterator<Item = TokenBlockHash> + '_ {
+        self.net.iter().flat_map(NetKvPool::resident_hashes)
+    }
+
     /// Captures an immutable three-tier residency snapshot for routing-time probes
     /// (see [`PrefixProbe`](crate::PrefixProbe)): the answers of
     /// [`PrefixProbe::tier_hits`](crate::PrefixProbe::tier_hits) equal
     /// [`Self::lookup_tier_hits_from_hashes`] at capture time and stay frozen no
     /// matter what the live manager does afterwards.
+    ///
+    /// Building a probe clones every tier's resident set — O(resident blocks).
+    /// Repeated captures (per propagation epoch) should go through the incremental
+    /// [`PrefixProbeCache`](crate::PrefixProbeCache) instead, which reuses each
+    /// tier's set while that tier's generation counter proves it unchanged.
     pub fn prefix_probe(&self) -> crate::PrefixProbe {
         crate::PrefixProbe::new(
             self.block_size,
-            self.cached.keys().copied().collect(),
-            self.cpu
-                .as_ref()
-                .map(|pool| pool.resident_hashes().collect())
-                .unwrap_or_default(),
-            self.net
-                .as_ref()
-                .map(|pool| pool.resident_hashes().collect())
-                .unwrap_or_default(),
+            self.resident_gpu_hashes().collect(),
+            self.resident_cpu_hashes().collect(),
+            self.resident_net_hashes().collect(),
         )
     }
 
@@ -743,17 +787,18 @@ impl KvCacheManager {
         } else {
             0
         };
-        let net_reloaded_bytes = if net_planned > 0 {
-            let bytes = self
+        let (net_reloaded_bytes, net_propagated_blocks) = if net_planned > 0 {
+            let reload = self
                 .net
                 .as_mut()
                 .expect("a net reload plan implies a net tier")
-                .reload_prefix(net_tail, net_planned, now);
+                .reload_prefix_accounted(net_tail, net_planned, now);
             self.net_stats.net_reloaded_blocks += net_planned;
-            self.net_stats.net_reloaded_bytes += bytes;
-            bytes
+            self.net_stats.net_reloaded_bytes += reload.bytes;
+            self.net_stats.net_propagated_reload_blocks += reload.propagated_blocks;
+            (reload.bytes, reload.propagated_blocks)
         } else {
-            0
+            (0, 0)
         };
 
         // Phase 3: make room in one batch (evicting LRU cached blocks as required),
@@ -767,7 +812,7 @@ impl KvCacheManager {
         );
         let free = self.pool.free_blocks();
         if needed > free {
-            self.evict_lru_batch(needed - free);
+            self.evict_lru_batch(needed - free, now);
         }
         let reload_planned = cpu_planned + net_planned;
         let mut reloaded = Vec::with_capacity(cpu_planned as usize);
@@ -823,6 +868,7 @@ impl KvCacheManager {
             cached_tokens,
             reloaded_bytes,
             net_reloaded_bytes,
+            net_propagated_blocks,
             total_tokens,
             block_size: self.block_size,
         })
@@ -924,8 +970,10 @@ impl KvCacheManager {
     /// The cascade continues downwards: a CPU resident displaced by the spill is
     /// itself spilled into the network tier — *if* it passes the single-use filter
     /// ([`NET_SPILL_MIN_USES`]); single-use suffix blocks are discarded rather than
-    /// shared cluster-wide.
-    fn evict_lru_batch(&mut self, count: u64) -> u64 {
+    /// shared cluster-wide.  `now` is when the eviction happens — the spill instant
+    /// that starts the network tier's propagation clock; the victims' (older)
+    /// `last_used` timestamps only order the lower tiers' LRUs.
+    fn evict_lru_batch(&mut self, count: u64, now: SimTime) -> u64 {
         let mut evicted = 0u64;
         while evicted < count {
             let Some((last_used, hash)) = self.lru.pop_first() else {
@@ -939,8 +987,11 @@ impl KvCacheManager {
                 cpu.offload_with_evictions(&[hash], last_used, |victim| {
                     let Some(net) = net.as_mut() else { return };
                     if victim.uses >= NET_SPILL_MIN_USES {
-                        let (written, net_evicted) =
-                            net.offload(std::slice::from_ref(&victim.hash), victim.last_used);
+                        let (written, net_evicted) = net.offload_spilled(
+                            std::slice::from_ref(&victim.hash),
+                            victim.last_used,
+                            now,
+                        );
                         net_stats.net_offloaded_blocks += written;
                         net_stats.net_evicted_blocks += net_evicted;
                     } else {

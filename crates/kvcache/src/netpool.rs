@@ -14,10 +14,25 @@
 //! window each instance receives a clone of the shared pool; during the window it reads
 //! that snapshot (plus its own contributions) and records its spills locally; at the
 //! end the per-instance pools are merged back into the shared pool in instance-id
-//! order.  Cross-instance sharing therefore materialises *between* replay windows, not
-//! within one — modelling the propagation delay of a real network tier, and (crucially)
-//! keeping the parallel per-instance replay byte-identical to the sequential reference:
-//! no mid-run cross-thread communication exists to race on.
+//! order.  Cross-instance sharing therefore materialises at snapshot boundaries —
+//! modelling the propagation delay of a real network tier, and (crucially) keeping the
+//! parallel per-instance replay byte-identical to the sequential reference: no mid-run
+//! cross-thread communication exists to race on.
+//!
+//! # Within-window propagation (publish timestamps)
+//!
+//! Every entry carries a *publish* timestamp: the virtual time at which the spill
+//! becomes visible cluster-wide, `spill time + propagation delay`
+//! ([`NetKvPool::with_propagation_delay`]).  A cluster configured with a finite
+//! `net_propagation_ms` splits each replay window into propagation *epochs* and
+//! installs [`NetKvPool::visible_snapshot`]s — the shared pool filtered to entries
+//! already published at epoch start — so a spill surfaces on other instances at the
+//! first epoch boundary past its publish time instead of waiting for the window's
+//! end.  Entries published after the window started are additionally flagged, so
+//! reloads that were only possible because of mid-window propagation can be
+//! accounted separately ([`NetKvPool::reload_prefix_accounted`]).  With a zero delay
+//! (the default) the timestamps are inert and sharing happens exactly at window
+//! boundaries, as before.
 //!
 //! Unlike [`CpuKvPool`](crate::CpuKvPool), the pool keeps no statistics of its own:
 //! it is swapped in and out of managers every window, so the owning
@@ -26,9 +41,52 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 
 use crate::hash::TokenBlockHash;
+
+/// One resident block of the network tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NetEntry {
+    /// Recency, drives LRU eviction.
+    last_used: SimTime,
+    /// When the block becomes visible cluster-wide (`spill time + propagation
+    /// delay`); a merge keeps the *earliest* publication of duplicate content.
+    published: SimTime,
+    /// Bitmask of the instances that spilled the content this window (bit `i` for
+    /// instance `i`, instances ≥ 63 sharing the top bit — see [`origin_bit`]; 0 for
+    /// settled pre-window contents and warm seeds).  Merges take the union, so
+    /// *every* spiller keeps sight of its own write no matter whose publication is
+    /// kept.
+    origins: u64,
+    /// Whether this entry reached the holding pool through mid-window propagation
+    /// from *another* instance (set only by [`NetKvPool::visible_snapshot`];
+    /// reloads of flagged entries are accounted as propagated reloads — an
+    /// instance re-reading its own same-window spill is not propagation, because
+    /// the window-boundary model serves that reload too).
+    propagated: bool,
+}
+
+/// The [`NetEntry::origins`] bit of one instance (0 for the shared pool itself).
+/// Instances from 63 upwards share the top bit: within that bucket spills are
+/// mutually visible without delay and their reloads are treated as own-spill reads
+/// — i.e. *not* counted as propagation wins — so the bucketing can only
+/// under-state, never inflate, the within-window propagation accounting.
+fn origin_bit(owner: Option<usize>) -> u64 {
+    match owner {
+        Some(id) => 1 << id.min(63),
+        None => 0,
+    }
+}
+
+/// Byte and block accounting of one [`NetKvPool::reload_prefix_accounted`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetReload {
+    /// Bytes that must cross the network link.
+    pub bytes: u64,
+    /// Reloaded blocks that were only present thanks to mid-window propagation.
+    pub propagated_blocks: u64,
+}
 
 /// A capacity-bounded, cluster-shared pool of KV blocks behind the network link.
 ///
@@ -52,12 +110,18 @@ use crate::hash::TokenBlockHash;
 pub struct NetKvPool {
     block_bytes: u64,
     capacity_blocks: u64,
-    entries: HashMap<TokenBlockHash, SimTime>,
+    entries: HashMap<TokenBlockHash, NetEntry>,
     /// Eviction order: `(last_used, hash)` for every entry, oldest first.
     lru: BTreeSet<(SimTime, TokenBlockHash)>,
     /// Bumped whenever an entry is inserted or removed (recency refreshes do not
     /// count), so probe memoisation can extend to the network tier.
     generation: u64,
+    /// How long after a spill its content becomes visible cluster-wide (applied to
+    /// the publish timestamp at [`Self::offload`] time; zero = immediate).
+    propagation_delay: SimDuration,
+    /// The instance this pool is an installed snapshot of (`None` for the shared
+    /// pool itself); stamps the origin of every spill recorded into the snapshot.
+    owner: Option<usize>,
 }
 
 impl NetKvPool {
@@ -75,7 +139,21 @@ impl NetKvPool {
             entries: HashMap::new(),
             lru: BTreeSet::new(),
             generation: 0,
+            propagation_delay: SimDuration::ZERO,
+            owner: None,
         }
+    }
+
+    /// Sets the cluster-wide propagation delay applied to every future spill's
+    /// publish timestamp (see the module docs).
+    pub fn with_propagation_delay(mut self, delay: SimDuration) -> NetKvPool {
+        self.propagation_delay = delay;
+        self
+    }
+
+    /// The configured propagation delay.
+    pub fn propagation_delay(&self) -> SimDuration {
+        self.propagation_delay
     }
 
     /// Bytes of KV held per block.
@@ -106,47 +184,100 @@ impl NetKvPool {
     }
 
     /// Refreshes an entry's recency, never moving it backwards (a spill of a stale
-    /// duplicate must not demote an entry a recent reload marked hot).
-    fn touch(&mut self, hash: TokenBlockHash, now: SimTime) {
+    /// duplicate must not demote an entry a recent reload marked hot).  A duplicate
+    /// spill also keeps the *earliest* publication — content already on its way to
+    /// the cluster does not restart its propagation clock — while the spiller joins
+    /// the entry's origin set either way.
+    fn touch(&mut self, hash: TokenBlockHash, now: SimTime, publication: Option<(SimTime, u64)>) {
         if let Some(entry) = self.entries.get_mut(&hash) {
-            let previous = *entry;
+            if let Some((published, origins)) = publication {
+                entry.published = entry.published.min(published);
+                entry.origins |= origins;
+            }
+            let previous = entry.last_used;
             if previous < now {
                 self.lru.remove(&(previous, hash));
-                *entry = now;
+                entry.last_used = now;
                 self.lru.insert((now, hash));
             }
         }
     }
 
     /// Admits the given block-hash chain into the pool, evicting the
-    /// least-recently-used entries if it is full.
+    /// least-recently-used entries if it is full.  New entries publish at
+    /// `now + propagation_delay`.
     ///
     /// Returns `(written, evicted)`: how many blocks were actually inserted (existing
     /// entries are refreshed, not duplicated) and how many residents were displaced.
     pub fn offload(&mut self, hashes: &[TokenBlockHash], now: SimTime) -> (u64, u64) {
+        self.offload_spilled(hashes, now, now)
+    }
+
+    /// Like [`Self::offload`], but separating the entries' LRU recency
+    /// (`last_used`, carried down the tier hierarchy so the net tier's eviction
+    /// order extends the CPU tier's) from the virtual time the spill actually
+    /// happens (`spilled_at`, which starts the propagation clock).  The eviction
+    /// cascade spills *cold* blocks — anchoring publication to their stale recency
+    /// would publish them in the past and bypass the configured delay.
+    pub fn offload_spilled(
+        &mut self,
+        hashes: &[TokenBlockHash],
+        last_used: SimTime,
+        spilled_at: SimTime,
+    ) -> (u64, u64) {
         let mut written = 0;
         let mut evicted = 0;
+        let published = spilled_at + self.propagation_delay;
         for hash in hashes {
             if self.capacity_blocks == 0 {
                 break;
             }
-            if self.entries.contains_key(hash) {
-                self.touch(*hash, now);
+            if let Some(entry) = self.entries.get_mut(hash) {
+                // The holder has now spilled this content itself: from here on the
+                // window-boundary model would keep it readable in the holder's own
+                // snapshot too, so later reloads are no longer propagation wins.
+                entry.propagated = false;
+                self.touch(*hash, last_used, Some((published, origin_bit(self.owner))));
                 continue;
             }
-            if self.resident_blocks() >= self.capacity_blocks {
-                if let Some((_, victim)) = self.lru.pop_first() {
-                    self.entries.remove(&victim);
-                    self.generation += 1;
-                    evicted += 1;
-                }
-            }
-            self.entries.insert(*hash, now);
-            self.lru.insert((now, *hash));
-            self.generation += 1;
+            evicted += self.insert_entry(*hash, last_used, published, origin_bit(self.owner));
             written += 1;
         }
         (written, evicted)
+    }
+
+    /// Inserts a new entry (the hash must not be resident), evicting the LRU victim
+    /// first if the pool is full — the one place the eviction/insert/generation
+    /// discipline lives, shared by [`Self::offload_spilled`] and
+    /// [`Self::merge_from`].  Returns how many residents were displaced (0 or 1).
+    fn insert_entry(
+        &mut self,
+        hash: TokenBlockHash,
+        last_used: SimTime,
+        published: SimTime,
+        origins: u64,
+    ) -> u64 {
+        debug_assert!(self.capacity_blocks > 0 && !self.entries.contains_key(&hash));
+        let mut evicted = 0;
+        if self.resident_blocks() >= self.capacity_blocks {
+            if let Some((_, victim)) = self.lru.pop_first() {
+                self.entries.remove(&victim);
+                self.generation += 1;
+                evicted += 1;
+            }
+        }
+        self.entries.insert(
+            hash,
+            NetEntry {
+                last_used,
+                published,
+                origins,
+                propagated: false,
+            },
+        );
+        self.lru.insert((last_used, hash));
+        self.generation += 1;
+        evicted
     }
 
     /// The hashes of every resident block, in unspecified order (used to snapshot
@@ -173,38 +304,119 @@ impl NetKvPool {
     /// recency) and returns the bytes that must cross the network link.  The remote
     /// copy is retained — a reload is a copy, not a move.
     pub fn reload_prefix(&mut self, hashes: &[TokenBlockHash], blocks: u64, now: SimTime) -> u64 {
-        let blocks = blocks.min(hashes.len() as u64);
-        let mut bytes = 0;
-        for hash in &hashes[..blocks as usize] {
-            if self.entries.contains_key(hash) {
-                self.touch(*hash, now);
-                bytes += self.block_bytes;
-            }
-        }
-        bytes
+        self.reload_prefix_accounted(hashes, blocks, now).bytes
     }
 
-    /// Merges another pool's contents into this one (the end-of-window merge of the
-    /// per-instance snapshots back into the cluster-shared pool).
+    /// Like [`Self::reload_prefix`], but also counting how many of the reloaded
+    /// blocks were flagged as mid-window propagated by [`Self::visible_snapshot`] —
+    /// reloads that the window-boundary-only propagation model would have missed.
+    pub fn reload_prefix_accounted(
+        &mut self,
+        hashes: &[TokenBlockHash],
+        blocks: u64,
+        now: SimTime,
+    ) -> NetReload {
+        let blocks = blocks.min(hashes.len() as u64);
+        let mut reload = NetReload::default();
+        for hash in &hashes[..blocks as usize] {
+            if let Some(entry) = self.entries.get(hash) {
+                if entry.propagated {
+                    reload.propagated_blocks += 1;
+                }
+                self.touch(*hash, now, None);
+                reload.bytes += self.block_bytes;
+            }
+        }
+        reload
+    }
+
+    /// Merges another pool's contents into this one (the merge of the per-instance
+    /// snapshots back into the cluster-shared pool at a propagation-epoch or window
+    /// boundary).
     ///
     /// Entries are replayed oldest-first in `(last_used, hash)` order, refreshing
-    /// duplicates to the younger timestamp; capacity overflow evicts LRU as usual.
-    /// Deterministic: the outcome depends only on the two pools' contents, never on
-    /// map iteration order.  Returns how many residents the merge displaced, so the
-    /// caller can account the churn.
+    /// duplicates to the younger timestamp (and the *earlier* publication); capacity
+    /// overflow evicts LRU as usual.  Deterministic: the outcome depends only on the
+    /// two pools' contents, never on map iteration order.  Propagation flags never
+    /// survive a merge — the shared pool is the source of truth and
+    /// [`Self::visible_snapshot`] recomputes them at install time.  Returns how many
+    /// residents the merge displaced, so the caller can account the churn.
     pub fn merge_from(&mut self, other: &NetKvPool) -> u64 {
         let mut evicted = 0;
         for (last_used, hash) in &other.lru {
-            evicted += self.offload(std::slice::from_ref(hash), *last_used).1;
+            let entry = &other.entries[hash];
+            if self.entries.contains_key(hash) {
+                self.touch(*hash, *last_used, Some((entry.published, entry.origins)));
+                continue;
+            }
+            if self.capacity_blocks == 0 {
+                continue;
+            }
+            evicted += self.insert_entry(*hash, *last_used, entry.published, entry.origins);
         }
         evicted
+    }
+
+    /// Clones the pool filtered to what instance `owner` may read during the
+    /// propagation epoch starting at `visible_at`: entries already published by
+    /// then, plus `owner`'s *own* spills regardless of publish time — the
+    /// window-boundary model keeps an instance's own spills readable all window,
+    /// and a propagation delay models fabric latency to *other* nodes, not a node
+    /// forgetting its own writes.  Entries that another instance published after
+    /// virtual time zero (i.e. spilled earlier in the *same* replay window —
+    /// [`Self::settle`] zeroes everything older at window start) are flagged as
+    /// propagated, so their reloads can be accounted as wins of the within-window
+    /// propagation model; `owner`'s own spills never are.  Spills recorded into
+    /// the snapshot during the epoch carry `owner` as their origin.
+    pub fn visible_snapshot(&self, visible_at: SimTime, owner: usize) -> NetKvPool {
+        let mut snapshot = NetKvPool {
+            block_bytes: self.block_bytes,
+            capacity_blocks: self.capacity_blocks,
+            entries: HashMap::new(),
+            lru: BTreeSet::new(),
+            generation: self.generation,
+            propagation_delay: self.propagation_delay,
+            owner: Some(owner),
+        };
+        for (hash, entry) in &self.entries {
+            let own = entry.origins & origin_bit(Some(owner)) != 0;
+            if own || entry.published <= visible_at {
+                snapshot.entries.insert(
+                    *hash,
+                    NetEntry {
+                        propagated: !own && entry.published > SimTime::ZERO,
+                        ..*entry
+                    },
+                );
+                snapshot.lru.insert((entry.last_used, *hash));
+            }
+        }
+        snapshot
+    }
+
+    /// Marks every resident entry as fully published (publish timestamp zero, no
+    /// origin, no propagation flag).  The cluster calls this at the start of each
+    /// replay window: whatever was spilled in earlier windows has long since crossed
+    /// the fabric, so only *this* window's spills are subject to the propagation
+    /// delay.  (Virtual time restarts at zero with each replayed trace, so
+    /// carried-over publish timestamps from a previous window would otherwise read
+    /// as future ones.)
+    pub fn settle(&mut self) {
+        for entry in self.entries.values_mut() {
+            entry.published = SimTime::ZERO;
+            entry.origins = 0;
+            entry.propagated = false;
+        }
     }
 
     /// Debug-only structural check of the LRU index invariant.
     #[cfg(test)]
     fn assert_lru_invariant(&self) {
-        let expected: BTreeSet<(SimTime, TokenBlockHash)> =
-            self.entries.iter().map(|(h, t)| (*t, *h)).collect();
+        let expected: BTreeSet<(SimTime, TokenBlockHash)> = self
+            .entries
+            .iter()
+            .map(|(h, e)| (e.last_used, *h))
+            .collect();
         assert_eq!(expected, self.lru, "net LRU index out of sync");
     }
 }
@@ -307,5 +519,154 @@ mod tests {
     #[should_panic(expected = "block size")]
     fn zero_block_bytes_panics() {
         NetKvPool::new(1 << 20, 0);
+    }
+
+    #[test]
+    fn visible_snapshot_hides_unpublished_entries_and_flags_propagated_ones() {
+        let delay = simcore::SimDuration::from_millis(500);
+        let mut pool = NetKvPool::new(1 << 20, BLOCK_BYTES).with_propagation_delay(delay);
+        assert_eq!(pool.propagation_delay(), delay);
+        let early = hashes(0, 160);
+        let late = hashes(100_000, 160);
+        pool.offload(&early, SimTime::ZERO); // publishes at 500ms
+        pool.offload(&late, SimTime::from_millis(400)); // publishes at 900ms
+
+        // Before anything publishes, the snapshot is empty.
+        assert_eq!(
+            pool.visible_snapshot(SimTime::from_millis(100), 0)
+                .resident_blocks(),
+            0
+        );
+        // At 500ms the early chain is visible (and flagged as mid-window
+        // propagated), the late one still in flight.
+        let snap = pool.visible_snapshot(SimTime::from_millis(500), 0);
+        assert_eq!(snap.lookup_prefix_blocks(&early), 10);
+        assert_eq!(snap.lookup_prefix_blocks(&late), 0);
+        assert_eq!(
+            snap.clone()
+                .reload_prefix_accounted(&early, 10, SimTime::from_secs(1)),
+            NetReload {
+                bytes: 10 * BLOCK_BYTES,
+                propagated_blocks: 10,
+            }
+        );
+        // At 900ms both are visible.
+        let snap = pool.visible_snapshot(SimTime::from_millis(900), 0);
+        assert_eq!(snap.resident_blocks(), 20);
+
+        // Settling marks everything as published long ago: visible everywhere,
+        // never counted as propagated.
+        pool.settle();
+        let mut snap = pool.visible_snapshot(SimTime::ZERO, 0);
+        assert_eq!(snap.resident_blocks(), 20);
+        assert_eq!(
+            snap.reload_prefix_accounted(&early, 10, SimTime::from_secs(1)),
+            NetReload {
+                bytes: 10 * BLOCK_BYTES,
+                propagated_blocks: 0,
+            }
+        );
+        snap.assert_lru_invariant();
+    }
+
+    #[test]
+    fn merge_keeps_the_earliest_publication_and_drops_propagation_flags() {
+        let delay = simcore::SimDuration::from_secs(1);
+        let shared = NetKvPool::new(1 << 20, BLOCK_BYTES).with_propagation_delay(delay);
+        let chain = hashes(0, 160);
+
+        // Two instances spill the same content at different times; the merged entry
+        // must publish at the *earlier* instant regardless of merge order.
+        let mut from_zero = shared.clone();
+        from_zero.offload(&chain, SimTime::from_secs(2)); // publishes at 3s
+        let mut from_one = shared.clone();
+        from_one.offload(&chain, SimTime::from_secs(5)); // publishes at 6s
+
+        for order in [[&from_zero, &from_one], [&from_one, &from_zero]] {
+            let mut merged = shared.clone();
+            for local in order {
+                merged.merge_from(local);
+            }
+            // Published at 3s: hidden at 2.9s, visible (and propagated) at 3s.
+            assert_eq!(
+                merged
+                    .visible_snapshot(SimTime::from_millis(2_900), 0)
+                    .resident_blocks(),
+                0
+            );
+            let mut snap = merged.visible_snapshot(SimTime::from_secs(3), 0);
+            assert_eq!(snap.lookup_prefix_blocks(&chain), 10);
+            assert_eq!(
+                snap.reload_prefix_accounted(&chain, 10, SimTime::from_secs(7))
+                    .propagated_blocks,
+                10
+            );
+            // Recency follows the younger spill.
+            assert_eq!(merged.entries[&chain[0]].last_used, SimTime::from_secs(5));
+            merged.assert_lru_invariant();
+        }
+
+        // Origin honesty: an instance's *own* same-window spills are never flagged
+        // as propagated — the window-boundary model serves those reloads too.
+        let mut own = NetKvPool::new(1 << 20, BLOCK_BYTES)
+            .with_propagation_delay(delay)
+            .visible_snapshot(SimTime::ZERO, 0);
+        own.offload(&chain, SimTime::from_secs(1)); // origin = Some(0)
+        let mut shared2 = NetKvPool::new(1 << 20, BLOCK_BYTES).with_propagation_delay(delay);
+        shared2.merge_from(&own);
+        // An instance never loses sight of its *own* spills: the publish time gates
+        // other instances only.
+        assert_eq!(
+            shared2
+                .visible_snapshot(SimTime::ZERO, 0)
+                .lookup_prefix_blocks(&chain),
+            10
+        );
+        assert_eq!(
+            shared2
+                .visible_snapshot(SimTime::ZERO, 1)
+                .lookup_prefix_blocks(&chain),
+            0
+        );
+        // Visible from 2s on; not propagated for instance 0, propagated for 1.
+        let mut for_origin = shared2.visible_snapshot(SimTime::from_secs(2), 0);
+        assert_eq!(
+            for_origin
+                .reload_prefix_accounted(&chain, 10, SimTime::from_secs(3))
+                .propagated_blocks,
+            0
+        );
+        let mut for_other = shared2.visible_snapshot(SimTime::from_secs(2), 1);
+        assert_eq!(
+            for_other
+                .reload_prefix_accounted(&chain, 10, SimTime::from_secs(3))
+                .propagated_blocks,
+            10
+        );
+        // Once the holder spills the same content itself, the window-boundary model
+        // would serve later reloads from its own snapshot too — the flag clears and
+        // repeat reloads stop counting as propagation wins.
+        for_other.offload(&chain, SimTime::from_secs(4));
+        assert_eq!(
+            for_other
+                .reload_prefix_accounted(&chain, 10, SimTime::from_secs(5))
+                .propagated_blocks,
+            0
+        );
+
+        // Merging a snapshot whose entries are flagged as propagated never carries
+        // the flag into the shared pool.
+        let mut flagged = from_zero.visible_snapshot(SimTime::from_secs(3), 0);
+        assert_eq!(flagged.resident_blocks(), 10);
+        let mut fresh = NetKvPool::new(1 << 20, BLOCK_BYTES).with_propagation_delay(delay);
+        fresh.merge_from(&flagged);
+        assert!(fresh.entries.values().all(|e| !e.propagated));
+        // ... while the flagged snapshot itself still reports propagated reloads.
+        assert!(
+            flagged
+                .reload_prefix_accounted(&chain, 1, SimTime::from_secs(9))
+                .propagated_blocks
+                > 0
+        );
     }
 }

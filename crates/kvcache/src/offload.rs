@@ -46,6 +46,11 @@ pub struct OffloadStats {
     pub net_reloaded_blocks: u64,
     /// Bytes that crossed the network link to serve reloads.
     pub net_reloaded_bytes: u64,
+    /// The subset of `net_reloaded_blocks` that was only visible thanks to
+    /// mid-window propagation (`net_propagation_ms > 0`): blocks spilled by another
+    /// instance *within* the current replay window, which the window-boundary-only
+    /// sharing model would have recomputed.
+    pub net_propagated_reload_blocks: u64,
     /// Blocks the per-request reload policy chose to *recompute* instead of reload
     /// (the modelled transfer exceeded the modelled recompute saving).
     pub declined_reload_blocks: u64,
@@ -63,6 +68,7 @@ impl OffloadStats {
         self.net_evicted_blocks += other.net_evicted_blocks;
         self.net_reloaded_blocks += other.net_reloaded_blocks;
         self.net_reloaded_bytes += other.net_reloaded_bytes;
+        self.net_propagated_reload_blocks += other.net_propagated_reload_blocks;
         self.declined_reload_blocks += other.declined_reload_blocks;
     }
 }

@@ -33,6 +33,11 @@ struct ProbeEntry {
     cpu_generation: u64,
     /// `KvCacheManager::net_generation()` at the time of the walk.
     net_generation: u64,
+    /// `KvCacheManager::net_swap_generation()` at the time of the walk: the cluster
+    /// can install a differently-filtered snapshot of the *same* content generation
+    /// (publish-time visibility), so the net half is additionally keyed on which
+    /// snapshot is installed.
+    net_swap_generation: u64,
     /// Blocks of the chain that hit the GPU prefix cache at that point.
     hit_blocks: usize,
     /// Blocks after the GPU prefix that hit the CPU tier at that point.
@@ -95,11 +100,13 @@ impl ProbeCache {
         let evict_generation = kv.evict_generation();
         let cpu_generation = kv.cpu_generation();
         let net_generation = kv.net_generation();
+        let net_swap_generation = kv.net_swap_generation();
         match self.entries.get_mut(&request_id) {
             Some(entry)
                 if entry.generation == generation
                     && entry.cpu_generation == cpu_generation
-                    && entry.net_generation == net_generation =>
+                    && entry.net_generation == net_generation
+                    && entry.net_swap_generation == net_swap_generation =>
             {
                 TierHits {
                     gpu_blocks: entry.hit_blocks,
@@ -120,10 +127,14 @@ impl ProbeCache {
                     entry.cpu_hit_blocks = kv.cpu_prefix_blocks_after(hashes, hit_blocks);
                     entry.cpu_generation = cpu_generation;
                 }
-                if cpu_moved || entry.net_generation != net_generation {
+                if cpu_moved
+                    || entry.net_generation != net_generation
+                    || entry.net_swap_generation != net_swap_generation
+                {
                     entry.net_hit_blocks =
                         kv.net_prefix_blocks_after(hashes, hit_blocks + entry.cpu_hit_blocks);
                     entry.net_generation = net_generation;
+                    entry.net_swap_generation = net_swap_generation;
                 }
                 entry.hit_blocks = hit_blocks;
                 entry.generation = generation;
@@ -142,6 +153,7 @@ impl ProbeCache {
                         evict_generation,
                         cpu_generation,
                         net_generation,
+                        net_swap_generation,
                         hit_blocks: hits.gpu_blocks,
                         cpu_hit_blocks: hits.cpu_blocks,
                         net_hit_blocks: hits.net_blocks,

@@ -17,9 +17,10 @@
 //! unreachable without recomputation.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::hash::TokenBlockHash;
-use crate::manager::TierHits;
+use crate::manager::{KvCacheManager, TierHits};
 
 /// A frozen, read-only three-tier residency view of one [`KvCacheManager`]
 /// (see the module docs).
@@ -48,9 +49,12 @@ use crate::manager::TierHits;
 #[derive(Debug, Clone)]
 pub struct PrefixProbe {
     block_size: usize,
-    gpu: HashSet<TokenBlockHash>,
-    cpu: HashSet<TokenBlockHash>,
-    net: HashSet<TokenBlockHash>,
+    /// Per-tier resident sets behind `Arc`s: cloning a probe — or reusing an
+    /// unchanged tier across captures ([`PrefixProbeCache`]) — is O(1), not
+    /// O(resident blocks).
+    gpu: Arc<HashSet<TokenBlockHash>>,
+    cpu: Arc<HashSet<TokenBlockHash>>,
+    net: Arc<HashSet<TokenBlockHash>>,
 }
 
 impl PrefixProbe {
@@ -65,9 +69,9 @@ impl PrefixProbe {
     ) -> PrefixProbe {
         PrefixProbe {
             block_size,
-            gpu,
-            cpu,
-            net,
+            gpu: Arc::new(gpu),
+            cpu: Arc::new(cpu),
+            net: Arc::new(net),
         }
     }
 
@@ -106,6 +110,115 @@ impl PrefixProbe {
             }
         }
         hits
+    }
+}
+
+/// The generation counters a [`CachedTierSet`] was captured under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TierKey {
+    /// [`KvCacheManager::generation`] for the GPU tier,
+    /// [`KvCacheManager::cpu_generation`] for the CPU tier, and
+    /// [`KvCacheManager::net_generation`] for the network tier.
+    generation: u64,
+    /// [`KvCacheManager::net_swap_generation`] — always 0 for the GPU and CPU
+    /// tiers, which are never swapped out from under the manager.
+    swap: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CachedTierSet {
+    key: TierKey,
+    set: Arc<HashSet<TokenBlockHash>>,
+}
+
+/// Incrementally maintained [`PrefixProbe`] capture (copy-on-write, keyed by the
+/// tiers' generation counters — the same discipline as
+/// [`ProbeCache`](crate::ProbeCache)).
+///
+/// [`KvCacheManager::prefix_probe`] clones every tier's resident set on every call —
+/// O(resident blocks) per instance per capture, which multiplies once cache-aware
+/// routing refreshes its probes per propagation *epoch* rather than per replay
+/// window.  This cache keeps the previous capture's per-tier `Arc`s and rebuilds
+/// only the tiers whose generation counters prove their contents changed; an
+/// unchanged tier costs one `Arc` clone.
+///
+/// # Contract
+///
+/// One `PrefixProbeCache` serves **one** [`KvCacheManager`] (generation counters
+/// have no meaning across managers), exactly like
+/// [`ProbeCache`](crate::ProbeCache).  The returned probe always equals what
+/// [`KvCacheManager::prefix_probe`] would build — pinned by the
+/// `cached_probe_always_matches_a_full_rebuild` shadow-model test.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixProbeCache {
+    block_size: Option<usize>,
+    gpu: Option<CachedTierSet>,
+    cpu: Option<CachedTierSet>,
+    net: Option<CachedTierSet>,
+}
+
+impl PrefixProbeCache {
+    /// Creates an empty cache; the first capture builds every tier.
+    pub fn new() -> PrefixProbeCache {
+        PrefixProbeCache::default()
+    }
+
+    /// Captures the manager's current three-tier residency snapshot, reusing every
+    /// tier whose generation counters are unchanged since the previous capture.
+    pub fn probe(&mut self, kv: &KvCacheManager) -> PrefixProbe {
+        debug_assert!(
+            self.block_size.is_none_or(|b| b == kv.block_size()),
+            "one PrefixProbeCache serves one manager"
+        );
+        self.block_size = Some(kv.block_size());
+        let gpu = Self::tier(
+            &mut self.gpu,
+            TierKey {
+                generation: kv.generation(),
+                swap: 0,
+            },
+            || kv.resident_gpu_hashes().collect(),
+        );
+        let cpu = Self::tier(
+            &mut self.cpu,
+            TierKey {
+                generation: kv.cpu_generation(),
+                swap: 0,
+            },
+            || kv.resident_cpu_hashes().collect(),
+        );
+        let net = Self::tier(
+            &mut self.net,
+            TierKey {
+                generation: kv.net_generation(),
+                swap: kv.net_swap_generation(),
+            },
+            || kv.resident_net_hashes().collect(),
+        );
+        PrefixProbe {
+            block_size: kv.block_size(),
+            gpu,
+            cpu,
+            net,
+        }
+    }
+
+    fn tier(
+        slot: &mut Option<CachedTierSet>,
+        key: TierKey,
+        rebuild: impl FnOnce() -> HashSet<TokenBlockHash>,
+    ) -> Arc<HashSet<TokenBlockHash>> {
+        match slot {
+            Some(cached) if cached.key == key => Arc::clone(&cached.set),
+            _ => {
+                let set = Arc::new(rebuild());
+                *slot = Some(CachedTierSet {
+                    key,
+                    set: Arc::clone(&set),
+                });
+                set
+            }
+        }
     }
 }
 
@@ -182,6 +295,86 @@ mod tests {
         kv.commit(alloc, SimTime::from_secs(1));
         assert_eq!(kv.lookup_tier_hits_from_hashes(&hashes).gpu_blocks, 0);
         assert_eq!(probe.tier_hits(&hashes).gpu_blocks, 4);
+    }
+
+    /// Shadow model: under random interleavings of commits, evictions (with CPU →
+    /// net cascade) and net-snapshot swaps, the incremental [`PrefixProbeCache`]
+    /// always captures exactly what a full [`KvCacheManager::prefix_probe`] rebuild
+    /// would — per-tier resident sets and chain walks alike.
+    #[test]
+    fn cached_probe_always_matches_a_full_rebuild() {
+        use simcore::SimRng;
+
+        for seed in 0..24u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut kv = KvCacheManager::with_offload(8, BLOCK_SIZE, 4 * BLOCK_BYTES, BLOCK_BYTES);
+            kv.install_net_pool(NetKvPool::new(1 << 30, BLOCK_BYTES));
+            let mut cache = crate::PrefixProbeCache::new();
+            let chains: Vec<Vec<u32>> = (0..5u32)
+                .map(|i| tokens(i * 100_000, 16 * ((i as usize % 3) + 2)))
+                .collect();
+
+            let mut reuses = 0u32;
+            let mut previous: Option<PrefixProbe> = None;
+            for step in 0..120u64 {
+                let now = SimTime::from_millis(step);
+                let mutated = match rng.gen_range(0u32..4) {
+                    0 | 1 => {
+                        let chain = &chains[rng.gen_range(0usize..chains.len())];
+                        if let Ok(alloc) =
+                            kv.allocate(chain, now, RetentionPolicy::PrefixBestEffort)
+                        {
+                            kv.commit(alloc, now);
+                        }
+                        true
+                    }
+                    2 => {
+                        // Swap the net snapshot, sometimes for a filtered clone with
+                        // the *same* content generation but fewer visible entries —
+                        // the case the swap generation exists for.
+                        if let Some(pool) = kv.take_net_pool() {
+                            let reinstall = if rng.gen_range(0u32..2) == 0 {
+                                pool.visible_snapshot(SimTime::ZERO, 0)
+                            } else {
+                                pool
+                            };
+                            kv.install_net_pool(reinstall);
+                        }
+                        true
+                    }
+                    _ => false, // capture-only step: the reuse path must stay correct
+                };
+
+                let incremental = cache.probe(&kv);
+                let full = kv.prefix_probe();
+                assert_eq!(
+                    incremental.resident_blocks(),
+                    full.resident_blocks(),
+                    "seed {seed} step {step}"
+                );
+                if let Some(previous) = &previous {
+                    if !mutated {
+                        assert!(
+                            Arc::ptr_eq(&incremental.gpu, &previous.gpu)
+                                && Arc::ptr_eq(&incremental.cpu, &previous.cpu)
+                                && Arc::ptr_eq(&incremental.net, &previous.net),
+                            "an unchanged manager must reuse every tier set"
+                        );
+                        reuses += 1;
+                    }
+                }
+                previous = Some(incremental.clone());
+                for chain in &chains {
+                    let hashes = hash_token_blocks(chain, BLOCK_SIZE);
+                    assert_eq!(
+                        incremental.tier_hits(&hashes),
+                        full.tier_hits(&hashes),
+                        "seed {seed} step {step}"
+                    );
+                }
+            }
+            assert!(reuses > 0, "the copy-on-write path must actually be taken");
+        }
     }
 
     #[test]

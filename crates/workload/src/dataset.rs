@@ -5,7 +5,9 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use simcore::SimRng;
 
-use crate::spec::{CreditVerificationSpec, PostRecommendationSpec, WorkloadKind};
+use crate::spec::{
+    CreditVerificationSpec, PostRecommendationSpec, SharedPrefixFleetSpec, WorkloadKind,
+};
 
 /// One request before an arrival time has been assigned.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,7 +99,40 @@ impl Dataset {
         }
     }
 
-    /// Generates the dataset selected by `kind` with default Table 1 parameters.
+    /// Generates the shared-prefix fleet dataset (see
+    /// [`SharedPrefixFleetSpec`]): users `c * users_per_cohort .. (c+1) *
+    /// users_per_cohort` share cohort `c`'s prefix byte for byte, and every request
+    /// appends a private per-(user, request) suffix.
+    ///
+    /// Token content is fully deterministic — the spec alone defines the dataset —
+    /// so the interesting randomness lives entirely in the arrival process.
+    pub fn shared_prefix_fleet(spec: &SharedPrefixFleetSpec) -> Dataset {
+        let mut requests = Vec::new();
+        for cohort in 0..spec.num_cohorts {
+            // A cohort prefix is "user tokens" of a synthetic id outside the user
+            // range, so cohorts never collide with each other or with suffixes.
+            let prefix = user_tokens(1_000_000 + cohort, 0, spec.prefix_tokens);
+            for member in 0..spec.users_per_cohort {
+                let user = cohort * spec.users_per_cohort + member;
+                for round in 0..spec.requests_per_user {
+                    let mut tokens = prefix.clone();
+                    tokens.extend(user_tokens(user, round + 1, spec.suffix_tokens));
+                    requests.push(RequestTemplate {
+                        user_id: user,
+                        tokens: Arc::new(tokens),
+                        shared_prefix_tokens: spec.prefix_tokens,
+                    });
+                }
+            }
+        }
+        Dataset {
+            kind: WorkloadKind::SharedPrefixFleet,
+            requests,
+        }
+    }
+
+    /// Generates the dataset selected by `kind` with default parameters (Table 1
+    /// for the paper's two workloads).
     pub fn generate(kind: WorkloadKind, rng: &mut SimRng) -> Dataset {
         match kind {
             WorkloadKind::PostRecommendation => {
@@ -105,6 +140,9 @@ impl Dataset {
             }
             WorkloadKind::CreditVerification => {
                 Dataset::credit_verification(&CreditVerificationSpec::default(), rng)
+            }
+            WorkloadKind::SharedPrefixFleet => {
+                Dataset::shared_prefix_fleet(&SharedPrefixFleetSpec::default())
             }
         }
     }
@@ -249,6 +287,41 @@ mod tests {
             &mut SimRng::seed_from_u64(999),
         );
         assert_ne!(a.summary(), c.summary());
+    }
+
+    #[test]
+    fn shared_prefix_fleet_shares_prefixes_across_a_cohort_but_not_between_cohorts() {
+        let spec = SharedPrefixFleetSpec {
+            num_cohorts: 2,
+            users_per_cohort: 3,
+            prefix_tokens: 320,
+            suffix_tokens: 32,
+            requests_per_user: 2,
+        };
+        let ds = Dataset::shared_prefix_fleet(&spec);
+        assert_eq!(ds.kind(), WorkloadKind::SharedPrefixFleet);
+        assert_eq!(ds.len(), 2 * 3 * 2);
+        let summary = ds.summary();
+        assert_eq!(summary.num_users, 6);
+        assert_eq!(summary.min_request_tokens, 352);
+        assert_eq!(summary.max_request_tokens, 352);
+
+        let prefix_of = |user: u64| {
+            let r = ds.requests().iter().find(|r| r.user_id == user).unwrap();
+            assert_eq!(r.shared_prefix_tokens, 320);
+            r.tokens[..320].to_vec()
+        };
+        // Cohort 0 = users 0-2, cohort 1 = users 3-5: identical within, distinct
+        // between.
+        assert_eq!(prefix_of(0), prefix_of(2));
+        assert_eq!(prefix_of(3), prefix_of(5));
+        assert_ne!(prefix_of(0), prefix_of(3));
+        // Suffixes are private per (user, request).
+        let user0: Vec<_> = ds.requests().iter().filter(|r| r.user_id == 0).collect();
+        assert_ne!(user0[0].tokens[320..], user0[1].tokens[320..]);
+        // Deterministic: the spec alone defines the dataset.
+        let again = Dataset::shared_prefix_fleet(&spec);
+        assert_eq!(ds.requests()[5].tokens, again.requests()[5].tokens);
     }
 
     #[test]

@@ -25,4 +25,6 @@ pub use arrival::{
     StickySeq,
 };
 pub use dataset::{Dataset, DatasetSummary, RequestTemplate};
-pub use spec::{CreditVerificationSpec, PostRecommendationSpec, WorkloadKind};
+pub use spec::{
+    CreditVerificationSpec, PostRecommendationSpec, SharedPrefixFleetSpec, WorkloadKind,
+};

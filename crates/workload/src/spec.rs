@@ -2,13 +2,17 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Which of the two evaluated workloads to generate.
+/// Which of the evaluated workloads to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WorkloadKind {
     /// Post recommendation on a social media platform (frequent prefix reuse, WL1).
     PostRecommendation,
     /// Credit verification for a bank application (very long inputs, WL2).
     CreditVerification,
+    /// Cohorts of users sharing a long *cross-user* prefix (a system prompt or RAG
+    /// corpus): the workload that makes cluster-wide KV sharing measurable, because
+    /// sticky routing necessarily splits a cohort across instances.
+    SharedPrefixFleet,
 }
 
 impl WorkloadKind {
@@ -17,6 +21,7 @@ impl WorkloadKind {
         match self {
             WorkloadKind::PostRecommendation => "post recommendation",
             WorkloadKind::CreditVerification => "credit verification",
+            WorkloadKind::SharedPrefixFleet => "shared-prefix fleet",
         }
     }
 }
@@ -71,6 +76,44 @@ impl Default for CreditVerificationSpec {
             num_users: 60,
             history_min_tokens: 40_000,
             history_max_tokens: 60_000,
+        }
+    }
+}
+
+/// Parameters of the shared-prefix fleet workload
+/// ([`WorkloadKind::SharedPrefixFleet`]).
+///
+/// Users form cohorts that share a long prefix *across* users (the shape of a
+/// per-tenant system prompt or a shared retrieval corpus).  Under the paper's
+/// sticky user-id routing a cohort inevitably lands on several instances — each of
+/// which must obtain the cohort prefix somehow — so this is the workload on which
+/// the cluster-shared network KV tier, and in particular its *within-window*
+/// propagation model, becomes measurable: the first cohort member computes the
+/// prefix, spills it, and every later member on another instance either reloads it
+/// over the fabric or recomputes it from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharedPrefixFleetSpec {
+    /// Number of cohorts (distinct shared prefixes).
+    pub num_cohorts: u64,
+    /// Users per cohort.  With round-robin sticky routing, any value above 1 spreads
+    /// a cohort across a multi-instance deployment.
+    pub users_per_cohort: u64,
+    /// Tokens of the cross-user cohort prefix.
+    pub prefix_tokens: u64,
+    /// Tokens of each request's private suffix.
+    pub suffix_tokens: u64,
+    /// Requests per user.
+    pub requests_per_user: u64,
+}
+
+impl Default for SharedPrefixFleetSpec {
+    fn default() -> Self {
+        SharedPrefixFleetSpec {
+            num_cohorts: 2,
+            users_per_cohort: 4,
+            prefix_tokens: 5_000,
+            suffix_tokens: 150,
+            requests_per_user: 6,
         }
     }
 }

@@ -331,6 +331,68 @@ fn cold_instances_joining_a_warm_deployment_benefit_from_the_net_tier() {
 }
 
 #[test]
+fn within_window_propagation_beats_window_boundary_sharing_on_a_single_window_trace() {
+    // The propagation tentpole, end to end: a *long single-window* trace over the
+    // shared-prefix fleet workload (cohorts of users sharing a 5k-token cross-user
+    // prefix).  Sticky routing splits each cohort across both instances, so one
+    // instance computes a cohort prefix that the other instance's members will need
+    // — but under window-boundary-only sharing (`net_propagation_ms = 0`) a single
+    // `run` call never lets those spills cross instances, and the second instance
+    // recomputes the prefix from scratch.  With a finite propagation delay the
+    // spills surface at epoch boundaries mid-window: the late cohort members reload
+    // the prefix over the fabric instead, and mean JCT drops strictly — with the
+    // replay byte-identical across the parallel and sequential paths, and the
+    // accounting attributing the reloads to mid-window propagation.
+    // The scenario definition is shared with `ablation_net_kv`'s propagation sweep
+    // (see `prefillonly_bench::scenarios`): three cohorts of four users sharing a
+    // 5k-token prefix, per-request arrivals spreading 72 requests over ~24 s of
+    // virtual time — roughly a dozen 2 s propagation epochs, all inside ONE replay
+    // window — with the GPU pool and CPU tier squeezed so reused prefixes cascade
+    // GPU → CPU → network within the window.
+    let (base, arrivals) = prefillonly_bench::shared_prefix_fleet_pressure();
+    let qps = prefillonly_bench::SHARED_PREFIX_FLEET_QPS;
+
+    // Window-boundary-only propagation: one run call = one window, so the shared
+    // tier is fed but never read across instances within this trace.
+    let boundary_only = Cluster::new(&base).run(&arrivals, qps).expect("feasible");
+    assert!(
+        boundary_only.offload.net_offloaded_blocks > 0,
+        "the scenario must feed the shared tier in-window"
+    );
+    assert_eq!(boundary_only.net_propagated_tokens(), 0);
+    assert_eq!(boundary_only.offload.net_propagated_reload_blocks, 0);
+
+    // Finite propagation: spills surface cluster-wide two seconds after they
+    // happen, still inside the same window.
+    let propagating_config = base.clone().with_net_propagation_ms(2_000);
+    let propagating = Cluster::new(&propagating_config)
+        .run(&arrivals, qps)
+        .expect("feasible");
+    let sequential = Cluster::new(&propagating_config)
+        .run_sequential(&arrivals, qps)
+        .expect("feasible");
+    assert_eq!(propagating.records, sequential.records);
+    assert_eq!(propagating.offload, sequential.offload);
+    assert_eq!(propagating.cache, sequential.cache);
+
+    assert!(
+        propagating.offload.net_propagated_reload_blocks > 0,
+        "mid-window propagation must enable reloads the boundary model missed"
+    );
+    assert!(propagating.net_propagated_tokens() > 0);
+    assert!(
+        propagating.net_propagated_tokens() <= propagating.net_reloaded_tokens(),
+        "propagated reloads are a subset of net reloads"
+    );
+    assert!(
+        propagating.mean_latency_secs() < boundary_only.mean_latency_secs(),
+        "within-window propagation must beat window-boundary sharing: {:.4}s vs {:.4}s",
+        propagating.mean_latency_secs(),
+        boundary_only.mean_latency_secs()
+    );
+}
+
+#[test]
 fn cache_aware_routing_beats_sticky_on_a_shared_prefix_multi_user_trace() {
     // The routing-layer tentpole, end to end: six users form two cohorts that share
     // a 6,000-token prefix *across* users (cohort A: users 0-2, cohort B: users
