@@ -16,19 +16,26 @@ use serde::Serialize;
 use gpu::HardwareSetup;
 use kvcache::{KvCacheManager, ProbeCache, RetentionPolicy};
 use model::ModelPreset;
-use prefillonly::{Cluster, EngineConfig, EngineInstance, EngineKind};
+use prefillonly::{Cluster, EngineConfig, EngineInstance, EngineKind, RoutingScratch};
 use prefillonly_bench::hotpath::{calibrated_queue, cohort_cache, FullWalkProbe, MemoProbe};
 use scheduler::{JctEstimator, SchedulingPolicy, SrjfPolicy};
 use simcore::{SimRng, SimTime};
-use workload::{assign_poisson_arrivals, Dataset, PostRecommendationSpec};
+use workload::{
+    assign_poisson_arrivals, ArrivalStream, Dataset, PostRecommendationSpec, SharedPrefixFleetSpec,
+    SharedPrefixFleetStream, StreamedArrival,
+};
 
 const BLOCK_SIZE: usize = prefillonly_bench::hotpath::BLOCK_SIZE;
 
 /// In `--smoke` mode every measurement runs with this many samples.
 const SMOKE_SAMPLES: usize = 3;
 
+fn smoke() -> bool {
+    std::env::args().any(|arg| arg == "--smoke")
+}
+
 fn samples(full: usize) -> usize {
-    if std::env::args().any(|arg| arg == "--smoke") {
+    if smoke() {
         SMOKE_SAMPLES
     } else {
         full
@@ -356,6 +363,175 @@ fn cluster_baselines(out: &mut Vec<BaselinePoint>) {
     );
 }
 
+/// A 64-instance deployment on L4s, the fleet depth of the streaming-scale
+/// benchmarks.
+fn fleet_config(routing: prefillonly::RoutingPolicyKind, max_input_length: u64) -> EngineConfig {
+    let mut hardware = HardwareSetup::l4_pair();
+    hardware.num_gpus = 64;
+    EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        hardware,
+        EngineKind::prefillonly_default(),
+        max_input_length,
+    )
+    .with_routing(routing)
+}
+
+/// The streaming scale proof: a million-request shared-prefix trace replayed
+/// through [`Cluster::run_stream`] on 64 instances, with O(chunk) arrival memory.
+/// `--smoke` shrinks the trace to 20k requests so CI proves the path stays
+/// runnable without paying the full measurement.
+fn streaming_replay_baselines(out: &mut Vec<BaselinePoint>) {
+    let (num_cohorts, label) = if smoke() {
+        (50, "serving/cluster_replay_1m_requests_smoke_20k")
+    } else {
+        (2_500, "serving/cluster_replay_1m_requests")
+    };
+    let spec = SharedPrefixFleetSpec {
+        num_cohorts,
+        users_per_cohort: 8,
+        prefix_tokens: 512,
+        suffix_tokens: 128,
+        requests_per_user: 50,
+    };
+    let total = num_cohorts * 8 * 50;
+    let qps = 400.0;
+    let config = fleet_config(prefillonly::RoutingPolicyKind::StickyUser, 640);
+    measure(
+        out,
+        &format!("{label}/parallel"),
+        samples(3),
+        || {
+            (
+                Cluster::new(&config),
+                SharedPrefixFleetStream::new(spec, qps, 42),
+            )
+        },
+        |(mut cluster, mut stream)| {
+            let report = cluster.run_stream(&mut stream, qps).expect("feasible");
+            assert_eq!(report.records.len() as u64, total);
+            std::hint::black_box(report.records.len());
+            cluster
+        },
+    );
+    measure(
+        out,
+        &format!("{label}/sequential"),
+        samples(3),
+        || {
+            (
+                Cluster::new(&config),
+                SharedPrefixFleetStream::new(spec, qps, 42),
+            )
+        },
+        |(mut cluster, mut stream)| {
+            let report = cluster
+                .run_stream_sequential(&mut stream, qps)
+                .expect("feasible");
+            assert_eq!(report.records.len() as u64, total);
+            std::hint::black_box(report.records.len());
+            cluster
+        },
+    );
+}
+
+/// Routing-pass cost at fleet depth: one epoch batch of 4096 arrivals routed
+/// against 64 instances via [`Cluster::route_preview`], reported per arrival.
+/// The sticky entry exercises the stamped arithmetic fast path; the cache-aware
+/// entry pays per-arrival block hashing plus the 64-instance prefix probe.
+fn routing_pass_baselines(out: &mut Vec<BaselinePoint>) {
+    let spec = SharedPrefixFleetSpec {
+        num_cohorts: 64,
+        users_per_cohort: 8,
+        prefix_tokens: 512,
+        suffix_tokens: 128,
+        requests_per_user: 8,
+    };
+    let batch: Vec<StreamedArrival> = {
+        let mut stream = SharedPrefixFleetStream::new(spec, 400.0, 7);
+        (0..4_096)
+            .map(|_| stream.next_arrival().expect("4096 <= total"))
+            .collect()
+    };
+    for (name, routing) in [
+        (
+            "serving/routing_pass/sticky_stamped_64i_per_arrival",
+            prefillonly::RoutingPolicyKind::StickyUser,
+        ),
+        (
+            "serving/routing_pass/cache_aware_64i_per_arrival",
+            prefillonly::RoutingPolicyKind::CacheAware,
+        ),
+    ] {
+        let config = fleet_config(routing, 640);
+        let mut scoped = Vec::new();
+        // A fresh cluster per sample: route_preview advances router state, and the
+        // sticky fast path must see the batch's stamps as a fresh history.
+        measure(
+            &mut scoped,
+            name,
+            samples(9),
+            || (Cluster::new(&config), RoutingScratch::new()),
+            |(mut cluster, mut scratch)| {
+                cluster.route_preview(&batch, &mut scratch);
+                std::hint::black_box(scratch.decisions().len());
+                (cluster, scratch)
+            },
+        );
+        // Report the per-arrival figure the ROADMAP tracks, not the batch total.
+        for mut point in scoped {
+            point.median_ns /= batch.len() as f64;
+            println!(
+                "{:<55} median {:>12.1} ns (per arrival)",
+                point.name, point.median_ns
+            );
+            out.push(point);
+        }
+    }
+}
+
+/// Epoch-barrier overhead at fleet depth: a *sparse* trace (every epoch nearly
+/// empty) over a 64-instance deployment with the shared tier and a short
+/// propagation delay, so the replay cost is dominated by the per-epoch
+/// install/route/barrier/merge machinery.  The adaptive entry lets near-idle
+/// epochs stretch towards `max_ms`, cutting the barrier count.
+fn epoch_barrier_baselines(out: &mut Vec<BaselinePoint>) {
+    let num_cohorts = if smoke() { 4 } else { 16 };
+    let spec = SharedPrefixFleetSpec {
+        num_cohorts,
+        users_per_cohort: 4,
+        prefix_tokens: 256,
+        suffix_tokens: 64,
+        requests_per_user: 8,
+    };
+    let qps = 10.0; // ~2.5 arrivals per 250 ms epoch: barrier-dominated
+    let base = fleet_config(prefillonly::RoutingPolicyKind::StickyUser, 320)
+        .with_net_kv(64 << 30)
+        .with_net_propagation_ms(250);
+    let adaptive = base.clone().with_adaptive_epochs(64, 250, 8_000);
+    for (name, config) in [
+        ("serving/epoch_barriers_64_instances/fixed", base),
+        ("serving/epoch_barriers_64_instances/adaptive", adaptive),
+    ] {
+        measure(
+            out,
+            name,
+            samples(5),
+            || {
+                (
+                    Cluster::new(&config),
+                    SharedPrefixFleetStream::new(spec, qps, 11),
+                )
+            },
+            |(mut cluster, mut stream)| {
+                let report = cluster.run_stream(&mut stream, qps).expect("feasible");
+                std::hint::black_box(report.records.len());
+                cluster
+            },
+        );
+    }
+}
+
 fn workspace_root() -> PathBuf {
     std::env::var("CARGO_MANIFEST_DIR")
         .map(|dir| {
@@ -376,6 +552,9 @@ fn main() {
     net_reload_baselines(&mut results);
     instance_profile_baselines(&mut results);
     cluster_baselines(&mut results);
+    routing_pass_baselines(&mut results);
+    epoch_barrier_baselines(&mut results);
+    streaming_replay_baselines(&mut results);
 
     let baseline = Baseline {
         description: "Median wall-clock timings of the simulator's hot paths; \

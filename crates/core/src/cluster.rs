@@ -52,6 +52,28 @@
 //! instances, exactly as within a delay-zero window.  `net_propagation_ms = 0` keeps
 //! the historical single-pass window byte for byte (pinned by regression test).
 //!
+//! # Streaming replay
+//!
+//! [`Cluster::run_stream`] replays an [`ArrivalStream`] — a generator of
+//! event-time-ordered, stamped arrivals — without ever materialising the trace:
+//! arrivals are pulled lazily, buffered one epoch at a time, routed per epoch
+//! (reusing one [`RoutingScratch`] across epochs, so steady-state routing
+//! allocates nothing), and simulated strictly to the epoch boundary.  Peak
+//! arrival memory is O(largest epoch), which is what lets a million-request
+//! trace replay in a few hundred megabytes instead of tens of gigabytes.
+//!
+//! Epoch boundaries come from an adaptive clock ([`EpochLengthPolicy`]): the
+//! next epoch's length is a pure function of the configuration and the arrival
+//! counts of *completed* epochs — shorter under burst, longer when idle — so
+//! parallel and sequential replay (and any rerun) cut the stream identically and
+//! the byte-identity guarantee carries over unchanged.  Deployments with
+//! propagation epochs replay byte-identically to [`Cluster::run`] on the
+//! materialised trace; without the shared tier the chunk cadence is a
+//! routing-snapshot cadence only (state-dependent policies see refreshed loads
+//! per chunk, which whole-window replay by design does not), and the tier
+//! snapshots are installed once up front and merged once at the end, exactly as
+//! a single window.
+//!
 //! Why the per-instance loops are sound: within one instance, the global loop pops
 //! that instance's events in `(time, push order)` — and the per-instance loop pushes
 //! the same events in the same relative order, because an instance's pushes happen
@@ -63,15 +85,28 @@ use std::sync::Arc;
 
 use simcore::{EventQueue, SimDuration, SimTime};
 
-use kvcache::{hash_token_blocks, CacheStats, NetKvPool, OffloadStats};
-use workload::ArrivalPattern;
+use kvcache::{hash_token_blocks, CacheStats, NetKvPool, OffloadStats, PrefixProbe};
+use workload::{ArrivalPattern, ArrivalStream, SliceArrivalStream, SortedTrace, StreamedArrival};
 
 use crate::baselines::engine_display_name;
-use crate::config::{ConfigError, EngineConfig};
+use crate::config::{ConfigError, EngineConfig, EpochLengthPolicy};
 use crate::instance::{EngineInstance, InstanceProfile};
 use crate::report::{RequestRecord, RunReport};
 use crate::request::PrefillRequest;
-use crate::routing::{RouteQuery, RouterSnapshot, RoutingDecision, RoutingPolicy, RoutingReason};
+use crate::routing::{
+    InstanceLoad, RouteQuery, RouterSnapshot, RoutingDecision, RoutingPolicy, RoutingReason,
+};
+
+/// Base chunk length of a streamed replay without propagation epochs (the clock
+/// adapts from here towards the arrival target).
+const STREAM_CHUNK_BASE_MS: u64 = 1_000;
+/// Arrivals per chunk the tierless streaming clock self-paces towards: large
+/// enough to amortise the per-chunk routing snapshot, small enough that the
+/// arrival buffer stays a sliver of a million-request trace.
+const STREAM_CHUNK_TARGET_ARRIVALS: u64 = 4_096;
+/// Ceiling on a tierless streaming chunk, so a long idle gap cannot grow the
+/// chunk (and hence the arrival buffer) without bound.
+const STREAM_CHUNK_MAX_MS: u64 = 60_000;
 
 /// Why a workload could not be replayed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +140,8 @@ impl std::error::Error for RunError {}
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    /// The request at this index of the trace reaches the router.
+    /// The request at this index (into the window's trace, or the current epoch's
+    /// batch on the streaming path) reaches the router.
     Arrival(usize),
     /// An instance may be able to admit another request.
     Admit(usize),
@@ -143,16 +179,107 @@ impl RoutedWindow {
     }
 }
 
-/// One routed arrival of an instance's replay partition.
-struct PartitionEntry<'a> {
-    /// Trace-wide request id (the arrival's trace index).
+/// One routed arrival of an instance's replay partition.  Owns what simulation
+/// needs (token ownership is an `Arc` bump, not a copy), so the streaming path
+/// can refill partitions per epoch without borrowing from an epoch-lived buffer.
+struct PartitionEntry {
+    /// Stream-wide request id (the arrival's trace index on the slice path).
     request_id: u64,
     /// Why routing placed it on this instance.
     reason: RoutingReason,
     /// The routing pass's hash chain, if it computed one (reused at enqueue).
     hashes: Option<Arc<Vec<kvcache::TokenBlockHash>>>,
-    /// The arrival itself.
-    arrival: &'a ArrivalPattern,
+    /// The user the request belongs to.
+    user_id: u64,
+    /// The request's input tokens.
+    tokens: Arc<Vec<u32>>,
+    /// When the request arrives.
+    arrival: SimTime,
+}
+
+/// Reusable buffers of a routing pass.  Epoch-driven replay routes thousands of
+/// passes per window; this keeps every per-pass allocation — the decision and
+/// hash-chain slots, and the [`RouterSnapshot`]'s load/probe vectors, recovered
+/// via [`RouterSnapshot::into_buffers`] after each pass — alive across epochs.
+///
+/// Public so routing benchmarks can measure a pass without re-paying the
+/// allocations ([`Cluster::route_preview`]); replay entry points manage their
+/// own scratch internally.
+#[derive(Debug, Default)]
+pub struct RoutingScratch {
+    decisions: Vec<RoutingDecision>,
+    hashes: Vec<Option<Arc<Vec<kvcache::TokenBlockHash>>>>,
+    loads: Vec<InstanceLoad>,
+    probes: Vec<PrefixProbe>,
+}
+
+impl RoutingScratch {
+    /// Fresh, empty scratch (buffers grow to the largest epoch routed and stay).
+    pub fn new() -> RoutingScratch {
+        RoutingScratch::default()
+    }
+
+    /// The decisions of the most recent routing pass, one per batch position.
+    pub fn decisions(&self) -> &[RoutingDecision] {
+        &self.decisions
+    }
+
+    /// Takes the routing-time hash chain of one batch position, if any.
+    fn take_hashes(&mut self, pos: usize) -> Option<Arc<Vec<kvcache::TokenBlockHash>>> {
+        self.hashes.get_mut(pos).and_then(Option::take)
+    }
+}
+
+/// Deterministic generator of propagation-epoch boundaries (see
+/// [`EpochLengthPolicy`]): the next boundary is a pure function of the
+/// configuration and the arrival counts of completed epochs, so parallel and
+/// sequential replay — and any number of reruns — cut the window identically.
+#[derive(Debug)]
+struct EpochClock {
+    policy: EpochLengthPolicy,
+    len_ms: u64,
+    boundary: SimTime,
+}
+
+impl EpochClock {
+    fn new(base_ms: u64, policy: EpochLengthPolicy) -> EpochClock {
+        debug_assert!(base_ms > 0, "epoch clocks need a finite base length");
+        let len_ms = match policy {
+            EpochLengthPolicy::Fixed => base_ms,
+            EpochLengthPolicy::Adaptive { min_ms, max_ms, .. } => base_ms.clamp(min_ms, max_ms),
+        };
+        EpochClock {
+            policy,
+            len_ms,
+            boundary: SimTime::ZERO + SimDuration::from_millis(len_ms),
+        }
+    }
+
+    /// End of the current epoch (exclusive: the epoch covers arrivals strictly
+    /// before it).
+    fn boundary(&self) -> SimTime {
+        self.boundary
+    }
+
+    /// Closes the current epoch, adapting the next epoch's length to the closed
+    /// epoch's arrival count: halve under burst (more than twice the target),
+    /// double when near-idle (less than half the target), clamped to the
+    /// configured bounds.  [`EpochLengthPolicy::Fixed`] never adapts.
+    fn advance(&mut self, arrivals_in_epoch: u64) {
+        if let EpochLengthPolicy::Adaptive {
+            target_arrivals,
+            min_ms,
+            max_ms,
+        } = self.policy
+        {
+            if arrivals_in_epoch > target_arrivals.saturating_mul(2) {
+                self.len_ms = (self.len_ms / 2).max(min_ms);
+            } else if arrivals_in_epoch.saturating_mul(2) < target_arrivals {
+                self.len_ms = self.len_ms.saturating_mul(2).min(max_ms);
+            }
+        }
+        self.boundary += SimDuration::from_millis(self.len_ms);
+    }
 }
 
 /// A deployment of one engine kind on one hardware setup.
@@ -303,61 +430,9 @@ impl Cluster {
         arrivals: &[ArrivalPattern],
         offered_qps: f64,
     ) -> Result<RunReport, RunError> {
-        self.check_feasible(arrivals)?;
-        if self.uses_propagation_epochs() {
-            return Ok(self.run_epochs(arrivals, offered_qps, true));
-        }
-        self.install_net_snapshots();
-
-        // Route every arrival up front against the window-start snapshot (see the
-        // module docs) in `(arrival time, index)` order — exactly the order the
-        // sequential event loop pops arrival events.  Each instance's partition
-        // holds `(global request id, reason, routing-time hashes, arrival)` entries,
-        // each sorted by `(arrival time, id)`.
-        let mut routed = self.route_window(arrivals);
-        let mut partitions: Vec<Vec<PartitionEntry<'_>>> =
-            (0..self.instances.len()).map(|_| Vec::new()).collect();
-        let order = routed.order.take();
-        let mut push = |idx: usize| {
-            let decision = routed.decisions[idx];
-            partitions[decision.instance].push(PartitionEntry {
-                request_id: idx as u64,
-                reason: decision.reason,
-                hashes: routed.take_hashes(idx),
-                arrival: &arrivals[idx],
-            });
-        };
-        match &order {
-            None => (0..arrivals.len()).for_each(&mut push),
-            Some(order) => order.iter().copied().for_each(&mut push),
-        }
-
-        let mut per_instance: Vec<Vec<RequestRecord>> = Vec::with_capacity(self.instances.len());
-        if self.instances.len() == 1 {
-            per_instance.push(Self::simulate_instance(
-                &mut self.instances[0],
-                &partitions[0],
-            ));
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .instances
-                    .iter_mut()
-                    .zip(&partitions)
-                    .map(|(instance, partition)| {
-                        scope.spawn(move || Self::simulate_instance(instance, partition))
-                    })
-                    .collect();
-                per_instance = handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("instance simulation panicked"))
-                    .collect();
-            });
-        }
-
-        let records: Vec<RequestRecord> = per_instance.into_iter().flatten().collect();
-        self.merge_net_snapshots();
-        Ok(self.finish_report(records, offered_qps))
+        let (max_request_tokens, sorted) = Self::scan_trace(arrivals);
+        self.ensure_feasible(max_request_tokens)?;
+        Ok(self.run_vec(arrivals, sorted, offered_qps, true))
     }
 
     /// The single-threaded reference implementation of [`Self::run`]: one global event
@@ -369,35 +444,519 @@ impl Cluster {
         arrivals: &[ArrivalPattern],
         offered_qps: f64,
     ) -> Result<RunReport, RunError> {
-        self.check_feasible(arrivals)?;
+        let (max_request_tokens, sorted) = Self::scan_trace(arrivals);
+        self.ensure_feasible(max_request_tokens)?;
+        Ok(self.run_vec(arrivals, sorted, offered_qps, false))
+    }
+
+    /// [`Self::run`] over a [`SortedTrace`]: the trace carries its sortedness and
+    /// maximum request length as construction-time properties, so replay starts
+    /// with **zero** O(n) pre-work — no sortedness re-scan, no max-tokens pass.
+    pub fn run_sorted(
+        &mut self,
+        trace: &SortedTrace,
+        offered_qps: f64,
+    ) -> Result<RunReport, RunError> {
+        self.ensure_feasible(trace.max_request_tokens())?;
+        Ok(self.run_vec(trace.arrivals(), true, offered_qps, true))
+    }
+
+    /// The single-threaded reference flavour of [`Self::run_sorted`].
+    pub fn run_sorted_sequential(
+        &mut self,
+        trace: &SortedTrace,
+        offered_qps: f64,
+    ) -> Result<RunReport, RunError> {
+        self.ensure_feasible(trace.max_request_tokens())?;
+        Ok(self.run_vec(trace.arrivals(), true, offered_qps, false))
+    }
+
+    /// Replays an [`ArrivalStream`] without ever materialising the trace: arrivals
+    /// are pulled incrementally, buffered one epoch at a time, routed per epoch and
+    /// simulated to the epoch boundary, so peak arrival memory is O(largest epoch)
+    /// regardless of trace length — the million-request replay path (see the module
+    /// docs, "Streaming replay").
+    ///
+    /// Deployments with propagation epochs enabled replay **byte-identically** to
+    /// [`Self::run`] on the materialised trace (same boundaries, same per-epoch
+    /// routing).  Without them the stream is still chunked (routing-snapshot cadence
+    /// follows the chunks), and parallel replay stays byte-identical to
+    /// [`Self::run_stream_sequential`] under every policy.
+    ///
+    /// # Errors
+    ///
+    /// Feasibility is checked as arrivals surface (a stream cannot be pre-scanned):
+    /// an oversized request aborts the replay mid-run with
+    /// [`RunError::WorkloadInfeasible`], with earlier epochs already simulated and
+    /// cluster state (caches, router pins, shared tier) advanced.  Callers that need
+    /// all-or-nothing semantics should validate the generator's maximum request
+    /// length up front, as the materialised entry points do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream violates its contract by yielding arrivals out of event
+    /// order.
+    pub fn run_stream<S: ArrivalStream + ?Sized>(
+        &mut self,
+        stream: &mut S,
+        offered_qps: f64,
+    ) -> Result<RunReport, RunError> {
+        self.run_stream_core(stream, offered_qps, true)
+    }
+
+    /// The single-threaded reference flavour of [`Self::run_stream`].
+    pub fn run_stream_sequential<S: ArrivalStream + ?Sized>(
+        &mut self,
+        stream: &mut S,
+        offered_qps: f64,
+    ) -> Result<RunReport, RunError> {
+        self.run_stream_core(stream, offered_qps, false)
+    }
+
+    /// The shared materialised-trace replay: epoch-sharing deployments stream the
+    /// slice (identical boundaries and routing cadence to [`Self::run_stream`]);
+    /// everything else takes the historical single-pass window.
+    fn run_vec(
+        &mut self,
+        arrivals: &[ArrivalPattern],
+        sorted: bool,
+        offered_qps: f64,
+        parallel: bool,
+    ) -> RunReport {
         if self.uses_propagation_epochs() {
-            return Ok(self.run_epochs(arrivals, offered_qps, false));
+            let mut stream = if sorted {
+                SliceArrivalStream::from_sorted(arrivals)
+            } else {
+                SliceArrivalStream::sorting(arrivals)
+            };
+            return self
+                .run_stream_core(&mut stream, offered_qps, parallel)
+                .expect("feasibility is checked before streaming a slice");
         }
         self.install_net_snapshots();
 
-        // The identical routing pass as [`Self::run`]: decisions are a pure function
-        // of the window-start snapshot, so pre-routing here changes nothing relative
-        // to routing at event-pop time (the pass follows the same
-        // `(arrival time, index)` order the queue pops arrivals in).
-        let mut routed = self.route_window(arrivals);
+        // Route every arrival up front against the window-start snapshot (see the
+        // module docs) in `(arrival time, index)` order — exactly the order the
+        // sequential event loop pops arrival events.
+        let mut routed = self.route_window(arrivals, sorted);
 
-        let mut events: EventQueue<Event> = EventQueue::new();
-        for (idx, arrival) in arrivals.iter().enumerate() {
-            events.push(arrival.arrival, Event::Arrival(idx));
-        }
+        let records = if parallel {
+            // Each instance's partition holds owned `(request id, reason,
+            // routing-time hashes, user, tokens, arrival)` entries, sorted by
+            // `(arrival time, id)`.
+            let mut partitions: Vec<Vec<PartitionEntry>> =
+                (0..self.instances.len()).map(|_| Vec::new()).collect();
+            let order = routed.order.take();
+            let mut push = |idx: usize| {
+                let decision = routed.decisions[idx];
+                let arrival = &arrivals[idx];
+                partitions[decision.instance].push(PartitionEntry {
+                    request_id: idx as u64,
+                    reason: decision.reason,
+                    hashes: routed.take_hashes(idx),
+                    user_id: arrival.template.user_id,
+                    tokens: Arc::clone(&arrival.template.tokens),
+                    arrival: arrival.arrival,
+                });
+            };
+            match &order {
+                None => (0..arrivals.len()).for_each(&mut push),
+                Some(order) => order.iter().copied().for_each(&mut push),
+            }
 
-        let mut records: Vec<RequestRecord> = Vec::with_capacity(arrivals.len());
-        self.run_global_events_until(
-            arrivals,
-            &routed.decisions,
-            &mut routed.hashes,
-            &mut events,
-            &mut records,
-            None,
-        );
+            let mut per_instance: Vec<Vec<RequestRecord>> =
+                Vec::with_capacity(self.instances.len());
+            if self.instances.len() == 1 {
+                per_instance.push(Self::simulate_instance(
+                    &mut self.instances[0],
+                    &partitions[0],
+                ));
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .instances
+                        .iter_mut()
+                        .zip(&partitions)
+                        .map(|(instance, partition)| {
+                            scope.spawn(move || Self::simulate_instance(instance, partition))
+                        })
+                        .collect();
+                    per_instance = handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("instance simulation panicked"))
+                        .collect();
+                });
+            }
+            per_instance.into_iter().flatten().collect()
+        } else {
+            // The identical routing pass feeds one global event loop: decisions are
+            // a pure function of the window-start snapshot, so pre-routing changes
+            // nothing relative to routing at event-pop time.
+            let mut events: EventQueue<Event> = EventQueue::new();
+            for (idx, arrival) in arrivals.iter().enumerate() {
+                events.push(arrival.arrival, Event::Arrival(idx));
+            }
+            let mut records: Vec<RequestRecord> = Vec::with_capacity(arrivals.len());
+            self.run_global_events_until(
+                arrivals,
+                &routed.decisions,
+                &mut routed.hashes,
+                &mut events,
+                &mut records,
+                None,
+            );
+            records
+        };
 
         self.merge_net_snapshots();
+        self.finish_report(records, offered_qps)
+    }
+
+    /// The streaming replay loop shared by both flavours (see the module docs,
+    /// "Streaming replay"): pull one epoch of arrivals, route it, simulate strictly
+    /// to the epoch boundary, repeat.  Epoch-sharing deployments additionally
+    /// install/merge tier snapshots at every boundary; everything else installs
+    /// once up front and merges once at the end (chunk boundaries are then only a
+    /// routing-snapshot and barrier cadence).
+    fn run_stream_core<S: ArrivalStream + ?Sized>(
+        &mut self,
+        stream: &mut S,
+        offered_qps: f64,
+        parallel: bool,
+    ) -> Result<RunReport, RunError> {
+        let num_instances = self.instances.len();
+        let epoch_sharing = self.uses_propagation_epochs();
+        let mut clock = self.stream_clock();
+        if epoch_sharing {
+            // Spills of earlier windows have long since crossed the fabric: only
+            // this window's spills are subject to the propagation delay (and
+            // counted as mid-window propagated when reloaded).
+            if let Some(pool) = &mut self.net_pool {
+                pool.settle();
+            }
+        } else {
+            self.install_net_snapshots();
+        }
+
+        let mut scratch = RoutingScratch::new();
+        let mut epoch_buf: Vec<StreamedArrival> = Vec::new();
+
+        // Parallel flavour state: per-instance queues/partitions/records.
+        let mut queues: Vec<EventQueue<InstanceEvent>> =
+            (0..num_instances).map(|_| EventQueue::new()).collect();
+        let mut partitions: Vec<Vec<PartitionEntry>> =
+            (0..num_instances).map(|_| Vec::new()).collect();
+        let mut per_instance: Vec<Vec<RequestRecord>> =
+            (0..num_instances).map(|_| Vec::new()).collect();
+        // Sequential flavour state: one global queue and record list.
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut records: Vec<RequestRecord> = Vec::new();
+        if !parallel {
+            if let Some(hint) = stream.len_hint() {
+                records.reserve(hint as usize);
+            }
+        }
+
+        let max_input_length = self.max_input_length();
+        let mut lookahead = stream.next_arrival();
+        let mut last_arrival_time = SimTime::ZERO;
+        let mut epoch_start = SimTime::ZERO;
+        loop {
+            let boundary = clock.boundary();
+            epoch_buf.clear();
+            while let Some(streamed) = lookahead.take() {
+                if streamed.arrival.arrival >= boundary {
+                    lookahead = Some(streamed);
+                    break;
+                }
+                assert!(
+                    streamed.arrival.arrival >= last_arrival_time,
+                    "ArrivalStream contract violated: arrival of request {} at {} precedes {}",
+                    streamed.id,
+                    streamed.arrival.arrival,
+                    last_arrival_time
+                );
+                last_arrival_time = streamed.arrival.arrival;
+                let num_tokens = streamed.arrival.template.num_tokens();
+                if num_tokens > max_input_length {
+                    return Err(RunError::WorkloadInfeasible {
+                        max_request_tokens: num_tokens,
+                        max_input_length,
+                    });
+                }
+                epoch_buf.push(streamed);
+                lookahead = stream.next_arrival();
+            }
+            // The stream is exhausted: this is the final epoch, which drains to
+            // completion instead of pausing at the boundary (the tail of a window
+            // past its last epoch cut behaves like a delay-zero window).
+            let final_epoch = lookahead.is_none();
+            let sim_boundary = (!final_epoch).then_some(boundary);
+
+            if epoch_sharing {
+                self.install_net_snapshots_visible(epoch_start);
+            }
+            self.route_stream_epoch(&epoch_buf, &mut scratch);
+
+            if parallel {
+                // Partitions are refilled per epoch (every prior arrival event was
+                // consumed before its boundary); Complete/Admit events crossing the
+                // boundary carry no partition positions, so clearing is safe.
+                for partition in &mut partitions {
+                    partition.clear();
+                }
+                for (pos, streamed) in epoch_buf.iter().enumerate() {
+                    let decision = scratch.decisions[pos];
+                    let partition = &mut partitions[decision.instance];
+                    partition.push(PartitionEntry {
+                        request_id: streamed.id,
+                        reason: decision.reason,
+                        hashes: scratch.take_hashes(pos),
+                        user_id: streamed.arrival.template.user_id,
+                        tokens: Arc::clone(&streamed.arrival.template.tokens),
+                        arrival: streamed.arrival.arrival,
+                    });
+                    queues[decision.instance].push(
+                        streamed.arrival.arrival,
+                        InstanceEvent::Arrival(partition.len() - 1),
+                    );
+                }
+                if num_instances == 1 {
+                    Self::simulate_instance_until(
+                        &mut self.instances[0],
+                        &partitions[0],
+                        &mut queues[0],
+                        &mut per_instance[0],
+                        sim_boundary,
+                    );
+                } else {
+                    std::thread::scope(|scope| {
+                        for (((instance, partition), queue), instance_records) in self
+                            .instances
+                            .iter_mut()
+                            .zip(&partitions)
+                            .zip(&mut queues)
+                            .zip(&mut per_instance)
+                        {
+                            scope.spawn(move || {
+                                Self::simulate_instance_until(
+                                    instance,
+                                    partition,
+                                    queue,
+                                    instance_records,
+                                    sim_boundary,
+                                );
+                            });
+                        }
+                    });
+                }
+            } else {
+                for (pos, streamed) in epoch_buf.iter().enumerate() {
+                    events.push(streamed.arrival.arrival, Event::Arrival(pos));
+                }
+                self.run_stream_events_until(
+                    &epoch_buf,
+                    &mut scratch,
+                    &mut events,
+                    &mut records,
+                    sim_boundary,
+                );
+            }
+
+            if epoch_sharing {
+                self.merge_net_snapshots();
+            }
+            if final_epoch {
+                break;
+            }
+            clock.advance(epoch_buf.len() as u64);
+            epoch_start = boundary;
+        }
+        if !epoch_sharing {
+            self.merge_net_snapshots();
+        }
+        debug_assert!(queues.iter().all(EventQueue::is_empty));
+        debug_assert!(events.is_empty());
+
+        let records = if parallel {
+            per_instance.into_iter().flatten().collect()
+        } else {
+            records
+        };
         Ok(self.finish_report(records, offered_qps))
+    }
+
+    /// The epoch clock of one streamed replay: epoch-sharing deployments cut at the
+    /// configured propagation delay (adapted per [`EpochLengthPolicy`]); everything
+    /// else chunks purely for bounded arrival memory, self-pacing towards
+    /// [`STREAM_CHUNK_TARGET_ARRIVALS`] arrivals per chunk unless the configuration
+    /// asks for specific adaptive bounds.
+    fn stream_clock(&self) -> EpochClock {
+        if self.uses_propagation_epochs() {
+            return EpochClock::new(self.config.net_propagation_ms, self.config.epoch_length);
+        }
+        let policy = match self.config.epoch_length {
+            adaptive @ EpochLengthPolicy::Adaptive { .. } => adaptive,
+            EpochLengthPolicy::Fixed => EpochLengthPolicy::Adaptive {
+                target_arrivals: STREAM_CHUNK_TARGET_ARRIVALS,
+                min_ms: 1,
+                max_ms: STREAM_CHUNK_MAX_MS,
+            },
+        };
+        EpochClock::new(STREAM_CHUNK_BASE_MS, policy)
+    }
+
+    /// Routes one epoch's batch into `scratch` (a decision per batch position, plus
+    /// the hash chains computed for probing): tries the stamped arithmetic fast
+    /// path first, then falls back to the snapshot pass — reusing the scratch's
+    /// load/probe buffers so steady-state routing allocates nothing per epoch.
+    fn route_stream_epoch(&mut self, batch: &[StreamedArrival], scratch: &mut RoutingScratch) {
+        let num_instances = self.instances.len();
+        let needs_probe = self.router.needs_prefix_probe();
+        let block_size = self.config.block_size;
+        scratch.decisions.clear();
+        scratch.decisions.resize(
+            batch.len(),
+            RoutingDecision {
+                instance: 0,
+                reason: RoutingReason::Direct,
+            },
+        );
+        scratch.hashes.clear();
+        scratch
+            .hashes
+            .resize(if needs_probe { batch.len() } else { 0 }, None);
+        if batch.is_empty() {
+            return;
+        }
+        if self
+            .router
+            .route_stamped_batch(batch, num_instances, &mut scratch.decisions)
+        {
+            return;
+        }
+
+        let mut snapshot = self.capture_snapshot(
+            std::mem::take(&mut scratch.loads),
+            std::mem::take(&mut scratch.probes),
+        );
+        for (pos, streamed) in batch.iter().enumerate() {
+            let arrival = &streamed.arrival;
+            let hashes = needs_probe
+                .then(|| Arc::new(hash_token_blocks(&arrival.template.tokens, block_size)));
+            let query = RouteQuery {
+                user_id: arrival.template.user_id,
+                num_tokens: arrival.template.num_tokens(),
+                hashes: hashes.as_deref().map_or(&[], Vec::as_slice),
+            };
+            let decision = self.router.route(&query, &snapshot);
+            assert!(
+                decision.instance < num_instances,
+                "routing policy chose instance {} of {num_instances}",
+                decision.instance
+            );
+            snapshot.note_routed(decision.instance, arrival.template.num_tokens());
+            scratch.decisions[pos] = decision;
+            if let Some(hashes) = hashes {
+                scratch.hashes[pos] = Some(hashes);
+            }
+        }
+        (scratch.loads, scratch.probes) = snapshot.into_buffers();
+    }
+
+    /// Runs one routing pass over a batch without simulating it — the benchmark
+    /// hook behind the `routing_pass` µs/arrival metric.  Reuses `scratch` exactly
+    /// as replay does, so the measurement sees steady-state allocation behaviour.
+    /// Note that the router's persistent state (sticky pins, rank history) advances
+    /// with every call, exactly as it would during replay.
+    pub fn route_preview(&mut self, batch: &[StreamedArrival], scratch: &mut RoutingScratch) {
+        self.route_stream_epoch(batch, scratch);
+    }
+
+    /// Captures the [`RouterSnapshot`] of the *current* instance state, reusing the
+    /// given load/probe buffers (pass empty vectors when there is nothing to
+    /// recycle).
+    fn capture_snapshot(
+        &self,
+        mut loads: Vec<InstanceLoad>,
+        mut probes: Vec<PrefixProbe>,
+    ) -> RouterSnapshot {
+        let block_size = self.config.block_size;
+        loads.clear();
+        loads.extend(self.instances.iter().map(EngineInstance::router_load));
+        probes.clear();
+        if self.router.needs_prefix_probe() {
+            probes.extend(self.instances.iter().map(EngineInstance::prefix_probe));
+        }
+        let (cpu_hit_discount, net_hit_discount) = self
+            .instances
+            .first()
+            .map(|i| (i.cpu_hit_discount(), i.net_hit_discount()))
+            .unwrap_or((0.0, 0.0));
+        let pool_capacity_blocks = self
+            .instances
+            .first()
+            .map(|i| i.kv_pool_tokens() / block_size as u64)
+            .unwrap_or(0);
+        RouterSnapshot::new(
+            loads,
+            probes,
+            block_size,
+            pool_capacity_blocks,
+            cpu_hit_discount,
+            net_hit_discount,
+        )
+    }
+
+    /// The sequential streaming event loop of one epoch: like
+    /// [`Self::run_global_events_until`], but arrival events index the epoch's
+    /// batch (ids come from the stream) and decisions/hashes live in the scratch.
+    fn run_stream_events_until(
+        &mut self,
+        batch: &[StreamedArrival],
+        scratch: &mut RoutingScratch,
+        events: &mut EventQueue<Event>,
+        records: &mut Vec<RequestRecord>,
+        boundary: Option<SimTime>,
+    ) {
+        while let Some(at) = events.peek_time() {
+            if boundary.is_some_and(|b| at >= b) {
+                break;
+            }
+            let scheduled = events.pop().expect("peeked event");
+            let now = scheduled.at;
+            match scheduled.event {
+                Event::Arrival(pos) => {
+                    let streamed = &batch[pos];
+                    let decision = scratch.decisions[pos];
+                    let instance_idx = decision.instance;
+                    let request = PrefillRequest {
+                        id: streamed.id,
+                        user_id: streamed.arrival.template.user_id,
+                        tokens: Arc::clone(&streamed.arrival.template.tokens),
+                        allowed_outputs: Vec::new(),
+                        arrival: now,
+                        routing: decision.reason,
+                    };
+                    self.instances[instance_idx].enqueue_with_hashes(
+                        request,
+                        scratch.take_hashes(pos),
+                        now,
+                    );
+                    Self::admit(&mut self.instances[instance_idx], instance_idx, now, events);
+                }
+                Event::Admit(instance_idx) => {
+                    Self::admit(&mut self.instances[instance_idx], instance_idx, now, events);
+                }
+                Event::Complete {
+                    instance,
+                    request_id,
+                } => {
+                    records.push(self.instances[instance].complete(request_id, now));
+                    Self::admit(&mut self.instances[instance], instance, now, events);
+                }
+            }
+        }
     }
 
     /// Runs the global (all-instance) event loop strictly up to `boundary` (forever
@@ -462,9 +1021,12 @@ impl Cluster {
     /// State-independent policies can skip the pass entirely: on an arrival-sorted
     /// trace stamped with [`workload::StickySeq`], the sticky policy partitions
     /// arithmetically via [`RoutingPolicy::route_sorted_trace`].
-    fn route_window(&mut self, arrivals: &[ArrivalPattern]) -> RoutedWindow {
+    ///
+    /// `sorted` is carried in from the caller's single feasibility scan
+    /// ([`Self::scan_trace`], or the construction-time property of a
+    /// [`SortedTrace`]) — the window pass no longer re-derives it per call.
+    fn route_window(&mut self, arrivals: &[ArrivalPattern], sorted: bool) -> RoutedWindow {
         let num_instances = self.instances.len();
-        let sorted = arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival);
         if sorted {
             if let Some(decisions) = self.router.route_sorted_trace(arrivals, num_instances) {
                 debug_assert_eq!(decisions.len(), arrivals.len());
@@ -533,37 +1095,7 @@ impl Cluster {
         let num_instances = self.instances.len();
         let needs_probe = self.router.needs_prefix_probe();
         let block_size = self.config.block_size;
-        let loads = self
-            .instances
-            .iter()
-            .map(EngineInstance::router_load)
-            .collect();
-        let probes = if needs_probe {
-            self.instances
-                .iter()
-                .map(EngineInstance::prefix_probe)
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let (cpu_hit_discount, net_hit_discount) = self
-            .instances
-            .first()
-            .map(|i| (i.cpu_hit_discount(), i.net_hit_discount()))
-            .unwrap_or((0.0, 0.0));
-        let pool_capacity_blocks = self
-            .instances
-            .first()
-            .map(|i| i.kv_pool_tokens() / block_size as u64)
-            .unwrap_or(0);
-        let mut snapshot = RouterSnapshot::new(
-            loads,
-            probes,
-            block_size,
-            pool_capacity_blocks,
-            cpu_hit_discount,
-            net_hit_discount,
-        );
+        let mut snapshot = self.capture_snapshot(Vec::new(), Vec::new());
 
         for &idx in order {
             let arrival = &arrivals[idx];
@@ -595,196 +1127,6 @@ impl Cluster {
     /// ablation compares against.
     fn uses_propagation_epochs(&self) -> bool {
         self.config.net_propagation_ms > 0 && self.net_pool.is_some()
-    }
-
-    /// The propagation-epoch replay of one window (see the module docs): both the
-    /// parallel and the sequential flavour subdivide the window at the same
-    /// boundaries, route each epoch against a fresh snapshot, simulate strictly up
-    /// to the boundary, and merge the tier snapshots there — so the two flavours
-    /// stay byte-identical event for event.
-    fn run_epochs(
-        &mut self,
-        arrivals: &[ArrivalPattern],
-        offered_qps: f64,
-        parallel: bool,
-    ) -> RunReport {
-        let boundaries = self.propagation_boundaries(arrivals);
-        let epochs = Self::epoch_partition(arrivals, &boundaries);
-        // Spills of earlier windows have long since crossed the fabric: only this
-        // window's spills are subject to the propagation delay (and counted as
-        // mid-window propagated when reloaded).
-        if let Some(pool) = &mut self.net_pool {
-            pool.settle();
-        }
-
-        let (mut decisions, mut routed_hashes) = self.routing_buffers(arrivals.len());
-
-        let records = if parallel {
-            self.run_epochs_parallel(
-                arrivals,
-                &boundaries,
-                &epochs,
-                &mut decisions,
-                &mut routed_hashes,
-            )
-        } else {
-            self.run_epochs_sequential(
-                arrivals,
-                &boundaries,
-                &epochs,
-                &mut decisions,
-                &mut routed_hashes,
-            )
-        };
-        self.finish_report(records, offered_qps)
-    }
-
-    /// Per-instance event loops with an epoch-boundary barrier between them.
-    fn run_epochs_parallel(
-        &mut self,
-        arrivals: &[ArrivalPattern],
-        boundaries: &[SimTime],
-        epochs: &[Vec<usize>],
-        decisions: &mut [RoutingDecision],
-        routed_hashes: &mut [Option<Arc<Vec<kvcache::TokenBlockHash>>>],
-    ) -> Vec<RequestRecord> {
-        let num_instances = self.instances.len();
-        let mut queues: Vec<EventQueue<InstanceEvent>> =
-            (0..num_instances).map(|_| EventQueue::new()).collect();
-        let mut partitions: Vec<Vec<PartitionEntry<'_>>> =
-            (0..num_instances).map(|_| Vec::new()).collect();
-        let mut per_instance: Vec<Vec<RequestRecord>> =
-            (0..num_instances).map(|_| Vec::new()).collect();
-
-        for (e, epoch) in epochs.iter().enumerate() {
-            let epoch_start = if e == 0 {
-                SimTime::ZERO
-            } else {
-                boundaries[e - 1]
-            };
-            self.install_net_snapshots_visible(epoch_start);
-            self.route_ordered(arrivals, epoch, decisions, routed_hashes);
-            for &idx in epoch {
-                let decision = decisions[idx];
-                let partition = &mut partitions[decision.instance];
-                partition.push(PartitionEntry {
-                    request_id: idx as u64,
-                    reason: decision.reason,
-                    hashes: routed_hashes.get_mut(idx).and_then(Option::take),
-                    arrival: &arrivals[idx],
-                });
-                queues[decision.instance].push(
-                    arrivals[idx].arrival,
-                    InstanceEvent::Arrival(partition.len() - 1),
-                );
-            }
-
-            let boundary = boundaries.get(e).copied();
-            if num_instances == 1 {
-                Self::simulate_instance_until(
-                    &mut self.instances[0],
-                    &partitions[0],
-                    &mut queues[0],
-                    &mut per_instance[0],
-                    boundary,
-                );
-            } else {
-                std::thread::scope(|scope| {
-                    for (((instance, partition), queue), records) in self
-                        .instances
-                        .iter_mut()
-                        .zip(&partitions)
-                        .zip(&mut queues)
-                        .zip(&mut per_instance)
-                    {
-                        scope.spawn(move || {
-                            Self::simulate_instance_until(
-                                instance, partition, queue, records, boundary,
-                            );
-                        });
-                    }
-                });
-            }
-            self.merge_net_snapshots();
-        }
-        debug_assert!(queues.iter().all(EventQueue::is_empty));
-        per_instance.into_iter().flatten().collect()
-    }
-
-    /// The single-threaded reference flavour: one global event loop, paused at every
-    /// epoch boundary for the same route/merge steps the parallel flavour takes.
-    fn run_epochs_sequential(
-        &mut self,
-        arrivals: &[ArrivalPattern],
-        boundaries: &[SimTime],
-        epochs: &[Vec<usize>],
-        decisions: &mut [RoutingDecision],
-        routed_hashes: &mut [Option<Arc<Vec<kvcache::TokenBlockHash>>>],
-    ) -> Vec<RequestRecord> {
-        let mut events: EventQueue<Event> = EventQueue::new();
-        let mut records: Vec<RequestRecord> = Vec::with_capacity(arrivals.len());
-
-        for (e, epoch) in epochs.iter().enumerate() {
-            let epoch_start = if e == 0 {
-                SimTime::ZERO
-            } else {
-                boundaries[e - 1]
-            };
-            self.install_net_snapshots_visible(epoch_start);
-            self.route_ordered(arrivals, epoch, decisions, routed_hashes);
-            for &idx in epoch {
-                events.push(arrivals[idx].arrival, Event::Arrival(idx));
-            }
-
-            let boundary = boundaries.get(e).copied();
-            self.run_global_events_until(
-                arrivals,
-                decisions,
-                routed_hashes,
-                &mut events,
-                &mut records,
-                boundary,
-            );
-            self.merge_net_snapshots();
-        }
-        debug_assert!(events.is_empty());
-        records
-    }
-
-    /// The epoch boundaries of one replay window: multiples of
-    /// `net_propagation_ms` up to the last arrival (the tail past the last boundary
-    /// — or the whole window when the trace is shorter than one delay — drains to
-    /// completion like a delay-zero window).
-    fn propagation_boundaries(&self, arrivals: &[ArrivalPattern]) -> Vec<SimTime> {
-        let delay = SimDuration::from_millis(self.config.net_propagation_ms);
-        debug_assert!(!delay.is_zero(), "epochs exist only for finite delays");
-        let last = arrivals
-            .iter()
-            .map(|a| a.arrival)
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let mut boundaries = Vec::new();
-        let mut boundary = SimTime::ZERO + delay;
-        while boundary <= last {
-            boundaries.push(boundary);
-            boundary += delay;
-        }
-        boundaries
-    }
-
-    /// Splits trace indices into per-epoch lists (epoch `e` covers arrivals in
-    /// `[boundaries[e-1], boundaries[e])`), each sorted by `(arrival time, index)` —
-    /// the order the routing pass and the event queues consume them in.
-    fn epoch_partition(arrivals: &[ArrivalPattern], boundaries: &[SimTime]) -> Vec<Vec<usize>> {
-        let mut epochs: Vec<Vec<usize>> = vec![Vec::new(); boundaries.len() + 1];
-        for (idx, arrival) in arrivals.iter().enumerate() {
-            let epoch = boundaries.partition_point(|b| *b <= arrival.arrival);
-            epochs[epoch].push(idx);
-        }
-        for epoch in &mut epochs {
-            epoch.sort_by_key(|&idx| (arrivals[idx].arrival, idx));
-        }
-        epochs
     }
 
     /// Installs a snapshot of the shared network tier into every instance.  Both
@@ -824,12 +1166,22 @@ impl Cluster {
         }
     }
 
-    fn check_feasible(&self, arrivals: &[ArrivalPattern]) -> Result<(), RunError> {
-        let max_request_tokens = arrivals
-            .iter()
-            .map(|a| a.template.num_tokens())
-            .max()
-            .unwrap_or(0);
+    /// One pass over a materialised trace for everything replay needs up front:
+    /// the longest request (feasibility) and whether the trace is already sorted
+    /// by arrival time (routing order) — previously two separate O(n) scans.
+    fn scan_trace(arrivals: &[ArrivalPattern]) -> (u64, bool) {
+        let mut max_request_tokens = 0;
+        let mut sorted = true;
+        let mut prev = SimTime::ZERO;
+        for arrival in arrivals {
+            max_request_tokens = max_request_tokens.max(arrival.template.num_tokens());
+            sorted &= arrival.arrival >= prev;
+            prev = arrival.arrival;
+        }
+        (max_request_tokens, sorted)
+    }
+
+    fn ensure_feasible(&self, max_request_tokens: u64) -> Result<(), RunError> {
         if !self.can_serve(max_request_tokens) {
             return Err(RunError::WorkloadInfeasible {
                 max_request_tokens,
@@ -842,11 +1194,11 @@ impl Cluster {
     /// Runs one instance's private event loop over its arrival partition.
     fn simulate_instance(
         instance: &mut EngineInstance,
-        partition: &[PartitionEntry<'_>],
+        partition: &[PartitionEntry],
     ) -> Vec<RequestRecord> {
         let mut events: EventQueue<InstanceEvent> = EventQueue::new();
         for (pos, entry) in partition.iter().enumerate() {
-            events.push(entry.arrival.arrival, InstanceEvent::Arrival(pos));
+            events.push(entry.arrival, InstanceEvent::Arrival(pos));
         }
         let mut records = Vec::with_capacity(partition.len());
         Self::simulate_instance_until(instance, partition, &mut events, &mut records, None);
@@ -858,7 +1210,7 @@ impl Cluster {
     /// next propagation epoch.
     fn simulate_instance_until(
         instance: &mut EngineInstance,
-        partition: &[PartitionEntry<'_>],
+        partition: &[PartitionEntry],
         events: &mut EventQueue<InstanceEvent>,
         records: &mut Vec<RequestRecord>,
         boundary: Option<SimTime>,
@@ -874,8 +1226,8 @@ impl Cluster {
                     let entry = &partition[pos];
                     let request = PrefillRequest {
                         id: entry.request_id,
-                        user_id: entry.arrival.template.user_id,
-                        tokens: Arc::clone(&entry.arrival.template.tokens),
+                        user_id: entry.user_id,
+                        tokens: Arc::clone(&entry.tokens),
                         allowed_outputs: Vec::new(),
                         arrival: now,
                         routing: entry.reason,
@@ -1198,11 +1550,10 @@ mod tests {
         assert_eq!(a.cache, b.cache);
     }
 
-    /// An offload-enabled deployment under real eviction pressure: a squeezed KV pool
-    /// over interleaved per-request arrivals, so user profiles spill to the CPU tier
-    /// between a user's consecutive requests and rehydrate on their return.
-    fn offload_pressure_config(cpu_bytes: u64) -> (EngineConfig, Vec<ArrivalPattern>) {
-        let spec = workload::PostRecommendationSpec {
+    /// The workload spec of [`offload_pressure_config`], shared with the tests that
+    /// regenerate the same trace as an independent stream at the same seed.
+    fn pressure_spec() -> workload::PostRecommendationSpec {
+        workload::PostRecommendationSpec {
             num_users: 6,
             posts_per_user: 8,
             profile_mean_tokens: 5_000.0,
@@ -1210,7 +1561,14 @@ mod tests {
             profile_min_tokens: 4_000,
             profile_max_tokens: 6_000,
             ..workload::PostRecommendationSpec::default()
-        };
+        }
+    }
+
+    /// An offload-enabled deployment under real eviction pressure: a squeezed KV pool
+    /// over interleaved per-request arrivals, so user profiles spill to the CPU tier
+    /// between a user's consecutive requests and rehydrate on their return.
+    fn offload_pressure_config(cpu_bytes: u64) -> (EngineConfig, Vec<ArrivalPattern>) {
+        let spec = pressure_spec();
         let mut rng = SimRng::seed_from_u64(42);
         let ds = Dataset::post_recommendation(&spec, &mut rng);
         let arrivals = workload::assign_poisson_arrivals_with(
@@ -1734,6 +2092,238 @@ mod tests {
         let err = Cluster::try_new(&config).unwrap_err();
         assert_eq!(err, crate::config::ConfigError::NoInstances);
         assert!(Cluster::try_new(&self::config(EngineKind::PagedAttention)).is_ok());
+    }
+
+    /// Satellite acceptance: replaying an *independently generated* arrival stream
+    /// (same dataset, same rng seed, never materialised) is byte-identical to
+    /// replaying the materialised trace — with all three KV tiers active, under
+    /// both sticky and cache-aware routing, across several propagation epochs.
+    #[test]
+    fn streamed_generator_replay_is_byte_identical_to_the_materialised_trace() {
+        use workload::{ArrivalGranularity, PoissonArrivalStream};
+        for policy in [
+            crate::routing::RoutingPolicyKind::StickyUser,
+            crate::routing::RoutingPolicyKind::CacheAware,
+        ] {
+            let (config, arrivals) = net_pressure_config(64 << 30);
+            let config = config.with_routing(policy).with_net_propagation_ms(2_000);
+            let span = arrivals.iter().map(|a| a.arrival).max().unwrap();
+            assert!(
+                (span - SimTime::ZERO).as_secs_f64() > 4.0,
+                "the trace must span at least two propagation epochs"
+            );
+
+            // Rebuild the generator state the materialised trace came from, so the
+            // stream below is produced from scratch at the same seed.
+            let mut rng = SimRng::seed_from_u64(42);
+            let ds = Dataset::post_recommendation(&pressure_spec(), &mut rng);
+            let mut stream =
+                PoissonArrivalStream::new(&ds, 3.0, ArrivalGranularity::PerRequest, &mut rng);
+
+            let mut materialised = Cluster::new(&config);
+            let mut streamed = Cluster::new(&config);
+            let a = materialised.run(&arrivals, 3.0).unwrap();
+            let b = streamed.run_stream(&mut stream, 3.0).unwrap();
+            assert!(
+                a.offload.net_offloaded_blocks > 0,
+                "the scenario must feed the shared tier"
+            );
+            assert_eq!(a.records, b.records, "{policy:?}");
+            assert_eq!(a.makespan, b.makespan, "{policy:?}");
+            assert_eq!(a.cache, b.cache, "{policy:?}");
+            assert_eq!(a.offload, b.offload, "{policy:?}");
+            let pa = materialised.net_pool().unwrap();
+            let pb = streamed.net_pool().unwrap();
+            assert_eq!(pa.resident_blocks(), pb.resident_blocks());
+            assert_eq!(pa.generation(), pb.generation());
+        }
+    }
+
+    /// The byte-identity guarantee extends to adaptive epoch lengths: the clock is
+    /// a pure function of the trace prefix, so the threaded replay cuts the window
+    /// exactly like the sequential reference even while epochs shrink under burst.
+    #[test]
+    fn parallel_stream_replay_matches_sequential_with_adaptive_epochs() {
+        let (config, arrivals) = net_pressure_config(64 << 30);
+        // Target 2 arrivals/epoch under a ~6 arrivals/epoch load, so the clock
+        // demonstrably adapts (halves towards min_ms) during the replay.
+        let config = config
+            .with_routing(crate::routing::RoutingPolicyKind::CacheAware)
+            .with_net_propagation_ms(2_000)
+            .with_adaptive_epochs(2, 250, 8_000);
+        let mut parallel = Cluster::new(&config);
+        assert!(parallel.instances().len() > 1);
+        let mut sequential = Cluster::new(&config);
+        for window in 0..2 {
+            let a = parallel.run(&arrivals, 3.0).unwrap();
+            let b = sequential.run_sequential(&arrivals, 3.0).unwrap();
+            assert_eq!(a.records, b.records, "window {window}");
+            assert_eq!(a.makespan, b.makespan, "window {window}");
+            assert_eq!(a.cache, b.cache, "window {window}");
+            assert_eq!(a.offload, b.offload, "window {window}");
+        }
+        let pa = parallel.net_pool().unwrap();
+        let pb = sequential.net_pool().unwrap();
+        assert_eq!(pa.resident_blocks(), pb.resident_blocks());
+        assert_eq!(pa.generation(), pb.generation());
+    }
+
+    /// Without a shared tier the streamed replay chunks purely for bounded memory;
+    /// under sticky routing (cadence-independent decisions) it must replay the
+    /// window path's records exactly, and parallel must match sequential.
+    #[test]
+    fn tierless_stream_replay_matches_the_window_replay_under_sticky_routing() {
+        let ds = small_post_rec_dataset();
+        let arrivals = assign_poisson_arrivals(&ds, 5.0, &mut SimRng::seed_from_u64(1));
+        let config = config(EngineKind::prefillonly_default());
+        let a = Cluster::new(&config).run(&arrivals, 5.0).unwrap();
+        let mut stream = SliceArrivalStream::from_sorted(&arrivals);
+        let b = Cluster::new(&config).run_stream(&mut stream, 5.0).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.makespan, b.makespan);
+        let mut stream = SliceArrivalStream::from_sorted(&arrivals);
+        let c = Cluster::new(&config)
+            .run_stream_sequential(&mut stream, 5.0)
+            .unwrap();
+        assert_eq!(b.records, c.records);
+        assert_eq!(b.cache, c.cache);
+    }
+
+    /// [`Cluster::run_sorted`] replays a [`SortedTrace`] identically to [`Cluster::run`]
+    /// on its arrivals — the carried sortedness/max-length properties change the
+    /// pre-work, never the replay.
+    #[test]
+    fn run_sorted_matches_run_on_the_same_arrivals() {
+        let ds = small_post_rec_dataset();
+        let mut arrivals = assign_poisson_arrivals(&ds, 5.0, &mut SimRng::seed_from_u64(3));
+        arrivals.reverse(); // SortedTrace must restore order itself
+        let trace = SortedTrace::new(arrivals);
+        let config = config(EngineKind::prefillonly_default());
+        let a = Cluster::new(&config).run(trace.arrivals(), 5.0).unwrap();
+        let b = Cluster::new(&config).run_sorted(&trace, 5.0).unwrap();
+        let c = Cluster::new(&config)
+            .run_sorted_sequential(&trace, 5.0)
+            .unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(b.records, c.records);
+    }
+
+    /// Scale smoke: thousands of requests flow through the streaming path with the
+    /// arrival buffer bounded by the chunk clock, every request served exactly once.
+    #[test]
+    fn fleet_stream_replays_at_scale() {
+        use workload::{SharedPrefixFleetSpec, SharedPrefixFleetStream};
+        let spec = SharedPrefixFleetSpec {
+            num_cohorts: 40,
+            users_per_cohort: 5,
+            prefix_tokens: 512,
+            suffix_tokens: 64,
+            requests_per_user: 40,
+        };
+        let mut stream = SharedPrefixFleetStream::new(spec, 200.0, 7);
+        assert_eq!(stream.len_hint(), Some(8_000));
+        let mut cluster = Cluster::new(&config(EngineKind::prefillonly_default()));
+        let report = cluster.run_stream(&mut stream, 200.0).unwrap();
+        assert_eq!(report.records.len(), 8_000);
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.request_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            8_000,
+            "every streamed request served exactly once"
+        );
+    }
+
+    /// A stream cannot be pre-scanned, so an oversized request surfaces as a
+    /// mid-run [`RunError::WorkloadInfeasible`].
+    #[test]
+    fn oversized_streamed_request_aborts_the_replay() {
+        use workload::{SharedPrefixFleetSpec, SharedPrefixFleetStream};
+        // 40k-token requests overwhelm a PagedAttention L4 deployment (MIL ~24k),
+        // exactly as the materialised infeasibility test above.
+        let spec = SharedPrefixFleetSpec {
+            num_cohorts: 1,
+            users_per_cohort: 1,
+            prefix_tokens: 40_000,
+            suffix_tokens: 64,
+            requests_per_user: 1,
+        };
+        let mut stream = SharedPrefixFleetStream::new(spec, 1.0, 7);
+        let mut cluster = Cluster::new(&EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::PagedAttention,
+            60_000,
+        ));
+        let err = cluster.run_stream(&mut stream, 1.0).unwrap_err();
+        assert!(matches!(err, RunError::WorkloadInfeasible { .. }));
+    }
+
+    /// The adaptive epoch clock: halves under burst, doubles when near-idle, clamps
+    /// to its bounds; the fixed policy never adapts.
+    #[test]
+    fn epoch_clock_adapts_within_bounds() {
+        let policy = EpochLengthPolicy::Adaptive {
+            target_arrivals: 10,
+            min_ms: 250,
+            max_ms: 4_000,
+        };
+        let ms = |m: u64| SimTime::ZERO + SimDuration::from_millis(m);
+        let mut clock = EpochClock::new(1_000, policy);
+        assert_eq!(clock.boundary(), ms(1_000));
+        clock.advance(25); // burst: > 2×target halves 1000 → 500
+        assert_eq!(clock.boundary(), ms(1_500));
+        clock.advance(25); // 500 → 250
+        assert_eq!(clock.boundary(), ms(1_750));
+        clock.advance(100); // clamped at min_ms
+        assert_eq!(clock.boundary(), ms(2_000));
+        clock.advance(4); // near-idle: 2×count < target doubles 250 → 500
+        assert_eq!(clock.boundary(), ms(2_500));
+        clock.advance(10); // in band: unchanged
+        assert_eq!(clock.boundary(), ms(3_000));
+        clock.advance(0); // 500 → 1000
+        assert_eq!(clock.boundary(), ms(4_000));
+        clock.advance(0); // 1000 → 2000
+        assert_eq!(clock.boundary(), ms(6_000));
+        clock.advance(0); // 2000 → 4000
+        assert_eq!(clock.boundary(), ms(10_000));
+        clock.advance(0); // clamped at max_ms
+        assert_eq!(clock.boundary(), ms(14_000));
+
+        let mut fixed = EpochClock::new(1_000, EpochLengthPolicy::Fixed);
+        fixed.advance(1_000_000);
+        assert_eq!(fixed.boundary(), ms(2_000));
+        fixed.advance(0);
+        assert_eq!(fixed.boundary(), ms(3_000));
+    }
+
+    /// Unusable adaptive bounds are a typed error from [`Cluster::try_new`], never a
+    /// clamp panic or a zero-length epoch spinning the clock forever.
+    #[test]
+    fn unusable_adaptive_epoch_bounds_are_a_config_error() {
+        let zero_min = config(EngineKind::prefillonly_default()).with_adaptive_epochs(8, 0, 1_000);
+        let err = Cluster::try_new(&zero_min).unwrap_err();
+        assert_eq!(
+            err,
+            crate::config::ConfigError::AdaptiveEpochBounds {
+                min_ms: 0,
+                max_ms: 1_000
+            }
+        );
+        assert!(err.to_string().contains("min_ms"));
+
+        let inverted =
+            config(EngineKind::prefillonly_default()).with_adaptive_epochs(8, 2_000, 1_000);
+        assert!(matches!(
+            Cluster::try_new(&inverted).unwrap_err(),
+            crate::config::ConfigError::AdaptiveEpochBounds { .. }
+        ));
+
+        let tight = config(EngineKind::prefillonly_default()).with_adaptive_epochs(8, 500, 500);
+        assert!(Cluster::try_new(&tight).is_ok());
     }
 
     #[test]

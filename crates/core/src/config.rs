@@ -27,6 +27,15 @@ pub enum ConfigError {
         /// Bytes of full KV per block the supplied pool was built with.
         pool_block_bytes: u64,
     },
+    /// Adaptive epoch bounds are unusable: `min_ms` must be at least 1 (a
+    /// zero-length epoch would never advance simulated time) and no greater than
+    /// `max_ms`.
+    AdaptiveEpochBounds {
+        /// The configured lower bound.
+        min_ms: u64,
+        /// The configured upper bound.
+        max_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -48,6 +57,10 @@ impl std::fmt::Display for ConfigError {
                 "warm pool must match the deployment's KV block geometry \
                  ({pool_block_bytes} B/block supplied, {deployment_block_bytes} B/block profiled)"
             ),
+            ConfigError::AdaptiveEpochBounds { min_ms, max_ms } => write!(
+                f,
+                "adaptive epoch bounds need 1 <= min_ms <= max_ms, got min {min_ms} max {max_ms}"
+            ),
         }
     }
 }
@@ -66,6 +79,44 @@ pub enum ReloadPolicyKind {
     /// Always reload whatever is present and resident-able — the two-tier engines'
     /// historical behaviour, kept as an ablation/regression reference.
     Always,
+}
+
+/// How propagation-epoch boundaries are laid out within a replay window.
+///
+/// Epoch boundaries must be a pure function of the configuration and the trace
+/// prefix already replayed — never of wall-clock or simulation-internal state —
+/// so that parallel and sequential replay cut the window identically and stay
+/// byte-identical.  Both variants satisfy this: `Fixed` ignores the trace
+/// entirely, `Adaptive` looks only at the *count* of arrivals in completed
+/// epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpochLengthPolicy {
+    /// Every epoch is exactly `net_propagation_ms` long (the default, and the
+    /// fixed-boundary behaviour of earlier releases, byte for byte).
+    Fixed,
+    /// Epoch lengths track arrival density: starting from `net_propagation_ms`
+    /// (clamped into `[min_ms, max_ms]`), an epoch that saw more than
+    /// `2 * target_arrivals` arrivals halves the next epoch's length (routing
+    /// snapshots refresh faster under burst) and an epoch that saw fewer than
+    /// `target_arrivals / 2` doubles it (idle stretches stop paying a barrier +
+    /// snapshot merge every `net_propagation_ms` of simulated silence).  Lengths
+    /// never leave `[min_ms, max_ms]`.
+    ///
+    /// Note the propagation *latency* contract weakens when an epoch runs longer
+    /// than `net_propagation_ms`: a spill still surfaces at the next boundary,
+    /// which an idle-stretched epoch can push out to `max_ms` after publish.
+    /// That trade — bounded-staleness visibility for O(arrivals) instead of
+    /// O(window span) barrier overhead — is the point of the policy, and it only
+    /// ever delays sharing on traces too idle to contend for it.
+    Adaptive {
+        /// Per-epoch arrival count the controller steers towards.
+        target_arrivals: u64,
+        /// Shortest epoch the controller may shrink to, in milliseconds (also the
+        /// floor under burst; must be ≥ 1 to make progress).
+        min_ms: u64,
+        /// Longest epoch the controller may stretch to, in milliseconds.
+        max_ms: u64,
+    },
 }
 
 /// Which of the five evaluated serving systems to instantiate.
@@ -201,6 +252,11 @@ pub struct EngineConfig {
     /// How arrivals are routed onto the deployment's instances (see
     /// [`RoutingPolicyKind`]; the default is the paper's sticky user-id routing).
     pub routing: RoutingPolicyKind,
+    /// How propagation-epoch lengths adapt to the arrival pattern (see
+    /// [`EpochLengthPolicy`]; the default keeps every epoch exactly
+    /// [`Self::net_propagation_ms`] long, byte-identical to the fixed-boundary
+    /// behaviour of earlier releases).
+    pub epoch_length: EpochLengthPolicy,
 }
 
 impl EngineConfig {
@@ -226,6 +282,7 @@ impl EngineConfig {
             net_propagation_ms: 0,
             reload_policy: ReloadPolicyKind::Modeled,
             routing: RoutingPolicyKind::StickyUser,
+            epoch_length: EpochLengthPolicy::Fixed,
         }
     }
 
@@ -235,6 +292,11 @@ impl EngineConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_instances() == 0 {
             return Err(ConfigError::NoInstances);
+        }
+        if let EpochLengthPolicy::Adaptive { min_ms, max_ms, .. } = self.epoch_length {
+            if min_ms == 0 || min_ms > max_ms {
+                return Err(ConfigError::AdaptiveEpochBounds { min_ms, max_ms });
+            }
         }
         Ok(())
     }
@@ -286,6 +348,25 @@ impl EngineConfig {
     /// Overrides the reload-vs-recompute policy (see [`ReloadPolicyKind`]).
     pub fn with_reload_policy(mut self, reload_policy: ReloadPolicyKind) -> EngineConfig {
         self.reload_policy = reload_policy;
+        self
+    }
+
+    /// Makes propagation-epoch lengths adapt to arrival density (see
+    /// [`EpochLengthPolicy::Adaptive`]): epochs shrink towards `min_ms` under
+    /// burst and stretch towards `max_ms` when the trace goes idle, keeping
+    /// per-epoch work near `target_arrivals` while staying a pure function of the
+    /// trace — parallel and sequential replay remain byte-identical.
+    pub fn with_adaptive_epochs(
+        mut self,
+        target_arrivals: u64,
+        min_ms: u64,
+        max_ms: u64,
+    ) -> EngineConfig {
+        self.epoch_length = EpochLengthPolicy::Adaptive {
+            target_arrivals,
+            min_ms,
+            max_ms,
+        };
         self
     }
 

@@ -29,12 +29,12 @@
 //! ([`workload::StickySeq`]).  On a stamped, arrival-sorted trace the sticky policy
 //! partitions with plain arithmetic and skips the windowed pass entirely.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
 use kvcache::{PrefixProbe, TokenBlockHash};
-use workload::ArrivalPattern;
+use workload::{ArrivalPattern, StreamedArrival};
 
 /// Why routing could not be set up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +83,7 @@ impl RoutingPolicyKind {
         Ok(match self {
             RoutingPolicyKind::StickyUser => Box::new(StickyUserPolicy {
                 router: UserRouter::new(num_instances).expect("checked above"),
+                rank_users: Vec::new(),
             }),
             RoutingPolicyKind::LeastLoaded => Box::new(LeastLoadedPolicy),
             RoutingPolicyKind::CacheAware => Box::new(CacheAwarePolicy),
@@ -153,6 +154,14 @@ pub struct RouterSnapshot {
 }
 
 impl RouterSnapshot {
+    /// Decomposes the snapshot into its load and probe buffers so the caller can
+    /// recycle the allocations for the next routing pass (epoch-driven replay
+    /// routes thousands of passes per window; reallocating per pass is pure
+    /// overhead).
+    pub fn into_buffers(self) -> (Vec<InstanceLoad>, Vec<PrefixProbe>) {
+        (self.loads, self.probes)
+    }
+
     /// Builds a snapshot from per-instance loads and (optionally) per-instance
     /// probes.  `probes` must be empty or have one entry per instance.
     pub fn new(
@@ -270,6 +279,22 @@ pub trait RoutingPolicy: Send {
     ) -> Option<Vec<RoutingDecision>> {
         None
     }
+
+    /// Per-epoch batch fast path, the streaming counterpart of
+    /// [`Self::route_sorted_trace`]: route one arrival-sorted epoch of a stream at
+    /// once, writing into `decisions[..batch.len()]`, or return `false` to take
+    /// the windowed [`Self::route`] pass.  Unlike the whole-trace path, the stamps
+    /// of a batch may *extend* history the policy accumulated from earlier epochs
+    /// of the same stream — this is what keeps the arithmetic partition alive
+    /// across epoch boundaries.  The default has no fast path.
+    fn route_stamped_batch(
+        &mut self,
+        _batch: &[StreamedArrival],
+        _num_instances: usize,
+        _decisions: &mut [RoutingDecision],
+    ) -> bool {
+        false
+    }
 }
 
 /// The [`RoutingPolicyKind::StickyUser`] policy: §7.1 user-id routing over a
@@ -277,6 +302,73 @@ pub trait RoutingPolicy: Send {
 /// [`workload::StickySeq`].
 struct StickyUserPolicy {
     router: UserRouter,
+    /// Users in order of first appearance — the rank → user table the stamp fast
+    /// paths validate against.  Maintained by *every* routing path (slow-path
+    /// `route` included), which is sound because round-robin assignment in
+    /// first-appearance order always pins the `r`-th distinct user to
+    /// `r % num_instances`; epoch batches whose stamps extend this history can
+    /// therefore keep fast-pathing after a slow-path window.
+    rank_users: Vec<u64>,
+}
+
+impl StickyUserPolicy {
+    /// Validates that every arrival is stamped and that the stamps consistently
+    /// *extend* the router's first-appearance history: new firsts ranked
+    /// `known, known+1, ...` in order by distinct unseen users, and every repeat
+    /// pointing at its own user's rank.  Returns the new first-appearing users in
+    /// order, without mutating anything — a spliced or hand-edited trace fails
+    /// here and takes the slow path from an untouched router.
+    fn validate_stamps<'b>(
+        &self,
+        arrivals: impl Iterator<Item = &'b ArrivalPattern>,
+    ) -> Option<Vec<u64>> {
+        let known = self.rank_users.len();
+        let mut new_firsts: Vec<u64> = Vec::new();
+        let mut distinct_firsts: HashSet<u64> = HashSet::new();
+        for arrival in arrivals {
+            let sticky = arrival.sticky?;
+            let user = arrival.template.user_id;
+            if sticky.first_of_user {
+                if sticky.user_seq != (known + new_firsts.len()) as u64
+                    || self.router.is_known(user)
+                    || !distinct_firsts.insert(user)
+                {
+                    return None;
+                }
+                new_firsts.push(user);
+            } else {
+                let rank = sticky.user_seq as usize;
+                let expected = if rank < known {
+                    self.rank_users.get(rank)
+                } else {
+                    new_firsts.get(rank - known)
+                };
+                if expected != Some(&user) {
+                    return None;
+                }
+            }
+        }
+        Some(new_firsts)
+    }
+
+    /// Pins a newly first-appearing user at the next rank (the arithmetic
+    /// round-robin outcome) and records it in the rank table.
+    fn seed_first(&mut self, user: u64) {
+        let instance = self.rank_users.len() % self.router.num_instances();
+        self.router.seed(user, instance);
+        self.rank_users.push(user);
+    }
+
+    fn arithmetic_decision(sticky: workload::StickySeq, num_instances: usize) -> RoutingDecision {
+        RoutingDecision {
+            instance: (sticky.user_seq % num_instances as u64) as usize,
+            reason: if sticky.first_of_user {
+                RoutingReason::StickyNew
+            } else {
+                RoutingReason::StickyExisting
+            },
+        }
+    }
 }
 
 impl RoutingPolicy for StickyUserPolicy {
@@ -288,68 +380,61 @@ impl RoutingPolicy for StickyUserPolicy {
         let known = self.router.known_users();
         let instance = self.router.route(query.user_id);
         let reason = if self.router.known_users() > known {
+            self.rank_users.push(query.user_id);
             RoutingReason::StickyNew
         } else {
             RoutingReason::StickyExisting
         };
+        debug_assert_eq!(self.rank_users.len(), self.router.known_users());
         RoutingDecision { instance, reason }
     }
 
     /// The arrival-partitioning fast path: on a trace where every arrival carries a
-    /// consistent [`workload::StickySeq`] stamp and no user has been pinned yet, the
-    /// assignment of every request is `user_seq % num_instances` — no per-request
-    /// hash-map traffic, just one seed insert per distinct user so later windows (and
-    /// unstamped traces) continue from exactly the state the slow path would have
-    /// left.
+    /// [`workload::StickySeq`] stamp consistent with the router's accumulated
+    /// first-appearance history, the assignment of every request is
+    /// `user_seq % num_instances` — no per-request hash-map traffic, just one seed
+    /// insert per *new* distinct user so later windows (and unstamped traces)
+    /// continue from exactly the state the slow path would have left.
     fn route_sorted_trace(
         &mut self,
         arrivals: &[ArrivalPattern],
         num_instances: usize,
     ) -> Option<Vec<RoutingDecision>> {
-        if self.router.known_users() != 0 {
-            // Ranks are first-appearance ranks *of one trace*; they cannot extend an
-            // assignment map seeded by earlier windows.
-            return None;
-        }
-        // Validate before mutating anything: every arrival stamped, first
-        // appearances ranked 0, 1, 2, ... in order by *distinct* users (one hash-set
-        // insert per distinct user — the same per-user cost the seeding below pays),
-        // and every non-first stamp pointing back at its own user's rank (an O(1)
-        // index into the rank → user table, so non-firsts cost no hashing).  A
-        // spliced or hand-edited trace fails here and takes the slow path.
-        let mut first_users: Vec<u64> = Vec::new();
-        let mut distinct_firsts: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        for arrival in arrivals {
-            let sticky = arrival.sticky?;
-            let user = arrival.template.user_id;
-            if sticky.first_of_user {
-                if sticky.user_seq != first_users.len() as u64 || !distinct_firsts.insert(user) {
-                    return None;
-                }
-                first_users.push(user);
-            } else if first_users.get(sticky.user_seq as usize) != Some(&user) {
-                return None;
-            }
-        }
+        let new_firsts = self.validate_stamps(arrivals.iter())?;
         let decisions = arrivals
             .iter()
             .map(|arrival| {
                 let sticky = arrival.sticky.expect("validated above");
-                let instance = (sticky.user_seq % num_instances as u64) as usize;
-                if sticky.first_of_user {
-                    self.router.seed(arrival.template.user_id, instance);
-                }
-                RoutingDecision {
-                    instance,
-                    reason: if sticky.first_of_user {
-                        RoutingReason::StickyNew
-                    } else {
-                        RoutingReason::StickyExisting
-                    },
-                }
+                Self::arithmetic_decision(sticky, num_instances)
             })
             .collect();
+        for user in new_firsts {
+            self.seed_first(user);
+        }
         Some(decisions)
+    }
+
+    /// The epoch-batch counterpart of [`Self::route_sorted_trace`]: same
+    /// validation, but stamps may extend earlier epochs' history, so the second
+    /// and later epochs of a stamped stream keep the arithmetic partition.
+    fn route_stamped_batch(
+        &mut self,
+        batch: &[StreamedArrival],
+        num_instances: usize,
+        decisions: &mut [RoutingDecision],
+    ) -> bool {
+        debug_assert_eq!(batch.len(), decisions.len());
+        let Some(new_firsts) = self.validate_stamps(batch.iter().map(|s| &s.arrival)) else {
+            return false;
+        };
+        for (streamed, slot) in batch.iter().zip(decisions.iter_mut()) {
+            let sticky = streamed.arrival.sticky.expect("validated above");
+            *slot = Self::arithmetic_decision(sticky, num_instances);
+        }
+        for user in new_firsts {
+            self.seed_first(user);
+        }
+        true
     }
 }
 
@@ -470,6 +555,11 @@ impl UserRouter {
     /// Number of distinct users seen so far.
     pub fn known_users(&self) -> usize {
         self.assignment.len()
+    }
+
+    /// Whether `user_id` is already pinned to an instance.
+    pub fn is_known(&self, user_id: u64) -> bool {
+        self.assignment.contains_key(&user_id)
     }
 }
 
@@ -845,6 +935,91 @@ mod tests {
                 "{name} must leave the router untouched"
             );
         }
+    }
+
+    /// The streaming counterpart of the whole-trace fast path: a stamped stream
+    /// split into epochs must keep the arithmetic partition across epoch
+    /// boundaries (where the whole-trace path would bail because users are
+    /// already pinned), and the decisions must match the slow path's.
+    #[test]
+    fn sticky_batch_fast_path_extends_across_epochs() {
+        use simcore::SimTime;
+        use std::sync::Arc;
+        use workload::{ArrivalPattern, RequestTemplate, StickySeq, StreamedArrival};
+
+        let streamed =
+            |id: u64, user: u64, at_ms: u64, user_seq: u64, first: bool| StreamedArrival {
+                id,
+                arrival: ArrivalPattern {
+                    template: RequestTemplate {
+                        user_id: user,
+                        tokens: Arc::new(vec![0; 32]),
+                        shared_prefix_tokens: 0,
+                    },
+                    arrival: SimTime::from_millis(at_ms),
+                    sticky: Some(StickySeq {
+                        user_seq,
+                        first_of_user: first,
+                    }),
+                },
+            };
+        let epoch1 = vec![
+            streamed(0, 70, 0, 0, true),
+            streamed(1, 90, 5, 1, true),
+            streamed(2, 70, 9, 0, false),
+        ];
+        // Epoch 2 extends the history: a repeat of rank 1 plus a new user at rank 2.
+        let epoch2 = vec![streamed(3, 90, 20, 1, false), streamed(4, 55, 24, 2, true)];
+
+        let mut policy = RoutingPolicyKind::StickyUser.build(2).unwrap();
+        let noop = RoutingDecision {
+            instance: 0,
+            reason: RoutingReason::Direct,
+        };
+        let mut decisions = vec![noop; epoch1.len()];
+        assert!(policy.route_stamped_batch(&epoch1, 2, &mut decisions));
+        assert_eq!(
+            decisions.iter().map(|d| d.instance).collect::<Vec<_>>(),
+            vec![0, 1, 0]
+        );
+
+        let mut decisions = vec![noop; epoch2.len()];
+        assert!(
+            policy.route_stamped_batch(&epoch2, 2, &mut decisions),
+            "stamps extending earlier epochs' history must keep the fast path"
+        );
+        assert_eq!(
+            decisions
+                .iter()
+                .map(|d| (d.instance, d.reason))
+                .collect::<Vec<_>>(),
+            vec![
+                (1, RoutingReason::StickyExisting),
+                (0, RoutingReason::StickyNew),
+            ]
+        );
+
+        // A batch restarting ranks at 0 (a fresh trace) must fall back...
+        let fresh = vec![streamed(5, 7_000, 30, 0, true)];
+        let mut decisions = vec![noop; fresh.len()];
+        assert!(!policy.route_stamped_batch(&fresh, 2, &mut decisions));
+
+        // ... and after slow-path routing, stamps that extend the *combined*
+        // history (3 firsts so far + slow-routed user 7000 = next rank 4) still
+        // fast-path: the rank table is maintained by every routing path.
+        let snapshot = snapshot_with_loads(vec![InstanceLoad::default(); 2]);
+        let d = policy.route(&query(7_000, 32), &snapshot);
+        assert_eq!((d.instance, d.reason), (1, RoutingReason::StickyNew));
+        let resumed = vec![
+            streamed(6, 11, 40, 4, true),
+            streamed(7, 7_000, 44, 3, false),
+        ];
+        let mut decisions = vec![noop; resumed.len()];
+        assert!(policy.route_stamped_batch(&resumed, 2, &mut decisions));
+        assert_eq!(
+            decisions.iter().map(|d| d.instance).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
     }
 
     #[test]

@@ -201,7 +201,9 @@ impl Dataset {
 ///
 /// The ids only need two properties: requests of the same user share their profile
 /// tokens exactly, and different users / documents never collide on a full block.
-fn user_tokens(user: u64, document: u64, len: u64) -> Vec<u32> {
+/// Shared with the streaming generators so a streamed request's token content is
+/// bit-identical to the materialised dataset's.
+pub(crate) fn user_tokens(user: u64, document: u64, len: u64) -> Vec<u32> {
     let base = (user.wrapping_mul(1_000_003) ^ document.wrapping_mul(7_919)) as u32;
     (0..len as u32).map(|i| base.wrapping_add(i)).collect()
 }

@@ -19,6 +19,7 @@
 mod arrival;
 mod dataset;
 mod spec;
+mod stream;
 
 pub use arrival::{
     assign_poisson_arrivals, assign_poisson_arrivals_with, ArrivalGranularity, ArrivalPattern,
@@ -27,4 +28,8 @@ pub use arrival::{
 pub use dataset::{Dataset, DatasetSummary, RequestTemplate};
 pub use spec::{
     CreditVerificationSpec, PostRecommendationSpec, SharedPrefixFleetSpec, WorkloadKind,
+};
+pub use stream::{
+    collect_stream, ArrivalStream, PoissonArrivalStream, SharedPrefixFleetStream,
+    SliceArrivalStream, SortedTrace, StreamedArrival,
 };
