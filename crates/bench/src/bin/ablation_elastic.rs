@@ -1,0 +1,345 @@
+//! Elastic-fleet ablation: what mid-trace membership events cost, and what the
+//! drain-to-net handoff and warm joins buy back.
+//!
+//! Three sweeps over the shared elasticity scenarios (see
+//! `prefillonly_bench::scenarios`, shared with the e2e acceptance tests so the
+//! benchmark and the tests cannot drift apart):
+//!
+//! 1. **Join warmth** — the drain-to-net handoff trace (`elastic_fleet_handoff`):
+//!    one instance drains early (publishing its cohort prefixes into the shared
+//!    tier) and a replacement joins mid-trace, either *warm* (attached to the
+//!    shared tier, rehydrating the leaver's prefixes over the fabric) or *cold*
+//!    (detached, recomputing them).  Reports post-join mean JCT, the joiner's
+//!    network-tier reloads, and the recovery saving of warm over cold.
+//!
+//! 2. **Scale events vs static fleets** — the shared-prefix fleet trace squeezed
+//!    to one instance at t = 0.  The static fleet stays under-provisioned; the
+//!    autoscaled fleet notices the queue at an epoch boundary and derives a warm
+//!    join.  Reports mean and p99 JCT against the full two-instance fleet.
+//!
+//! 3. **Wasted prefill per drain** — the handoff trace with the drain's spill
+//!    toggled off: every token the warm joiner reloads under `spill: true` has to
+//!    be recomputed under `spill: false`.  Reports the spill volume and the
+//!    recomputed (wasted) prefill tokens per drain.
+//!
+//! Pass `--smoke` to run minimal sweep points (warmth and waste sweeps only) and
+//! skip the JSON export (the CI rot-check mode).
+
+use prefillonly::{AutoscalerPolicy, Cluster, RunReport};
+use prefillonly_bench::{
+    elastic_fleet_handoff, print_table, shared_prefix_fleet_pressure, write_json,
+    ELASTIC_DRAIN_AT_MS, ELASTIC_FLEET_QPS, ELASTIC_JOIN_AT_MS, SHARED_PREFIX_FLEET_QPS,
+};
+use serde::Serialize;
+use simcore::SimTime;
+use workload::{MembershipChange, MembershipEvent, MembershipSchedule};
+
+#[derive(Debug, Serialize)]
+struct JoinWarmthRow {
+    join: String,
+    mean_jct_secs: f64,
+    post_join_mean_jct_secs: f64,
+    joiner_net_reloaded_tokens: u64,
+    post_join_saving_vs_cold_secs: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ScaleEventRow {
+    fleet: String,
+    mean_jct_secs: f64,
+    p99_jct_secs: f64,
+    scale_events: usize,
+    final_active_instances: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct DrainWasteRow {
+    drain: String,
+    spilled_blocks: u64,
+    net_reloaded_tokens: u64,
+    recomputed_tokens: u64,
+    mean_jct_secs: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ElasticAblation {
+    join_warmth: Vec<JoinWarmthRow>,
+    scale_events: Vec<ScaleEventRow>,
+    drain_waste: Vec<DrainWasteRow>,
+}
+
+/// The handoff schedule: the early drain (spilling or not) and the mid-trace join
+/// (warm or cold) of `elastic_fleet_handoff`.
+fn handoff_schedule(spill: bool, attached: bool) -> MembershipSchedule {
+    MembershipSchedule::new(vec![
+        MembershipEvent {
+            at: SimTime::from_millis(ELASTIC_DRAIN_AT_MS),
+            change: MembershipChange::Drain { spill },
+        },
+        MembershipEvent {
+            at: SimTime::from_millis(ELASTIC_JOIN_AT_MS),
+            change: MembershipChange::Join { attached },
+        },
+    ])
+}
+
+fn p99_secs(report: &RunReport) -> f64 {
+    let mut latencies: Vec<f64> = report
+        .records
+        .iter()
+        .map(|r| r.latency().as_secs_f64())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let idx = ((latencies.len() as f64) * 0.99).ceil() as usize;
+    latencies[idx.min(latencies.len()) - 1]
+}
+
+fn mean_over(latencies: &[f64]) -> f64 {
+    latencies.iter().sum::<f64>() / latencies.len() as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+
+    // ------------------------------------------------------------------
+    // Sweep 1: join warmth on the drain-to-net handoff trace.
+    // ------------------------------------------------------------------
+    println!("Elastic-fleet ablation: warm vs cold join on the handoff trace\n");
+    println!("One instance drains at t = {ELASTIC_DRAIN_AT_MS} ms, publishing its cohort");
+    println!("prefixes into the shared tier; a replacement joins at t = {ELASTIC_JOIN_AT_MS} ms");
+    println!("and six new cohort members arrive after it.  A warm join rehydrates the");
+    println!("leaver's prefixes over the fabric; a cold join recomputes them.\n");
+
+    let (handoff_config, handoff_arrivals) = elastic_fleet_handoff();
+    let run_handoff = |spill: bool, attached: bool| {
+        let mut cluster = Cluster::new(&handoff_config);
+        cluster.schedule_membership(handoff_schedule(spill, attached));
+        let report = cluster
+            .run(&handoff_arrivals, ELASTIC_FLEET_QPS)
+            .expect("feasible workload");
+        let log = cluster.membership_log().to_vec();
+        let drains = cluster.drain_records().to_vec();
+        (report, log, drains)
+    };
+
+    let (warm, warm_log, warm_drains) = run_handoff(true, true);
+    let (cold, _, _) = run_handoff(true, false);
+    let joined_at = warm_log[1].at;
+    let joiner = warm_log[1].slot;
+    let post_join = |report: &RunReport| {
+        let latencies: Vec<f64> = report
+            .records
+            .iter()
+            .filter(|r| r.arrival >= joined_at)
+            .map(|r| r.latency().as_secs_f64())
+            .collect();
+        mean_over(&latencies)
+    };
+    let joiner_net = |report: &RunReport| {
+        report
+            .records
+            .iter()
+            .filter(|r| r.instance == joiner && r.arrival >= joined_at)
+            .map(|r| r.net_reloaded_tokens)
+            .sum::<u64>()
+    };
+    let cold_post_join = post_join(&cold);
+
+    let mut warmth_rows = Vec::new();
+    let mut warmth_json = Vec::new();
+    for (label, report) in [("cold (detached)", &cold), ("warm (attached)", &warm)] {
+        let saving = cold_post_join - post_join(report);
+        warmth_rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", report.mean_latency_secs()),
+            format!("{:.4}", post_join(report)),
+            joiner_net(report).to_string(),
+            format!("{saving:+.4}"),
+        ]);
+        warmth_json.push(JoinWarmthRow {
+            join: label.to_string(),
+            mean_jct_secs: report.mean_latency_secs(),
+            post_join_mean_jct_secs: post_join(report),
+            joiner_net_reloaded_tokens: joiner_net(report),
+            post_join_saving_vs_cold_secs: saving,
+        });
+    }
+    print_table(
+        &[
+            "join",
+            "mean JCT (s)",
+            "post-join mean JCT (s)",
+            "joiner net tokens",
+            "post-join saving (s)",
+        ],
+        &warmth_rows,
+    );
+    println!();
+    println!("Reading: the joins are identical except for shared-tier attachment, so the");
+    println!("post-join saving is exactly what warm entry through the net tier recovers.");
+    println!();
+
+    // ------------------------------------------------------------------
+    // Sweep 2: JCT during scale events — autoscaled vs static fleets.
+    // ------------------------------------------------------------------
+    let mut scale_rows = Vec::new();
+    let mut scale_json = Vec::new();
+    if !smoke {
+        println!("Scale events vs static fleets: shared-prefix fleet squeezed to one instance\n");
+        println!("A drain at t = 0 leaves one instance serving the whole trace.  The static");
+        println!("fleet stays under-provisioned; the autoscaled fleet derives a warm join at");
+        println!("the first epoch boundary whose mean outstanding load crosses the threshold.\n");
+
+        let (fleet_base, fleet_arrivals) = shared_prefix_fleet_pressure();
+        let fleet_config = fleet_base.with_net_propagation_ms(2_000);
+        let squeeze = MembershipSchedule::new(vec![MembershipEvent {
+            at: SimTime::ZERO,
+            change: MembershipChange::Drain { spill: true },
+        }]);
+        let autoscaler = AutoscalerPolicy {
+            scale_up_outstanding_tokens: 20_000,
+            scale_down_outstanding_tokens: 0,
+            cooldown_epochs: 1,
+            min_instances: 1,
+            max_instances: 2,
+        };
+
+        let mut fleets: Vec<(&str, RunReport, usize, usize)> = Vec::new();
+        let mut full = Cluster::new(&fleet_config);
+        let full_report = full
+            .run(&fleet_arrivals, SHARED_PREFIX_FLEET_QPS)
+            .expect("feasible workload");
+        fleets.push((
+            "full (2 static)",
+            full_report,
+            0,
+            full.num_active_instances(),
+        ));
+
+        let mut staticc = Cluster::new(&fleet_config);
+        staticc.schedule_membership(squeeze.clone());
+        let static_report = staticc
+            .run(&fleet_arrivals, SHARED_PREFIX_FLEET_QPS)
+            .expect("feasible workload");
+        fleets.push((
+            "static under-provisioned (1)",
+            static_report,
+            staticc.membership_log().len(),
+            staticc.num_active_instances(),
+        ));
+
+        let mut scaled = Cluster::new(&fleet_config.clone().with_autoscaler(autoscaler));
+        scaled.schedule_membership(squeeze);
+        let scaled_report = scaled
+            .run(&fleet_arrivals, SHARED_PREFIX_FLEET_QPS)
+            .expect("feasible workload");
+        fleets.push((
+            "autoscaled (1 -> 2)",
+            scaled_report,
+            scaled.membership_log().len(),
+            scaled.num_active_instances(),
+        ));
+
+        for (label, report, events, active) in &fleets {
+            scale_rows.push(vec![
+                (*label).to_string(),
+                format!("{:.4}", report.mean_latency_secs()),
+                format!("{:.4}", p99_secs(report)),
+                events.to_string(),
+                active.to_string(),
+            ]);
+            scale_json.push(ScaleEventRow {
+                fleet: (*label).to_string(),
+                mean_jct_secs: report.mean_latency_secs(),
+                p99_jct_secs: p99_secs(report),
+                scale_events: *events,
+                final_active_instances: *active,
+            });
+        }
+        print_table(
+            &[
+                "fleet",
+                "mean JCT (s)",
+                "p99 JCT (s)",
+                "membership events",
+                "final active",
+            ],
+            &scale_rows,
+        );
+        println!();
+        println!("Reading: the autoscaled fleet pays the queue only until the scale-up epoch,");
+        println!("landing between the static under-provisioned and full fleets.");
+        println!();
+    }
+
+    // ------------------------------------------------------------------
+    // Sweep 3: wasted prefill per drain — the handoff's spill toggled off.
+    // ------------------------------------------------------------------
+    println!("Wasted prefill per drain: the handoff's spill toggled off\n");
+    println!("Same trace, same warm join; only the drain's spill flag differs.  Every");
+    println!("token the warm joiner reloads under `spill: true` is prefill the fleet");
+    println!("recomputes (wastes) when the leaver retires without the handoff.\n");
+
+    let (no_spill, _, no_spill_drains) = run_handoff(false, true);
+    let recomputed = |report: &RunReport| {
+        report
+            .records
+            .iter()
+            .filter(|r| r.arrival >= joined_at)
+            .map(|r| r.total_tokens - r.cached_tokens - r.reloaded_tokens - r.net_reloaded_tokens)
+            .sum::<u64>()
+    };
+    let mut waste_rows = Vec::new();
+    let mut waste_json = Vec::new();
+    for (label, report, drains) in [
+        ("spill: false", &no_spill, &no_spill_drains),
+        ("spill: true", &warm, &warm_drains),
+    ] {
+        let spilled = drains
+            .iter()
+            .map(|d| d.spill.gpu_blocks + d.spill.cpu_blocks)
+            .sum::<u64>();
+        waste_rows.push(vec![
+            label.to_string(),
+            spilled.to_string(),
+            report.net_reloaded_tokens().to_string(),
+            recomputed(report).to_string(),
+            format!("{:.4}", report.mean_latency_secs()),
+        ]);
+        waste_json.push(DrainWasteRow {
+            drain: label.to_string(),
+            spilled_blocks: spilled,
+            net_reloaded_tokens: report.net_reloaded_tokens(),
+            recomputed_tokens: recomputed(report),
+            mean_jct_secs: report.mean_latency_secs(),
+        });
+    }
+    print_table(
+        &[
+            "drain",
+            "spilled blocks",
+            "net reloaded tokens",
+            "recomputed tokens (post-join)",
+            "mean JCT (s)",
+        ],
+        &waste_rows,
+    );
+
+    if smoke {
+        println!("\n--smoke: warmth and waste sweeps only, JSON export skipped.");
+    } else {
+        write_json(
+            "ablation_elastic",
+            &ElasticAblation {
+                join_warmth: warmth_json,
+                scale_events: scale_json,
+                drain_waste: waste_json,
+            },
+        );
+    }
+
+    println!();
+    println!("Reading: the recomputed-token gap between the spill rows is the wasted");
+    println!("prefill a single drain inflicts on its survivors when it leaves without");
+    println!("the drain-to-net handoff.");
+}

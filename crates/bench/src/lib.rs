@@ -34,4 +34,7 @@ pub use evaluation::{
 pub use output::{print_table, write_json, ResultsFile};
 pub use parallel::map_parallel;
 pub use scale::{scaled_credit_spec, scaled_post_spec, workload_scale};
-pub use scenarios::{shared_prefix_fleet_pressure, SHARED_PREFIX_FLEET_QPS};
+pub use scenarios::{
+    elastic_fleet_handoff, shared_prefix_fleet_pressure, ELASTIC_DRAIN_AT_MS, ELASTIC_FLEET_QPS,
+    ELASTIC_JOIN_AT_MS, SHARED_PREFIX_FLEET_QPS,
+};

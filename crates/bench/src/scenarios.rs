@@ -53,3 +53,81 @@ pub fn shared_prefix_fleet_pressure() -> (EngineConfig, Vec<ArrivalPattern>) {
 
 /// The offered QPS of [`shared_prefix_fleet_pressure`]'s arrival process.
 pub const SHARED_PREFIX_FLEET_QPS: f64 = 3.0;
+
+/// When [`elastic_fleet_handoff`]'s drain event is scheduled (ms of virtual time).
+pub const ELASTIC_DRAIN_AT_MS: u64 = 1_500;
+/// When [`elastic_fleet_handoff`]'s join event is scheduled (ms of virtual time).
+pub const ELASTIC_JOIN_AT_MS: u64 = 11_000;
+/// The offered QPS reported for [`elastic_fleet_handoff`]'s arrival process.
+pub const ELASTIC_FLEET_QPS: f64 = 3.0;
+
+/// The drain-to-net handoff scenario: the elasticity ablation (`ablation_elastic`)
+/// and the e2e acceptance test
+/// (`warm_join_recovers_strictly_faster_than_cold_join_on_a_shared_prefix_fleet`)
+/// replay the same trace, shared here for the same no-drift reason as
+/// [`shared_prefix_fleet_pressure`].
+///
+/// Twelve founding users in three 5k-token-prefix cohorts (cohort = user / 4)
+/// replay six interleaved rounds over ~15.8 s on an L4 pair with all three KV
+/// tiers squeezed.  One instance is expected to drain at
+/// [`ELASTIC_DRAIN_AT_MS`] — its drain-to-net handoff publishes the cohort
+/// prefixes it computed — and a replacement to join at [`ELASTIC_JOIN_AT_MS`];
+/// six *late* cohort members (cohort = user % 3) first arrive after the join
+/// applies, so sticky round-robin re-pinning spreads them (and all three
+/// cohorts) across both routable slots.  Callers pick the membership schedule:
+/// the warmth of the join (attached or not) and whether the drain spills are
+/// exactly what the ablation sweeps.
+pub fn elastic_fleet_handoff() -> (EngineConfig, Vec<ArrivalPattern>) {
+    use simcore::SimTime;
+    use std::sync::Arc;
+    use workload::RequestTemplate;
+
+    const PREFIX_TOKENS: u32 = 5_000;
+    const SUFFIX_TOKENS: u32 = 150;
+    let request = |cohort: u32, user: u64, round: u32, at_ms: u64| -> ArrivalPattern {
+        let mut tokens: Vec<u32> =
+            (cohort * 1_000_000..cohort * 1_000_000 + PREFIX_TOKENS).collect();
+        let suffix_start = 10_000_000 + user as u32 * 10_000 + round * 1_000;
+        tokens.extend(suffix_start..suffix_start + SUFFIX_TOKENS);
+        ArrivalPattern {
+            template: RequestTemplate {
+                user_id: user,
+                tokens: Arc::new(tokens),
+                shared_prefix_tokens: u64::from(PREFIX_TOKENS),
+            },
+            arrival: SimTime::from_millis(at_ms),
+            sticky: None,
+        }
+    };
+
+    let mut arrivals = Vec::new();
+    for round in 0..6u32 {
+        for user in 0..12u64 {
+            let at = (u64::from(round) * 12 + user) * 220;
+            arrivals.push(request(user as u32 / 4, user, round, at));
+        }
+    }
+    for round in 0..2u32 {
+        for late in 0..6u64 {
+            let user = 12 + late;
+            let at = 12_500 + (u64::from(round) * 6 + late) * 400;
+            arrivals.push(request((late % 3) as u32, user, round, at));
+        }
+    }
+    arrivals.sort_by_key(|a| a.arrival);
+
+    let mut config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        u64::from(PREFIX_TOKENS + SUFFIX_TOKENS),
+    );
+    config.memory_utilization = 0.70;
+    (
+        config
+            .with_cpu_offload(1536 << 20)
+            .with_net_kv(64 << 30)
+            .with_net_propagation_ms(2_000),
+        arrivals,
+    )
+}

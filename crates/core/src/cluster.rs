@@ -52,6 +52,22 @@
 //! instances, exactly as within a delay-zero window.  `net_propagation_ms = 0` keeps
 //! the historical single-pass window byte for byte (pinned by regression test).
 //!
+//! # Membership events (elastic fleet)
+//!
+//! The instance count itself can change mid-trace: [`Cluster::schedule_membership`]
+//! registers join/drain events, and [`AutoscalerPolicy`](crate::AutoscalerPolicy)
+//! derives further events from the routable fleet's load.  Every change is applied
+//! at an epoch *boundary* — the one barrier where no instance is mid-simulation —
+//! and is therefore a pure function of the trace and the completed epochs, so
+//! parallel and sequential replay resize the fleet identically and the
+//! byte-identity guarantee survives elasticity.  Joins reuse the lowest retired
+//! slot (or grow the fleet) and enter warmed through the shared network tier;
+//! drains stop receiving work, finish what they hold, spill their reusable KV into
+//! the shared tier (the drain-to-net handoff) and retire at the first boundary
+//! they reach idle.  Slots are never removed or renumbered, which keeps every
+//! queued event's instance tag stable.  See `ARCHITECTURE.md` ("Membership
+//! events") for the full determinism argument.
+//!
 //! # Streaming replay
 //!
 //! [`Cluster::run_stream`] replays an [`ArrivalStream`] — a generator of
@@ -85,8 +101,11 @@ use std::sync::Arc;
 
 use simcore::{EventQueue, SimDuration, SimTime};
 
-use kvcache::{hash_token_blocks, CacheStats, NetKvPool, OffloadStats, PrefixProbe};
-use workload::{ArrivalPattern, ArrivalStream, SliceArrivalStream, SortedTrace, StreamedArrival};
+use kvcache::{hash_token_blocks, CacheStats, DrainSpill, NetKvPool, OffloadStats, PrefixProbe};
+use workload::{
+    ArrivalPattern, ArrivalStream, MembershipChange, MembershipSchedule, SliceArrivalStream,
+    SortedTrace, StreamedArrival,
+};
 
 use crate::baselines::engine_display_name;
 use crate::config::{ConfigError, EngineConfig, EpochLengthPolicy};
@@ -282,10 +301,80 @@ impl EpochClock {
     }
 }
 
+/// Lifecycle state of one instance slot.  Slots are never removed or renumbered
+/// (queued events tag instances by slot index), they only change state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Routable: the slot accepts new arrivals.
+    Active {
+        /// Whether the slot participates in the shared network tier
+        /// (snapshot install/merge).  Cold joins stay detached for life.
+        attached: bool,
+    },
+    /// Unroutable but still simulating: the slot finishes the work it holds and
+    /// retires at the first epoch boundary it reaches idle.
+    Draining {
+        /// Carried over from the slot's active life.
+        attached: bool,
+        /// Whether retirement publishes the slot's reusable KV into the shared
+        /// tier (the drain-to-net handoff).
+        spill: bool,
+    },
+    /// Empty: the slot neither routes nor simulates, and the next join reuses it.
+    Retired,
+}
+
+impl SlotState {
+    /// Whether the slot takes part in shared-tier snapshot install/merge.
+    fn attached(self) -> bool {
+        matches!(
+            self,
+            SlotState::Active { attached: true } | SlotState::Draining { attached: true, .. }
+        )
+    }
+
+    fn is_active(self) -> bool {
+        matches!(self, SlotState::Active { .. })
+    }
+}
+
+/// One membership change the replay applied, for observability (tests, the
+/// elasticity ablation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppliedMembership {
+    /// The epoch boundary the change was applied at.
+    pub at: SimTime,
+    /// What changed.
+    pub change: MembershipChange,
+    /// The instance slot affected.
+    pub slot: usize,
+    /// `true` when the autoscaler derived the change, `false` when it was
+    /// scheduled via [`Cluster::schedule_membership`].
+    pub autoscaled: bool,
+}
+
+/// One completed drain: the boundary the slot retired at and what its
+/// drain-to-net spill published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainRecord {
+    /// The slot that retired.
+    pub slot: usize,
+    /// The epoch boundary it reached idle (spill publish stamp).
+    pub retired_at: SimTime,
+    /// Drain-to-net spill accounting (all zeros for `spill: false` drains or
+    /// tierless deployments).
+    pub spill: DrainSpill,
+}
+
 /// A deployment of one engine kind on one hardware setup.
 pub struct Cluster {
     config: EngineConfig,
     instances: Vec<EngineInstance>,
+    /// Lifecycle state of each slot of `instances` (same length, same order).
+    slot_states: Vec<SlotState>,
+    /// The shared instance profile (instances of one deployment are identical),
+    /// kept so joins can build fresh instances mid-replay.
+    profile: InstanceProfile,
     /// The pluggable routing layer (see [`crate::routing`]); selected via
     /// [`EngineConfig::routing`], persists its state (e.g. sticky assignments)
     /// across replay windows.
@@ -304,6 +393,21 @@ pub struct Cluster {
     /// `OffloadStats::net_evicted_blocks` alongside the instances' in-window
     /// evictions.
     net_merge_evictions: u64,
+    /// Trace-scheduled membership events (sorted by time), consumed at epoch
+    /// boundaries; `membership_cursor` is the first event not yet applied.
+    membership: MembershipSchedule,
+    membership_cursor: usize,
+    /// Epoch boundaries left before the autoscaler may fire again (reset to the
+    /// policy's `cooldown_epochs` by every applied scale action).
+    autoscaler_cooldown: u64,
+    /// Every membership change applied so far, in application order.
+    membership_log: Vec<AppliedMembership>,
+    /// Every completed drain, with its spill accounting.
+    drain_records: Vec<DrainRecord>,
+    /// Lifetime statistics of departed instances whose slots were reused — folded
+    /// into the aggregated run report so elasticity never loses accounting.
+    retired_cache: CacheStats,
+    retired_offload: OffloadStats,
 }
 
 impl Cluster {
@@ -333,15 +437,25 @@ impl Cluster {
             NetKvPool::new(config.net_kv_capacity_bytes, profile.kv_block_bytes())
                 .with_propagation_delay(SimDuration::from_millis(config.net_propagation_ms))
         });
+        let attached = net_pool.is_some();
         Ok(Cluster {
             config: config.clone(),
             instances,
+            slot_states: vec![SlotState::Active { attached }; num_instances],
+            profile,
             router: config
                 .routing
                 .build(num_instances)
                 .expect("validate() guarantees at least one instance"),
             net_pool,
             net_merge_evictions: 0,
+            membership: MembershipSchedule::default(),
+            membership_cursor: 0,
+            autoscaler_cooldown: 0,
+            membership_log: Vec::new(),
+            drain_records: Vec::new(),
+            retired_cache: CacheStats::default(),
+            retired_offload: OffloadStats::default(),
         })
     }
 
@@ -400,9 +514,40 @@ impl Cluster {
         &self.config
     }
 
-    /// The engine instances.
+    /// The engine instances.  Slots are never removed: drained slots keep their
+    /// departed instance (and its statistics) until a join reuses them.
     pub fn instances(&self) -> &[EngineInstance] {
         &self.instances
+    }
+
+    /// Schedules trace-time membership events for the next replay.  Events apply
+    /// at the first epoch boundary at or after their time — a pure function of
+    /// the trace, so parallel and sequential replay resize identically (see the
+    /// module docs, "Membership events").  Replaces any previously scheduled,
+    /// not-yet-applied events; events a replay already consumed do not reapply.
+    pub fn schedule_membership(&mut self, schedule: MembershipSchedule) {
+        self.membership = schedule;
+        self.membership_cursor = 0;
+    }
+
+    /// Every membership change applied so far (scheduled and autoscaled), in
+    /// application order.
+    pub fn membership_log(&self) -> &[AppliedMembership] {
+        &self.membership_log
+    }
+
+    /// Every completed drain (slot retired), with its drain-to-net spill
+    /// accounting.
+    pub fn drain_records(&self) -> &[DrainRecord] {
+        &self.drain_records
+    }
+
+    /// Number of slots currently accepting new work.
+    pub fn num_active_instances(&self) -> usize {
+        self.slot_states
+            .iter()
+            .filter(|state| state.is_active())
+            .count()
     }
 
     /// Maximum input length of the deployment (all instances are identical).
@@ -523,7 +668,7 @@ impl Cluster {
         offered_qps: f64,
         parallel: bool,
     ) -> RunReport {
-        if self.uses_propagation_epochs() {
+        if self.uses_propagation_epochs() || self.elastic_replay() {
             let mut stream = if sorted {
                 SliceArrivalStream::from_sorted(arrivals)
             } else {
@@ -663,6 +808,17 @@ impl Cluster {
         let mut epoch_start = SimTime::ZERO;
         loop {
             let boundary = clock.boundary();
+            // Membership changes (scheduled and autoscaled) apply at the epoch
+            // boundary — the one barrier where no instance is mid-simulation —
+            // so they are a pure function of the trace and the completed epochs.
+            if self.apply_membership_at(epoch_start, epoch_sharing) {
+                // A join may have grown the fleet: give new slots replay state.
+                while queues.len() < self.instances.len() {
+                    queues.push(EventQueue::new());
+                    partitions.push(Vec::new());
+                    per_instance.push(Vec::new());
+                }
+            }
             epoch_buf.clear();
             while let Some(streamed) = lookahead.take() {
                 if streamed.arrival.arrival >= boundary {
@@ -721,7 +877,7 @@ impl Cluster {
                         InstanceEvent::Arrival(partition.len() - 1),
                     );
                 }
-                if num_instances == 1 {
+                if self.instances.len() == 1 {
                     Self::simulate_instance_until(
                         &mut self.instances[0],
                         &partitions[0],
@@ -763,6 +919,10 @@ impl Cluster {
                 );
             }
 
+            // Draining slots that reached the boundary idle retire now: the
+            // drain-to-net spill publishes into the slot's installed snapshot
+            // before the merge below folds it into the shared pool.
+            self.retire_idle_drains(boundary, epoch_sharing);
             if epoch_sharing {
                 self.merge_net_snapshots();
             }
@@ -906,6 +1066,7 @@ impl Cluster {
             cpu_hit_discount,
             net_hit_discount,
         )
+        .with_routable_slots(self.active_slots())
     }
 
     /// The sequential streaming event loop of one epoch: like
@@ -1129,14 +1290,209 @@ impl Cluster {
         self.config.net_propagation_ms > 0 && self.net_pool.is_some()
     }
 
+    /// Whether the next replay must take the epoch loop even without propagation
+    /// epochs: pending membership events, a configured autoscaler, or a fleet
+    /// that is not uniformly active (draining slots need epoch boundaries to
+    /// retire) all require boundaries to apply changes at.
+    fn elastic_replay(&self) -> bool {
+        self.membership_cursor < self.membership.len()
+            || self.config.autoscaler.is_some()
+            || self.slot_states.iter().any(|state| !state.is_active())
+    }
+
+    /// Indices of the routable slots, ascending.
+    fn active_slots(&self) -> Vec<usize> {
+        self.slot_states
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, state)| state.is_active().then_some(slot))
+            .collect()
+    }
+
+    /// Applies every scheduled membership event due at `epoch_start`, then —
+    /// once at least one epoch has completed — gives the autoscaler one
+    /// decision, subject to its cooldown.  Returns `true` when the fleet
+    /// changed, so the caller can grow its per-slot replay state.
+    fn apply_membership_at(&mut self, epoch_start: SimTime, epoch_sharing: bool) -> bool {
+        let mut changed = false;
+        while let Some(&event) = self.membership.events().get(self.membership_cursor) {
+            if event.at > epoch_start {
+                break;
+            }
+            self.membership_cursor += 1;
+            if self.apply_change(event.change, epoch_start, false, epoch_sharing) {
+                changed = true;
+                self.reset_autoscaler_cooldown();
+            }
+        }
+        if epoch_start > SimTime::ZERO {
+            if self.autoscaler_cooldown > 0 {
+                self.autoscaler_cooldown -= 1;
+            } else if let Some(change) = self.autoscaler_decision() {
+                if self.apply_change(change, epoch_start, true, epoch_sharing) {
+                    changed = true;
+                    self.reset_autoscaler_cooldown();
+                }
+            }
+        }
+        if changed {
+            let routable = self.active_slots();
+            self.router.note_membership_change(&routable);
+        }
+        changed
+    }
+
+    fn reset_autoscaler_cooldown(&mut self) {
+        self.autoscaler_cooldown = self
+            .config
+            .autoscaler
+            .map_or(0, |policy| policy.cooldown_epochs);
+    }
+
+    /// The autoscaler's decision against completed-epoch state: the mean
+    /// outstanding tokens per routable instance, compared to the thresholds
+    /// under the min/max fleet clamps (see [`crate::AutoscalerPolicy`]).
+    fn autoscaler_decision(&self) -> Option<MembershipChange> {
+        let policy = self.config.autoscaler?;
+        let active = self.active_slots();
+        let mean_outstanding = active
+            .iter()
+            .map(|&slot| self.instances[slot].router_load().outstanding_tokens)
+            .sum::<u64>()
+            / active.len() as u64;
+        if mean_outstanding > policy.scale_up_outstanding_tokens
+            && active.len() < policy.max_instances
+        {
+            Some(MembershipChange::Join { attached: true })
+        } else if mean_outstanding < policy.scale_down_outstanding_tokens
+            && active.len() > policy.min_instances
+        {
+            Some(MembershipChange::Drain { spill: true })
+        } else {
+            None
+        }
+    }
+
+    /// Applies one membership change at the boundary `at`.  Joins reuse the
+    /// lowest retired slot (folding the departed instance's statistics into the
+    /// retired accumulators) or grow the fleet; drains mark the highest active
+    /// slot as draining.  A drain that would leave no routable instance is
+    /// ignored — requests must stay servable.
+    fn apply_change(
+        &mut self,
+        change: MembershipChange,
+        at: SimTime,
+        autoscaled: bool,
+        epoch_sharing: bool,
+    ) -> bool {
+        match change {
+            MembershipChange::Join { attached } => {
+                let attached = attached && self.net_pool.is_some();
+                let slot = match self
+                    .slot_states
+                    .iter()
+                    .position(|state| matches!(state, SlotState::Retired))
+                {
+                    Some(slot) => {
+                        let fresh = EngineInstance::with_profile(&self.config, &self.profile, slot);
+                        let old = std::mem::replace(&mut self.instances[slot], fresh);
+                        Self::accumulate_cache(&mut self.retired_cache, &old.cache_stats());
+                        self.retired_offload.merge(&old.offload_stats());
+                        slot
+                    }
+                    None => {
+                        let slot = self.instances.len();
+                        self.instances.push(EngineInstance::with_profile(
+                            &self.config,
+                            &self.profile,
+                            slot,
+                        ));
+                        self.slot_states.push(SlotState::Retired);
+                        slot
+                    }
+                };
+                self.slot_states[slot] = SlotState::Active { attached };
+                // Epoch-sharing replays install a visibility-filtered snapshot
+                // right after membership applies; single-install replays hand
+                // the joiner its window-start snapshot now.
+                if attached && !epoch_sharing {
+                    if let Some(pool) = &self.net_pool {
+                        self.instances[slot].install_net_pool(pool.clone());
+                    }
+                }
+                self.membership_log.push(AppliedMembership {
+                    at,
+                    change,
+                    slot,
+                    autoscaled,
+                });
+                true
+            }
+            MembershipChange::Drain { spill } => {
+                let active = self.active_slots();
+                if active.len() <= 1 {
+                    return false;
+                }
+                let slot = *active.last().expect("checked non-empty");
+                let attached = self.slot_states[slot].attached();
+                self.slot_states[slot] = SlotState::Draining { attached, spill };
+                self.membership_log.push(AppliedMembership {
+                    at,
+                    change,
+                    slot,
+                    autoscaled,
+                });
+                true
+            }
+        }
+    }
+
+    /// Retires every draining slot that reached the boundary idle: the
+    /// drain-to-net spill publishes the slot's reusable KV into its installed
+    /// tier snapshot (stamped `boundary`, so survivors see it one propagation
+    /// delay later), and the slot becomes reusable by later joins.
+    /// Single-install replays merge the leaver's snapshot back immediately —
+    /// the shared pool is the only place its spill could survive the instance.
+    fn retire_idle_drains(&mut self, boundary: SimTime, epoch_sharing: bool) {
+        for slot in 0..self.slot_states.len() {
+            let SlotState::Draining { spill, .. } = self.slot_states[slot] else {
+                continue;
+            };
+            let instance = &mut self.instances[slot];
+            if instance.queue_len() > 0 || instance.running_len() > 0 {
+                continue;
+            }
+            let report = if spill {
+                instance.drain_to_net(boundary)
+            } else {
+                DrainSpill::default()
+            };
+            if !epoch_sharing {
+                if let Some(local) = instance.take_net_pool() {
+                    if let Some(pool) = &mut self.net_pool {
+                        self.net_merge_evictions += pool.merge_from(&local);
+                    }
+                }
+            }
+            self.slot_states[slot] = SlotState::Retired;
+            self.drain_records.push(DrainRecord {
+                slot,
+                retired_at: boundary,
+                spill: report,
+            });
+        }
+    }
+
     /// Installs a snapshot of the shared network tier into every instance.  Both
     /// replay paths call this before simulating, so an instance sees the cluster
     /// tier as of the window's start plus its own contributions — and the parallel
     /// path has no mid-run cross-thread state to race on.
     fn install_net_snapshots(&mut self) {
         if let Some(pool) = &self.net_pool {
-            for instance in &mut self.instances {
-                instance.install_net_pool(pool.clone());
+            for (slot, instance) in self.instances.iter_mut().enumerate() {
+                if self.slot_states[slot].attached() {
+                    instance.install_net_pool(pool.clone());
+                }
             }
         }
     }
@@ -1147,7 +1503,9 @@ impl Cluster {
     fn install_net_snapshots_visible(&mut self, visible_at: SimTime) {
         if let Some(pool) = &self.net_pool {
             for (id, instance) in self.instances.iter_mut().enumerate() {
-                instance.install_net_pool(pool.visible_snapshot(visible_at, id));
+                if self.slot_states[id].attached() {
+                    instance.install_net_pool(pool.visible_snapshot(visible_at, id));
+                }
             }
         }
     }
@@ -1158,10 +1516,10 @@ impl Cluster {
     fn merge_net_snapshots(&mut self) {
         if let Some(pool) = &mut self.net_pool {
             for instance in &mut self.instances {
-                let local = instance
-                    .take_net_pool()
-                    .expect("snapshots are installed at window start");
-                self.net_merge_evictions += pool.merge_from(&local);
+                // Detached and retired slots carry no snapshot — skip them.
+                if let Some(local) = instance.take_net_pool() {
+                    self.net_merge_evictions += pool.merge_from(&local);
+                }
             }
         }
     }
@@ -1323,6 +1681,7 @@ impl Cluster {
 
     fn aggregate_offload_stats(&self) -> OffloadStats {
         let mut total = OffloadStats::default();
+        total.merge(&self.retired_offload);
         for instance in &self.instances {
             total.merge(&instance.offload_stats());
         }
@@ -1330,17 +1689,21 @@ impl Cluster {
         total
     }
 
+    fn accumulate_cache(total: &mut CacheStats, s: &CacheStats) {
+        total.allocations += s.allocations;
+        total.hit_tokens += s.hit_tokens;
+        total.miss_tokens += s.miss_tokens;
+        total.requests_with_hits += s.requests_with_hits;
+        total.evicted_blocks += s.evicted_blocks;
+        total.committed_blocks += s.committed_blocks;
+        total.failed_allocations += s.failed_allocations;
+    }
+
     fn aggregate_cache_stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
+        Self::accumulate_cache(&mut total, &self.retired_cache);
         for instance in &self.instances {
-            let s = instance.cache_stats();
-            total.allocations += s.allocations;
-            total.hit_tokens += s.hit_tokens;
-            total.miss_tokens += s.miss_tokens;
-            total.requests_with_hits += s.requests_with_hits;
-            total.evicted_blocks += s.evicted_blocks;
-            total.committed_blocks += s.committed_blocks;
-            total.failed_allocations += s.failed_allocations;
+            Self::accumulate_cache(&mut total, &instance.cache_stats());
         }
         total
     }
@@ -1789,12 +2152,24 @@ mod tests {
             instances: (0..config.num_instances() as usize)
                 .map(|id| EngineInstance::new(&config, id))
                 .collect(),
+            slot_states: vec![
+                SlotState::Active { attached: false };
+                config.num_instances() as usize
+            ],
+            profile: InstanceProfile::new(&config),
             router: config
                 .routing
                 .build(config.num_instances() as usize)
                 .unwrap(),
             net_pool: None,
             net_merge_evictions: 0,
+            membership: workload::MembershipSchedule::default(),
+            membership_cursor: 0,
+            autoscaler_cooldown: 0,
+            membership_log: Vec::new(),
+            drain_records: Vec::new(),
+            retired_cache: CacheStats::default(),
+            retired_offload: OffloadStats::default(),
         };
         let a = shared.run(&arrivals, 5.0).unwrap();
         let b = unshared.run(&arrivals, 5.0).unwrap();
@@ -2337,5 +2712,204 @@ mod tests {
             "a user's 6 posts share a ~4k-token profile; hit rate was {:.2}",
             report.cache_hit_rate()
         );
+    }
+
+    /// Tentpole acceptance: the byte-identity guarantee survives elasticity.  With
+    /// all three KV tiers active, propagation epochs cutting the window, and a
+    /// membership schedule that drains one instance mid-trace (spilling its KV to
+    /// the shared tier) and later joins a warm replacement, the threaded replay
+    /// stays byte-identical to the sequential reference — and the streamed replay
+    /// to the materialised one — under both sticky and cache-aware routing,
+    /// across two consecutive windows.
+    #[test]
+    fn parallel_replay_is_byte_identical_to_sequential_across_membership_events() {
+        use workload::MembershipEvent;
+        let at = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+        for policy in [
+            crate::routing::RoutingPolicyKind::StickyUser,
+            crate::routing::RoutingPolicyKind::CacheAware,
+        ] {
+            let (config, arrivals) = net_pressure_config(64 << 30);
+            let config = config.with_routing(policy).with_net_propagation_ms(2_000);
+            let schedule = MembershipSchedule::new(vec![
+                MembershipEvent {
+                    at: at(2_500),
+                    change: MembershipChange::Drain { spill: true },
+                },
+                MembershipEvent {
+                    at: at(10_000),
+                    change: MembershipChange::Join { attached: true },
+                },
+            ]);
+
+            let mut parallel = Cluster::new(&config);
+            let mut sequential = Cluster::new(&config);
+            let mut streamed = Cluster::new(&config);
+            parallel.schedule_membership(schedule.clone());
+            sequential.schedule_membership(schedule.clone());
+            streamed.schedule_membership(schedule.clone());
+            let mut event_window_records = Vec::new();
+            for window in 0..2 {
+                let a = parallel.run(&arrivals, 3.0).unwrap();
+                let b = sequential.run_sequential(&arrivals, 3.0).unwrap();
+                let mut stream = SliceArrivalStream::from_sorted(&arrivals);
+                let c = streamed.run_stream(&mut stream, 3.0).unwrap();
+                assert_eq!(a.records, b.records, "{policy:?} window {window}");
+                assert_eq!(a.makespan, b.makespan, "{policy:?} window {window}");
+                assert_eq!(a.cache, b.cache, "{policy:?} window {window}");
+                assert_eq!(a.offload, b.offload, "{policy:?} window {window}");
+                assert_eq!(a.records, c.records, "{policy:?} window {window} streamed");
+                assert_eq!(a.cache, c.cache, "{policy:?} window {window} streamed");
+                assert_eq!(a.offload, c.offload, "{policy:?} window {window} streamed");
+                if window == 0 {
+                    event_window_records = a.records.clone();
+                }
+            }
+
+            // The schedule actually played out — identically on every path.
+            for cluster in [&parallel, &sequential, &streamed] {
+                let log = cluster.membership_log();
+                assert_eq!(log.len(), 2, "{policy:?}: both events applied");
+                assert!(
+                    matches!(log[0].change, MembershipChange::Drain { spill: true }),
+                    "{policy:?}"
+                );
+                assert!(
+                    matches!(log[1].change, MembershipChange::Join { attached: true }),
+                    "{policy:?}"
+                );
+                let drains = cluster.drain_records();
+                assert_eq!(drains.len(), 1, "{policy:?}: the drained slot retired");
+                assert_eq!(drains[0].slot, log[0].slot, "{policy:?}");
+                assert!(
+                    drains[0].spill.gpu_blocks > 0,
+                    "{policy:?}: the leaver must hand its GPU-resident KV to the net tier"
+                );
+                assert_eq!(cluster.num_active_instances(), 2, "{policy:?}");
+                // No arrival routed after the drain ran on the drained slot.
+                let applied = log[0].at;
+                let drained = log[0].slot;
+                assert!(
+                    cluster.drain_records()[0].retired_at >= applied,
+                    "{policy:?}"
+                );
+                // The join may reuse the retired slot, so the no-misroute window
+                // runs from the drain's application to the join's.
+                let rejoined = log[1].at;
+                assert!(
+                    event_window_records
+                        .iter()
+                        .filter(|r| r.arrival >= applied && r.arrival < rejoined)
+                        .all(|r| r.instance != drained),
+                    "{policy:?}: no post-drain arrival may run on the drained slot"
+                );
+            }
+            assert_eq!(
+                parallel.membership_log(),
+                sequential.membership_log(),
+                "{policy:?}"
+            );
+            assert_eq!(
+                parallel.drain_records(),
+                sequential.drain_records(),
+                "{policy:?}"
+            );
+            let pa = parallel.net_pool().unwrap();
+            let pb = sequential.net_pool().unwrap();
+            assert_eq!(pa.resident_blocks(), pb.resident_blocks(), "{policy:?}");
+            assert_eq!(pa.generation(), pb.generation(), "{policy:?}");
+        }
+    }
+
+    /// Regression (the sticky fast-path bug): `user_seq % n` arithmetic silently
+    /// misroutes once `n` changes mid-trace, so a membership event must retire
+    /// both sticky fast paths permanently.  Pinned by replaying a fully stamped
+    /// trace across a drain and requiring record-identity with the same trace
+    /// stripped of every stamp (the slow path), plus the direct property that no
+    /// post-drain arrival lands on the drained slot.
+    #[test]
+    fn membership_retires_the_sticky_fast_paths_record_identical_to_the_slow_path() {
+        use workload::MembershipEvent;
+        let ds = small_post_rec_dataset();
+        let arrivals = assign_poisson_arrivals(&ds, 5.0, &mut SimRng::seed_from_u64(2));
+        assert!(arrivals.iter().all(|a| a.sticky.is_some()));
+        let mut unstamped = arrivals.clone();
+        for arrival in &mut unstamped {
+            arrival.sticky = None;
+        }
+        let schedule = MembershipSchedule::new(vec![MembershipEvent {
+            at: SimTime::ZERO + SimDuration::from_millis(2_000),
+            change: MembershipChange::Drain { spill: false },
+        }]);
+
+        let config = config(EngineKind::prefillonly_default());
+        let mut fast = Cluster::new(&config);
+        fast.schedule_membership(schedule.clone());
+        let a = fast.run(&arrivals, 5.0).unwrap();
+        let mut slow = Cluster::new(&config);
+        slow.schedule_membership(schedule);
+        let b = slow.run(&unstamped, 5.0).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.makespan, b.makespan);
+
+        // The drain actually bit mid-trace, and nothing was misrouted onto the
+        // drained slot afterwards (the bug would keep sending `user_seq % 2 == 1`
+        // users there).
+        let log = fast.membership_log();
+        assert_eq!(log.len(), 1);
+        let (applied, drained) = (log[0].at, log[0].slot);
+        let post_drain: Vec<_> = a.records.iter().filter(|r| r.arrival >= applied).collect();
+        assert!(
+            !post_drain.is_empty(),
+            "the trace must continue past the drain for the pin to mean anything"
+        );
+        assert!(
+            post_drain.iter().all(|r| r.instance != drained),
+            "post-drain arrivals must never route to the drained slot"
+        );
+        assert!(
+            a.records
+                .iter()
+                .any(|r| r.arrival >= applied && r.instance != drained),
+            "survivors keep serving"
+        );
+    }
+
+    /// The autoscaler is deterministic: evaluated at epoch boundaries from
+    /// completed-epoch load only, so the threaded replay scales (and replays)
+    /// byte-identically to the sequential reference, and every derived event is
+    /// logged as autoscaled.
+    #[test]
+    fn autoscaler_scales_up_deterministically_at_epoch_boundaries() {
+        let (config, arrivals) = net_pressure_config(64 << 30);
+        let config = config.with_net_propagation_ms(2_000).with_autoscaler(
+            crate::config::AutoscalerPolicy {
+                scale_up_outstanding_tokens: 1,
+                scale_down_outstanding_tokens: 0,
+                cooldown_epochs: 1,
+                min_instances: 1,
+                max_instances: 4,
+            },
+        );
+        let mut parallel = Cluster::new(&config);
+        let mut sequential = Cluster::new(&config);
+        let a = parallel.run(&arrivals, 3.0).unwrap();
+        let b = sequential.run_sequential(&arrivals, 3.0).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.offload, b.offload);
+        assert_eq!(parallel.membership_log(), sequential.membership_log());
+        let log = parallel.membership_log();
+        assert!(
+            !log.is_empty(),
+            "a squeezed two-instance fleet under pressure must trigger a scale-up"
+        );
+        assert!(log.iter().all(|applied| applied.autoscaled));
+        assert!(log
+            .iter()
+            .any(|applied| matches!(applied.change, MembershipChange::Join { attached: true })));
+        assert!(parallel.num_active_instances() > 2);
+        assert!(parallel.num_active_instances() <= 4);
     }
 }

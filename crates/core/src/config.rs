@@ -36,6 +36,20 @@ pub enum ConfigError {
         /// The configured upper bound.
         max_ms: u64,
     },
+    /// The autoscaler policy is unusable: the fleet bounds must satisfy
+    /// `1 <= min_instances <= max_instances` and the load thresholds must leave a
+    /// hysteresis band (`scale_down_outstanding_tokens` strictly below
+    /// `scale_up_outstanding_tokens`), or the fleet would oscillate every epoch.
+    AutoscalerBounds {
+        /// The configured fleet floor.
+        min_instances: usize,
+        /// The configured fleet ceiling.
+        max_instances: usize,
+        /// The configured scale-up threshold.
+        scale_up_outstanding_tokens: u64,
+        /// The configured scale-down threshold.
+        scale_down_outstanding_tokens: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -60,6 +74,17 @@ impl std::fmt::Display for ConfigError {
             ConfigError::AdaptiveEpochBounds { min_ms, max_ms } => write!(
                 f,
                 "adaptive epoch bounds need 1 <= min_ms <= max_ms, got min {min_ms} max {max_ms}"
+            ),
+            ConfigError::AutoscalerBounds {
+                min_instances,
+                max_instances,
+                scale_up_outstanding_tokens,
+                scale_down_outstanding_tokens,
+            } => write!(
+                f,
+                "autoscaler needs 1 <= min_instances <= max_instances and \
+                 scale_down < scale_up, got instances [{min_instances}, {max_instances}] \
+                 thresholds down {scale_down_outstanding_tokens} / up {scale_up_outstanding_tokens}"
             ),
         }
     }
@@ -117,6 +142,56 @@ pub enum EpochLengthPolicy {
         /// Longest epoch the controller may stretch to, in milliseconds.
         max_ms: u64,
     },
+}
+
+/// Threshold/hysteresis autoscaler over the router's modelled
+/// [`InstanceLoad`](crate::InstanceLoad) signal, evaluated at propagation-epoch
+/// boundaries.
+///
+/// Determinism contract: the decision at a boundary is a pure function of
+/// *completed-epoch* state — the mean outstanding tokens per routable instance as
+/// the routing layer's load model left them after the last epoch — never of
+/// anything mid-epoch, so parallel and sequential replay scale identically.  When
+/// the mean exceeds [`Self::scale_up_outstanding_tokens`], one warm (net-attached)
+/// instance joins; when it falls below [`Self::scale_down_outstanding_tokens`],
+/// one instance drains (spilling its reusable KV into the net tier).  The gap
+/// between the thresholds is the hysteresis band; [`Self::cooldown_epochs`]
+/// boundaries must pass after any scale action (scheduled membership events
+/// included) before the autoscaler may fire again, so a drain still finishing
+/// does not trigger a panic join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AutoscalerPolicy {
+    /// Mean outstanding tokens per routable instance above which one instance
+    /// joins (warm, net-attached).
+    pub scale_up_outstanding_tokens: u64,
+    /// Mean outstanding tokens per routable instance below which one instance
+    /// drains.  Must be strictly below the scale-up threshold.
+    pub scale_down_outstanding_tokens: u64,
+    /// Epoch boundaries that must pass after a scale action before the next may
+    /// fire (0 = may fire at every boundary).
+    pub cooldown_epochs: u64,
+    /// Fewest routable instances the autoscaler may drain down to (≥ 1).
+    pub min_instances: usize,
+    /// Most routable instances the autoscaler may grow to.
+    pub max_instances: usize,
+}
+
+impl AutoscalerPolicy {
+    /// Checks the policy's bounds (see [`ConfigError::AutoscalerBounds`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.min_instances == 0
+            || self.min_instances > self.max_instances
+            || self.scale_down_outstanding_tokens >= self.scale_up_outstanding_tokens
+        {
+            return Err(ConfigError::AutoscalerBounds {
+                min_instances: self.min_instances,
+                max_instances: self.max_instances,
+                scale_up_outstanding_tokens: self.scale_up_outstanding_tokens,
+                scale_down_outstanding_tokens: self.scale_down_outstanding_tokens,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Which of the five evaluated serving systems to instantiate.
@@ -257,6 +332,11 @@ pub struct EngineConfig {
     /// [`Self::net_propagation_ms`] long, byte-identical to the fixed-boundary
     /// behaviour of earlier releases).
     pub epoch_length: EpochLengthPolicy,
+    /// Optional threshold/hysteresis autoscaler evaluated at propagation-epoch
+    /// boundaries (see [`AutoscalerPolicy`]).  `None` — the default — keeps the
+    /// fleet at whatever size the hardware setup and any scheduled membership
+    /// events dictate.
+    pub autoscaler: Option<AutoscalerPolicy>,
 }
 
 impl EngineConfig {
@@ -283,6 +363,7 @@ impl EngineConfig {
             reload_policy: ReloadPolicyKind::Modeled,
             routing: RoutingPolicyKind::StickyUser,
             epoch_length: EpochLengthPolicy::Fixed,
+            autoscaler: None,
         }
     }
 
@@ -297,6 +378,9 @@ impl EngineConfig {
             if min_ms == 0 || min_ms > max_ms {
                 return Err(ConfigError::AdaptiveEpochBounds { min_ms, max_ms });
             }
+        }
+        if let Some(autoscaler) = &self.autoscaler {
+            autoscaler.validate()?;
         }
         Ok(())
     }
@@ -367,6 +451,14 @@ impl EngineConfig {
             min_ms,
             max_ms,
         };
+        self
+    }
+
+    /// Installs a threshold/hysteresis autoscaler evaluated at propagation-epoch
+    /// boundaries (see [`AutoscalerPolicy`]).  The policy's bounds are checked by
+    /// [`Self::validate`] when the cluster is built.
+    pub fn with_autoscaler(mut self, autoscaler: AutoscalerPolicy) -> EngineConfig {
+        self.autoscaler = Some(autoscaler);
         self
     }
 
@@ -474,6 +566,56 @@ mod tests {
         assert_eq!(config.routing, RoutingPolicyKind::StickyUser);
         let config = config.with_routing(RoutingPolicyKind::CacheAware);
         assert_eq!(config.routing, RoutingPolicyKind::CacheAware);
+    }
+
+    #[test]
+    fn autoscaler_bounds_are_validated() {
+        let base = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::prefillonly_default(),
+            20_000,
+        );
+        let good = AutoscalerPolicy {
+            scale_up_outstanding_tokens: 50_000,
+            scale_down_outstanding_tokens: 5_000,
+            cooldown_epochs: 2,
+            min_instances: 1,
+            max_instances: 4,
+        };
+        assert_eq!(base.clone().with_autoscaler(good).validate(), Ok(()));
+
+        for (name, bad) in [
+            (
+                "zero fleet floor",
+                AutoscalerPolicy {
+                    min_instances: 0,
+                    ..good
+                },
+            ),
+            (
+                "floor above ceiling",
+                AutoscalerPolicy {
+                    min_instances: 5,
+                    max_instances: 4,
+                    ..good
+                },
+            ),
+            (
+                "no hysteresis band",
+                AutoscalerPolicy {
+                    scale_down_outstanding_tokens: 50_000,
+                    ..good
+                },
+            ),
+        ] {
+            let err = base.clone().with_autoscaler(bad).validate().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::AutoscalerBounds { .. }),
+                "{name} must fail validation"
+            );
+            assert!(err.to_string().contains("autoscaler"), "{name}");
+        }
     }
 
     #[test]

@@ -408,6 +408,14 @@ impl EngineInstance {
         self.kv.net_pool()
     }
 
+    /// Publishes this instance's reusable KV into its installed network-tier
+    /// snapshot — the drain-to-net handoff of a leaving instance (see
+    /// [`kvcache::KvCacheManager::drain_to_net`]).  A no-op without an installed
+    /// snapshot (detached slots, tierless deployments).
+    pub fn drain_to_net(&mut self, now: SimTime) -> kvcache::DrainSpill {
+        self.kv.drain_to_net(now)
+    }
+
     /// The instance's modelled load as the routing layer sees it: waiting plus
     /// running requests and their input tokens.  The queue half is O(1)
     /// ([`WaitingQueue::total_tokens`]); the running half iterates the (small) set of

@@ -81,8 +81,10 @@ mod routing;
 
 pub use baselines::{all_engine_kinds, engine_display_name};
 pub use client::PrefillOnlyClient;
-pub use cluster::{Cluster, RoutingScratch, RunError};
-pub use config::{ConfigError, EngineConfig, EngineKind, EpochLengthPolicy, ReloadPolicyKind};
+pub use cluster::{AppliedMembership, Cluster, DrainRecord, RoutingScratch, RunError};
+pub use config::{
+    AutoscalerPolicy, ConfigError, EngineConfig, EngineKind, EpochLengthPolicy, ReloadPolicyKind,
+};
 pub use instance::{EngineInstance, InstanceProfile, InstanceStats};
 pub use report::{RequestRecord, RunReport};
 pub use request::{PrefillRequest, PrefillResponse, TokenScore};

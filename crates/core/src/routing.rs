@@ -84,6 +84,7 @@ impl RoutingPolicyKind {
             RoutingPolicyKind::StickyUser => Box::new(StickyUserPolicy {
                 router: UserRouter::new(num_instances).expect("checked above"),
                 rank_users: Vec::new(),
+                elastic: false,
             }),
             RoutingPolicyKind::LeastLoaded => Box::new(LeastLoadedPolicy),
             RoutingPolicyKind::CacheAware => Box::new(CacheAwarePolicy),
@@ -142,6 +143,12 @@ pub struct RouterSnapshot {
     /// One frozen three-tier probe per instance; empty unless the policy asked for
     /// probes ([`RoutingPolicy::needs_prefix_probe`]).
     probes: Vec<PrefixProbe>,
+    /// The instance slots a decision may name, ascending.  On a fixed fleet this is
+    /// the identity `0..loads.len()`; under elastic membership, draining and
+    /// retired slots stay *in* the loads/probes vectors (instance indices are
+    /// stable for the replay's lifetime) but drop out of this list, so policies
+    /// never route new work onto a leaver.
+    slots: Vec<usize>,
     block_size: usize,
     /// GPU KV pool capacity of one instance, in blocks (instances of a deployment
     /// are identical) — caps how much tier-resident depth is actually realisable.
@@ -163,7 +170,8 @@ impl RouterSnapshot {
     }
 
     /// Builds a snapshot from per-instance loads and (optionally) per-instance
-    /// probes.  `probes` must be empty or have one entry per instance.
+    /// probes.  `probes` must be empty or have one entry per instance.  Every slot
+    /// is routable; use [`Self::with_routable_slots`] to restrict.
     pub fn new(
         loads: Vec<InstanceLoad>,
         probes: Vec<PrefixProbe>,
@@ -176,9 +184,11 @@ impl RouterSnapshot {
             probes.is_empty() || probes.len() == loads.len(),
             "one probe per instance (or none at all)"
         );
+        let slots = (0..loads.len()).collect();
         RouterSnapshot {
             loads,
             probes,
+            slots,
             block_size,
             pool_capacity_blocks,
             cpu_hit_discount,
@@ -186,9 +196,30 @@ impl RouterSnapshot {
         }
     }
 
-    /// Number of instances behind the router.
+    /// Restricts the snapshot to the given routable slots (ascending instance
+    /// indices; draining/retired slots keep their loads/probes entries but may not
+    /// be chosen).  Panics unless `slots` is non-empty, strictly ascending and
+    /// in range — an all-leavers fleet has nowhere to route.
+    pub fn with_routable_slots(mut self, slots: Vec<usize>) -> RouterSnapshot {
+        assert!(!slots.is_empty(), "at least one routable slot");
+        assert!(
+            slots.windows(2).all(|w| w[0] < w[1])
+                && *slots.last().expect("non-empty") < self.loads.len(),
+            "routable slots must be strictly ascending instance indices"
+        );
+        self.slots = slots;
+        self
+    }
+
+    /// Number of instances behind the router (routable or not — decisions are
+    /// bounds-checked against this; routability against [`Self::routable`]).
     pub fn num_instances(&self) -> usize {
         self.loads.len()
+    }
+
+    /// The routable instance slots, ascending (see [`Self::with_routable_slots`]).
+    pub fn routable(&self) -> &[usize] {
+        &self.slots
     }
 
     /// The modelled load of one instance (window-start state plus this window's
@@ -295,6 +326,14 @@ pub trait RoutingPolicy: Send {
     ) -> bool {
         false
     }
+
+    /// Notifies the policy that the fleet's routable slots changed (a membership
+    /// event was applied at an epoch boundary).  `routable` is the new ascending
+    /// slot list.  Stateless policies need nothing — they read
+    /// [`RouterSnapshot::routable`] each pass; the sticky policy uses this to
+    /// *permanently* retire its arithmetic `user_seq % n` fast path, whose modulus
+    /// silently diverges from round-robin over a resized fleet.
+    fn note_membership_change(&mut self, _routable: &[usize]) {}
 }
 
 /// The [`RoutingPolicyKind::StickyUser`] policy: §7.1 user-id routing over a
@@ -309,6 +348,13 @@ struct StickyUserPolicy {
     /// `r % num_instances`; epoch batches whose stamps extend this history can
     /// therefore keep fast-pathing after a slow-path window.
     rank_users: Vec<u64>,
+    /// Set (permanently) by the first membership event.  The arithmetic fast path
+    /// computes `user_seq % num_instances` — the round-robin outcome over the fleet
+    /// the trace was *stamped* for.  Once the fleet has resized, that modulus
+    /// silently disagrees with round-robin over the surviving slots (and can even
+    /// name a drained instance), so every later epoch must take the slot-aware
+    /// slow path.
+    elastic: bool,
 }
 
 impl StickyUserPolicy {
@@ -376,7 +422,22 @@ impl RoutingPolicy for StickyUserPolicy {
         RoutingPolicyKind::StickyUser
     }
 
-    fn route(&mut self, query: &RouteQuery<'_>, _snapshot: &RouterSnapshot) -> RoutingDecision {
+    fn route(&mut self, query: &RouteQuery<'_>, snapshot: &RouterSnapshot) -> RoutingDecision {
+        if self.elastic {
+            // Slot-aware stickiness over a resized fleet: users keep their pin
+            // while it stays routable; users pinned to a drained slot (and new
+            // users) take the next routable slot round-robin.
+            let known = self.router.is_known(query.user_id);
+            let instance = self.router.route_slots(query.user_id, snapshot.routable());
+            let reason = if known {
+                RoutingReason::StickyExisting
+            } else {
+                self.rank_users.push(query.user_id);
+                RoutingReason::StickyNew
+            };
+            debug_assert_eq!(self.rank_users.len(), self.router.known_users());
+            return RoutingDecision { instance, reason };
+        }
         let known = self.router.known_users();
         let instance = self.router.route(query.user_id);
         let reason = if self.router.known_users() > known {
@@ -400,6 +461,9 @@ impl RoutingPolicy for StickyUserPolicy {
         arrivals: &[ArrivalPattern],
         num_instances: usize,
     ) -> Option<Vec<RoutingDecision>> {
+        if self.elastic {
+            return None;
+        }
         let new_firsts = self.validate_stamps(arrivals.iter())?;
         let decisions = arrivals
             .iter()
@@ -424,6 +488,9 @@ impl RoutingPolicy for StickyUserPolicy {
         decisions: &mut [RoutingDecision],
     ) -> bool {
         debug_assert_eq!(batch.len(), decisions.len());
+        if self.elastic {
+            return false;
+        }
         let Some(new_firsts) = self.validate_stamps(batch.iter().map(|s| &s.arrival)) else {
             return false;
         };
@@ -435,6 +502,14 @@ impl RoutingPolicy for StickyUserPolicy {
             self.seed_first(user);
         }
         true
+    }
+
+    /// The sticky fast-path fix for elastic fleets: `user_seq % n` was stamped for
+    /// the fleet the trace was generated against; after the first resize it would
+    /// silently misroute (or target a drained slot), so the arithmetic path is
+    /// retired for good and every later arrival takes the slot-aware slow path.
+    fn note_membership_change(&mut self, _routable: &[usize]) {
+        self.elastic = true;
     }
 }
 
@@ -448,9 +523,12 @@ impl RoutingPolicy for LeastLoadedPolicy {
     }
 
     fn route(&mut self, _query: &RouteQuery<'_>, snapshot: &RouterSnapshot) -> RoutingDecision {
-        let instance = (0..snapshot.num_instances())
-            .min_by_key(|&i| snapshot.load_key(i))
-            .expect("snapshots cover at least one instance");
+        let instance = snapshot
+            .routable()
+            .iter()
+            .copied()
+            .min_by_key(|&slot| snapshot.load_key(slot))
+            .expect("snapshots cover at least one routable slot");
         RoutingDecision {
             instance,
             reason: RoutingReason::LeastLoaded,
@@ -472,17 +550,18 @@ impl RoutingPolicy for CacheAwarePolicy {
     }
 
     fn route(&mut self, query: &RouteQuery<'_>, snapshot: &RouterSnapshot) -> RoutingDecision {
-        // Maximise hit depth; break ties (including the all-zero case) by minimal
-        // load key, resolving equal (depth, load) pairs to the lowest instance
-        // index.  One pass, one chain walk per instance.
-        let mut instance = 0;
-        let mut best_depth = snapshot.discounted_hit_tokens(0, query.hashes);
-        let mut best_key = snapshot.load_key(0);
-        for i in 1..snapshot.num_instances() {
-            let depth = snapshot.discounted_hit_tokens(i, query.hashes);
-            let key = snapshot.load_key(i);
+        // Maximise hit depth over the routable slots; break ties (including the
+        // all-zero case) by minimal load key, resolving equal (depth, load) pairs
+        // to the lowest slot.  One pass, one chain walk per routable instance.
+        let slots = snapshot.routable();
+        let mut instance = slots[0];
+        let mut best_depth = snapshot.discounted_hit_tokens(instance, query.hashes);
+        let mut best_key = snapshot.load_key(instance);
+        for &slot in &slots[1..] {
+            let depth = snapshot.discounted_hit_tokens(slot, query.hashes);
+            let key = snapshot.load_key(slot);
             if depth > best_depth || (depth == best_depth && key < best_key) {
-                instance = i;
+                instance = slot;
                 best_depth = depth;
                 best_key = key;
             }
@@ -536,6 +615,32 @@ impl UserRouter {
         self.assignment.insert(user_id, instance);
         self.next = (self.next + 1) % self.num_instances;
         instance
+    }
+
+    /// Routes `user_id` over an explicit routable-slot list (ascending instance
+    /// indices, non-empty) — the elastic-fleet counterpart of [`Self::route`].  A
+    /// user pinned to a still-routable slot keeps it; a new user, or one whose slot
+    /// has drained out of the fleet, is (re-)pinned to the next routable slot in
+    /// round-robin order.  On the identity slot list `0..n` this behaves exactly
+    /// like [`Self::route`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty.
+    pub fn route_slots(&mut self, user_id: u64, slots: &[usize]) -> usize {
+        assert!(
+            !slots.is_empty(),
+            "routing needs at least one routable slot"
+        );
+        if let Some(&slot) = self.assignment.get(&user_id) {
+            if slots.binary_search(&slot).is_ok() {
+                return slot;
+            }
+        }
+        let slot = slots[self.next % slots.len()];
+        self.assignment.insert(user_id, slot);
+        self.next = (self.next + 1) % slots.len();
+        slot
     }
 
     /// Pins a new user to an instance directly (the sticky fast path, which already
@@ -1020,6 +1125,132 @@ mod tests {
             decisions.iter().map(|d| d.instance).collect::<Vec<_>>(),
             vec![0, 1]
         );
+    }
+
+    #[test]
+    fn load_policies_route_only_over_routable_slots() {
+        use kvcache::hash_token_blocks;
+
+        // Slot 0 is idle but unroutable (draining): least-loaded must pick the
+        // best *routable* slot, tie-breaking by slot index as before.
+        let mut policy = RoutingPolicyKind::LeastLoaded.build(3).unwrap();
+        let snapshot = snapshot_with_loads(vec![
+            InstanceLoad::default(),
+            InstanceLoad {
+                queued_requests: 2,
+                outstanding_tokens: 300,
+            },
+            InstanceLoad {
+                queued_requests: 1,
+                outstanding_tokens: 100,
+            },
+        ])
+        .with_routable_slots(vec![1, 2]);
+        assert_eq!(policy.route(&query(1, 50), &snapshot).instance, 2);
+
+        // Cache-aware: the deepest hit lives on the unroutable slot; the policy
+        // must settle for the deepest hit among the routable ones.
+        let block_size = 16usize;
+        let chain: Vec<u32> = (0..64).collect();
+        let hashes = hash_token_blocks(&chain, block_size);
+        let probe_of = |gpu: &[TokenBlockHash]| {
+            kvcache::PrefixProbe::new(
+                block_size,
+                gpu.iter().copied().collect(),
+                Default::default(),
+                Default::default(),
+            )
+        };
+        let probes = vec![probe_of(&hashes), probe_of(&hashes[..2]), probe_of(&[])];
+        let snapshot = RouterSnapshot::new(
+            vec![InstanceLoad::default(); 3],
+            probes,
+            block_size,
+            1 << 20,
+            0.8,
+            0.4,
+        )
+        .with_routable_slots(vec![1, 2]);
+        let mut policy = RoutingPolicyKind::CacheAware.build(3).unwrap();
+        let q = RouteQuery {
+            user_id: 3,
+            num_tokens: 64,
+            hashes: &hashes,
+        };
+        let d = policy.route(&q, &snapshot);
+        assert_eq!((d.instance, d.reason), (1, RoutingReason::DeepestPrefix));
+    }
+
+    #[test]
+    fn membership_change_retires_the_sticky_fast_path_and_repins_drained_users() {
+        use simcore::SimTime;
+        use std::sync::Arc;
+        use workload::{ArrivalPattern, RequestTemplate, StickySeq, StreamedArrival};
+
+        let streamed =
+            |id: u64, user: u64, at_ms: u64, user_seq: u64, first: bool| StreamedArrival {
+                id,
+                arrival: ArrivalPattern {
+                    template: RequestTemplate {
+                        user_id: user,
+                        tokens: Arc::new(vec![0; 32]),
+                        shared_prefix_tokens: 0,
+                    },
+                    arrival: SimTime::from_millis(at_ms),
+                    sticky: Some(StickySeq {
+                        user_seq,
+                        first_of_user: first,
+                    }),
+                },
+            };
+        let mut policy = RoutingPolicyKind::StickyUser.build(2).unwrap();
+        let noop = RoutingDecision {
+            instance: 0,
+            reason: RoutingReason::Direct,
+        };
+
+        // Pre-resize: users 10 → slot 0, 20 → slot 1 via the arithmetic fast path.
+        let epoch1 = vec![streamed(0, 10, 0, 0, true), streamed(1, 20, 5, 1, true)];
+        let mut decisions = vec![noop; epoch1.len()];
+        assert!(policy.route_stamped_batch(&epoch1, 2, &mut decisions));
+        assert_eq!(
+            decisions.iter().map(|d| d.instance).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+
+        // Slot 1 drains out.  Even perfectly consistent stamps must now refuse the
+        // fast path — `user_seq % n` would route rank-1 users onto the leaver.
+        policy.note_membership_change(&[0]);
+        let epoch2 = vec![streamed(2, 20, 10, 1, false), streamed(3, 30, 12, 2, true)];
+        let mut decisions = vec![noop; epoch2.len()];
+        assert!(
+            !policy.route_stamped_batch(&epoch2, 2, &mut decisions),
+            "resized fleets must take the slot-aware slow path"
+        );
+        assert!(policy
+            .route_sorted_trace(&[epoch2[0].arrival.clone()], 2)
+            .is_none());
+
+        // Slow path: user 20's pin (slot 1) is gone → re-pinned to a routable slot,
+        // still labelled an existing user; user 10 keeps slot 0.
+        let snapshot =
+            snapshot_with_loads(vec![InstanceLoad::default(); 2]).with_routable_slots(vec![0]);
+        let d = policy.route(&query(20, 32), &snapshot);
+        assert_eq!((d.instance, d.reason), (0, RoutingReason::StickyExisting));
+        let d = policy.route(&query(10, 32), &snapshot);
+        assert_eq!((d.instance, d.reason), (0, RoutingReason::StickyExisting));
+
+        // The fleet grows to three slots: new users round-robin over the routable
+        // list, and the re-pinned user 20 sticks to its new home.
+        let snapshot =
+            snapshot_with_loads(vec![InstanceLoad::default(); 3]).with_routable_slots(vec![0, 2]);
+        let d = policy.route(&query(40, 32), &snapshot);
+        assert_eq!(d.reason, RoutingReason::StickyNew);
+        let first_new = d.instance;
+        let d = policy.route(&query(50, 32), &snapshot);
+        assert_eq!(d.reason, RoutingReason::StickyNew);
+        assert_ne!(d.instance, first_new, "new users spread round-robin");
+        assert_eq!(policy.route(&query(20, 32), &snapshot).instance, 0);
     }
 
     #[test]

@@ -40,8 +40,8 @@ mod snapshot;
 pub use block::{BlockId, BlockPool};
 pub use hash::{hash_token_blocks, TokenBlockHash};
 pub use manager::{
-    CacheStats, KvCacheManager, KvError, ReloadQuote, ReloadTier, RequestKv, RetentionPolicy,
-    TierHits, NET_SPILL_MIN_USES,
+    CacheStats, DrainSpill, KvCacheManager, KvError, ReloadQuote, ReloadTier, RequestKv,
+    RetentionPolicy, TierHits, NET_SPILL_MIN_USES,
 };
 pub use netpool::{NetKvPool, NetReload};
 pub use offload::{CpuEviction, CpuKvPool, OffloadStats};

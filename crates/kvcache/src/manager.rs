@@ -46,6 +46,21 @@ use crate::offload::{CpuKvPool, OffloadStats};
 /// displace blocks other instances can actually reuse.
 pub const NET_SPILL_MIN_USES: u32 = 2;
 
+/// Accounting of one [`KvCacheManager::drain_to_net`] pass (a leaver publishing its
+/// reusable KV into the cluster tier before retiring).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DrainSpill {
+    /// GPU-resident blocks published into the network tier.
+    pub gpu_blocks: u64,
+    /// CPU-resident blocks that passed the single-use spill filter and were
+    /// published.
+    pub cpu_blocks: u64,
+    /// CPU-resident blocks the single-use spill filter kept out.
+    pub filtered_blocks: u64,
+    /// Network-tier residents displaced to make room for the published blocks.
+    pub evicted_blocks: u64,
+}
+
 /// How a request's KV blocks must be resident during execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RetentionPolicy {
@@ -957,6 +972,51 @@ impl KvCacheManager {
         self.lru.len() as u64
     }
 
+    /// Publishes every reusable resident block into the installed network snapshot —
+    /// the drain path of an instance leaving the fleet, so survivors inherit its
+    /// work.  GPU-resident blocks spill unconditionally (they were committed prefix
+    /// blocks, the strongest reuse evidence the hierarchy records) in `(last_used,
+    /// hash)` order; CPU-resident blocks follow in their own LRU order through the
+    /// same single-use filter the eviction cascade applies
+    /// ([`NET_SPILL_MIN_USES`]).  Each spill keeps the entry's own `last_used`
+    /// recency (the net LRU order extends the leaver's) and publishes at `now +
+    /// propagation delay`, exactly like a cascade spill at `now`.
+    ///
+    /// The local tiers are left untouched: a spill is a copy, not a move, and the
+    /// drained instance is about to be retired anyway.  No-op (all-zero report)
+    /// when no network snapshot is installed.
+    pub fn drain_to_net(&mut self, now: SimTime) -> DrainSpill {
+        let mut report = DrainSpill::default();
+        let Some(net) = self.net.as_mut() else {
+            return report;
+        };
+        for &(last_used, hash) in &self.lru {
+            let (written, evicted) =
+                net.offload_spilled(std::slice::from_ref(&hash), last_used, now);
+            report.gpu_blocks += written;
+            report.evicted_blocks += evicted;
+        }
+        if let Some(cpu) = self.cpu.as_ref() {
+            for victim in cpu.lru_entries() {
+                if victim.uses >= NET_SPILL_MIN_USES {
+                    let (written, evicted) = net.offload_spilled(
+                        std::slice::from_ref(&victim.hash),
+                        victim.last_used,
+                        now,
+                    );
+                    report.cpu_blocks += written;
+                    report.evicted_blocks += evicted;
+                } else {
+                    report.filtered_blocks += 1;
+                }
+            }
+        }
+        self.net_stats.net_offloaded_blocks += report.gpu_blocks + report.cpu_blocks;
+        self.net_stats.net_filtered_blocks += report.filtered_blocks;
+        self.net_stats.net_evicted_blocks += report.evicted_blocks;
+        report
+    }
+
     /// Evicts up to `count` least-recently-used unreferenced cached blocks, spilling
     /// each victim one tier down when offload is enabled.  Returns how many blocks
     /// were actually evicted.
@@ -1615,6 +1675,101 @@ mod tests {
         assert_eq!(m.offload_stats().declined_reload_blocks, 8);
         assert_eq!(m.offload_stats().reloaded_blocks, 0);
         m.release_uncommitted(alloc);
+        m.assert_lru_invariant();
+    }
+
+    /// Shadow model of the drain-to-net handoff: a flat reference — computed
+    /// directly from the leaver's tier contents and the spill filter — of exactly
+    /// which hashes must appear in the shared pool after [`KvCacheManager::drain_to_net`],
+    /// with which publish timestamp and which origin bit, compared against the
+    /// real spill path.  Coverage-guarded: the scenario must exercise all three
+    /// drain flows (GPU spill, CPU pass-through, CPU filtered) or the test fails
+    /// rather than pass vacuously.
+    #[test]
+    fn drain_to_net_matches_the_flat_shadow_model() {
+        let delay = simcore::SimDuration::from_millis(1_500);
+        // GPU 4 blocks, CPU roomy (16 blocks) so nothing cascades before the drain.
+        let mut m = KvCacheManager::with_offload(4, 16, 16 * CPU_BLOCK_BYTES, CPU_BLOCK_BYTES);
+        let shared = crate::NetKvPool::new(1 << 30, CPU_BLOCK_BYTES).with_propagation_delay(delay);
+        let owner = 3usize;
+        m.install_net_pool(shared.visible_snapshot(SimTime::ZERO, owner));
+
+        let run = |m: &mut KvCacheManager, chain: &[u32], secs: u64| {
+            let alloc = m
+                .allocate(
+                    chain,
+                    SimTime::from_secs(secs),
+                    RetentionPolicy::FullResidency,
+                )
+                .unwrap();
+            m.commit(alloc, SimTime::from_secs(secs));
+        };
+        let multi_use = tokens(0, 64); // evicted, reloaded, evicted again: uses ≥ 2
+        let single_use = tokens(9_000, 64); // computed once, evicted once: uses = 1
+        let gpu_resident = tokens(13_000, 64); // still on the GPU at drain time
+        run(&mut m, &multi_use, 0);
+        run(&mut m, &single_use, 1); // evicts multi_use → CPU (uses 1)
+        run(&mut m, &multi_use, 2); // reloads multi_use (uses 2), evicts single_use → CPU (uses 1)
+        run(&mut m, &gpu_resident, 3); // evicts multi_use → CPU touch (uses 3)
+        let hits = m.lookup_tier_hits_from_hashes(&kvcache_hashes(&gpu_resident, 16));
+        assert_eq!(hits.gpu_blocks, 4, "the leaver must hold GPU-resident KV");
+        assert_eq!(
+            m.cpu_resident_blocks(),
+            8,
+            "multi_use and single_use on CPU"
+        );
+        assert_eq!(
+            m.offload_stats().net_offloaded_blocks,
+            0,
+            "net fed only by the drain"
+        );
+
+        // The flat reference: every GPU-resident block spills unconditionally;
+        // every CPU-resident block spills iff its reuse count passes the filter.
+        // All of them publish at `drain_at + delay` with the leaver's origin bit.
+        let drain_at = SimTime::from_secs(4);
+        let expected_meta = (drain_at + delay, 1u64 << owner);
+        let expected_spilled: Vec<TokenBlockHash> = kvcache_hashes(&gpu_resident, 16)
+            .into_iter()
+            .chain(kvcache_hashes(&multi_use, 16))
+            .collect();
+        let expected_filtered = kvcache_hashes(&single_use, 16);
+
+        let report = m.drain_to_net(drain_at);
+        // Coverage guard: all three flows exercised.
+        assert_eq!(report.gpu_blocks, 4, "GPU tier must spill");
+        assert_eq!(
+            report.cpu_blocks, 4,
+            "a reused CPU chain must pass the filter"
+        );
+        assert_eq!(
+            report.filtered_blocks, 4,
+            "a single-use CPU chain must be filtered"
+        );
+        assert_eq!(report.evicted_blocks, 0);
+
+        let pool = m.net_pool().unwrap();
+        assert_eq!(
+            pool.resident_blocks(),
+            8,
+            "exactly the shadow set is resident"
+        );
+        for hash in &expected_spilled {
+            assert_eq!(
+                pool.entry_meta(*hash),
+                Some(expected_meta),
+                "spilled hash must carry the drain publish stamp and origin bit"
+            );
+        }
+        for hash in &expected_filtered {
+            assert_eq!(pool.entry_meta(*hash), None, "filtered hash must stay out");
+        }
+        // The drain is a copy, not a move: the leaver's own tiers are untouched.
+        assert_eq!(m.lookup_cached_tokens(&gpu_resident), 64);
+        assert_eq!(m.cpu_resident_blocks(), 8);
+        let stats = m.offload_stats();
+        assert_eq!(stats.net_offloaded_blocks, 8);
+        assert_eq!(stats.net_filtered_blocks, 4);
         m.assert_lru_invariant();
     }
 

@@ -183,6 +183,13 @@ impl NetKvPool {
         self.generation
     }
 
+    /// Publication metadata of one resident entry — `(published, origins)` — or
+    /// `None` if the hash is not resident.  Read-only introspection for shadow-model
+    /// tests of the spill paths; simulation code never consults it.
+    pub fn entry_meta(&self, hash: TokenBlockHash) -> Option<(SimTime, u64)> {
+        self.entries.get(&hash).map(|e| (e.published, e.origins))
+    }
+
     /// Refreshes an entry's recency, never moving it backwards (a spill of a stale
     /// duplicate must not demote an entry a recent reload marked hot).  A duplicate
     /// spill also keeps the *earliest* publication — content already on its way to

@@ -245,6 +245,19 @@ impl CpuKvPool {
         self.entries.keys().copied()
     }
 
+    /// Every resident entry in eviction order — oldest `(last_used, hash)` first —
+    /// carrying the same reuse evidence an eviction would report (see
+    /// [`CpuEviction::uses`]).  The drain path of an instance leaving the fleet walks
+    /// this to push the tier's reusable contents through the single-use spill filter
+    /// without disturbing the pool.
+    pub fn lru_entries(&self) -> impl Iterator<Item = CpuEviction> + '_ {
+        self.lru.iter().map(|&(last_used, hash)| CpuEviction {
+            hash,
+            last_used,
+            uses: self.entries[&hash].uses,
+        })
+    }
+
     /// Returns how many *leading* blocks of `hashes` are present in CPU memory (the
     /// reloadable prefix).
     pub fn lookup_prefix_blocks(&self, hashes: &[TokenBlockHash]) -> u64 {

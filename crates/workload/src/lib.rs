@@ -18,6 +18,7 @@
 
 mod arrival;
 mod dataset;
+mod membership;
 mod spec;
 mod stream;
 
@@ -26,6 +27,7 @@ pub use arrival::{
     StickySeq,
 };
 pub use dataset::{Dataset, DatasetSummary, RequestTemplate};
+pub use membership::{MembershipChange, MembershipEvent, MembershipSchedule};
 pub use spec::{
     CreditVerificationSpec, PostRecommendationSpec, SharedPrefixFleetSpec, WorkloadKind,
 };

@@ -506,6 +506,160 @@ fn cache_aware_routing_beats_sticky_on_a_shared_prefix_multi_user_trace() {
 }
 
 #[test]
+fn warm_join_recovers_strictly_faster_than_cold_join_on_a_shared_prefix_fleet() {
+    // The elastic-fleet tentpole, end to end: a two-instance deployment serves
+    // three cohorts of four users sharing 5k-token cross-user prefixes with all
+    // three KV tiers squeezed (the `shared_prefix_fleet_pressure` shape).  One
+    // instance drains early — its drain-to-net handoff publishes the cohort
+    // prefixes it computed into the shared tier — and a replacement joins later;
+    // six *new* cohort members first arrive after the join, and sticky
+    // round-robin re-pinning spreads them (and all three cohorts) across both
+    // routable slots.  A *warm* join (attached to the shared tier) rehydrates the
+    // leaver's prefixes over the fabric; a *cold* join (detached for life)
+    // recomputes them — so post-join mean JCT must be strictly lower under the
+    // warm join, with the difference visible in the joiner's own records.
+    // The scenario definition is shared with `ablation_elastic`'s warmth sweep
+    // (see `prefillonly_bench::scenarios`).
+    use simcore::SimTime;
+    use workload::{MembershipChange, MembershipEvent, MembershipSchedule};
+
+    let (config, arrivals) = prefillonly_bench::elastic_fleet_handoff();
+    let qps = prefillonly_bench::ELASTIC_FLEET_QPS;
+
+    let run = |attached: bool| {
+        let mut cluster = Cluster::new(&config);
+        cluster.schedule_membership(MembershipSchedule::new(vec![
+            MembershipEvent {
+                at: SimTime::from_millis(prefillonly_bench::ELASTIC_DRAIN_AT_MS),
+                change: MembershipChange::Drain { spill: true },
+            },
+            MembershipEvent {
+                at: SimTime::from_millis(prefillonly_bench::ELASTIC_JOIN_AT_MS),
+                change: MembershipChange::Join { attached },
+            },
+        ]));
+        let report = cluster.run(&arrivals, qps).expect("feasible");
+        let log = cluster.membership_log().to_vec();
+        let drains = cluster.drain_records().to_vec();
+        (report, log, drains)
+    };
+    let (warm, warm_log, warm_drains) = run(true);
+    let (cold, cold_log, _) = run(false);
+
+    // Both runs apply the same schedule at the same boundaries onto the same
+    // slots, and the leaver's handoff actually published KV.
+    assert_eq!(warm_log.len(), 2);
+    assert_eq!(cold_log.len(), 2);
+    assert_eq!(warm_log[1].at, cold_log[1].at);
+    assert_eq!(warm_log[1].slot, cold_log[1].slot);
+    assert_eq!(warm_drains.len(), 1);
+    assert!(
+        warm_drains[0].spill.gpu_blocks > 0,
+        "the leaver must hand its GPU-resident cohort prefixes to the shared tier"
+    );
+    let (joined_at, joiner) = (warm_log[1].at, warm_log[1].slot);
+
+    // The joiner actually received work in both runs (sticky re-pins the late
+    // users round-robin across both routable slots).  The joiner reuses the
+    // drained slot, so only post-join records count.
+    let on_joiner = |report: &prefillonly::RunReport| {
+        report
+            .records
+            .iter()
+            .filter(|r| r.instance == joiner && r.arrival >= joined_at)
+            .count()
+    };
+    assert!(on_joiner(&warm) > 0, "the warm joiner must serve requests");
+    assert!(on_joiner(&cold) > 0, "the cold joiner must serve requests");
+
+    // Warm entry shows up as network-tier reloads on the joiner; a cold (detached)
+    // joiner can never touch the shared tier.
+    let joiner_net_tokens = |report: &prefillonly::RunReport| {
+        report
+            .records
+            .iter()
+            .filter(|r| r.instance == joiner && r.arrival >= joined_at)
+            .map(|r| r.net_reloaded_tokens)
+            .sum::<u64>()
+    };
+    assert!(
+        joiner_net_tokens(&warm) > 0,
+        "the warm joiner must rehydrate cohort prefixes from the shared tier"
+    );
+    assert_eq!(joiner_net_tokens(&cold), 0);
+
+    // The acceptance criterion: strictly lower mean JCT over the post-join phase.
+    let post_join_mean = |report: &prefillonly::RunReport| {
+        let latencies: Vec<f64> = report
+            .records
+            .iter()
+            .filter(|r| r.arrival >= joined_at)
+            .map(|r| r.latency().as_secs_f64())
+            .collect();
+        assert!(!latencies.is_empty());
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    assert!(
+        post_join_mean(&warm) < post_join_mean(&cold),
+        "warm join must recover faster than cold join: {:.4}s vs {:.4}s",
+        post_join_mean(&warm),
+        post_join_mean(&cold)
+    );
+}
+
+#[test]
+fn autoscaler_beats_a_static_under_provisioned_fleet() {
+    // Elastic-fleet satellite, end to end: the shared-prefix fleet trace replayed
+    // on a deployment squeezed to ONE instance (a drain scheduled at t = 0).  The
+    // static fleet stays under-provisioned for the whole trace; the autoscaled
+    // fleet notices the queue at the first epoch boundary and scales back up to
+    // two instances (a derived, warm join) — so its mean JCT must be strictly
+    // lower, and every derived event must be logged as autoscaled.
+    use simcore::SimTime;
+    use workload::{MembershipChange, MembershipEvent, MembershipSchedule};
+
+    let (base, arrivals) = prefillonly_bench::shared_prefix_fleet_pressure();
+    let qps = prefillonly_bench::SHARED_PREFIX_FLEET_QPS;
+    let config = base.with_net_propagation_ms(2_000);
+    let squeeze = MembershipSchedule::new(vec![MembershipEvent {
+        at: SimTime::ZERO,
+        change: MembershipChange::Drain { spill: true },
+    }]);
+
+    let mut static_cluster = Cluster::new(&config);
+    static_cluster.schedule_membership(squeeze.clone());
+    let static_report = static_cluster.run(&arrivals, qps).expect("feasible");
+    assert_eq!(static_cluster.membership_log().len(), 1);
+    assert_eq!(static_cluster.num_active_instances(), 1);
+
+    let autoscaled_config = config.with_autoscaler(prefillonly::AutoscalerPolicy {
+        scale_up_outstanding_tokens: 20_000,
+        scale_down_outstanding_tokens: 0,
+        cooldown_epochs: 1,
+        min_instances: 1,
+        max_instances: 2,
+    });
+    let mut autoscaled_cluster = Cluster::new(&autoscaled_config);
+    autoscaled_cluster.schedule_membership(squeeze);
+    let autoscaled_report = autoscaled_cluster.run(&arrivals, qps).expect("feasible");
+
+    let log = autoscaled_cluster.membership_log();
+    assert!(
+        log.iter().any(|applied| applied.autoscaled
+            && matches!(applied.change, MembershipChange::Join { attached: true })),
+        "the autoscaler must derive a warm join under queue pressure"
+    );
+    assert!(log.iter().skip(1).all(|applied| applied.autoscaled));
+    assert_eq!(autoscaled_cluster.num_active_instances(), 2);
+    assert!(
+        autoscaled_report.mean_latency_secs() < static_report.mean_latency_secs(),
+        "scaling back up must beat staying under-provisioned: {:.4}s vs {:.4}s",
+        autoscaled_report.mean_latency_secs(),
+        static_report.mean_latency_secs()
+    );
+}
+
+#[test]
 fn reports_are_deterministic_for_a_fixed_seed() {
     let build = || {
         let mut rng = SimRng::seed_from_u64(404);
