@@ -2,109 +2,216 @@
 //! node of a disaggregated deployment.
 //!
 //! In prefill-decode disaggregation (DistServe-style), a prefill node computes the KV
-//! cache and ships it to a decode node.  The prefill node's workload is prefill-only by
-//! definition, so PrefillOnly's techniques apply directly — with one twist: the KV of
-//! *all* layers must now be kept (to hand off), so the win comes from hybrid prefilling
-//! (activation chunking) and JCT scheduling rather than from suffix discarding.  This
-//! ablation compares time-to-first-token on the prefill node for the vanilla full
-//! prefill vs hybrid prefilling, including the KV handoff cost over PCIe and NVLink.
+//! cache and ships it to a decode node.  This ablation replays one multi-turn
+//! conversation trace through the engine's decode stage under both deployments:
+//!
+//! * **colocated** — a chunked-prefill engine serves the trace as-is, so running
+//!   decode batches interleave with incoming prefills (continuous batching) and
+//!   TTFT pays the interference;
+//! * **disaggregated** — the prefill node replays the same trace with the decode
+//!   tail stripped (its workload is prefill-only by definition), the per-request KV
+//!   handoff is charged over PCIe or NVLink, and the decode node prices the same
+//!   per-step schedule with every open session batched together.
+//!
+//! Both sides use the same roofline: the cluster's decode stage for the colocated
+//! run and [`Executor::decode_step_time`] over the trace's actual per-request
+//! contexts for the decode node — nothing is a fixed step count detached from the
+//! trace.
 
-use executor::{max_input_length, Executor, ExecutorConfig, PrefillStrategy};
-use gpu::{GpuKind, Interconnect, LinkKind};
-use model::{llama3_1_8b, llama3_3_70b_fp8, qwen2_5_32b_fp8, ModelConfig};
+use executor::{Executor, ExecutorConfig, PrefillStrategy};
+use gpu::{HardwareSetup, Interconnect, LinkKind};
+use model::ModelPreset;
+use prefillonly::{Cluster, EngineConfig, EngineKind};
 use prefillonly_bench::{print_table, write_json};
 use serde::Serialize;
+use std::sync::Arc;
+use workload::{conversation_trace, ArrivalPattern, ConversationSpec, RequestTemplate};
 
 #[derive(Debug, Serialize)]
 struct DisaggRow {
     hardware: String,
-    prompt_tokens: u64,
-    engine: String,
-    prefill_secs: f64,
-    handoff_pcie_secs: f64,
-    handoff_nvlink_secs: f64,
-    max_prompt_tokens: u64,
+    deployment: String,
+    mean_ttft_secs: f64,
+    mean_tpot_secs: f64,
+    mean_jct_secs: f64,
+    kv_handoff_secs: f64,
 }
 
 fn main() {
-    // `--smoke`: one hardware tier, no JSON export — the CI rot-check mode.
+    // `--smoke`: one hardware tier, a smaller trace, no JSON export — the CI
+    // rot-check mode.
     let smoke = std::env::args().any(|arg| arg == "--smoke");
     println!("Extension ablation: PrefillOnly as the prefill node of a disaggregated deployment\n");
 
-    let mut tiers: Vec<(&str, ModelConfig, GpuKind, u64)> = vec![
-        ("L4 / Llama-8B", llama3_1_8b(), GpuKind::L4, 16_000),
+    let mut tiers: Vec<(&str, ModelPreset, HardwareSetup)> = vec![
+        (
+            "L4 / Llama-8B",
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+        ),
         (
             "A100 / Qwen-32B FP8",
-            qwen2_5_32b_fp8(),
-            GpuKind::A100_40G,
-            10_000,
+            ModelPreset::Qwen25_32bFp8,
+            HardwareSetup::a100_pair(),
         ),
         (
             "H100 / Llama-70B FP8",
-            llama3_3_70b_fp8(),
-            GpuKind::H100_80G,
-            10_000,
+            ModelPreset::Llama33_70bFp8,
+            HardwareSetup::h100_pair_pcie(),
         ),
     ];
     if smoke {
         tiers.truncate(1);
     }
 
+    let spec = ConversationSpec {
+        num_sessions: if smoke { 4 } else { 12 },
+        turns_per_session: 3,
+        system_prompt_tokens: 1_024,
+        first_turn_input_tokens: 2_048,
+        turn_input_tokens: 256,
+        decode_tokens_per_turn: 256,
+        think_time_ms: 2_000,
+    };
+    let session_qps = 1.0;
+    let trace = conversation_trace(&spec, session_qps, 9);
+
+    // The prefill node's view of the same trace: every request with its decode
+    // tail stripped (the decode node owns those tokens).
+    let prefill_only: Vec<ArrivalPattern> = trace
+        .arrivals()
+        .iter()
+        .map(|arrival| {
+            let template = &arrival.template;
+            let prompt = template.tokens.len() - template.decode_tokens as usize;
+            ArrivalPattern {
+                template: RequestTemplate {
+                    user_id: template.user_id,
+                    tokens: Arc::new(template.tokens[..prompt].to_vec()),
+                    shared_prefix_tokens: template.shared_prefix_tokens,
+                    decode_tokens: 0,
+                },
+                arrival: arrival.arrival,
+                sticky: arrival.sticky,
+            }
+        })
+        .collect();
+
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
-    for (name, model, gpu, prompt_tokens) in tiers {
-        let kv_bytes = model.kv_bytes_per_token() * prompt_tokens;
-        let pcie = Interconnect::new(LinkKind::PcieGen5, 2)
-            .point_to_point(kv_bytes)
-            .as_secs_f64();
-        let nvlink = Interconnect::new(LinkKind::NvLink4, 2)
-            .point_to_point(kv_bytes)
-            .as_secs_f64();
+    for (name, preset, hardware) in tiers {
+        let model = preset.config();
 
-        for (engine, strategy) in [
-            ("full prefill", PrefillStrategy::Full),
-            ("hybrid prefill", PrefillStrategy::hybrid_default()),
-        ] {
-            let executor = Executor::new(ExecutorConfig::single_gpu(
-                model.clone(),
-                gpu.spec(),
-                strategy,
-            ));
-            let prefill = executor.forward_time(prompt_tokens, 0).total.as_secs_f64();
-            // On a prefill node the KV of every layer must be retained for handoff, so
-            // the MIL benefit of hybrid prefilling comes from its activation footprint
-            // only; report the achievable prompt length for context.
-            let mil = max_input_length(&executor, 1_000);
+        // Colocated: the engine's own decode stage, decode batches interleaving
+        // with chunked prefills.
+        let colocated_config = EngineConfig::new(
+            preset,
+            hardware,
+            EngineKind::chunked_default(),
+            spec.max_request_tokens(),
+        );
+        let colocated = Cluster::new(&colocated_config)
+            .run_sorted(&trace, session_qps)
+            .expect("conversation trace feasible");
+
+        // Disaggregated prefill node: prefill-only replay of the same arrivals.
+        let prefill_config = EngineConfig::new(
+            preset,
+            hardware,
+            EngineKind::prefillonly_default(),
+            spec.max_request_tokens(),
+        );
+        let prefill_node = Cluster::new(&prefill_config)
+            .run(&prefill_only, session_qps)
+            .expect("prefill-only trace feasible");
+
+        // Per-request KV handoff of the full prompt, averaged over the trace.
+        let mean_handoff = |link: LinkKind| -> f64 {
+            let interconnect = Interconnect::new(link, 2);
+            let total: f64 = prefill_only
+                .iter()
+                .map(|a| {
+                    let kv_bytes = model.kv_bytes_per_token() * a.template.tokens.len() as u64;
+                    interconnect.point_to_point(kv_bytes).as_secs_f64()
+                })
+                .sum();
+            total / prefill_only.len() as f64
+        };
+        let pcie = mean_handoff(LinkKind::PcieGen5);
+        let nvlink = mean_handoff(LinkKind::NvLink4);
+
+        // Decode node: the trace's own per-step schedule (context grows one token
+        // per step from each request's actual prompt), priced by the same roofline
+        // with every open session batched — a dedicated decode node runs one
+        // continuous batch.
+        let decode_executor = Executor::new(ExecutorConfig::single_gpu(
+            model.clone(),
+            hardware.gpu_spec(),
+            PrefillStrategy::Full,
+        ));
+        let batch = spec.num_sessions;
+        let decode_tpot: f64 = trace
+            .arrivals()
+            .iter()
+            .map(|a| {
+                let template = &a.template;
+                let prompt = template.tokens.len() as u64 - template.decode_tokens;
+                let total: f64 = (0..template.decode_tokens)
+                    .map(|step| {
+                        decode_executor
+                            .decode_step_time(prompt + step, batch)
+                            .as_secs_f64()
+                    })
+                    .sum();
+                total / template.decode_tokens as f64
+            })
+            .sum::<f64>()
+            / trace.arrivals().len() as f64;
+
+        let mut push = |deployment: &str, ttft: f64, tpot: f64, jct: f64, handoff: f64| {
             rows.push(vec![
                 name.to_string(),
-                prompt_tokens.to_string(),
-                engine.to_string(),
-                format!("{prefill:.2}"),
-                format!("{pcie:.2}"),
-                format!("{nvlink:.3}"),
-                mil.to_string(),
+                deployment.to_string(),
+                format!("{ttft:.3}"),
+                format!("{:.2}", tpot * 1_000.0),
+                format!("{jct:.3}"),
+                format!("{handoff:.3}"),
             ]);
             json_rows.push(DisaggRow {
                 hardware: name.to_string(),
-                prompt_tokens,
-                engine: engine.to_string(),
-                prefill_secs: prefill,
-                handoff_pcie_secs: pcie,
-                handoff_nvlink_secs: nvlink,
-                max_prompt_tokens: mil,
+                deployment: deployment.to_string(),
+                mean_ttft_secs: ttft,
+                mean_tpot_secs: tpot,
+                mean_jct_secs: jct,
+                kv_handoff_secs: handoff,
             });
+        };
+
+        push(
+            "colocated (chunked prefill)",
+            colocated.mean_ttft_secs(),
+            colocated.mean_tpot_secs(),
+            colocated.mean_latency_secs(),
+            0.0,
+        );
+        let decode_tail = (spec.decode_tokens_per_turn - 1) as f64 * decode_tpot;
+        for (deployment, handoff) in [
+            ("disaggregated, PCIe handoff", pcie),
+            ("disaggregated, NVLink handoff", nvlink),
+        ] {
+            let ttft = prefill_node.mean_ttft_secs() + handoff;
+            push(deployment, ttft, decode_tpot, ttft + decode_tail, handoff);
         }
     }
 
     print_table(
         &[
             "hardware / model",
-            "prompt",
-            "prefill node engine",
-            "prefill (s)",
-            "KV handoff PCIe (s)",
-            "KV handoff NVLink (s)",
-            "engine MIL (tok)",
+            "deployment",
+            "mean TTFT (s)",
+            "mean TPOT (ms)",
+            "mean JCT (s)",
+            "KV handoff (s)",
         ],
         &rows,
     );
@@ -115,8 +222,8 @@ fn main() {
     }
 
     println!();
-    println!("Reading: hybrid prefilling keeps the prefill node's latency on par with full");
-    println!("prefilling while widening the prompt lengths a single prefill GPU can accept;");
-    println!("the KV handoff is bandwidth-bound and argues for NVLink between prefill and");
-    println!("decode nodes, independent of the prefill strategy.");
+    println!("Reading: disaggregation buys its TTFT win by taking running decode batches out");
+    println!("of the prefill node's way; the KV handoff is bandwidth-bound and argues for");
+    println!("NVLink between prefill and decode nodes, while the decode node's TPOT is set");
+    println!("by weight traffic amortised over the sessions it batches.");
 }

@@ -21,8 +21,8 @@ use prefillonly_bench::hotpath::{calibrated_queue, cohort_cache, FullWalkProbe, 
 use scheduler::{JctEstimator, SchedulingPolicy, SrjfPolicy};
 use simcore::{SimRng, SimTime};
 use workload::{
-    assign_poisson_arrivals, ArrivalStream, Dataset, PostRecommendationSpec, SharedPrefixFleetSpec,
-    SharedPrefixFleetStream, StreamedArrival,
+    assign_poisson_arrivals, conversation_trace, ArrivalStream, ConversationSpec, Dataset,
+    PostRecommendationSpec, SharedPrefixFleetSpec, SharedPrefixFleetStream, StreamedArrival,
 };
 
 const BLOCK_SIZE: usize = prefillonly_bench::hotpath::BLOCK_SIZE;
@@ -532,6 +532,72 @@ fn epoch_barrier_baselines(out: &mut Vec<BaselinePoint>) {
     }
 }
 
+/// Decode-stage hot paths: the per-step roofline price itself (the inner loop of
+/// every decode schedule), and a multi-turn conversation replay through the
+/// decode-enabled engine — chunked prefills interleaving with running decode
+/// batches, later turns re-hitting their session prefix.
+fn decode_baselines(out: &mut Vec<BaselinePoint>) {
+    use executor::{Executor, ExecutorConfig, PrefillStrategy};
+    let executor = Executor::new(ExecutorConfig::single_gpu(
+        ModelPreset::Llama31_8b.config(),
+        HardwareSetup::l4_pair().gpu_spec(),
+        PrefillStrategy::Full,
+    ));
+    measure_batched(
+        out,
+        "executor/decode_step/4k_context_batch_32",
+        samples(15),
+        10_000,
+        || {
+            std::hint::black_box(executor.decode_step_time(4_096, 32));
+        },
+    );
+
+    let spec = ConversationSpec {
+        num_sessions: 12,
+        turns_per_session: 4,
+        system_prompt_tokens: 1_024,
+        first_turn_input_tokens: 1_024,
+        turn_input_tokens: 192,
+        decode_tokens_per_turn: 128,
+        think_time_ms: 2_000,
+    };
+    let qps = 2.0;
+    let trace = conversation_trace(&spec, qps, 42);
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::chunked_default(),
+        spec.max_request_tokens(),
+    );
+    measure(
+        out,
+        "serving/multi_turn_replay_48_requests/parallel",
+        samples(9),
+        || Cluster::new(&config),
+        |mut cluster| {
+            let report = cluster.run_sorted(&trace, qps).expect("feasible");
+            assert!(report.decode_tokens() > 0);
+            std::hint::black_box(report.records.len());
+            cluster
+        },
+    );
+    measure(
+        out,
+        "serving/multi_turn_replay_48_requests/sequential",
+        samples(9),
+        || Cluster::new(&config),
+        |mut cluster| {
+            let report = cluster
+                .run_sorted_sequential(&trace, qps)
+                .expect("feasible");
+            assert!(report.decode_tokens() > 0);
+            std::hint::black_box(report.records.len());
+            cluster
+        },
+    );
+}
+
 fn workspace_root() -> PathBuf {
     std::env::var("CARGO_MANIFEST_DIR")
         .map(|dir| {
@@ -552,6 +618,7 @@ fn main() {
     net_reload_baselines(&mut results);
     instance_profile_baselines(&mut results);
     cluster_baselines(&mut results);
+    decode_baselines(&mut results);
     routing_pass_baselines(&mut results);
     epoch_barrier_baselines(&mut results);
     streaming_replay_baselines(&mut results);

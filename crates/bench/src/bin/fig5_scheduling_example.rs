@@ -112,6 +112,7 @@ fn run_policy(policy: &dyn SchedulingPolicy, calibrated: bool) -> PolicyOutcome 
             id: r.id,
             arrival: now,
             total_tokens: r.tokens.len() as u64,
+            decode_tokens: 0,
             // Classic SRJF freezes the (empty) cache state observed at arrival.
             cached_tokens_at_arrival: 0,
         })

@@ -99,7 +99,9 @@ impl EvalScenario {
             }
             // Not part of the paper's figure scenarios; generated with its defaults
             // if a sweep ever asks for it.
-            WorkloadKind::SharedPrefixFleet => Dataset::generate(self.workload, &mut rng),
+            WorkloadKind::SharedPrefixFleet | WorkloadKind::Conversation => {
+                Dataset::generate(self.workload, &mut rng)
+            }
         }
     }
 

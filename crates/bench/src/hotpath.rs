@@ -65,6 +65,7 @@ pub fn calibrated_queue(depth: usize) -> Vec<WaitingRequest> {
             id,
             arrival: SimTime::from_millis(id * 7),
             total_tokens: 4_000 + (id % 40) * 500,
+            decode_tokens: 0,
             cached_tokens_at_arrival: 0,
         })
         .collect()

@@ -94,6 +94,7 @@ pub fn elastic_fleet_handoff() -> (EngineConfig, Vec<ArrivalPattern>) {
                 user_id: user,
                 tokens: Arc::new(tokens),
                 shared_prefix_tokens: u64::from(PREFIX_TOKENS),
+                decode_tokens: 0,
             },
             arrival: SimTime::from_millis(at_ms),
             sticky: None,

@@ -61,6 +61,7 @@ impl PrefillOnlyClient {
             id: request_id,
             user_id: 0,
             tokens: Arc::new(tokens.to_vec()),
+            decode_tokens: 0,
             allowed_outputs: allowed_outputs.iter().map(|s| s.to_string()).collect(),
             arrival,
             routing: crate::routing::RoutingReason::Direct,

@@ -210,8 +210,10 @@ struct PartitionEntry {
     hashes: Option<Arc<Vec<kvcache::TokenBlockHash>>>,
     /// The user the request belongs to.
     user_id: u64,
-    /// The request's input tokens.
+    /// The request's full token sequence (prompt plus decoded reply).
     tokens: Arc<Vec<u32>>,
+    /// Of `tokens`, the trailing count decoded iteratively (0 = prefill-only).
+    decode_tokens: u64,
     /// When the request arrives.
     arrival: SimTime,
 }
@@ -701,6 +703,7 @@ impl Cluster {
                     hashes: routed.take_hashes(idx),
                     user_id: arrival.template.user_id,
                     tokens: Arc::clone(&arrival.template.tokens),
+                    decode_tokens: arrival.template.decode_tokens,
                     arrival: arrival.arrival,
                 });
             };
@@ -870,6 +873,7 @@ impl Cluster {
                         hashes: scratch.take_hashes(pos),
                         user_id: streamed.arrival.template.user_id,
                         tokens: Arc::clone(&streamed.arrival.template.tokens),
+                        decode_tokens: streamed.arrival.template.decode_tokens,
                         arrival: streamed.arrival.arrival,
                     });
                     queues[decision.instance].push(
@@ -1095,6 +1099,7 @@ impl Cluster {
                         id: streamed.id,
                         user_id: streamed.arrival.template.user_id,
                         tokens: Arc::clone(&streamed.arrival.template.tokens),
+                        decode_tokens: streamed.arrival.template.decode_tokens,
                         allowed_outputs: Vec::new(),
                         arrival: now,
                         routing: decision.reason,
@@ -1148,6 +1153,7 @@ impl Cluster {
                         id: idx as u64,
                         user_id: arrival.template.user_id,
                         tokens: Arc::clone(&arrival.template.tokens),
+                        decode_tokens: arrival.template.decode_tokens,
                         allowed_outputs: Vec::new(),
                         arrival: now,
                         routing: decision.reason,
@@ -1586,6 +1592,7 @@ impl Cluster {
                         id: entry.request_id,
                         user_id: entry.user_id,
                         tokens: Arc::clone(&entry.tokens),
+                        decode_tokens: entry.decode_tokens,
                         allowed_outputs: Vec::new(),
                         arrival: now,
                         routing: entry.reason,
@@ -2635,6 +2642,129 @@ mod tests {
         ));
         let err = cluster.run_stream(&mut stream, 1.0).unwrap_err();
         assert!(matches!(err, RunError::WorkloadInfeasible { .. }));
+    }
+
+    /// The decode stage is strictly additive: on a trace where every request has
+    /// `decode_tokens = 0`, the records are pinned to the prefill-only shape the
+    /// engine has always produced — the first token *is* the completion, TTFT *is*
+    /// the JCT, and no TPOT sample exists.  Together with the byte-identity tests
+    /// above (which replay the same zero-decode traces through every path), this
+    /// pins the degenerate path to the pre-decode engine.
+    #[test]
+    fn zero_decode_records_are_pinned_to_the_prefill_only_shape() {
+        let (config, arrivals) = net_pressure_config(64 << 30);
+        let report = Cluster::new(&config).run(&arrivals, 3.0).unwrap();
+        assert!(!report.records.is_empty());
+        for r in &report.records {
+            assert_eq!(r.decode_tokens, 0);
+            assert_eq!(r.first_token, r.completed);
+            assert_eq!(r.ttft(), r.latency());
+            assert!(r.tpot().is_none());
+        }
+        assert_eq!(report.decode_tokens(), 0);
+        assert!(report.tpot_summary().is_none());
+        assert_eq!(report.mean_ttft_secs(), report.mean_latency_secs());
+    }
+
+    /// A decode-enabled multi-turn conversation under the full stack the decode
+    /// stage must not perturb: squeezed GPU pool, profile-sized CPU tier, shared
+    /// network pool, cache-aware routing and mid-window propagation epochs.
+    fn decode_conversation_scenario() -> (EngineConfig, workload::ConversationSpec) {
+        let spec = workload::ConversationSpec {
+            num_sessions: 10,
+            turns_per_session: 3,
+            system_prompt_tokens: 1_024,
+            first_turn_input_tokens: 2_048,
+            turn_input_tokens: 256,
+            decode_tokens_per_turn: 96,
+            think_time_ms: 2_000,
+        };
+        let mut config = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::prefillonly_default(),
+            spec.max_request_tokens(),
+        );
+        // Squeeze the KV pool below the working set of the open sessions so the
+        // decode-grown chains actually cascade through the lower tiers.
+        config.memory_utilization = 0.70;
+        let config = config
+            .with_cpu_offload(768 << 20)
+            .with_net_kv(64 << 30)
+            .with_routing(crate::routing::RoutingPolicyKind::CacheAware)
+            .with_net_propagation_ms(2_000);
+        (config, spec)
+    }
+
+    /// Tentpole acceptance: the determinism guarantee survives the decode stage.
+    /// On a multi-turn conversation trace (every request decodes a reply that the
+    /// next turn re-hits as cached prefix) with all three KV tiers active,
+    /// cache-aware routing and propagation epochs, all four replay paths —
+    /// threaded and sequential, materialised and streamed — produce byte-identical
+    /// records, cache, offload and shared-pool state.
+    #[test]
+    fn decode_replay_is_byte_identical_across_all_four_replay_paths() {
+        use workload::{conversation_trace, ConversationStream};
+        let (config, spec) = decode_conversation_scenario();
+        let qps = 1.0;
+        let seed = 77;
+
+        let trace = conversation_trace(&spec, qps, seed);
+        let mut parallel = Cluster::new(&config);
+        assert!(parallel.instances().len() > 1);
+        let a = parallel.run_sorted(&trace, qps).unwrap();
+        let mut sequential = Cluster::new(&config);
+        let b = sequential.run_sorted_sequential(&trace, qps).unwrap();
+
+        let mut streamed = Cluster::new(&config);
+        let c = streamed
+            .run_stream(&mut ConversationStream::new(spec, qps, seed), qps)
+            .unwrap();
+        let mut streamed_seq = Cluster::new(&config);
+        let d = streamed_seq
+            .run_stream_sequential(&mut ConversationStream::new(spec, qps, seed), qps)
+            .unwrap();
+
+        // Non-vacuity: the decode stage and every tier are genuinely exercised.
+        assert_eq!(a.records.len() as u64, spec.num_requests());
+        assert_eq!(
+            a.decode_tokens(),
+            spec.num_requests() * spec.decode_tokens_per_turn
+        );
+        assert!(a.tpot_summary().is_some(), "TPOT must be defined");
+        assert!(
+            a.mean_ttft_secs() < a.mean_latency_secs(),
+            "decode must push completion past the first token"
+        );
+        for r in &a.records {
+            assert_eq!(r.decode_tokens, spec.decode_tokens_per_turn);
+            assert!(r.first_token < r.completed);
+            assert!(r.ttft() < r.latency());
+            assert!(r.tpot().is_some());
+        }
+        assert!(
+            a.cache_hit_rate() > 0.0,
+            "later turns must re-hit their session prefix"
+        );
+        assert!(
+            a.offload.offloaded_blocks > 0,
+            "the squeezed pool must spill decode-grown chains"
+        );
+
+        // Byte-identity across all four paths.
+        for (label, other) in [("sequential", &b), ("streamed", &c), ("streamed seq", &d)] {
+            assert_eq!(a.records, other.records, "{label} records diverged");
+            assert_eq!(a.makespan, other.makespan, "{label} makespan diverged");
+            assert_eq!(a.cache, other.cache, "{label} cache stats diverged");
+            assert_eq!(a.offload, other.offload, "{label} offload stats diverged");
+        }
+        // The merged shared pools agree too, so a follow-up window starts identical.
+        let pool = parallel.net_pool().unwrap();
+        for other in [&sequential, &streamed, &streamed_seq] {
+            let p = other.net_pool().unwrap();
+            assert_eq!(pool.resident_blocks(), p.resident_blocks());
+            assert_eq!(pool.generation(), p.generation());
+        }
     }
 
     /// The adaptive epoch clock: halves under burst, doubles when near-idle, clamps

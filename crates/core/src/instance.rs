@@ -50,6 +50,9 @@ struct RunningRequest {
     request: PrefillRequest,
     kv: RequestKv,
     started: SimTime,
+    /// When the prefill pass finished and the first output token appeared.
+    /// Equals `completion` for prefill-only requests.
+    first_token: SimTime,
     completion: SimTime,
 }
 
@@ -493,6 +496,7 @@ impl EngineInstance {
             id: request.id,
             arrival: now,
             total_tokens: request.num_tokens(),
+            decode_tokens: request.decode_tokens,
             cached_tokens_at_arrival: cached_at_arrival,
         });
         self.pending_hashes.insert(request.id, hashes);
@@ -594,23 +598,62 @@ impl EngineInstance {
             let cached = kv_alloc.cached_tokens();
             let reloaded = kv_alloc.reloaded_tokens();
             let net_reloaded = kv_alloc.net_reloaded_tokens();
-            let new_tokens = kv_alloc.uncached_tokens().max(1);
+            // The allocation spans the *full* sequence (prompt plus decoded reply —
+            // the hash chain covers both so a later turn re-hits its own reply), but
+            // the prefill pass only forwards prompt tokens.  Clamp the residency
+            // credit to the prompt: decoded tokens are priced per decode step below
+            // even when an identical earlier sequence left their KV resident.  For
+            // prefill-only requests this degenerates to exactly the pre-decode cost.
+            let prompt_tokens = request.prompt_tokens();
+            let prefill_resident = (cached + reloaded + net_reloaded).min(prompt_tokens);
+            let prefill_new = (prompt_tokens - prefill_resident).max(1);
             // Reloaded tokens behave like cache hits to the model (their KV exists;
             // only uncached tokens are forwarded) but charge their tier's link
             // transfer, serialised before the first stage's compute — the attention
             // over the reloaded prefix cannot start until its KV is device-resident.
-            let breakdown = self
-                .executor
-                .forward_time(new_tokens, cached + reloaded + net_reloaded);
+            let breakdown = self.executor.forward_time(prefill_new, prefill_resident);
             let reload_transfer = self.host_link.transfer_time(kv_alloc.reloaded_bytes())
                 + self.net_link.transfer_time(kv_alloc.net_reloaded_bytes());
+
+            // Continuous batching (iteration-level scheduling): requests that are
+            // still producing decode tokens at admission time form the decode batch
+            // this request joins.  `HashMap` iteration order is unspecified, but
+            // both uses below are order-independent (a count and a sum).
+            let batchmates: u64 = self
+                .running
+                .values()
+                .filter(|r| r.request.decode_tokens > 0 && r.completion > now)
+                .count() as u64;
+            // Chunked prefill interleaves one decode iteration for the co-running
+            // batch after each prefill chunk (Sarathi-style stall-free batching):
+            // the new request's prefill pass stretches by the batchmates' decode
+            // steps it hosts.  Zero whenever no decode batch is running, which
+            // keeps prefill-only replays byte-identical to the pre-decode engine.
+            let mut interleave = SimDuration::ZERO;
+            if batchmates > 0 {
+                if let executor::PrefillStrategy::Chunked { chunk_tokens } =
+                    self.executor.config().strategy
+                {
+                    let chunks = prefill_new.div_ceil(chunk_tokens.max(1));
+                    let per_iteration: SimDuration = self
+                        .running
+                        .values()
+                        .filter(|r| r.request.decode_tokens > 0 && r.completion > now)
+                        .map(|r| {
+                            self.executor
+                                .decode_step_time(r.request.prompt_tokens(), batchmates)
+                        })
+                        .sum();
+                    interleave = per_iteration * chunks;
+                }
+            }
 
             // Walk the request through the pipeline stages, respecting both the
             // request's own data dependency and each stage's availability.
             let mut previous_end = now;
             for (stage, stage_time) in breakdown.stage_times.iter().enumerate() {
                 let work = if stage == 0 {
-                    *stage_time + reload_transfer
+                    *stage_time + reload_transfer + interleave
                 } else {
                     *stage_time
                 };
@@ -620,7 +663,23 @@ impl EngineInstance {
                 self.stats.busy += work;
                 previous_end = end;
             }
-            let completion = previous_end;
+            let first_token = previous_end;
+
+            // Iterative decode: one forward pass per reply token, batched with the
+            // co-running decoders (weight streaming amortises over the batch).  The
+            // decode schedule is priced at admission — replay-safe because the
+            // per-instance event sequence is identical across replay modes, so the
+            // batch observed here is too.  Decode iterations share the GPU with
+            // subsequent prefills via chunked interleaving rather than occupying
+            // `stage_free_at` (the batched-iteration simplification: decode never
+            // blocks admission, it stretches co-running work instead).
+            let mut decode_time = SimDuration::ZERO;
+            let batch = 1 + batchmates;
+            for step in 0..request.decode_tokens {
+                decode_time += self.executor.decode_step_time(prompt_tokens + step, batch);
+            }
+            self.stats.busy += decode_time;
+            let completion = first_token + decode_time;
 
             let request_id = request.id;
             self.running.insert(
@@ -629,6 +688,7 @@ impl EngineInstance {
                     request,
                     kv: kv_alloc,
                     started: now,
+                    first_token,
                     completion,
                 },
             );
@@ -664,8 +724,10 @@ impl EngineInstance {
             routing: running.request.routing,
             arrival: running.request.arrival,
             started: running.started,
+            first_token: running.first_token,
             completed: running.completion,
             total_tokens: running.request.num_tokens(),
+            decode_tokens: running.request.decode_tokens,
             cached_tokens: cached,
             reloaded_tokens: reloaded,
             net_reloaded_tokens: net_reloaded,
@@ -708,6 +770,7 @@ mod tests {
             id,
             user_id: user,
             tokens: Arc::new((0..tokens as u32).collect()),
+            decode_tokens: 0,
             allowed_outputs: vec!["Yes".into(), "No".into()],
             arrival,
             routing: RoutingReason::Direct,
@@ -769,6 +832,7 @@ mod tests {
             id: 1,
             user_id: 1,
             tokens: Arc::new(req_a),
+            decode_tokens: 0,
             allowed_outputs: vec![],
             arrival: now,
             routing: RoutingReason::Direct,
@@ -783,6 +847,7 @@ mod tests {
             id: 2,
             user_id: 1,
             tokens: Arc::new(req_b),
+            decode_tokens: 0,
             allowed_outputs: vec![],
             arrival: later,
             routing: RoutingReason::Direct,
@@ -824,6 +889,7 @@ mod tests {
                 id,
                 user_id: user,
                 tokens: Arc::new(tokens.to_vec()),
+                decode_tokens: 0,
                 allowed_outputs: vec![],
                 arrival: now,
                 routing: RoutingReason::Direct,
@@ -905,6 +971,7 @@ mod tests {
                 id: 100,
                 user_id: 1,
                 tokens: Arc::new(shared.clone()),
+                decode_tokens: 0,
                 allowed_outputs: vec![],
                 arrival: now,
                 routing: RoutingReason::Direct,
@@ -922,6 +989,7 @@ mod tests {
             id: 1,
             user_id: 2,
             tokens: Arc::clone(&cold_tokens),
+            decode_tokens: 0,
             allowed_outputs: vec![],
             arrival: t0,
             routing: RoutingReason::Direct,
@@ -932,6 +1000,7 @@ mod tests {
             id: 2,
             user_id: 1,
             tokens: Arc::new(warm_tokens.clone()),
+            decode_tokens: 0,
             allowed_outputs: vec![],
             arrival: t0,
             routing: RoutingReason::Direct,
@@ -946,6 +1015,7 @@ mod tests {
             id: 1,
             user_id: 2,
             tokens: Arc::clone(&cold_tokens),
+            decode_tokens: 0,
             allowed_outputs: vec![],
             arrival: t1,
             routing: RoutingReason::Direct,
@@ -954,6 +1024,7 @@ mod tests {
             id: 2,
             user_id: 1,
             tokens: Arc::new(warm_tokens),
+            decode_tokens: 0,
             allowed_outputs: vec![],
             arrival: t1,
             routing: RoutingReason::Direct,

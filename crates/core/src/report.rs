@@ -23,10 +23,16 @@ pub struct RequestRecord {
     pub arrival: SimTime,
     /// Time execution started.
     pub started: SimTime,
-    /// Time the single output token was produced.
+    /// Time the first output token was produced (the end of the prefill pass).
+    /// Equals `completed` for prefill-only requests.
+    pub first_token: SimTime,
+    /// Time the last output token was produced.
     pub completed: SimTime,
-    /// Prompt length in tokens.
+    /// Total length in tokens: prompt plus decoded reply.
     pub total_tokens: u64,
+    /// Of `total_tokens`, how many were decoded one iteration at a time
+    /// (0 for prefill-only requests).
+    pub decode_tokens: u64,
     /// Tokens served from the GPU prefix cache.
     pub cached_tokens: u64,
     /// Tokens rehydrated from the CPU tier over the host link (zero unless the
@@ -56,6 +62,22 @@ impl RequestRecord {
     /// Pure execution time.
     pub fn execution(&self) -> SimDuration {
         self.completed - self.started
+    }
+
+    /// Time to first token: queueing plus the prefill pass.  For prefill-only
+    /// requests this equals [`Self::latency`].
+    pub fn ttft(&self) -> SimDuration {
+        self.first_token - self.arrival
+    }
+
+    /// Time per output token over the decode phase, or `None` for requests that
+    /// decoded fewer than two tokens (the first token is priced by TTFT; TPOT
+    /// measures the steady-state gap between subsequent tokens).
+    pub fn tpot(&self) -> Option<SimDuration> {
+        if self.decode_tokens < 2 {
+            return None;
+        }
+        Some((self.completed - self.first_token) / (self.decode_tokens - 1))
     }
 }
 
@@ -100,6 +122,59 @@ impl RunReport {
     /// P99 latency in seconds (0 for an empty run).
     pub fn p99_latency_secs(&self) -> f64 {
         self.latency_summary().map(|s| s.p99).unwrap_or(0.0)
+    }
+
+    /// TTFT samples in seconds, in completion order.
+    pub fn ttfts_secs(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.ttft().as_secs_f64())
+            .collect()
+    }
+
+    /// TTFT summary (mean, percentiles), or `None` for an empty run.
+    pub fn ttft_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.ttfts_secs())
+    }
+
+    /// Mean time to first token in seconds (0 for an empty run).
+    pub fn mean_ttft_secs(&self) -> f64 {
+        self.ttft_summary().map(|s| s.mean).unwrap_or(0.0)
+    }
+
+    /// Median time to first token in seconds (0 for an empty run).
+    pub fn median_ttft_secs(&self) -> f64 {
+        self.ttft_summary().map(|s| s.p50).unwrap_or(0.0)
+    }
+
+    /// TPOT samples in seconds over requests that decoded at least two tokens,
+    /// in completion order.
+    pub fn tpots_secs(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.tpot().map(|t| t.as_secs_f64()))
+            .collect()
+    }
+
+    /// TPOT summary (mean, percentiles), or `None` when no request decoded at
+    /// least two tokens.
+    pub fn tpot_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.tpots_secs())
+    }
+
+    /// Mean time per output token in seconds (0 when no request decoded).
+    pub fn mean_tpot_secs(&self) -> f64 {
+        self.tpot_summary().map(|s| s.mean).unwrap_or(0.0)
+    }
+
+    /// Median time per output token in seconds (0 when no request decoded).
+    pub fn median_tpot_secs(&self) -> f64 {
+        self.tpot_summary().map(|s| s.p50).unwrap_or(0.0)
+    }
+
+    /// Decoded tokens across all requests.
+    pub fn decode_tokens(&self) -> u64 {
+        self.records.iter().map(|r| r.decode_tokens).sum()
     }
 
     /// Sustained request throughput: completed requests divided by the makespan.
@@ -149,8 +224,10 @@ mod tests {
             routing: RoutingReason::Direct,
             arrival: SimTime::from_millis(arrival_ms),
             started: SimTime::from_millis(started_ms),
+            first_token: SimTime::from_millis(completed_ms),
             completed: SimTime::from_millis(completed_ms),
             total_tokens: 1000,
+            decode_tokens: 0,
             cached_tokens: 100,
             reloaded_tokens: 0,
             net_reloaded_tokens: 0,
@@ -164,6 +241,44 @@ mod tests {
         assert_eq!(r.latency(), SimDuration::from_millis(1000));
         assert_eq!(r.queueing(), SimDuration::from_millis(200));
         assert_eq!(r.execution(), SimDuration::from_millis(800));
+        // Prefill-only: first token is the last token, TTFT is the full latency.
+        assert_eq!(r.ttft(), r.latency());
+        assert_eq!(r.tpot(), None);
+    }
+
+    #[test]
+    fn decode_records_split_ttft_from_tpot() {
+        let mut r = record(0, 200, 1000);
+        r.first_token = SimTime::from_millis(400);
+        r.decode_tokens = 4;
+        assert_eq!(r.ttft(), SimDuration::from_millis(400));
+        // 600 ms over 3 inter-token gaps.
+        assert_eq!(r.tpot(), Some(SimDuration::from_millis(200)));
+        r.decode_tokens = 1;
+        assert_eq!(r.tpot(), None, "a single decoded token has no token gap");
+    }
+
+    #[test]
+    fn report_ttft_and_tpot_aggregates() {
+        let mut fast = record(0, 0, 1000);
+        fast.first_token = SimTime::from_millis(300);
+        fast.decode_tokens = 8;
+        let slow = record(0, 1000, 3000);
+        let report = RunReport {
+            engine: "PrefillOnly".into(),
+            offered_qps: 10.0,
+            records: vec![fast, slow],
+            makespan: SimDuration::from_secs(3),
+            cache: CacheStats::default(),
+            offload: OffloadStats::default(),
+        };
+        // TTFTs: 0.3 s and 3.0 s.
+        assert!((report.mean_ttft_secs() - 1.65).abs() < 1e-9);
+        assert!(report.median_ttft_secs() > 0.0);
+        // Only `fast` decodes: 0.7 s over 7 gaps = 0.1 s/token.
+        assert!((report.mean_tpot_secs() - 0.1).abs() < 1e-9);
+        assert!((report.median_tpot_secs() - 0.1).abs() < 1e-9);
+        assert_eq!(report.decode_tokens(), 8);
     }
 
     #[test]

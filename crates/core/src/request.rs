@@ -20,8 +20,15 @@ pub struct PrefillRequest {
     pub id: u64,
     /// The user (or tenant) this request belongs to; drives user-id routing.
     pub user_id: u64,
-    /// Tokenised prompt.
+    /// Full token sequence: the prompt followed by the `decode_tokens` trailing
+    /// tokens the engine produces one iteration at a time (trace-replay style —
+    /// the reply content is part of the trace, the engine models *when* each
+    /// token appears, not *which*).
     pub tokens: Arc<Vec<u32>>,
+    /// Of `tokens`, how many are decoded iteratively rather than prefilled.
+    /// 0 means a pure prefill-only request, which behaves exactly as before the
+    /// decode stage existed.
+    pub decode_tokens: u64,
     /// The acceptable single-token outputs (e.g. `["Yes", "No"]`).
     pub allowed_outputs: Vec<String>,
     /// When the request entered the system.
@@ -32,9 +39,15 @@ pub struct PrefillRequest {
 }
 
 impl PrefillRequest {
-    /// Number of prompt tokens.
+    /// Total number of tokens the request pins in KV once complete: the prompt
+    /// plus the decoded reply.
     pub fn num_tokens(&self) -> u64 {
         self.tokens.len() as u64
+    }
+
+    /// Number of prompt tokens (everything that is prefilled in one pass).
+    pub fn prompt_tokens(&self) -> u64 {
+        self.num_tokens() - self.decode_tokens
     }
 }
 
@@ -163,10 +176,18 @@ mod tests {
             id: 1,
             user_id: 2,
             tokens: Arc::new(vec![1, 2, 3]),
+            decode_tokens: 0,
             allowed_outputs: vec!["Yes".into()],
             arrival: SimTime::ZERO,
             routing: RoutingReason::Direct,
         };
         assert_eq!(req.num_tokens(), 3);
+        assert_eq!(req.prompt_tokens(), 3);
+        let decode = PrefillRequest {
+            decode_tokens: 2,
+            ..req
+        };
+        assert_eq!(decode.num_tokens(), 3);
+        assert_eq!(decode.prompt_tokens(), 1);
     }
 }

@@ -902,6 +902,7 @@ mod tests {
                 user_id: user,
                 tokens: Arc::new(vec![0; 32]),
                 shared_prefix_tokens: 0,
+                decode_tokens: 0,
             },
             arrival: SimTime::from_millis(at_ms),
             sticky,
@@ -969,6 +970,7 @@ mod tests {
                 user_id: user,
                 tokens: Arc::new(vec![0; 32]),
                 shared_prefix_tokens: 0,
+                decode_tokens: 0,
             },
             arrival: SimTime::from_millis(at_ms),
             sticky,
@@ -1060,6 +1062,7 @@ mod tests {
                         user_id: user,
                         tokens: Arc::new(vec![0; 32]),
                         shared_prefix_tokens: 0,
+                        decode_tokens: 0,
                     },
                     arrival: SimTime::from_millis(at_ms),
                     sticky: Some(StickySeq {
@@ -1195,6 +1198,7 @@ mod tests {
                         user_id: user,
                         tokens: Arc::new(vec![0; 32]),
                         shared_prefix_tokens: 0,
+                        decode_tokens: 0,
                     },
                     arrival: SimTime::from_millis(at_ms),
                     sticky: Some(StickySeq {

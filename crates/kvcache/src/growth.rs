@@ -1,0 +1,122 @@
+//! Paged-growth geometry of a decoding sequence.
+//!
+//! A request that decodes `d` tokens after a `p`-token prompt grows its KV
+//! footprint one token per decode step: the sequence is `p` tokens long when the
+//! prefill pass ends and `p + d` tokens long at completion.  Because the pool is
+//! paged, that growth is only *visible* at block granularity — full block `b`
+//! (0-indexed) exists once the sequence reaches `(b + 1) · block_size` tokens.
+//! [`SequenceGrowth`] is the pure geometry of that schedule: which blocks the
+//! prefill pass fills, which decode step completes each later block, and how many
+//! full blocks are live after any number of produced tokens.
+//!
+//! The engine allocates the *entire* chain (prompt plus reply) at admission —
+//! reserving the decode blocks up front is what guarantees a running request can
+//! never deadlock on pool space mid-decode — so the manager itself never observes
+//! the step-by-step schedule.  The geometry exists so tests (and any future
+//! incremental allocator) can check the manager's whole-chain accounting against
+//! the per-step reference: the block count at completion must equal
+//! [`SequenceGrowth::total_blocks`], reached through exactly the
+//! [`SequenceGrowth::growth_steps`] increments.
+
+/// Block-granularity growth schedule of one decoding sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequenceGrowth {
+    prompt_tokens: u64,
+    decode_tokens: u64,
+    block_size: u64,
+}
+
+impl SequenceGrowth {
+    /// Describes a sequence that prefills `prompt_tokens` and then decodes
+    /// `decode_tokens` more, on a pool of `block_size`-token blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(prompt_tokens: u64, decode_tokens: u64, block_size: usize) -> SequenceGrowth {
+        assert!(block_size > 0, "block size must be positive");
+        SequenceGrowth {
+            prompt_tokens,
+            decode_tokens,
+            block_size: block_size as u64,
+        }
+    }
+
+    /// Full blocks resident once the prefill pass ends (before any decode step).
+    pub fn prompt_blocks(&self) -> u64 {
+        self.prompt_tokens / self.block_size
+    }
+
+    /// Full blocks resident at completion — what the whole-chain hash walk covers.
+    pub fn total_blocks(&self) -> u64 {
+        (self.prompt_tokens + self.decode_tokens) / self.block_size
+    }
+
+    /// Full blocks resident once `produced` decode tokens exist (`produced` is
+    /// clamped to the decode length: the sequence stops growing at completion).
+    pub fn blocks_after_step(&self, produced: u64) -> u64 {
+        (self.prompt_tokens + produced.min(self.decode_tokens)) / self.block_size
+    }
+
+    /// The decode step (1-based count of produced tokens) at which each
+    /// post-prefill block completes, in block order.  Empty when the decode phase
+    /// never fills a new block.
+    pub fn growth_steps(&self) -> Vec<u64> {
+        (self.prompt_blocks()..self.total_blocks())
+            .map(|block| (block + 1) * self.block_size - self.prompt_tokens)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefill_only_sequences_never_grow() {
+        let g = SequenceGrowth::new(100, 0, 16);
+        assert_eq!(g.prompt_blocks(), 6);
+        assert_eq!(g.total_blocks(), 6);
+        assert!(g.growth_steps().is_empty());
+        assert_eq!(g.blocks_after_step(0), 6);
+    }
+
+    #[test]
+    fn growth_steps_mark_each_block_boundary_crossing() {
+        // Prompt of 20 tokens (1 full block of 16), decode of 30 → 50 tokens = 3
+        // full blocks.  Block 1 completes when the sequence reaches 32 tokens
+        // (step 12), block 2 at 48 tokens (step 28).
+        let g = SequenceGrowth::new(20, 30, 16);
+        assert_eq!(g.prompt_blocks(), 1);
+        assert_eq!(g.total_blocks(), 3);
+        assert_eq!(g.growth_steps(), vec![12, 28]);
+        assert_eq!(g.blocks_after_step(11), 1);
+        assert_eq!(g.blocks_after_step(12), 2);
+        assert_eq!(g.blocks_after_step(27), 2);
+        assert_eq!(g.blocks_after_step(28), 3);
+        // Clamped past the end: the sequence is complete.
+        assert_eq!(g.blocks_after_step(1_000), 3);
+    }
+
+    #[test]
+    fn block_aligned_prompts_grow_on_exact_multiples() {
+        let g = SequenceGrowth::new(32, 32, 16);
+        assert_eq!(g.prompt_blocks(), 2);
+        assert_eq!(g.total_blocks(), 4);
+        assert_eq!(g.growth_steps(), vec![16, 32]);
+    }
+
+    #[test]
+    fn growth_step_count_matches_block_delta() {
+        for (prompt, decode, bs) in [(0, 0, 16), (7, 9, 4), (128, 1, 16), (5, 200, 32)] {
+            let g = SequenceGrowth::new(prompt, decode, bs);
+            assert_eq!(
+                g.growth_steps().len() as u64,
+                g.total_blocks() - g.prompt_blocks()
+            );
+            for &step in &g.growth_steps() {
+                assert!(step >= 1 && step <= decode);
+            }
+        }
+    }
+}

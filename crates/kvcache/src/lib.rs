@@ -30,6 +30,7 @@
 //! pressure) is preserved.
 
 mod block;
+mod growth;
 mod hash;
 mod manager;
 mod netpool;
@@ -38,6 +39,7 @@ mod probe;
 mod snapshot;
 
 pub use block::{BlockId, BlockPool};
+pub use growth::SequenceGrowth;
 pub use hash::{hash_token_blocks, TokenBlockHash};
 pub use manager::{
     CacheStats, DrainSpill, KvCacheManager, KvError, ReloadQuote, ReloadTier, RequestKv,

@@ -1,0 +1,236 @@
+//! Shadow-model property test for decode-side KV growth.
+//!
+//! Mirrors `hierarchy.rs` for the decode stage: a flat per-sequence block-count
+//! reference — each session tracked as nothing but its committed token length —
+//! is replayed against `KvCacheManager` over seeded random multi-turn traces.
+//! Every turn extends its session's *full* prior sequence (prompt plus decoded
+//! reply, the conversation-workload shape) with fresh input and reply tokens, so
+//! the properties under test are exactly the decode-stage invariants:
+//!
+//! * **whole-chain reservation**: admitting a turn makes the entire sequence
+//!   (prompt and the blocks the decode phase will grow into) resident, block for
+//!   block what [`SequenceGrowth`] predicts;
+//! * **reply re-hit**: turn `t`'s GPU prefix hit covers every full block of turn
+//!   `t − 1`'s committed sequence — *including the decoded reply*, which is the
+//!   property that makes multi-turn prefix caching work at all;
+//! * **growth accounting**: the committed-block ledger advances by exactly the
+//!   new full blocks of each turn, with the decode phase's share equal to the
+//!   reference's [`SequenceGrowth::growth_steps`] boundary crossings;
+//! * **cascade reachability**: under a squeezed GPU pool with CPU and network
+//!   tiers behind it, decode-grown blocks (blocks past a turn's prompt) spill
+//!   and rehydrate through the same GPU → CPU → net cascade as prefill blocks.
+//!
+//! Coverage guards at the bottom of each test keep the sweep honest: the random
+//! traces must actually produce block-crossing replies, sub-block replies,
+//! sessions of three or more turns, and (in the cascade test) tier traffic.
+
+use simcore::{SimRng, SimTime};
+
+use kvcache::{hash_token_blocks, KvCacheManager, NetKvPool, RetentionPolicy, SequenceGrowth};
+
+/// One session of the flat reference model: the committed sequence is fully
+/// described by its length (every turn extends it verbatim), so block-level
+/// expectations are pure arithmetic on lengths.
+struct SessionRef {
+    history: Vec<u32>,
+    turns_run: u64,
+}
+
+/// Fresh, globally unique token content — sessions can never alias each other's
+/// blocks, so every cache hit observed below is a genuine same-session prefix hit.
+fn fresh_tokens(next_token: &mut u32, len: u64) -> Vec<u32> {
+    let start = *next_token;
+    *next_token += len as u32;
+    (start..start + len as u32).collect()
+}
+
+#[test]
+fn decode_block_growth_matches_the_flat_reference() {
+    let mut block_crossing_replies = 0u64;
+    let mut sub_block_replies = 0u64;
+    let mut deep_sessions = 0u64;
+    let mut reply_rehit_blocks = 0u64;
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(31_000 + seed);
+        let block_size = *[4usize, 16, 32]
+            .get(rng.gen_range(0usize..3))
+            .expect("index in range");
+        // Generous pool: this test isolates growth accounting from eviction.
+        let mut manager = KvCacheManager::new(100_000, block_size);
+        let num_sessions = rng.gen_range(1usize..5);
+        let mut next_token = 1u32;
+        let mut sessions: Vec<SessionRef> = (0..num_sessions)
+            .map(|_| SessionRef {
+                history: Vec::new(),
+                turns_run: 0,
+            })
+            .collect();
+        let mut committed_full_blocks = 0u64;
+        let num_turns = rng.gen_range(4usize..24);
+
+        for turn in 0..num_turns {
+            let now = SimTime::from_millis(turn as u64 * 10);
+            let s = rng.gen_range(0usize..num_sessions);
+            let input_len = rng.gen_range(1u64..(block_size as u64 * 4));
+            let decode_len = rng.gen_range(1u64..(block_size as u64 * 3));
+
+            // The turn's sequence: full prior session history ⧺ input ⧺ reply.
+            let session = &mut sessions[s];
+            let prev_committed_blocks = (session.history.len() / block_size) as u64;
+            let mut tokens = session.history.clone();
+            tokens.extend(fresh_tokens(&mut next_token, input_len));
+            let prompt_tokens = tokens.len() as u64;
+            tokens.extend(fresh_tokens(&mut next_token, decode_len));
+            let total_tokens = tokens.len() as u64;
+            let growth = SequenceGrowth::new(prompt_tokens, decode_len, block_size);
+
+            let hashes = hash_token_blocks(&tokens, block_size);
+            assert_eq!(hashes.len() as u64, growth.total_blocks());
+            let alloc = manager
+                .allocate_from_hashes(&hashes, total_tokens, now, RetentionPolicy::FullResidency)
+                .expect("the generous pool never rejects");
+
+            // Whole-chain reservation: prompt blocks, every block the decode
+            // phase will grow into, and the trailing partial are all resident
+            // from admission on.
+            let partial = u64::from(!total_tokens.is_multiple_of(block_size as u64));
+            assert_eq!(
+                alloc.resident_blocks(),
+                growth.total_blocks() + partial,
+                "seed {seed} turn {turn}: reservation must span the full sequence"
+            );
+
+            // Reply re-hit: the previous turn's full committed sequence — decoded
+            // reply included — is the GPU prefix hit of this turn.
+            assert_eq!(
+                alloc.cached_tokens(),
+                prev_committed_blocks * block_size as u64,
+                "seed {seed} turn {turn}: turn must re-hit the prior sequence"
+            );
+            if session.turns_run > 0 {
+                // The reply tail of the previous turn lies past its prompt; count
+                // the re-hit blocks that exist only because replies are cached.
+                let prev_prompt_blocks =
+                    (session.history.len() as u64).saturating_sub(decode_len) / block_size as u64;
+                reply_rehit_blocks += prev_committed_blocks.saturating_sub(prev_prompt_blocks);
+            }
+
+            manager.commit(alloc, now);
+            session.history = tokens;
+            session.turns_run += 1;
+
+            // Growth accounting: the ledger advances by this turn's new full
+            // blocks, and the decode phase's share is exactly the reference's
+            // block-boundary crossings.
+            let new_blocks = growth.total_blocks() - prev_committed_blocks;
+            committed_full_blocks += new_blocks;
+            assert_eq!(
+                manager.cached_blocks(),
+                committed_full_blocks,
+                "seed {seed} turn {turn}: committed-block ledger divergence"
+            );
+            let decode_grown = growth.total_blocks() - growth.prompt_blocks();
+            assert_eq!(growth.growth_steps().len() as u64, decode_grown);
+            assert_eq!(growth.blocks_after_step(decode_len), growth.total_blocks());
+
+            if decode_grown > 0 {
+                block_crossing_replies += 1;
+            } else {
+                sub_block_replies += 1;
+            }
+        }
+        deep_sessions += sessions.iter().filter(|s| s.turns_run >= 3).count() as u64;
+    }
+    // Coverage guards: the sweep must exercise both reply geometries, real
+    // multi-turn depth, and genuine reply re-hits.
+    assert!(
+        block_crossing_replies > 200,
+        "block-crossing replies under-exercised"
+    );
+    assert!(sub_block_replies > 100, "sub-block replies under-exercised");
+    assert!(deep_sessions > 30, "multi-turn depth under-exercised");
+    assert!(reply_rehit_blocks > 100, "reply re-hit under-exercised");
+}
+
+#[test]
+fn decode_grown_blocks_flow_through_the_eviction_cascade() {
+    const BLOCK_BYTES: u64 = 1024;
+    let mut decode_blocks_in_lower_tiers = 0u64;
+    let mut total_reloads = 0u64;
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(47_000 + seed);
+        let block_size = 16usize;
+        let gpu_capacity = rng.gen_range(8u64..24);
+        let cpu_capacity = rng.gen_range(8u64..32);
+        let mut manager = KvCacheManager::with_offload(
+            gpu_capacity,
+            block_size,
+            cpu_capacity * BLOCK_BYTES,
+            BLOCK_BYTES,
+        );
+        manager.install_net_pool(NetKvPool::new(96 * BLOCK_BYTES, BLOCK_BYTES));
+
+        let mut next_token = 1u32;
+        let num_sessions = 3usize;
+        let mut histories: Vec<Vec<u32>> = vec![Vec::new(); num_sessions];
+        let mut chains: Vec<(Vec<kvcache::TokenBlockHash>, usize)> = Vec::new();
+        for turn in 0..40usize {
+            let now = SimTime::from_millis(turn as u64 * 10);
+            let s = rng.gen_range(0usize..num_sessions);
+            let mut tokens = histories[s].clone();
+            tokens.extend(fresh_tokens(&mut next_token, 24));
+            let prompt_tokens = tokens.len() as u64;
+            tokens.extend(fresh_tokens(&mut next_token, 40));
+            // Cap the session so a single turn always fits the squeezed pool.
+            if tokens.len() / block_size + 1 >= gpu_capacity as usize {
+                histories[s].clear();
+                continue;
+            }
+            let hashes = hash_token_blocks(&tokens, block_size);
+            let alloc = match manager.allocate_from_hashes(
+                &hashes,
+                tokens.len() as u64,
+                now,
+                RetentionPolicy::PrefixBestEffort,
+            ) {
+                Ok(alloc) => alloc,
+                Err(_) => {
+                    histories[s].clear();
+                    continue;
+                }
+            };
+            manager.commit(alloc, now);
+            histories[s] = tokens.clone();
+            chains.push((hashes, prompt_tokens as usize / block_size));
+
+            // Where did each earlier turn's decode-grown blocks (past that
+            // turn's prompt) end up?  Under pool pressure they must cascade
+            // like any committed block: still on the GPU, or spilled into the
+            // CPU / network tiers.  The tier walk is a prefix walk, so the
+            // lower tiers hold the index range [gpu, gpu + cpu + net).
+            for (chain, prompt_blocks) in &chains {
+                let hits = manager.lookup_tier_hits_from_hashes(chain);
+                let reachable = hits.gpu_blocks + hits.cpu_blocks + hits.net_blocks;
+                assert!(
+                    reachable <= chain.len(),
+                    "seed {seed} turn {turn}: tier walk cannot exceed the chain"
+                );
+                decode_blocks_in_lower_tiers +=
+                    reachable.saturating_sub(hits.gpu_blocks.max(*prompt_blocks)) as u64;
+            }
+        }
+        let offload = manager.offload_stats();
+        assert!(
+            offload.offloaded_blocks > 0,
+            "seed {seed}: the squeezed pool must spill"
+        );
+        total_reloads += offload.reloaded_blocks + offload.net_reloaded_blocks;
+    }
+    // Coverage guards: decode-grown blocks really reach the lower tiers, and the
+    // cascade serves some of them (or their prompt siblings) back.
+    assert!(
+        decode_blocks_in_lower_tiers > 50,
+        "decode-grown blocks never cascaded below the GPU tier"
+    );
+    assert!(total_reloads > 20, "reload path under-exercised");
+}

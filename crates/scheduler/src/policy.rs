@@ -99,12 +99,24 @@ impl SrjfPolicy {
     }
 
     /// The scheduling score of Algorithm 1 (lower is scheduled sooner).
+    ///
+    /// Decode-carrying requests are scored over their full length — decode tokens
+    /// are priced at the estimator's uncached-token marginal rate, a deliberate
+    /// scheduler-side proxy (the policy has no decode cost model) that keeps
+    /// long-reply requests ranked behind short ones — but their cache credit is
+    /// clamped to the *prompt*: a probe can only ever report reply-block hits on an
+    /// exact trace repeat, and crediting them would mis-rank the request as nearly
+    /// free.  The clamp is applied only when `decode_tokens > 0`, keeping
+    /// zero-decode scores float-exact with the historical behaviour.
     fn score(&self, request: &WaitingRequest, now: SimTime, cache: &dyn CacheProbe) -> f64 {
-        let cached = if self.continuous_calibration {
+        let mut cached = if self.continuous_calibration {
             cache.cached_tokens(request)
         } else {
             request.cached_tokens_at_arrival
         };
+        if request.decode_tokens > 0 {
+            cached = cached.min(request.total_tokens - request.decode_tokens);
+        }
         let jct = self.estimator.estimate(request.total_tokens, cached);
         let queueing = request.queueing_time(now).as_secs_f64();
         jct - (self.lambda / 1000.0) * queueing
@@ -194,6 +206,7 @@ mod tests {
             id,
             arrival: SimTime::from_millis(arrival_ms),
             total_tokens: tokens,
+            decode_tokens: 0,
             cached_tokens_at_arrival: 0,
         }
     }
@@ -303,12 +316,14 @@ mod tests {
             id: 1,
             arrival: SimTime::ZERO,
             total_tokens: 60_000,
+            decode_tokens: 0,
             cached_tokens_at_arrival: 0,
         };
         let fresh_small = WaitingRequest {
             id: 2,
             arrival: SimTime::from_secs(120),
             total_tokens: 1_000,
+            decode_tokens: 0,
             cached_tokens_at_arrival: 0,
         };
         let queue = vec![old_big, fresh_small];
@@ -341,6 +356,39 @@ mod tests {
                 .is_some());
             assert!(!policy.name().is_empty());
         }
+    }
+
+    #[test]
+    fn decode_cache_credit_is_clamped_to_the_prompt() {
+        // Two equal-length requests; the decode-carrying one reports a (trace-repeat)
+        // cache hit covering prompt AND reply blocks.  Its credit must clamp to the
+        // prompt, so the fully-cached prefill-only request still wins.
+        let prefill_only = WaitingRequest {
+            id: 1,
+            arrival: SimTime::ZERO,
+            total_tokens: 20_000,
+            decode_tokens: 0,
+            cached_tokens_at_arrival: 0,
+        };
+        let with_decode = WaitingRequest {
+            id: 2,
+            arrival: SimTime::ZERO,
+            total_tokens: 20_000,
+            decode_tokens: 8_000,
+            cached_tokens_at_arrival: 0,
+        };
+        let mut cache = ScriptedCache::default();
+        cache.cached.insert(1, 20_000);
+        cache.cached.insert(2, 20_000);
+        let policy = SrjfPolicy::with_calibration(estimator(), 0.0);
+        let queue = vec![with_decode, prefill_only];
+        let idx = policy
+            .select(&queue, SimTime::from_secs(1), &cache)
+            .unwrap();
+        assert_eq!(
+            queue[idx].id, 1,
+            "request 2's credit clamps to its 12k prompt, leaving 8k decode tokens priced in"
+        );
     }
 
     #[test]

@@ -10,8 +10,13 @@ pub struct WaitingRequest {
     pub id: u64,
     /// Virtual time at which the request entered the queue.
     pub arrival: SimTime,
-    /// Total number of input tokens.
+    /// Total number of tokens: the prompt plus the `decode_tokens` trailing tokens
+    /// decoded iteratively.  Both phases pin KV for every token, so this is the
+    /// residency-relevant size the queue's load signal sums.
     pub total_tokens: u64,
+    /// Of `total_tokens`, how many are decoded one step at a time rather than
+    /// prefilled (0 for prefill-only requests).
+    pub decode_tokens: u64,
     /// Prefix-cache hit tokens measured when the request *arrived*.  Classic (non-
     /// calibrating) SRJF freezes its decision on this value; continuous calibration
     /// ignores it and re-probes the cache at every scheduling step.
@@ -107,6 +112,7 @@ mod tests {
             id,
             arrival: SimTime::from_millis(arrival_ms),
             total_tokens: 1000,
+            decode_tokens: 0,
             cached_tokens_at_arrival: 0,
         }
     }

@@ -30,6 +30,7 @@ fn random_queue(rng: &mut SimRng) -> Vec<WaitingRequest> {
                 id: idx as u64,
                 arrival: SimTime::from_millis(rng.gen_range(0u64..10_000)),
                 total_tokens: total,
+                decode_tokens: 0,
                 cached_tokens_at_arrival: rng.gen_range(0u64..60_000).min(total),
             }
         })

@@ -6,7 +6,8 @@ use serde::{Deserialize, Serialize};
 use simcore::SimRng;
 
 use crate::spec::{
-    CreditVerificationSpec, PostRecommendationSpec, SharedPrefixFleetSpec, WorkloadKind,
+    ConversationSpec, CreditVerificationSpec, PostRecommendationSpec, SharedPrefixFleetSpec,
+    WorkloadKind,
 };
 
 /// One request before an arrival time has been assigned.
@@ -14,17 +15,29 @@ use crate::spec::{
 pub struct RequestTemplate {
     /// The user this request belongs to (used for user-id routing, §7.1).
     pub user_id: u64,
-    /// The full input token sequence.  Requests from the same user share the leading
-    /// profile tokens, which is what prefix caching exploits.
+    /// The full token sequence of the request: the prompt followed by the
+    /// `decode_tokens` trailing tokens the engine decodes iteratively (trace-replay
+    /// style: the reply content is part of the trace, its *production* is what the
+    /// engine simulates).  Requests from the same user share the leading profile
+    /// tokens, which is what prefix caching exploits.
     pub tokens: Arc<Vec<u32>>,
     /// Number of leading tokens shared with every other request of the same user.
     pub shared_prefix_tokens: u64,
+    /// Number of trailing tokens of `tokens` that are decoded one step at a time
+    /// rather than prefilled.  `0` is the prefill-only request every pre-decode
+    /// workload generates, pinned byte-identical to the historical behaviour.
+    pub decode_tokens: u64,
 }
 
 impl RequestTemplate {
-    /// Total number of input tokens.
+    /// Total number of tokens (prompt plus decoded reply).
     pub fn num_tokens(&self) -> u64 {
         self.tokens.len() as u64
+    }
+
+    /// Number of prompt tokens (what the prefill stage forwards).
+    pub fn prompt_tokens(&self) -> u64 {
+        self.num_tokens() - self.decode_tokens
     }
 }
 
@@ -70,6 +83,7 @@ impl Dataset {
                     user_id: user,
                     tokens: Arc::new(tokens),
                     shared_prefix_tokens: profile_len,
+                    decode_tokens: 0,
                 });
             }
         }
@@ -91,6 +105,7 @@ impl Dataset {
                 // A credit-verification user issues a single request, so nothing is
                 // shared in practice, but the history would be the reusable part.
                 shared_prefix_tokens: history_len,
+                decode_tokens: 0,
             });
         }
         Dataset {
@@ -121,12 +136,49 @@ impl Dataset {
                         user_id: user,
                         tokens: Arc::new(tokens),
                         shared_prefix_tokens: spec.prefix_tokens,
+                        decode_tokens: 0,
                     });
                 }
             }
         }
         Dataset {
             kind: WorkloadKind::SharedPrefixFleet,
+            requests,
+        }
+    }
+
+    /// Generates the multi-turn conversation dataset (see [`ConversationSpec`]):
+    /// session `s` is user `s`, and its turn `t` request carries the session's full
+    /// prior sequence — system prompt, every earlier input and every earlier decoded
+    /// reply — plus turn `t`'s new input as the prompt, with the turn's own reply as
+    /// the `decode_tokens` trailing tail.  Committing one turn's decode output into
+    /// the prefix cache therefore makes the next turn's prompt a pure extension of
+    /// cached blocks.
+    ///
+    /// Requests are emitted in `(session, turn)` order (arrival assignment is the
+    /// stream's job); token content is fully deterministic from the spec.
+    pub fn conversation(spec: &ConversationSpec) -> Dataset {
+        let mut requests = Vec::with_capacity(spec.num_requests() as usize);
+        for session in 0..spec.num_sessions {
+            let mut history = system_prompt_tokens(spec);
+            for turn in 0..spec.turns_per_session {
+                history.extend(conversation_input(session, turn, spec.input_tokens(turn)));
+                let mut tokens = history.clone();
+                let reply = conversation_reply(session, turn, spec.decode_tokens_per_turn);
+                tokens.extend(&reply);
+                requests.push(RequestTemplate {
+                    user_id: session,
+                    tokens: Arc::new(tokens),
+                    // Every pair of a session's turns shares at least the first
+                    // turn's full sequence (later turns extend it verbatim).
+                    shared_prefix_tokens: spec.turn_total_tokens(0),
+                    decode_tokens: spec.decode_tokens_per_turn,
+                });
+                history.extend(reply);
+            }
+        }
+        Dataset {
+            kind: WorkloadKind::Conversation,
             requests,
         }
     }
@@ -144,6 +196,7 @@ impl Dataset {
             WorkloadKind::SharedPrefixFleet => {
                 Dataset::shared_prefix_fleet(&SharedPrefixFleetSpec::default())
             }
+            WorkloadKind::Conversation => Dataset::conversation(&ConversationSpec::default()),
         }
     }
 
@@ -206,6 +259,24 @@ impl Dataset {
 pub(crate) fn user_tokens(user: u64, document: u64, len: u64) -> Vec<u32> {
     let base = (user.wrapping_mul(1_000_003) ^ document.wrapping_mul(7_919)) as u32;
     (0..len as u32).map(|i| base.wrapping_add(i)).collect()
+}
+
+/// The system prompt all conversation sessions share, as a synthetic "user" outside
+/// the session-id range (so it never collides with per-session content).
+pub(crate) fn system_prompt_tokens(spec: &ConversationSpec) -> Vec<u32> {
+    user_tokens(2_000_000, 0, spec.system_prompt_tokens)
+}
+
+/// Turn `turn`'s user input of session `session` (documents `2t` keep inputs and
+/// replies disjoint).  Shared with [`crate::stream`] so streamed conversation
+/// content is bit-identical to the materialised dataset's.
+pub(crate) fn conversation_input(session: u64, turn: u64, len: u64) -> Vec<u32> {
+    user_tokens(session, 2 * turn + 1, len)
+}
+
+/// Turn `turn`'s decoded reply of session `session`.
+pub(crate) fn conversation_reply(session: u64, turn: u64, len: u64) -> Vec<u32> {
+    user_tokens(session, 2 * turn + 2, len)
 }
 
 #[cfg(test)]
@@ -324,6 +395,50 @@ mod tests {
         // Deterministic: the spec alone defines the dataset.
         let again = Dataset::shared_prefix_fleet(&spec);
         assert_eq!(ds.requests()[5].tokens, again.requests()[5].tokens);
+    }
+
+    #[test]
+    fn conversation_turns_extend_the_full_prior_sequence_including_replies() {
+        let spec = ConversationSpec {
+            num_sessions: 3,
+            turns_per_session: 3,
+            system_prompt_tokens: 64,
+            first_turn_input_tokens: 128,
+            turn_input_tokens: 32,
+            decode_tokens_per_turn: 16,
+            think_time_ms: 1_000,
+        };
+        let ds = Dataset::conversation(&spec);
+        assert_eq!(ds.kind(), WorkloadKind::Conversation);
+        assert_eq!(ds.len(), 9);
+        assert_eq!(ds.max_request_tokens(), spec.max_request_tokens());
+
+        let session0: Vec<&RequestTemplate> =
+            ds.requests().iter().filter(|r| r.user_id == 0).collect();
+        assert_eq!(session0.len(), 3);
+        for (turn, r) in session0.iter().enumerate() {
+            assert_eq!(r.decode_tokens, 16);
+            assert_eq!(r.num_tokens(), spec.turn_total_tokens(turn as u64));
+            assert_eq!(r.prompt_tokens(), r.num_tokens() - 16);
+        }
+        // Turn t's prompt is exactly turn t-1's full sequence (prompt + reply)
+        // plus the new input: the decoded reply is re-hit by the next turn.
+        for turn in 1..3 {
+            let prev = &session0[turn - 1];
+            let cur = &session0[turn];
+            assert_eq!(
+                &cur.tokens[..prev.tokens.len()],
+                &prev.tokens[..],
+                "turn {turn} must extend the previous turn's sequence verbatim"
+            );
+        }
+        // Sessions share the system prompt but nothing else.
+        let session1 = ds.requests().iter().find(|r| r.user_id == 1).unwrap();
+        assert_eq!(session0[0].tokens[..64], session1.tokens[..64]);
+        assert_ne!(session0[0].tokens[64..128], session1.tokens[64..128]);
+        // Deterministic: the spec alone defines the dataset.
+        let again = Dataset::conversation(&spec);
+        assert_eq!(ds.requests()[5], again.requests()[5]);
     }
 
     #[test]

@@ -29,9 +29,10 @@ pub use arrival::{
 pub use dataset::{Dataset, DatasetSummary, RequestTemplate};
 pub use membership::{MembershipChange, MembershipEvent, MembershipSchedule};
 pub use spec::{
-    CreditVerificationSpec, PostRecommendationSpec, SharedPrefixFleetSpec, WorkloadKind,
+    ConversationSpec, CreditVerificationSpec, PostRecommendationSpec, SharedPrefixFleetSpec,
+    WorkloadKind,
 };
 pub use stream::{
-    collect_stream, ArrivalStream, PoissonArrivalStream, SharedPrefixFleetStream,
-    SliceArrivalStream, SortedTrace, StreamedArrival,
+    collect_stream, conversation_trace, ArrivalStream, ConversationStream, PoissonArrivalStream,
+    SharedPrefixFleetStream, SliceArrivalStream, SortedTrace, StreamedArrival,
 };

@@ -13,6 +13,11 @@ pub enum WorkloadKind {
     /// corpus): the workload that makes cluster-wide KV sharing measurable, because
     /// sticky routing necessarily splits a cohort across instances.
     SharedPrefixFleet,
+    /// Multi-turn chat sessions with think-time gaps and iterative decode: every
+    /// turn's prompt extends the session's full prior sequence (including the
+    /// previous replies), so turns re-hit their own session prefix — the workload
+    /// that makes TTFT/TPOT and decode-side KV growth measurable.
+    Conversation,
 }
 
 impl WorkloadKind {
@@ -22,6 +27,7 @@ impl WorkloadKind {
             WorkloadKind::PostRecommendation => "post recommendation",
             WorkloadKind::CreditVerification => "credit verification",
             WorkloadKind::SharedPrefixFleet => "shared-prefix fleet",
+            WorkloadKind::Conversation => "multi-turn conversation",
         }
     }
 }
@@ -118,6 +124,86 @@ impl Default for SharedPrefixFleetSpec {
     }
 }
 
+/// Parameters of the multi-turn conversation workload
+/// ([`WorkloadKind::Conversation`]).
+///
+/// A session is one user chatting across several turns.  Turn `t`'s prompt is the
+/// session's *entire* prior sequence — system prompt, every earlier input **and
+/// every earlier reply** — plus the turn's new input, and the engine then decodes
+/// `decode_tokens_per_turn` reply tokens.  Committing a turn's decode output into
+/// the prefix cache therefore makes the next turn's prompt a pure cache extension:
+/// the sharpest showcase for the three-tier cache and cache-aware routing, and the
+/// workload TTFT/TPOT are reported on.
+///
+/// Arrivals are open-loop: session starts follow a Poisson process and turn `t`
+/// arrives `t * think_time_ms` after its session start, whether or not the
+/// previous turn has completed (the simulator replays offered load, it does not
+/// close the loop on responses).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConversationSpec {
+    /// Number of chat sessions (one synthetic user per session).
+    pub num_sessions: u64,
+    /// Turns per session.
+    pub turns_per_session: u64,
+    /// Tokens of the system prompt shared by **all** sessions (0 disables it).
+    pub system_prompt_tokens: u64,
+    /// Tokens of the first turn's user input (pasted context, long first message).
+    pub first_turn_input_tokens: u64,
+    /// Tokens of each later turn's user input.
+    pub turn_input_tokens: u64,
+    /// Reply tokens decoded per turn (the request's `decode_tokens`).
+    pub decode_tokens_per_turn: u64,
+    /// Gap between consecutive turn arrivals of one session, in milliseconds.
+    pub think_time_ms: u64,
+}
+
+impl Default for ConversationSpec {
+    fn default() -> Self {
+        ConversationSpec {
+            num_sessions: 24,
+            turns_per_session: 4,
+            system_prompt_tokens: 1_024,
+            first_turn_input_tokens: 1_024,
+            turn_input_tokens: 192,
+            decode_tokens_per_turn: 128,
+            think_time_ms: 4_000,
+        }
+    }
+}
+
+impl ConversationSpec {
+    /// Total requests the spec generates.
+    pub fn num_requests(&self) -> u64 {
+        self.num_sessions * self.turns_per_session
+    }
+
+    /// Tokens of turn `turn`'s new user input.
+    pub(crate) fn input_tokens(&self, turn: u64) -> u64 {
+        if turn == 0 {
+            self.first_turn_input_tokens
+        } else {
+            self.turn_input_tokens
+        }
+    }
+
+    /// Total tokens (prompt plus decoded reply) of turn `turn`'s request.
+    pub fn turn_total_tokens(&self, turn: u64) -> u64 {
+        self.system_prompt_tokens
+            + self.first_turn_input_tokens
+            + turn * (self.turn_input_tokens + self.decode_tokens_per_turn)
+            + self.decode_tokens_per_turn
+    }
+
+    /// Length (in tokens) of the longest request of the workload — the final turn,
+    /// whose prompt carries the whole session.
+    pub fn max_request_tokens(&self) -> u64 {
+        if self.num_sessions == 0 || self.turns_per_session == 0 {
+            return 0;
+        }
+        self.turn_total_tokens(self.turns_per_session - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +221,31 @@ mod tests {
         assert_eq!(credit.num_users, 60);
         assert_eq!(credit.history_min_tokens, 40_000);
         assert_eq!(credit.history_max_tokens, 60_000);
+    }
+
+    #[test]
+    fn conversation_turn_lengths_grow_by_input_plus_reply() {
+        let spec = ConversationSpec::default();
+        assert_eq!(
+            spec.turn_total_tokens(0),
+            spec.system_prompt_tokens + spec.first_turn_input_tokens + spec.decode_tokens_per_turn
+        );
+        assert_eq!(
+            spec.turn_total_tokens(3) - spec.turn_total_tokens(2),
+            spec.turn_input_tokens + spec.decode_tokens_per_turn
+        );
+        assert_eq!(
+            spec.max_request_tokens(),
+            spec.turn_total_tokens(spec.turns_per_session - 1)
+        );
+        assert_eq!(
+            ConversationSpec {
+                num_sessions: 0,
+                ..spec
+            }
+            .max_request_tokens(),
+            0
+        );
     }
 
     #[test]

@@ -22,14 +22,18 @@
 //!    request id.  The slice adapter preserves original trace indices so streamed
 //!    and materialised replays of the same trace produce identical records.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
-use simcore::{PoissonProcess, SimRng, SimTime};
+use simcore::{PoissonProcess, SimDuration, SimRng, SimTime};
 
 use crate::arrival::{ArrivalGranularity, ArrivalPattern, StickySeq};
-use crate::dataset::{user_tokens, Dataset, RequestTemplate};
-use crate::spec::SharedPrefixFleetSpec;
+use crate::dataset::{
+    conversation_input, conversation_reply, system_prompt_tokens, user_tokens, Dataset,
+    RequestTemplate,
+};
+use crate::spec::{ConversationSpec, SharedPrefixFleetSpec};
 
 /// An arrival paired with the stable request id the replay will record it under.
 #[derive(Debug, Clone)]
@@ -487,6 +491,7 @@ impl ArrivalStream for SharedPrefixFleetStream {
                     user_id: user,
                     tokens: Arc::new(tokens),
                     shared_prefix_tokens: self.spec.prefix_tokens,
+                    decode_tokens: 0,
                 },
                 arrival: at,
                 sticky: Some(StickySeq {
@@ -500,6 +505,199 @@ impl ArrivalStream for SharedPrefixFleetStream {
     fn len_hint(&self) -> Option<u64> {
         Some(self.total)
     }
+}
+
+/// Streaming multi-turn conversation generator (see [`ConversationSpec`]): the
+/// decode workload.
+///
+/// Session start times are drawn from one Poisson process in session-id order;
+/// session `s`'s turn `t` arrives `t * think_time_ms` after its start, open-loop.
+/// Turn arrivals of concurrent sessions interleave, so emission is a k-way merge
+/// keyed `(arrival, session, turn)` — a lazily fed min-heap over the sessions
+/// whose turns are still pending, with unopened sessions held back behind the
+/// Poisson lookahead (session starts are non-decreasing, so an unopened session
+/// can never precede the heap's minimum).
+///
+/// Per-session state is the rolling token history (the session's sequence so
+/// far), dropped when its last turn emits: peak memory is O(concurrently open
+/// sessions), not O(trace).  Content is generated through the same pure helpers
+/// as [`Dataset::conversation`], and [`conversation_trace`] pins the streamed
+/// sequence byte-identical to the materialised twin.
+#[derive(Debug)]
+pub struct ConversationStream {
+    spec: ConversationSpec,
+    process: Option<PoissonProcess>,
+    system: Vec<u32>,
+    /// Next session id not yet opened, and its start time (the Poisson lookahead).
+    next_session: u64,
+    next_start: Option<SimTime>,
+    /// Pending turns of open sessions, min-first on `(arrival, session, turn)`.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    /// Rolling sequence history of each open session (system prompt, inputs and
+    /// replies of completed turns).
+    histories: HashMap<u64, Vec<u32>>,
+    stamper: StickyStamper,
+    emitted: u64,
+    total: u64,
+}
+
+impl ConversationStream {
+    /// Builds the stream; the spec, session rate and seed alone define the full
+    /// sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session_qps` is not strictly positive while the spec is
+    /// non-empty.
+    pub fn new(spec: ConversationSpec, session_qps: f64, seed: u64) -> ConversationStream {
+        let total = spec.num_requests();
+        if total > 0 {
+            assert!(session_qps > 0.0, "session QPS must be positive");
+        }
+        let process =
+            (total > 0).then(|| PoissonProcess::new(session_qps, SimRng::seed_from_u64(seed)));
+        ConversationStream {
+            system: system_prompt_tokens(&spec),
+            spec,
+            process,
+            next_session: 0,
+            next_start: None,
+            heap: BinaryHeap::new(),
+            histories: HashMap::new(),
+            stamper: StickyStamper::default(),
+            emitted: 0,
+            total,
+        }
+    }
+
+    /// Draws the next unopened session's start time, if any session remains.
+    fn refill_lookahead(&mut self) {
+        if self.next_start.is_none() && self.next_session < self.spec.num_sessions {
+            let process = self.process.as_mut().expect("non-empty spec has a process");
+            self.next_start = Some(process.next_arrival());
+        }
+    }
+
+    /// Opens the lookahead session: pushes its turn 0 and seeds its history.
+    fn open_next_session(&mut self) {
+        let start = self.next_start.take().expect("lookahead must be filled");
+        let session = self.next_session;
+        self.next_session += 1;
+        self.heap.push(Reverse((start, session, 0)));
+        self.histories.insert(session, self.system.clone());
+    }
+}
+
+impl ArrivalStream for ConversationStream {
+    fn next_arrival(&mut self) -> Option<StreamedArrival> {
+        if self.emitted == self.total {
+            return None;
+        }
+        self.refill_lookahead();
+        // Open every session that must precede the heap's minimum.  Strict
+        // inequality suffices: at equal arrival times the unopened session's id is
+        // larger than every opened session's, so the heap's entry orders first.
+        loop {
+            match (self.next_start, self.heap.peek()) {
+                (Some(start), Some(&Reverse((at, _, _)))) if start < at => {
+                    self.open_next_session();
+                    self.refill_lookahead();
+                }
+                (Some(_), None) => {
+                    self.open_next_session();
+                    self.refill_lookahead();
+                }
+                _ => break,
+            }
+        }
+
+        let Reverse((at, session, turn)) = self.heap.pop()?;
+        let history = self
+            .histories
+            .get_mut(&session)
+            .expect("open session has a history");
+        history.extend(conversation_input(
+            session,
+            turn,
+            self.spec.input_tokens(turn),
+        ));
+        let reply = conversation_reply(session, turn, self.spec.decode_tokens_per_turn);
+        let mut tokens = history.clone();
+        tokens.extend(&reply);
+        if turn + 1 < self.spec.turns_per_session {
+            history.extend(reply);
+            self.heap.push(Reverse((
+                at + SimDuration::from_millis(self.spec.think_time_ms),
+                session,
+                turn + 1,
+            )));
+        } else {
+            self.histories.remove(&session);
+        }
+
+        let sticky = self.stamper.stamp(session);
+        let id = self.emitted;
+        self.emitted += 1;
+        Some(StreamedArrival {
+            id,
+            arrival: ArrivalPattern {
+                template: RequestTemplate {
+                    user_id: session,
+                    tokens: Arc::new(tokens),
+                    shared_prefix_tokens: self.spec.turn_total_tokens(0),
+                    decode_tokens: self.spec.decode_tokens_per_turn,
+                },
+                arrival: at,
+                sticky: Some(sticky),
+            },
+        })
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+/// Materialised twin of [`ConversationStream`]: generates the same sessions
+/// eagerly from [`Dataset::conversation`], assigns the same Poisson session
+/// starts and think-time offsets, sorts by the stream's `(arrival, session,
+/// turn)` emission key and stamps first-appearance [`StickySeq`] ranks in that
+/// order — byte-identical to draining the stream (pinned by property test).
+pub fn conversation_trace(spec: &ConversationSpec, session_qps: f64, seed: u64) -> SortedTrace {
+    let dataset = Dataset::conversation(spec);
+    if dataset.is_empty() {
+        return SortedTrace::new(Vec::new());
+    }
+    assert!(session_qps > 0.0, "session QPS must be positive");
+    let mut process = PoissonProcess::new(session_qps, SimRng::seed_from_u64(seed));
+    let think = SimDuration::from_millis(spec.think_time_ms);
+
+    // Dataset order is (session, turn); attach each turn's arrival time.
+    let mut order: Vec<(SimTime, u64, u64)> = Vec::with_capacity(dataset.len());
+    for session in 0..spec.num_sessions {
+        let start = process.next_arrival();
+        let mut at = start;
+        for turn in 0..spec.turns_per_session {
+            order.push((at, session, turn));
+            at += think;
+        }
+    }
+    order.sort_unstable();
+
+    let mut stamper = StickyStamper::default();
+    let arrivals = order
+        .into_iter()
+        .map(|(at, session, turn)| {
+            let idx = (session * spec.turns_per_session + turn) as usize;
+            let sticky = stamper.stamp(session);
+            ArrivalPattern {
+                template: dataset.requests()[idx].clone(),
+                arrival: at,
+                sticky: Some(sticky),
+            }
+        })
+        .collect();
+    SortedTrace::new(arrivals)
 }
 
 /// Drains a stream into a materialised trace (test/interop helper; the point of
@@ -736,6 +934,92 @@ mod tests {
             assert_eq!(x.template.tokens, y.template.tokens);
         }
         assert!(a.iter().zip(&c).any(|(x, y)| x.arrival != y.arrival));
+    }
+
+    #[test]
+    fn conversation_stream_is_byte_identical_to_the_materialised_trace() {
+        for (sessions, turns, think_ms) in [(6u64, 4u64, 900u64), (12, 3, 0), (5, 1, 2_500)] {
+            for seed in [1u64, 42, 977] {
+                let spec = ConversationSpec {
+                    num_sessions: sessions,
+                    turns_per_session: turns,
+                    system_prompt_tokens: 48,
+                    first_turn_input_tokens: 96,
+                    turn_input_tokens: 24,
+                    decode_tokens_per_turn: 16,
+                    think_time_ms: think_ms,
+                };
+                let materialised = conversation_trace(&spec, 2.0, seed);
+                let mut stream = ConversationStream::new(spec, 2.0, seed);
+                assert_eq!(stream.len_hint(), Some(spec.num_requests()));
+                let streamed = collect_stream(&mut stream);
+                assert_same_trace(&streamed, materialised.arrivals());
+                for (s, m) in streamed.iter().zip(materialised.arrivals()) {
+                    assert_eq!(s.template.decode_tokens, m.template.decode_tokens);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conversation_stream_emits_sorted_with_monotone_turns_per_session() {
+        let spec = ConversationSpec {
+            num_sessions: 8,
+            turns_per_session: 5,
+            system_prompt_tokens: 32,
+            first_turn_input_tokens: 64,
+            turn_input_tokens: 16,
+            decode_tokens_per_turn: 8,
+            think_time_ms: 700,
+        };
+        let mut stream = ConversationStream::new(spec, 3.0, 13);
+        let mut last = SimTime::ZERO;
+        let mut next_turn: HashMap<u64, u64> = HashMap::new();
+        let mut prev_len: HashMap<u64, usize> = HashMap::new();
+        let mut count = 0u64;
+        let mut expected_id = 0u64;
+        while let Some(streamed) = stream.next_arrival() {
+            assert_eq!(streamed.id, expected_id);
+            expected_id += 1;
+            assert!(streamed.arrival.arrival >= last, "stream must stay sorted");
+            last = streamed.arrival.arrival;
+            let session = streamed.arrival.template.user_id;
+            let turn = next_turn.entry(session).or_insert(0);
+            let expected_tokens = spec.turn_total_tokens(*turn);
+            assert_eq!(streamed.arrival.template.num_tokens(), expected_tokens);
+            assert_eq!(streamed.arrival.template.decode_tokens, 8);
+            *turn += 1;
+            // Each turn strictly extends the session's previous sequence.
+            let len = streamed.arrival.template.tokens.len();
+            if let Some(&prev) = prev_len.get(&session) {
+                assert!(len > prev);
+            }
+            prev_len.insert(session, len);
+            count += 1;
+        }
+        assert_eq!(count, spec.num_requests());
+        assert!(next_turn.values().all(|&t| t == 5));
+    }
+
+    #[test]
+    fn conversation_stream_with_empty_spec_is_empty() {
+        let spec = ConversationSpec {
+            num_sessions: 0,
+            ..ConversationSpec::default()
+        };
+        let mut stream = ConversationStream::new(spec, 1.0, 1);
+        assert_eq!(stream.len_hint(), Some(0));
+        assert!(stream.next_arrival().is_none());
+        let trace = conversation_trace(&spec, 1.0, 1);
+        assert!(trace.arrivals().is_empty());
+
+        let no_turns = ConversationSpec {
+            turns_per_session: 0,
+            ..ConversationSpec::default()
+        };
+        assert!(ConversationStream::new(no_turns, 1.0, 1)
+            .next_arrival()
+            .is_none());
     }
 
     #[test]

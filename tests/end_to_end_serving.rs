@@ -427,6 +427,7 @@ fn cache_aware_routing_beats_sticky_on_a_shared_prefix_multi_user_trace() {
                 user_id: user,
                 tokens: Arc::new(tokens),
                 shared_prefix_tokens: u64::from(PREFIX_TOKENS),
+                decode_tokens: 0,
             },
             arrival: SimTime::from_millis(at_ms),
             sticky: None,
@@ -502,6 +503,136 @@ fn cache_aware_routing_beats_sticky_on_a_shared_prefix_multi_user_trace() {
         "cache-aware routing must beat sticky on mean JCT: {:.4}s vs {:.4}s",
         cache_aware.mean_latency_secs(),
         sticky.mean_latency_secs()
+    );
+}
+
+#[test]
+fn cache_aware_routing_beats_sticky_on_mean_ttft_on_a_multi_turn_decode_trace() {
+    // The decode-stage tentpole, end to end: the two-cohort shared-prefix shape of
+    // the test above, but every request is a conversation turn — its sequence is
+    // the cohort prefix plus the user's full session history (inputs *and decoded
+    // replies* of earlier rounds) plus a fresh input, and the engine decodes a
+    // 96-token reply that the next round re-hits as cached prefix.  Sticky
+    // round-robin splits each cohort across both instances, recomputing the
+    // 6,000-token cohort prefix cold; cache-aware routing consolidates each cohort
+    // onto its warm instance.  The win must show up on **mean TTFT** — the
+    // decode-side metric: prefill work ends at the first token, so cheaper
+    // prefills pull the first token earlier while the decode tail is identical in
+    // length — at identical per-instance user balance.
+    use prefillonly::{RoutingPolicyKind, RoutingReason};
+    use simcore::SimTime;
+    use std::sync::Arc;
+    use workload::{ArrivalPattern, RequestTemplate};
+
+    const PREFIX_TOKENS: u32 = 6_000;
+    const INPUT_TOKENS: u32 = 150;
+    const REPLY_TOKENS: u32 = 96;
+    const ROUNDS: u32 = 5; // warmup round 0 + four main-window rounds
+    let cohort_prefix = |user: u64| -> std::ops::Range<u32> {
+        if user < 3 {
+            0..PREFIX_TOKENS
+        } else {
+            1_000_000..1_000_000 + PREFIX_TOKENS
+        }
+    };
+    // Round r's sequence replays the whole session: cohort prefix, then every
+    // earlier round's input and decoded reply, then round r's input and the reply
+    // the engine is about to decode (the trailing `decode_tokens`).
+    let request = |user: u64, round: u32, at_ms: u64| -> ArrivalPattern {
+        let mut tokens: Vec<u32> = cohort_prefix(user).collect();
+        for r in 0..=round {
+            let input_start = 2_000_000 + user as u32 * 100_000 + r * 1_000;
+            tokens.extend(input_start..input_start + INPUT_TOKENS);
+            let reply_start = 3_000_000 + user as u32 * 100_000 + r * 1_000;
+            tokens.extend(reply_start..reply_start + REPLY_TOKENS);
+        }
+        ArrivalPattern {
+            template: RequestTemplate {
+                user_id: user,
+                tokens: Arc::new(tokens),
+                shared_prefix_tokens: u64::from(PREFIX_TOKENS),
+                decode_tokens: u64::from(REPLY_TOKENS),
+            },
+            arrival: SimTime::from_millis(at_ms),
+            sticky: None,
+        }
+    };
+
+    // Warmup: user 0 computes prefix A (lands on instance 0), user 3 prefix B
+    // (instance 1) — identical placement under both policies, and each warmup
+    // turn's decoded reply is committed into the warm instance's prefix cache.
+    let warmup = vec![request(0, 0, 0), request(3, 0, 500)];
+    // Main window: first appearances ordered A, A, B, B so sticky round-robin
+    // splits both cohorts, exactly as in the JCT test above.
+    let user_order = [1u64, 2, 4, 5, 0, 3];
+    let mut main = Vec::new();
+    for round in 1..ROUNDS {
+        for (pos, &user) in user_order.iter().enumerate() {
+            let at = (u64::from(round - 1) * user_order.len() as u64 + pos as u64) * 700;
+            main.push(request(user, round, at));
+        }
+    }
+
+    let max_tokens = u64::from(PREFIX_TOKENS + ROUNDS * (INPUT_TOKENS + REPLY_TOKENS));
+    let base = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        max_tokens,
+    );
+    let run = |routing: RoutingPolicyKind| {
+        let mut cluster = Cluster::new(&base.clone().with_routing(routing));
+        cluster.run(&warmup, 2.0).expect("warmup feasible");
+        cluster.run(&main, 2.0).expect("main window feasible")
+    };
+    let sticky = run(RoutingPolicyKind::StickyUser);
+    let cache_aware = run(RoutingPolicyKind::CacheAware);
+
+    // Same request count and the same 3-users-per-instance balance: the TTFT win
+    // below is cache reuse, not load shifting.
+    assert_eq!(sticky.records.len(), main.len());
+    assert_eq!(cache_aware.records.len(), main.len());
+    let users_on = |report: &prefillonly::RunReport, instance: usize| {
+        let mut users: Vec<u64> = report
+            .records
+            .iter()
+            .filter(|r| r.instance == instance)
+            .map(|r| r.user_id)
+            .collect();
+        users.sort_unstable();
+        users.dedup();
+        users
+    };
+    assert_eq!(users_on(&sticky, 0).len(), 3);
+    assert_eq!(users_on(&cache_aware, 0).len(), 3);
+    assert_eq!(users_on(&cache_aware, 0), vec![0, 1, 2]);
+    assert_eq!(users_on(&cache_aware, 1), vec![3, 4, 5]);
+    assert_ne!(users_on(&sticky, 0), vec![0, 1, 2]);
+    assert!(cache_aware
+        .records
+        .iter()
+        .all(|r| r.routing == RoutingReason::DeepestPrefix));
+
+    // The decode stage is genuinely on: every turn decodes its reply, TPOT is
+    // defined, and the first token strictly precedes completion.
+    for report in [&sticky, &cache_aware] {
+        assert_eq!(
+            report.decode_tokens(),
+            main.len() as u64 * u64::from(REPLY_TOKENS)
+        );
+        assert!(report.tpot_summary().is_some());
+        assert!(report.records.iter().all(|r| r.first_token < r.completed));
+    }
+
+    // The acceptance criterion: strictly lower mean TTFT (and strictly higher hit
+    // rate) — consolidation makes each turn's prefill a pure extension of the
+    // session's cached sequence, decoded replies included.
+    assert!(cache_aware.cache_hit_rate() > sticky.cache_hit_rate());
+    assert!(
+        cache_aware.mean_ttft_secs() < sticky.mean_ttft_secs(),
+        "cache-aware routing must beat sticky on mean TTFT: {:.4}s vs {:.4}s",
+        cache_aware.mean_ttft_secs(),
+        sticky.mean_ttft_secs()
     );
 }
 
