@@ -22,7 +22,7 @@ use executor::{Executor, ExecutorConfig, PrefillStrategy};
 use gpu::{HardwareSetup, Interconnect, LinkKind};
 use model::ModelPreset;
 use prefillonly::{Cluster, EngineConfig, EngineKind};
-use prefillonly_bench::{print_table, write_json};
+use prefillonly_bench::{print_routing_jct, print_table, write_json};
 use serde::Serialize;
 use std::sync::Arc;
 use workload::{conversation_trace, ArrivalPattern, ConversationSpec, RequestTemplate};
@@ -99,6 +99,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
+    let mut routing_reports = Vec::new();
     for (name, preset, hardware) in tiers {
         let model = preset.config();
 
@@ -202,6 +203,8 @@ fn main() {
             let ttft = prefill_node.mean_ttft_secs() + handoff;
             push(deployment, ttft, decode_tpot, ttft + decode_tail, handoff);
         }
+        routing_reports.push((format!("{name}, colocated"), colocated));
+        routing_reports.push((format!("{name}, prefill node"), prefill_node));
     }
 
     print_table(
@@ -215,6 +218,9 @@ fn main() {
         ],
         &rows,
     );
+    for (label, report) in &routing_reports {
+        print_routing_jct(label, report);
+    }
     if smoke {
         println!("\n--smoke: JSON export skipped.");
     } else {

@@ -27,8 +27,9 @@
 
 use prefillonly::{AutoscalerPolicy, Cluster, RunReport};
 use prefillonly_bench::{
-    elastic_fleet_handoff, print_table, shared_prefix_fleet_pressure, write_json,
-    ELASTIC_DRAIN_AT_MS, ELASTIC_FLEET_QPS, ELASTIC_JOIN_AT_MS, SHARED_PREFIX_FLEET_QPS,
+    elastic_fleet_handoff, print_routing_jct, print_table, shared_prefix_fleet_pressure,
+    write_json, ELASTIC_DRAIN_AT_MS, ELASTIC_FLEET_QPS, ELASTIC_JOIN_AT_MS,
+    SHARED_PREFIX_FLEET_QPS,
 };
 use serde::Serialize;
 use simcore::SimTime;
@@ -174,6 +175,8 @@ fn main() {
         ],
         &warmth_rows,
     );
+    print_routing_jct("warm join, handoff trace", &warm);
+    print_routing_jct("cold join, handoff trace", &cold);
     println!();
     println!("Reading: the joins are identical except for shared-tier attachment, so the");
     println!("post-join saving is exactly what warm entry through the net tier recovers.");

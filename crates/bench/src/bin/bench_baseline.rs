@@ -6,6 +6,13 @@
 //! Run with `cargo run --release --bin bench_baseline`.  Pass `--smoke` to run each
 //! measurement with a minimal sample count — CI uses this to prove the JSON stays
 //! generatable on every PR without paying full measurement time.
+//!
+//! Pass `--check` to run the regression guard instead of emitting the file: the
+//! routing-pass and epoch-barrier groups are re-measured and compared against the
+//! committed `BENCH_baseline.json` medians, and the process exits non-zero if any
+//! entry is more than [`REGRESSION_FACTOR`]× worse.  The guard re-measures the
+//! *full* workload shapes (sample counts aside, a `--smoke`-shaped workload would
+//! not be comparable to the committed medians), so `--check` rejects `--smoke`.
 
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
@@ -19,10 +26,11 @@ use model::ModelPreset;
 use prefillonly::{Cluster, EngineConfig, EngineInstance, EngineKind, RoutingScratch};
 use prefillonly_bench::hotpath::{calibrated_queue, cohort_cache, FullWalkProbe, MemoProbe};
 use scheduler::{JctEstimator, SchedulingPolicy, SrjfPolicy};
-use simcore::{SimRng, SimTime};
+use simcore::{SimDuration, SimRng, SimTime};
 use workload::{
-    assign_poisson_arrivals, conversation_trace, ArrivalStream, ConversationSpec, Dataset,
-    PostRecommendationSpec, SharedPrefixFleetSpec, SharedPrefixFleetStream, StreamedArrival,
+    assign_poisson_arrivals, conversation_trace, ArrivalPattern, ArrivalStream, ConversationSpec,
+    Dataset, PostRecommendationSpec, SharedPrefixFleetSpec, SharedPrefixFleetStream,
+    StreamedArrival,
 };
 
 const BLOCK_SIZE: usize = prefillonly_bench::hotpath::BLOCK_SIZE;
@@ -488,6 +496,96 @@ fn routing_pass_baselines(out: &mut Vec<BaselinePoint>) {
             out.push(point);
         }
     }
+
+    // The steady-state (epoch 2+) cache-aware pass: the fleet has real GPU
+    // residency (so the cold-fleet hashing skip does not apply and every arrival
+    // pays its chain walk), but the per-instance probe captures hit the
+    // generation-keyed probe cache — the cost profile of every epoch after the
+    // first on an unchanged fleet.
+    let config = fleet_config(prefillonly::RoutingPolicyKind::CacheAware, 640);
+    let mut cluster = Cluster::new(&config);
+    let warm_arrivals: Vec<ArrivalPattern> = batch
+        .iter()
+        .map(|streamed| streamed.arrival.clone())
+        .collect();
+    cluster
+        .run(&warm_arrivals, 400.0)
+        .expect("warming replay feasible");
+    let mut scratch = RoutingScratch::new();
+    let mut scoped = Vec::new();
+    measure_batched(
+        &mut scoped,
+        "serving/routing_pass/cache_aware_64i_incremental",
+        samples(9),
+        2,
+        || {
+            cluster.route_preview(&batch, &mut scratch);
+            std::hint::black_box(scratch.decisions().len());
+        },
+    );
+    for mut point in scoped {
+        point.median_ns /= batch.len() as f64;
+        println!(
+            "{:<55} median {:>12.1} ns (per arrival)",
+            point.name, point.median_ns
+        );
+        out.push(point);
+    }
+}
+
+/// Epoch-boundary snapshot cost at fleet depth: what 64 instances pay to receive
+/// their visibility-filtered view of a populated shared network tier — the legacy
+/// full clone ([`kvcache::NetKvPool::visible_snapshot`], one deep copy of every
+/// resident entry per instance per epoch) against the copy-on-write delta view
+/// ([`kvcache::NetKvPool::view_at`], an `Arc` bump plus the publish-log filter).
+fn epoch_snapshot_baselines(out: &mut Vec<BaselinePoint>) {
+    const BLOCK_BYTES: u64 = 16 * 128 * 1024;
+    let net_blocks = 16_384u64;
+    let mut pool = kvcache::NetKvPool::new(net_blocks * BLOCK_BYTES, BLOCK_BYTES)
+        .with_propagation_delay(SimDuration::from_millis(250));
+    let chain_blocks = 512usize;
+    for chain in 0..net_blocks / chain_blocks as u64 {
+        let start = chain as u32 * 10_000_000;
+        let tokens: Vec<u32> = (start..start + (chain_blocks * BLOCK_SIZE) as u32).collect();
+        pool.offload(
+            &kvcache::hash_token_blocks(&tokens, BLOCK_SIZE),
+            SimTime::from_secs(chain),
+        );
+    }
+    // Most of the pool long settled, a few chains freshly published — the mix a
+    // mid-replay epoch boundary actually filters.
+    pool.settle();
+    for chain in 0..4u64 {
+        let start = 2_000_000_000 + chain as u32 * 10_000_000;
+        let tokens: Vec<u32> = (start..start + (chain_blocks * BLOCK_SIZE) as u32).collect();
+        pool.offload(
+            &kvcache::hash_token_blocks(&tokens, BLOCK_SIZE),
+            SimTime::from_millis(100_000 + chain),
+        );
+    }
+    let visible_at = SimTime::from_millis(100_150);
+    measure(
+        out,
+        "serving/epoch_snapshot_64i/full_clone",
+        samples(9),
+        || (),
+        |()| {
+            (0..64usize)
+                .map(|id| pool.visible_snapshot(visible_at, id))
+                .collect::<Vec<_>>()
+        },
+    );
+    measure(
+        out,
+        "serving/epoch_snapshot_64i/delta",
+        samples(9),
+        || (),
+        |()| {
+            (0..64usize)
+                .map(|id| pool.view_at(visible_at, id))
+                .collect::<Vec<_>>()
+        },
+    );
 }
 
 /// Epoch-barrier overhead at fleet depth: a *sparse* trace (every epoch nearly
@@ -610,7 +708,95 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("."))
 }
 
+/// `--check` fails when a re-measured median exceeds the committed one by more
+/// than this factor — wide enough to absorb machine and scheduler noise, tight
+/// enough to catch a hot path falling off a cliff.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Extracts the `(name, median_ns)` pairs from the committed baseline.  The local
+/// serde_json shim is serialize-only and the file is this binary's own
+/// pretty-printed emission, so a line scanner is sufficient and dependency-free.
+fn committed_medians(json: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut name: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.find('"').map(|end| rest[..end].to_string());
+        } else if let Some(rest) = line.strip_prefix("\"median_ns\": ") {
+            if let (Some(n), Ok(median)) = (name.take(), rest.trim_end_matches(',').parse::<f64>())
+            {
+                pairs.push((n, median));
+            }
+        }
+    }
+    pairs
+}
+
+/// The CI regression guard: re-measures the routing-pass and epoch-barrier groups
+/// (the per-epoch machinery this repo optimises hardest) and compares each median
+/// against the committed `BENCH_baseline.json`.  Returns the process exit code.
+fn regression_check() -> i32 {
+    let path = workspace_root().join("BENCH_baseline.json");
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("error: could not read {}: {err}", path.display());
+            return 1;
+        }
+    };
+    let committed = committed_medians(&json);
+    if committed.is_empty() {
+        eprintln!("error: no medians found in {}", path.display());
+        return 1;
+    }
+
+    println!("Regression guard: routing pass + epoch barriers vs committed medians\n");
+    let mut results = Vec::new();
+    routing_pass_baselines(&mut results);
+    epoch_barrier_baselines(&mut results);
+
+    println!();
+    let mut failures = 0usize;
+    for point in &results {
+        let Some((_, committed_ns)) = committed.iter().find(|(name, _)| name == &point.name) else {
+            println!("{:<55} (no committed median, skipped)", point.name);
+            continue;
+        };
+        let ratio = point.median_ns / committed_ns;
+        let verdict = if ratio > REGRESSION_FACTOR {
+            failures += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{:<55} {ratio:>6.2}x committed  {verdict}", point.name);
+    }
+    if failures > 0 {
+        eprintln!(
+            "\nerror: {failures} entr{} regressed more than {REGRESSION_FACTOR}x past \
+             the committed baseline; investigate or regenerate BENCH_baseline.json \
+             with `cargo run --release --bin bench_baseline` if the change is intended",
+            if failures == 1 { "y" } else { "ies" }
+        );
+        1
+    } else {
+        println!("\nall checked entries within {REGRESSION_FACTOR}x of the committed baseline");
+        0
+    }
+}
+
 fn main() {
+    if std::env::args().any(|arg| arg == "--check") {
+        if smoke() {
+            eprintln!(
+                "error: --check re-measures the full workload shapes; \
+                 --smoke medians would not be comparable to the committed baseline"
+            );
+            std::process::exit(1);
+        }
+        std::process::exit(regression_check());
+    }
     let mut results = Vec::new();
     scheduler_baselines(&mut results);
     kvcache_baselines(&mut results);
@@ -620,6 +806,7 @@ fn main() {
     cluster_baselines(&mut results);
     decode_baselines(&mut results);
     routing_pass_baselines(&mut results);
+    epoch_snapshot_baselines(&mut results);
     epoch_barrier_baselines(&mut results);
     streaming_replay_baselines(&mut results);
 

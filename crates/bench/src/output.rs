@@ -3,6 +3,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use prefillonly::RunReport;
 use serde::Serialize;
 
 /// Prints a fixed-width table: a header row followed by data rows.
@@ -31,6 +32,33 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
     for row in rows {
         print_row(row);
     }
+}
+
+/// Prints a run's JCT breakdown by routing reason (omitted when the run is
+/// empty): whether e.g. cache-aware "deepest prefix" placements actually
+/// complete faster than the load fallback is the router-observability question
+/// the ablations want answered next to their headline numbers.
+pub fn print_routing_jct(label: &str, report: &RunReport) {
+    let breakdown = report.jct_by_routing_reason();
+    if breakdown.is_empty() {
+        return;
+    }
+    println!("\nJCT by routing reason — {label}:");
+    let rows: Vec<Vec<String>> = breakdown
+        .iter()
+        .map(|entry| {
+            vec![
+                format!("{:?}", entry.reason),
+                entry.count.to_string(),
+                format!("{:.3}", entry.mean_jct_secs),
+                format!("{:.3}", entry.median_jct_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        &["reason", "requests", "mean JCT (s)", "median JCT (s)"],
+        &rows,
+    );
 }
 
 /// Where experiment outputs are written.

@@ -97,11 +97,15 @@
 //! FIFO-within-timestamp order onto one instance therefore yields exactly the
 //! per-instance order.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 
 use simcore::{EventQueue, SimDuration, SimTime};
 
-use kvcache::{hash_token_blocks, CacheStats, DrainSpill, NetKvPool, OffloadStats, PrefixProbe};
+use kvcache::{
+    hash_token_blocks, CacheStats, DrainSpill, NetKvPool, NetPoolView, OffloadStats, PrefixProbe,
+    ViewDelta,
+};
 use workload::{
     ArrivalPattern, ArrivalStream, MembershipChange, MembershipSchedule, SliceArrivalStream,
     SortedTrace, StreamedArrival,
@@ -368,9 +372,193 @@ pub struct DrainRecord {
     pub spill: DrainSpill,
 }
 
+/// A borrow-carrying job of one parallel batch: runs one instance's slice of the
+/// window/epoch against state borrowed from the caller's stack frame.
+type ScopedJob<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// What the workers pull: jobs erased to `'static` (sound because
+/// [`WorkerPool::run_batch`] blocks until the whole batch completed — see its
+/// safety comment).
+type QueuedJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool's owner and its worker threads.
+struct PoolShared {
+    queue: Mutex<WorkerQueue>,
+    work_ready: Condvar,
+}
+
+struct WorkerQueue {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+}
+
+impl PoolShared {
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("worker pool poisoned");
+                loop {
+                    if let Some(job) = queue.jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if queue.shutdown {
+                        break None;
+                    }
+                    queue = self.work_ready.wait(queue).expect("worker pool poisoned");
+                }
+            };
+            match job {
+                Some(job) => job(),
+                None => return,
+            }
+        }
+    }
+}
+
+/// One batch's completion latch: counts jobs down and carries the first panic
+/// payload back to the submitting thread.
+struct BatchLatch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl BatchLatch {
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().expect("batch latch poisoned");
+        state.remaining -= 1;
+        if let Some(payload) = panic {
+            state.panic.get_or_insert(payload);
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every job of the batch ran, then re-raises the first panic (the
+    /// same observable behaviour as joining `std::thread::scope` handles).
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("batch latch poisoned");
+        while state.remaining > 0 {
+            state = self.done.wait(state).expect("batch latch poisoned");
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// A persistent pool of worker threads for the parallel replay flavour.
+///
+/// `std::thread::scope` spawns and tears a thread down per instance *per epoch* —
+/// measurable pure overhead at propagation-epoch cadence (thousands of boundaries
+/// per fleet-scale window).  This pool spawns `available_parallelism - 1` workers
+/// once (the submitting thread is the remaining lane: it drains the same queue
+/// instead of idling, so a single-core host degrades to exactly the sequential
+/// inline execution) and reuses them for every subsequent batch, across epochs
+/// *and* replay windows.
+///
+/// [`Self::run_batch`] has `thread::scope` semantics: it returns only after every
+/// job of the batch ran, and re-raises the first job panic.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new() -> WorkerPool {
+        let workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .saturating_sub(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(WorkerQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shared.worker_loop())
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Runs the batch to completion: queues every job for the workers, helps drain
+    /// the queue from the submitting thread, then blocks until the last job
+    /// finished (re-raising the first panic, if any).
+    fn run_batch(&self, jobs: Vec<ScopedJob<'_>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let latch = Arc::new(BatchLatch {
+            state: Mutex::new(BatchState {
+                remaining: jobs.len(),
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("worker pool poisoned");
+            for job in jobs {
+                // SAFETY: the latch wait below keeps this stack frame alive until
+                // every queued job has run to completion (panics included — the
+                // catch_unwind still counts the latch down), so the `'a` borrows
+                // the job captures strictly outlive the job.  This is the same
+                // guarantee `std::thread::scope` provides, with the worker
+                // threads outliving the scope instead of being joined by it.
+                let job: QueuedJob =
+                    unsafe { std::mem::transmute::<ScopedJob<'_>, ScopedJob<'static>>(job) };
+                let latch = Arc::clone(&latch);
+                queue.jobs.push_back(Box::new(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    latch.complete(result.err());
+                }));
+            }
+            self.shared.work_ready.notify_all();
+        }
+        // Help drain the queue: the submitting thread is a full worker lane for
+        // the duration of the batch (and the only one on a single-core host).
+        loop {
+            let job = {
+                let mut queue = self.shared.queue.lock().expect("worker pool poisoned");
+                queue.jobs.pop_front()
+            };
+            match job {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        latch.wait();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("worker pool poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 /// A deployment of one engine kind on one hardware setup.
 pub struct Cluster {
-    config: EngineConfig,
+    /// Shared rather than owned: construction paths hand the same immutable
+    /// configuration to the cluster, its instances and its callers without
+    /// re-cloning it (see [`Self::new_shared`]).
+    config: Arc<EngineConfig>,
     instances: Vec<EngineInstance>,
     /// Lifecycle state of each slot of `instances` (same length, same order).
     slot_states: Vec<SlotState>,
@@ -410,6 +598,10 @@ pub struct Cluster {
     /// into the aggregated run report so elasticity never loses accounting.
     retired_cache: CacheStats,
     retired_offload: OffloadStats,
+    /// The persistent worker pool of the parallel replay flavour: spawned lazily on
+    /// the first multi-instance parallel window and reused across every epoch and
+    /// window thereafter (replacing per-epoch thread spawn/teardown).
+    worker_pool: Option<WorkerPool>,
 }
 
 impl Cluster {
@@ -429,26 +621,44 @@ impl Cluster {
     /// setup with zero instances, which no router can serve) as a typed
     /// [`ConfigError`] instead of a panic.
     pub fn try_new(config: &EngineConfig) -> Result<Cluster, ConfigError> {
+        Cluster::try_new_shared(Arc::new(config.clone()))
+    }
+
+    /// [`Self::new`] without the configuration clone: callers that own their
+    /// `EngineConfig` (or already share it) hand over an `Arc` and the cluster,
+    /// its accessor and every join-time instance build read the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`EngineConfig::validate`]; use
+    /// [`Self::try_new_shared`] to handle invalid configurations as values.
+    pub fn new_shared(config: Arc<EngineConfig>) -> Cluster {
+        Cluster::try_new_shared(config).expect("invalid deployment configuration")
+    }
+
+    /// [`Self::try_new`] over a shared configuration (no clone).
+    pub fn try_new_shared(config: Arc<EngineConfig>) -> Result<Cluster, ConfigError> {
         config.validate()?;
-        let profile = InstanceProfile::new(config);
+        let profile = InstanceProfile::new(&config);
         let num_instances = config.num_instances() as usize;
         let instances = (0..num_instances)
-            .map(|id| EngineInstance::with_profile(config, &profile, id))
+            .map(|id| EngineInstance::with_profile(&config, &profile, id))
             .collect();
         let net_pool = (config.net_kv_capacity_bytes > 0).then(|| {
             NetKvPool::new(config.net_kv_capacity_bytes, profile.kv_block_bytes())
                 .with_propagation_delay(SimDuration::from_millis(config.net_propagation_ms))
         });
         let attached = net_pool.is_some();
+        let router = config
+            .routing
+            .build(num_instances)
+            .expect("validate() guarantees at least one instance");
         Ok(Cluster {
-            config: config.clone(),
+            config,
             instances,
             slot_states: vec![SlotState::Active { attached }; num_instances],
             profile,
-            router: config
-                .routing
-                .build(num_instances)
-                .expect("validate() guarantees at least one instance"),
+            router,
             net_pool,
             net_merge_evictions: 0,
             membership: MembershipSchedule::default(),
@@ -458,6 +668,7 @@ impl Cluster {
             drain_records: Vec::new(),
             retired_cache: CacheStats::default(),
             retired_offload: OffloadStats::default(),
+            worker_pool: None,
         })
     }
 
@@ -720,20 +931,23 @@ impl Cluster {
                     &partitions[0],
                 ));
             } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .instances
-                        .iter_mut()
-                        .zip(&partitions)
-                        .map(|(instance, partition)| {
-                            scope.spawn(move || Self::simulate_instance(instance, partition))
-                        })
-                        .collect();
-                    per_instance = handles
-                        .into_iter()
-                        .map(|handle| handle.join().expect("instance simulation panicked"))
-                        .collect();
-                });
+                per_instance.resize_with(self.instances.len(), Vec::new);
+                if self.worker_pool.is_none() {
+                    self.worker_pool = Some(WorkerPool::new());
+                }
+                let pool = self.worker_pool.as_ref().expect("just ensured above");
+                let jobs: Vec<ScopedJob> = self
+                    .instances
+                    .iter_mut()
+                    .zip(&partitions)
+                    .zip(&mut per_instance)
+                    .map(|((instance, partition), records)| {
+                        Box::new(move || {
+                            *records = Self::simulate_instance(instance, partition);
+                        }) as ScopedJob
+                    })
+                    .collect();
+                pool.run_batch(jobs);
             }
             per_instance.into_iter().flatten().collect()
         } else {
@@ -809,6 +1023,13 @@ impl Cluster {
         let mut lookahead = stream.next_arrival();
         let mut last_arrival_time = SimTime::ZERO;
         let mut epoch_start = SimTime::ZERO;
+        // The probe-reuse guard: `(visible_at, generation, meta_generation)` of the
+        // previous epoch's installs.  If the shared pool's content and publication
+        // metadata are untouched since, and no publish timestamp lies in
+        // `(previous visible_at, this visible_at]`, then every instance's visible
+        // entry set *and* propagation flags are identical to the previous epoch —
+        // so the installs may keep probe memoisation warm.
+        let mut last_install: Option<(SimTime, u64, u64)> = None;
         loop {
             let boundary = clock.boundary();
             // Membership changes (scheduled and autoscaled) apply at the epoch
@@ -853,7 +1074,18 @@ impl Cluster {
             let sim_boundary = (!final_epoch).then_some(boundary);
 
             if epoch_sharing {
-                self.install_net_snapshots_visible(epoch_start);
+                let content_unchanged = match (&self.net_pool, last_install) {
+                    (Some(pool), Some((previous_at, generation, meta))) => {
+                        pool.generation() == generation
+                            && pool.meta_generation() == meta
+                            && !pool.published_in(previous_at, epoch_start)
+                    }
+                    _ => false,
+                };
+                if let Some(pool) = &self.net_pool {
+                    last_install = Some((epoch_start, pool.generation(), pool.meta_generation()));
+                }
+                self.install_net_snapshots_visible(epoch_start, content_unchanged);
             }
             self.route_stream_epoch(&epoch_buf, &mut scratch);
 
@@ -890,15 +1122,18 @@ impl Cluster {
                         sim_boundary,
                     );
                 } else {
-                    std::thread::scope(|scope| {
-                        for (((instance, partition), queue), instance_records) in self
-                            .instances
-                            .iter_mut()
-                            .zip(&partitions)
-                            .zip(&mut queues)
-                            .zip(&mut per_instance)
-                        {
-                            scope.spawn(move || {
+                    if self.worker_pool.is_none() {
+                        self.worker_pool = Some(WorkerPool::new());
+                    }
+                    let pool = self.worker_pool.as_ref().expect("just ensured above");
+                    let jobs: Vec<ScopedJob> = self
+                        .instances
+                        .iter_mut()
+                        .zip(&partitions)
+                        .zip(&mut queues)
+                        .zip(&mut per_instance)
+                        .map(|(((instance, partition), queue), instance_records)| {
+                            Box::new(move || {
                                 Self::simulate_instance_until(
                                     instance,
                                     partition,
@@ -906,9 +1141,10 @@ impl Cluster {
                                     instance_records,
                                     sim_boundary,
                                 );
-                            });
-                        }
-                    });
+                            }) as ScopedJob
+                        })
+                        .collect();
+                    pool.run_batch(jobs);
                 }
             } else {
                 for (pos, streamed) in epoch_buf.iter().enumerate() {
@@ -1004,10 +1240,15 @@ impl Cluster {
             std::mem::take(&mut scratch.loads),
             std::mem::take(&mut scratch.probes),
         );
+        // A residency-free snapshot answers depth 0 to every probe, so hashing the
+        // arrivals would be pure cost: skip it and let the instance compute the
+        // (identical, content-determined) chain at enqueue — which on the parallel
+        // path also moves that work off the sequential routing pass.
+        let hashing = needs_probe && snapshot.has_prefix_residency();
         for (pos, streamed) in batch.iter().enumerate() {
             let arrival = &streamed.arrival;
-            let hashes = needs_probe
-                .then(|| Arc::new(hash_token_blocks(&arrival.template.tokens, block_size)));
+            let hashes =
+                hashing.then(|| Arc::new(hash_token_blocks(&arrival.template.tokens, block_size)));
             let query = RouteQuery {
                 user_id: arrival.template.user_id,
                 num_tokens: arrival.template.num_tokens(),
@@ -1264,10 +1505,13 @@ impl Cluster {
         let block_size = self.config.block_size;
         let mut snapshot = self.capture_snapshot(Vec::new(), Vec::new());
 
+        // Same cold-fleet fast path as `route_stream_epoch`: no resident block
+        // anywhere means every chain walk is 0, so the chains need not exist.
+        let hashing = needs_probe && snapshot.has_prefix_residency();
         for &idx in order {
             let arrival = &arrivals[idx];
-            let hashes = needs_probe
-                .then(|| Arc::new(hash_token_blocks(&arrival.template.tokens, block_size)));
+            let hashes =
+                hashing.then(|| Arc::new(hash_token_blocks(&arrival.template.tokens, block_size)));
             let query = RouteQuery {
                 user_id: arrival.template.user_id,
                 num_tokens: arrival.template.num_tokens(),
@@ -1418,12 +1662,12 @@ impl Cluster {
                     }
                 };
                 self.slot_states[slot] = SlotState::Active { attached };
-                // Epoch-sharing replays install a visibility-filtered snapshot
-                // right after membership applies; single-install replays hand
-                // the joiner its window-start snapshot now.
+                // Epoch-sharing replays install a visibility-filtered view right
+                // after membership applies; single-install replays hand the
+                // joiner its window-start view now.
                 if attached && !epoch_sharing {
                     if let Some(pool) = &self.net_pool {
-                        self.instances[slot].install_net_pool(pool.clone());
+                        self.instances[slot].install_net_view(pool.view(), false);
                     }
                 }
                 self.membership_log.push(AppliedMembership {
@@ -1489,43 +1733,75 @@ impl Cluster {
         }
     }
 
-    /// Installs a snapshot of the shared network tier into every instance.  Both
-    /// replay paths call this before simulating, so an instance sees the cluster
-    /// tier as of the window's start plus its own contributions — and the parallel
-    /// path has no mid-run cross-thread state to race on.
+    /// Installs a copy-on-write view of the shared network tier into every
+    /// instance.  Both replay paths call this before simulating, so an instance
+    /// sees the cluster tier as of the window's start plus its own contributions —
+    /// and the parallel path has no mid-run cross-thread state to race on (each
+    /// view's overlay is private; the shared base is immutable while views are
+    /// out).
     fn install_net_snapshots(&mut self) {
         if let Some(pool) = &self.net_pool {
             for (slot, instance) in self.instances.iter_mut().enumerate() {
                 if self.slot_states[slot].attached() {
-                    instance.install_net_pool(pool.clone());
+                    instance.install_net_view(pool.view(), false);
                 }
             }
         }
     }
 
     /// Installs the publish-time-filtered view of the shared tier for the
-    /// propagation epoch starting at `visible_at` (see
-    /// [`NetKvPool::visible_snapshot`]).
-    fn install_net_snapshots_visible(&mut self, visible_at: SimTime) {
+    /// propagation epoch starting at `visible_at` (see [`NetKvPool::view_at`] and
+    /// the legacy [`NetKvPool::visible_snapshot`] it replaces).  When the caller
+    /// proved the boundary changed nobody's visible set (`content_unchanged`, see
+    /// [`Self::run_stream_core`]'s guard), the installs keep every instance's
+    /// routing-probe memoisation warm.
+    fn install_net_snapshots_visible(&mut self, visible_at: SimTime, content_unchanged: bool) {
         if let Some(pool) = &self.net_pool {
             for (id, instance) in self.instances.iter_mut().enumerate() {
                 if self.slot_states[id].attached() {
-                    instance.install_net_pool(pool.visible_snapshot(visible_at, id));
+                    instance.install_net_view(pool.view_at(visible_at, id), content_unchanged);
                 }
             }
         }
     }
 
-    /// Merges every instance's network-tier snapshot back into the shared pool, in
-    /// instance-id order (deterministic regardless of which threads finished first),
-    /// accounting the merge's own eviction churn.
+    /// Merges every instance's network-tier view back into the shared pool, in
+    /// instance-id order (deterministic regardless of which threads finished
+    /// first), accounting the merge's own eviction churn.
+    ///
+    /// Fast path: when every view still shares the pool's state and the worst-case
+    /// growth provably fits capacity (no merge can evict), each view surrenders
+    /// just its overlay delta — O(entries touched this epoch) for the whole
+    /// boundary.  The deltas are all extracted *before* the first absorb so no
+    /// outstanding base reference forces a copy-on-write clone of the shared
+    /// state.  Any doubt (a mid-window pool mutation, a dense fallback, capacity
+    /// pressure) falls back to materialising every view and replaying the legacy
+    /// dense merge, which is exact under eviction.
     fn merge_net_snapshots(&mut self) {
-        if let Some(pool) = &mut self.net_pool {
-            for instance in &mut self.instances {
-                // Detached and retired slots carry no snapshot — skip them.
-                if let Some(local) = instance.take_net_pool() {
-                    self.net_merge_evictions += pool.merge_from(&local);
-                }
+        let Some(pool) = &mut self.net_pool else {
+            return;
+        };
+        // Detached and retired slots carry no view — skip them.  Collection order
+        // is instance-id order, which both merge paths preserve.
+        let views: Vec<NetPoolView> = self
+            .instances
+            .iter_mut()
+            .filter_map(EngineInstance::take_net_view)
+            .collect();
+        let no_evictions = views.iter().all(|view| view.shares_base(pool))
+            && pool
+                .resident_blocks()
+                .saturating_add(views.iter().map(NetPoolView::merge_added_upper_bound).sum())
+                <= pool.capacity_blocks();
+        if no_evictions {
+            let deltas: Vec<ViewDelta> = views.into_iter().map(NetPoolView::into_delta).collect();
+            for delta in deltas {
+                self.net_merge_evictions += pool.absorb(delta);
+            }
+        } else {
+            let locals: Vec<NetKvPool> = views.into_iter().map(NetPoolView::into_pool).collect();
+            for local in locals {
+                self.net_merge_evictions += pool.merge_from(&local);
             }
         }
     }
@@ -2155,7 +2431,7 @@ mod tests {
         let arrivals = assign_poisson_arrivals(&ds, 5.0, &mut SimRng::seed_from_u64(17));
         let mut shared = cluster;
         let mut unshared = Cluster {
-            config: config.clone(),
+            config: Arc::new(config.clone()),
             instances: (0..config.num_instances() as usize)
                 .map(|id| EngineInstance::new(&config, id))
                 .collect(),
@@ -2177,6 +2453,7 @@ mod tests {
             drain_records: Vec::new(),
             retired_cache: CacheStats::default(),
             retired_offload: OffloadStats::default(),
+            worker_pool: None,
         };
         let a = shared.run(&arrivals, 5.0).unwrap();
         let b = unshared.run(&arrivals, 5.0).unwrap();

@@ -400,14 +400,28 @@ impl EngineInstance {
         self.kv.install_net_pool(pool);
     }
 
+    /// Installs a copy-on-write view of the cluster-shared network KV tier (see
+    /// [`kvcache::NetPoolView`]); `content_unchanged` forwards the cluster's proof
+    /// that this install is observationally identical to the previous one, keeping
+    /// routing-probe memoisation warm across the boundary.
+    pub fn install_net_view(&mut self, view: kvcache::NetPoolView, content_unchanged: bool) {
+        self.kv.install_net_view(view, content_unchanged);
+    }
+
     /// Harvests the network-tier snapshot (with this instance's spills applied) so
     /// the cluster can merge it back into the shared pool.
     pub fn take_net_pool(&mut self) -> Option<NetKvPool> {
         self.kv.take_net_pool()
     }
 
+    /// Harvests the network-tier view without materialising it (the delta-merge
+    /// boundary path; see [`kvcache::KvCacheManager::take_net_view`]).
+    pub fn take_net_view(&mut self) -> Option<kvcache::NetPoolView> {
+        self.kv.take_net_view()
+    }
+
     /// The currently installed network-tier snapshot, if any.
-    pub fn net_pool(&self) -> Option<&NetKvPool> {
+    pub fn net_pool(&self) -> Option<&kvcache::NetPoolView> {
         self.kv.net_pool()
     }
 

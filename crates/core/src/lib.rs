@@ -86,7 +86,7 @@ pub use config::{
     AutoscalerPolicy, ConfigError, EngineConfig, EngineKind, EpochLengthPolicy, ReloadPolicyKind,
 };
 pub use instance::{EngineInstance, InstanceProfile, InstanceStats};
-pub use report::{RequestRecord, RunReport};
+pub use report::{RequestRecord, RoutingJct, RunReport};
 pub use request::{PrefillRequest, PrefillResponse, TokenScore};
 pub use routing::{
     InstanceLoad, RouteQuery, RouterSnapshot, RoutingDecision, RoutingError, RoutingPolicy,

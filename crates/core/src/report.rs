@@ -210,6 +210,54 @@ impl RunReport {
     pub fn latency_cdf(&self) -> Cdf {
         Cdf::from_samples(&self.latencies_secs())
     }
+
+    /// JCT broken down by why the router placed each request — the observability
+    /// counterpart of the routing policies: it shows directly whether e.g.
+    /// cache-aware placements ([`RoutingReason::DeepestPrefix`]) actually complete
+    /// faster than its load fallbacks.  One entry per reason that routed at least
+    /// one request, in declaration order of [`RoutingReason`].
+    pub fn jct_by_routing_reason(&self) -> Vec<RoutingJct> {
+        const REASONS: [RoutingReason; 6] = [
+            RoutingReason::Direct,
+            RoutingReason::StickyNew,
+            RoutingReason::StickyExisting,
+            RoutingReason::LeastLoaded,
+            RoutingReason::DeepestPrefix,
+            RoutingReason::LoadFallback,
+        ];
+        REASONS
+            .iter()
+            .filter_map(|&reason| {
+                let samples: Vec<f64> = self
+                    .records
+                    .iter()
+                    .filter(|r| r.routing == reason)
+                    .map(|r| r.latency().as_secs_f64())
+                    .collect();
+                let summary = Summary::from_samples(&samples)?;
+                Some(RoutingJct {
+                    reason,
+                    count: samples.len() as u64,
+                    mean_jct_secs: summary.mean,
+                    median_jct_secs: summary.p50,
+                })
+            })
+            .collect()
+    }
+}
+
+/// JCT aggregate of the requests one [`RoutingReason`] placed (see
+/// [`RunReport::jct_by_routing_reason`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingJct {
+    /// Why these requests were routed where they were.
+    pub reason: RoutingReason,
+    /// How many requests the reason placed.
+    pub count: u64,
+    /// Their mean job completion time in seconds.
+    pub mean_jct_secs: f64,
+    /// Their median job completion time in seconds.
+    pub median_jct_secs: f64,
 }
 
 #[cfg(test)]
@@ -295,6 +343,40 @@ mod tests {
         assert!(report.p99_latency_secs() >= report.mean_latency_secs());
         assert!((report.throughput_rps() - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(report.latency_cdf().len(), 2);
+    }
+
+    #[test]
+    fn jct_breaks_down_by_routing_reason() {
+        let mut sticky_new = record(0, 0, 1000);
+        sticky_new.routing = RoutingReason::StickyNew;
+        let mut deep_a = record(0, 0, 2000);
+        deep_a.routing = RoutingReason::DeepestPrefix;
+        let mut deep_b = record(0, 2000, 6000);
+        deep_b.routing = RoutingReason::DeepestPrefix;
+        let report = RunReport {
+            engine: "PrefillOnly".into(),
+            offered_qps: 10.0,
+            records: vec![sticky_new, deep_a, deep_b],
+            makespan: SimDuration::from_secs(6),
+            cache: CacheStats::default(),
+            offload: OffloadStats::default(),
+        };
+        let breakdown = report.jct_by_routing_reason();
+        // Only reasons that actually routed requests appear, in declaration order.
+        assert_eq!(breakdown.len(), 2);
+        assert_eq!(breakdown[0].reason, RoutingReason::StickyNew);
+        assert_eq!(breakdown[0].count, 1);
+        assert!((breakdown[0].mean_jct_secs - 1.0).abs() < 1e-9);
+        assert_eq!(breakdown[1].reason, RoutingReason::DeepestPrefix);
+        assert_eq!(breakdown[1].count, 2);
+        assert!((breakdown[1].mean_jct_secs - 4.0).abs() < 1e-9);
+        assert!(breakdown[1].median_jct_secs > 0.0);
+
+        let empty = RunReport {
+            records: Vec::new(),
+            ..report
+        };
+        assert!(empty.jct_by_routing_reason().is_empty());
     }
 
     #[test]

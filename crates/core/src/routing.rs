@@ -259,6 +259,18 @@ impl RouterSnapshot {
         )
     }
 
+    /// Whether any probe of the snapshot holds *any* resident block in *any* tier.
+    /// When false, every chain walk answers depth 0, so a cache-consulting caller
+    /// can skip hashing arrival tokens entirely — the routing outcome is provably
+    /// the load fallback either way.  A cold fleet (the entire first window, and
+    /// every epoch before the first spill propagates) pays zero hashing cost.
+    pub fn has_prefix_residency(&self) -> bool {
+        self.probes.iter().any(|probe| {
+            let (gpu, cpu, net) = probe.resident_blocks();
+            gpu + cpu + net > 0
+        })
+    }
+
     /// `(outstanding tokens, queued requests, index)` — the deterministic comparison
     /// key load-based choices and tie-breaks minimise.
     fn load_key(&self, instance: usize) -> (u64, u64, usize) {

@@ -45,7 +45,7 @@ pub use manager::{
     CacheStats, DrainSpill, KvCacheManager, KvError, ReloadQuote, ReloadTier, RequestKv,
     RetentionPolicy, TierHits, NET_SPILL_MIN_USES,
 };
-pub use netpool::{NetKvPool, NetReload};
+pub use netpool::{NetKvPool, NetPoolView, NetReload, ViewDelta};
 pub use offload::{CpuEviction, CpuKvPool, OffloadStats};
 pub use probe::ProbeCache;
 pub use snapshot::{PrefixProbe, PrefixProbeCache};

@@ -37,7 +37,7 @@ use simcore::SimTime;
 
 use crate::block::{BlockId, BlockPool};
 use crate::hash::{hash_token_blocks, TokenBlockHash};
-use crate::netpool::NetKvPool;
+use crate::netpool::{NetKvPool, NetPoolView};
 use crate::offload::{CpuKvPool, OffloadStats};
 
 /// Minimum reuse evidence a CPU-tier eviction victim needs to be admitted into the
@@ -317,8 +317,9 @@ pub struct KvCacheManager {
     cpu: Option<CpuKvPool>,
     /// The cluster-shared network tier CPU eviction victims cascade into (`None` =
     /// two-tier behaviour).  Installed / harvested by the cluster around each replay
-    /// window — see [`NetKvPool`]'s module docs for the snapshot-merge semantics.
-    net: Option<NetKvPool>,
+    /// window as a copy-on-write [`NetPoolView`] — see [`NetKvPool`]'s module docs
+    /// for the snapshot-merge and delta-view semantics.
+    net: Option<NetPoolView>,
     /// Network-tier and reload-policy accounting.  Kept on the manager (not the
     /// pool) because the net pool is swapped in and out every replay window while
     /// statistics must stay cumulative; only the `net_*` and `declined_*` fields are
@@ -427,8 +428,19 @@ impl KvCacheManager {
     /// Installs the instance's snapshot of the cluster-shared network tier for the
     /// next replay window or propagation epoch (replacing any previous snapshot).
     pub fn install_net_pool(&mut self, pool: NetKvPool) {
-        self.net = Some(pool);
-        self.net_swap_generation += 1;
+        self.install_net_view(NetPoolView::dense(pool), false);
+    }
+
+    /// Installs a copy-on-write view of the cluster-shared network tier.  When the
+    /// cluster can prove this install exposes exactly the entry set and propagation
+    /// flags of the previous one (`content_unchanged`), the swap generation is left
+    /// alone so probe memoisation survives the boundary; any real change bumps it
+    /// as before.
+    pub fn install_net_view(&mut self, view: NetPoolView, content_unchanged: bool) {
+        self.net = Some(view);
+        if !content_unchanged {
+            self.net_swap_generation += 1;
+        }
     }
 
     /// Harvests the network-tier snapshot (with this instance's spills applied) so
@@ -436,11 +448,19 @@ impl KvCacheManager {
     /// two-tier behaviour until the next install.
     pub fn take_net_pool(&mut self) -> Option<NetKvPool> {
         self.net_swap_generation += 1;
+        self.net.take().map(NetPoolView::into_pool)
+    }
+
+    /// Harvests the network-tier view without materialising it (the delta-merge
+    /// boundary path).  Deliberately does *not* bump the swap generation: nothing
+    /// probes the manager between a boundary's take and the next install, and the
+    /// install decides whether the boundary was observable.
+    pub fn take_net_view(&mut self) -> Option<NetPoolView> {
         self.net.take()
     }
 
     /// The currently installed network-tier snapshot, if any.
-    pub fn net_pool(&self) -> Option<&NetKvPool> {
+    pub fn net_pool(&self) -> Option<&NetPoolView> {
         self.net.as_ref()
     }
 
@@ -451,14 +471,14 @@ impl KvCacheManager {
 
     /// Blocks currently resident in the network-tier snapshot.
     pub fn net_resident_blocks(&self) -> u64 {
-        self.net.as_ref().map_or(0, NetKvPool::resident_blocks)
+        self.net.as_ref().map_or(0, NetPoolView::resident_blocks)
     }
 
     /// Content generation of the network tier (0 when no tier is installed),
     /// mirroring [`Self::cpu_generation`]: probe memoisation of the three-tier lookup
     /// is valid only while all three counters are unchanged.
     pub fn net_generation(&self) -> u64 {
-        self.net.as_ref().map_or(0, NetKvPool::generation)
+        self.net.as_ref().map_or(0, NetPoolView::generation)
     }
 
     /// Counter that changes on every network-tier snapshot install or take.  Two
@@ -567,7 +587,7 @@ impl KvCacheManager {
     /// The hashes of every block resident in the installed network-tier snapshot
     /// (empty when none is installed), in unspecified order.
     pub fn resident_net_hashes(&self) -> impl Iterator<Item = TokenBlockHash> + '_ {
-        self.net.iter().flat_map(NetKvPool::resident_hashes)
+        self.net.iter().flat_map(NetPoolView::resident_hashes)
     }
 
     /// Captures an immutable three-tier residency snapshot for routing-time probes
