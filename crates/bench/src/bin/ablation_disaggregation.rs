@@ -1,68 +1,73 @@
-//! Extension ablation (§9, "Prefill-decode disaggregation"): PrefillOnly as the prefill
-//! node of a disaggregated deployment.
+//! Extension ablation (§9, "Prefill-decode disaggregation"): colocated vs
+//! disaggregated fleets with first-class instance roles.
 //!
-//! In prefill-decode disaggregation (DistServe-style), a prefill node computes the KV
-//! cache and ships it to a decode node.  This ablation replays one multi-turn
-//! conversation trace through the engine's decode stage under both deployments:
+//! Every deployment replays the *same* multi-turn conversation trace through the
+//! same simulator; only the fleet's role assignment and the inter-node fabric
+//! differ:
 //!
-//! * **colocated** — a chunked-prefill engine serves the trace as-is, so running
-//!   decode batches interleave with incoming prefills (continuous batching) and
-//!   TTFT pays the interference;
-//! * **disaggregated** — the prefill node replays the same trace with the decode
-//!   tail stripped (its workload is prefill-only by definition), the per-request KV
-//!   handoff is charged over PCIe or NVLink, and the decode node prices the same
-//!   per-step schedule with every open session batched together.
+//! * **colocated** — every instance runs both phases (the published engine).
+//!   Running decode batches interleave with incoming prefills, so TTFT pays the
+//!   interference; no KV ever crosses the fabric.
+//! * **disaggregated P:D** — `P` prefill-role instances take every arrival,
+//!   and at first token the whole reserved KV chain is handed off over the
+//!   modelled [`NetLinkKind`] fabric to one of `D` decode-role instances, which
+//!   prices the decode schedule.  TTFT no longer pays decode interference, but
+//!   every request pays the handoff transfer and the decode side's batching.
 //!
-//! Both sides use the same roofline: the cluster's decode stage for the colocated
-//! run and [`Executor::decode_step_time`] over the trace's actual per-request
-//! contexts for the decode node — nothing is a fixed step count detached from the
-//! trace.
+//! The sweep crosses two fabric presets (commodity 25 GbE TCP vs 100 Gb/s RDMA)
+//! with two prefill:decode ratios on a four-GPU fleet (3:1 and 2:2), reporting
+//! mean TTFT / TPOT / JCT, p99 JCT, and the handoff plane's byte volume.  The
+//! RDMA 2:2 run additionally exports the per-window time series
+//! (`results/ablation_disaggregation_windows.prom`) so the fleet's phase split
+//! can be inspected over time.
+//!
+//! Pass `--smoke` to run a single fabric preset on a smaller trace and skip the
+//! exports (the CI rot-check mode).
 
-use executor::{Executor, ExecutorConfig, PrefillStrategy};
-use gpu::{HardwareSetup, Interconnect, LinkKind};
+use gpu::{GpuKind, HardwareSetup, LinkKind, NetLinkKind};
 use model::ModelPreset;
-use prefillonly::{Cluster, EngineConfig, EngineKind};
-use prefillonly_bench::{print_routing_jct, print_table, write_json};
+use prefillonly::{Cluster, EngineConfig, EngineKind, RunReport};
+use prefillonly_bench::{print_routing_jct, print_table, write_json, write_text};
 use serde::Serialize;
-use std::sync::Arc;
-use workload::{conversation_trace, ArrivalPattern, ConversationSpec, RequestTemplate};
+use workload::{conversation_trace, ConversationSpec, InstanceRole};
 
 #[derive(Debug, Serialize)]
 struct DisaggRow {
-    hardware: String,
+    fabric: String,
     deployment: String,
     mean_ttft_secs: f64,
     mean_tpot_secs: f64,
     mean_jct_secs: f64,
-    kv_handoff_secs: f64,
+    p99_jct_secs: f64,
+    handed_off_requests: u64,
+    handoff_bytes: u64,
+}
+
+/// A four-GPU single-node fleet of the paper's low-end tier: four single-GPU
+/// engine instances, enough slots to split 3:1 or 2:2.
+fn l4_quad() -> HardwareSetup {
+    HardwareSetup {
+        name: "4x L4 (PCIe)",
+        gpu: GpuKind::L4,
+        num_gpus: 4,
+        link: LinkKind::PcieGen4,
+    }
+}
+
+fn fabric_name(link: NetLinkKind) -> &'static str {
+    match link {
+        NetLinkKind::Tcp25G => "TCP 25G",
+        NetLinkKind::Rdma100G => "RDMA 100G",
+        NetLinkKind::Rdma400G => "RDMA 400G",
+        NetLinkKind::Disabled => "disabled",
+    }
 }
 
 fn main() {
-    // `--smoke`: one hardware tier, a smaller trace, no JSON export — the CI
+    // `--smoke`: one fabric preset, a smaller trace, no exports — the CI
     // rot-check mode.
     let smoke = std::env::args().any(|arg| arg == "--smoke");
-    println!("Extension ablation: PrefillOnly as the prefill node of a disaggregated deployment\n");
-
-    let mut tiers: Vec<(&str, ModelPreset, HardwareSetup)> = vec![
-        (
-            "L4 / Llama-8B",
-            ModelPreset::Llama31_8b,
-            HardwareSetup::l4_pair(),
-        ),
-        (
-            "A100 / Qwen-32B FP8",
-            ModelPreset::Qwen25_32bFp8,
-            HardwareSetup::a100_pair(),
-        ),
-        (
-            "H100 / Llama-70B FP8",
-            ModelPreset::Llama33_70bFp8,
-            HardwareSetup::h100_pair_pcie(),
-        ),
-    ];
-    if smoke {
-        tiers.truncate(1);
-    }
+    println!("Extension ablation: colocated vs disaggregated prefill/decode fleets\n");
 
     let spec = ConversationSpec {
         num_sessions: if smoke { 4 } else { 12 },
@@ -70,151 +75,103 @@ fn main() {
         system_prompt_tokens: 1_024,
         first_turn_input_tokens: 2_048,
         turn_input_tokens: 256,
-        decode_tokens_per_turn: 256,
+        decode_tokens_per_turn: 128,
         think_time_ms: 2_000,
     };
     let session_qps = 1.0;
     let trace = conversation_trace(&spec, session_qps, 9);
 
-    // The prefill node's view of the same trace: every request with its decode
-    // tail stripped (the decode node owns those tokens).
-    let prefill_only: Vec<ArrivalPattern> = trace
-        .arrivals()
-        .iter()
-        .map(|arrival| {
-            let template = &arrival.template;
-            let prompt = template.tokens.len() - template.decode_tokens as usize;
-            ArrivalPattern {
-                template: RequestTemplate {
-                    user_id: template.user_id,
-                    tokens: Arc::new(template.tokens[..prompt].to_vec()),
-                    shared_prefix_tokens: template.shared_prefix_tokens,
-                    decode_tokens: 0,
-                },
-                arrival: arrival.arrival,
-                sticky: arrival.sticky,
-            }
-        })
-        .collect();
+    let base = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        l4_quad(),
+        EngineKind::prefillonly_default(),
+        spec.max_request_tokens(),
+    )
+    .with_net_propagation_ms(1_000);
+
+    // Role assignments on the four slots: every instance colocated, or the fleet
+    // split prefill-heavy (3:1) / even (2:2).
+    let deployments: Vec<(&str, Vec<InstanceRole>)> = vec![
+        ("colocated 4:0", vec![InstanceRole::Colocated; 4]),
+        (
+            "disaggregated 3:1",
+            vec![
+                InstanceRole::Prefill,
+                InstanceRole::Prefill,
+                InstanceRole::Prefill,
+                InstanceRole::Decode,
+            ],
+        ),
+        (
+            "disaggregated 2:2",
+            vec![
+                InstanceRole::Prefill,
+                InstanceRole::Prefill,
+                InstanceRole::Decode,
+                InstanceRole::Decode,
+            ],
+        ),
+    ];
+    let mut fabrics = vec![NetLinkKind::Tcp25G, NetLinkKind::Rdma100G];
+    if smoke {
+        fabrics = vec![NetLinkKind::Rdma100G];
+    }
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
-    let mut routing_reports = Vec::new();
-    for (name, preset, hardware) in tiers {
-        let model = preset.config();
+    let mut routing_reports: Vec<(String, RunReport)> = Vec::new();
+    let mut window_dump: Option<String> = None;
+    for &fabric in &fabrics {
+        for (deployment, roles) in &deployments {
+            let mut config = base.clone().with_net_link(fabric).with_roles(roles.clone());
+            // The RDMA 2:2 run doubles as the time-series specimen.
+            let dump_windows =
+                fabric == NetLinkKind::Rdma100G && *deployment == "disaggregated 2:2" && !smoke;
+            if dump_windows {
+                config = config.with_window_metrics();
+            }
+            let report = Cluster::new(&config)
+                .run_sorted(&trace, session_qps)
+                .expect("conversation trace feasible");
+            assert_eq!(report.records.len() as u64, spec.num_requests());
+            if dump_windows {
+                window_dump = Some(report.prometheus_window_series());
+            }
 
-        // Colocated: the engine's own decode stage, decode batches interleaving
-        // with chunked prefills.
-        let colocated_config = EngineConfig::new(
-            preset,
-            hardware,
-            EngineKind::chunked_default(),
-            spec.max_request_tokens(),
-        );
-        let colocated = Cluster::new(&colocated_config)
-            .run_sorted(&trace, session_qps)
-            .expect("conversation trace feasible");
-
-        // Disaggregated prefill node: prefill-only replay of the same arrivals.
-        let prefill_config = EngineConfig::new(
-            preset,
-            hardware,
-            EngineKind::prefillonly_default(),
-            spec.max_request_tokens(),
-        );
-        let prefill_node = Cluster::new(&prefill_config)
-            .run(&prefill_only, session_qps)
-            .expect("prefill-only trace feasible");
-
-        // Per-request KV handoff of the full prompt, averaged over the trace.
-        let mean_handoff = |link: LinkKind| -> f64 {
-            let interconnect = Interconnect::new(link, 2);
-            let total: f64 = prefill_only
-                .iter()
-                .map(|a| {
-                    let kv_bytes = model.kv_bytes_per_token() * a.template.tokens.len() as u64;
-                    interconnect.point_to_point(kv_bytes).as_secs_f64()
-                })
-                .sum();
-            total / prefill_only.len() as f64
-        };
-        let pcie = mean_handoff(LinkKind::PcieGen5);
-        let nvlink = mean_handoff(LinkKind::NvLink4);
-
-        // Decode node: the trace's own per-step schedule (context grows one token
-        // per step from each request's actual prompt), priced by the same roofline
-        // with every open session batched — a dedicated decode node runs one
-        // continuous batch.
-        let decode_executor = Executor::new(ExecutorConfig::single_gpu(
-            model.clone(),
-            hardware.gpu_spec(),
-            PrefillStrategy::Full,
-        ));
-        let batch = spec.num_sessions;
-        let decode_tpot: f64 = trace
-            .arrivals()
-            .iter()
-            .map(|a| {
-                let template = &a.template;
-                let prompt = template.tokens.len() as u64 - template.decode_tokens;
-                let total: f64 = (0..template.decode_tokens)
-                    .map(|step| {
-                        decode_executor
-                            .decode_step_time(prompt + step, batch)
-                            .as_secs_f64()
-                    })
-                    .sum();
-                total / template.decode_tokens as f64
-            })
-            .sum::<f64>()
-            / trace.arrivals().len() as f64;
-
-        let mut push = |deployment: &str, ttft: f64, tpot: f64, jct: f64, handoff: f64| {
             rows.push(vec![
-                name.to_string(),
-                deployment.to_string(),
-                format!("{ttft:.3}"),
-                format!("{:.2}", tpot * 1_000.0),
-                format!("{jct:.3}"),
-                format!("{handoff:.3}"),
+                fabric_name(fabric).to_string(),
+                (*deployment).to_string(),
+                format!("{:.3}", report.mean_ttft_secs()),
+                format!("{:.2}", report.mean_tpot_secs() * 1_000.0),
+                format!("{:.3}", report.mean_latency_secs()),
+                format!("{:.3}", report.p99_latency_secs()),
+                report.handed_off_requests().to_string(),
+                format!("{:.1}", report.handoff_bytes() as f64 / (1 << 20) as f64),
             ]);
             json_rows.push(DisaggRow {
-                hardware: name.to_string(),
-                deployment: deployment.to_string(),
-                mean_ttft_secs: ttft,
-                mean_tpot_secs: tpot,
-                mean_jct_secs: jct,
-                kv_handoff_secs: handoff,
+                fabric: fabric_name(fabric).to_string(),
+                deployment: (*deployment).to_string(),
+                mean_ttft_secs: report.mean_ttft_secs(),
+                mean_tpot_secs: report.mean_tpot_secs(),
+                mean_jct_secs: report.mean_latency_secs(),
+                p99_jct_secs: report.p99_latency_secs(),
+                handed_off_requests: report.handed_off_requests(),
+                handoff_bytes: report.handoff_bytes(),
             });
-        };
-
-        push(
-            "colocated (chunked prefill)",
-            colocated.mean_ttft_secs(),
-            colocated.mean_tpot_secs(),
-            colocated.mean_latency_secs(),
-            0.0,
-        );
-        let decode_tail = (spec.decode_tokens_per_turn - 1) as f64 * decode_tpot;
-        for (deployment, handoff) in [
-            ("disaggregated, PCIe handoff", pcie),
-            ("disaggregated, NVLink handoff", nvlink),
-        ] {
-            let ttft = prefill_node.mean_ttft_secs() + handoff;
-            push(deployment, ttft, decode_tpot, ttft + decode_tail, handoff);
+            routing_reports.push((format!("{} / {deployment}", fabric_name(fabric)), report));
         }
-        routing_reports.push((format!("{name}, colocated"), colocated));
-        routing_reports.push((format!("{name}, prefill node"), prefill_node));
     }
 
     print_table(
         &[
-            "hardware / model",
+            "fabric",
             "deployment",
             "mean TTFT (s)",
             "mean TPOT (ms)",
             "mean JCT (s)",
-            "KV handoff (s)",
+            "p99 JCT (s)",
+            "handoffs",
+            "handoff MB",
         ],
         &rows,
     );
@@ -222,14 +179,17 @@ fn main() {
         print_routing_jct(label, report);
     }
     if smoke {
-        println!("\n--smoke: JSON export skipped.");
+        println!("\n--smoke: single fabric, exports skipped.");
     } else {
         write_json("ablation_disaggregation", &json_rows);
+        if let Some(prom) = window_dump {
+            write_text("ablation_disaggregation_windows", "prom", &prom);
+        }
     }
 
     println!();
-    println!("Reading: disaggregation buys its TTFT win by taking running decode batches out");
-    println!("of the prefill node's way; the KV handoff is bandwidth-bound and argues for");
-    println!("NVLink between prefill and decode nodes, while the decode node's TPOT is set");
-    println!("by weight traffic amortised over the sessions it batches.");
+    println!("Reading: disaggregation buys its TTFT win by keeping running decode batches out");
+    println!("of the prefill slots' way, and pays for it in handoff bytes across the fabric —");
+    println!("commodity TCP stretches the transfer enough to show up in JCT, while the even");
+    println!("2:2 split trades prefill throughput for decode headroom versus 3:1.");
 }

@@ -33,7 +33,7 @@ use prefillonly_bench::{
 };
 use serde::Serialize;
 use simcore::SimTime;
-use workload::{MembershipChange, MembershipEvent, MembershipSchedule};
+use workload::{InstanceRole, MembershipChange, MembershipEvent, MembershipSchedule};
 
 #[derive(Debug, Serialize)]
 struct JoinWarmthRow {
@@ -79,7 +79,10 @@ fn handoff_schedule(spill: bool, attached: bool) -> MembershipSchedule {
         },
         MembershipEvent {
             at: SimTime::from_millis(ELASTIC_JOIN_AT_MS),
-            change: MembershipChange::Join { attached },
+            change: MembershipChange::Join {
+                attached,
+                role: InstanceRole::Colocated,
+            },
         },
     ])
 }

@@ -696,6 +696,56 @@ fn decode_baselines(out: &mut Vec<BaselinePoint>) {
     );
 }
 
+/// KV-handoff-plane hot path: the same multi-turn trace as the decode group, but
+/// on a disaggregated two-slot fleet (prefill + decode role), so every request
+/// pays handoff enqueue on the prefill slot, the boundary-ordered ledger, and
+/// reservation-admission on the decode slot — the machinery a colocated replay
+/// never touches.
+fn handoff_baselines(out: &mut Vec<BaselinePoint>) {
+    use workload::InstanceRole;
+    let spec = ConversationSpec {
+        num_sessions: 12,
+        turns_per_session: 4,
+        system_prompt_tokens: 1_024,
+        first_turn_input_tokens: 1_024,
+        turn_input_tokens: 192,
+        decode_tokens_per_turn: 128,
+        think_time_ms: 2_000,
+    };
+    let qps = 2.0;
+    let trace = conversation_trace(&spec, qps, 42);
+    let config = EngineConfig::new(
+        ModelPreset::Llama31_8b,
+        HardwareSetup::l4_pair(),
+        EngineKind::prefillonly_default(),
+        spec.max_request_tokens(),
+    )
+    .with_net_propagation_ms(1_000)
+    .with_roles(vec![InstanceRole::Prefill, InstanceRole::Decode]);
+    for (name, sequential) in [
+        ("serving/disaggregated_replay_48_requests/parallel", false),
+        ("serving/disaggregated_replay_48_requests/sequential", true),
+    ] {
+        measure(
+            out,
+            name,
+            samples(9),
+            || Cluster::new(&config),
+            |mut cluster| {
+                let report = if sequential {
+                    cluster.run_sorted_sequential(&trace, qps)
+                } else {
+                    cluster.run_sorted(&trace, qps)
+                }
+                .expect("feasible");
+                assert_eq!(report.handed_off_requests(), spec.num_requests());
+                std::hint::black_box(report.records.len());
+                cluster
+            },
+        );
+    }
+}
+
 fn workspace_root() -> PathBuf {
     std::env::var("CARGO_MANIFEST_DIR")
         .map(|dir| {
@@ -733,9 +783,10 @@ fn committed_medians(json: &str) -> Vec<(String, f64)> {
     pairs
 }
 
-/// The CI regression guard: re-measures the routing-pass and epoch-barrier groups
-/// (the per-epoch machinery this repo optimises hardest) and compares each median
-/// against the committed `BENCH_baseline.json`.  Returns the process exit code.
+/// The CI regression guard: re-measures the routing-pass, epoch-barrier and
+/// KV-handoff groups (the per-epoch machinery this repo optimises hardest) and
+/// compares each median against the committed `BENCH_baseline.json`.  Returns the
+/// process exit code.
 fn regression_check() -> i32 {
     let path = workspace_root().join("BENCH_baseline.json");
     let json = match std::fs::read_to_string(&path) {
@@ -751,10 +802,13 @@ fn regression_check() -> i32 {
         return 1;
     }
 
-    println!("Regression guard: routing pass + epoch barriers vs committed medians\n");
+    println!(
+        "Regression guard: routing pass + epoch barriers + handoff plane vs committed medians\n"
+    );
     let mut results = Vec::new();
     routing_pass_baselines(&mut results);
     epoch_barrier_baselines(&mut results);
+    handoff_baselines(&mut results);
 
     println!();
     let mut failures = 0usize;
@@ -805,6 +859,7 @@ fn main() {
     instance_profile_baselines(&mut results);
     cluster_baselines(&mut results);
     decode_baselines(&mut results);
+    handoff_baselines(&mut results);
     routing_pass_baselines(&mut results);
     epoch_snapshot_baselines(&mut results);
     epoch_barrier_baselines(&mut results);

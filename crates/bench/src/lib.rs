@@ -31,7 +31,7 @@ pub mod scenarios;
 pub use evaluation::{
     saturation_qps, sweep_all_engines, sweep_engines, EvalScenario, SweepPoint, QPS_MULTIPLIERS,
 };
-pub use output::{print_routing_jct, print_table, write_json, ResultsFile};
+pub use output::{print_routing_jct, print_table, write_json, write_text, ResultsFile};
 pub use parallel::map_parallel;
 pub use scale::{scaled_credit_spec, scaled_post_spec, workload_scale};
 pub use scenarios::{

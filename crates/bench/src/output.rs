@@ -114,6 +114,21 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     ResultsFile::new(name).write(value);
 }
 
+/// Write raw text (e.g. a Prometheus exposition dump) to `results/<name>.<ext>`.
+/// Like [`write_json`], failures warn and never abort the experiment.
+pub fn write_text(name: &str, ext: &str, content: &str) {
+    let path = ResultsFile::new(name).path().with_extension(ext);
+    if let Some(parent) = path.parent() {
+        if let Err(err) = fs::create_dir_all(parent) {
+            eprintln!("warning: could not create {}: {err}", parent.display());
+            return;
+        }
+    }
+    if let Err(err) = fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {err}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

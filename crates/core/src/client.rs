@@ -73,7 +73,8 @@ impl PrefillOnlyClient {
             .expect("an idle instance must admit a feasible request");
         let record = self
             .instance
-            .complete(started.request_id, started.completion);
+            .complete(started.request_id, started.completion)
+            .expect("a colocated prefill-only completion always yields a record");
         self.clock = started.completion;
         Some(PrefillResponse {
             request_id,

@@ -97,24 +97,24 @@
 //! FIFO-within-timestamp order onto one instance therefore yields exactly the
 //! per-instance order.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 
 use simcore::{EventQueue, SimDuration, SimTime};
 
 use kvcache::{
-    hash_token_blocks, CacheStats, DrainSpill, NetKvPool, NetPoolView, OffloadStats, PrefixProbe,
-    ViewDelta,
+    hash_token_blocks, CacheStats, DrainSpill, HandoffLedger, HandoffRecord, NetKvPool,
+    NetPoolView, OffloadStats, PrefixProbe, ViewDelta,
 };
 use workload::{
-    ArrivalPattern, ArrivalStream, MembershipChange, MembershipSchedule, SliceArrivalStream,
-    SortedTrace, StreamedArrival,
+    ArrivalPattern, ArrivalStream, InstanceRole, MembershipChange, MembershipSchedule,
+    SliceArrivalStream, SortedTrace, StreamedArrival,
 };
 
 use crate::baselines::engine_display_name;
 use crate::config::{ConfigError, EngineConfig, EpochLengthPolicy};
-use crate::instance::{EngineInstance, InstanceProfile};
-use crate::report::{RequestRecord, RunReport};
+use crate::instance::{EngineInstance, HandoffAdmission, InstanceProfile, KvHandoff};
+use crate::report::{RequestRecord, RunReport, SlotWindow, WindowMetrics};
 use crate::request::PrefillRequest;
 use crate::routing::{
     InstanceLoad, RouteQuery, RouterSnapshot, RoutingDecision, RoutingPolicy, RoutingReason,
@@ -602,6 +602,17 @@ pub struct Cluster {
     /// the first multi-instance parallel window and reused across every epoch and
     /// window thereafter (replacing per-epoch thread spawn/teardown).
     worker_pool: Option<WorkerPool>,
+    /// In-flight prefill→decode KV handoffs of the disaggregation plane, ordered
+    /// by `(ready_at, request_id)`; drained at epoch boundaries exactly like
+    /// published net-tier spills (see [`kvcache::HandoffLedger`]).
+    handoff_ledger: HandoffLedger,
+    /// The full payload of each in-flight handoff, keyed by request id (the
+    /// ledger keeps only the deterministic accounting record).
+    handoff_payloads: HashMap<u64, KvHandoff>,
+    /// Per-boundary fleet samples collected when
+    /// [`EngineConfig::track_window_metrics`] is set; drained into
+    /// [`RunReport::windows`] by [`Self::finish_report`].
+    window_metrics: Vec<WindowMetrics>,
 }
 
 impl Cluster {
@@ -649,10 +660,21 @@ impl Cluster {
                 .with_propagation_delay(SimDuration::from_millis(config.net_propagation_ms))
         });
         let attached = net_pool.is_some();
-        let router = config
+        let mut router = config
             .routing
             .build(num_instances)
             .expect("validate() guarantees at least one instance");
+        if config.disaggregated() {
+            // Dedicated roles make the routable set a strict subset of the fleet
+            // from the very first arrival: retire the stamped arithmetic fast
+            // paths (which partition modulo *all* slots and would route onto
+            // decode-only instances) exactly as a membership event would, and
+            // pin routing to the prefill-capable slots.
+            let routable: Vec<usize> = (0..num_instances)
+                .filter(|&slot| config.role_of(slot).can_prefill())
+                .collect();
+            router.note_membership_change(&routable);
+        }
         Ok(Cluster {
             config,
             instances,
@@ -669,6 +691,9 @@ impl Cluster {
             retired_cache: CacheStats::default(),
             retired_offload: OffloadStats::default(),
             worker_pool: None,
+            handoff_ledger: HandoffLedger::default(),
+            handoff_payloads: HashMap::new(),
+            window_metrics: Vec::new(),
         })
     }
 
@@ -881,7 +906,7 @@ impl Cluster {
         offered_qps: f64,
         parallel: bool,
     ) -> RunReport {
-        if self.uses_propagation_epochs() || self.elastic_replay() {
+        if self.uses_propagation_epochs() || self.elastic_replay() || self.fleet_disaggregated() {
             let mut stream = if sorted {
                 SliceArrivalStream::from_sorted(arrivals)
             } else {
@@ -1069,8 +1094,14 @@ impl Cluster {
             }
             // The stream is exhausted: this is the final epoch, which drains to
             // completion instead of pausing at the boundary (the tail of a window
-            // past its last epoch cut behaves like a delay-zero window).
-            let final_epoch = lookahead.is_none();
+            // past its last epoch cut behaves like a delay-zero window).  A
+            // disaggregated fleet keeps cutting boundaries instead — handoffs
+            // emitted this epoch still have to cross the fabric and be decoded,
+            // and both only happen at boundaries — and leaves the loop below
+            // once the whole handoff plane has drained.
+            let stream_done = lookahead.is_none();
+            let disaggregated = self.fleet_disaggregated();
+            let final_epoch = stream_done && !disaggregated;
             let sim_boundary = (!final_epoch).then_some(boundary);
 
             if epoch_sharing {
@@ -1159,6 +1190,14 @@ impl Cluster {
                 );
             }
 
+            // The handoff plane: collect every KV handoff the epoch's prefill
+            // passes emitted (slot-index order, on this thread — a barrier
+            // action exactly like the snapshot merge below) and admit the ones
+            // whose fabric transfer has completed onto decode-capable slots.
+            if disaggregated {
+                self.collect_handoffs();
+                self.dispatch_ready_handoffs(boundary, parallel, &mut queues, &mut events);
+            }
             // Draining slots that reached the boundary idle retire now: the
             // drain-to-net spill publishes into the slot's installed snapshot
             // before the merge below folds it into the shared pool.
@@ -1166,7 +1205,24 @@ impl Cluster {
             if epoch_sharing {
                 self.merge_net_snapshots();
             }
+            if self.config.track_window_metrics {
+                self.sample_window(boundary);
+            }
             if final_epoch {
+                break;
+            }
+            // Disaggregated drain-out: the stream is done and nothing is left
+            // anywhere — no in-flight handoff, no queued event, no instance
+            // holding work — so later boundaries would be empty spins.
+            if stream_done
+                && self.handoff_ledger.is_empty()
+                && queues.iter().all(EventQueue::is_empty)
+                && events.is_empty()
+                && self
+                    .instances
+                    .iter()
+                    .all(|i| i.queue_len() == 0 && i.running_len() == 0)
+            {
                 break;
             }
             clock.advance(epoch_buf.len() as u64);
@@ -1192,7 +1248,14 @@ impl Cluster {
     /// [`STREAM_CHUNK_TARGET_ARRIVALS`] arrivals per chunk unless the configuration
     /// asks for specific adaptive bounds.
     fn stream_clock(&self) -> EpochClock {
-        if self.uses_propagation_epochs() {
+        // A disaggregated fleet's KV handoffs ride the same inter-node fabric as
+        // published spills, so the propagation delay sets the boundary cadence
+        // even when the shared KV tier itself is disabled — otherwise the
+        // arrival-memory chunking below would stretch epochs far past the
+        // fabric's actual surfacing latency.
+        if self.uses_propagation_epochs()
+            || (self.fleet_disaggregated() && self.config.net_propagation_ms > 0)
+        {
             return EpochClock::new(self.config.net_propagation_ms, self.config.epoch_length);
         }
         let policy = match self.config.epoch_length {
@@ -1311,7 +1374,7 @@ impl Cluster {
             cpu_hit_discount,
             net_hit_discount,
         )
-        .with_routable_slots(self.active_slots())
+        .with_routable_slots(self.prefill_capable_slots())
     }
 
     /// The sequential streaming event loop of one epoch: like
@@ -1359,7 +1422,11 @@ impl Cluster {
                     instance,
                     request_id,
                 } => {
-                    records.push(self.instances[instance].complete(request_id, now));
+                    // `None` = a prefill-role first token whose record surfaces
+                    // on the decode side after the KV handoff.
+                    if let Some(record) = self.instances[instance].complete(request_id, now) {
+                        records.push(record);
+                    }
                     Self::admit(&mut self.instances[instance], instance, now, events);
                 }
             }
@@ -1413,7 +1480,9 @@ impl Cluster {
                     instance,
                     request_id,
                 } => {
-                    records.push(self.instances[instance].complete(request_id, now));
+                    if let Some(record) = self.instances[instance].complete(request_id, now) {
+                        records.push(record);
+                    }
                     Self::admit(&mut self.instances[instance], instance, now, events);
                 }
             }
@@ -1559,6 +1628,162 @@ impl Cluster {
             .collect()
     }
 
+    /// Indices of the active slots whose role runs the prefill phase, ascending —
+    /// the only slots arrivals may route to.  Equal to [`Self::active_slots`] on a
+    /// uniformly colocated fleet, so role-free deployments replay byte for byte.
+    fn prefill_capable_slots(&self) -> Vec<usize> {
+        self.slot_states
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, state)| {
+                (state.is_active() && self.instances[slot].role().can_prefill()).then_some(slot)
+            })
+            .collect()
+    }
+
+    /// Whether any live (non-retired) slot carries a dedicated phase role.  Such
+    /// fleets always replay through the epoch loop: the KV handoff plane needs
+    /// boundaries to surface transfers at, even with propagation epochs disabled.
+    fn fleet_disaggregated(&self) -> bool {
+        self.slot_states.iter().enumerate().any(|(slot, state)| {
+            !matches!(state, SlotState::Retired)
+                && self.instances[slot].role() != InstanceRole::Colocated
+        })
+    }
+
+    /// Drains every instance's handoff outbox (slot-index order, so the ledger's
+    /// cumulative totals accrue deterministically) into the in-flight ledger.
+    fn collect_handoffs(&mut self) {
+        for slot in 0..self.instances.len() {
+            for handoff in self.instances[slot].take_handoffs() {
+                self.handoff_ledger.push(HandoffRecord {
+                    request_id: handoff.request.id,
+                    from_slot: handoff.prefill_slot,
+                    blocks: handoff.blocks,
+                    bytes: handoff.bytes,
+                    emitted_at: handoff.first_token,
+                    ready_at: handoff.ready_at,
+                });
+                self.handoff_payloads.insert(handoff.request.id, handoff);
+            }
+        }
+    }
+
+    /// Admits every handoff whose fabric transfer completed by `boundary` onto the
+    /// least-loaded active decode-capable slot (modelled outstanding tokens plus
+    /// what this boundary already assigned, ties by slot index).  Runs at the
+    /// barrier on the calling thread, so parallel and sequential replay assign —
+    /// and hence replay — identically.  Admissions the slot cannot hold yet are
+    /// re-enqueued for the next boundary; chains larger than an empty pool are
+    /// dropped (counted by the decode instance as rejected).
+    fn dispatch_ready_handoffs(
+        &mut self,
+        boundary: SimTime,
+        parallel: bool,
+        queues: &mut [EventQueue<InstanceEvent>],
+        events: &mut EventQueue<Event>,
+    ) {
+        let ready = self.handoff_ledger.take_ready(boundary);
+        if ready.is_empty() {
+            return;
+        }
+        let mut assigned: Vec<u64> = vec![0; self.instances.len()];
+        for record in ready {
+            let payload = self
+                .handoff_payloads
+                .remove(&record.request_id)
+                .expect("every in-flight handoff keeps its payload");
+            let Some(target) = self.least_loaded_decode_slot(&assigned) else {
+                // No decode-capable slot is active right now (mid-drain churn):
+                // keep the handoff in flight and retry at the next boundary.
+                self.handoff_payloads.insert(record.request_id, payload);
+                self.handoff_ledger.requeue(record);
+                continue;
+            };
+            let tokens = payload.request.num_tokens();
+            match self.instances[target].admit_handoff(payload, boundary) {
+                HandoffAdmission::Admitted(started) => {
+                    assigned[target] += tokens;
+                    if parallel {
+                        queues[target].push(
+                            started.completion,
+                            InstanceEvent::Complete(started.request_id),
+                        );
+                    } else {
+                        events.push(
+                            started.completion,
+                            Event::Complete {
+                                instance: target,
+                                request_id: started.request_id,
+                            },
+                        );
+                    }
+                }
+                HandoffAdmission::Retry(payload) => {
+                    self.handoff_payloads.insert(record.request_id, payload);
+                    self.handoff_ledger.requeue(record);
+                }
+                HandoffAdmission::Rejected => {}
+            }
+        }
+    }
+
+    /// The active decode-capable slot with the least modelled load, or `None` when
+    /// no such slot is active.  `assigned` carries the tokens this boundary's
+    /// earlier dispatches already placed, so one boundary spreads a burst of
+    /// ready handoffs instead of stacking them all on one slot.
+    fn least_loaded_decode_slot(&self, assigned: &[u64]) -> Option<usize> {
+        self.slot_states
+            .iter()
+            .enumerate()
+            .filter(|&(slot, state)| state.is_active() && self.instances[slot].role().can_decode())
+            .min_by_key(|&(slot, _)| {
+                (
+                    self.instances[slot].router_load().outstanding_tokens + assigned[slot],
+                    slot,
+                )
+            })
+            .map(|(slot, _)| slot)
+    }
+
+    /// Samples the fleet at one epoch boundary into the time-series export
+    /// ([`EngineConfig::track_window_metrics`]): per-slot gauges for every
+    /// non-retired slot plus fleet-cumulative tier and handoff counters.  Pure
+    /// observation at the barrier — the replay itself is untouched.
+    fn sample_window(&mut self, boundary: SimTime) {
+        let offload = self.aggregate_offload_stats();
+        let slots = self
+            .slot_states
+            .iter()
+            .enumerate()
+            .filter(|(_, state)| !matches!(state, SlotState::Retired))
+            .map(|(slot, _)| {
+                let instance = &self.instances[slot];
+                let load = instance.router_load();
+                SlotWindow {
+                    slot,
+                    role: instance.role(),
+                    queued_requests: load.queued_requests,
+                    outstanding_tokens: load.outstanding_tokens,
+                    running_requests: instance.running_len() as u64,
+                    gpu_cached_blocks: instance.gpu_cached_blocks(),
+                    cpu_resident_blocks: instance.cpu_resident_blocks(),
+                }
+            })
+            .collect();
+        self.window_metrics.push(WindowMetrics {
+            window: self.window_metrics.len() as u64,
+            boundary,
+            slots,
+            net_resident_blocks: self.net_pool.as_ref().map_or(0, NetKvPool::resident_blocks),
+            offloaded_blocks: offload.offloaded_blocks,
+            reloaded_blocks: offload.reloaded_blocks,
+            net_reloaded_blocks: offload.net_reloaded_blocks,
+            handoff_records: offload.handoff_records,
+            handoff_bytes: offload.handoff_bytes,
+        });
+    }
+
     /// Applies every scheduled membership event due at `epoch_start`, then —
     /// once at least one epoch has completed — gives the autoscaler one
     /// decision, subject to its cooldown.  Returns `true` when the fleet
@@ -1586,7 +1811,7 @@ impl Cluster {
             }
         }
         if changed {
-            let routable = self.active_slots();
+            let routable = self.prefill_capable_slots();
             self.router.note_membership_change(&routable);
         }
         changed
@@ -1613,7 +1838,12 @@ impl Cluster {
         if mean_outstanding > policy.scale_up_outstanding_tokens
             && active.len() < policy.max_instances
         {
-            Some(MembershipChange::Join { attached: true })
+            // Autoscaled joins are colocated: they relieve pressure on either
+            // phase without re-planning the fleet's prefill:decode ratio.
+            Some(MembershipChange::Join {
+                attached: true,
+                role: InstanceRole::Colocated,
+            })
         } else if mean_outstanding < policy.scale_down_outstanding_tokens
             && active.len() > policy.min_instances
         {
@@ -1636,7 +1866,7 @@ impl Cluster {
         epoch_sharing: bool,
     ) -> bool {
         match change {
-            MembershipChange::Join { attached } => {
+            MembershipChange::Join { attached, role } => {
                 let attached = attached && self.net_pool.is_some();
                 let slot = match self
                     .slot_states
@@ -1661,6 +1891,7 @@ impl Cluster {
                         slot
                     }
                 };
+                self.instances[slot].set_role(role);
                 self.slot_states[slot] = SlotState::Active { attached };
                 // Epoch-sharing replays install a visibility-filtered view right
                 // after membership applies; single-install replays hand the
@@ -1684,6 +1915,24 @@ impl Cluster {
                     return false;
                 }
                 let slot = *active.last().expect("checked non-empty");
+                // A drain may not strand either serving phase: the survivors
+                // must be able to prefill (or nothing routes), and any surviving
+                // `Prefill`-role slot needs a decode-capable peer to hand off
+                // to.  Uniformly colocated fleets always pass both checks, so
+                // role-free drains behave exactly as before.
+                let survivors = &active[..active.len() - 1];
+                let can_prefill = survivors
+                    .iter()
+                    .any(|&s| self.instances[s].role().can_prefill());
+                let can_decode = survivors
+                    .iter()
+                    .any(|&s| self.instances[s].role().can_decode());
+                let needs_decode = survivors
+                    .iter()
+                    .any(|&s| self.instances[s].role() == InstanceRole::Prefill);
+                if !can_prefill || (needs_decode && !can_decode) {
+                    return false;
+                }
                 let attached = self.slot_states[slot].attached();
                 self.slot_states[slot] = SlotState::Draining { attached, spill };
                 self.membership_log.push(AppliedMembership {
@@ -1880,7 +2129,9 @@ impl Cluster {
                     Self::admit_local(instance, now, events);
                 }
                 InstanceEvent::Complete(request_id) => {
-                    records.push(instance.complete(request_id, now));
+                    if let Some(record) = instance.complete(request_id, now) {
+                        records.push(record);
+                    }
                     Self::admit_local(instance, now, events);
                 }
             }
@@ -1893,7 +2144,7 @@ impl Cluster {
     /// completions in `(completion time, push order)` — the same order up to ties in
     /// completion time — so sorting both paths' records by the canonical key makes the
     /// reports byte-identical.
-    fn finish_report(&self, mut records: Vec<RequestRecord>, offered_qps: f64) -> RunReport {
+    fn finish_report(&mut self, mut records: Vec<RequestRecord>, offered_qps: f64) -> RunReport {
         records.sort_unstable_by_key(|r| (r.completed, r.request_id));
         let makespan = records
             .iter()
@@ -1907,6 +2158,7 @@ impl Cluster {
             makespan,
             cache: self.aggregate_cache_stats(),
             offload: self.aggregate_offload_stats(),
+            windows: std::mem::take(&mut self.window_metrics),
         }
     }
 
@@ -1969,6 +2221,10 @@ impl Cluster {
             total.merge(&instance.offload_stats());
         }
         total.net_evicted_blocks += self.net_merge_evictions;
+        // The fabric ledger accounts handoffs at enqueue (the charged side), so
+        // the totals are independent of admission retries on the decode side.
+        total.handoff_records += self.handoff_ledger.total_records();
+        total.handoff_bytes += self.handoff_ledger.total_bytes();
         total
     }
 
@@ -2454,6 +2710,9 @@ mod tests {
             retired_cache: CacheStats::default(),
             retired_offload: OffloadStats::default(),
             worker_pool: None,
+            handoff_ledger: HandoffLedger::default(),
+            handoff_payloads: HashMap::new(),
+            window_metrics: Vec::new(),
         };
         let a = shared.run(&arrivals, 5.0).unwrap();
         let b = unshared.run(&arrivals, 5.0).unwrap();
@@ -3145,7 +3404,10 @@ mod tests {
                 },
                 MembershipEvent {
                     at: at(10_000),
-                    change: MembershipChange::Join { attached: true },
+                    change: MembershipChange::Join {
+                        attached: true,
+                        role: InstanceRole::Colocated,
+                    },
                 },
             ]);
 
@@ -3182,7 +3444,7 @@ mod tests {
                     "{policy:?}"
                 );
                 assert!(
-                    matches!(log[1].change, MembershipChange::Join { attached: true }),
+                    matches!(log[1].change, MembershipChange::Join { attached: true, .. }),
                     "{policy:?}"
                 );
                 let drains = cluster.drain_records();
@@ -3313,10 +3575,139 @@ mod tests {
             "a squeezed two-instance fleet under pressure must trigger a scale-up"
         );
         assert!(log.iter().all(|applied| applied.autoscaled));
-        assert!(log
-            .iter()
-            .any(|applied| matches!(applied.change, MembershipChange::Join { attached: true })));
+        assert!(log.iter().any(|applied| matches!(
+            applied.change,
+            MembershipChange::Join { attached: true, .. }
+        )));
         assert!(parallel.num_active_instances() > 2);
         assert!(parallel.num_active_instances() <= 4);
+    }
+
+    /// The disaggregated twin of [`decode_conversation_scenario`]: slot 0 runs the
+    /// prefill phase only, slot 1 the decode phase only, with the same squeezed
+    /// tiers, cache-aware routing and propagation epochs.
+    fn disaggregated_conversation_scenario() -> (EngineConfig, workload::ConversationSpec) {
+        let (config, spec) = decode_conversation_scenario();
+        (
+            config.with_roles(vec![InstanceRole::Prefill, InstanceRole::Decode]),
+            spec,
+        )
+    }
+
+    /// Tentpole acceptance: the determinism guarantee survives disaggregation.
+    /// With slot 0 prefill-only and slot 1 decode-only — every request prefills on
+    /// one slot, crosses the fabric as a KV handoff and decodes on the other —
+    /// all four replay paths produce byte-identical records, cache, offload and
+    /// handoff accounting.
+    #[test]
+    fn disaggregated_replay_is_byte_identical_across_all_four_replay_paths() {
+        use workload::{conversation_trace, ConversationStream};
+        let (config, spec) = disaggregated_conversation_scenario();
+        let qps = 1.0;
+        let seed = 77;
+
+        let trace = conversation_trace(&spec, qps, seed);
+        let mut parallel = Cluster::new(&config);
+        assert!(parallel.instances().len() > 1);
+        let a = parallel.run_sorted(&trace, qps).unwrap();
+        let mut sequential = Cluster::new(&config);
+        let b = sequential.run_sorted_sequential(&trace, qps).unwrap();
+        let mut streamed = Cluster::new(&config);
+        let c = streamed
+            .run_stream(&mut ConversationStream::new(spec, qps, seed), qps)
+            .unwrap();
+        let mut streamed_seq = Cluster::new(&config);
+        let d = streamed_seq
+            .run_stream_sequential(&mut ConversationStream::new(spec, qps, seed), qps)
+            .unwrap();
+
+        // Non-vacuity: every request prefilled on slot 0, decoded on slot 1, and
+        // paid a real fabric transfer.
+        assert_eq!(a.records.len() as u64, spec.num_requests());
+        assert_eq!(a.handed_off_requests(), spec.num_requests());
+        assert!(a.handoff_bytes() > 0);
+        for r in &a.records {
+            assert_eq!(r.instance, 0, "arrivals must route to the prefill slot");
+            assert_eq!(r.decode_instance, Some(1));
+            assert!(r.handoff_bytes > 0);
+            assert!(r.first_token < r.completed);
+            assert!(r.tpot().is_some());
+        }
+
+        for (label, other) in [("sequential", &b), ("streamed", &c), ("streamed seq", &d)] {
+            assert_eq!(a.records, other.records, "{label} records diverged");
+            assert_eq!(a.makespan, other.makespan, "{label} makespan diverged");
+            assert_eq!(a.cache, other.cache, "{label} cache stats diverged");
+            assert_eq!(a.offload, other.offload, "{label} offload stats diverged");
+        }
+    }
+
+    /// The handoff shadow model: every decode-bearing request of a disaggregated
+    /// replay appears exactly once, prefilled on a prefill-capable slot and decoded
+    /// on a decode-capable one, and the fabric ledger's cumulative totals reconcile
+    /// with both the per-record bytes and the [`OffloadStats`] aggregation.
+    #[test]
+    fn handoff_ledger_reconciles_with_records_and_offload_totals() {
+        use workload::conversation_trace;
+        let (config, spec) = disaggregated_conversation_scenario();
+        let trace = conversation_trace(&spec, 1.0, 21);
+        let mut cluster = Cluster::new(&config);
+        let report = cluster.run_sorted(&trace, 1.0).unwrap();
+
+        assert_eq!(report.records.len() as u64, spec.num_requests());
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.request_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len() as u64,
+            spec.num_requests(),
+            "every handed-off chain decodes exactly once"
+        );
+        for r in &report.records {
+            assert!(cluster.instances()[r.instance].role().can_prefill());
+            let decode = r.decode_instance.expect("every request hands off");
+            assert!(cluster.instances()[decode].role().can_decode());
+            assert!(r.handoff_bytes > 0);
+        }
+
+        let record_bytes: u64 = report.records.iter().map(|r| r.handoff_bytes).sum();
+        assert_eq!(report.offload.handoff_records, spec.num_requests());
+        assert_eq!(report.offload.handoff_bytes, record_bytes);
+        assert_eq!(report.handoff_bytes(), record_bytes);
+        assert_eq!(report.handed_off_requests(), spec.num_requests());
+    }
+
+    /// The per-window time-series export: `track_window_metrics` samples every
+    /// epoch boundary (per-slot gauges with roles, fleet counters), the final
+    /// window accounts every handoff, and the export is inert when untracked.
+    #[test]
+    fn window_metrics_sample_the_fleet_at_epoch_boundaries() {
+        use workload::conversation_trace;
+        let (config, spec) = disaggregated_conversation_scenario();
+        let trace = conversation_trace(&spec, 1.0, 21);
+
+        let untracked = Cluster::new(&config).run_sorted(&trace, 1.0).unwrap();
+        assert!(untracked.windows.is_empty());
+        assert_eq!(untracked.prometheus_window_series(), "");
+
+        let config = config.with_window_metrics();
+        let report = Cluster::new(&config).run_sorted(&trace, 1.0).unwrap();
+        assert_eq!(
+            report.records, untracked.records,
+            "observation must not perturb the replay"
+        );
+        assert!(!report.windows.is_empty());
+        for (i, window) in report.windows.iter().enumerate() {
+            assert_eq!(window.window, i as u64);
+            assert_eq!(window.slots.len(), 2);
+            assert_eq!(window.slots[0].role, InstanceRole::Prefill);
+            assert_eq!(window.slots[1].role, InstanceRole::Decode);
+        }
+        let last = report.windows.last().expect("checked non-empty");
+        assert_eq!(last.handoff_records, spec.num_requests());
+        assert_eq!(last.handoff_bytes, report.offload.handoff_bytes);
+        let prom = report.prometheus_window_series();
+        assert!(prom.contains("prefillonly_handoff_records_total"));
+        assert!(prom.contains("role=\"decode\""));
     }
 }

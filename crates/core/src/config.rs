@@ -6,6 +6,7 @@ use executor::{ExecutorConfig, Parallelism, PrefillStrategy};
 use gpu::{HardwareSetup, LinkKind, NetLinkKind};
 use model::ModelPreset;
 use scheduler::PolicyKind;
+use workload::InstanceRole;
 
 use crate::routing::RoutingPolicyKind;
 
@@ -50,6 +51,24 @@ pub enum ConfigError {
         /// The configured scale-down threshold.
         scale_down_outstanding_tokens: u64,
     },
+    /// An explicit role vector was supplied but its length does not match the
+    /// deployment's instance count, so slots cannot be assigned roles.
+    RoleCountMismatch {
+        /// Roles supplied via [`EngineConfig::with_roles`].
+        roles: usize,
+        /// Instances the hardware setup and engine kind yield.
+        instances: usize,
+    },
+    /// No slot in the configured fleet can accept arrivals (every role is
+    /// `Decode`), so the router would have nowhere to place any request.
+    NoPrefillCapableSlot,
+    /// The fleet has dedicated `Prefill` slots but no slot that can decode, so
+    /// every KV handoff would wait forever for an admitting instance.
+    NoDecodeCapableSlot,
+    /// A disaggregated fleet (dedicated `Prefill`/`Decode` roles) moves every
+    /// finished prefix across the network fabric, which requires an enabled
+    /// `net_link` (any preset other than [`NetLinkKind::Disabled`]).
+    DisaggregationNeedsNetLink,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -85,6 +104,25 @@ impl std::fmt::Display for ConfigError {
                 "autoscaler needs 1 <= min_instances <= max_instances and \
                  scale_down < scale_up, got instances [{min_instances}, {max_instances}] \
                  thresholds down {scale_down_outstanding_tokens} / up {scale_up_outstanding_tokens}"
+            ),
+            ConfigError::RoleCountMismatch { roles, instances } => write!(
+                f,
+                "role vector length must match the instance count \
+                 ({roles} roles supplied, {instances} instances deployed)"
+            ),
+            ConfigError::NoPrefillCapableSlot => write!(
+                f,
+                "every slot is Decode-only, so no instance could ever accept an arrival"
+            ),
+            ConfigError::NoDecodeCapableSlot => write!(
+                f,
+                "the fleet has Prefill-only slots but nothing that can decode, \
+                 so every KV handoff would wait forever"
+            ),
+            ConfigError::DisaggregationNeedsNetLink => write!(
+                f,
+                "a disaggregated prefill/decode fleet hands KV across the network \
+                 fabric and cannot run with net_link disabled"
             ),
         }
     }
@@ -337,6 +375,20 @@ pub struct EngineConfig {
     /// fleet at whatever size the hardware setup and any scheduled membership
     /// events dictate.
     pub autoscaler: Option<AutoscalerPolicy>,
+    /// Per-slot serving roles (see [`InstanceRole`]).  Empty — the default — runs
+    /// every instance colocated (both phases), byte-identical to the pre-role
+    /// engine.  A non-empty vector must name one role per instance
+    /// ([`ConfigError::RoleCountMismatch`]) and splits the fleet into a
+    /// phase-aware deployment: the router only places arrivals on
+    /// prefill-capable slots, and dedicated prefill slots hand finished KV
+    /// chains to decode-capable slots over [`Self::net_link`].
+    pub roles: Vec<InstanceRole>,
+    /// Collect a per-window time series (per-slot load, tier occupancy, spill /
+    /// reload / handoff counters) at every propagation-epoch boundary, exposed on
+    /// [`crate::RunReport::windows`].  Off by default: the samples cost memory
+    /// proportional to `windows × slots` and only epoch-driven replays produce
+    /// them.
+    pub track_window_metrics: bool,
 }
 
 impl EngineConfig {
@@ -364,6 +416,8 @@ impl EngineConfig {
             routing: RoutingPolicyKind::StickyUser,
             epoch_length: EpochLengthPolicy::Fixed,
             autoscaler: None,
+            roles: Vec::new(),
+            track_window_metrics: false,
         }
     }
 
@@ -382,12 +436,58 @@ impl EngineConfig {
         if let Some(autoscaler) = &self.autoscaler {
             autoscaler.validate()?;
         }
+        if !self.roles.is_empty() {
+            if self.roles.len() != self.num_instances() as usize {
+                return Err(ConfigError::RoleCountMismatch {
+                    roles: self.roles.len(),
+                    instances: self.num_instances() as usize,
+                });
+            }
+            if !self.roles.iter().any(|role| role.can_prefill()) {
+                return Err(ConfigError::NoPrefillCapableSlot);
+            }
+            let has_prefill_only = self.roles.contains(&InstanceRole::Prefill);
+            if has_prefill_only && !self.roles.iter().any(|role| role.can_decode()) {
+                return Err(ConfigError::NoDecodeCapableSlot);
+            }
+            if self.disaggregated() && !self.net_link.is_enabled() {
+                return Err(ConfigError::DisaggregationNeedsNetLink);
+            }
+        }
         Ok(())
+    }
+
+    /// The role of slot `instance` (see [`InstanceRole`]).  Colocated for every
+    /// slot of a role-less deployment and for slots beyond the configured vector
+    /// (elastic joins pick their role from the membership event instead).
+    pub fn role_of(&self, instance: usize) -> InstanceRole {
+        self.roles.get(instance).copied().unwrap_or_default()
+    }
+
+    /// Whether this deployment splits serving phases across dedicated pools (any
+    /// slot with a non-`Colocated` role).
+    pub fn disaggregated(&self) -> bool {
+        self.roles
+            .iter()
+            .any(|role| *role != InstanceRole::Colocated)
     }
 
     /// Overrides the routing policy (see [`RoutingPolicyKind`]).
     pub fn with_routing(mut self, routing: RoutingPolicyKind) -> EngineConfig {
         self.routing = routing;
+        self
+    }
+
+    /// Assigns per-slot serving roles (see [`Self::roles`]); the vector's length
+    /// must match [`Self::num_instances`], checked by [`Self::validate`].
+    pub fn with_roles(mut self, roles: Vec<InstanceRole>) -> EngineConfig {
+        self.roles = roles;
+        self
+    }
+
+    /// Enables the per-window time series (see [`Self::track_window_metrics`]).
+    pub fn with_window_metrics(mut self) -> EngineConfig {
+        self.track_window_metrics = true;
         self
     }
 
@@ -616,6 +716,84 @@ mod tests {
             );
             assert!(err.to_string().contains("autoscaler"), "{name}");
         }
+    }
+
+    #[test]
+    fn degenerate_role_fleets_fail_validation_with_typed_errors() {
+        let base = EngineConfig::new(
+            ModelPreset::Llama31_8b,
+            HardwareSetup::l4_pair(),
+            EngineKind::prefillonly_default(),
+            20_000,
+        )
+        .with_net_kv(64 << 30);
+
+        // No roles: colocated by definition, not disaggregated, always valid.
+        assert_eq!(base.validate(), Ok(()));
+        assert!(!base.disaggregated());
+        assert_eq!(base.role_of(0), InstanceRole::Colocated);
+        assert_eq!(base.role_of(99), InstanceRole::Colocated);
+
+        // A proper 1:1 split validates.
+        let split = base
+            .clone()
+            .with_roles(vec![InstanceRole::Prefill, InstanceRole::Decode]);
+        assert_eq!(split.validate(), Ok(()));
+        assert!(split.disaggregated());
+        assert_eq!(split.role_of(0), InstanceRole::Prefill);
+        assert_eq!(split.role_of(1), InstanceRole::Decode);
+
+        // Wrong vector length.
+        let err = base
+            .clone()
+            .with_roles(vec![InstanceRole::Prefill])
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::RoleCountMismatch {
+                roles: 1,
+                instances: 2
+            }
+        );
+        assert!(err.to_string().contains("role vector"));
+
+        // All-Decode: nothing can accept an arrival.
+        let err = base
+            .clone()
+            .with_roles(vec![InstanceRole::Decode, InstanceRole::Decode])
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoPrefillCapableSlot);
+        assert!(err.to_string().contains("arrival"));
+
+        // All-Prefill: handoffs would wait forever.
+        let err = base
+            .clone()
+            .with_roles(vec![InstanceRole::Prefill, InstanceRole::Prefill])
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoDecodeCapableSlot);
+        assert!(err.to_string().contains("decode"));
+
+        // Disaggregated without a fabric to hand KV over.
+        let err = base
+            .clone()
+            .with_roles(vec![InstanceRole::Prefill, InstanceRole::Decode])
+            .with_net_link(NetLinkKind::Disabled)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::DisaggregationNeedsNetLink);
+        assert!(err.to_string().contains("net_link"));
+
+        // Explicit all-Colocated roles are allowed even with the fabric disabled
+        // (nothing ever crosses it).
+        let colocated = base
+            .clone()
+            .with_roles(vec![InstanceRole::Colocated, InstanceRole::Colocated])
+            .with_net_link(NetLinkKind::Disabled);
+        assert_eq!(colocated.validate(), Ok(()));
+        assert!(!colocated.disaggregated());
     }
 
     #[test]

@@ -17,9 +17,11 @@ use executor::{max_input_length, profile_jct_grid, Executor};
 use gpu::{HostLink, NetLink};
 use kvcache::{
     hash_token_blocks, CacheStats, KvCacheManager, NetKvPool, OffloadStats, PrefixProbeCache,
-    ProbeCache, ReloadQuote, ReloadTier, RequestKv, RetentionPolicy, TierHits, TokenBlockHash,
+    ProbeCache, ReloadQuote, ReloadTier, RequestKv, RetentionPolicy, SequenceGrowth, TierHits,
+    TokenBlockHash,
 };
 use scheduler::{CacheProbe, JctEstimator, SchedulingPolicy, WaitingQueue, WaitingRequest};
+use workload::InstanceRole;
 
 use crate::config::{EngineConfig, ReloadPolicyKind};
 use crate::report::RequestRecord;
@@ -54,6 +56,72 @@ struct RunningRequest {
     /// Equals `completion` for prefill-only requests.
     first_token: SimTime,
     completion: SimTime,
+    /// Set on a `Prefill`-role instance: the request stops at its first token and
+    /// emits a KV handoff instead of a record (it never decodes here, so it is not
+    /// a decode batchmate either).
+    emit_handoff: bool,
+    /// Set on the decode side of a handoff: prefill-side residency stats and the
+    /// bytes that crossed the fabric, folded into the final record.
+    carried: Option<HandoffCarry>,
+}
+
+/// Prefill-side facts a handed-off request carries to its decode slot, so the final
+/// [`RequestRecord`] reports the residency the *prefill* pass actually saw.
+#[derive(Debug, Clone, Copy)]
+struct HandoffCarry {
+    prefill_slot: usize,
+    bytes: u64,
+    cached_tokens: u64,
+    reloaded_tokens: u64,
+    net_reloaded_tokens: u64,
+    net_propagated_tokens: u64,
+}
+
+/// The prefill side's half of a disaggregated request: everything a decode-capable
+/// slot needs to admit the whole reserved chain and price the decode schedule.
+///
+/// Emitted by a `Prefill`-role instance when a decode-bearing request reaches its
+/// first token; drained by the cluster at the next propagation-epoch boundary
+/// ([`EngineInstance::take_handoffs`]) into the
+/// [`kvcache::HandoffLedger`].
+#[derive(Debug, Clone)]
+pub struct KvHandoff {
+    /// The original request (tokens, decode budget, routing provenance).
+    pub request: PrefillRequest,
+    /// Slot that ran the prefill pass.
+    pub prefill_slot: usize,
+    /// When the prefill side admitted the request.
+    pub started: SimTime,
+    /// First-token time on the prefill side — TTFT is pinned here, and the fabric
+    /// transfer starts here.
+    pub first_token: SimTime,
+    /// Whole reserved chain size in blocks (prompt + [`SequenceGrowth`] reservation).
+    pub blocks: u64,
+    /// Bytes that cross the fabric (`blocks × block_bytes`).
+    pub bytes: u64,
+    /// When the chain has fully arrived at a decode slot.
+    pub ready_at: SimTime,
+    /// GPU-resident prompt tokens the prefill pass reused.
+    pub cached_tokens: u64,
+    /// Prompt tokens rehydrated over the host link on the prefill side.
+    pub reloaded_tokens: u64,
+    /// Prompt tokens rehydrated over the network tier on the prefill side.
+    pub net_reloaded_tokens: u64,
+    /// The mid-window-propagation subset of `net_reloaded_tokens`.
+    pub net_propagated_tokens: u64,
+}
+
+/// Outcome of offering a [`KvHandoff`] to a decode-capable instance.
+#[derive(Debug)]
+pub enum HandoffAdmission {
+    /// The chain was admitted; the decode schedule is priced and the started
+    /// request carries its completion time.
+    Admitted(StartedRequest),
+    /// Transient KV pressure: running requests still pin their blocks.  The cluster
+    /// re-enqueues the handoff and retries at the next epoch boundary.
+    Retry(KvHandoff),
+    /// The whole reserved chain exceeds even an empty pool — counted as rejected.
+    Rejected,
 }
 
 /// Tokens a tiered prefix hit is worth to the JCT estimator.
@@ -223,6 +291,10 @@ pub struct EngineInstance {
     net_hit_discount: f64,
     /// How reload-vs-recompute is decided per reloadable segment.
     reload_policy: ReloadPolicyKind,
+    /// Which serving phase(s) this instance runs (see [`InstanceRole`]).
+    role: InstanceRole,
+    /// KV handoffs emitted since the cluster last drained them (prefill role only).
+    outbox: Vec<KvHandoff>,
     stats: InstanceStats,
 }
 
@@ -322,6 +394,8 @@ impl EngineInstance {
             cpu_hit_discount: profile.cpu_hit_discount,
             net_hit_discount: profile.net_hit_discount,
             reload_policy: config.reload_policy,
+            role: config.role_of(id),
+            outbox: Vec::new(),
             stats: InstanceStats::default(),
         }
     }
@@ -329,6 +403,23 @@ impl EngineInstance {
     /// Instance index within the cluster.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// The serving phase(s) this instance runs.
+    pub fn role(&self) -> InstanceRole {
+        self.role
+    }
+
+    /// Overrides the instance's role (elastic joins carry a role in their
+    /// membership event; slot reuse rebuilds the instance and then re-stamps it).
+    pub fn set_role(&mut self, role: InstanceRole) {
+        self.role = role;
+    }
+
+    /// Drains the KV handoffs emitted since the last call (prefill role only;
+    /// always empty on colocated and decode instances).
+    pub fn take_handoffs(&mut self) -> Vec<KvHandoff> {
+        std::mem::take(&mut self.outbox)
     }
 
     /// The executor used by this instance.
@@ -374,6 +465,16 @@ impl EngineInstance {
     /// CPU-tier (hierarchical cache) statistics; all zero when offload is disabled.
     pub fn offload_stats(&self) -> OffloadStats {
         self.kv.offload_stats()
+    }
+
+    /// GPU-resident (committed, reusable) prefix-cache blocks right now.
+    pub fn gpu_cached_blocks(&self) -> u64 {
+        self.kv.cached_blocks()
+    }
+
+    /// CPU-tier resident blocks right now (0 when offload is disabled).
+    pub fn cpu_resident_blocks(&self) -> u64 {
+        self.kv.cpu_resident_blocks()
     }
 
     /// The JCT-estimator weight of a CPU-tier token hit (0 = reloading is no cheaper
@@ -585,9 +686,20 @@ impl EngineInstance {
                 .as_secs_f64();
                 transfer < saving
             };
+            // On a dedicated-prefill instance a decode-bearing request stops at its
+            // first token and hands the reserved chain to a decode slot, so only the
+            // *prompt* chain is allocated (and later committed) here — the decode
+            // growth is reserved on the admitting decode instance instead.
+            let emit_handoff = self.role == InstanceRole::Prefill && request.decode_tokens > 0;
+            let prompt_chain_blocks = (request.prompt_tokens() / block_size) as usize;
+            let (alloc_hashes, alloc_tokens) = if emit_handoff {
+                (&hashes[..prompt_chain_blocks], request.prompt_tokens())
+            } else {
+                (&hashes[..], request.num_tokens())
+            };
             let kv_alloc = match self.kv.allocate_from_hashes_with_policy(
-                &hashes,
-                request.num_tokens(),
+                alloc_hashes,
+                alloc_tokens,
                 now,
                 self.retention,
                 &mut decide,
@@ -636,7 +748,7 @@ impl EngineInstance {
             let batchmates: u64 = self
                 .running
                 .values()
-                .filter(|r| r.request.decode_tokens > 0 && r.completion > now)
+                .filter(|r| r.request.decode_tokens > 0 && !r.emit_handoff && r.completion > now)
                 .count() as u64;
             // Chunked prefill interleaves one decode iteration for the co-running
             // batch after each prefill chunk (Sarathi-style stall-free batching):
@@ -652,7 +764,9 @@ impl EngineInstance {
                     let per_iteration: SimDuration = self
                         .running
                         .values()
-                        .filter(|r| r.request.decode_tokens > 0 && r.completion > now)
+                        .filter(|r| {
+                            r.request.decode_tokens > 0 && !r.emit_handoff && r.completion > now
+                        })
                         .map(|r| {
                             self.executor
                                 .decode_step_time(r.request.prompt_tokens(), batchmates)
@@ -688,11 +802,13 @@ impl EngineInstance {
             // `stage_free_at` (the batched-iteration simplification: decode never
             // blocks admission, it stretches co-running work instead).
             let mut decode_time = SimDuration::ZERO;
-            let batch = 1 + batchmates;
-            for step in 0..request.decode_tokens {
-                decode_time += self.executor.decode_step_time(prompt_tokens + step, batch);
+            if !emit_handoff {
+                let batch = 1 + batchmates;
+                for step in 0..request.decode_tokens {
+                    decode_time += self.executor.decode_step_time(prompt_tokens + step, batch);
+                }
+                self.stats.busy += decode_time;
             }
-            self.stats.busy += decode_time;
             let completion = first_token + decode_time;
 
             let request_id = request.id;
@@ -704,6 +820,8 @@ impl EngineInstance {
                     started: now,
                     first_token,
                     completion,
+                    emit_handoff,
+                    carried: None,
                 },
             );
             return Some(StartedRequest {
@@ -716,10 +834,15 @@ impl EngineInstance {
     /// Finishes a running request: commits its KV blocks to the prefix cache and
     /// produces the request record.
     ///
+    /// Returns `None` on the prefill side of a disaggregated request: instead of a
+    /// record, the whole reserved chain is pushed into the handoff outbox
+    /// ([`Self::take_handoffs`]) for a decode slot to finish — the record appears
+    /// there, once the decode schedule completes.
+    ///
     /// # Panics
     ///
     /// Panics if `request_id` is not currently running.
-    pub fn complete(&mut self, request_id: u64, now: SimTime) -> RequestRecord {
+    pub fn complete(&mut self, request_id: u64, now: SimTime) -> Option<RequestRecord> {
         let running = self
             .running
             .remove(&request_id)
@@ -730,11 +853,39 @@ impl EngineInstance {
         let net_reloaded = running.kv.net_reloaded_tokens();
         let net_propagated = running.kv.net_propagated_tokens();
         self.kv.commit(running.kv, now);
+        if running.emit_handoff {
+            // The prompt chain stays committed here (later turns re-hit this slot's
+            // prefix cache); the whole reserved chain ships over the fabric.
+            let request = running.request;
+            let growth = SequenceGrowth::new(
+                request.prompt_tokens(),
+                request.decode_tokens,
+                self.kv.block_size(),
+            );
+            let blocks = growth.total_blocks().max(1);
+            let bytes = blocks * self.block_bytes;
+            let ready_at = running.first_token + self.net_link.transfer_time(bytes);
+            self.outbox.push(KvHandoff {
+                request,
+                prefill_slot: self.id,
+                started: running.started,
+                first_token: running.first_token,
+                blocks,
+                bytes,
+                ready_at,
+                cached_tokens: cached,
+                reloaded_tokens: reloaded,
+                net_reloaded_tokens: net_reloaded,
+                net_propagated_tokens: net_propagated,
+            });
+            return None;
+        }
         self.stats.completed += 1;
-        RequestRecord {
+        let mut record = RequestRecord {
             request_id,
             user_id: running.request.user_id,
             instance: self.id,
+            decode_instance: None,
             routing: running.request.routing,
             arrival: running.request.arrival,
             started: running.started,
@@ -746,7 +897,91 @@ impl EngineInstance {
             reloaded_tokens: reloaded,
             net_reloaded_tokens: net_reloaded,
             net_propagated_tokens: net_propagated,
+            handoff_bytes: 0,
+        };
+        if let Some(carry) = running.carried {
+            // A handed-off chain: attribute the prefill work to the prefill slot and
+            // report the residency its prefill pass actually saw (the decode-side
+            // allocation was fed by the fabric transfer, not the cache tiers).
+            record.instance = carry.prefill_slot;
+            record.decode_instance = Some(self.id);
+            record.handoff_bytes = carry.bytes;
+            record.cached_tokens = carry.cached_tokens;
+            record.reloaded_tokens = carry.reloaded_tokens;
+            record.net_reloaded_tokens = carry.net_reloaded_tokens;
+            record.net_propagated_tokens = carry.net_propagated_tokens;
         }
+        Some(record)
+    }
+
+    /// Offers a handed-off chain to this (decode-capable) instance at an epoch
+    /// boundary: reserves the whole chain via the [`SequenceGrowth`]-sized hash
+    /// walk and prices the decode schedule against the co-running batch, exactly
+    /// as a colocated admission would after its first token.
+    ///
+    /// Tier reloads are declined outright — the chain's KV arrived over the fabric
+    /// with the handoff; re-fetching tier copies on top would double-charge.
+    pub fn admit_handoff(&mut self, handoff: KvHandoff, now: SimTime) -> HandoffAdmission {
+        debug_assert!(
+            self.role.can_decode(),
+            "handoffs may only target decode-capable slots"
+        );
+        let hashes = hash_token_blocks(&handoff.request.tokens, self.kv.block_size());
+        let mut decline = |_: &ReloadQuote| false;
+        let kv_alloc = match self.kv.allocate_from_hashes_with_policy(
+            &hashes,
+            handoff.request.num_tokens(),
+            now,
+            self.retention,
+            &mut decline,
+        ) {
+            Ok(alloc) => alloc,
+            Err(err) => {
+                if err.needed_blocks > self.kv.capacity_blocks() {
+                    // Even an empty pool could not hold the reserved chain.
+                    self.stats.rejected += 1;
+                    return HandoffAdmission::Rejected;
+                }
+                return HandoffAdmission::Retry(handoff);
+            }
+        };
+        let batchmates: u64 = self
+            .running
+            .values()
+            .filter(|r| r.request.decode_tokens > 0 && !r.emit_handoff && r.completion > now)
+            .count() as u64;
+        let batch = 1 + batchmates;
+        let prompt_tokens = handoff.request.prompt_tokens();
+        let mut decode_time = SimDuration::ZERO;
+        for step in 0..handoff.request.decode_tokens {
+            decode_time += self.executor.decode_step_time(prompt_tokens + step, batch);
+        }
+        self.stats.busy += decode_time;
+        let completion = now + decode_time;
+        let request_id = handoff.request.id;
+        self.running.insert(
+            request_id,
+            RunningRequest {
+                request: handoff.request,
+                kv: kv_alloc,
+                started: handoff.started,
+                first_token: handoff.first_token,
+                completion,
+                emit_handoff: false,
+                carried: Some(HandoffCarry {
+                    prefill_slot: handoff.prefill_slot,
+                    bytes: handoff.bytes,
+                    cached_tokens: handoff.cached_tokens,
+                    reloaded_tokens: handoff.reloaded_tokens,
+                    net_reloaded_tokens: handoff.net_reloaded_tokens,
+                    net_propagated_tokens: handoff.net_propagated_tokens,
+                }),
+            },
+        );
+        HandoffAdmission::Admitted(StartedRequest {
+            request_id,
+            completion,
+        })
     }
 }
 
@@ -810,7 +1045,9 @@ mod tests {
         assert_eq!(started.request_id, 1);
         assert!(started.completion > now);
         assert_eq!(instance.running_len(), 1);
-        let record = instance.complete(1, started.completion);
+        let record = instance
+            .complete(1, started.completion)
+            .expect("colocated completion must yield a record");
         assert_eq!(record.user_id, 7);
         assert_eq!(record.total_tokens, 4_000);
         assert_eq!(record.cached_tokens, 0);
@@ -853,7 +1090,7 @@ mod tests {
         };
         instance.enqueue(a, now);
         let started_a = instance.try_start(now).unwrap();
-        let record_a = instance.complete(1, started_a.completion);
+        let record_a = instance.complete(1, started_a.completion).unwrap();
         assert_eq!(record_a.cached_tokens, 0);
 
         let later = started_a.completion;
@@ -868,7 +1105,7 @@ mod tests {
         };
         instance.enqueue(b, later);
         let started_b = instance.try_start(later).unwrap();
-        let record_b = instance.complete(2, started_b.completion);
+        let record_b = instance.complete(2, started_b.completion).unwrap();
         assert!(
             record_b.cached_tokens >= 7_000,
             "expected a large prefix hit, got {}",
@@ -910,7 +1147,7 @@ mod tests {
             };
             instance.enqueue(request, now);
             let started = instance.try_start(now).expect("idle instance admits");
-            let record = instance.complete(id, started.completion);
+            let record = instance.complete(id, started.completion).unwrap();
             now = started.completion;
             record
         };
@@ -969,6 +1206,60 @@ mod tests {
         instance.complete(first.request_id, first.completion);
         instance.complete(second.request_id, second.completion);
         assert_eq!(instance.stats().completed, 2);
+    }
+
+    #[test]
+    fn prefill_role_emits_handoff_and_decode_role_admits_it() {
+        let cfg = config(EngineKind::prefillonly_default())
+            .with_roles(vec![InstanceRole::Prefill, InstanceRole::Decode]);
+        let mut prefill = EngineInstance::new(&cfg, 0);
+        let mut decode = EngineInstance::new(&cfg, 1);
+        assert_eq!(prefill.role(), InstanceRole::Prefill);
+        assert_eq!(decode.role(), InstanceRole::Decode);
+
+        let now = SimTime::ZERO;
+        let mut req = request(1, 7, 4_000, now);
+        req.decode_tokens = 64;
+        prefill.enqueue(req, now);
+        let started = prefill.try_start(now).expect("idle prefill slot admits");
+        // The prefill side stops at first token: no decode time is charged there.
+        assert_eq!(prefill.running_len(), 1);
+        assert!(
+            prefill.complete(1, started.completion).is_none(),
+            "prefill side emits a handoff, not a record"
+        );
+        assert_eq!(prefill.stats().completed, 0);
+
+        let mut handoffs = prefill.take_handoffs();
+        assert_eq!(handoffs.len(), 1);
+        assert!(prefill.take_handoffs().is_empty(), "outbox drains once");
+        let handoff = handoffs.pop().unwrap();
+        assert_eq!(handoff.prefill_slot, 0);
+        assert_eq!(handoff.first_token, started.completion);
+        assert_eq!(handoff.bytes, handoff.blocks * prefill.kv_block_bytes());
+        assert!(
+            handoff.ready_at > handoff.first_token,
+            "the fabric transfer must take time"
+        );
+
+        let boundary = handoff.ready_at;
+        match decode.admit_handoff(handoff, boundary) {
+            HandoffAdmission::Admitted(admitted) => {
+                assert_eq!(admitted.request_id, 1);
+                assert!(admitted.completion > boundary, "decode steps take time");
+                let record = decode
+                    .complete(admitted.request_id, admitted.completion)
+                    .expect("decode side produces the record");
+                assert_eq!(record.instance, 0, "prefill slot owns the prefill pass");
+                assert_eq!(record.decode_instance, Some(1));
+                assert!(record.handoff_bytes > 0);
+                assert_eq!(record.decode_tokens, 64);
+                assert_eq!(record.first_token, started.completion);
+                assert!(record.completed > record.first_token);
+            }
+            other => panic!("expected admission, got {other:?}"),
+        }
+        assert_eq!(decode.stats().completed, 1);
     }
 
     #[test]

@@ -85,8 +85,8 @@ pub use cluster::{AppliedMembership, Cluster, DrainRecord, RoutingScratch, RunEr
 pub use config::{
     AutoscalerPolicy, ConfigError, EngineConfig, EngineKind, EpochLengthPolicy, ReloadPolicyKind,
 };
-pub use instance::{EngineInstance, InstanceProfile, InstanceStats};
-pub use report::{RequestRecord, RoutingJct, RunReport};
+pub use instance::{EngineInstance, HandoffAdmission, InstanceProfile, InstanceStats, KvHandoff};
+pub use report::{RequestRecord, RoutingJct, RunReport, SlotWindow, WindowMetrics};
 pub use request::{PrefillRequest, PrefillResponse, TokenScore};
 pub use routing::{
     InstanceLoad, RouteQuery, RouterSnapshot, RoutingDecision, RoutingError, RoutingPolicy,

@@ -5,6 +5,7 @@ use simcore::{SimDuration, SimTime};
 
 use kvcache::{CacheStats, OffloadStats};
 use metrics::{Cdf, Summary};
+use workload::InstanceRole;
 
 use crate::routing::RoutingReason;
 
@@ -15,8 +16,13 @@ pub struct RequestRecord {
     pub request_id: u64,
     /// User the request belonged to.
     pub user_id: u64,
-    /// Instance that executed it.
+    /// Instance that executed the prefill pass (for disaggregated requests, the
+    /// `Prefill`-role slot the router placed the arrival on).
     pub instance: usize,
+    /// For a request whose KV chain was handed off, the decode-capable slot that
+    /// admitted the chain and ran the decode schedule; `None` for colocated
+    /// requests (prefill and decode on `instance`).
+    pub decode_instance: Option<usize>,
     /// Why the routing layer placed it there (see [`RoutingReason`]).
     pub routing: RoutingReason,
     /// Arrival time.
@@ -46,6 +52,9 @@ pub struct RequestRecord {
     /// `net_propagation_ms > 0` — the window-boundary-only model would have
     /// recomputed these tokens).
     pub net_propagated_tokens: u64,
+    /// Bytes of reserved KV chain that crossed the fabric in this request's
+    /// prefill→decode handoff (0 for colocated requests).
+    pub handoff_bytes: u64,
 }
 
 impl RequestRecord {
@@ -98,6 +107,10 @@ pub struct RunReport {
     /// Aggregated CPU-tier (hierarchical cache) statistics across all instances; all
     /// zero when `cpu_kv_capacity_bytes` is 0.
     pub offload: OffloadStats,
+    /// Per-window time series sampled at every propagation-epoch boundary; empty
+    /// unless [`crate::EngineConfig::track_window_metrics`] is set (and the replay
+    /// actually runs in epochs).  Export with [`Self::prometheus_window_series`].
+    pub windows: Vec<WindowMetrics>,
 }
 
 impl RunReport {
@@ -206,9 +219,101 @@ impl RunReport {
         self.records.iter().map(|r| r.net_propagated_tokens).sum()
     }
 
+    /// Requests whose KV chain was handed off to a decode slot.
+    pub fn handed_off_requests(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.decode_instance.is_some())
+            .count() as u64
+    }
+
+    /// Bytes of reserved KV chains that crossed the fabric in prefill→decode
+    /// handoffs, summed over all completed requests.
+    pub fn handoff_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.handoff_bytes).sum()
+    }
+
     /// Latency CDF (Fig. 11).
     pub fn latency_cdf(&self) -> Cdf {
         Cdf::from_samples(&self.latencies_secs())
+    }
+
+    /// Renders [`Self::windows`] as a Prometheus-flavoured text exposition: one
+    /// `# TYPE` header per metric, then one sample per window (and per slot for
+    /// the per-slot gauges), labelled with `window`, `slot` and `role`.  Returns
+    /// an empty string when no windows were tracked.
+    pub fn prometheus_window_series(&self) -> String {
+        use std::fmt::Write as _;
+        if self.windows.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str("# TYPE prefillonly_window_boundary_seconds gauge\n");
+        for w in &self.windows {
+            let _ = writeln!(
+                out,
+                "prefillonly_window_boundary_seconds{{window=\"{}\"}} {}",
+                w.window,
+                w.boundary.as_secs_f64()
+            );
+        }
+        type SlotGauge = fn(&SlotWindow) -> u64;
+        let slot_gauges: [(&str, SlotGauge); 5] = [
+            ("prefillonly_slot_queued_requests", |s| s.queued_requests),
+            ("prefillonly_slot_outstanding_tokens", |s| {
+                s.outstanding_tokens
+            }),
+            ("prefillonly_slot_running_requests", |s| s.running_requests),
+            ("prefillonly_slot_gpu_cached_blocks", |s| {
+                s.gpu_cached_blocks
+            }),
+            ("prefillonly_slot_cpu_resident_blocks", |s| {
+                s.cpu_resident_blocks
+            }),
+        ];
+        for (name, value) in slot_gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for w in &self.windows {
+                for slot in &w.slots {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{window=\"{}\",slot=\"{}\",role=\"{}\"}} {}",
+                        w.window,
+                        slot.slot,
+                        slot.role,
+                        value(slot)
+                    );
+                }
+            }
+        }
+        type FleetSeries = fn(&WindowMetrics) -> u64;
+        let fleet_series: [(&str, &str, FleetSeries); 6] = [
+            ("prefillonly_net_resident_blocks", "gauge", |w| {
+                w.net_resident_blocks
+            }),
+            ("prefillonly_offloaded_blocks_total", "counter", |w| {
+                w.offloaded_blocks
+            }),
+            ("prefillonly_reloaded_blocks_total", "counter", |w| {
+                w.reloaded_blocks
+            }),
+            ("prefillonly_net_reloaded_blocks_total", "counter", |w| {
+                w.net_reloaded_blocks
+            }),
+            ("prefillonly_handoff_records_total", "counter", |w| {
+                w.handoff_records
+            }),
+            ("prefillonly_handoff_bytes_total", "counter", |w| {
+                w.handoff_bytes
+            }),
+        ];
+        for (name, kind, value) in fleet_series {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for w in &self.windows {
+                let _ = writeln!(out, "{name}{{window=\"{}\"}} {}", w.window, value(w));
+            }
+        }
+        out
     }
 
     /// JCT broken down by why the router placed each request — the observability
@@ -246,6 +351,53 @@ impl RunReport {
     }
 }
 
+/// One slot's load and tier occupancy, sampled at a propagation-epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotWindow {
+    /// Slot index (stable across the run; retired slots are omitted).
+    pub slot: usize,
+    /// The slot's serving role at the boundary.
+    pub role: InstanceRole,
+    /// Waiting plus running requests.
+    pub queued_requests: u64,
+    /// Input tokens across waiting plus running requests.
+    pub outstanding_tokens: u64,
+    /// Requests currently executing.
+    pub running_requests: u64,
+    /// Evictable blocks held by the GPU prefix cache.
+    pub gpu_cached_blocks: u64,
+    /// Blocks resident in the slot's CPU offload tier.
+    pub cpu_resident_blocks: u64,
+}
+
+/// The fleet's state at one propagation-epoch boundary (one row of the
+/// per-window time series; see [`RunReport::windows`]).
+///
+/// Gauges (`slots`, `net_resident_blocks`) are instantaneous; the spill, reload
+/// and handoff counters are cumulative since the start of the run, Prometheus
+/// counter style.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// Window index (0-based, in boundary order).
+    pub window: u64,
+    /// Virtual time of the epoch boundary the sample was taken at.
+    pub boundary: SimTime,
+    /// Per-slot load and occupancy of every non-retired slot.
+    pub slots: Vec<SlotWindow>,
+    /// Blocks resident in the cluster-shared network tier.
+    pub net_resident_blocks: u64,
+    /// Cumulative blocks spilled to the CPU tier, fleet-wide.
+    pub offloaded_blocks: u64,
+    /// Cumulative blocks reloaded over the host link, fleet-wide.
+    pub reloaded_blocks: u64,
+    /// Cumulative blocks reloaded from the network tier, fleet-wide.
+    pub net_reloaded_blocks: u64,
+    /// Cumulative prefill→decode handoffs enqueued on the fabric.
+    pub handoff_records: u64,
+    /// Cumulative handoff bytes enqueued on the fabric.
+    pub handoff_bytes: u64,
+}
+
 /// JCT aggregate of the requests one [`RoutingReason`] placed (see
 /// [`RunReport::jct_by_routing_reason`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -269,6 +421,7 @@ mod tests {
             request_id: 1,
             user_id: 1,
             instance: 0,
+            decode_instance: None,
             routing: RoutingReason::Direct,
             arrival: SimTime::from_millis(arrival_ms),
             started: SimTime::from_millis(started_ms),
@@ -280,6 +433,7 @@ mod tests {
             reloaded_tokens: 0,
             net_reloaded_tokens: 0,
             net_propagated_tokens: 0,
+            handoff_bytes: 0,
         }
     }
 
@@ -319,6 +473,7 @@ mod tests {
             makespan: SimDuration::from_secs(3),
             cache: CacheStats::default(),
             offload: OffloadStats::default(),
+            windows: Vec::new(),
         };
         // TTFTs: 0.3 s and 3.0 s.
         assert!((report.mean_ttft_secs() - 1.65).abs() < 1e-9);
@@ -338,6 +493,7 @@ mod tests {
             makespan: SimDuration::from_secs(3),
             cache: CacheStats::default(),
             offload: OffloadStats::default(),
+            windows: Vec::new(),
         };
         assert!((report.mean_latency_secs() - 2.0).abs() < 1e-9);
         assert!(report.p99_latency_secs() >= report.mean_latency_secs());
@@ -360,6 +516,7 @@ mod tests {
             makespan: SimDuration::from_secs(6),
             cache: CacheStats::default(),
             offload: OffloadStats::default(),
+            windows: Vec::new(),
         };
         let breakdown = report.jct_by_routing_reason();
         // Only reasons that actually routed requests appear, in declaration order.
@@ -380,6 +537,75 @@ mod tests {
     }
 
     #[test]
+    fn handoff_records_aggregate_and_export_as_prometheus_series() {
+        let mut handed = record(0, 0, 2000);
+        handed.request_id = 2;
+        handed.first_token = SimTime::from_millis(500);
+        handed.decode_tokens = 16;
+        handed.decode_instance = Some(1);
+        handed.handoff_bytes = 4096;
+        let report = RunReport {
+            engine: "PrefillOnly".into(),
+            offered_qps: 10.0,
+            records: vec![record(0, 0, 1000), handed],
+            makespan: SimDuration::from_secs(2),
+            cache: CacheStats::default(),
+            offload: OffloadStats::default(),
+            windows: vec![WindowMetrics {
+                window: 0,
+                boundary: SimTime::from_millis(1500),
+                slots: vec![
+                    SlotWindow {
+                        slot: 0,
+                        role: InstanceRole::Prefill,
+                        queued_requests: 2,
+                        outstanding_tokens: 2000,
+                        running_requests: 1,
+                        gpu_cached_blocks: 5,
+                        cpu_resident_blocks: 0,
+                    },
+                    SlotWindow {
+                        slot: 1,
+                        role: InstanceRole::Decode,
+                        queued_requests: 1,
+                        outstanding_tokens: 1000,
+                        running_requests: 1,
+                        gpu_cached_blocks: 3,
+                        cpu_resident_blocks: 2,
+                    },
+                ],
+                net_resident_blocks: 7,
+                offloaded_blocks: 11,
+                reloaded_blocks: 4,
+                net_reloaded_blocks: 1,
+                handoff_records: 1,
+                handoff_bytes: 4096,
+            }],
+        };
+        assert_eq!(report.handed_off_requests(), 1);
+        assert_eq!(report.handoff_bytes(), 4096);
+
+        let text = report.prometheus_window_series();
+        assert!(text.contains("# TYPE prefillonly_slot_queued_requests gauge"));
+        assert!(text.contains(
+            "prefillonly_slot_queued_requests{window=\"0\",slot=\"0\",role=\"prefill\"} 2"
+        ));
+        assert!(text.contains(
+            "prefillonly_slot_outstanding_tokens{window=\"0\",slot=\"1\",role=\"decode\"} 1000"
+        ));
+        assert!(text.contains("# TYPE prefillonly_handoff_bytes_total counter"));
+        assert!(text.contains("prefillonly_handoff_bytes_total{window=\"0\"} 4096"));
+        assert!(text.contains("prefillonly_net_resident_blocks{window=\"0\"} 7"));
+        assert!(text.contains("prefillonly_window_boundary_seconds{window=\"0\"} 1.5"));
+
+        let bare = RunReport {
+            windows: Vec::new(),
+            ..report
+        };
+        assert!(bare.prometheus_window_series().is_empty());
+    }
+
+    #[test]
     fn empty_report_is_safe() {
         let report = RunReport {
             engine: "x".into(),
@@ -388,6 +614,7 @@ mod tests {
             makespan: SimDuration::ZERO,
             cache: CacheStats::default(),
             offload: OffloadStats::default(),
+            windows: Vec::new(),
         };
         assert_eq!(report.mean_latency_secs(), 0.0);
         assert_eq!(report.throughput_rps(), 0.0);

@@ -100,16 +100,22 @@ pub enum NetLinkKind {
     Rdma100G,
     /// 400 Gb/s RDMA (InfiniBand NDR class).
     Rdma400G,
+    /// No inter-node fabric at all: hosts cannot move KV between each other.
+    /// Deployments that *require* cross-instance KV movement (disaggregated
+    /// prefill/decode fleets) must reject this at validation time; cost-model
+    /// consumers see zero bandwidth and an unreachable-tier transfer time.
+    Disabled,
 }
 
 impl NetLinkKind {
     /// Effective unidirectional bandwidth in bytes/second (achievable goodput, not
-    /// the marketing line rate).
+    /// the marketing line rate).  Zero for [`NetLinkKind::Disabled`].
     pub fn bandwidth_bytes_per_sec(self) -> f64 {
         match self {
             NetLinkKind::Tcp25G => 2.5e9,
             NetLinkKind::Rdma100G => 11.0e9,
             NetLinkKind::Rdma400G => 45.0e9,
+            NetLinkKind::Disabled => 0.0,
         }
     }
 
@@ -120,7 +126,13 @@ impl NetLinkKind {
             NetLinkKind::Tcp25G => SimDuration::from_micros(60),
             NetLinkKind::Rdma100G => SimDuration::from_micros(15),
             NetLinkKind::Rdma400G => SimDuration::from_micros(10),
+            NetLinkKind::Disabled => SimDuration::ZERO,
         }
+    }
+
+    /// Whether the fabric can move bytes at all.
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, NetLinkKind::Disabled)
     }
 }
 
@@ -154,12 +166,19 @@ impl NetLink {
     }
 
     /// Time for one synchronous remote→local copy of `bytes` bytes: the setup
-    /// latency plus the bandwidth-bound transfer.  Zero bytes cost nothing.
+    /// latency plus the bandwidth-bound transfer.  Zero bytes cost nothing.  On a
+    /// [`NetLinkKind::Disabled`] fabric any non-zero transfer is unserviceable and
+    /// priced as a huge finite duration — validation rejects configurations that
+    /// could ever charge it, this arm only keeps the cost model total.
     pub fn transfer_time(&self, bytes: u64) -> SimDuration {
         if bytes == 0 {
             return SimDuration::ZERO;
         }
-        let transfer = bytes as f64 / self.link.bandwidth_bytes_per_sec();
+        let bandwidth = self.link.bandwidth_bytes_per_sec();
+        if bandwidth <= 0.0 {
+            return SimDuration::from_secs(u32::MAX as u64);
+        }
+        let transfer = bytes as f64 / bandwidth;
         self.link.launch_latency() + SimDuration::from_secs_f64(transfer)
     }
 }
@@ -298,6 +317,19 @@ mod tests {
             tcp.as_secs_f64() > 5.0 * slowest_host.as_secs_f64(),
             "tcp {tcp} vs host {slowest_host}"
         );
+    }
+
+    #[test]
+    fn disabled_fabric_moves_nothing() {
+        assert!(!NetLinkKind::Disabled.is_enabled());
+        assert!(NetLinkKind::Tcp25G.is_enabled());
+        assert_eq!(NetLinkKind::Disabled.bandwidth_bytes_per_sec(), 0.0);
+        let link = NetLink::new(NetLinkKind::Disabled);
+        assert_eq!(link.transfer_time(0), SimDuration::ZERO);
+        // A non-zero transfer over a disabled fabric is unserviceable: the cost
+        // model stays total (finite) but nothing sane can ever afford it.
+        let forever = link.transfer_time(1);
+        assert!(forever >= SimDuration::from_secs(u32::MAX as u64));
     }
 
     #[test]

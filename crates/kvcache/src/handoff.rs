@@ -1,0 +1,178 @@
+//! The prefill→decode KV handoff ledger (disaggregated fleets).
+//!
+//! In a disaggregated fleet a `Prefill`-role instance stops a request at its first
+//! token and ships the *whole reserved chain* — prompt blocks plus the
+//! [`SequenceGrowth`](crate::SequenceGrowth) reservation for every decode step — to a
+//! decode-capable instance over the cluster fabric.  Like the net tier's published
+//! spills, a handoff only becomes visible to the rest of the fleet at a
+//! propagation-epoch boundary: the transfer is charged on the prefill side (its
+//! `ready_at` is first-token time plus the modelled `NetLink` transfer), and the
+//! cluster admits it on the first boundary at or after that instant.
+//!
+//! This module is the deterministic in-flight ledger between those two ends.  Records
+//! are ordered by `(ready_at, request_id)` — never by map iteration order — so both
+//! replay flavours (parallel and sequential) drain it identically, and cumulative
+//! enqueue totals are kept for the [`OffloadStats`](crate::OffloadStats)
+//! reconciliation the cluster report performs.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// One prefill→decode handoff in flight on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HandoffRecord {
+    /// The request whose reserved chain is being shipped.
+    pub request_id: u64,
+    /// Slot index of the prefill instance that emitted the handoff.
+    pub from_slot: usize,
+    /// Whole-chain reservation size in blocks (prompt + decode growth).
+    pub blocks: u64,
+    /// Bytes that cross the fabric (`blocks × block_bytes`).
+    pub bytes: u64,
+    /// First-token time on the prefill side, when the transfer starts.
+    pub emitted_at: SimTime,
+    /// When the chain has fully arrived: `emitted_at + NetLink::transfer_time(bytes)`.
+    /// The cluster surfaces the record at the first epoch boundary at or after this.
+    pub ready_at: SimTime,
+}
+
+/// A deterministic, time-ordered ledger of in-flight handoffs.
+///
+/// ```
+/// use kvcache::{HandoffLedger, HandoffRecord};
+/// use simcore::SimTime;
+///
+/// let mut ledger = HandoffLedger::default();
+/// ledger.push(HandoffRecord {
+///     request_id: 7,
+///     from_slot: 0,
+///     blocks: 12,
+///     bytes: 12 * 1024,
+///     emitted_at: SimTime::from_millis(40),
+///     ready_at: SimTime::from_millis(90),
+/// });
+/// assert_eq!(ledger.pending(), 1);
+/// assert!(ledger.take_ready(SimTime::from_millis(50)).is_empty());
+/// let ready = ledger.take_ready(SimTime::from_millis(100));
+/// assert_eq!(ready.len(), 1);
+/// assert!(ledger.is_empty());
+/// assert_eq!(ledger.total_bytes(), 12 * 1024);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HandoffLedger {
+    /// In-flight records, kept sorted by `(ready_at, request_id)`.
+    pending: Vec<HandoffRecord>,
+    /// Cumulative handoffs ever enqueued (re-enqueues after a failed admission do
+    /// not recount).
+    total_records: u64,
+    /// Cumulative bytes ever enqueued.
+    total_bytes: u64,
+}
+
+impl HandoffLedger {
+    /// Enqueues a new handoff and counts it toward the cumulative totals.
+    pub fn push(&mut self, record: HandoffRecord) {
+        self.total_records += 1;
+        self.total_bytes += record.bytes;
+        self.insert(record);
+    }
+
+    /// Re-enqueues a record whose admission failed (a decode slot was too full at
+    /// the boundary).  The record keeps its place in time order and is *not*
+    /// recounted in the cumulative totals.
+    pub fn requeue(&mut self, record: HandoffRecord) {
+        self.insert(record);
+    }
+
+    fn insert(&mut self, record: HandoffRecord) {
+        let key = (record.ready_at, record.request_id);
+        let at = self
+            .pending
+            .partition_point(|r| (r.ready_at, r.request_id) <= key);
+        self.pending.insert(at, record);
+    }
+
+    /// Removes and returns every record whose transfer has completed by `now`,
+    /// in `(ready_at, request_id)` order.
+    pub fn take_ready(&mut self, now: SimTime) -> Vec<HandoffRecord> {
+        let split = self.pending.partition_point(|r| r.ready_at <= now);
+        self.pending.drain(..split).collect()
+    }
+
+    /// Number of records still in flight.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no records are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Cumulative handoffs ever enqueued.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Cumulative bytes ever enqueued.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(request_id: u64, ready_ms: u64) -> HandoffRecord {
+        HandoffRecord {
+            request_id,
+            from_slot: 0,
+            blocks: 4,
+            bytes: 4 * 256,
+            emitted_at: SimTime::from_millis(ready_ms.saturating_sub(10)),
+            ready_at: SimTime::from_millis(ready_ms),
+        }
+    }
+
+    #[test]
+    fn drains_in_ready_then_request_order() {
+        let mut ledger = HandoffLedger::default();
+        ledger.push(record(3, 50));
+        ledger.push(record(1, 50));
+        ledger.push(record(2, 20));
+        ledger.push(record(4, 90));
+        let ready = ledger.take_ready(SimTime::from_millis(50));
+        let ids: Vec<u64> = ready.iter().map(|r| r.request_id).collect();
+        assert_eq!(ids, vec![2, 1, 3]);
+        assert_eq!(ledger.pending(), 1);
+        let rest = ledger.take_ready(SimTime::from_millis(1_000));
+        assert_eq!(rest[0].request_id, 4);
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let mut ledger = HandoffLedger::default();
+        ledger.push(record(1, 100));
+        assert!(ledger.take_ready(SimTime::from_millis(99)).is_empty());
+        assert_eq!(ledger.take_ready(SimTime::from_millis(100)).len(), 1);
+    }
+
+    #[test]
+    fn requeue_preserves_totals() {
+        let mut ledger = HandoffLedger::default();
+        ledger.push(record(1, 10));
+        ledger.push(record(2, 10));
+        assert_eq!(ledger.total_records(), 2);
+        assert_eq!(ledger.total_bytes(), 2 * 4 * 256);
+        let ready = ledger.take_ready(SimTime::from_millis(10));
+        assert_eq!(ready.len(), 2);
+        // Admission of request 1 failed: it goes back without recounting.
+        ledger.requeue(ready[0]);
+        assert_eq!(ledger.pending(), 1);
+        assert_eq!(ledger.total_records(), 2);
+        assert_eq!(ledger.total_bytes(), 2 * 4 * 256);
+        assert_eq!(ledger.take_ready(SimTime::from_millis(10))[0].request_id, 1);
+    }
+}

@@ -22,7 +22,11 @@
 //!   a [`NetKvPool`] shared by every instance of a deployment (gated by the
 //!   single-use spill filter), and a *per-request* reload-vs-recompute decision
 //!   ([`KvCacheManager::allocate_from_hashes_with_policy`]) chooses between fetching
-//!   a prefix over the network and recomputing it.
+//!   a prefix over the network and recomputing it;
+//! * a **prefill→decode handoff ledger** ([`HandoffLedger`]) for disaggregated
+//!   fleets: whole reserved chains shipped from `Prefill`-role to decode-capable
+//!   instances, ordered deterministically and surfaced at epoch boundaries like
+//!   published spills.
 //!
 //! The manager never stores actual key/value tensors — only block identities and
 //! token-content hashes — because the reproduction's GPU is analytical.  Everything the
@@ -31,6 +35,7 @@
 
 mod block;
 mod growth;
+mod handoff;
 mod hash;
 mod manager;
 mod netpool;
@@ -40,6 +45,7 @@ mod snapshot;
 
 pub use block::{BlockId, BlockPool};
 pub use growth::SequenceGrowth;
+pub use handoff::{HandoffLedger, HandoffRecord};
 pub use hash::{hash_token_blocks, TokenBlockHash};
 pub use manager::{
     CacheStats, DrainSpill, KvCacheManager, KvError, ReloadQuote, ReloadTier, RequestKv,

@@ -54,6 +54,10 @@ pub struct OffloadStats {
     /// Blocks the per-request reload policy chose to *recompute* instead of reload
     /// (the modelled transfer exceeded the modelled recompute saving).
     pub declined_reload_blocks: u64,
+    /// Prefill→decode KV handoffs enqueued on the fabric (disaggregated fleets).
+    pub handoff_records: u64,
+    /// Bytes of reserved KV chains that crossed the fabric in those handoffs.
+    pub handoff_bytes: u64,
 }
 
 impl OffloadStats {
@@ -70,6 +74,8 @@ impl OffloadStats {
         self.net_reloaded_bytes += other.net_reloaded_bytes;
         self.net_propagated_reload_blocks += other.net_propagated_reload_blocks;
         self.declined_reload_blocks += other.declined_reload_blocks;
+        self.handoff_records += other.handoff_records;
+        self.handoff_bytes += other.handoff_bytes;
     }
 }
 

@@ -27,7 +27,7 @@ pub use arrival::{
     StickySeq,
 };
 pub use dataset::{Dataset, DatasetSummary, RequestTemplate};
-pub use membership::{MembershipChange, MembershipEvent, MembershipSchedule};
+pub use membership::{InstanceRole, MembershipChange, MembershipEvent, MembershipSchedule};
 pub use spec::{
     ConversationSpec, CreditVerificationSpec, PostRecommendationSpec, SharedPrefixFleetSpec,
     WorkloadKind,

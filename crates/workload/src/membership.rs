@@ -19,8 +19,49 @@
 //! ([`KvCacheManager::drain_to_net`](../kvcache/struct.KvCacheManager.html)), and
 //! retires at the first boundary where it sits idle.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use simcore::SimTime;
+
+/// The serving phase(s) an instance participates in.
+///
+/// A colocated instance runs both phases on one engine — the classic deployment
+/// and the default everywhere.  Disaggregated fleets split the phases across
+/// dedicated pools: `Prefill` instances run prompt passes and hand the reserved
+/// KV chain to a `Decode` instance over the network fabric at `first_token`;
+/// `Decode` instances never receive arrivals from the router, only handoffs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceRole {
+    /// Runs both prefill and decode on the same engine (the default).
+    #[default]
+    Colocated,
+    /// Prefill-only: admits arrivals, hands finished prefixes off at first token.
+    Prefill,
+    /// Decode-only: unroutable for arrivals, admits handed-off chains.
+    Decode,
+}
+
+impl InstanceRole {
+    /// Whether the routing layer may send arrivals to an instance of this role.
+    pub fn can_prefill(self) -> bool {
+        matches!(self, InstanceRole::Colocated | InstanceRole::Prefill)
+    }
+
+    /// Whether an instance of this role may admit handed-off chains and price
+    /// decode schedules.
+    pub fn can_decode(self) -> bool {
+        matches!(self, InstanceRole::Colocated | InstanceRole::Decode)
+    }
+}
+
+impl std::fmt::Display for InstanceRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceRole::Colocated => write!(f, "colocated"),
+            InstanceRole::Prefill => write!(f, "prefill"),
+            InstanceRole::Decode => write!(f, "decode"),
+        }
+    }
+}
 
 /// One way the fleet changes size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -32,6 +73,10 @@ pub enum MembershipChange {
         /// pool's visible snapshot, so it serves inherited prefixes immediately.
         /// A detached join is the cold baseline — same epoch cadence, no net tier.
         attached: bool,
+        /// The serving phase(s) the joiner participates in.  `Colocated` restores
+        /// the pre-role behaviour; a disaggregated fleet grows its prefill or
+        /// decode pool by joining with the matching dedicated role.
+        role: InstanceRole,
     },
     /// One instance leaves the fleet: it stops receiving new work, finishes what it
     /// has, and retires at the first epoch boundary where it sits idle.
@@ -61,7 +106,7 @@ pub struct MembershipEvent {
 ///
 /// ```
 /// use simcore::SimTime;
-/// use workload::{MembershipChange, MembershipEvent, MembershipSchedule};
+/// use workload::{InstanceRole, MembershipChange, MembershipEvent, MembershipSchedule};
 ///
 /// let schedule = MembershipSchedule::new(vec![
 ///     MembershipEvent {
@@ -70,7 +115,10 @@ pub struct MembershipEvent {
 ///     },
 ///     MembershipEvent {
 ///         at: SimTime::from_secs(10),
-///         change: MembershipChange::Join { attached: true },
+///         change: MembershipChange::Join {
+///             attached: true,
+///             role: InstanceRole::Colocated,
+///         },
 ///     },
 /// ]);
 /// assert_eq!(schedule.len(), 2);
@@ -117,11 +165,17 @@ mod tests {
             },
             MembershipEvent {
                 at: SimTime::from_secs(1),
-                change: MembershipChange::Join { attached: false },
+                change: MembershipChange::Join {
+                    attached: false,
+                    role: InstanceRole::Colocated,
+                },
             },
             MembershipEvent {
                 at: SimTime::from_secs(5),
-                change: MembershipChange::Join { attached: true },
+                change: MembershipChange::Join {
+                    attached: true,
+                    role: InstanceRole::Decode,
+                },
             },
         ]);
         let times: Vec<SimTime> = schedule.events().iter().map(|e| e.at).collect();
@@ -140,8 +194,23 @@ mod tests {
         );
         assert_eq!(
             schedule.events()[2].change,
-            MembershipChange::Join { attached: true }
+            MembershipChange::Join {
+                attached: true,
+                role: InstanceRole::Decode,
+            }
         );
+    }
+
+    #[test]
+    fn roles_split_prefill_and_decode_capability() {
+        assert_eq!(InstanceRole::default(), InstanceRole::Colocated);
+        assert!(InstanceRole::Colocated.can_prefill());
+        assert!(InstanceRole::Colocated.can_decode());
+        assert!(InstanceRole::Prefill.can_prefill());
+        assert!(!InstanceRole::Prefill.can_decode());
+        assert!(!InstanceRole::Decode.can_prefill());
+        assert!(InstanceRole::Decode.can_decode());
+        assert_eq!(InstanceRole::Prefill.to_string(), "prefill");
     }
 
     #[test]

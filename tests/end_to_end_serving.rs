@@ -666,7 +666,10 @@ fn warm_join_recovers_strictly_faster_than_cold_join_on_a_shared_prefix_fleet() 
             },
             MembershipEvent {
                 at: SimTime::from_millis(prefillonly_bench::ELASTIC_JOIN_AT_MS),
-                change: MembershipChange::Join { attached },
+                change: MembershipChange::Join {
+                    attached,
+                    role: workload::InstanceRole::Colocated,
+                },
             },
         ]));
         let report = cluster.run(&arrivals, qps).expect("feasible");
@@ -777,7 +780,10 @@ fn autoscaler_beats_a_static_under_provisioned_fleet() {
     let log = autoscaled_cluster.membership_log();
     assert!(
         log.iter().any(|applied| applied.autoscaled
-            && matches!(applied.change, MembershipChange::Join { attached: true })),
+            && matches!(
+                applied.change,
+                MembershipChange::Join { attached: true, .. }
+            )),
         "the autoscaler must derive a warm join under queue pressure"
     );
     assert!(log.iter().skip(1).all(|applied| applied.autoscaled));
